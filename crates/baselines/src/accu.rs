@@ -1,0 +1,519 @@
+//! ACCU / ACCUCOPY — the single-truth Bayesian fusion and copy-detection
+//! models of Dong, Berti-Equille & Srivastava, *"Integrating conflicting
+//! data: the role of source dependence"* (PVLDB 2009).
+//!
+//! These operate under **conflicting-triple, closed-world** semantics: each
+//! *object* (e.g. a book's author list, taken as a whole) has exactly one
+//! true value; a source voting for one value implicitly votes against the
+//! others. The SIGMOD'14 paper compares against this approach on the BOOK
+//! dataset (§5.1), where it reports high precision but reduced recall
+//! because vote discounting also penalises correlated true values.
+//!
+//! * **ACCU**: iterate source accuracy `A_s` and value probabilities; a
+//!   vote contributes `ln(n·A_s / (1 - A_s))` where `n` is the assumed
+//!   number of uniformly-likely false values.
+//! * **Copy detection**: pairwise Bayesian test where *shared false
+//!   values* are the tell-tale of copying.
+//! * **ACCUCOPY**: ACCU with each vote discounted by the probability the
+//!   source merely copied it.
+
+use std::collections::HashMap;
+
+use corrfuse_core::dataset::Dataset;
+
+/// A single-truth fusion instance: objects, candidate values, votes.
+#[derive(Debug, Clone)]
+pub struct SingleTruthProblem {
+    /// Object keys (e.g. `book-017`).
+    pub objects: Vec<String>,
+    /// Candidate values per object.
+    pub values: Vec<Vec<String>>,
+    /// Votes per object: `(source index, value index)`.
+    pub votes: Vec<Vec<(u32, u32)>>,
+    /// Number of sources.
+    pub n_sources: usize,
+    /// Gold value index per object, when known.
+    pub gold: Vec<Option<u32>>,
+}
+
+impl SingleTruthProblem {
+    /// Build from a triple dataset by grouping on `(subject, predicate)`:
+    /// each source's *value* for an object is the sorted set of objects it
+    /// provides, joined with `|` (this is how the paper treats the author
+    /// list "as a whole"). The gold value is the set of labelled-true
+    /// triples, when labels exist.
+    pub fn from_dataset(ds: &Dataset) -> Self {
+        // object key -> object index
+        let mut object_index: HashMap<String, usize> = HashMap::new();
+        let mut objects = Vec::new();
+        // per object: source -> Vec<member string>
+        let mut claims: Vec<HashMap<u32, Vec<String>>> = Vec::new();
+        let mut gold_sets: Vec<Vec<String>> = Vec::new();
+
+        for t in ds.triples() {
+            let triple = ds.triple(t);
+            let key = format!("{}\u{1}{}", triple.subject, triple.predicate);
+            let oi = *object_index.entry(key.clone()).or_insert_with(|| {
+                objects.push(key);
+                claims.push(HashMap::new());
+                gold_sets.push(Vec::new());
+                objects.len() - 1
+            });
+            for s in ds.providers(t).iter_ones() {
+                claims[oi]
+                    .entry(s as u32)
+                    .or_default()
+                    .push(triple.object.clone());
+            }
+            if ds.gold().and_then(|g| g.get(t)) == Some(true) {
+                gold_sets[oi].push(triple.object.clone());
+            }
+        }
+
+        let mut values = Vec::with_capacity(objects.len());
+        let mut votes = Vec::with_capacity(objects.len());
+        let mut gold = Vec::with_capacity(objects.len());
+        for (oi, source_claims) in claims.iter().enumerate() {
+            let mut value_index: HashMap<String, u32> = HashMap::new();
+            let mut vals: Vec<String> = Vec::new();
+            let mut vs: Vec<(u32, u32)> = Vec::new();
+            for (&s, members) in source_claims {
+                let mut m = members.clone();
+                m.sort();
+                m.dedup();
+                let value = m.join("|");
+                let vi = *value_index.entry(value.clone()).or_insert_with(|| {
+                    vals.push(value);
+                    (vals.len() - 1) as u32
+                });
+                vs.push((s, vi));
+            }
+            vs.sort_unstable();
+            let g = if gold_sets[oi].is_empty() {
+                None
+            } else {
+                let mut m = gold_sets[oi].clone();
+                m.sort();
+                m.dedup();
+                let value = m.join("|");
+                // The gold value may be unclaimed by any source; intern it
+                // so recall correctly counts it as missed.
+                Some(*value_index.entry(value.clone()).or_insert_with(|| {
+                    vals.push(value);
+                    (vals.len() - 1) as u32
+                }))
+            };
+            values.push(vals);
+            votes.push(vs);
+            gold.push(g);
+        }
+        SingleTruthProblem {
+            objects,
+            values,
+            votes,
+            n_sources: ds.n_sources(),
+            gold,
+        }
+    }
+
+    /// Number of objects.
+    pub fn n_objects(&self) -> usize {
+        self.objects.len()
+    }
+}
+
+/// Configuration for [`accu`] / [`accu_copy`].
+#[derive(Debug, Clone, Copy)]
+pub struct AccuConfig {
+    /// Assumed number of uniformly-likely false values per object (`n` in
+    /// the paper).
+    pub n_false_values: f64,
+    /// Fixpoint iterations.
+    pub iterations: usize,
+    /// A-priori copy probability between a source pair.
+    pub copy_prior: f64,
+    /// Probability that a copier copies a particular value (`c`).
+    pub copy_rate: f64,
+    /// Initial source accuracy.
+    pub initial_accuracy: f64,
+}
+
+impl Default for AccuConfig {
+    fn default() -> Self {
+        AccuConfig {
+            n_false_values: 10.0,
+            iterations: 15,
+            copy_prior: 0.1,
+            copy_rate: 0.8,
+            initial_accuracy: 0.8,
+        }
+    }
+}
+
+/// Fitted single-truth model.
+#[derive(Debug, Clone)]
+pub struct AccuModel {
+    /// Source accuracies.
+    pub accuracy: Vec<f64>,
+    /// Per object, per candidate value: probability of being the truth.
+    pub value_probs: Vec<Vec<f64>>,
+    /// Pairwise copy probabilities (only for ACCUCOPY), keyed `(min, max)`.
+    pub copy_probs: Option<HashMap<(u32, u32), f64>>,
+}
+
+impl AccuModel {
+    /// Index of the most probable value per object (`None` for voteless
+    /// objects).
+    pub fn predictions(&self) -> Vec<Option<u32>> {
+        self.value_probs
+            .iter()
+            .map(|probs| {
+                probs
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i as u32)
+            })
+            .collect()
+    }
+
+    /// Fraction of gold-labelled objects where the prediction matches.
+    pub fn gold_accuracy(&self, problem: &SingleTruthProblem) -> f64 {
+        let preds = self.predictions();
+        let mut total = 0usize;
+        let mut hit = 0usize;
+        for (o, g) in problem.gold.iter().enumerate() {
+            if let Some(g) = g {
+                total += 1;
+                if preds[o] == Some(*g) {
+                    hit += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            hit as f64 / total as f64
+        }
+    }
+}
+
+fn value_probabilities(
+    problem: &SingleTruthProblem,
+    accuracy: &[f64],
+    weights: Option<&[Vec<f64>]>,
+    cfg: &AccuConfig,
+) -> Vec<Vec<f64>> {
+    let n = cfg.n_false_values;
+    problem
+        .votes
+        .iter()
+        .enumerate()
+        .map(|(o, votes)| {
+            let n_values = problem.values[o].len();
+            let mut scores = vec![0.0f64; n_values];
+            for (vote_idx, &(s, v)) in votes.iter().enumerate() {
+                let a = accuracy[s as usize].clamp(0.01, 0.99);
+                let w = weights.map(|w| w[o][vote_idx]).unwrap_or(1.0);
+                scores[v as usize] += w * (n * a / (1.0 - a)).ln();
+            }
+            // Softmax over candidate values.
+            let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut exp: Vec<f64> = scores.iter().map(|&c| (c - max).exp()).collect();
+            let z: f64 = exp.iter().sum();
+            if z > 0.0 {
+                for e in exp.iter_mut() {
+                    *e /= z;
+                }
+            }
+            exp
+        })
+        .collect()
+}
+
+fn update_accuracy(problem: &SingleTruthProblem, value_probs: &[Vec<f64>], accuracy: &mut [f64]) {
+    let mut sum = vec![0.0f64; accuracy.len()];
+    let mut count = vec![0usize; accuracy.len()];
+    for (o, votes) in problem.votes.iter().enumerate() {
+        for &(s, v) in votes {
+            sum[s as usize] += value_probs[o][v as usize];
+            count[s as usize] += 1;
+        }
+    }
+    for s in 0..accuracy.len() {
+        if count[s] > 0 {
+            accuracy[s] = (sum[s] / count[s] as f64).clamp(0.01, 0.99);
+        }
+    }
+}
+
+/// Plain ACCU: no copy reasoning.
+pub fn accu(problem: &SingleTruthProblem, cfg: &AccuConfig) -> AccuModel {
+    let mut accuracy = vec![cfg.initial_accuracy; problem.n_sources];
+    let mut value_probs = value_probabilities(problem, &accuracy, None, cfg);
+    for _ in 0..cfg.iterations {
+        update_accuracy(problem, &value_probs, &mut accuracy);
+        value_probs = value_probabilities(problem, &accuracy, None, cfg);
+    }
+    AccuModel {
+        accuracy,
+        value_probs,
+        copy_probs: None,
+    }
+}
+
+/// Pairwise copy detection: Bayes factor over shared-true / shared-false /
+/// different observations (§4 of the 2009 paper, symmetrised).
+pub fn detect_copying(
+    problem: &SingleTruthProblem,
+    value_probs: &[Vec<f64>],
+    accuracy: &[f64],
+    cfg: &AccuConfig,
+) -> HashMap<(u32, u32), f64> {
+    // For each pair of sources, walk objects they both vote on.
+    // Gather votes per object into a map for pair lookups.
+    let mut copy_log_odds: HashMap<(u32, u32), f64> = HashMap::new();
+    let prior = cfg.copy_prior.clamp(1e-6, 1.0 - 1e-6);
+    let prior_lo = (prior / (1.0 - prior)).ln();
+    let c = cfg.copy_rate;
+
+    for (o, votes) in problem.votes.iter().enumerate() {
+        for i in 0..votes.len() {
+            for j in i + 1..votes.len() {
+                let (s1, v1) = votes[i];
+                let (s2, v2) = votes[j];
+                let key = (s1.min(s2), s1.max(s2));
+                let a1 = accuracy[s1 as usize].clamp(0.01, 0.99);
+                let a2 = accuracy[s2 as usize].clamp(0.01, 0.99);
+                let ratio = if v1 == v2 {
+                    // Same value: weigh by the current belief in it. Under
+                    // copying, the value matches the provider's own draw,
+                    // so P(same & true | copy) = c * a_bar + (1-c) a1 a2
+                    // and P(same & false | copy) = c (1 - a_bar) + ...,
+                    // with a_bar the geometric-mean accuracy (Dong et al.
+                    // 2009, symmetrised). Shared *false* values remain the
+                    // strong signal; shared true values give only a mild
+                    // ratio of roughly 1/a_bar.
+                    let p_true = value_probs[o][v1 as usize];
+                    let a_bar = (a1 * a2).sqrt();
+                    let same_true_indep = a1 * a2;
+                    let same_false_indep = (1.0 - a1) * (1.0 - a2) / cfg.n_false_values;
+                    let num = p_true * (c * a_bar + (1.0 - c) * same_true_indep)
+                        + (1.0 - p_true)
+                            * (c * (1.0 - a_bar) + (1.0 - c) * same_false_indep);
+                    let den = p_true * same_true_indep + (1.0 - p_true) * same_false_indep;
+                    num / den.max(1e-12)
+                } else {
+                    // Different values: evidence of independence.
+                    1.0 - c
+                };
+                *copy_log_odds.entry(key).or_insert(prior_lo) += ratio.ln();
+            }
+        }
+    }
+    copy_log_odds
+        .into_iter()
+        .map(|(k, lo)| (k, corrfuse_core::prob::sigmoid(lo)))
+        .collect()
+}
+
+/// ACCUCOPY: ACCU with votes discounted by the probability that they were
+/// copied from another source voting for the same value.
+pub fn accu_copy(problem: &SingleTruthProblem, cfg: &AccuConfig) -> AccuModel {
+    let mut accuracy = vec![cfg.initial_accuracy; problem.n_sources];
+    let mut value_probs = value_probabilities(problem, &accuracy, None, cfg);
+    let mut copy_probs = HashMap::new();
+
+    for _ in 0..cfg.iterations {
+        copy_probs = detect_copying(problem, &value_probs, &accuracy, cfg);
+        // Vote weight: probability the vote is independent of every other
+        // source voting the same value on the same object.
+        let weights: Vec<Vec<f64>> = problem
+            .votes
+            .iter()
+            .map(|votes| {
+                votes
+                    .iter()
+                    .map(|&(s, v)| {
+                        let mut w = 1.0;
+                        for &(s2, v2) in votes {
+                            if s2 == s || v2 != v {
+                                continue;
+                            }
+                            let key = (s.min(s2), s.max(s2));
+                            let p_copy = copy_probs.get(&key).copied().unwrap_or(0.0);
+                            w *= 1.0 - cfg.copy_rate * p_copy;
+                        }
+                        w
+                    })
+                    .collect()
+            })
+            .collect();
+        value_probs = value_probabilities(problem, &accuracy, Some(&weights), cfg);
+        update_accuracy(problem, &value_probs, &mut accuracy);
+    }
+    AccuModel {
+        accuracy,
+        value_probs,
+        copy_probs: Some(copy_probs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corrfuse_core::dataset::DatasetBuilder;
+
+    /// 20 objects; five independent accurate sources (each errs on its own
+    /// few objects with private wrong values) and a copy ring of
+    /// `ring_size` members sharing identical mistakes on 8 objects.
+    fn problem(ring_size: usize, n_independent: usize) -> SingleTruthProblem {
+        let mut b = DatasetBuilder::new();
+        let independents: Vec<_> = (0..n_independent)
+            .map(|i| b.source(format!("I{i}")))
+            .collect();
+        let ring: Vec<_> = (0..ring_size).map(|i| b.source(format!("R{i}"))).collect();
+        for o in 0..20 {
+            let truth = b.triple(format!("obj{o}"), "val", format!("true-{o}"));
+            b.label(truth, true);
+            let ring_errs = o % 5 < 2; // objects 0,1,5,6,10,11,15,16
+            let wrong = |b: &mut DatasetBuilder, who: String| {
+                let w = b.triple(format!("obj{o}"), "val", format!("wrong-{who}-{o}"));
+                b.label(w, false);
+                w
+            };
+            for (i, &s) in independents.iter().enumerate() {
+                // Independent i errs on its own objects (2..=3 of 20),
+                // chosen away from the ring objects so beliefs there hinge
+                // on ring-vs-independent votes only.
+                let errs = (o + 13 * i) % 9 == 2 && o % 5 >= 2;
+                if errs {
+                    let w = wrong(&mut b, format!("i{i}"));
+                    b.observe(s, w);
+                } else {
+                    b.observe(s, truth);
+                }
+            }
+            if ring_errs {
+                let w = wrong(&mut b, "ring".to_string());
+                for &r in &ring {
+                    b.observe(r, w);
+                }
+            } else {
+                for &r in &ring {
+                    b.observe(r, truth);
+                }
+            }
+        }
+        let ds = b.build().unwrap();
+        SingleTruthProblem::from_dataset(&ds)
+    }
+
+    #[test]
+    fn from_dataset_groups_objects() {
+        let p = problem(3, 5);
+        assert_eq!(p.n_objects(), 20);
+        assert_eq!(p.n_sources, 8);
+        for o in 0..20 {
+            assert_eq!(p.votes[o].len(), 8);
+            assert!(p.gold[o].is_some());
+        }
+    }
+
+    #[test]
+    fn accu_handles_minority_ring() {
+        // 5 honest sources outvote a 3-copier ring: plain ACCU is fine.
+        let p = problem(3, 5);
+        let acc = accu(&p, &AccuConfig::default()).gold_accuracy(&p);
+        assert!(acc > 0.9, "accu accuracy {acc}");
+    }
+
+    #[test]
+    fn accu_is_blind_to_majority_copying() {
+        // 5 replicas outvote 3 honest sources: plain ACCU believes the
+        // ring on all 8 shared-mistake objects. This is the failure mode
+        // copy detection exists for.
+        let p = problem(5, 3);
+        let acc = accu(&p, &AccuConfig::default()).gold_accuracy(&p);
+        assert!(acc < 0.7, "accu accuracy {acc}");
+    }
+
+    #[test]
+    fn copy_detection_flags_the_ring() {
+        let p = problem(3, 5);
+        let model = accu(&p, &AccuConfig::default());
+        let copies =
+            detect_copying(&p, &model.value_probs, &model.accuracy, &AccuConfig::default());
+        // Independents are sources 0..=4; ring members are 5..=7.
+        let ring = copies.get(&(5, 6)).copied().unwrap_or(0.0);
+        let independent = copies.get(&(0, 1)).copied().unwrap_or(0.0);
+        assert!(ring > 0.9, "ring pair should be flagged: {ring}");
+        assert!(
+            independent < 0.5,
+            "independent pair should not be flagged: {independent}"
+        );
+    }
+
+    #[test]
+    fn accu_copy_keeps_accuracy_and_flags_ring() {
+        let p = problem(3, 5);
+        let cfg = AccuConfig::default();
+        let plain = accu(&p, &cfg).gold_accuracy(&p);
+        let model = accu_copy(&p, &cfg);
+        let copyaware = model.gold_accuracy(&p);
+        assert!(
+            copyaware >= plain - 1e-9,
+            "accucopy {copyaware} should not be worse than accu {plain}"
+        );
+        assert!(copyaware > 0.9, "accucopy accuracy {copyaware}");
+        let cp = model.copy_probs.as_ref().unwrap();
+        assert!(cp.get(&(5, 7)).copied().unwrap_or(0.0) > 0.9);
+    }
+
+    #[test]
+    fn predictions_are_argmax() {
+        let p = problem(3, 5);
+        let model = accu(&p, &AccuConfig::default());
+        for (o, pred) in model.predictions().iter().enumerate() {
+            let probs = &model.value_probs[o];
+            if let Some(v) = pred {
+                for p in probs {
+                    assert!(probs[*v as usize] >= *p - 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn value_probs_sum_to_one() {
+        let p = problem(3, 5);
+        let model = accu_copy(&p, &AccuConfig::default());
+        for probs in &model.value_probs {
+            if probs.is_empty() {
+                continue;
+            }
+            let z: f64 = probs.iter().sum();
+            assert!((z - 1.0).abs() < 1e-9, "sum {z}");
+        }
+    }
+
+    #[test]
+    fn unclaimed_gold_value_is_interned() {
+        // Gold value that no source provides: recall must be able to count
+        // the miss.
+        let mut b = DatasetBuilder::new();
+        let s = b.source("A");
+        let wrong = b.triple("obj", "val", "wrong");
+        b.observe(s, wrong);
+        b.label(wrong, false);
+        let truth = b.triple("obj", "val", "right");
+        let s2 = b.source("B");
+        b.observe(s2, truth);
+        b.label(truth, true);
+        let ds = b.build().unwrap();
+        let p = SingleTruthProblem::from_dataset(&ds);
+        assert_eq!(p.n_objects(), 1);
+        assert!(p.gold[0].is_some());
+        assert!(p.values[0].len() >= 2);
+    }
+}

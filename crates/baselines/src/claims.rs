@@ -1,0 +1,141 @@
+//! Shared claim representation for the iterative baselines.
+//!
+//! The paper's models use open-world semantics, but the 3-Estimates family
+//! and LTM reason over explicit positive/negative statements. We map a
+//! dataset onto claims the way the paper's experiments must have: a source
+//! *positively* claims every triple it provides and *negatively* claims
+//! every in-scope triple it does not provide. (Out-of-scope triples
+//! generate no claim, so complementary sources are not forced to vote
+//! against each other's data.)
+
+use corrfuse_core::dataset::Dataset;
+
+/// One source's statement about one triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Claim {
+    /// Index of the claiming source.
+    pub source: u32,
+    /// `true` = the source asserts the triple, `false` = in-scope denial.
+    pub positive: bool,
+}
+
+/// Claim matrix: per triple, the list of claims; per source, the number of
+/// claims it makes (for averaging).
+#[derive(Debug, Clone)]
+pub struct Claims {
+    /// `per_triple[f]` lists every claim on triple `f`.
+    pub per_triple: Vec<Vec<Claim>>,
+    /// Number of claims per source.
+    pub per_source_count: Vec<usize>,
+    /// Number of sources.
+    pub n_sources: usize,
+}
+
+impl Claims {
+    /// Extract claims from a dataset (provider = positive claim, in-scope
+    /// non-provider = negative claim).
+    pub fn from_dataset(ds: &Dataset) -> Self {
+        let n_sources = ds.n_sources();
+        let mut per_triple = Vec::with_capacity(ds.n_triples());
+        let mut per_source_count = vec![0usize; n_sources];
+        for t in ds.triples() {
+            let providers = ds.providers(t);
+            let scope = ds.scope_mask(t);
+            let mut claims = Vec::with_capacity(scope.count_ones());
+            for s in scope.iter_ones() {
+                let positive = providers.get(s);
+                claims.push(Claim {
+                    source: s as u32,
+                    positive,
+                });
+                per_source_count[s] += 1;
+            }
+            per_triple.push(claims);
+        }
+        Claims {
+            per_triple,
+            per_source_count,
+            n_sources,
+        }
+    }
+
+    /// Number of triples.
+    pub fn n_triples(&self) -> usize {
+        self.per_triple.len()
+    }
+}
+
+/// Affinely rescale a vector onto `[0, 1]` (the "normalization" step of
+/// Galland et al.); constant vectors are left unchanged.
+pub fn normalize_unit(values: &mut [f64]) {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values.iter() {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if !(hi - lo).is_finite() || hi - lo < 1e-12 {
+        return;
+    }
+    for v in values.iter_mut() {
+        *v = (*v - lo) / (hi - lo);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corrfuse_core::dataset::{DatasetBuilder, Domain};
+
+    #[test]
+    fn claims_cover_scope() {
+        let mut b = DatasetBuilder::new();
+        let s1 = b.source("A");
+        let s2 = b.source("B");
+        let t1 = b.triple("x", "p", "1");
+        let t2 = b.triple("y", "p", "2");
+        b.observe(s1, t1);
+        b.observe(s2, t1);
+        b.observe(s1, t2);
+        let ds = b.build().unwrap();
+        let c = Claims::from_dataset(&ds);
+        assert_eq!(c.n_triples(), 2);
+        assert_eq!(c.per_triple[0].len(), 2);
+        assert!(c.per_triple[0].iter().all(|cl| cl.positive));
+        // t2: A positive, B negative (in scope, default single domain).
+        let neg: Vec<_> = c.per_triple[1].iter().filter(|cl| !cl.positive).collect();
+        assert_eq!(neg.len(), 1);
+        assert_eq!(neg[0].source, 1);
+        assert_eq!(c.per_source_count, vec![2, 2]);
+    }
+
+    #[test]
+    fn out_of_scope_generates_no_claim() {
+        let mut b = DatasetBuilder::new();
+        let s1 = b.source("A");
+        let s2 = b.source("B");
+        let t1 = b.triple("x", "p", "1");
+        let t2 = b.triple("y", "p", "2");
+        b.set_domain(t1, Domain(1));
+        b.set_domain(t2, Domain(2));
+        b.observe(s1, t1);
+        b.observe(s2, t2);
+        let ds = b.build().unwrap();
+        let c = Claims::from_dataset(&ds);
+        // Each triple claimed only by its provider; the other source is out
+        // of scope.
+        assert_eq!(c.per_triple[0].len(), 1);
+        assert_eq!(c.per_triple[1].len(), 1);
+        assert_eq!(c.per_source_count, vec![1, 1]);
+    }
+
+    #[test]
+    fn normalize_unit_rescales() {
+        let mut v = vec![2.0, 4.0, 3.0];
+        normalize_unit(&mut v);
+        assert_eq!(v, vec![0.0, 1.0, 0.5]);
+        // Constant vectors untouched.
+        let mut c = vec![0.7, 0.7];
+        normalize_unit(&mut c);
+        assert_eq!(c, vec![0.7, 0.7]);
+    }
+}

@@ -1,0 +1,164 @@
+//! UNION-K voting baselines.
+//!
+//! `UNION-K` accepts a triple as true when at least `K%` of the sources
+//! provide it; `UNION-50` is majority voting. For ranking-based metrics
+//! (PR/ROC curves) triples are ordered by provider count, exactly as the
+//! paper does ("for UNION-K, we rank in decreasing order of the number of
+//! providers").
+
+use corrfuse_core::dataset::Dataset;
+
+/// The UNION-K voting rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnionK {
+    /// Acceptance threshold as a percentage of the source count (e.g.
+    /// `25.0` for UNION-25).
+    pub percent: f64,
+}
+
+impl UnionK {
+    /// `UNION-K` for a given percentage.
+    pub fn new(percent: f64) -> Self {
+        assert!(
+            (0.0..=100.0).contains(&percent),
+            "percent must be in [0, 100]"
+        );
+        UnionK { percent }
+    }
+
+    /// Majority voting (`UNION-50`).
+    pub fn majority() -> Self {
+        UnionK { percent: 50.0 }
+    }
+
+    /// Minimum number of providers needed for acceptance among `n`
+    /// (in-scope) sources: `ceil(K/100 * n)`, with a floor of 1.
+    pub fn min_providers(&self, n_sources: usize) -> usize {
+        let raw = (self.percent / 100.0 * n_sources as f64).ceil() as usize;
+        raw.max(1)
+    }
+
+    /// Ranking score per triple: provider count normalised by the number of
+    /// *in-scope* sources. For single-domain datasets this is the plain
+    /// fraction of all sources; for scoped datasets (e.g. BOOK, where each
+    /// seller lists only some books) the percentage is taken over the
+    /// sources that cover the triple, as the paper's scope semantics
+    /// prescribe (§2.1).
+    pub fn score_all(&self, ds: &Dataset) -> Vec<f64> {
+        ds.triples()
+            .map(|t| {
+                let in_scope = ds.scope_mask(t).count_ones().max(1) as f64;
+                ds.providers(t).count_ones() as f64 / in_scope
+            })
+            .collect()
+    }
+
+    /// Accept/reject decision per triple.
+    pub fn decide(&self, ds: &Dataset) -> Vec<bool> {
+        ds.triples()
+            .map(|t| {
+                let in_scope = ds.scope_mask(t).count_ones();
+                ds.providers(t).count_ones() >= self.min_providers(in_scope)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corrfuse_core::dataset::DatasetBuilder;
+
+    /// Figure 1 dataset (local copy to avoid a dev-dependency cycle).
+    fn figure1() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let sources: Vec<_> = (1..=5).map(|i| b.source(format!("S{i}"))).collect();
+        let rows: [(&str, bool, &[usize]); 10] = [
+            ("t1", true, &[1, 2, 4, 5]),
+            ("t2", false, &[1, 2]),
+            ("t3", true, &[3]),
+            ("t4", true, &[2, 3, 4, 5]),
+            ("t5", false, &[2, 3]),
+            ("t6", true, &[1, 4, 5]),
+            ("t7", true, &[1, 2, 3]),
+            ("t8", false, &[1, 2, 4, 5]),
+            ("t9", false, &[1, 2, 4, 5]),
+            ("t10", true, &[1, 3, 4, 5]),
+        ];
+        for (name, truth, provs) in rows {
+            let t = b.triple("Obama", "fact", name);
+            for &p in provs {
+                b.observe(sources[p - 1], t);
+            }
+            b.label(t, truth);
+        }
+        b.build().unwrap()
+    }
+
+    fn prf(ds: &Dataset, decisions: &[bool]) -> (f64, f64) {
+        let gold = ds.gold().unwrap();
+        let (mut tp, mut fp, mut fnn) = (0.0, 0.0, 0.0);
+        for t in ds.triples() {
+            match (decisions[t.index()], gold.get(t).unwrap()) {
+                (true, true) => tp += 1.0,
+                (true, false) => fp += 1.0,
+                (false, true) => fnn += 1.0,
+                _ => {}
+            }
+        }
+        (tp / (tp + fp), tp / (tp + fnn))
+    }
+
+    #[test]
+    fn figure_1c_union_25() {
+        let ds = figure1();
+        let (p, r) = prf(&ds, &UnionK::new(25.0).decide(&ds));
+        assert!((p - 5.0 / 9.0).abs() < 1e-12, "precision {p}"); // 0.56
+        assert!((r - 5.0 / 6.0).abs() < 1e-12, "recall {r}"); // 0.83
+    }
+
+    #[test]
+    fn figure_1c_union_50() {
+        let ds = figure1();
+        let (p, r) = prf(&ds, &UnionK::majority().decide(&ds));
+        assert!((p - 5.0 / 7.0).abs() < 1e-12, "precision {p}"); // 0.71
+        assert!((r - 5.0 / 6.0).abs() < 1e-12, "recall {r}"); // 0.83
+    }
+
+    #[test]
+    fn figure_1c_union_75() {
+        let ds = figure1();
+        let (p, r) = prf(&ds, &UnionK::new(75.0).decide(&ds));
+        assert!((p - 0.6).abs() < 1e-12, "precision {p}");
+        assert!((r - 0.5).abs() < 1e-12, "recall {r}");
+    }
+
+    #[test]
+    fn min_providers_rounding() {
+        let u = UnionK::new(25.0);
+        assert_eq!(u.min_providers(5), 2); // ceil(1.25)
+        assert_eq!(u.min_providers(4), 1);
+        assert_eq!(u.min_providers(8), 2);
+        let u = UnionK::new(50.0);
+        assert_eq!(u.min_providers(5), 3); // ceil(2.5)
+        assert_eq!(u.min_providers(6), 3);
+        // Never zero, even for tiny K.
+        assert_eq!(UnionK::new(0.0).min_providers(10), 1);
+    }
+
+    #[test]
+    fn scores_rank_by_provider_count() {
+        let ds = figure1();
+        let scores = UnionK::new(50.0).score_all(&ds);
+        // t1 has 4 providers, t3 has 1.
+        assert!(scores[0] > scores[2]);
+        assert!((scores[0] - 0.8).abs() < 1e-12);
+        assert!((scores[2] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "percent")]
+    fn invalid_percent_panics() {
+        UnionK::new(120.0);
+    }
+}

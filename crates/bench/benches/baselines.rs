@@ -1,0 +1,32 @@
+//! Baseline throughput: voting, the Galland estimators and one LTM
+//! configuration on the REVERB replica.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use corrfuse_baselines::estimates::{cosine, three_estimates, two_estimates, EstimatesConfig};
+use corrfuse_baselines::ltm::{run as ltm, LtmConfig};
+use corrfuse_baselines::voting::UnionK;
+
+fn bench_baselines(c: &mut Criterion) {
+    let ds = corrfuse_bench::reverb().unwrap();
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    group.bench_function("union50_score", |b| {
+        let u = UnionK::majority();
+        b.iter(|| u.score_all(&ds))
+    });
+    let cfg = EstimatesConfig::default();
+    group.bench_function("two_estimates", |b| b.iter(|| two_estimates(&ds, &cfg)));
+    group.bench_function("three_estimates", |b| b.iter(|| three_estimates(&ds, &cfg)));
+    group.bench_function("cosine", |b| b.iter(|| cosine(&ds, &cfg)));
+    let ltm_cfg = LtmConfig {
+        burn_in: 10,
+        samples: 10,
+        thin: 1,
+        ..Default::default()
+    };
+    group.bench_function("ltm_20_sweeps", |b| b.iter(|| ltm(&ds, &ltm_cfg)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

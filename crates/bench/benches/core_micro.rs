@@ -1,0 +1,46 @@
+//! Micro-benchmarks of the core substrates: bitset projection, subset
+//! enumeration, PrecRec scoring throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use corrfuse_core::bits::BitSet;
+use corrfuse_core::independent::PrecRecModel;
+use corrfuse_core::subset::{submasks, submasks_of_size};
+
+fn bench_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core_micro");
+
+    let bs = BitSet::from_indices(333, (0..333).filter(|i| i % 7 == 0));
+    let positions: Vec<usize> = (0..22).map(|k| k * 15).collect();
+    group.bench_function("bitset_project_22_of_333", |b| {
+        b.iter(|| black_box(&bs).project(black_box(&positions)))
+    });
+
+    group.bench_function("submasks_2pow16", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for m in submasks(0xFFFF) {
+                acc ^= m;
+            }
+            acc
+        })
+    });
+    group.bench_function("submasks_of_size_3_of_20", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for m in submasks_of_size((1 << 20) - 1, 3) {
+                acc ^= m;
+            }
+            acc
+        })
+    });
+
+    let ds = corrfuse_bench::reverb().unwrap();
+    let model = PrecRecModel::fit(&ds, ds.gold().unwrap(), Some(0.5)).unwrap();
+    group.bench_function("precrec_score_all_reverb", |b| {
+        b.iter(|| model.score_all(&ds))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Cost curve of the elastic approximation (Figure 5a's runtime axis):
+//! fit+score at levels 0..=4 plus the exact solver on REVERB.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use corrfuse_eval::harness::{run_method, MethodSpec};
+
+fn bench_levels(c: &mut Criterion) {
+    let ds = corrfuse_bench::reverb().unwrap();
+    let mut group = c.benchmark_group("elastic_levels");
+    group.sample_size(10);
+    for level in 0..=4usize {
+        group.bench_with_input(BenchmarkId::new("level", level), &ds, |b, ds| {
+            b.iter(|| run_method(ds, &MethodSpec::Elastic(level)).unwrap())
+        });
+    }
+    group.bench_with_input(BenchmarkId::new("exact", 0usize), &ds, |b, ds| {
+        b.iter(|| run_method(ds, &MethodSpec::PrecRecCorr).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_levels);
+criterion_main!(benches);

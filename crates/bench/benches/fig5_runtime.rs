@@ -1,0 +1,38 @@
+//! Criterion counterpart of Figure 5b: per-method fit+score cost on the
+//! REVERB and RESTAURANT replicas. (The `fig5_runtime` binary prints the
+//! full table including BOOK; this bench gives statistically solid
+//! comparisons for the small datasets.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use corrfuse_eval::harness::{run_method, MethodSpec};
+
+fn methods() -> Vec<MethodSpec> {
+    vec![
+        MethodSpec::Union(50.0),
+        MethodSpec::ThreeEstimates,
+        MethodSpec::PrecRec,
+        MethodSpec::PrecRecCorr,
+        MethodSpec::Elastic(3),
+        MethodSpec::Aggressive,
+    ]
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let reverb = corrfuse_bench::reverb().unwrap();
+    let restaurant = corrfuse_bench::restaurant().unwrap();
+    let mut group = c.benchmark_group("fig5b");
+    group.sample_size(10);
+    for (name, ds) in [("reverb", &reverb), ("restaurant", &restaurant)] {
+        for m in methods() {
+            group.bench_with_input(
+                BenchmarkId::new(m.name(), name),
+                ds,
+                |b, ds| b.iter(|| run_method(ds, &m).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

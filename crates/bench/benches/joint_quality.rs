@@ -1,0 +1,46 @@
+//! Joint-parameter estimation cost (DESIGN.md §6 ablation 3): cold
+//! (uncached) vs warm (memoised) joint recall queries over the REVERB
+//! replica, plus full-model fit cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use corrfuse_core::joint::{EmpiricalJoint, JointQuality, SourceSet};
+
+fn bench_joint(c: &mut Criterion) {
+    let ds = corrfuse_bench::reverb().unwrap();
+    let gold = ds.gold().unwrap().clone();
+    let members: Vec<_> = ds.sources().collect();
+
+    let mut group = c.benchmark_group("joint_quality");
+    group.sample_size(20);
+    group.bench_function("build", |b| {
+        b.iter(|| EmpiricalJoint::new(&ds, &gold, members.clone(), 0.5).unwrap())
+    });
+    group.bench_function("cold_queries", |b| {
+        b.iter(|| {
+            // Fresh instance per iteration: every query scans the rows.
+            let joint = EmpiricalJoint::new(&ds, &gold, members.clone(), 0.5).unwrap();
+            let mut acc = 0.0;
+            for mask in 1u64..64 {
+                acc += joint.joint_recall(SourceSet(mask));
+            }
+            acc
+        })
+    });
+    let warm = EmpiricalJoint::new(&ds, &gold, members.clone(), 0.5).unwrap();
+    for mask in 1u64..64 {
+        warm.joint_recall(SourceSet(mask));
+    }
+    group.bench_function("warm_queries", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for mask in 1u64..64 {
+                acc += warm.joint_recall(SourceSet(mask));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_joint);
+criterion_main!(benches);

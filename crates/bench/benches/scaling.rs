@@ -1,0 +1,37 @@
+//! Ablation (DESIGN.md §6): how exact, elastic and aggressive solvers scale
+//! with cluster width. Exact is exponential in the complement; elastic-2 is
+//! quadratic; aggressive linear.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use corrfuse_core::aggressive::AggressiveSolver;
+use corrfuse_core::elastic::ElasticSolver;
+use corrfuse_core::exact::ExactSolver;
+use corrfuse_core::joint::{IndependentJoint, SourceSet};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_scaling");
+    group.sample_size(10);
+    for n in [6usize, 10, 14, 18] {
+        let joint =
+            IndependentJoint::new(vec![0.4; n], vec![0.1; n]).unwrap();
+        let active = SourceSet::full(n);
+        // A triple provided by 2 sources: complement n-2.
+        let providers = SourceSet::EMPTY.with(0).with(1);
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
+            let solver = ExactSolver::new();
+            b.iter(|| solver.mu(&joint, providers, active).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("elastic2", n), &n, |b, _| {
+            let solver = ElasticSolver::new(&joint, active, 2);
+            b.iter(|| solver.mu(&joint, providers, active))
+        });
+        group.bench_with_input(BenchmarkId::new("aggressive", n), &n, |b, _| {
+            let solver = AggressiveSolver::new(&joint, active);
+            b.iter(|| solver.mu(providers, active))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

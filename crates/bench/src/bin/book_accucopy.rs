@@ -1,0 +1,24 @@
+//! Regenerates the §5.1 BOOK comparison with copy detection (BOOK-COPY):
+//! ACCU and ACCUCOPY (single-truth, closed world) against PrecRec and
+//! PrecRecCorr (elastic level 3) at the author-triple level.
+
+use corrfuse_eval::experiments::book_copy;
+use corrfuse_eval::{evaluate_method, MethodSpec};
+
+fn main() {
+    corrfuse_bench::banner("BOOK: copy detection (Dong et al. 2009) vs correlation-aware fusion");
+    let ds = if corrfuse_bench::quick() {
+        corrfuse_bench::book_small().expect("book")
+    } else {
+        corrfuse_bench::book().expect("book")
+    };
+    println!("dataset: {}", ds.stats());
+
+    let mut extra = Vec::new();
+    for spec in [MethodSpec::PrecRec, MethodSpec::Elastic(3)] {
+        let rep = evaluate_method(&ds, &spec).expect("fusion baseline");
+        extra.push((rep.name, rep.prf));
+    }
+    let res = book_copy::run(&ds, extra).expect("book copy comparison");
+    println!("{}", res.render());
+}

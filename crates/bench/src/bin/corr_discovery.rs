@@ -1,0 +1,25 @@
+//! Regenerates the §5.1 "Discovered correlations" analysis (TBL-CORR).
+
+use corrfuse_core::cluster::ClusterConfig;
+use corrfuse_eval::experiments::discovery;
+
+fn main() {
+    corrfuse_bench::banner("Discovered correlations (paper section 5.1)");
+    let cfg = ClusterConfig::default();
+
+    let reverb = corrfuse_bench::reverb().expect("reverb");
+    println!("{}", discovery::run(&reverb, "REVERB", 8, &cfg).expect("reverb").render());
+
+    let restaurant = corrfuse_bench::restaurant().expect("restaurant");
+    println!(
+        "{}",
+        discovery::run(&restaurant, "RESTAURANT", 8, &cfg).expect("restaurant").render()
+    );
+
+    let book = if corrfuse_bench::quick() {
+        corrfuse_bench::book_small().expect("book")
+    } else {
+        corrfuse_bench::book().expect("book")
+    };
+    println!("{}", discovery::run(&book, "BOOK", 12, &cfg).expect("book").render());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 1b, Figure 1c and the worked examples (FIG1 in
+//! DESIGN.md).
+
+fn main() {
+    corrfuse_bench::banner("Figure 1: motivating example (Barack Obama extractions)");
+    let result = corrfuse_eval::experiments::fig1::run().expect("figure 1 experiment");
+    println!("{}", result.render());
+}

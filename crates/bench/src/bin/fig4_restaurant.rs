@@ -1,0 +1,12 @@
+//! Regenerates Figure 4b: the RESTAURANT comparison (FIG4B in DESIGN.md).
+
+use corrfuse_eval::experiments::realworld;
+use corrfuse_eval::MethodSpec;
+
+fn main() {
+    corrfuse_bench::banner("Figure 4b: RESTAURANT replica");
+    let ds = corrfuse_bench::restaurant().expect("restaurant replica");
+    println!("dataset: {}", ds.stats());
+    let res = realworld::run(&ds, "RESTAURANT", MethodSpec::PrecRecCorr).expect("figure 4b");
+    println!("{}", res.render());
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 4a: the REVERB comparison (FIG4A in DESIGN.md).
+
+use corrfuse_eval::experiments::realworld;
+use corrfuse_eval::MethodSpec;
+
+fn main() {
+    corrfuse_bench::banner("Figure 4a: REVERB replica");
+    let ds = corrfuse_bench::reverb().expect("reverb replica");
+    println!("dataset: {}", ds.stats());
+    let res = realworld::run(&ds, "REVERB", MethodSpec::PrecRecCorr).expect("figure 4a");
+    println!("{}", res.render());
+}

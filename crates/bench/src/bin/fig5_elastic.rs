@@ -1,0 +1,24 @@
+//! Regenerates Figure 5a: elastic approximation level sweep (FIG5A).
+
+use corrfuse_eval::experiments::elastic_levels;
+
+fn main() {
+    corrfuse_bench::banner("Figure 5a: elastic approximation levels");
+    let max_level = if corrfuse_bench::quick() { 3 } else { 5 };
+
+    let reverb = corrfuse_bench::reverb().expect("reverb");
+    let sweep = elastic_levels::run(&reverb, "REVERB", max_level, true).expect("reverb sweep");
+    println!("{}", sweep.render());
+
+    let restaurant = corrfuse_bench::restaurant().expect("restaurant");
+    let sweep =
+        elastic_levels::run(&restaurant, "RESTAURANT", max_level, true).expect("restaurant sweep");
+    println!("{}", sweep.render());
+
+    // BOOK: clusters up to 22 sources make the exact solver infeasible
+    // here; the sweep stops at the highest practical level (cf. paper
+    // Figure 5b where exact BOOK took ~2h on EC2).
+    let book = corrfuse_bench::book_small().expect("book");
+    let sweep = elastic_levels::run(&book, "BOOK(small)", 3, false).expect("book sweep");
+    println!("{}", sweep.render());
+}

@@ -1,0 +1,36 @@
+//! Regenerates Figure 5b: the runtime table (FIG5B).
+
+use corrfuse_eval::experiments::runtime;
+use corrfuse_eval::MethodSpec;
+
+fn main() {
+    corrfuse_bench::banner("Figure 5b: method runtimes");
+    let reverb = corrfuse_bench::reverb().expect("reverb");
+    let restaurant = corrfuse_bench::restaurant().expect("restaurant");
+    let book = if corrfuse_bench::quick() {
+        corrfuse_bench::book_small().expect("book")
+    } else {
+        corrfuse_bench::book().expect("book")
+    };
+    let datasets = [
+        ("REVERB", &reverb),
+        ("RESTAURANT", &restaurant),
+        ("BOOK", &book),
+    ];
+    let methods = [
+        MethodSpec::Union(25.0),
+        MethodSpec::Union(50.0),
+        MethodSpec::Union(75.0),
+        MethodSpec::ThreeEstimates,
+        MethodSpec::ltm_default(),
+        MethodSpec::PrecRec,
+        MethodSpec::PrecRecCorr,
+        MethodSpec::Elastic(3),
+    ];
+    // With per-book scopes the exact solver is feasible on BOOK (active
+    // cluster members per triple are only the sellers covering the book).
+    let skip: [(&str, &str); 0] = [];
+    let res = runtime::run(&datasets, &methods, &skip).expect("runtimes");
+    println!("{}", res.render());
+    println!("(absolute numbers are host-specific; compare rows, not the paper's seconds)");
+}

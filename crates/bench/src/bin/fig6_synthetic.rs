@@ -1,0 +1,13 @@
+//! Regenerates Figure 6a/6b/6c: synthetic independent-source sweeps.
+
+use corrfuse_eval::experiments::synthetic;
+
+fn main() {
+    corrfuse_bench::banner("Figure 6: synthetic data, independent sources");
+    let reps = corrfuse_bench::sweep_reps();
+    let seed = corrfuse_bench::seeds::SYNTH;
+    println!("(F1 averaged over {reps} repetitions)");
+    println!("{}", synthetic::fig6a(reps, seed).expect("fig6a").render());
+    println!("{}", synthetic::fig6b(reps, seed).expect("fig6b").render());
+    println!("{}", synthetic::fig6c(reps, seed).expect("fig6c").render());
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 7: synthetic correlated-source scenarios.
+
+use corrfuse_eval::experiments::synthetic;
+
+fn main() {
+    corrfuse_bench::banner("Figure 7: synthetic data, correlated sources");
+    let reps = corrfuse_bench::sweep_reps();
+    let seed = corrfuse_bench::seeds::SYNTH + 7;
+    println!("(F1 averaged over {reps} repetitions)");
+    println!("{}", synthetic::fig7(reps, seed).expect("fig7").render());
+}

@@ -1,0 +1,92 @@
+//! Runs every experiment binary's workload in sequence — the one-shot
+//! regeneration of all paper tables and figures. Expect minutes of wall
+//! time in the default configuration; set CORRFUSE_QUICK=1 for a smoke run.
+
+use corrfuse_core::cluster::ClusterConfig;
+use corrfuse_eval::experiments::{
+    book_copy, discovery, elastic_levels, fig1, realworld, runtime, synthetic,
+};
+use corrfuse_eval::{evaluate_method, MethodSpec};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+
+    corrfuse_bench::banner("FIG1: motivating example");
+    println!("{}", fig1::run().expect("fig1").render());
+
+    let reverb = corrfuse_bench::reverb().expect("reverb");
+    let restaurant = corrfuse_bench::restaurant().expect("restaurant");
+    let book = if corrfuse_bench::quick() {
+        corrfuse_bench::book_small().expect("book")
+    } else {
+        corrfuse_bench::book().expect("book")
+    };
+
+    corrfuse_bench::banner("FIG4: real-world replicas");
+    for (name, ds, corr) in [
+        ("REVERB", &reverb, MethodSpec::PrecRecCorr),
+        ("RESTAURANT", &restaurant, MethodSpec::PrecRecCorr),
+        ("BOOK", &book, MethodSpec::PrecRecCorr),
+    ] {
+        println!("dataset: {}", ds.stats());
+        println!("{}", realworld::run(ds, name, corr).expect(name).render());
+    }
+
+    corrfuse_bench::banner("FIG5a: elastic levels");
+    let max_level = if corrfuse_bench::quick() { 2 } else { 4 };
+    println!(
+        "{}",
+        elastic_levels::run(&reverb, "REVERB", max_level, true).expect("fig5a reverb").render()
+    );
+    println!(
+        "{}",
+        elastic_levels::run(&restaurant, "RESTAURANT", max_level, true)
+            .expect("fig5a restaurant")
+            .render()
+    );
+
+    corrfuse_bench::banner("FIG5b: runtimes");
+    let datasets = [
+        ("REVERB", &reverb),
+        ("RESTAURANT", &restaurant),
+        ("BOOK", &book),
+    ];
+    let methods = [
+        MethodSpec::Union(25.0),
+        MethodSpec::Union(50.0),
+        MethodSpec::Union(75.0),
+        MethodSpec::ThreeEstimates,
+        MethodSpec::ltm_default(),
+        MethodSpec::PrecRec,
+        MethodSpec::PrecRecCorr,
+        MethodSpec::Elastic(3),
+    ];
+    // With per-book scopes the exact solver is feasible on BOOK too.
+    let skip: [(&str, &str); 0] = [];
+    println!("{}", runtime::run(&datasets, &methods, &skip).expect("fig5b").render());
+
+    corrfuse_bench::banner("FIG6 + FIG7: synthetic sweeps");
+    let reps = corrfuse_bench::sweep_reps();
+    let seed = corrfuse_bench::seeds::SYNTH;
+    println!("(F1 averaged over {reps} repetitions)");
+    println!("{}", synthetic::fig6a(reps, seed).expect("fig6a").render());
+    println!("{}", synthetic::fig6b(reps, seed).expect("fig6b").render());
+    println!("{}", synthetic::fig6c(reps, seed).expect("fig6c").render());
+    println!("{}", synthetic::fig7(reps, seed + 7).expect("fig7").render());
+
+    corrfuse_bench::banner("TBL-CORR: discovered correlations");
+    let cfg = ClusterConfig::default();
+    println!("{}", discovery::run(&reverb, "REVERB", 8, &cfg).expect("disc").render());
+    println!("{}", discovery::run(&restaurant, "RESTAURANT", 8, &cfg).expect("disc").render());
+    println!("{}", discovery::run(&book, "BOOK", 12, &cfg).expect("disc").render());
+
+    corrfuse_bench::banner("BOOK-COPY: ACCU / ACCUCOPY");
+    let mut extra = Vec::new();
+    for spec in [MethodSpec::PrecRec, MethodSpec::Elastic(3)] {
+        let rep = evaluate_method(&book, &spec).expect("fusion baseline");
+        extra.push((rep.name, rep.prf));
+    }
+    println!("{}", book_copy::run(&book, extra).expect("book copy").render());
+
+    println!("\ntotal wall time: {:.1}s", t0.elapsed().as_secs_f64());
+}

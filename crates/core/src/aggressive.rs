@@ -1,0 +1,223 @@
+//! Aggressive approximation (§4.2, Definition 4.5).
+//!
+//! Replaces each source's recall `r_i` (resp. fpr `q_i`) with the
+//! correlation-weighted effective rate `C⁺_i r_i` (resp. `C⁻_i q_i`) and
+//! then applies the independent-sources product of Theorem 3.1:
+//!
+//! ```text
+//! mu_aggr = prod_{S_i in S_t} (C⁺_i r_i)/(C⁻_i q_i)
+//!         * prod_{S_i in S_t̄} (1 - C⁺_i r_i)/(1 - C⁻_i q_i)
+//! ```
+//!
+//! Linear in the number of sources and needs only `2n + 1` correlation
+//! parameters, but Proposition 4.8 warns it degenerates under extreme
+//! correlation (replicas collapse to the prior; fully complementary
+//! sources can make a factor negative, i.e. no valid probability). The
+//! solver computes the raw value and leaves interpretation of non-positive
+//! `mu` to [`crate::prob::posterior_from_mu`], which maps it to 0.
+
+use crate::exact::Likelihoods;
+use crate::joint::{JointQuality, PerSourceCorrelation, SourceSet};
+
+/// Precomputed aggressive-approximation solver for one cluster.
+#[derive(Debug, Clone)]
+pub struct AggressiveSolver {
+    /// Effective recalls `C⁺_k r_k` per member.
+    cr: Vec<f64>,
+    /// Effective false-positive rates `C⁻_k q_k` per member.
+    cq: Vec<f64>,
+}
+
+impl AggressiveSolver {
+    /// Derive the `2n` correlation parameters from a joint-quality model
+    /// over the given cluster.
+    pub fn new<J: JointQuality>(joint: &J, cluster: SourceSet) -> Self {
+        let corr = PerSourceCorrelation::compute(joint, cluster);
+        AggressiveSolver {
+            cr: corr.cr,
+            cq: corr.cq,
+        }
+    }
+
+    /// Build directly from effective rates (used by tests mirroring the
+    /// paper's Figure 3 parameters).
+    pub fn from_effective_rates(cr: Vec<f64>, cq: Vec<f64>) -> Self {
+        assert_eq!(cr.len(), cq.len());
+        AggressiveSolver { cr, cq }
+    }
+
+    /// Effective recall of member `k` (`C⁺_k r_k`).
+    pub fn effective_recall(&self, k: usize) -> f64 {
+        self.cr[k]
+    }
+
+    /// Effective false-positive rate of member `k` (`C⁻_k q_k`).
+    pub fn effective_fpr(&self, k: usize) -> f64 {
+        self.cq[k]
+    }
+
+    /// `(Pr(O_t|t), Pr(O_t|¬t))` under the aggressive approximation for a
+    /// triple provided by `providers` with `active` members in scope.
+    pub fn likelihoods(&self, providers: SourceSet, active: SourceSet) -> Likelihoods {
+        debug_assert!(providers.is_subset_of(active));
+        let mut r = 1.0;
+        let mut q = 1.0;
+        for k in active.iter() {
+            if providers.contains(k) {
+                r *= self.cr[k];
+                q *= self.cq[k];
+            } else {
+                r *= 1.0 - self.cr[k];
+                q *= 1.0 - self.cq[k];
+            }
+        }
+        Likelihoods { r, q }
+    }
+
+    /// Likelihood ratio `mu_aggr` (Eq. 13).
+    pub fn mu(&self, providers: SourceSet, active: SourceSet) -> f64 {
+        let lk = self.likelihoods(providers, active);
+        // Unlike the exact solver we keep the raw ratio when both parts are
+        // well-signed; a negative factor (Prop 4.8) yields mu <= 0 which the
+        // posterior maps to 0.
+        if lk.q == 0.0 {
+            if lk.r > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        } else {
+            let mu = lk.r / lk.q;
+            if mu.is_nan() {
+                0.0
+            } else {
+                mu
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::joint::IndependentJoint;
+    use crate::prob::posterior_from_mu;
+
+    #[test]
+    fn example_4_7_t8_aggressive_probability() {
+        // Figure 3 parameters: C+ = [1,1,0.75,1.5,1.5], C- = [2,1,1,3,3];
+        // r = [0.67,0.5,0.67,0.67,0.67], q = [0.5,0.67,0.167,0.33,0.33].
+        // The paper computes mu_aggr = 0.3 and Pr(t8) = 0.23.
+        let r = [2.0 / 3.0, 0.5, 2.0 / 3.0, 2.0 / 3.0, 2.0 / 3.0];
+        let q = [0.5, 2.0 / 3.0, 1.0 / 6.0, 1.0 / 3.0, 1.0 / 3.0];
+        let cplus = [1.0, 1.0, 0.75, 1.5, 1.5];
+        let cminus = [2.0, 1.0, 1.0, 3.0, 3.0];
+        let cr: Vec<f64> = r.iter().zip(&cplus).map(|(a, b)| a * b).collect();
+        let cq: Vec<f64> = q.iter().zip(&cminus).map(|(a, b)| a * b).collect();
+        let solver = AggressiveSolver::from_effective_rates(cr, cq);
+        let providers = SourceSet::full(5).without(2); // {S1,S2,S4,S5}
+        let mu = solver.mu(providers, SourceSet::full(5));
+        // Exact arithmetic gives ~0.308; the paper rounds to 0.3.
+        assert!((mu - 0.3).abs() < 0.02, "mu={mu}");
+        let p = posterior_from_mu(mu, 0.5);
+        assert!((p - 0.23).abs() < 0.015, "Pr(t8)={p}");
+        assert!(p < 0.5);
+    }
+
+    #[test]
+    fn corollary_4_6_independent_sources_reduce_to_precrec() {
+        let recalls = vec![0.7, 0.5, 0.3];
+        let fprs = vec![0.2, 0.1, 0.25];
+        let joint = IndependentJoint::new(recalls.clone(), fprs.clone()).unwrap();
+        let solver = AggressiveSolver::new(&joint, SourceSet::full(3));
+        for mask in 0..8u64 {
+            let providers = SourceSet(mask);
+            let mu = solver.mu(providers, SourceSet::full(3));
+            let mut expected = 1.0;
+            for k in 0..3 {
+                expected *= if providers.contains(k) {
+                    recalls[k] / fprs[k]
+                } else {
+                    (1.0 - recalls[k]) / (1.0 - fprs[k])
+                };
+            }
+            assert!(
+                (mu - expected).abs() < 1e-9,
+                "mask={mask:b}: {mu} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn proposition_4_8_replicas_collapse_to_prior() {
+        // All sources identical replicas: r_{S*} = r, q_{S*} = q for any
+        // non-empty S*. Then C+_i r_i = r/r = 1 and C-_i q_i = 1, so for a
+        // provided triple mu = 1 — i.e. probability alpha, regardless of
+        // the actual source quality.
+        #[derive(Debug)]
+        struct Replicas;
+        impl JointQuality for Replicas {
+            fn n_members(&self) -> usize {
+                3
+            }
+            fn joint_recall(&self, set: SourceSet) -> f64 {
+                if set.is_empty() {
+                    1.0
+                } else {
+                    0.6
+                }
+            }
+            fn joint_fpr(&self, set: SourceSet) -> f64 {
+                if set.is_empty() {
+                    1.0
+                } else {
+                    0.2
+                }
+            }
+        }
+        let solver = AggressiveSolver::new(&Replicas, SourceSet::full(3));
+        let mu = solver.mu(SourceSet::full(3), SourceSet::full(3));
+        assert!((mu - 1.0).abs() < 1e-9, "mu={mu}");
+        for &alpha in &[0.3, 0.5, 0.8] {
+            assert!((posterior_from_mu(mu, alpha) - alpha).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn proposition_4_8_complementary_sources_invalid() {
+        // Pairwise-complementary sources: joint recall of the full cluster
+        // and of any leave-one-out set is 0, so the fallback makes
+        // cr[k] = r_k, but the aggressive estimate for a singleton provider
+        // still multiplies (1 - cr) factors from the complement; with
+        // perfect complementarity the exact answer would not penalise, so
+        // aggressive deviates. The stronger failure: if cr[k] > 1 the
+        // non-provider factor goes negative and mu is not a probability.
+        let solver = AggressiveSolver::from_effective_rates(
+            vec![1.2, 0.5], // cr[0] > 1: over-unit effective recall
+            vec![0.1, 0.1],
+        );
+        let mu = solver.mu(SourceSet::singleton(1), SourceSet::full(2));
+        assert!(mu < 0.0, "negative mu signals invalid probability: {mu}");
+        assert_eq!(posterior_from_mu(mu, 0.5), 0.0);
+    }
+
+    #[test]
+    fn scope_restriction_drops_members() {
+        let joint = IndependentJoint::new(vec![0.8, 0.8], vec![0.1, 0.1]).unwrap();
+        let solver = AggressiveSolver::new(&joint, SourceSet::full(2));
+        let providers = SourceSet::singleton(0);
+        let mu_full = solver.mu(providers, SourceSet::full(2));
+        let mu_narrow = solver.mu(providers, SourceSet::singleton(0));
+        // Without the second member's negative evidence, mu is higher.
+        assert!(mu_narrow > mu_full);
+        assert!((mu_narrow - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_fpr_gives_infinite_mu_for_providers() {
+        let solver = AggressiveSolver::from_effective_rates(vec![0.5], vec![0.0]);
+        let mu = solver.mu(SourceSet::singleton(0), SourceSet::singleton(0));
+        assert_eq!(mu, f64::INFINITY);
+        assert_eq!(posterior_from_mu(mu, 0.5), 1.0);
+    }
+}

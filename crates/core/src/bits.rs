@@ -1,0 +1,264 @@
+//! A compact dynamic bitset used to record, per triple, which sources
+//! provide it.
+//!
+//! The observation matrix is extremely sparse in the source dimension for
+//! realistic workloads (the BOOK dataset has hundreds of sources, each
+//! providing a handful of triples), but every fusion formula asks set
+//! questions — "do all sources in `S*` provide `t`?", "which cluster members
+//! provide `t`?" — that map directly onto word-parallel bit operations.
+
+/// Number of bits per storage word.
+const WORD_BITS: usize = 64;
+
+/// A fixed-capacity bitset over source indices `0..len`.
+///
+/// Capacity is set at construction; all binary operations require equal
+/// lengths (enforced with debug assertions, as mismatches are programmer
+/// errors rather than data errors).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BitSet{{")?;
+        let mut first = true;
+        for i in self.iter_ones() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{i}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl BitSet {
+    /// An empty bitset with capacity for `len` bits.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(WORD_BITS)],
+            len,
+        }
+    }
+
+    /// Build from an iterator of set bit positions.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(len: usize, indices: I) -> Self {
+        let mut bs = BitSet::new(len);
+        for i in indices {
+            bs.set(i, true);
+        }
+        bs
+    }
+
+    /// Bit capacity.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Set or clear bit `i`. Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        if value {
+            self.words[w] |= 1u64 << b;
+        } else {
+            self.words[w] &= !(1u64 << b);
+        }
+    }
+
+    /// Read bit `i`. Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        (self.words[w] >> b) & 1 == 1
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterate positions of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut word = w;
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    None
+                } else {
+                    let b = word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    Some(wi * WORD_BITS + b)
+                }
+            })
+        })
+    }
+
+    /// `true` iff every bit set in `self` is also set in `other`.
+    ///
+    /// This is the core primitive behind joint-recall estimation:
+    /// `S* |= t` iff `S*` is a subset of the providers of `t`.
+    #[inline]
+    pub fn is_subset_of(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Count of bits set in both.
+    #[inline]
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        debug_assert_eq!(self.len, other.len);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Project the members listed in `positions` down to a `u64` mask:
+    /// output bit `k` is set iff `self.get(positions[k])`.
+    ///
+    /// This is how a global provider set becomes a per-cluster
+    /// [`SourceSet`](crate::joint::SourceSet) for the exact/elastic solvers.
+    /// Panics if `positions.len() > 64`.
+    pub fn project(&self, positions: &[usize]) -> u64 {
+        assert!(
+            positions.len() <= 64,
+            "cannot project {} positions into u64",
+            positions.len()
+        );
+        let mut mask = 0u64;
+        for (k, &p) in positions.iter().enumerate() {
+            if self.get(p) {
+                mask |= 1u64 << k;
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_empty() {
+        let bs = BitSet::new(100);
+        assert!(bs.is_empty());
+        assert_eq!(bs.count_ones(), 0);
+        assert_eq!(bs.len(), 100);
+    }
+
+    #[test]
+    fn set_get_roundtrip_across_word_boundaries() {
+        let mut bs = BitSet::new(200);
+        for &i in &[0, 1, 63, 64, 65, 127, 128, 199] {
+            bs.set(i, true);
+            assert!(bs.get(i), "bit {i}");
+        }
+        assert_eq!(bs.count_ones(), 8);
+        bs.set(64, false);
+        assert!(!bs.get(64));
+        assert_eq!(bs.count_ones(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        let mut bs = BitSet::new(10);
+        bs.set(10, true);
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let bs = BitSet::from_indices(150, [3, 70, 149, 64]);
+        let got: Vec<usize> = bs.iter_ones().collect();
+        assert_eq!(got, vec![3, 64, 70, 149]);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let small = BitSet::from_indices(130, [5, 100]);
+        let big = BitSet::from_indices(130, [5, 100, 128]);
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+        let empty = BitSet::new(130);
+        assert!(empty.is_subset_of(&small));
+        assert!(small.is_subset_of(&small));
+    }
+
+    #[test]
+    fn intersection_count_counts_shared() {
+        let a = BitSet::from_indices(96, [1, 2, 3, 80]);
+        let b = BitSet::from_indices(96, [2, 3, 90]);
+        assert_eq!(a.intersection_count(&b), 2);
+    }
+
+    #[test]
+    fn union_and_intersection_in_place() {
+        let mut a = BitSet::from_indices(70, [1, 65]);
+        let b = BitSet::from_indices(70, [2, 65]);
+        a.union_with(&b);
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![1, 2, 65]);
+        a.intersect_with(&b);
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![2, 65]);
+    }
+
+    #[test]
+    fn project_maps_positions_to_low_bits() {
+        let bs = BitSet::from_indices(300, [10, 200, 250]);
+        // positions: [200, 10, 99] -> bits 0 and 1 set, bit 2 clear.
+        let mask = bs.project(&[200, 10, 99]);
+        assert_eq!(mask, 0b011);
+    }
+
+    #[test]
+    fn project_empty_positions() {
+        let bs = BitSet::from_indices(10, [1]);
+        assert_eq!(bs.project(&[]), 0);
+    }
+
+    #[test]
+    fn debug_format_lists_members() {
+        let bs = BitSet::from_indices(10, [1, 7]);
+        assert_eq!(format!("{bs:?}"), "BitSet{1,7}");
+    }
+
+    #[test]
+    fn from_indices_dedups() {
+        let bs = BitSet::from_indices(8, [3, 3, 3]);
+        assert_eq!(bs.count_ones(), 1);
+    }
+}

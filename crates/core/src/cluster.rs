@@ -1,0 +1,572 @@
+//! Correlation-based source clustering (§5 "Comparisons", BOOK protocol).
+//!
+//! The exact and elastic solvers pay per-cluster costs that grow with
+//! cluster width, so for datasets with many sources the paper "divide[s]
+//! sources into clusters based on their pairwise correlations, and
+//! assume[s] that sources across clusters are independent". We implement
+//! that with:
+//!
+//! 1. a pairwise correlation *lift* on true triples
+//!    (`n11 * N_true / (n1 * n2)`) and on false triples, smoothed so zero
+//!    co-occurrence stays finite;
+//! 2. an edge list of pairs whose `|ln lift|` exceeds a threshold;
+//! 3. size-capped union-find: edges are applied strongest-first, skipping
+//!    any union that would exceed `max_cluster_size`.
+//!
+//! Sources not pulled into any clique become singleton clusters, for which
+//! the fuser uses the plain independent contribution.
+
+use crate::bits::BitSet;
+use crate::dataset::{Dataset, GoldLabels, SourceId};
+use crate::error::{FusionError, Result};
+
+/// Tuning knobs for [`cluster_sources`].
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Minimum `|ln lift|` for a pair to count as correlated.
+    /// The default `ln(1.5)` treats ±50% deviation from independence as
+    /// signal.
+    pub ln_threshold: f64,
+    /// Minimum number of labelled triples each side must provide (per
+    /// polarity) before its lift is trusted.
+    pub min_support: usize,
+    /// Hard cap on cluster width; unions that would exceed it are skipped.
+    pub max_cluster_size: usize,
+    /// Smoothing pseudo-count added to co-occurrence counts.
+    pub smoothing: f64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            ln_threshold: 1.5f64.ln(),
+            min_support: 4,
+            max_cluster_size: 24,
+            smoothing: 0.5,
+        }
+    }
+}
+
+/// Pairwise correlation evidence between two sources.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairCorrelation {
+    /// First source.
+    pub a: SourceId,
+    /// Second source.
+    pub b: SourceId,
+    /// Lift on true triples (`>1` positive, `<1` negative, `1` independent),
+    /// `None` without enough support.
+    pub lift_true: Option<f64>,
+    /// Lift on false triples.
+    pub lift_false: Option<f64>,
+}
+
+impl PairCorrelation {
+    /// Edge strength: the largest absolute log-lift over both polarities.
+    pub fn strength(&self) -> f64 {
+        let s1 = self.lift_true.map(|l| l.ln().abs()).unwrap_or(0.0);
+        let s2 = self.lift_false.map(|l| l.ln().abs()).unwrap_or(0.0);
+        s1.max(s2)
+    }
+}
+
+/// A partition of the sources into correlation clusters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// Cluster membership per source index.
+    assignment: Vec<usize>,
+    /// Clusters as sorted member lists; singletons included.
+    clusters: Vec<Vec<SourceId>>,
+}
+
+impl Clustering {
+    /// Build from an explicit assignment vector (cluster id per source).
+    pub fn from_assignment(assignment: Vec<usize>) -> Self {
+        let n_clusters = assignment.iter().copied().max().map_or(0, |m| m + 1);
+        let mut clusters = vec![Vec::new(); n_clusters];
+        for (s, &c) in assignment.iter().enumerate() {
+            clusters[c].push(SourceId(s as u32));
+        }
+        clusters.retain(|c| !c.is_empty());
+        // Re-number densely.
+        let mut dense = vec![0usize; assignment.len()];
+        for (ci, members) in clusters.iter().enumerate() {
+            for m in members {
+                dense[m.index()] = ci;
+            }
+        }
+        Clustering {
+            assignment: dense,
+            clusters,
+        }
+    }
+
+    /// One cluster per source (the fully-independent fallback).
+    pub fn singletons(n_sources: usize) -> Self {
+        Clustering::from_assignment((0..n_sources).collect())
+    }
+
+    /// Every source in one cluster.
+    pub fn single_cluster(n_sources: usize) -> Self {
+        Clustering::from_assignment(vec![0; n_sources])
+    }
+
+    /// Cluster id of a source.
+    pub fn cluster_of(&self, s: SourceId) -> usize {
+        self.assignment[s.index()]
+    }
+
+    /// The clusters, each a sorted list of member sources.
+    pub fn clusters(&self) -> &[Vec<SourceId>] {
+        &self.clusters
+    }
+
+    /// Clusters with at least two members (the ones that get joint
+    /// treatment).
+    pub fn non_trivial(&self) -> impl Iterator<Item = &Vec<SourceId>> {
+        self.clusters.iter().filter(|c| c.len() > 1)
+    }
+
+    /// Number of clusters (including singletons).
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// True when there are no clusters (empty dataset).
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Sorted sizes of non-trivial clusters, descending — the shape the
+    /// paper reports for BOOK ("clusters of size 22, 3, and 2").
+    pub fn clique_sizes(&self) -> Vec<usize> {
+        let mut sizes: Vec<usize> = self
+            .clusters
+            .iter()
+            .map(Vec::len)
+            .filter(|&l| l > 1)
+            .collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        sizes
+    }
+}
+
+/// Disjoint-set forest with union-by-size and a size cap.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Representative of `x`'s set (path-halving).
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Size of `x`'s set.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let root = self.find(x);
+        self.size[root]
+    }
+
+    /// Union the sets of `a` and `b` unless the merged size would exceed
+    /// `cap`. Returns whether a merge happened.
+    pub fn union_capped(&mut self, a: usize, b: usize, cap: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] + self.size[rb] > cap {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        true
+    }
+
+    /// Dense cluster-id assignment.
+    pub fn into_assignment(mut self) -> Vec<usize> {
+        let n = self.parent.len();
+        let mut ids = std::collections::HashMap::new();
+        let mut out = Vec::with_capacity(n);
+        for x in 0..n {
+            let root = self.find(x);
+            let next = ids.len();
+            let id = *ids.entry(root).or_insert(next);
+            out.push(id);
+        }
+        out
+    }
+}
+
+/// Compute pairwise correlations between all sources from labelled data.
+///
+/// For each polarity, the lift of `(a, b)` is observed co-occurrence over
+/// the independence expectation, with pseudo-count smoothing — computed
+/// **within the pair's scope intersection**. For scoped datasets (e.g.
+/// BOOK, where sellers list only some books) two sources that merely cover
+/// the same objects would otherwise look strongly correlated; restricting
+/// all four counts to triples both sources cover isolates correlation of
+/// *provision*, which is the signal copying leaves behind. Pairs where
+/// either side provides fewer than `min_support` labelled triples of a
+/// polarity (within the intersection) get `None` for that polarity.
+pub fn pairwise_correlations(
+    ds: &Dataset,
+    gold: &GoldLabels,
+    cfg: &ClusterConfig,
+) -> Result<Vec<PairCorrelation>> {
+    if gold.labelled_count() == 0 {
+        return Err(FusionError::MissingGold);
+    }
+    let n = ds.n_sources();
+    let n_true = gold.true_count();
+    let n_false = gold.false_count();
+
+    // Per-source bitsets over labelled-true / labelled-false triple ranks:
+    // provision and scope membership.
+    let mut true_sets = vec![BitSet::new(n_true); n];
+    let mut false_sets = vec![BitSet::new(n_false); n];
+    let mut true_scope = vec![BitSet::new(n_true); n];
+    let mut false_scope = vec![BitSet::new(n_false); n];
+    let (mut ti, mut fi) = (0usize, 0usize);
+    for (t, truth) in gold.iter_labelled() {
+        let providers = ds.providers(t);
+        let scope = ds.scope_mask(t);
+        let (idx, sets, scopes) = if truth {
+            (ti, &mut true_sets, &mut true_scope)
+        } else {
+            (fi, &mut false_sets, &mut false_scope)
+        };
+        for s in scope.iter_ones() {
+            scopes[s].set(idx, true);
+            if providers.get(s) {
+                sets[s].set(idx, true);
+            }
+        }
+        if truth {
+            ti += 1;
+        } else {
+            fi += 1;
+        }
+    }
+
+    let s = cfg.smoothing;
+    // Lift over the scope intersection of (a, b).
+    let pair_lift = |prov_a: &BitSet,
+                     prov_b: &BitSet,
+                     scope_a: &BitSet,
+                     scope_b: &BitSet|
+     -> Option<f64> {
+        let mut shared_scope = scope_a.clone();
+        shared_scope.intersect_with(scope_b);
+        let total = shared_scope.count_ones();
+        if total == 0 {
+            return None;
+        }
+        let na = prov_a.intersection_count(&shared_scope);
+        let nb = prov_b.intersection_count(&shared_scope);
+        if na < cfg.min_support || nb < cfg.min_support {
+            return None;
+        }
+        let n11 = prov_a.intersection_count(prov_b);
+        let expectation = (na as f64 + s) * (nb as f64 + s) / (total as f64 + s);
+        Some(((n11 as f64 + s) / expectation).max(1e-9))
+    };
+
+    let mut out = Vec::with_capacity(n * (n - 1) / 2);
+    for a in 0..n {
+        for b in a + 1..n {
+            out.push(PairCorrelation {
+                a: SourceId(a as u32),
+                b: SourceId(b as u32),
+                lift_true: pair_lift(
+                    &true_sets[a],
+                    &true_sets[b],
+                    &true_scope[a],
+                    &true_scope[b],
+                ),
+                lift_false: pair_lift(
+                    &false_sets[a],
+                    &false_sets[b],
+                    &false_scope[a],
+                    &false_scope[b],
+                ),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Partition sources into correlation clusters (strongest edges first,
+/// size-capped union-find).
+pub fn cluster_sources(
+    ds: &Dataset,
+    gold: &GoldLabels,
+    cfg: &ClusterConfig,
+) -> Result<Clustering> {
+    let n = ds.n_sources();
+    if n == 0 {
+        return Ok(Clustering::singletons(0));
+    }
+    let mut pairs = pairwise_correlations(ds, gold, cfg)?;
+    pairs.retain(|p| p.strength() >= cfg.ln_threshold);
+    pairs.sort_by(|x, y| {
+        y.strength()
+            .partial_cmp(&x.strength())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut uf = UnionFind::new(n);
+    let cap = cfg.max_cluster_size.clamp(1, 64);
+    for p in &pairs {
+        uf.union_capped(p.a.index(), p.b.index(), cap);
+    }
+    Ok(Clustering::from_assignment(uf.into_assignment()))
+}
+
+#[cfg(test)]
+#[allow(clippy::manual_is_multiple_of)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+
+    /// 6 sources over 60 triples: {0,1} are exact replicas, {2,3} share
+    /// false triples, 4 and 5 are independent.
+    fn correlated_dataset() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let sources: Vec<_> = (0..6).map(|i| b.source(format!("S{i}"))).collect();
+        for i in 0..60 {
+            let truth = i % 2 == 0;
+            let t = b.triple(format!("e{i}"), "p", "v");
+            b.label(t, truth);
+            // Deterministic pseudo-random pattern.
+            let h = i * 2654435761usize % 97;
+            // Guarantee every triple has at least one provider.
+            b.observe(sources[if truth { 5 } else { 4 }], t);
+            if truth {
+                if h % 3 != 0 {
+                    b.observe(sources[0], t);
+                    b.observe(sources[1], t); // replica of S0
+                }
+                if h % 5 < 2 {
+                    b.observe(sources[2], t);
+                }
+                if h % 7 < 3 {
+                    b.observe(sources[3], t);
+                }
+                if h % 2 == 0 {
+                    b.observe(sources[4], t);
+                }
+                if h % 11 < 5 {
+                    b.observe(sources[5], t);
+                }
+            } else {
+                if h % 4 == 0 {
+                    b.observe(sources[0], t);
+                    b.observe(sources[1], t);
+                }
+                if h % 3 == 0 {
+                    // S2 and S3 make the same mistakes.
+                    b.observe(sources[2], t);
+                    b.observe(sources[3], t);
+                }
+                if h % 6 == 0 {
+                    b.observe(sources[4], t);
+                }
+                if h % 5 == 0 {
+                    b.observe(sources[5], t);
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union_capped(0, 1, 5));
+        assert!(uf.union_capped(1, 2, 5));
+        assert!(!uf.union_capped(0, 2, 5), "already same set");
+        assert_eq!(uf.find(0), uf.find(2));
+        assert_ne!(uf.find(0), uf.find(3));
+        assert_eq!(uf.set_size(1), 3);
+    }
+
+    #[test]
+    fn union_find_respects_cap() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union_capped(0, 1, 2));
+        assert!(uf.union_capped(2, 3, 2));
+        // Merging the two pairs would make 4 > cap 2.
+        assert!(!uf.union_capped(0, 2, 2));
+        assert_ne!(uf.find(0), uf.find(2));
+    }
+
+    #[test]
+    fn union_find_assignment_is_dense() {
+        let mut uf = UnionFind::new(4);
+        uf.union_capped(1, 3, 4);
+        let a = uf.into_assignment();
+        assert_eq!(a.len(), 4);
+        assert_eq!(a[1], a[3]);
+        assert_ne!(a[0], a[1]);
+        let max = *a.iter().max().unwrap();
+        assert!(max < 3, "ids densely numbered: {a:?}");
+    }
+
+    #[test]
+    fn replicas_have_high_true_lift() {
+        let ds = correlated_dataset();
+        let pairs =
+            pairwise_correlations(&ds, ds.gold().unwrap(), &ClusterConfig::default()).unwrap();
+        let p01 = pairs
+            .iter()
+            .find(|p| p.a == SourceId(0) && p.b == SourceId(1))
+            .unwrap();
+        assert!(
+            p01.lift_true.unwrap() > 1.4,
+            "replica lift {:?}",
+            p01.lift_true
+        );
+        assert!(p01.lift_false.unwrap() > 1.4);
+    }
+
+    #[test]
+    fn false_copiers_have_high_false_lift_only() {
+        let ds = correlated_dataset();
+        let pairs =
+            pairwise_correlations(&ds, ds.gold().unwrap(), &ClusterConfig::default()).unwrap();
+        let p23 = pairs
+            .iter()
+            .find(|p| p.a == SourceId(2) && p.b == SourceId(3))
+            .unwrap();
+        assert!(p23.lift_false.unwrap() > 1.5, "{:?}", p23.lift_false);
+    }
+
+    #[test]
+    fn clustering_groups_correlated_sources() {
+        let ds = correlated_dataset();
+        let clustering =
+            cluster_sources(&ds, ds.gold().unwrap(), &ClusterConfig::default()).unwrap();
+        assert_eq!(
+            clustering.cluster_of(SourceId(0)),
+            clustering.cluster_of(SourceId(1)),
+            "replicas cluster together: {clustering:?}"
+        );
+        assert_eq!(
+            clustering.cluster_of(SourceId(2)),
+            clustering.cluster_of(SourceId(3)),
+            "false-copiers cluster together"
+        );
+        assert_ne!(
+            clustering.cluster_of(SourceId(0)),
+            clustering.cluster_of(SourceId(2))
+        );
+    }
+
+    #[test]
+    fn cluster_size_cap_is_respected() {
+        let ds = correlated_dataset();
+        let cfg = ClusterConfig {
+            max_cluster_size: 1,
+            ..Default::default()
+        };
+        let clustering = cluster_sources(&ds, ds.gold().unwrap(), &cfg).unwrap();
+        assert_eq!(clustering.len(), ds.n_sources());
+        assert!(clustering.non_trivial().next().is_none());
+    }
+
+    #[test]
+    fn clique_sizes_reports_non_trivial_descending() {
+        let c = Clustering::from_assignment(vec![0, 0, 0, 1, 1, 2, 3]);
+        assert_eq!(c.clique_sizes(), vec![3, 2]);
+    }
+
+    #[test]
+    fn singleton_and_single_cluster_constructors() {
+        let s = Clustering::singletons(3);
+        assert_eq!(s.len(), 3);
+        let one = Clustering::single_cluster(3);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.clusters()[0].len(), 3);
+    }
+
+    #[test]
+    fn strength_uses_both_polarities() {
+        let p = PairCorrelation {
+            a: SourceId(0),
+            b: SourceId(1),
+            lift_true: Some(1.0),
+            lift_false: Some(4.0),
+        };
+        assert!((p.strength() - 4.0f64.ln()).abs() < 1e-12);
+        // Negative correlation counts too.
+        let p = PairCorrelation {
+            a: SourceId(0),
+            b: SourceId(1),
+            lift_true: Some(0.25),
+            lift_false: None,
+        };
+        assert!((p.strength() - 4.0f64.ln()).abs() < 1e-12);
+        let p = PairCorrelation {
+            a: SourceId(0),
+            b: SourceId(1),
+            lift_true: None,
+            lift_false: None,
+        };
+        assert_eq!(p.strength(), 0.0);
+    }
+
+    #[test]
+    fn min_support_blocks_thin_pairs() {
+        let mut b = DatasetBuilder::new();
+        let s0 = b.source("A");
+        let s1 = b.source("B");
+        let t = b.triple("x", "p", "1");
+        b.observe(s0, t);
+        b.observe(s1, t);
+        b.label(t, true);
+        let t2 = b.triple("y", "p", "2");
+        b.observe(s0, t2);
+        b.label(t2, false);
+        let ds = b.build().unwrap();
+        let cfg = ClusterConfig {
+            min_support: 3,
+            ..Default::default()
+        };
+        let pairs = pairwise_correlations(&ds, ds.gold().unwrap(), &cfg).unwrap();
+        assert_eq!(pairs[0].lift_true, None);
+        assert_eq!(pairs[0].lift_false, None);
+        // And clustering therefore keeps them apart.
+        let c = cluster_sources(&ds, ds.gold().unwrap(), &cfg).unwrap();
+        assert_ne!(c.cluster_of(s0), c.cluster_of(s1));
+    }
+
+    #[test]
+    fn missing_gold_rejected() {
+        let mut b = DatasetBuilder::new();
+        let s = b.source("A");
+        let t = b.triple("x", "p", "1");
+        b.observe(s, t);
+        let ds = b.build().unwrap();
+        let empty = GoldLabels::new(1);
+        assert!(pairwise_correlations(&ds, &empty, &ClusterConfig::default()).is_err());
+    }
+}

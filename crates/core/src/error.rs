@@ -1,0 +1,162 @@
+//! Error types for the fusion library.
+
+use std::fmt;
+
+/// Errors produced while building datasets, estimating quality, or fusing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FusionError {
+    /// The a-priori probability `alpha` must lie strictly inside `(0, 1)`.
+    InvalidAlpha(f64),
+    /// A probability-valued parameter fell outside `[0, 1]`.
+    InvalidProbability {
+        /// Human-readable name of the offending parameter.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The derived false-positive rate `q` exceeded 1; `alpha` violates the
+    /// validity condition of Theorem 3.5 (`alpha <= p / (p + r - p*r)`).
+    FalsePositiveRateOutOfRange {
+        /// Source precision.
+        precision: f64,
+        /// Source recall.
+        recall: f64,
+        /// Prior probability of truth.
+        alpha: f64,
+        /// The derived (invalid) false positive rate.
+        q: f64,
+    },
+    /// Operation needs gold labels but the dataset has none (or too few).
+    MissingGold,
+    /// Referenced a source that does not exist in the dataset.
+    UnknownSource(String),
+    /// Referenced a triple index outside the dataset.
+    TripleOutOfRange(usize),
+    /// A cluster exceeded the bitmask width supported by the exact solver.
+    TooManySources {
+        /// Number of sources requested.
+        requested: usize,
+        /// Maximum supported by the operation.
+        max: usize,
+    },
+    /// Dataset text-format parse error.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// Underlying I/O failure (message-only to keep the error `Clone`).
+    Io(String),
+    /// The training set contains no true (or no false) triples, so a quality
+    /// metric is undefined.
+    DegenerateTraining(&'static str),
+}
+
+impl fmt::Display for FusionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FusionError::InvalidAlpha(a) => {
+                write!(f, "alpha must be in (0, 1), got {a}")
+            }
+            FusionError::InvalidProbability { what, value } => {
+                write!(f, "{what} must be a probability in [0, 1], got {value}")
+            }
+            FusionError::FalsePositiveRateOutOfRange {
+                precision,
+                recall,
+                alpha,
+                q,
+            } => write!(
+                f,
+                "derived false-positive rate {q} out of range for p={precision}, \
+                 r={recall}, alpha={alpha} (Theorem 3.5 requires alpha <= p/(p+r-p*r))"
+            ),
+            FusionError::MissingGold => {
+                write!(f, "operation requires gold labels but none are available")
+            }
+            FusionError::UnknownSource(name) => write!(f, "unknown source `{name}`"),
+            FusionError::TripleOutOfRange(i) => write!(f, "triple index {i} out of range"),
+            FusionError::TooManySources { requested, max } => {
+                write!(f, "{requested} sources exceed the supported maximum of {max}")
+            }
+            FusionError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            FusionError::Io(msg) => write!(f, "i/o error: {msg}"),
+            FusionError::DegenerateTraining(what) => {
+                write!(f, "degenerate training data: no {what} triples labelled")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FusionError {}
+
+impl From<std::io::Error> for FusionError {
+    fn from(e: std::io::Error) -> Self {
+        FusionError::Io(e.to_string())
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, FusionError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(FusionError, &str)> = vec![
+            (FusionError::InvalidAlpha(1.5), "alpha"),
+            (
+                FusionError::InvalidProbability {
+                    what: "recall",
+                    value: -0.1,
+                },
+                "recall",
+            ),
+            (FusionError::MissingGold, "gold"),
+            (FusionError::UnknownSource("S9".into()), "S9"),
+            (FusionError::TripleOutOfRange(42), "42"),
+            (
+                FusionError::TooManySources {
+                    requested: 100,
+                    max: 64,
+                },
+                "100",
+            ),
+            (
+                FusionError::Parse {
+                    line: 7,
+                    msg: "bad field".into(),
+                },
+                "line 7",
+            ),
+            (FusionError::Io("disk".into()), "disk"),
+            (FusionError::DegenerateTraining("true"), "true"),
+        ];
+        for (err, needle) in cases {
+            let s = err.to_string();
+            assert!(s.contains(needle), "{s:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let err: FusionError = io.into();
+        assert!(matches!(err, FusionError::Io(_)));
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn fpr_error_mentions_condition() {
+        let err = FusionError::FalsePositiveRateOutOfRange {
+            precision: 0.2,
+            recall: 0.9,
+            alpha: 0.9,
+            q: 3.2,
+        };
+        assert!(err.to_string().contains("Theorem 3.5"));
+    }
+}

@@ -1,0 +1,572 @@
+//! High-level fusion API: configure a method, fit on labelled data, score
+//! every triple.
+//!
+//! [`Fuser`] packages the paper's full pipeline:
+//!
+//! 1. estimate per-source precision/recall from training labels (§3.2);
+//! 2. partition sources into correlation clusters (§5) — by default all
+//!    sources form one cluster when few enough, otherwise pairwise-lift
+//!    clustering with a size cap;
+//! 3. per triple, combine the independent contributions of singleton
+//!    sources with the correlated likelihoods of each cluster
+//!    (clusters are independent of each other by construction, so their
+//!    likelihood ratios multiply);
+//! 4. return `Pr(t | O_t)` per Theorem 3.1 / 4.2.
+
+use crate::bits::BitSet;
+use crate::cluster::{cluster_sources, ClusterConfig, Clustering};
+use crate::dataset::{Dataset, GoldLabels, SourceId};
+use crate::triple::TripleId;
+use crate::elastic::ElasticSolver;
+use crate::error::{FusionError, Result};
+use crate::exact::ExactSolver;
+use crate::independent::PrecRecModel;
+use crate::joint::{EmpiricalJoint, SourceSet};
+use crate::prob::posterior_from_log_mu;
+use crate::quality::{QualityEstimator, SourceQuality};
+
+use crate::aggressive::AggressiveSolver;
+
+/// Which fusion model to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// PrecRec (§3): independence assumption, Theorem 3.1.
+    PrecRec,
+    /// PrecRecCorr with the exact inclusion–exclusion solution (Thm 4.2).
+    Exact,
+    /// PrecRecCorr with the linear aggressive approximation (Def 4.5).
+    Aggressive,
+    /// PrecRecCorr with the elastic approximation at the given level
+    /// (Algorithm 1).
+    Elastic(usize),
+}
+
+impl Method {
+    /// Does this method consume correlation (joint) parameters?
+    pub fn uses_correlations(self) -> bool {
+        !matches!(self, Method::PrecRec)
+    }
+
+    /// Short display name matching the paper's terminology.
+    pub fn name(self) -> String {
+        match self {
+            Method::PrecRec => "PrecRec".to_string(),
+            Method::Exact => "PrecRecCorr".to_string(),
+            Method::Aggressive => "PrecRecCorr-Aggr".to_string(),
+            Method::Elastic(l) => format!("PrecRecCorr-Lvl{l}"),
+        }
+    }
+}
+
+/// How to group sources before applying a correlated method.
+#[derive(Debug, Clone)]
+pub enum ClusterStrategy {
+    /// One cluster when the source count fits `max_cluster_size`, else
+    /// correlation-based clustering. This mirrors the paper: REVERB and
+    /// RESTAURANT are fused jointly; BOOK is clustered first.
+    Auto,
+    /// Force a single cluster over all sources (≤ 64).
+    SingleCluster,
+    /// Treat every source as independent (degrades to PrecRec).
+    Singletons,
+    /// Use a caller-provided clustering.
+    Explicit(Clustering),
+}
+
+/// Configuration for [`Fuser::fit`].
+#[derive(Debug, Clone)]
+pub struct FuserConfig {
+    /// Model to run.
+    pub method: Method,
+    /// Prior `Pr(t) = alpha`; `None` uses the training set's true fraction.
+    pub alpha: Option<f64>,
+    /// Clustering strategy for correlated methods.
+    pub strategy: ClusterStrategy,
+    /// Knobs for correlation clustering (thresholds, size cap).
+    pub cluster: ClusterConfig,
+    /// Cap on `|S_t̄|` for the exact solver.
+    pub max_exact_complement: usize,
+}
+
+impl FuserConfig {
+    /// Config for a given method with paper defaults (`alpha = 0.5`).
+    pub fn new(method: Method) -> Self {
+        FuserConfig {
+            method,
+            alpha: Some(0.5),
+            strategy: ClusterStrategy::Auto,
+            cluster: ClusterConfig::default(),
+            max_exact_complement: crate::exact::DEFAULT_MAX_COMPLEMENT,
+        }
+    }
+
+    /// Builder-style prior override.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = Some(alpha);
+        self
+    }
+
+    /// Builder-style strategy override.
+    pub fn with_strategy(mut self, strategy: ClusterStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+}
+
+/// Per-cluster solving machinery.
+#[derive(Debug)]
+struct ClusterUnit {
+    /// Positions (global source indices) of members; bit `k` of any
+    /// projected mask refers to `positions[k]`.
+    positions: Vec<usize>,
+    joint: EmpiricalJoint,
+    solver: ClusterSolverKind,
+}
+
+#[derive(Debug)]
+enum ClusterSolverKind {
+    Exact(ExactSolver),
+    Aggressive(AggressiveSolver),
+    Elastic(ElasticSolver),
+}
+
+impl ClusterUnit {
+    fn mu(&self, providers: SourceSet, active: SourceSet) -> Result<f64> {
+        match &self.solver {
+            ClusterSolverKind::Exact(s) => s.mu(&self.joint, providers, active),
+            ClusterSolverKind::Aggressive(s) => Ok(s.mu(providers, active)),
+            ClusterSolverKind::Elastic(s) => Ok(s.mu(&self.joint, providers, active)),
+        }
+    }
+}
+
+/// A fitted fusion model. Create with [`Fuser::fit`], then call
+/// [`Fuser::score_all`] / [`Fuser::score_triple`].
+#[derive(Debug)]
+pub struct Fuser {
+    method: Method,
+    alpha: f64,
+    qualities: Vec<SourceQuality>,
+    precrec: PrecRecModel,
+    clustering: Clustering,
+    clusters: Vec<ClusterUnit>,
+    /// Sources handled by the independent model (singleton clusters).
+    independent_mask: BitSet,
+}
+
+impl Fuser {
+    /// Fit on `ds` using the labels in `training` (typically the gold
+    /// standard, per the paper's protocol).
+    pub fn fit(config: &FuserConfig, ds: &Dataset, training: &GoldLabels) -> Result<Fuser> {
+        let alpha = match config.alpha {
+            Some(a) => crate::prob::check_alpha(a)?,
+            None => training.empirical_alpha()?,
+        };
+        let qualities = QualityEstimator::new().estimate(ds, training)?;
+        let precrec = PrecRecModel::from_quality(&qualities, alpha)?;
+
+        let n = ds.n_sources();
+        let clustering = if config.method.uses_correlations() {
+            match &config.strategy {
+                ClusterStrategy::SingleCluster => {
+                    if n > 64 {
+                        return Err(FusionError::TooManySources {
+                            requested: n,
+                            max: 64,
+                        });
+                    }
+                    Clustering::single_cluster(n)
+                }
+                ClusterStrategy::Singletons => Clustering::singletons(n),
+                ClusterStrategy::Explicit(c) => c.clone(),
+                ClusterStrategy::Auto => {
+                    if n <= config.cluster.max_cluster_size.min(64) {
+                        Clustering::single_cluster(n)
+                    } else {
+                        cluster_sources(ds, training, &config.cluster)?
+                    }
+                }
+            }
+        } else {
+            Clustering::singletons(n)
+        };
+
+        let mut clusters = Vec::new();
+        let mut independent_mask = BitSet::new(n);
+        for s in 0..n {
+            independent_mask.set(s, true);
+        }
+        if config.method.uses_correlations() {
+            for members in clustering.non_trivial() {
+                let positions: Vec<usize> = members.iter().map(|m| m.index()).collect();
+                for &p in &positions {
+                    independent_mask.set(p, false);
+                }
+                let joint = EmpiricalJoint::new(ds, training, members.clone(), alpha)?;
+                let full = SourceSet::full(positions.len());
+                let solver = match config.method {
+                    Method::Exact => ClusterSolverKind::Exact(ExactSolver::with_max_complement(
+                        config.max_exact_complement,
+                    )),
+                    Method::Aggressive => {
+                        ClusterSolverKind::Aggressive(AggressiveSolver::new(&joint, full))
+                    }
+                    Method::Elastic(level) => {
+                        ClusterSolverKind::Elastic(ElasticSolver::new(&joint, full, level))
+                    }
+                    Method::PrecRec => unreachable!("guarded by uses_correlations"),
+                };
+                clusters.push(ClusterUnit {
+                    positions,
+                    joint,
+                    solver,
+                });
+            }
+        }
+
+        Ok(Fuser {
+            method: config.method,
+            alpha,
+            qualities,
+            precrec,
+            clustering,
+            clusters,
+            independent_mask,
+        })
+    }
+
+    /// The fitted method.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// The prior in use.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Estimated per-source quality.
+    pub fn qualities(&self) -> &[SourceQuality] {
+        &self.qualities
+    }
+
+    /// The clustering in effect (singletons for PrecRec).
+    pub fn clustering(&self) -> &Clustering {
+        &self.clustering
+    }
+
+    /// `ln mu` for one triple; `-inf` / `+inf` for certain-false /
+    /// certain-true patterns. `NaN` never escapes (clamped to `-inf`).
+    pub fn log_mu(&self, ds: &Dataset, t: TripleId) -> Result<f64> {
+        let providers = ds.providers(t);
+        let scope = ds.scope_mask(t);
+
+        // Independent (singleton) sources: scope ∩ independent_mask.
+        let mut indep_scope = scope.clone();
+        indep_scope.intersect_with(&self.independent_mask);
+        let mut log_mu = self.precrec.log_mu(providers, &indep_scope);
+
+        // Correlated clusters multiply in.
+        for unit in &self.clusters {
+            let prov = SourceSet(providers.project(&unit.positions));
+            let act = SourceSet(scope.project(&unit.positions));
+            let prov = prov.intersect(act);
+            let mu = unit.mu(prov, act)?;
+            if mu == 0.0 {
+                return Ok(f64::NEG_INFINITY);
+            }
+            if mu.is_infinite() {
+                return Ok(f64::INFINITY);
+            }
+            log_mu += mu.ln();
+        }
+        if log_mu.is_nan() {
+            return Ok(f64::NEG_INFINITY);
+        }
+        Ok(log_mu)
+    }
+
+    /// `Pr(t | O_t)` for one triple.
+    pub fn score_triple(&self, ds: &Dataset, t: TripleId) -> Result<f64> {
+        Ok(posterior_from_log_mu(self.log_mu(ds, t)?, self.alpha))
+    }
+
+    /// `Pr(t | O_t)` for every triple, in [`TripleId`] order.
+    pub fn score_all(&self, ds: &Dataset) -> Result<Vec<f64>> {
+        ds.triples().map(|t| self.score_triple(ds, t)).collect()
+    }
+
+    /// Parallel [`Fuser::score_all`] over `n_threads` worker threads.
+    ///
+    /// Scoring is embarrassingly parallel; the exact solver's joint-rate
+    /// memo tables are shared behind `RwLock`s, so threads warm each
+    /// other's caches.
+    pub fn score_all_parallel(&self, ds: &Dataset, n_threads: usize) -> Result<Vec<f64>> {
+        let n = ds.n_triples();
+        let threads = n_threads.max(1).min(n.max(1));
+        if threads <= 1 || n < 64 {
+            return self.score_all(ds);
+        }
+        let chunk = n.div_ceil(threads);
+        let mut results: Vec<Result<Vec<f64>>> = Vec::new();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for w in 0..threads {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                if lo >= hi {
+                    continue;
+                }
+                handles.push(s.spawn(move || {
+                    (lo..hi)
+                        .map(|i| self.score_triple(ds, TripleId(i as u32)))
+                        .collect::<Result<Vec<f64>>>()
+                }));
+            }
+            for h in handles {
+                results.push(h.join().expect("scoring worker panicked"));
+            }
+        });
+        let mut out = Vec::with_capacity(n);
+        for r in results {
+            out.extend(r?);
+        }
+        Ok(out)
+    }
+
+    /// Binary accept/reject decisions at the given probability threshold
+    /// (the paper uses 0.5).
+    pub fn decide(&self, ds: &Dataset, threshold: f64) -> Result<Vec<bool>> {
+        Ok(self
+            .score_all(ds)?
+            .into_iter()
+            .map(|p| p > threshold)
+            .collect())
+    }
+
+    /// Convenience: indices of sources fused independently.
+    pub fn independent_sources(&self) -> Vec<SourceId> {
+        self.independent_mask
+            .iter_ones()
+            .map(|i| SourceId(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+
+    fn figure1() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let sources: Vec<_> = (1..=5).map(|i| b.source(format!("S{i}"))).collect();
+        let rows: [(&str, bool, &[usize]); 10] = [
+            ("t1", true, &[1, 2, 4, 5]),
+            ("t2", false, &[1, 2]),
+            ("t3", true, &[3]),
+            ("t4", true, &[2, 3, 4, 5]),
+            ("t5", false, &[2, 3]),
+            ("t6", true, &[1, 4, 5]),
+            ("t7", true, &[1, 2, 3]),
+            ("t8", false, &[1, 2, 4, 5]),
+            ("t9", false, &[1, 2, 4, 5]),
+            ("t10", true, &[1, 3, 4, 5]),
+        ];
+        for (name, truth, provs) in rows {
+            let t = b.triple("Obama", "fact", name);
+            for &p in provs {
+                b.observe(sources[p - 1], t);
+            }
+            b.label(t, truth);
+        }
+        b.build().unwrap()
+    }
+
+    fn f1_at_half(ds: &Dataset, scores: &[f64]) -> (f64, f64, f64) {
+        let gold = ds.gold().unwrap();
+        let (mut tp, mut fp, mut fnn) = (0.0, 0.0, 0.0);
+        for t in ds.triples() {
+            let yes = scores[t.index()] > 0.5;
+            match (yes, gold.get(t).unwrap()) {
+                (true, true) => tp += 1.0,
+                (true, false) => fp += 1.0,
+                (false, true) => fnn += 1.0,
+                _ => {}
+            }
+        }
+        let p = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+        let r = if tp + fnn > 0.0 { tp / (tp + fnn) } else { 0.0 };
+        (p, r, crate::prob::f1_score(p, r))
+    }
+
+    #[test]
+    fn precrec_on_figure1_matches_overview_claim() {
+        // §2.3: F1 = .86 (precision .75, recall 1).
+        let ds = figure1();
+        let fuser = Fuser::fit(
+            &FuserConfig::new(Method::PrecRec),
+            &ds,
+            ds.gold().unwrap(),
+        )
+        .unwrap();
+        let scores = fuser.score_all(&ds).unwrap();
+        let (p, r, f1) = f1_at_half(&ds, &scores);
+        assert!((p - 0.75).abs() < 1e-9, "precision {p}");
+        assert!((r - 1.0).abs() < 1e-9, "recall {r}");
+        assert!((f1 - 6.0 / 7.0).abs() < 1e-9, "f1 {f1}");
+    }
+
+    #[test]
+    fn exact_corr_on_figure1_matches_overview_claim() {
+        // §2.3: PrecRecCorr reaches F1 = .91 (precision 1, recall .83).
+        let ds = figure1();
+        let fuser = Fuser::fit(&FuserConfig::new(Method::Exact), &ds, ds.gold().unwrap()).unwrap();
+        let scores = fuser.score_all(&ds).unwrap();
+        let (p, r, f1) = f1_at_half(&ds, &scores);
+        assert!((p - 1.0).abs() < 1e-9, "precision {p}");
+        assert!((r - 5.0 / 6.0).abs() < 1e-9, "recall {r}");
+        assert!(f1 > 0.9, "f1 {f1}");
+    }
+
+    #[test]
+    fn exact_corr_rejects_t8() {
+        let ds = figure1();
+        let fuser = Fuser::fit(&FuserConfig::new(Method::Exact), &ds, ds.gold().unwrap()).unwrap();
+        let p_t8 = fuser.score_triple(&ds, TripleId(7)).unwrap();
+        assert!(p_t8 < 0.5, "Pr(t8)={p_t8}");
+        // While PrecRec wrongly accepts it (Example 3.3).
+        let precrec = Fuser::fit(
+            &FuserConfig::new(Method::PrecRec),
+            &ds,
+            ds.gold().unwrap(),
+        )
+        .unwrap();
+        assert!(precrec.score_triple(&ds, TripleId(7)).unwrap() > 0.5);
+    }
+
+    #[test]
+    fn singleton_strategy_degrades_to_precrec() {
+        let ds = figure1();
+        let corr = Fuser::fit(
+            &FuserConfig::new(Method::Exact).with_strategy(ClusterStrategy::Singletons),
+            &ds,
+            ds.gold().unwrap(),
+        )
+        .unwrap();
+        let indep = Fuser::fit(
+            &FuserConfig::new(Method::PrecRec),
+            &ds,
+            ds.gold().unwrap(),
+        )
+        .unwrap();
+        for t in ds.triples() {
+            let a = corr.score_triple(&ds, t).unwrap();
+            let b = indep.score_triple(&ds, t).unwrap();
+            assert!((a - b).abs() < 1e-9, "{t}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn elastic_levels_bracket_exact_on_figure1() {
+        let ds = figure1();
+        let exact = Fuser::fit(&FuserConfig::new(Method::Exact), &ds, ds.gold().unwrap())
+            .unwrap()
+            .score_all(&ds)
+            .unwrap();
+        // Level >= 4 covers any complement in a 5-source cluster: equal.
+        let lvl4 = Fuser::fit(
+            &FuserConfig::new(Method::Elastic(4)),
+            &ds,
+            ds.gold().unwrap(),
+        )
+        .unwrap()
+        .score_all(&ds)
+        .unwrap();
+        for (i, (a, b)) in exact.iter().zip(&lvl4).enumerate() {
+            assert!((a - b).abs() < 1e-9, "t{i}: exact {a} vs lvl4 {b}");
+        }
+    }
+
+    #[test]
+    fn aggressive_runs_and_scores_are_probabilities() {
+        let ds = figure1();
+        let fuser = Fuser::fit(
+            &FuserConfig::new(Method::Aggressive),
+            &ds,
+            ds.gold().unwrap(),
+        )
+        .unwrap();
+        for p in fuser.score_all(&ds).unwrap() {
+            assert!((0.0..=1.0).contains(&p), "{p}");
+        }
+    }
+
+    #[test]
+    fn parallel_scores_match_sequential() {
+        let ds = figure1();
+        let fuser = Fuser::fit(&FuserConfig::new(Method::Exact), &ds, ds.gold().unwrap()).unwrap();
+        let seq = fuser.score_all(&ds).unwrap();
+        let par = fuser.score_all_parallel(&ds, 4).unwrap();
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn decide_thresholds() {
+        let ds = figure1();
+        let fuser = Fuser::fit(&FuserConfig::new(Method::Exact), &ds, ds.gold().unwrap()).unwrap();
+        let low = fuser.decide(&ds, 0.0).unwrap();
+        // threshold 0: everything with positive probability accepted.
+        assert!(low.iter().filter(|&&b| b).count() >= 6);
+        let high = fuser.decide(&ds, 0.999999).unwrap();
+        assert!(high.iter().filter(|&&b| b).count() <= low.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn auto_strategy_single_cluster_for_small_n() {
+        let ds = figure1();
+        let fuser = Fuser::fit(&FuserConfig::new(Method::Exact), &ds, ds.gold().unwrap()).unwrap();
+        assert_eq!(fuser.clustering().len(), 1);
+        assert!(fuser.independent_sources().is_empty());
+    }
+
+    #[test]
+    fn explicit_clustering_is_honoured() {
+        let ds = figure1();
+        // S1+S4+S5 in one cluster, S2/S3 independent.
+        let clustering = Clustering::from_assignment(vec![0, 1, 2, 0, 0]);
+        let fuser = Fuser::fit(
+            &FuserConfig::new(Method::Exact)
+                .with_strategy(ClusterStrategy::Explicit(clustering.clone())),
+            &ds,
+            ds.gold().unwrap(),
+        )
+        .unwrap();
+        assert_eq!(fuser.clustering().clique_sizes(), vec![3]);
+        assert_eq!(fuser.independent_sources().len(), 2);
+        // Still produces valid probabilities.
+        for p in fuser.score_all(&ds).unwrap() {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn invalid_alpha_rejected_at_fit() {
+        let ds = figure1();
+        let cfg = FuserConfig::new(Method::PrecRec).with_alpha(1.5);
+        assert!(Fuser::fit(&cfg, &ds, ds.gold().unwrap()).is_err());
+    }
+
+    #[test]
+    fn method_names() {
+        assert_eq!(Method::PrecRec.name(), "PrecRec");
+        assert_eq!(Method::Exact.name(), "PrecRecCorr");
+        assert_eq!(Method::Elastic(3).name(), "PrecRecCorr-Lvl3");
+        assert_eq!(Method::Aggressive.name(), "PrecRecCorr-Aggr");
+        assert!(!Method::PrecRec.uses_correlations());
+        assert!(Method::Elastic(0).uses_correlations());
+    }
+}

@@ -1,0 +1,380 @@
+//! PrecRec: Bayesian fusion of independent sources (§3, Theorem 3.1).
+//!
+//! Given per-source recall `r_i` and false-positive rate `q_i`, the
+//! likelihood ratio for a triple `t` is
+//!
+//! ```text
+//! mu = prod_{S_i in S_t} r_i/q_i  *  prod_{S_i in S_t̄} (1-r_i)/(1-q_i)
+//! ```
+//!
+//! and `Pr(t | O_t) = 1 / (1 + (1-alpha)/alpha * 1/mu)`. Sources outside
+//! the scope of `t` contribute nothing (§2.1). With hundreds of sources the
+//! product spans many orders of magnitude, so we accumulate `ln mu`.
+
+use crate::bits::BitSet;
+use crate::dataset::{Dataset, GoldLabels};
+use crate::triple::TripleId;
+use crate::error::{FusionError, Result};
+use crate::prob::{check_alpha, clamp_prob, posterior_from_log_mu};
+use crate::quality::{QualityEstimator, SourceQuality};
+
+/// The PrecRec model: per-source log contributions plus the prior.
+#[derive(Debug, Clone)]
+pub struct PrecRecModel {
+    /// `ln(r_i / q_i)` — contribution of a provider.
+    log_pos: Vec<f64>,
+    /// `ln((1 - r_i) / (1 - q_i))` — contribution of an in-scope non-provider.
+    log_neg: Vec<f64>,
+    alpha: f64,
+}
+
+impl PrecRecModel {
+    /// Cap applied to a derived false-positive rate whose Theorem 3.5
+    /// value exceeds 1 (the theorem's validity condition is violated: the
+    /// configured prior cannot account for the source's error volume).
+    ///
+    /// An uncapped clamp to `1 - eps` would turn the source's
+    /// *non-provision* into near-infinite positive evidence
+    /// (`ln((1-r)/(1-q)) -> +inf`) and let one pathological source decide
+    /// every triple; `Q_CAP = 0.95` bounds its per-triple influence to
+    /// `ln((1-r)/0.05)`, comparable to one very good provider.
+    pub const Q_CAP: f64 = 0.95;
+
+    /// Build from already-estimated source quality. `q_i` is derived via
+    /// Theorem 3.5; rates are nudged into the open unit interval so every
+    /// ratio is finite, and invalid derivations (`q > 1`) are capped at
+    /// [`Self::Q_CAP`].
+    pub fn from_quality(qualities: &[SourceQuality], alpha: f64) -> Result<Self> {
+        check_alpha(alpha)?;
+        let mut log_pos = Vec::with_capacity(qualities.len());
+        let mut log_neg = Vec::with_capacity(qualities.len());
+        for sq in qualities {
+            let q_raw = match crate::quality::derive_fpr(sq.precision, sq.recall, alpha) {
+                Ok(q) => q,
+                Err(FusionError::FalsePositiveRateOutOfRange { .. }) => Self::Q_CAP,
+                Err(e) => return Err(e),
+            };
+            let r = clamp_prob(sq.recall);
+            let q = clamp_prob(q_raw);
+            log_pos.push((r / q).ln());
+            log_neg.push(((1.0 - r) / (1.0 - q)).ln());
+        }
+        Ok(PrecRecModel {
+            log_pos,
+            log_neg,
+            alpha,
+        })
+    }
+
+    /// Build from explicit `(r_i, q_i)` pairs (e.g. synthetic ground truth).
+    pub fn from_rates(recalls: &[f64], fprs: &[f64], alpha: f64) -> Result<Self> {
+        check_alpha(alpha)?;
+        assert_eq!(recalls.len(), fprs.len());
+        let mut log_pos = Vec::with_capacity(recalls.len());
+        let mut log_neg = Vec::with_capacity(recalls.len());
+        for (&r, &q) in recalls.iter().zip(fprs) {
+            crate::prob::check_prob("recall", r)?;
+            crate::prob::check_prob("false positive rate", q)?;
+            let r = clamp_prob(r);
+            let q = clamp_prob(q);
+            log_pos.push((r / q).ln());
+            log_neg.push(((1.0 - r) / (1.0 - q)).ln());
+        }
+        Ok(PrecRecModel {
+            log_pos,
+            log_neg,
+            alpha,
+        })
+    }
+
+    /// Estimate quality from labelled data and build the model in one step
+    /// (the paper's protocol: quality from the gold standard, `alpha`
+    /// supplied or taken as the empirical true fraction).
+    pub fn fit(ds: &Dataset, gold: &GoldLabels, alpha: Option<f64>) -> Result<Self> {
+        let alpha = match alpha {
+            Some(a) => a,
+            None => gold.empirical_alpha()?,
+        };
+        let qualities = QualityEstimator::new().estimate(ds, gold)?;
+        Self::from_quality(&qualities, alpha)
+    }
+
+    /// Number of sources the model covers.
+    pub fn n_sources(&self) -> usize {
+        self.log_pos.len()
+    }
+
+    /// The prior `Pr(t) = alpha`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// `ln mu` for a triple with the given provider set, counting only
+    /// sources in `scope`.
+    pub fn log_mu(&self, providers: &BitSet, scope: &BitSet) -> f64 {
+        debug_assert_eq!(providers.len(), self.log_pos.len());
+        let mut acc = 0.0;
+        for s in scope.iter_ones() {
+            acc += if providers.get(s) {
+                self.log_pos[s]
+            } else {
+                self.log_neg[s]
+            };
+        }
+        acc
+    }
+
+    /// Correctness probability `Pr(t | O_t)` (Theorem 3.1).
+    pub fn score(&self, providers: &BitSet, scope: &BitSet) -> f64 {
+        posterior_from_log_mu(self.log_mu(providers, scope), self.alpha)
+    }
+
+    /// Score one triple of a dataset.
+    pub fn score_triple(&self, ds: &Dataset, t: TripleId) -> f64 {
+        self.score(ds.providers(t), &ds.scope_mask(t))
+    }
+
+    /// Score every triple of a dataset.
+    pub fn score_all(&self, ds: &Dataset) -> Vec<f64> {
+        ds.triples().map(|t| self.score_triple(ds, t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+
+    fn figure1() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let sources: Vec<_> = (1..=5).map(|i| b.source(format!("S{i}"))).collect();
+        let rows: [(&str, bool, &[usize]); 10] = [
+            ("t1", true, &[1, 2, 4, 5]),
+            ("t2", false, &[1, 2]),
+            ("t3", true, &[3]),
+            ("t4", true, &[2, 3, 4, 5]),
+            ("t5", false, &[2, 3]),
+            ("t6", true, &[1, 4, 5]),
+            ("t7", true, &[1, 2, 3]),
+            ("t8", false, &[1, 2, 4, 5]),
+            ("t9", false, &[1, 2, 4, 5]),
+            ("t10", true, &[1, 3, 4, 5]),
+        ];
+        for (name, truth, provs) in rows {
+            let t = b.triple("Obama", "fact", name);
+            for &p in provs {
+                b.observe(sources[p - 1], t);
+            }
+            b.label(t, truth);
+        }
+        b.build().unwrap()
+    }
+
+    /// Paper rates (Figure 1b + §3.1): r_i and q_i at alpha = 0.5.
+    fn paper_rates() -> (Vec<f64>, Vec<f64>) {
+        (
+            vec![4.0 / 6.0, 3.0 / 6.0, 4.0 / 6.0, 4.0 / 6.0, 4.0 / 6.0],
+            vec![3.0 / 6.0, 4.0 / 6.0, 1.0 / 6.0, 2.0 / 6.0, 2.0 / 6.0],
+        )
+    }
+
+    #[test]
+    fn example_3_3_t2_probability() {
+        // t2 provided by {S1,S2}: mu = 0.1, Pr = 0.09.
+        let (r, q) = paper_rates();
+        let model = PrecRecModel::from_rates(&r, &q, 0.5).unwrap();
+        let ds = figure1();
+        let t2 = TripleId(1);
+        let mu = model.log_mu(ds.providers(t2), &ds.scope_mask(t2)).exp();
+        assert!((mu - 0.1).abs() < 1e-9, "mu={mu}");
+        let p = model.score_triple(&ds, t2);
+        assert!((p - 1.0 / 11.0).abs() < 1e-9, "Pr(t2)={p}");
+    }
+
+    #[test]
+    fn example_3_3_t8_misclassified_under_independence() {
+        // t8 provided by {S1,S2,S4,S5}: mu = 1.6, Pr = 0.62 — wrongly "true".
+        let (r, q) = paper_rates();
+        let model = PrecRecModel::from_rates(&r, &q, 0.5).unwrap();
+        let ds = figure1();
+        let t8 = TripleId(7);
+        let mu = model.log_mu(ds.providers(t8), &ds.scope_mask(t8)).exp();
+        assert!((mu - 1.6).abs() < 1e-9, "mu={mu}");
+        let p = model.score_triple(&ds, t8);
+        assert!((p - 1.6 / 2.6).abs() < 1e-9);
+        assert!(p > 0.5, "independence assumption wrongly accepts t8");
+    }
+
+    #[test]
+    fn fit_reproduces_from_rates_on_figure1() {
+        let ds = figure1();
+        let fitted = PrecRecModel::fit(&ds, ds.gold().unwrap(), Some(0.5)).unwrap();
+        let (r, q) = paper_rates();
+        let manual = PrecRecModel::from_rates(&r, &q, 0.5).unwrap();
+        for t in ds.triples() {
+            let a = fitted.score_triple(&ds, t);
+            let b = manual.score_triple(&ds, t);
+            assert!((a - b).abs() < 1e-9, "{t}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn overview_claim_precrec_f1_on_motivating_example() {
+        // §2.3: PrecRec achieves precision .75, recall 1 on Figure 1.
+        let ds = figure1();
+        let model = PrecRecModel::fit(&ds, ds.gold().unwrap(), Some(0.5)).unwrap();
+        let gold = ds.gold().unwrap();
+        let (mut tp, mut fp, mut fnn) = (0, 0, 0);
+        for t in ds.triples() {
+            let decided_true = model.score_triple(&ds, t) > 0.5;
+            let truth = gold.get(t).unwrap();
+            match (decided_true, truth) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, true) => fnn += 1,
+                _ => {}
+            }
+        }
+        let precision = tp as f64 / (tp + fp) as f64;
+        let recall = tp as f64 / (tp + fnn) as f64;
+        assert!((precision - 0.75).abs() < 1e-9, "precision={precision}");
+        assert!((recall - 1.0).abs() < 1e-9, "recall={recall}");
+    }
+
+    #[test]
+    fn proposition_3_2_good_source_monotonicity() {
+        // Adding a good source that provides t increases Pr(t); one that
+        // doesn't provide t decreases it. Bad sources do the opposite.
+        let base_r = vec![0.6, 0.6];
+        let base_q = vec![0.2, 0.2];
+        let providers2 = BitSet::from_indices(2, [0]);
+        let scope2 = BitSet::from_indices(2, [0, 1]);
+        let base = PrecRecModel::from_rates(&base_r, &base_q, 0.5).unwrap();
+        let p_base = base.score(&providers2, &scope2);
+
+        // Good extra source (r > q).
+        let good = PrecRecModel::from_rates(&[0.6, 0.6, 0.7], &[0.2, 0.2, 0.3], 0.5).unwrap();
+        let p_with = good.score(
+            &BitSet::from_indices(3, [0, 2]),
+            &BitSet::from_indices(3, [0, 1, 2]),
+        );
+        let p_without = good.score(
+            &BitSet::from_indices(3, [0]),
+            &BitSet::from_indices(3, [0, 1, 2]),
+        );
+        assert!(p_with > p_base);
+        assert!(p_without < p_base);
+
+        // Bad extra source (r < q).
+        let bad = PrecRecModel::from_rates(&[0.6, 0.6, 0.3], &[0.2, 0.2, 0.7], 0.5).unwrap();
+        let p_with = bad.score(
+            &BitSet::from_indices(3, [0, 2]),
+            &BitSet::from_indices(3, [0, 1, 2]),
+        );
+        let p_without = bad.score(
+            &BitSet::from_indices(3, [0]),
+            &BitSet::from_indices(3, [0, 1, 2]),
+        );
+        assert!(p_with < p_base);
+        assert!(p_without > p_base);
+    }
+
+    #[test]
+    fn proposition_3_6_precision_and_recall_ordering() {
+        // Higher-precision provider => higher probability (same recall).
+        let hi_p =
+            PrecRecModel::from_quality(&[SourceQuality::new(0.9, 0.5).unwrap()], 0.5).unwrap();
+        let lo_p =
+            PrecRecModel::from_quality(&[SourceQuality::new(0.6, 0.5).unwrap()], 0.5).unwrap();
+        let providers = BitSet::from_indices(1, [0]);
+        let scope = BitSet::from_indices(1, [0]);
+        assert!(hi_p.score(&providers, &scope) > lo_p.score(&providers, &scope));
+
+        // Higher-recall good non-provider => lower probability (same precision).
+        let hi_r =
+            PrecRecModel::from_quality(&[SourceQuality::new(0.8, 0.9).unwrap()], 0.5).unwrap();
+        let lo_r =
+            PrecRecModel::from_quality(&[SourceQuality::new(0.8, 0.3).unwrap()], 0.5).unwrap();
+        let nobody = BitSet::new(1);
+        assert!(hi_r.score(&nobody, &scope) < lo_r.score(&nobody, &scope));
+    }
+
+    #[test]
+    fn out_of_scope_sources_are_ignored() {
+        let model = PrecRecModel::from_rates(&[0.8, 0.8], &[0.1, 0.1], 0.5).unwrap();
+        let providers = BitSet::from_indices(2, [0]);
+        let full_scope = BitSet::from_indices(2, [0, 1]);
+        let narrow_scope = BitSet::from_indices(2, [0]);
+        // With S2 out of scope its non-provision is not held against t.
+        assert!(model.score(&providers, &narrow_scope) > model.score(&providers, &full_scope));
+    }
+
+    #[test]
+    fn log_space_survives_many_sources() {
+        // 500 good sources all providing: probability saturates at 1 and
+        // stays finite.
+        let n = 500;
+        let r = vec![0.8; n];
+        let q = vec![0.1; n];
+        let model = PrecRecModel::from_rates(&r, &q, 0.5).unwrap();
+        let providers = BitSet::from_indices(n, 0..n);
+        let scope = BitSet::from_indices(n, 0..n);
+        let p = model.score(&providers, &scope);
+        assert!(p.is_finite());
+        assert!(p > 1.0 - 1e-9);
+        // And nobody providing: probability ~ 0.
+        let nobody = BitSet::new(n);
+        let p = model.score(&nobody, &scope);
+        assert!(p < 1e-9);
+    }
+
+    #[test]
+    fn empirical_alpha_used_when_not_supplied() {
+        let ds = figure1();
+        let model = PrecRecModel::fit(&ds, ds.gold().unwrap(), None).unwrap();
+        assert!((model.alpha() - 0.6).abs() < 1e-12); // 6 true / 10
+    }
+
+    #[test]
+    fn degenerate_rates_are_clamped_not_fatal() {
+        let model = PrecRecModel::from_rates(&[0.0, 1.0], &[0.0, 1.0], 0.5).unwrap();
+        let providers = BitSet::from_indices(2, [0, 1]);
+        let scope = BitSet::from_indices(2, [0, 1]);
+        let p = model.score(&providers, &scope);
+        assert!(p.is_finite());
+    }
+
+    #[test]
+    fn invalid_fpr_source_is_capped_not_explosive() {
+        // p=0.33 at alpha=0.5 with r=0.52 drives the Theorem 3.5 q over 1;
+        // the cap bounds its influence instead of neutralising it or
+        // letting non-provision become +inf evidence.
+        let qualities = [
+            SourceQuality::new(0.33, 0.52).unwrap(),
+            SourceQuality::new(0.8, 0.5).unwrap(),
+        ];
+        let model = PrecRecModel::from_quality(&qualities, 0.5).unwrap();
+        let scope = BitSet::from_indices(2, [0, 1]);
+        let only_good = BitSet::from_indices(2, [1]);
+        let both = BitSet::from_indices(2, [0, 1]);
+        let a = model.score(&only_good, &scope);
+        let b = model.score(&both, &scope);
+        // The capped bad source still penalises provision...
+        assert!(b < a, "{b} should be below {a}");
+        // ...but by a bounded amount: the log-odds difference equals
+        // ln(r/Q_CAP) - ln((1-r)/(1-Q_CAP)), both finite.
+        let max_swing = (0.52f64 / PrecRecModel::Q_CAP).ln().abs()
+            + ((1.0 - 0.52f64) / (1.0 - PrecRecModel::Q_CAP)).ln().abs();
+        let swing = (crate::prob::logit(a) - crate::prob::logit(b)).abs();
+        assert!(swing <= max_swing + 1e-9, "swing {swing} > {max_swing}");
+    }
+
+    #[test]
+    fn score_all_covers_every_triple() {
+        let ds = figure1();
+        let model = PrecRecModel::fit(&ds, ds.gold().unwrap(), Some(0.5)).unwrap();
+        let scores = model.score_all(&ds);
+        assert_eq!(scores.len(), ds.n_triples());
+        assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)));
+    }
+}

@@ -1,0 +1,257 @@
+//! Numeric utilities for probability computations.
+//!
+//! The fusion formulas multiply many per-source likelihood contributions;
+//! with hundreds of sources the products underflow `f64` long before the
+//! posterior saturates. All model code therefore works in log space where
+//! possible and funnels through the helpers here, which centralise clamping
+//! conventions and numerically-careful summation.
+
+use crate::error::{FusionError, Result};
+
+/// Smallest probability we allow before clamping. Chosen so `ln(EPS_PROB)`
+/// is far from `f64` extremes while still dominating any real signal.
+pub const EPS_PROB: f64 = 1e-12;
+
+/// Clamp a probability to the open interval `(EPS_PROB, 1 - EPS_PROB)`.
+///
+/// Used where a zero or one would create infinities in ratios (e.g. a source
+/// with empirical recall exactly 0 on a tiny training set).
+#[inline]
+pub fn clamp_prob(p: f64) -> f64 {
+    p.clamp(EPS_PROB, 1.0 - EPS_PROB)
+}
+
+/// Validate that `p` is a finite probability in `[0, 1]`.
+pub fn check_prob(what: &'static str, p: f64) -> Result<f64> {
+    if p.is_finite() && (0.0..=1.0).contains(&p) {
+        Ok(p)
+    } else {
+        Err(FusionError::InvalidProbability { what, value: p })
+    }
+}
+
+/// Validate an a-priori probability `alpha in (0, 1)`.
+pub fn check_alpha(alpha: f64) -> Result<f64> {
+    if alpha.is_finite() && alpha > 0.0 && alpha < 1.0 {
+        Ok(alpha)
+    } else {
+        Err(FusionError::InvalidAlpha(alpha))
+    }
+}
+
+/// Logistic sigmoid, numerically stable at both tails.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        let e = (-x).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Natural-log odds of a probability, with clamping so `logit(0)`/`logit(1)`
+/// return large finite values instead of infinities.
+#[inline]
+pub fn logit(p: f64) -> f64 {
+    let p = clamp_prob(p);
+    (p / (1.0 - p)).ln()
+}
+
+/// Posterior probability from a likelihood ratio `mu = Pr(O|t) / Pr(O|not t)`
+/// and prior `alpha`, per Theorem 3.1 / 4.2:
+///
+/// `Pr(t | O) = 1 / (1 + (1 - alpha)/alpha * 1/mu)`.
+///
+/// `mu <= 0` (which can arise from truncated inclusion–exclusion sums) maps
+/// to probability 0; `mu = +inf` maps to 1.
+#[inline]
+pub fn posterior_from_mu(mu: f64, alpha: f64) -> f64 {
+    if !mu.is_finite() {
+        if mu.is_nan() {
+            return f64::NAN;
+        }
+        return if mu > 0.0 { 1.0 } else { 0.0 };
+    }
+    if mu <= 0.0 {
+        return 0.0;
+    }
+    // posterior = sigmoid(ln mu + logit(alpha)); computed via sigmoid for
+    // stability when mu is astronomically large or small.
+    sigmoid(mu.ln() + logit(alpha))
+}
+
+/// Same as [`posterior_from_mu`] but taking `ln(mu)` directly, avoiding the
+/// round-trip through linear space for long products.
+#[inline]
+pub fn posterior_from_log_mu(log_mu: f64, alpha: f64) -> f64 {
+    if log_mu.is_nan() {
+        return f64::NAN;
+    }
+    sigmoid(log_mu + logit(alpha))
+}
+
+/// Kahan (compensated) summation. The inclusion–exclusion sums of
+/// Theorem 4.2 alternate in sign and can cancel almost completely; naive
+/// summation loses the small residual that *is* the answer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KahanSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl KahanSum {
+    /// A fresh accumulator at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one term.
+    #[inline]
+    pub fn add(&mut self, value: f64) {
+        let y = value - self.compensation;
+        let t = self.sum + y;
+        self.compensation = (t - self.sum) - y;
+        self.sum = t;
+    }
+
+    /// Current compensated total.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.sum
+    }
+}
+
+impl std::iter::FromIterator<f64> for KahanSum {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut acc = KahanSum::new();
+        for v in iter {
+            acc.add(v);
+        }
+        acc
+    }
+}
+
+/// Harmonic mean of precision and recall; `0` when both are `0`.
+#[inline]
+pub fn f1_score(precision: f64, recall: f64) -> f64 {
+    if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_matches_definition() {
+        for &x in &[-30.0f64, -2.0, -0.5, 0.0, 0.5, 2.0, 30.0] {
+            let direct = 1.0 / (1.0 + (-x).exp());
+            assert!((sigmoid(x) - direct).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert_eq!(sigmoid(800.0), 1.0);
+        assert_eq!(sigmoid(-800.0), 0.0);
+        assert!(sigmoid(-800.0) >= 0.0);
+    }
+
+    #[test]
+    fn logit_inverts_sigmoid() {
+        for &p in &[0.01, 0.25, 0.5, 0.75, 0.99] {
+            assert!((sigmoid(logit(p)) - p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn posterior_from_mu_matches_theorem_3_1_formula() {
+        // Example 3.3: mu = 0.1, alpha = 0.5 => Pr = 1/(1 + 1/0.1) = 0.0909...
+        let p = posterior_from_mu(0.1, 0.5);
+        assert!((p - 1.0 / 11.0).abs() < 1e-12);
+        // mu = 1.6 => 0.6153...
+        let p = posterior_from_mu(1.6, 0.5);
+        assert!((p - 1.6 / 2.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn posterior_edge_cases() {
+        assert_eq!(posterior_from_mu(0.0, 0.5), 0.0);
+        assert_eq!(posterior_from_mu(-3.0, 0.5), 0.0);
+        assert_eq!(posterior_from_mu(f64::INFINITY, 0.5), 1.0);
+        assert!(posterior_from_mu(f64::NAN, 0.5).is_nan());
+    }
+
+    #[test]
+    fn posterior_respects_prior() {
+        // Uninformative evidence (mu = 1) returns the prior.
+        for &a in &[0.1, 0.5, 0.9] {
+            assert!((posterior_from_mu(1.0, a) - a).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn log_and_linear_posterior_agree() {
+        for &mu in &[1e-6, 0.3, 1.0, 7.5, 1e9] {
+            let lin = posterior_from_mu(mu, 0.3);
+            let log = posterior_from_log_mu(mu.ln(), 0.3);
+            assert!((lin - log).abs() < 1e-12, "mu={mu}");
+        }
+    }
+
+    #[test]
+    fn kahan_beats_naive_on_cancelling_series() {
+        // 1.0 + 1e-16 * 1000: naive summation never leaves 1.0 because each
+        // tiny addend rounds away; the compensation preserves them.
+        let mut naive = 1.0f64;
+        let mut k = KahanSum::new();
+        k.add(1.0);
+        for _ in 0..1000 {
+            naive += 1e-16;
+            k.add(1e-16);
+        }
+        assert_eq!(naive, 1.0, "naive sum loses the addends");
+        let want = 1.0 + 1000.0 * 1e-16;
+        assert!((k.value() - want).abs() < 1e-15, "kahan = {}", k.value());
+    }
+
+    #[test]
+    fn kahan_from_iterator() {
+        let k: KahanSum = vec![0.1; 10].into_iter().collect();
+        assert!((k.value() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn clamp_prob_bounds() {
+        assert_eq!(clamp_prob(-1.0), EPS_PROB);
+        assert_eq!(clamp_prob(2.0), 1.0 - EPS_PROB);
+        assert_eq!(clamp_prob(0.5), 0.5);
+    }
+
+    #[test]
+    fn check_prob_rejects_out_of_range() {
+        assert!(check_prob("x", 0.5).is_ok());
+        assert!(check_prob("x", -0.01).is_err());
+        assert!(check_prob("x", 1.01).is_err());
+        assert!(check_prob("x", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn check_alpha_rejects_bounds() {
+        assert!(check_alpha(0.5).is_ok());
+        assert!(check_alpha(0.0).is_err());
+        assert!(check_alpha(1.0).is_err());
+        assert!(check_alpha(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn f1_handles_zero() {
+        assert_eq!(f1_score(0.0, 0.0), 0.0);
+        assert!((f1_score(1.0, 0.5) - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

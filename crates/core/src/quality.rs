@@ -1,0 +1,426 @@
+//! Source quality: precision, recall, and the derived false-positive rate.
+//!
+//! The paper measures each source `S_i` by precision
+//! `p_i = Pr(t | S_i |= t)` (Eq. 1) and recall `r_i = Pr(S_i |= t | t)`
+//! (Eq. 2), both computable from labelled training data. The Bayesian
+//! models additionally need the false-positive rate
+//! `q_i = Pr(S_i |= t | not t)`, which §3.2 shows should *not* be computed
+//! directly from labelled false triples (it would be biased by the quality
+//! of other sources — Example 3.4). Instead Theorem 3.5 derives it:
+//!
+//! ```text
+//! q_i = alpha / (1 - alpha) * (1 - p_i) / p_i * r_i
+//! ```
+//!
+//! valid when `alpha <= p_i / (p_i + r_i - p_i * r_i)`.
+
+use crate::dataset::{Dataset, GoldLabels, SourceId};
+use crate::error::{FusionError, Result};
+use crate::prob::{check_alpha, check_prob};
+
+/// Precision/recall of a single source, as estimated from training data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SourceQuality {
+    /// `Pr(t | S |= t)` — fraction of the source's labelled output that is true.
+    pub precision: f64,
+    /// `Pr(S |= t | t)` — fraction of in-scope labelled-true triples provided.
+    pub recall: f64,
+}
+
+impl SourceQuality {
+    /// Construct with validation.
+    pub fn new(precision: f64, recall: f64) -> Result<Self> {
+        check_prob("precision", precision)?;
+        check_prob("recall", recall)?;
+        Ok(SourceQuality { precision, recall })
+    }
+
+    /// Derived false-positive rate per Theorem 3.5 (strict: errors if the
+    /// validity condition fails and `q` would exceed 1).
+    pub fn false_positive_rate(&self, alpha: f64) -> Result<f64> {
+        derive_fpr(self.precision, self.recall, alpha)
+    }
+
+    /// A source is *good* (Theorem 3.5, second part) iff `p > alpha`,
+    /// equivalently `q < r`: it is more likely to provide a true triple
+    /// than a false one.
+    pub fn is_good(&self, alpha: f64) -> bool {
+        self.precision > alpha
+    }
+}
+
+/// Theorem 3.5: derive `q` from `(p, r, alpha)`.
+///
+/// Degenerate cases: `p = 0` with `r = 0` yields `q = 0` (the source
+/// provides nothing that is labelled; we treat it as uninformative);
+/// `p = 0` with `r > 0` is impossible for consistent estimates and is
+/// rejected.
+pub fn derive_fpr(precision: f64, recall: f64, alpha: f64) -> Result<f64> {
+    check_prob("precision", precision)?;
+    check_prob("recall", recall)?;
+    check_alpha(alpha)?;
+    if precision == 0.0 {
+        if recall == 0.0 {
+            return Ok(0.0);
+        }
+        return Err(FusionError::InvalidProbability {
+            what: "precision (zero with positive recall)",
+            value: precision,
+        });
+    }
+    let q = alpha / (1.0 - alpha) * (1.0 - precision) / precision * recall;
+    if q > 1.0 {
+        return Err(FusionError::FalsePositiveRateOutOfRange {
+            precision,
+            recall,
+            alpha,
+            q,
+        });
+    }
+    Ok(q)
+}
+
+/// Like [`derive_fpr`] but clamps invalid rates into `[0, 1]` instead of
+/// erroring. Useful when `alpha` is fixed by protocol and a noisy source
+/// would otherwise abort the whole fit.
+pub fn derive_fpr_clamped(precision: f64, recall: f64, alpha: f64) -> f64 {
+    match derive_fpr(precision, recall, alpha) {
+        Ok(q) => q,
+        Err(FusionError::FalsePositiveRateOutOfRange { .. }) => 1.0,
+        Err(_) => 0.0,
+    }
+}
+
+/// The largest `alpha` for which Theorem 3.5 yields a valid `q` for this
+/// `(p, r)`: `alpha_max = p / (p + r - p*r)`.
+pub fn max_valid_alpha(precision: f64, recall: f64) -> f64 {
+    let denom = precision + recall - precision * recall;
+    if denom == 0.0 {
+        1.0
+    } else {
+        (precision / denom).min(1.0)
+    }
+}
+
+/// Estimates per-source [`SourceQuality`] from labelled data.
+///
+/// `smoothing` adds pseudo-counts (add-`s` smoothing) to numerator and
+/// denominator of both metrics; `0.0` reproduces the paper's raw ratios.
+#[derive(Debug, Clone, Copy)]
+pub struct QualityEstimator {
+    /// Pseudo-count added to numerators (`s`) and denominators (`2s`).
+    pub smoothing: f64,
+}
+
+impl Default for QualityEstimator {
+    fn default() -> Self {
+        QualityEstimator { smoothing: 0.0 }
+    }
+}
+
+impl QualityEstimator {
+    /// Raw-ratio estimator (paper protocol).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Estimator with add-`s` smoothing.
+    pub fn smoothed(s: f64) -> Self {
+        QualityEstimator { smoothing: s }
+    }
+
+    /// Estimate quality for every source.
+    ///
+    /// Recall is *scope-aware*: the denominator for source `i` counts only
+    /// labelled-true triples within `i`'s scope, so complementary sources
+    /// are not penalised for domains they never cover (§2.2).
+    pub fn estimate(&self, ds: &Dataset, gold: &GoldLabels) -> Result<Vec<SourceQuality>> {
+        if gold.labelled_count() == 0 {
+            return Err(FusionError::MissingGold);
+        }
+        let n = ds.n_sources();
+        let mut tp = vec![0usize; n]; // labelled-true provided
+        let mut fp = vec![0usize; n]; // labelled-false provided
+        let mut scope_true = vec![0usize; n]; // labelled-true in scope
+
+        for (t, truth) in gold.iter_labelled() {
+            if t.index() >= ds.n_triples() {
+                return Err(FusionError::TripleOutOfRange(t.index()));
+            }
+            let providers = ds.providers(t);
+            if truth {
+                for s in 0..n {
+                    if ds.in_scope(SourceId(s as u32), t) {
+                        scope_true[s] += 1;
+                        if providers.get(s) {
+                            tp[s] += 1;
+                        }
+                    }
+                }
+            } else {
+                for s in providers.iter_ones() {
+                    fp[s] += 1;
+                }
+            }
+        }
+
+        let s = self.smoothing;
+        let qualities = (0..n)
+            .map(|i| {
+                let provided = tp[i] + fp[i];
+                let precision = if provided == 0 && s == 0.0 {
+                    // No labelled output: uninformative source.
+                    0.0
+                } else {
+                    (tp[i] as f64 + s) / (provided as f64 + 2.0 * s)
+                };
+                let recall = if scope_true[i] == 0 && s == 0.0 {
+                    0.0
+                } else {
+                    (tp[i] as f64 + s) / (scope_true[i] as f64 + 2.0 * s)
+                };
+                SourceQuality { precision, recall }
+            })
+            .collect();
+        Ok(qualities)
+    }
+
+    /// Estimate quality for one source (convenience for reports).
+    pub fn estimate_one(
+        &self,
+        ds: &Dataset,
+        gold: &GoldLabels,
+        source: SourceId,
+    ) -> Result<SourceQuality> {
+        let all = self.estimate(ds, gold)?;
+        all.get(source.index())
+            .copied()
+            .ok_or_else(|| FusionError::UnknownSource(format!("{source}")))
+    }
+}
+
+/// Count-based false-positive rate used by the estimators.
+///
+/// Substituting the empirical definitions of `p` and `r` into Theorem 3.5
+/// collapses to `q = alpha/(1-alpha) * FP / N_true`: the `(1-p)/p * r`
+/// product is exactly `FP / N_true`. This form stays defined even when the
+/// source has no true positives (where `p = r = 0` makes the ratio form
+/// indeterminate), and with the empirical `alpha = N_true / N` it equals
+/// the direct rate `FP / N_false`.
+pub fn fpr_from_counts(false_positives: usize, n_true: usize, alpha: f64) -> Result<f64> {
+    check_alpha(alpha)?;
+    if n_true == 0 {
+        return Err(FusionError::DegenerateTraining("true"));
+    }
+    let q = alpha / (1.0 - alpha) * false_positives as f64 / n_true as f64;
+    Ok(q.min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+
+    /// Build the paper's Figure 1 dataset (duplicated in corrfuse-synth for
+    /// public use; kept inline here so core tests have no cyclic deps).
+    fn figure1() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let sources: Vec<_> = (1..=5).map(|i| b.source(format!("S{i}"))).collect();
+        // (triple, truth, providers)
+        let rows: [(&str, bool, &[usize]); 10] = [
+            ("t1", true, &[1, 2, 4, 5]),
+            ("t2", false, &[1, 2]),
+            ("t3", true, &[3]),
+            ("t4", true, &[2, 3, 4, 5]),
+            ("t5", false, &[2, 3]),
+            ("t6", true, &[1, 4, 5]),
+            ("t7", true, &[1, 2, 3]),
+            ("t8", false, &[1, 2, 4, 5]),
+            ("t9", false, &[1, 2, 4, 5]),
+            ("t10", true, &[1, 3, 4, 5]),
+        ];
+        for (name, truth, provs) in rows {
+            let t = b.triple("Obama", "fact", name);
+            for &p in provs {
+                b.observe(sources[p - 1], t);
+            }
+            b.label(t, truth);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn figure_1b_source_quality() {
+        let ds = figure1();
+        let q = QualityEstimator::new()
+            .estimate(&ds, ds.gold().unwrap())
+            .unwrap();
+        let expect = [
+            (4.0 / 7.0, 4.0 / 6.0), // S1: 0.57, 0.67
+            (3.0 / 7.0, 3.0 / 6.0), // S2: 0.43, 0.5
+            (4.0 / 5.0, 4.0 / 6.0), // S3: 0.8, 0.67
+            (4.0 / 6.0, 4.0 / 6.0), // S4: 0.67, 0.67
+            (4.0 / 6.0, 4.0 / 6.0), // S5: 0.67, 0.67
+        ];
+        for (i, (p, r)) in expect.iter().enumerate() {
+            assert!((q[i].precision - p).abs() < 1e-12, "S{} precision", i + 1);
+            assert!((q[i].recall - r).abs() < 1e-12, "S{} recall", i + 1);
+        }
+    }
+
+    #[test]
+    fn figure_1_false_positive_rates() {
+        // Paper (§3.1): q1=0.5, q2=0.67, q3=0.167, q4=q5=0.33 at alpha=0.5.
+        let ds = figure1();
+        let q = QualityEstimator::new()
+            .estimate(&ds, ds.gold().unwrap())
+            .unwrap();
+        let expect = [0.5, 4.0 / 6.0, 1.0 / 6.0, 2.0 / 6.0, 2.0 / 6.0];
+        for (i, want) in expect.iter().enumerate() {
+            let got = q[i].false_positive_rate(0.5).unwrap();
+            assert!((got - want).abs() < 1e-12, "q{} got {got} want {want}", i + 1);
+        }
+    }
+
+    #[test]
+    fn theorem_3_5_worked_example() {
+        // §3.2: p=0.57 (4/7), r=0.67 (4/6), alpha=0.5 -> q = 0.5.
+        let q = derive_fpr(4.0 / 7.0, 4.0 / 6.0, 0.5).unwrap();
+        assert!((q - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fpr_counts_form_matches_ratio_form() {
+        // q = alpha/(1-alpha) * (1-p)/p * r  ==  alpha/(1-alpha) * FP/Ntrue.
+        let (tp, fp, n_true) = (4.0, 3.0, 6.0);
+        let p = tp / (tp + fp);
+        let r = tp / n_true;
+        for &alpha in &[0.2, 0.5, 0.6] {
+            let via_ratio = derive_fpr(p, r, alpha).unwrap();
+            let via_counts = fpr_from_counts(fp as usize, n_true as usize, alpha).unwrap();
+            assert!((via_ratio - via_counts).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn invalid_alpha_rejected() {
+        assert!(derive_fpr(0.5, 0.5, 0.0).is_err());
+        assert!(derive_fpr(0.5, 0.5, 1.0).is_err());
+    }
+
+    #[test]
+    fn q_out_of_range_detected_and_clamped_variant() {
+        // Low precision + high alpha pushes q over 1.
+        let err = derive_fpr(0.1, 0.9, 0.9);
+        assert!(matches!(
+            err,
+            Err(FusionError::FalsePositiveRateOutOfRange { .. })
+        ));
+        assert_eq!(derive_fpr_clamped(0.1, 0.9, 0.9), 1.0);
+    }
+
+    #[test]
+    fn max_valid_alpha_is_the_boundary() {
+        for &(p, r) in &[(0.6, 0.4), (0.9, 0.9), (0.3, 0.8)] {
+            let a_max = max_valid_alpha(p, r);
+            // Just below the boundary: valid.
+            assert!(derive_fpr(p, r, a_max - 1e-9).is_ok());
+            // Just above: invalid (when boundary < 1).
+            if a_max < 1.0 - 1e-9 {
+                assert!(derive_fpr(p, r, a_max + 1e-9).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn good_source_iff_precision_above_alpha() {
+        // Theorem 3.5: p > alpha => q < r.
+        for &(p, r, alpha) in &[(0.6, 0.5, 0.5), (0.8, 0.3, 0.5), (0.52, 0.9, 0.5)] {
+            let sq = SourceQuality::new(p, r).unwrap();
+            assert!(sq.is_good(alpha));
+            let q = sq.false_positive_rate(alpha).unwrap();
+            assert!(q < r, "p={p} r={r}: q={q} should be < r");
+        }
+        // p < alpha => q > r.
+        let sq = SourceQuality::new(0.4, 0.5).unwrap();
+        let q = sq.false_positive_rate(0.5).unwrap();
+        assert!(!sq.is_good(0.5));
+        assert!(q > sq.recall);
+    }
+
+    #[test]
+    fn degenerate_zero_precision_zero_recall() {
+        assert_eq!(derive_fpr(0.0, 0.0, 0.5).unwrap(), 0.0);
+        assert!(derive_fpr(0.0, 0.5, 0.5).is_err());
+    }
+
+    #[test]
+    fn estimator_requires_labels() {
+        let mut b = DatasetBuilder::new();
+        let s = b.source("A");
+        let t = b.triple("x", "p", "1");
+        b.observe(s, t);
+        let ds = b.build().unwrap();
+        let empty = GoldLabels::new(1);
+        assert!(QualityEstimator::new().estimate(&ds, &empty).is_err());
+    }
+
+    #[test]
+    fn smoothing_pulls_towards_half() {
+        let ds = figure1();
+        let raw = QualityEstimator::new()
+            .estimate(&ds, ds.gold().unwrap())
+            .unwrap();
+        let smoothed = QualityEstimator::smoothed(5.0)
+            .estimate(&ds, ds.gold().unwrap())
+            .unwrap();
+        for (r, s) in raw.iter().zip(&smoothed) {
+            assert!((s.precision - 0.5).abs() <= (r.precision - 0.5).abs() + 1e-12);
+            assert!((s.recall - 0.5).abs() <= (r.recall - 0.5).abs() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn scope_aware_recall_ignores_out_of_scope_truths() {
+        use crate::dataset::Domain;
+        let mut b = DatasetBuilder::new();
+        let s1 = b.source("A"); // covers domain 1 only
+        let s2 = b.source("B"); // covers both
+        let t1 = b.triple("x", "p", "1");
+        let t2 = b.triple("y", "p", "2");
+        b.set_domain(t1, Domain(1));
+        b.set_domain(t2, Domain(2));
+        b.observe(s1, t1);
+        b.observe(s2, t1);
+        b.observe(s2, t2);
+        b.label(t1, true);
+        b.label(t2, true);
+        let ds = b.build().unwrap();
+        let q = QualityEstimator::new()
+            .estimate(&ds, ds.gold().unwrap())
+            .unwrap();
+        // A provides 1 of the 1 true triples in its scope -> recall 1.0,
+        // despite providing 1 of 2 overall.
+        assert!((q[0].recall - 1.0).abs() < 1e-12);
+        assert!((q[1].recall - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_one_matches_bulk() {
+        let ds = figure1();
+        let bulk = QualityEstimator::new()
+            .estimate(&ds, ds.gold().unwrap())
+            .unwrap();
+        let one = QualityEstimator::new()
+            .estimate_one(&ds, ds.gold().unwrap(), SourceId(2))
+            .unwrap();
+        assert_eq!(bulk[2], one);
+    }
+
+    #[test]
+    fn source_quality_validation() {
+        assert!(SourceQuality::new(1.1, 0.5).is_err());
+        assert!(SourceQuality::new(0.5, -0.1).is_err());
+        assert!(SourceQuality::new(0.5, 0.5).is_ok());
+    }
+}

@@ -1,0 +1,239 @@
+//! Enumeration of subsets of a `u64` bitmask.
+//!
+//! The exact solver (Theorem 4.2) sums over *all* subsets of the
+//! non-providing sources; the elastic approximation (Algorithm 1) sums over
+//! subsets of a fixed cardinality per level. Both loops live here so they
+//! can be tested in isolation and shared between solvers.
+
+/// Iterate over every submask of `mask`, including the empty set and `mask`
+/// itself. Yields `2^popcount(mask)` items.
+///
+/// Uses the standard decrement-and-mask walk, which enumerates submasks in
+/// decreasing numeric order; order is unspecified for callers.
+pub fn submasks(mask: u64) -> SubmaskIter {
+    SubmaskIter {
+        mask,
+        current: mask,
+        done: false,
+    }
+}
+
+/// Iterator over all submasks of a mask. See [`submasks`].
+#[derive(Debug, Clone)]
+pub struct SubmaskIter {
+    mask: u64,
+    current: u64,
+    done: bool,
+}
+
+impl Iterator for SubmaskIter {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.done {
+            return None;
+        }
+        let item = self.current;
+        if self.current == 0 {
+            self.done = true;
+        } else {
+            self.current = (self.current - 1) & self.mask;
+        }
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.done {
+            return (0, Some(0));
+        }
+        // Remaining count is current's rank within submasks + 1; cheap bound:
+        let total = 1usize << self.mask.count_ones().min(63);
+        (1, Some(total))
+    }
+}
+
+/// Iterate over submasks of `mask` that have exactly `k` bits set.
+///
+/// Yields `C(popcount(mask), k)` masks in lexicographic order of the chosen
+/// bit-index combinations.
+pub fn submasks_of_size(mask: u64, k: usize) -> FixedSizeSubmaskIter {
+    let bits: Vec<u8> = (0..64).filter(|&b| mask >> b & 1 == 1).collect();
+    let n = bits.len();
+    FixedSizeSubmaskIter {
+        bits,
+        indices: (0..k).map(|i| i as u8).collect(),
+        k,
+        n,
+        done: k > n,
+    }
+}
+
+/// Iterator over fixed-cardinality submasks. See [`submasks_of_size`].
+#[derive(Debug, Clone)]
+pub struct FixedSizeSubmaskIter {
+    /// Positions of set bits in the parent mask.
+    bits: Vec<u8>,
+    /// Current combination, as indices into `bits`.
+    indices: Vec<u8>,
+    k: usize,
+    n: usize,
+    done: bool,
+}
+
+impl Iterator for FixedSizeSubmaskIter {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.done {
+            return None;
+        }
+        let mask = self
+            .indices
+            .iter()
+            .fold(0u64, |m, &i| m | 1u64 << self.bits[i as usize]);
+        // Advance to the next combination (standard odometer).
+        if self.k == 0 {
+            self.done = true;
+            return Some(mask);
+        }
+        let mut i = self.k;
+        loop {
+            if i == 0 {
+                self.done = true;
+                break;
+            }
+            i -= 1;
+            if (self.indices[i] as usize) < self.n - self.k + i {
+                self.indices[i] += 1;
+                for j in i + 1..self.k {
+                    self.indices[j] = self.indices[j - 1] + 1;
+                }
+                break;
+            }
+        }
+        Some(mask)
+    }
+}
+
+/// Binomial coefficient `C(n, k)` with saturation (returns `usize::MAX` on
+/// overflow). Used for cost estimates before running elastic levels.
+pub fn binomial(n: usize, k: usize) -> usize {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: usize = 1;
+    for i in 0..k {
+        acc = match acc.checked_mul(n - i) {
+            Some(v) => v / (i + 1),
+            None => return usize::MAX,
+        };
+    }
+    acc
+}
+
+/// Number of terms the elastic approximation evaluates for one triple with
+/// `complement_size` non-providing sources at level `lambda`:
+/// `sum_{l=1}^{lambda} C(complement_size, l)`.
+pub fn elastic_term_count(complement_size: usize, lambda: usize) -> usize {
+    (1..=lambda.min(complement_size))
+        .map(|l| binomial(complement_size, l))
+        .fold(0usize, usize::saturating_add)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn submasks_enumerates_power_set() {
+        let mask = 0b1011u64;
+        let got: HashSet<u64> = submasks(mask).collect();
+        let expected: HashSet<u64> = [0b0000, 0b0001, 0b0010, 0b0011, 0b1000, 0b1001, 0b1010, 0b1011]
+            .into_iter()
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn submasks_of_zero_is_just_empty() {
+        let got: Vec<u64> = submasks(0).collect();
+        assert_eq!(got, vec![0]);
+    }
+
+    #[test]
+    fn submasks_count_matches_power_of_two() {
+        for mask in [0b1u64, 0b111, 0b10101, 0xFF] {
+            let count = submasks(mask).count();
+            assert_eq!(count, 1 << mask.count_ones());
+        }
+    }
+
+    #[test]
+    fn fixed_size_submasks_have_right_cardinality_and_count() {
+        let mask = 0b110110u64; // 4 bits set
+        for k in 0..=4 {
+            let got: Vec<u64> = submasks_of_size(mask, k).collect();
+            assert_eq!(got.len(), binomial(4, k), "k={k}");
+            for m in &got {
+                assert_eq!(m.count_ones() as usize, k);
+                assert_eq!(m & !mask, 0, "subset of parent");
+            }
+            // All distinct.
+            let set: HashSet<u64> = got.iter().copied().collect();
+            assert_eq!(set.len(), got.len());
+        }
+    }
+
+    #[test]
+    fn fixed_size_submasks_k_zero() {
+        let got: Vec<u64> = submasks_of_size(0b101, 0).collect();
+        assert_eq!(got, vec![0]);
+    }
+
+    #[test]
+    fn fixed_size_submasks_k_too_large() {
+        let got: Vec<u64> = submasks_of_size(0b11, 3).collect();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn fixed_size_union_over_k_equals_power_set() {
+        let mask = 0b11101u64;
+        let n = mask.count_ones() as usize;
+        let mut all: HashSet<u64> = HashSet::new();
+        for k in 0..=n {
+            all.extend(submasks_of_size(mask, k));
+        }
+        let expected: HashSet<u64> = submasks(mask).collect();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(5, 6), 0);
+        assert_eq!(binomial(60, 30), 118_264_581_564_861_424);
+    }
+
+    #[test]
+    fn elastic_term_count_sums_binomials() {
+        // complement of 5 sources, lambda 2: C(5,1)+C(5,2) = 5+10.
+        assert_eq!(elastic_term_count(5, 2), 15);
+        assert_eq!(elastic_term_count(5, 0), 0);
+        // lambda beyond the complement saturates at the full power set minus empty.
+        assert_eq!(elastic_term_count(3, 10), 7);
+    }
+
+    #[test]
+    fn high_bit_masks_work() {
+        let mask = 1u64 << 63 | 1u64 << 2;
+        let got: Vec<u64> = submasks(mask).collect();
+        assert_eq!(got.len(), 4);
+        let pairs: Vec<u64> = submasks_of_size(mask, 2).collect();
+        assert_eq!(pairs, vec![mask]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Knowledge triples and their interning.
+//!
+//! A *triple* is the paper's unit of data: `{subject, predicate, object}`
+//! (§2.1). Equivalently a cell of a database table — `{row-entity,
+//! column-attribute, value}`. Sources output sets of triples; fusion decides
+//! which are true. Triples are compared across sources by exact equality
+//! (the paper assumes schema mapping and reference reconciliation have
+//! already been applied), so we intern them into dense integer ids that all
+//! downstream structures index by.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense identifier of an interned triple within one [`crate::dataset::Dataset`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TripleId(pub u32);
+
+impl TripleId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TripleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A knowledge triple `{subject, predicate, object}`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Triple {
+    /// Row entity / RDF subject, e.g. `Obama`.
+    pub subject: String,
+    /// Attribute / RDF predicate, e.g. `profession`.
+    pub predicate: String,
+    /// Value / RDF object, e.g. `president`.
+    pub object: String,
+}
+
+impl Triple {
+    /// Construct a triple from anything string-like.
+    pub fn new(
+        subject: impl Into<String>,
+        predicate: impl Into<String>,
+        object: impl Into<String>,
+    ) -> Self {
+        Triple {
+            subject: subject.into(),
+            predicate: predicate.into(),
+            object: object.into(),
+        }
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{}, {}, {}}}", self.subject, self.predicate, self.object)
+    }
+}
+
+/// Bidirectional map between [`Triple`]s and dense [`TripleId`]s.
+#[derive(Debug, Clone, Default)]
+pub struct TripleInterner {
+    by_triple: HashMap<Triple, TripleId>,
+    by_id: Vec<Triple>,
+}
+
+impl TripleInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `triple`, returning its (possibly pre-existing) id.
+    pub fn intern(&mut self, triple: Triple) -> TripleId {
+        if let Some(&id) = self.by_triple.get(&triple) {
+            return id;
+        }
+        let id = TripleId(self.by_id.len() as u32);
+        self.by_triple.insert(triple.clone(), id);
+        self.by_id.push(triple);
+        id
+    }
+
+    /// Look up a triple's id without interning.
+    pub fn get(&self, triple: &Triple) -> Option<TripleId> {
+        self.by_triple.get(triple).copied()
+    }
+
+    /// Resolve an id back to its triple. Panics on out-of-range ids, which
+    /// can only arise from mixing ids across datasets.
+    pub fn resolve(&self, id: TripleId) -> &Triple {
+        &self.by_id[id.index()]
+    }
+
+    /// Number of interned triples.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Iterate `(id, triple)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TripleId, &Triple)> {
+        self.by_id
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TripleId(i as u32), t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut interner = TripleInterner::new();
+        let a = interner.intern(Triple::new("Obama", "profession", "president"));
+        let b = interner.intern(Triple::new("Obama", "profession", "president"));
+        assert_eq!(a, b);
+        assert_eq!(interner.len(), 1);
+    }
+
+    #[test]
+    fn distinct_triples_get_distinct_ids() {
+        let mut interner = TripleInterner::new();
+        let a = interner.intern(Triple::new("Obama", "profession", "president"));
+        let b = interner.intern(Triple::new("Obama", "profession", "lawyer"));
+        let c = interner.intern(Triple::new("Obama", "spouse", "Michelle"));
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_eq!(interner.len(), 3);
+    }
+
+    #[test]
+    fn ids_are_dense_and_resolvable() {
+        let mut interner = TripleInterner::new();
+        for i in 0..10 {
+            let id = interner.intern(Triple::new(format!("e{i}"), "p", "v"));
+            assert_eq!(id.index(), i);
+        }
+        assert_eq!(interner.resolve(TripleId(7)).subject, "e7");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut interner = TripleInterner::new();
+        let t = Triple::new("a", "b", "c");
+        assert_eq!(interner.get(&t), None);
+        let id = interner.intern(t.clone());
+        assert_eq!(interner.get(&t), Some(id));
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut interner = TripleInterner::new();
+        interner.intern(Triple::new("x", "p", "1"));
+        interner.intern(Triple::new("y", "p", "2"));
+        let ids: Vec<u32> = interner.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = Triple::new("Obama", "spouse", "Michelle");
+        assert_eq!(t.to_string(), "{Obama, spouse, Michelle}");
+        assert_eq!(TripleId(3).to_string(), "t3");
+    }
+
+    #[test]
+    fn triples_differing_in_any_field_are_distinct() {
+        let base = Triple::new("s", "p", "o");
+        assert_ne!(base, Triple::new("s2", "p", "o"));
+        assert_ne!(base, Triple::new("s", "p2", "o"));
+        assert_ne!(base, Triple::new("s", "p", "o2"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Probability calibration diagnostics.
+//!
+//! The paper argues PR/ROC curves show whether "the correctness
+//! probabilities we compute are consistent with the reality", and observes
+//! that LTM's "probabilities ... typically fall in extreme ranges". This
+//! module quantifies that directly: the Brier score (mean squared error of
+//! the probabilities) and a reliability table (predicted vs. empirical
+//! truth rate per probability bin), with the expected calibration error.
+
+use corrfuse_core::dataset::GoldLabels;
+
+/// One bin of a reliability diagram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityBin {
+    /// Inclusive lower edge of the bin.
+    pub lo: f64,
+    /// Exclusive upper edge (inclusive for the last bin).
+    pub hi: f64,
+    /// Number of labelled triples whose score fell in the bin.
+    pub count: usize,
+    /// Mean predicted probability in the bin.
+    pub mean_predicted: f64,
+    /// Empirical fraction of true triples in the bin.
+    pub empirical_truth_rate: f64,
+}
+
+/// Calibration summary of one method's scores.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// Mean squared error of the probabilities (lower is better;
+    /// 0.25 is the score of always predicting 0.5 on balanced data).
+    pub brier: f64,
+    /// Expected calibration error: count-weighted mean |predicted −
+    /// empirical| over bins.
+    pub ece: f64,
+    /// Fraction of scores in the extreme bins (< 0.05 or > 0.95) — the
+    /// paper's "extreme ranges" diagnostic.
+    pub extreme_fraction: f64,
+    /// The reliability bins.
+    pub bins: Vec<ReliabilityBin>,
+}
+
+/// Compute calibration over labelled triples with `n_bins` equal-width
+/// probability bins (scores are clamped into `[0, 1]`).
+pub fn calibration(gold: &GoldLabels, scores: &[f64], n_bins: usize) -> Calibration {
+    let n_bins = n_bins.max(1);
+    let mut count = vec![0usize; n_bins];
+    let mut sum_p = vec![0.0f64; n_bins];
+    let mut sum_true = vec![0.0f64; n_bins];
+    let mut brier_acc = 0.0f64;
+    let mut total = 0usize;
+    let mut extreme = 0usize;
+
+    for (t, truth) in gold.iter_labelled() {
+        let p = scores
+            .get(t.index())
+            .copied()
+            .unwrap_or(0.0)
+            .clamp(0.0, 1.0);
+        let y = truth as usize as f64;
+        brier_acc += (p - y) * (p - y);
+        total += 1;
+        if !(0.05..=0.95).contains(&p) {
+            extreme += 1;
+        }
+        let bin = ((p * n_bins as f64) as usize).min(n_bins - 1);
+        count[bin] += 1;
+        sum_p[bin] += p;
+        sum_true[bin] += y;
+    }
+
+    let mut bins = Vec::with_capacity(n_bins);
+    let mut ece = 0.0f64;
+    for b in 0..n_bins {
+        let lo = b as f64 / n_bins as f64;
+        let hi = (b + 1) as f64 / n_bins as f64;
+        let (mean_predicted, empirical) = if count[b] > 0 {
+            (sum_p[b] / count[b] as f64, sum_true[b] / count[b] as f64)
+        } else {
+            ((lo + hi) / 2.0, f64::NAN)
+        };
+        if count[b] > 0 && total > 0 {
+            ece += (count[b] as f64 / total as f64) * (mean_predicted - empirical).abs();
+        }
+        bins.push(ReliabilityBin {
+            lo,
+            hi,
+            count: count[b],
+            mean_predicted,
+            empirical_truth_rate: empirical,
+        });
+    }
+
+    Calibration {
+        brier: if total > 0 {
+            brier_acc / total as f64
+        } else {
+            f64::NAN
+        },
+        ece,
+        extreme_fraction: if total > 0 {
+            extreme as f64 / total as f64
+        } else {
+            f64::NAN
+        },
+        bins,
+    }
+}
+
+impl Calibration {
+    /// Render the reliability table.
+    pub fn render(&self) -> String {
+        let mut t = crate::report::Table::new(["bin", "count", "mean pred", "empirical"]);
+        for b in &self.bins {
+            t.row([
+                format!("[{:.2},{:.2})", b.lo, b.hi),
+                b.count.to_string(),
+                crate::report::f3(b.mean_predicted),
+                crate::report::f3(b.empirical_truth_rate),
+            ]);
+        }
+        format!(
+            "brier {:.4}  ece {:.4}  extreme-fraction {:.2}\n{t}",
+            self.brier, self.ece, self.extreme_fraction
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corrfuse_core::dataset::{Dataset, DatasetBuilder};
+
+    fn ds(truths: &[bool]) -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let s = b.source("A");
+        for (i, &truth) in truths.iter().enumerate() {
+            let t = b.triple(format!("e{i}"), "p", "v");
+            b.observe(s, t);
+            b.label(t, truth);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn perfect_predictions_have_zero_brier() {
+        let ds = ds(&[true, false, true, false]);
+        let scores = [1.0, 0.0, 1.0, 0.0];
+        let c = calibration(ds.gold().unwrap(), &scores, 10);
+        assert_eq!(c.brier, 0.0);
+        assert!(c.ece < 1e-12);
+        assert_eq!(c.extreme_fraction, 1.0);
+    }
+
+    #[test]
+    fn constant_half_has_quarter_brier_on_balanced_data() {
+        let ds = ds(&[true, false, true, false]);
+        let scores = [0.5; 4];
+        let c = calibration(ds.gold().unwrap(), &scores, 10);
+        assert!((c.brier - 0.25).abs() < 1e-12);
+        // Predicting 0.5 on 50%-true data is perfectly calibrated.
+        assert!(c.ece < 1e-12);
+        assert_eq!(c.extreme_fraction, 0.0);
+    }
+
+    #[test]
+    fn overconfident_wrong_predictions_have_high_ece() {
+        // Everything predicted ~1 but only half true.
+        let ds = ds(&[true, false, true, false]);
+        let scores = [0.99; 4];
+        let c = calibration(ds.gold().unwrap(), &scores, 10);
+        assert!(c.ece > 0.45, "ece {}", c.ece);
+        assert_eq!(c.extreme_fraction, 1.0);
+        assert!((c.brier - (2.0 * 0.99f64.powi(2) + 2.0 * 0.01f64.powi(2)) / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bins_partition_scores() {
+        let ds = ds(&[true, true, false, false, true]);
+        let scores = [0.1, 0.35, 0.55, 0.75, 0.95];
+        let c = calibration(ds.gold().unwrap(), &scores, 5);
+        let total: usize = c.bins.iter().map(|b| b.count).sum();
+        assert_eq!(total, 5);
+        assert_eq!(c.bins.len(), 5);
+        for b in &c.bins {
+            assert_eq!(b.count, 1, "{b:?}");
+        }
+    }
+
+    #[test]
+    fn empty_bins_report_nan_empirical() {
+        let ds = ds(&[true]);
+        let scores = [0.99];
+        let c = calibration(ds.gold().unwrap(), &scores, 4);
+        assert!(c.bins[0].empirical_truth_rate.is_nan());
+        assert_eq!(c.bins[3].count, 1);
+        let rendered = c.render();
+        assert!(rendered.contains("brier"));
+        assert!(rendered.contains("n/a"));
+    }
+
+    #[test]
+    fn scores_out_of_range_are_clamped() {
+        let ds = ds(&[true, false]);
+        let scores = [1.7, -0.3];
+        let c = calibration(ds.gold().unwrap(), &scores, 10);
+        assert_eq!(c.brier, 0.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Ranking curves: precision–recall and ROC, with their areas.
+//!
+//! The paper ranks triples by decreasing truthfulness score, walks down the
+//! ranking, and plots precision vs. recall (PR-curve) and true-positive vs.
+//! false-positive rate (ROC-curve), reporting AUC-PR and AUC-ROC. Tied
+//! scores are processed as a block (important for UNION-K, whose scores
+//! take only `n_sources + 1` distinct values).
+
+use corrfuse_core::dataset::GoldLabels;
+
+/// A point on a ranking curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// X coordinate (recall for PR, FPR for ROC).
+    pub x: f64,
+    /// Y coordinate (precision for PR, TPR for ROC).
+    pub y: f64,
+}
+
+/// Ranking evaluation of one method's scores against gold labels.
+#[derive(Debug, Clone)]
+pub struct RankedEval {
+    /// PR-curve points, from the top of the ranking to the bottom.
+    pub pr_curve: Vec<CurvePoint>,
+    /// ROC-curve points, including the (0,0) and (1,1) anchors.
+    pub roc_curve: Vec<CurvePoint>,
+    /// Area under the PR curve (step interpolation = average precision).
+    pub auc_pr: f64,
+    /// Area under the ROC curve (trapezoidal).
+    pub auc_roc: f64,
+}
+
+/// Rank labelled triples by score (descending, tie-aware) and compute both
+/// curves. Unlabelled triples are ignored.
+pub fn ranked_eval(gold: &GoldLabels, scores: &[f64]) -> RankedEval {
+    // Collect (score, truth) for labelled triples.
+    let mut rows: Vec<(f64, bool)> = gold
+        .iter_labelled()
+        .map(|(t, truth)| (scores.get(t.index()).copied().unwrap_or(0.0), truth))
+        .collect();
+    rows.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    let total_true = rows.iter().filter(|r| r.1).count() as f64;
+    let total_false = rows.len() as f64 - total_true;
+
+    let mut pr = Vec::new();
+    let mut roc = vec![CurvePoint { x: 0.0, y: 0.0 }];
+    let mut tp = 0.0f64;
+    let mut fp = 0.0f64;
+    let mut auc_pr = 0.0f64;
+    let mut auc_roc = 0.0f64;
+
+    let mut i = 0;
+    while i < rows.len() {
+        // Process the whole tie block at once.
+        let mut j = i;
+        let (mut block_tp, mut block_fp) = (0.0f64, 0.0f64);
+        while j < rows.len() && rows[j].0 == rows[i].0 {
+            if rows[j].1 {
+                block_tp += 1.0;
+            } else {
+                block_fp += 1.0;
+            }
+            j += 1;
+        }
+        let (prev_tp, prev_fp) = (tp, fp);
+        tp += block_tp;
+        fp += block_fp;
+
+        // PR: average precision contribution — precision after the block
+        // times the recall gained, using linear interpolation within the
+        // block (Davis & Goadrich).
+        if total_true > 0.0 && block_tp > 0.0 {
+            // Interpolate precision across the block.
+            let steps = block_tp as usize;
+            for k in 1..=steps {
+                let frac = k as f64 / block_tp;
+                let itp = prev_tp + block_tp * frac;
+                let ifp = prev_fp + block_fp * frac;
+                let precision = itp / (itp + ifp);
+                auc_pr += precision / total_true;
+            }
+        }
+        if total_true > 0.0 {
+            pr.push(CurvePoint {
+                x: tp / total_true,
+                y: if tp + fp > 0.0 { tp / (tp + fp) } else { 1.0 },
+            });
+        }
+
+        // ROC: trapezoid over the block.
+        if total_true > 0.0 && total_false > 0.0 {
+            let x0 = prev_fp / total_false;
+            let x1 = fp / total_false;
+            let y0 = prev_tp / total_true;
+            let y1 = tp / total_true;
+            auc_roc += (x1 - x0) * (y0 + y1) / 2.0;
+            roc.push(CurvePoint { x: x1, y: y1 });
+        }
+        i = j;
+    }
+    if roc.last().map(|p| (p.x, p.y)) != Some((1.0, 1.0)) && total_false > 0.0 && total_true > 0.0
+    {
+        roc.push(CurvePoint { x: 1.0, y: 1.0 });
+    }
+
+    RankedEval {
+        pr_curve: pr,
+        roc_curve: roc,
+        auc_pr,
+        auc_roc,
+    }
+}
+
+/// Downsample a curve to at most `n` points (keeping endpoints) for
+/// compact textual output.
+pub fn downsample(curve: &[CurvePoint], n: usize) -> Vec<CurvePoint> {
+    if curve.len() <= n || n < 2 {
+        return curve.to_vec();
+    }
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let idx = k * (curve.len() - 1) / (n - 1);
+        out.push(curve[idx]);
+    }
+    out
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use corrfuse_core::dataset::{Dataset, DatasetBuilder};
+
+    /// Dataset with 4 labelled triples; scores passed per test.
+    fn ds(n: usize, truths: &[bool]) -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let s = b.source("A");
+        for i in 0..n {
+            let t = b.triple(format!("e{i}"), "p", "v");
+            b.observe(s, t);
+            b.label(t, truths[i]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn perfect_ranking_has_auc_one() {
+        let ds = ds(4, &[true, true, false, false]);
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let ev = ranked_eval(ds.gold().unwrap(), &scores);
+        assert!((ev.auc_roc - 1.0).abs() < 1e-12, "auc_roc {}", ev.auc_roc);
+        assert!((ev.auc_pr - 1.0).abs() < 1e-12, "auc_pr {}", ev.auc_pr);
+    }
+
+    #[test]
+    fn inverted_ranking_has_auc_zero_roc() {
+        let ds = ds(4, &[false, false, true, true]);
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let ev = ranked_eval(ds.gold().unwrap(), &scores);
+        assert!(ev.auc_roc < 1e-12);
+        // AP of the worst ranking: true items at ranks 3 and 4.
+        let expected_ap = (1.0 / 3.0 + 2.0 / 4.0) / 2.0;
+        assert!((ev.auc_pr - expected_ap).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_uniform_scores_tie_block() {
+        // All scores tied: ROC AUC must be exactly 0.5 with tie-aware
+        // handling (naive sorted walks give order-dependent results).
+        let ds = ds(6, &[true, false, true, false, true, false]);
+        let scores = [0.5; 6];
+        let ev = ranked_eval(ds.gold().unwrap(), &scores);
+        assert!((ev.auc_roc - 0.5).abs() < 1e-12, "auc_roc {}", ev.auc_roc);
+        // Single PR point at (1.0, base rate).
+        assert_eq!(ev.pr_curve.len(), 1);
+        assert!((ev.pr_curve[0].y - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_values_are_bounded() {
+        let ds = ds(5, &[true, false, true, true, false]);
+        let scores = [0.3, 0.9, 0.5, 0.5, 0.2];
+        let ev = ranked_eval(ds.gold().unwrap(), &scores);
+        assert!((0.0..=1.0).contains(&ev.auc_pr));
+        assert!((0.0..=1.0).contains(&ev.auc_roc));
+        // Curves are monotone in recall.
+        for w in ev.pr_curve.windows(2) {
+            assert!(w[1].x >= w[0].x - 1e-12);
+        }
+        for w in ev.roc_curve.windows(2) {
+            assert!(w[1].x >= w[0].x - 1e-12);
+            assert!(w[1].y >= w[0].y - 1e-12);
+        }
+    }
+
+    #[test]
+    fn roc_curve_is_anchored() {
+        let ds = ds(4, &[true, true, false, false]);
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let ev = ranked_eval(ds.gold().unwrap(), &scores);
+        assert_eq!(ev.roc_curve.first().map(|p| (p.x, p.y)), Some((0.0, 0.0)));
+        assert_eq!(ev.roc_curve.last().map(|p| (p.x, p.y)), Some((1.0, 1.0)));
+    }
+
+    #[test]
+    fn better_method_has_higher_auc() {
+        let ds = ds(6, &[true, true, true, false, false, false]);
+        let good = [0.9, 0.85, 0.7, 0.6, 0.3, 0.2];
+        let bad = [0.9, 0.2, 0.6, 0.85, 0.3, 0.7];
+        let g = ranked_eval(ds.gold().unwrap(), &good);
+        let b = ranked_eval(ds.gold().unwrap(), &bad);
+        assert!(g.auc_roc > b.auc_roc);
+        assert!(g.auc_pr > b.auc_pr);
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let curve: Vec<CurvePoint> = (0..100)
+            .map(|i| CurvePoint {
+                x: i as f64 / 99.0,
+                y: 1.0 - i as f64 / 99.0,
+            })
+            .collect();
+        let d = downsample(&curve, 5);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d[0], curve[0]);
+        assert_eq!(d[4], curve[99]);
+        // Short curves pass through unchanged.
+        assert_eq!(downsample(&curve[..3], 5).len(), 3);
+    }
+}

@@ -1,0 +1,146 @@
+//! Experiment BOOK-COPY — the §5.1 comparison against copy detection:
+//! ACCU / ACCUCOPY (Dong et al. 2009) on the BOOK replica, evaluated at
+//! the author-triple level so it is directly comparable with the fusion
+//! methods. The paper reports the copy-aware approach reaching high
+//! precision but losing recall (it discounts votes on true values too).
+
+use std::collections::HashSet;
+
+use corrfuse_baselines::accu::{accu, accu_copy, AccuConfig, AccuModel, SingleTruthProblem};
+use corrfuse_core::dataset::Dataset;
+use corrfuse_core::error::Result;
+
+use crate::metrics::{Confusion, Prf};
+use crate::report::{f3, Table};
+
+/// Triple-level metrics for the single-truth models vs. a fusion method.
+#[derive(Debug)]
+pub struct BookCopyResult {
+    /// `(method name, triple-level P/R/F1)`.
+    pub rows: Vec<(String, Prf)>,
+}
+
+impl BookCopyResult {
+    /// Render as a table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(["method", "precision", "recall", "f1"]);
+        for (name, prf) in &self.rows {
+            t.row([
+                name.clone(),
+                f3(prf.precision),
+                f3(prf.recall),
+                f3(prf.f1),
+            ]);
+        }
+        format!("== BOOK: single-truth copy detection vs fusion ==\n{t}")
+    }
+
+    /// Look up a row.
+    pub fn prf(&self, name: &str) -> Option<Prf> {
+        self.rows
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| *p)
+    }
+}
+
+/// Convert an [`AccuModel`]'s per-object value predictions into per-triple
+/// accept decisions: a triple `(book, author, X)` is accepted iff `X` is a
+/// member of the predicted author-list value for that book.
+pub fn triple_decisions(
+    ds: &Dataset,
+    problem: &SingleTruthProblem,
+    model: &AccuModel,
+) -> Vec<bool> {
+    // Predicted member-set per object key.
+    let preds = model.predictions();
+    let mut accepted: Vec<HashSet<&str>> = Vec::with_capacity(problem.n_objects());
+    for (o, pred) in preds.iter().enumerate() {
+        let mut set = HashSet::new();
+        if let Some(v) = pred {
+            for member in problem.values[o][*v as usize].split('|') {
+                set.insert(member);
+            }
+        }
+        accepted.push(set);
+    }
+    // Object key lookup (same construction as SingleTruthProblem).
+    let key_of = |subject: &str, predicate: &str| format!("{subject}\u{1}{predicate}");
+    let index: std::collections::HashMap<&str, usize> = problem
+        .objects
+        .iter()
+        .enumerate()
+        .map(|(i, k)| (k.as_str(), i))
+        .collect();
+
+    ds.triples()
+        .map(|t| {
+            let triple = ds.triple(t);
+            let key = key_of(&triple.subject, &triple.predicate);
+            match index.get(key.as_str()) {
+                Some(&o) => accepted[o].contains(triple.object.as_str()),
+                None => false,
+            }
+        })
+        .collect()
+}
+
+/// Run ACCU and ACCUCOPY on the dataset's single-truth view, plus the
+/// provided fusion baseline rows for comparison.
+pub fn run(ds: &Dataset, extra_rows: Vec<(String, Prf)>) -> Result<BookCopyResult> {
+    let gold = ds.require_gold()?;
+    let problem = SingleTruthProblem::from_dataset(ds);
+    let cfg = AccuConfig::default();
+
+    let mut rows = Vec::new();
+    for (name, model) in [
+        ("Accu".to_string(), accu(&problem, &cfg)),
+        ("AccuCopy".to_string(), accu_copy(&problem, &cfg)),
+    ] {
+        let decisions = triple_decisions(ds, &problem, &model);
+        let confusion = Confusion::from_decisions(gold, &decisions);
+        rows.push((name, confusion.into()));
+    }
+    rows.extend(extra_rows);
+    Ok(BookCopyResult { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corrfuse_synth::replicas::{book, BookConfig};
+
+    fn small_book() -> Dataset {
+        book(&BookConfig {
+            n_books: 60,
+            n_sources: 80,
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn accu_copy_has_high_precision_on_book() {
+        let ds = small_book();
+        let res = run(&ds, vec![]).unwrap();
+        let copy = res.prf("AccuCopy").unwrap();
+        // The paper's shape: copy-aware single-truth fusion is precise but
+        // recall-limited on BOOK-like data.
+        assert!(copy.precision > 0.6, "precision {}", copy.precision);
+        assert!(copy.recall < 0.98, "recall {}", copy.recall);
+        let rendered = res.render();
+        assert!(rendered.contains("AccuCopy"));
+    }
+
+    #[test]
+    fn triple_decisions_cover_all_triples() {
+        let ds = small_book();
+        let problem = SingleTruthProblem::from_dataset(&ds);
+        let model = accu(&problem, &AccuConfig::default());
+        let decisions = triple_decisions(&ds, &problem, &model);
+        assert_eq!(decisions.len(), ds.n_triples());
+        // At least one triple accepted and one rejected.
+        assert!(decisions.iter().any(|&d| d));
+        assert!(decisions.iter().any(|&d| !d));
+    }
+}

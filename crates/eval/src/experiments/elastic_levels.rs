@@ -1,0 +1,117 @@
+//! Experiment FIG5A — elastic approximation levels: F-measure of the
+//! aggressive approximation and each elastic level, converging towards the
+//! exact PrecRecCorr result (Figure 5a of the paper).
+
+use corrfuse_core::dataset::Dataset;
+use corrfuse_core::error::Result;
+
+use crate::harness::{evaluate_method, MethodSpec};
+use crate::report::{f3, secs, Table};
+
+/// F1 (and runtime) of one approximation setting.
+#[derive(Debug, Clone)]
+pub struct LevelPoint {
+    /// Setting label ("aggressive", "level-0", ..., "exact").
+    pub label: String,
+    /// F-measure at threshold 0.5.
+    pub f1: f64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// The level sweep for one dataset.
+#[derive(Debug)]
+pub struct ElasticSweep {
+    /// Dataset display name.
+    pub dataset: String,
+    /// Aggressive, levels `0..=max_level`, then (optionally) exact.
+    pub points: Vec<LevelPoint>,
+}
+
+impl ElasticSweep {
+    /// Render as a table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(["setting", "f1", "time"]);
+        for p in &self.points {
+            t.row([p.label.clone(), f3(p.f1), secs(p.seconds)]);
+        }
+        format!("== Figure 5a ({}) ==\n{}", self.dataset, t)
+    }
+
+    /// F1 of the final (most exact) setting in the sweep.
+    pub fn final_f1(&self) -> f64 {
+        self.points.last().map(|p| p.f1).unwrap_or(f64::NAN)
+    }
+
+    /// F1 of a labelled point.
+    pub fn f1_of(&self, label: &str) -> Option<f64> {
+        self.points.iter().find(|p| p.label == label).map(|p| p.f1)
+    }
+}
+
+/// Run the sweep: aggressive, elastic levels `0..=max_level`, and — when
+/// `include_exact` — the exact solution (skip for datasets whose cluster
+/// widths make exact infeasible).
+pub fn run(
+    ds: &Dataset,
+    name: &str,
+    max_level: usize,
+    include_exact: bool,
+) -> Result<ElasticSweep> {
+    let mut points = Vec::new();
+    let aggressive = evaluate_method(ds, &MethodSpec::Aggressive)?;
+    points.push(LevelPoint {
+        label: "aggressive".to_string(),
+        f1: aggressive.prf.f1,
+        seconds: aggressive.seconds,
+    });
+    for level in 0..=max_level {
+        let rep = evaluate_method(ds, &MethodSpec::Elastic(level))?;
+        points.push(LevelPoint {
+            label: format!("level-{level}"),
+            f1: rep.prf.f1,
+            seconds: rep.seconds,
+        });
+    }
+    if include_exact {
+        let exact = evaluate_method(ds, &MethodSpec::PrecRecCorr)?;
+        points.push(LevelPoint {
+            label: "exact".to_string(),
+            f1: exact.prf.f1,
+            seconds: exact.seconds,
+        });
+    }
+    Ok(ElasticSweep {
+        dataset: name.to_string(),
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corrfuse_synth::motivating::figure1;
+
+    #[test]
+    fn sweep_on_figure1_converges_to_exact() {
+        let ds = figure1();
+        let sweep = run(&ds, "FIG1", 4, true).unwrap();
+        // aggressive + levels 0..=4 + exact = 7 points.
+        assert_eq!(sweep.points.len(), 7);
+        let exact = sweep.final_f1();
+        // Level 4 covers every complement in a 5-source cluster.
+        let lvl4 = sweep.f1_of("level-4").unwrap();
+        assert!((lvl4 - exact).abs() < 1e-9, "lvl4 {lvl4} vs exact {exact}");
+        let rendered = sweep.render();
+        assert!(rendered.contains("aggressive"));
+        assert!(rendered.contains("exact"));
+    }
+
+    #[test]
+    fn exact_can_be_skipped() {
+        let ds = figure1();
+        let sweep = run(&ds, "FIG1", 1, false).unwrap();
+        assert_eq!(sweep.points.len(), 3);
+        assert_eq!(sweep.points.last().unwrap().label, "level-1");
+    }
+}

@@ -1,0 +1,19 @@
+//! Per-figure experiment runners (see DESIGN.md §4 for the index).
+//!
+//! | module | paper artifact |
+//! |--------|----------------|
+//! | [`fig1`] | Figure 1b/1c + Examples 3.3/4.4 + §2.3 overview |
+//! | [`realworld`] | Figure 4a/4b/4c (REVERB / RESTAURANT / BOOK) |
+//! | [`elastic_levels`] | Figure 5a |
+//! | [`runtime`] | Figure 5b |
+//! | [`synthetic`] | Figures 6a/6b/6c and 7 |
+//! | [`discovery`] | §5.1 "Discovered correlations" |
+//! | [`book_copy`] | §5.1 ACCU/ACCUCOPY comparison on BOOK |
+
+pub mod book_copy;
+pub mod discovery;
+pub mod elastic_levels;
+pub mod fig1;
+pub mod realworld;
+pub mod runtime;
+pub mod synthetic;

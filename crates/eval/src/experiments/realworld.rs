@@ -1,0 +1,122 @@
+//! Experiment FIG4 — the real-world comparison (Figure 4a/b/c): for one
+//! dataset replica, run the paper's method line-up and report P/R/F1 bars
+//! plus PR-curve, ROC-curve, AUC-PR and AUC-ROC.
+
+use corrfuse_core::dataset::Dataset;
+use corrfuse_core::error::Result;
+
+use crate::curves::downsample;
+use crate::harness::{evaluate_all, MethodReport, MethodSpec};
+use crate::report::{f3, secs, series, Table};
+
+/// Results of the Figure-4 style evaluation on one dataset.
+#[derive(Debug)]
+pub struct RealWorldResult {
+    /// Dataset display name.
+    pub dataset: String,
+    /// One report per method, in line-up order.
+    pub reports: Vec<MethodReport>,
+}
+
+impl RealWorldResult {
+    /// The method with the best F1.
+    pub fn best_f1(&self) -> &MethodReport {
+        self.reports
+            .iter()
+            .max_by(|a, b| a.prf.f1.partial_cmp(&b.prf.f1).unwrap())
+            .expect("non-empty lineup")
+    }
+
+    /// Look up a report by method name.
+    pub fn report(&self, name: &str) -> Option<&MethodReport> {
+        self.reports.iter().find(|r| r.name == name)
+    }
+
+    /// Render the bar metrics, AUCs and down-sampled curves.
+    pub fn render(&self) -> String {
+        let mut metrics = Table::new([
+            "method",
+            "precision",
+            "recall",
+            "f1",
+            "auc-pr",
+            "auc-roc",
+            "time",
+        ]);
+        for r in &self.reports {
+            metrics.row([
+                r.name.clone(),
+                f3(r.prf.precision),
+                f3(r.prf.recall),
+                f3(r.prf.f1),
+                f3(r.ranked.auc_pr),
+                f3(r.ranked.auc_roc),
+                secs(r.seconds),
+            ]);
+        }
+        let mut out = format!("== Figure 4 ({}) ==\n{}", self.dataset, metrics);
+        out.push_str("\nPR curves (11 points, recall -> precision):\n");
+        for r in &self.reports {
+            let pts: Vec<(f64, f64)> = downsample(&r.ranked.pr_curve, 11)
+                .iter()
+                .map(|p| (p.x, p.y))
+                .collect();
+            out.push_str(&format!("  {:<18} {}\n", r.name, series(&pts)));
+        }
+        out.push_str("ROC curves (11 points, fpr -> tpr):\n");
+        for r in &self.reports {
+            let pts: Vec<(f64, f64)> = downsample(&r.ranked.roc_curve, 11)
+                .iter()
+                .map(|p| (p.x, p.y))
+                .collect();
+            out.push_str(&format!("  {:<18} {}\n", r.name, series(&pts)));
+        }
+        out
+    }
+}
+
+/// Run the paper line-up on a dataset. `corr` selects which PrecRecCorr
+/// variant stands in for the exact solution (exact for the small-source
+/// datasets, elastic level-3 for BOOK, as in Figure 5).
+pub fn run(ds: &Dataset, name: &str, corr: MethodSpec) -> Result<RealWorldResult> {
+    let reports = evaluate_all(ds, &MethodSpec::paper_lineup(corr))?;
+    Ok(RealWorldResult {
+        dataset: name.to_string(),
+        reports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corrfuse_synth::replicas;
+
+    #[test]
+    fn restaurant_lineup_shapes() {
+        let ds = replicas::restaurant(1).unwrap();
+        let res = run(&ds, "RESTAURANT", MethodSpec::PrecRecCorr).unwrap();
+        assert_eq!(res.reports.len(), 7);
+        let rendered = res.render();
+        assert!(rendered.contains("RESTAURANT"));
+        assert!(rendered.contains("Union-50"));
+        assert!(rendered.contains("PR curves"));
+        assert!(res.report("PrecRec").is_some());
+        assert!(res.report("nope").is_none());
+    }
+
+    #[test]
+    fn corr_is_competitive_on_restaurant() {
+        let ds = replicas::restaurant(7).unwrap();
+        let res = run(&ds, "RESTAURANT", MethodSpec::PrecRecCorr).unwrap();
+        let corr = res.report("PrecRecCorr").unwrap();
+        let best = res.best_f1();
+        // The paper's headline: PrecRecCorr obtains the best results.
+        assert!(
+            corr.prf.f1 >= best.prf.f1 - 0.05,
+            "PrecRecCorr f1 {} vs best {} ({})",
+            corr.prf.f1,
+            best.prf.f1,
+            best.name
+        );
+    }
+}

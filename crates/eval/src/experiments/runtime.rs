@@ -1,0 +1,104 @@
+//! Experiment FIG5B — the runtime table (Figure 5b): wall-clock seconds of
+//! every method on every dataset. Absolute numbers depend on the host; the
+//! paper's *relative* pattern is what we reproduce (UNION ≪ 3-Estimates ≈
+//! PrecRec < LTM ≈ elastic < exact).
+
+use corrfuse_core::dataset::Dataset;
+use corrfuse_core::error::Result;
+
+use crate::harness::{run_method, MethodSpec};
+use crate::report::{secs, Table};
+
+/// Seconds per method per dataset.
+#[derive(Debug)]
+pub struct RuntimeResult {
+    /// Dataset names (columns).
+    pub datasets: Vec<String>,
+    /// `(method name, seconds per dataset)`.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl RuntimeResult {
+    /// Render as the Figure 5b table.
+    pub fn render(&self) -> String {
+        let mut headers = vec!["time".to_string()];
+        headers.extend(self.datasets.clone());
+        let mut t = Table::new(headers);
+        for (name, times) in &self.rows {
+            let mut row = vec![name.clone()];
+            row.extend(times.iter().map(|&v| {
+                if v.is_nan() {
+                    "-".to_string()
+                } else {
+                    secs(v)
+                }
+            }));
+            t.row(row);
+        }
+        format!("== Figure 5b: runtimes ==\n{t}")
+    }
+
+    /// Seconds for a method on a dataset (NaN if skipped).
+    pub fn seconds(&self, method: &str, dataset: &str) -> f64 {
+        let col = match self.datasets.iter().position(|d| d == dataset) {
+            Some(c) => c,
+            None => return f64::NAN,
+        };
+        self.rows
+            .iter()
+            .find(|(n, _)| n == method)
+            .map(|(_, times)| times[col])
+            .unwrap_or(f64::NAN)
+    }
+}
+
+/// Time every `(method, dataset)` pair; entries in `skip` are recorded as
+/// NaN (used for exact PrecRecCorr on BOOK-scale data).
+pub fn run(
+    datasets: &[(&str, &Dataset)],
+    methods: &[MethodSpec],
+    skip: &[(&str, &str)],
+) -> Result<RuntimeResult> {
+    let mut rows = Vec::new();
+    for m in methods {
+        let mut times = Vec::new();
+        for (name, ds) in datasets {
+            if skip.iter().any(|(sm, sd)| *sm == m.name() && sd == name) {
+                times.push(f64::NAN);
+                continue;
+            }
+            let run = run_method(ds, m)?;
+            times.push(run.seconds);
+        }
+        rows.push((m.name(), times));
+    }
+    Ok(RuntimeResult {
+        datasets: datasets.iter().map(|(n, _)| n.to_string()).collect(),
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corrfuse_synth::motivating::figure1;
+
+    #[test]
+    fn runtime_table_shapes_and_skip() {
+        let ds = figure1();
+        let datasets = [("FIG1", &ds)];
+        let methods = [
+            MethodSpec::Union(50.0),
+            MethodSpec::PrecRec,
+            MethodSpec::PrecRecCorr,
+        ];
+        let res = run(&datasets, &methods, &[("PrecRecCorr", "FIG1")]).unwrap();
+        assert_eq!(res.rows.len(), 3);
+        assert!(res.seconds("Union-50", "FIG1") >= 0.0);
+        assert!(res.seconds("PrecRecCorr", "FIG1").is_nan());
+        assert!(res.seconds("Union-50", "NOPE").is_nan());
+        let rendered = res.render();
+        assert!(rendered.contains("Figure 5b"));
+        assert!(rendered.contains('-'));
+    }
+}

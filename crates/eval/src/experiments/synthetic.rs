@@ -1,0 +1,249 @@
+//! Experiments FIG6 and FIG7 — synthetic sweeps.
+//!
+//! Figure 6: independent sources, 5 sources × 1000 triples, 10 repetitions
+//! per point:
+//!   (a) low precision (p=0.1), recall 0.025..0.225, 25% true triples;
+//!   (b) high precision (p=0.75), recall 0.075..0.675, 50% true;
+//!   (c) low recall (r=0.25), precision 0.1..0.9, 25% true.
+//!
+//! Figure 7: correlated sources — (i) a group positively correlated on
+//! true triples, (ii) sources negatively correlated on false triples.
+
+use corrfuse_core::error::Result;
+use corrfuse_synth::{generate, GroupKind, GroupSpec, Polarity, SynthSpec};
+
+use crate::harness::{evaluate_method, MethodSpec};
+use crate::report::{f3, Table};
+
+/// The method line-up of Figures 6/7 (Majority ≡ Union-50).
+pub fn lineup() -> Vec<MethodSpec> {
+    vec![
+        MethodSpec::Union(50.0),
+        MethodSpec::Union(25.0),
+        MethodSpec::Union(75.0),
+        MethodSpec::ThreeEstimates,
+        MethodSpec::ltm_default(),
+        MethodSpec::PrecRec,
+        MethodSpec::PrecRecCorr,
+    ]
+}
+
+/// Average F1 per method at one sweep point.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Point label, e.g. `p=0.10 r=0.125`.
+    pub label: String,
+    /// `(method name, mean F1 over repetitions)`.
+    pub f1: Vec<(String, f64)>,
+}
+
+/// One full sweep (a Figure-6 panel or Figure 7).
+#[derive(Debug)]
+pub struct Sweep {
+    /// Panel title.
+    pub title: String,
+    /// Points in sweep order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Sweep {
+    /// Render as a methods × points table.
+    pub fn render(&self) -> String {
+        let mut headers = vec!["method".to_string()];
+        headers.extend(self.points.iter().map(|p| p.label.clone()));
+        let mut t = Table::new(headers);
+        if let Some(first) = self.points.first() {
+            for (m, _) in &first.f1 {
+                let mut row = vec![m.clone()];
+                for p in &self.points {
+                    let v = p
+                        .f1
+                        .iter()
+                        .find(|(name, _)| name == m)
+                        .map(|(_, f1)| *f1)
+                        .unwrap_or(f64::NAN);
+                    row.push(f3(v));
+                }
+                t.row(row);
+            }
+        }
+        format!("== {} ==\n{}", self.title, t)
+    }
+
+    /// Mean F1 of a method across the sweep.
+    pub fn mean_f1(&self, method: &str) -> f64 {
+        let vals: Vec<f64> = self
+            .points
+            .iter()
+            .filter_map(|p| p.f1.iter().find(|(n, _)| n == method).map(|(_, v)| *v))
+            .collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    }
+}
+
+/// Evaluate the line-up on `reps` seeded generations of a spec template.
+fn sweep_point(
+    label: String,
+    make_spec: impl Fn(u64) -> SynthSpec,
+    reps: usize,
+    methods: &[MethodSpec],
+) -> Result<SweepPoint> {
+    let mut sums: Vec<f64> = vec![0.0; methods.len()];
+    let mut counts: Vec<usize> = vec![0; methods.len()];
+    for rep in 0..reps {
+        let spec = make_spec(rep as u64);
+        let ds = generate(&spec)?;
+        for (i, m) in methods.iter().enumerate() {
+            let rep = evaluate_method(&ds, m)?;
+            sums[i] += rep.prf.f1;
+            counts[i] += 1;
+        }
+    }
+    Ok(SweepPoint {
+        label,
+        f1: methods
+            .iter()
+            .zip(sums.iter().zip(&counts))
+            .map(|(m, (s, c))| (m.name(), s / (*c).max(1) as f64))
+            .collect(),
+    })
+}
+
+/// Figure 6a: p = 0.1, r ∈ {0.025, 0.075, 0.125, 0.175, 0.225}, 25% true.
+pub fn fig6a(reps: usize, base_seed: u64) -> Result<Sweep> {
+    let mut points = Vec::new();
+    for (i, r) in [0.025, 0.075, 0.125, 0.175, 0.225].iter().enumerate() {
+        points.push(sweep_point(
+            format!("r={r}"),
+            |rep| SynthSpec::uniform(5, 0.1, *r, 1000, 0.25, base_seed + (i as u64) * 100 + rep),
+            reps,
+            &lineup(),
+        )?);
+    }
+    Ok(Sweep {
+        title: "Figure 6a: p=0.1, 25% true".to_string(),
+        points,
+    })
+}
+
+/// Figure 6b: p = 0.75, r ∈ {0.075, 0.225, 0.375, 0.525, 0.675}, 50% true.
+pub fn fig6b(reps: usize, base_seed: u64) -> Result<Sweep> {
+    let mut points = Vec::new();
+    for (i, r) in [0.075, 0.225, 0.375, 0.525, 0.675].iter().enumerate() {
+        points.push(sweep_point(
+            format!("r={r}"),
+            |rep| SynthSpec::uniform(5, 0.75, *r, 1000, 0.5, base_seed + (i as u64) * 100 + rep),
+            reps,
+            &lineup(),
+        )?);
+    }
+    Ok(Sweep {
+        title: "Figure 6b: p=0.75, 50% true".to_string(),
+        points,
+    })
+}
+
+/// Figure 6c: r = 0.25, p ∈ {0.1, 0.3, 0.5, 0.7, 0.9}, 25% true.
+pub fn fig6c(reps: usize, base_seed: u64) -> Result<Sweep> {
+    let mut points = Vec::new();
+    for (i, p) in [0.1, 0.3, 0.5, 0.7, 0.9].iter().enumerate() {
+        points.push(sweep_point(
+            format!("p={p}"),
+            |rep| SynthSpec::uniform(5, *p, 0.25, 1000, 0.25, base_seed + (i as u64) * 100 + rep),
+            reps,
+            &lineup(),
+        )?);
+    }
+    Ok(Sweep {
+        title: "Figure 6c: r=0.25, 25% true".to_string(),
+        points,
+    })
+}
+
+/// Figure 7: correlated synthetic scenarios.
+pub fn fig7(reps: usize, base_seed: u64) -> Result<Sweep> {
+    let correlated = |rep: u64| {
+        SynthSpec::uniform(5, 0.6, 0.45, 1000, 0.4, base_seed + rep).with_group(GroupSpec {
+            members: vec![0, 1, 2, 3],
+            polarity: Polarity::TrueTriples,
+            kind: GroupKind::Positive { strength: 0.85 },
+        })
+    };
+    let anti = |rep: u64| {
+        SynthSpec::uniform(5, 0.6, 0.45, 1000, 0.4, base_seed + 1000 + rep).with_group(GroupSpec {
+            members: vec![0, 1, 2, 3],
+            polarity: Polarity::FalseTriples,
+            kind: GroupKind::Complementary { strength: 0.9 },
+        })
+    };
+    let points = vec![
+        sweep_point("correlation".to_string(), correlated, reps, &lineup())?,
+        sweep_point("anti-correlation".to_string(), anti, reps, &lineup())?,
+    ];
+    Ok(Sweep {
+        title: "Figure 7: correlated sources".to_string(),
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6a_low_quality_precrec_wins_at_higher_recall() {
+        // One repetition for test speed; the bench bins run the full 10.
+        let sweep = fig6a(1, 99).unwrap();
+        assert_eq!(sweep.points.len(), 5);
+        // At the top recall point PrecRec must beat Union-25 (which is
+        // very sensitive to low-quality sources, per the paper).
+        let last = sweep.points.last().unwrap();
+        let get = |name: &str| {
+            last.f1
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert!(
+            get("PrecRec") > get("Union-25"),
+            "PrecRec {} vs Union-25 {}",
+            get("PrecRec"),
+            get("Union-25")
+        );
+    }
+
+    #[test]
+    fn fig7_correlation_scenarios_favour_corr_model() {
+        let sweep = fig7(2, 123).unwrap();
+        assert_eq!(sweep.points.len(), 2);
+        for point in &sweep.points {
+            let get = |name: &str| {
+                point
+                    .f1
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, v)| *v)
+                    .unwrap()
+            };
+            assert!(
+                get("PrecRecCorr") >= get("PrecRec") - 0.02,
+                "{}: corr {} vs indep {}",
+                point.label,
+                get("PrecRecCorr"),
+                get("PrecRec")
+            );
+        }
+        let rendered = sweep.render();
+        assert!(rendered.contains("anti-correlation"));
+    }
+
+    #[test]
+    fn sweep_render_is_table_shaped() {
+        let sweep = fig6c(1, 7).unwrap();
+        let rendered = sweep.render();
+        assert!(rendered.contains("p=0.1"));
+        assert!(rendered.contains("PrecRecCorr"));
+        assert!(sweep.mean_f1("PrecRec").is_finite());
+    }
+}

@@ -1,0 +1,243 @@
+//! The method registry: one entry point to run any fusion method on any
+//! dataset and collect scores, decisions and timings.
+
+use std::time::Instant;
+
+use corrfuse_baselines::estimates::{cosine, three_estimates, two_estimates, EstimatesConfig};
+use corrfuse_baselines::ltm::{run as ltm_run, LtmConfig};
+use corrfuse_baselines::voting::UnionK;
+use corrfuse_core::dataset::Dataset;
+use corrfuse_core::error::Result;
+use corrfuse_core::fuser::{ClusterStrategy, Fuser, FuserConfig, Method};
+
+use crate::curves::{ranked_eval, RankedEval};
+use crate::metrics::{Confusion, Prf};
+
+/// Every method the evaluation can run, with its parameters.
+#[derive(Debug, Clone)]
+pub enum MethodSpec {
+    /// UNION-K voting.
+    Union(f64),
+    /// COSINE (Galland et al.).
+    Cosine,
+    /// 2-ESTIMATES (Galland et al.).
+    TwoEstimates,
+    /// 3-ESTIMATES (Galland et al.).
+    ThreeEstimates,
+    /// Latent Truth Model (Zhao et al.).
+    Ltm(LtmConfig),
+    /// PrecRec (§3).
+    PrecRec,
+    /// PrecRecCorr exact (§4.1).
+    PrecRecCorr,
+    /// Aggressive approximation (§4.2).
+    Aggressive,
+    /// Elastic approximation at a level (§4.3).
+    Elastic(usize),
+}
+
+impl MethodSpec {
+    /// Display name, matching the paper's figures.
+    pub fn name(&self) -> String {
+        match self {
+            MethodSpec::Union(k) => format!("Union-{}", *k as u32),
+            MethodSpec::Cosine => "Cosine".to_string(),
+            MethodSpec::TwoEstimates => "2-Estimates".to_string(),
+            MethodSpec::ThreeEstimates => "3-Estimates".to_string(),
+            MethodSpec::Ltm(_) => "LTM".to_string(),
+            MethodSpec::PrecRec => "PrecRec".to_string(),
+            MethodSpec::PrecRecCorr => "PrecRecCorr".to_string(),
+            MethodSpec::Aggressive => "PrecRecCorr-Aggr".to_string(),
+            MethodSpec::Elastic(l) => format!("PrecRecCorr-Lvl{l}"),
+        }
+    }
+
+    /// The default LTM baseline configuration.
+    pub fn ltm_default() -> Self {
+        MethodSpec::Ltm(LtmConfig::default())
+    }
+
+    /// The paper's headline method line-up for Figures 4–7: UNION-25/50/75,
+    /// 3-Estimates, LTM, PrecRec, PrecRecCorr (exact or elastic).
+    pub fn paper_lineup(corr: MethodSpec) -> Vec<MethodSpec> {
+        vec![
+            MethodSpec::Union(25.0),
+            MethodSpec::Union(50.0),
+            MethodSpec::Union(75.0),
+            MethodSpec::ThreeEstimates,
+            MethodSpec::ltm_default(),
+            MethodSpec::PrecRec,
+            corr,
+        ]
+    }
+}
+
+/// Scores plus threshold-free decisions for one method run.
+#[derive(Debug, Clone)]
+pub struct MethodRun {
+    /// Truthfulness score per triple (higher = more likely true).
+    pub scores: Vec<f64>,
+    /// Binary accept decisions (method-native thresholds).
+    pub decisions: Vec<bool>,
+    /// Wall-clock seconds for fit + score.
+    pub seconds: f64,
+}
+
+/// Run a method on a labelled dataset (the gold labels double as training
+/// data, per the paper's protocol).
+pub fn run_method(ds: &Dataset, spec: &MethodSpec) -> Result<MethodRun> {
+    let gold = ds.require_gold()?;
+    let start = Instant::now();
+    let (scores, decisions) = match spec {
+        MethodSpec::Union(k) => {
+            let u = UnionK::new(*k);
+            (u.score_all(ds), u.decide(ds))
+        }
+        MethodSpec::Cosine => {
+            let r = cosine(ds, &EstimatesConfig::default());
+            let d = r.decide();
+            (r.truth, d)
+        }
+        MethodSpec::TwoEstimates => {
+            let r = two_estimates(ds, &EstimatesConfig::default());
+            let d = r.decide();
+            (r.truth, d)
+        }
+        MethodSpec::ThreeEstimates => {
+            let r = three_estimates(ds, &EstimatesConfig::default());
+            let d = r.decide();
+            (r.truth, d)
+        }
+        MethodSpec::Ltm(cfg) => {
+            let r = ltm_run(ds, cfg);
+            let d = r.decide();
+            (r.truth, d)
+        }
+        MethodSpec::PrecRec => fuse(ds, Method::PrecRec)?,
+        MethodSpec::PrecRecCorr => fuse(ds, Method::Exact)?,
+        MethodSpec::Aggressive => fuse(ds, Method::Aggressive)?,
+        MethodSpec::Elastic(l) => fuse(ds, Method::Elastic(*l))?,
+    };
+    let seconds = start.elapsed().as_secs_f64();
+    let _ = gold;
+    Ok(MethodRun {
+        scores,
+        decisions,
+        seconds,
+    })
+}
+
+fn fuse(ds: &Dataset, method: Method) -> Result<(Vec<f64>, Vec<bool>)> {
+    let config = FuserConfig::new(method).with_strategy(ClusterStrategy::Auto);
+    let fuser = Fuser::fit(&config, ds, ds.require_gold()?)?;
+    let scores = fuser.score_all_parallel(ds, num_threads())?;
+    let decisions = scores.iter().map(|&p| p > 0.5).collect();
+    Ok((scores, decisions))
+}
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Full evaluation of one method: binary metrics + ranking AUCs + runtime.
+#[derive(Debug, Clone)]
+pub struct MethodReport {
+    /// Method display name.
+    pub name: String,
+    /// Precision/recall/F1 at the method's native threshold.
+    pub prf: Prf,
+    /// Ranking analysis (PR and ROC curves with areas).
+    pub ranked: RankedEval,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// Run and evaluate one method.
+pub fn evaluate_method(ds: &Dataset, spec: &MethodSpec) -> Result<MethodReport> {
+    let gold = ds.require_gold()?.clone();
+    let run = run_method(ds, spec)?;
+    let confusion = Confusion::from_decisions(&gold, &run.decisions);
+    let ranked = ranked_eval(&gold, &run.scores);
+    Ok(MethodReport {
+        name: spec.name(),
+        prf: confusion.into(),
+        ranked,
+        seconds: run.seconds,
+    })
+}
+
+/// Evaluate a list of methods on one dataset.
+pub fn evaluate_all(ds: &Dataset, specs: &[MethodSpec]) -> Result<Vec<MethodReport>> {
+    specs.iter().map(|s| evaluate_method(ds, s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corrfuse_synth::motivating::figure1;
+
+    #[test]
+    fn union_run_matches_voting_module() {
+        let ds = figure1();
+        let run = run_method(&ds, &MethodSpec::Union(50.0)).unwrap();
+        assert_eq!(run.decisions.iter().filter(|&&d| d).count(), 7);
+    }
+
+    #[test]
+    fn precrec_report_on_figure1() {
+        let ds = figure1();
+        let rep = evaluate_method(&ds, &MethodSpec::PrecRec).unwrap();
+        assert!((rep.prf.precision - 0.75).abs() < 1e-9);
+        assert!((rep.prf.recall - 1.0).abs() < 1e-9);
+        assert!(rep.seconds >= 0.0);
+    }
+
+    #[test]
+    fn preccorr_beats_precrec_on_figure1() {
+        let ds = figure1();
+        let reports = evaluate_all(
+            &ds,
+            &[MethodSpec::PrecRec, MethodSpec::PrecRecCorr],
+        )
+        .unwrap();
+        assert!(reports[1].prf.f1 > reports[0].prf.f1);
+        assert!(reports[1].ranked.auc_pr >= reports[0].ranked.auc_pr - 1e-9);
+    }
+
+    #[test]
+    fn every_method_runs_on_figure1() {
+        let ds = figure1();
+        let specs = [
+            MethodSpec::Union(25.0),
+            MethodSpec::Cosine,
+            MethodSpec::TwoEstimates,
+            MethodSpec::ThreeEstimates,
+            MethodSpec::ltm_default(),
+            MethodSpec::PrecRec,
+            MethodSpec::PrecRecCorr,
+            MethodSpec::Aggressive,
+            MethodSpec::Elastic(2),
+        ];
+        for spec in &specs {
+            let rep = evaluate_method(&ds, spec).unwrap();
+            assert!(
+                rep.prf.f1.is_finite(),
+                "{} produced non-finite f1",
+                spec.name()
+            );
+            assert!((0.0..=1.0).contains(&rep.ranked.auc_roc), "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn names_match_paper_terms() {
+        assert_eq!(MethodSpec::Union(25.0).name(), "Union-25");
+        assert_eq!(MethodSpec::ThreeEstimates.name(), "3-Estimates");
+        assert_eq!(MethodSpec::Elastic(3).name(), "PrecRecCorr-Lvl3");
+        let lineup = MethodSpec::paper_lineup(MethodSpec::PrecRecCorr);
+        assert_eq!(lineup.len(), 7);
+        assert_eq!(lineup[6].name(), "PrecRecCorr");
+    }
+}

@@ -1,0 +1,175 @@
+//! Binary classification metrics over gold-labelled triples.
+
+use corrfuse_core::dataset::GoldLabels;
+
+/// Confusion-matrix counts restricted to labelled triples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    /// Accepted and true.
+    pub tp: usize,
+    /// Accepted but false.
+    pub fp: usize,
+    /// Rejected and false.
+    pub tn: usize,
+    /// Rejected but true.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Tally decisions against gold labels; unlabelled triples are skipped.
+    pub fn from_decisions(gold: &GoldLabels, decisions: &[bool]) -> Self {
+        let mut c = Confusion::default();
+        for (t, truth) in gold.iter_labelled() {
+            let accepted = decisions
+                .get(t.index())
+                .copied()
+                .unwrap_or(false);
+            match (accepted, truth) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// `tp / (tp + fp)`; 0 when nothing was accepted.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// `tp / (tp + fn)`; 0 when nothing is true.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        corrfuse_core::prob::f1_score(self.precision(), self.recall())
+    }
+
+    /// Fraction of labelled triples classified correctly.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+
+    /// True-positive rate (= recall), for ROC axes.
+    pub fn tpr(&self) -> f64 {
+        self.recall()
+    }
+
+    /// False-positive rate `fp / (fp + tn)`.
+    pub fn fpr(&self) -> f64 {
+        if self.fp + self.tn == 0 {
+            0.0
+        } else {
+            self.fp as f64 / (self.fp + self.tn) as f64
+        }
+    }
+}
+
+/// Precision/recall/F1 triple for compact reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prf {
+    /// Precision.
+    pub precision: f64,
+    /// Recall.
+    pub recall: f64,
+    /// F1.
+    pub f1: f64,
+}
+
+impl From<Confusion> for Prf {
+    fn from(c: Confusion) -> Self {
+        Prf {
+            precision: c.precision(),
+            recall: c.recall(),
+            f1: c.f1(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corrfuse_core::dataset::{Dataset, DatasetBuilder};
+
+    fn ds() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let s = b.source("A");
+        for i in 0..6 {
+            let t = b.triple(format!("e{i}"), "p", "v");
+            b.observe(s, t);
+            b.label(t, i < 3); // 3 true, 3 false
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let ds = ds();
+        // Accept triples 0, 1, 3: tp=2 fp=1 fn=1 tn=2.
+        let decisions = [true, true, false, true, false, false];
+        let c = Confusion::from_decisions(ds.gold().unwrap(), &decisions);
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 2,
+                fp: 1,
+                tn: 2,
+                fn_: 1
+            }
+        );
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+        assert!((c.fpr() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_metrics_are_zero() {
+        let c = Confusion::default();
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.fpr(), 0.0);
+    }
+
+    #[test]
+    fn missing_decisions_count_as_reject() {
+        let ds = ds();
+        let decisions = [true]; // too short
+        let c = Confusion::from_decisions(ds.gold().unwrap(), &decisions);
+        assert_eq!(c.tp, 1);
+        assert_eq!(c.fn_, 2);
+    }
+
+    #[test]
+    fn prf_conversion() {
+        let c = Confusion {
+            tp: 3,
+            fp: 1,
+            tn: 1,
+            fn_: 0,
+        };
+        let prf: Prf = c.into();
+        assert!((prf.precision - 0.75).abs() < 1e-12);
+        assert!((prf.recall - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,160 @@
+//! Fixed-width ASCII tables for experiment output.
+//!
+//! All bench binaries print through this module so the regenerated
+//! tables/figures have one consistent look.
+
+use std::fmt;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row arity {} != header arity {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<width$}", width = widths[c])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a float with 3 decimals (the paper's convention for metrics).
+pub fn f3(v: f64) -> String {
+    if v.is_nan() {
+        "n/a".to_string()
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    if v.is_nan() {
+        "n/a".to_string()
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Format a duration in seconds with adaptive precision.
+pub fn secs(v: f64) -> String {
+    if v < 0.001 {
+        format!("{:.1}ms", v * 1000.0)
+    } else if v < 1.0 {
+        format!("{:.0}ms", v * 1000.0)
+    } else {
+        format!("{v:.2}s")
+    }
+}
+
+/// Render a sparkline-style series `x=y` list for curve output.
+pub fn series(points: &[(f64, f64)]) -> String {
+    points
+        .iter()
+        .map(|(x, y)| format!("({x:.2},{y:.2})"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(["method", "precision", "f1"]);
+        t.row(["Union-25", "0.556", "0.667"]);
+        t.row(["PrecRecCorr", "1.000", "0.909"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("method"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].contains("Union-25"));
+        // All data lines have the same formatted width for column 0.
+        let col0 = lines[2].find("0.556").unwrap();
+        let col0b = lines[3].find("1.000").unwrap();
+        assert_eq!(col0, col0b);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(f2(0.999), "1.00");
+        assert_eq!(f3(f64::NAN), "n/a");
+        assert_eq!(secs(0.0005), "0.5ms");
+        assert_eq!(secs(0.25), "250ms");
+        assert_eq!(secs(12.5), "12.50s");
+        assert_eq!(series(&[(0.0, 1.0), (0.5, 0.25)]), "(0.00,1.00) (0.50,0.25)");
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new(["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.to_string().contains('x'));
+    }
+}

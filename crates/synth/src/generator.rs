@@ -1,0 +1,619 @@
+//! Synthetic observation generators with controlled quality and
+//! correlation structure (§5.2 of the paper).
+//!
+//! The generator creates a world of `n_triples` triples with a fixed
+//! true-fraction, then lets each source provide each triple according to
+//! its target marginals: recall `r_i` for true triples and the
+//! Theorem 3.5-consistent false-positive rate
+//! `q_i = r_i · N_true (1-p_i) / (p_i · N_false)` for false triples.
+//!
+//! Correlation groups perturb the *joint* distribution while preserving
+//! those marginals exactly:
+//!
+//! * **Positive** groups share a latent per-triple indicator `z ~ Bern(rho)`
+//!   and interpolate, with strength `s`, between independence and the
+//!   maximal-correlation coupling (`hi_k = m_k + s·(hi_max − m_k)`,
+//!   `lo_k` chosen so `rho·hi + (1−rho)·lo = m_k`).
+//! * **Complementary** groups draw a per-triple owner uniformly among the
+//!   `K` members; the owner provides with boosted probability and the rest
+//!   with probability damped by `s`, again preserving each marginal.
+//!
+//! Triples that end up with no provider are dropped (the data model only
+//! contains observed triples), so realized dataset statistics differ
+//! slightly from the targets; tests bound that gap.
+
+use corrfuse_core::dataset::{Dataset, DatasetBuilder};
+use corrfuse_core::error::{FusionError, Result};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Target quality of one synthetic source.
+#[derive(Debug, Clone)]
+pub struct SourceSpec {
+    /// Display name.
+    pub name: String,
+    /// Target precision.
+    pub precision: f64,
+    /// Target recall.
+    pub recall: f64,
+}
+
+impl SourceSpec {
+    /// Source with an auto-generated name.
+    pub fn new(precision: f64, recall: f64) -> Self {
+        SourceSpec {
+            name: String::new(),
+            precision,
+            recall,
+        }
+    }
+
+    /// Source with an explicit name.
+    pub fn named(name: impl Into<String>, precision: f64, recall: f64) -> Self {
+        SourceSpec {
+            name: name.into(),
+            precision,
+            recall,
+        }
+    }
+}
+
+/// Which side of the gold standard a correlation group binds on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Polarity {
+    /// Correlated provision of true triples (e.g. shared extraction rules).
+    TrueTriples,
+    /// Correlated provision of false triples (e.g. shared mistakes, copying).
+    FalseTriples,
+}
+
+/// Shape of the correlation within a group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GroupKind {
+    /// Positive correlation with the given strength in `[0, 1]`
+    /// (0 = independent, 1 = maximal coupling).
+    Positive {
+        /// Interpolation factor towards the maximal-correlation coupling.
+        strength: f64,
+    },
+    /// Negative correlation (complementary provision) with strength in
+    /// `[0, 1]`.
+    Complementary {
+        /// Interpolation factor towards fully-partitioned provision.
+        strength: f64,
+    },
+}
+
+/// A correlated group of sources.
+#[derive(Debug, Clone)]
+pub struct GroupSpec {
+    /// Indices into [`SynthSpec::sources`].
+    pub members: Vec<usize>,
+    /// Triple polarity the correlation acts on.
+    pub polarity: Polarity,
+    /// Positive or complementary, with strength.
+    pub kind: GroupKind,
+}
+
+/// Full specification of a synthetic fusion problem.
+#[derive(Debug, Clone)]
+pub struct SynthSpec {
+    /// Number of world triples before provider filtering.
+    pub n_triples: usize,
+    /// Fraction of world triples that are true.
+    pub true_fraction: f64,
+    /// Sources with target quality.
+    pub sources: Vec<SourceSpec>,
+    /// Correlation groups (disjoint per polarity).
+    pub groups: Vec<GroupSpec>,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl SynthSpec {
+    /// `n` identical independent sources — the Figure 6 configuration.
+    pub fn uniform(
+        n_sources: usize,
+        precision: f64,
+        recall: f64,
+        n_triples: usize,
+        true_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        SynthSpec {
+            n_triples,
+            true_fraction,
+            sources: (0..n_sources)
+                .map(|_| SourceSpec::new(precision, recall))
+                .collect(),
+            groups: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Add a correlation group (builder style).
+    pub fn with_group(mut self, group: GroupSpec) -> Self {
+        self.groups.push(group);
+        self
+    }
+}
+
+/// Per-member provision probabilities under a latent indicator.
+#[derive(Debug, Clone)]
+struct Coupling {
+    /// Probability the latent indicator fires.
+    rho: f64,
+    /// Provision probability when the indicator fires, per member.
+    hi: Vec<f64>,
+    /// Provision probability otherwise, per member.
+    lo: Vec<f64>,
+}
+
+fn positive_coupling(marginals: &[f64], strength: f64) -> Coupling {
+    let s = strength.clamp(0.0, 1.0);
+    let rho = (marginals.iter().sum::<f64>() / marginals.len() as f64).clamp(1e-6, 1.0 - 1e-6);
+    let mut hi = Vec::with_capacity(marginals.len());
+    let mut lo = Vec::with_capacity(marginals.len());
+    for &m in marginals {
+        let hi_max = (m / rho).min(1.0);
+        let h = m + s * (hi_max - m);
+        // Solve rho*h + (1-rho)*l = m for l; clamping is never needed
+        // because h <= hi_max keeps l >= lo_max >= 0.
+        let l = ((m - rho * h) / (1.0 - rho)).clamp(0.0, 1.0);
+        hi.push(h);
+        lo.push(l);
+    }
+    Coupling { rho, hi, lo }
+}
+
+/// For complementary groups the "latent indicator" is the owner index; we
+/// return per-member (owner-boosted, non-owner-damped) probabilities.
+fn complementary_rates(marginals: &[f64], strength: f64) -> (Vec<f64>, Vec<f64>) {
+    let s = strength.clamp(0.0, 1.0);
+    let k = marginals.len() as f64;
+    let mut boosted = Vec::with_capacity(marginals.len());
+    let mut damped = Vec::with_capacity(marginals.len());
+    for &m in marginals {
+        // Target: owner rate pi = m (1 + (K-1) s), non-owner rate
+        // delta = m (1 - s); marginal = pi/K + (K-1) delta/K = m.
+        let mut pi = m * (1.0 + (k - 1.0) * s);
+        let mut delta = m * (1.0 - s);
+        if pi > 1.0 {
+            // Clamp and re-solve delta to preserve the marginal.
+            pi = 1.0;
+            delta = ((m - pi / k) * k / (k - 1.0)).clamp(0.0, 1.0);
+        }
+        boosted.push(pi);
+        damped.push(delta);
+    }
+    (boosted, damped)
+}
+
+/// Validate a spec: probabilities in range, members in range, groups
+/// disjoint per polarity, derived `q` feasible.
+fn validate(spec: &SynthSpec) -> Result<(usize, usize, Vec<f64>)> {
+    if spec.sources.is_empty() || spec.n_triples == 0 {
+        return Err(FusionError::DegenerateTraining("any"));
+    }
+    crate::check_fraction("true_fraction", spec.true_fraction)?;
+    let n_true = ((spec.n_triples as f64) * spec.true_fraction).round() as usize;
+    let n_false = spec.n_triples - n_true;
+    if n_true == 0 {
+        return Err(FusionError::DegenerateTraining("true"));
+    }
+    if n_false == 0 {
+        return Err(FusionError::DegenerateTraining("false"));
+    }
+    let mut fprs = Vec::with_capacity(spec.sources.len());
+    for s in &spec.sources {
+        corrfuse_core::prob::check_prob("precision", s.precision)?;
+        corrfuse_core::prob::check_prob("recall", s.recall)?;
+        if s.precision == 0.0 {
+            return Err(FusionError::InvalidProbability {
+                what: "precision",
+                value: 0.0,
+            });
+        }
+        let q = s.recall * n_true as f64 * (1.0 - s.precision) / (s.precision * n_false as f64);
+        if q > 1.0 {
+            return Err(FusionError::FalsePositiveRateOutOfRange {
+                precision: s.precision,
+                recall: s.recall,
+                alpha: n_true as f64 / spec.n_triples as f64,
+                q,
+            });
+        }
+        fprs.push(q);
+    }
+    for polarity in [Polarity::TrueTriples, Polarity::FalseTriples] {
+        let mut seen = vec![false; spec.sources.len()];
+        for g in spec.groups.iter().filter(|g| g.polarity == polarity) {
+            if g.members.len() < 2 {
+                return Err(FusionError::DegenerateTraining("group members"));
+            }
+            for &m in &g.members {
+                if m >= spec.sources.len() {
+                    return Err(FusionError::UnknownSource(format!("member {m}")));
+                }
+                if seen[m] {
+                    return Err(FusionError::UnknownSource(format!(
+                        "source {m} in two {polarity:?} groups"
+                    )));
+                }
+                seen[m] = true;
+            }
+        }
+    }
+    Ok((n_true, n_false, fprs))
+}
+
+/// Generate a labelled dataset from a spec.
+pub fn generate(spec: &SynthSpec) -> Result<Dataset> {
+    let (n_true, _n_false, fprs) = validate(spec)?;
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let n_sources = spec.sources.len();
+
+    let mut builder = DatasetBuilder::new();
+    let source_ids: Vec<_> = spec
+        .sources
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            if s.name.is_empty() {
+                builder.source(format!("S{i}"))
+            } else {
+                builder.source(s.name.clone())
+            }
+        })
+        .collect();
+
+    // Pre-compute couplings per group per polarity.
+    struct PreparedGroup {
+        members: Vec<usize>,
+        polarity: Polarity,
+        mechanism: Mechanism,
+    }
+    enum Mechanism {
+        Positive(Coupling),
+        Complementary { boosted: Vec<f64>, damped: Vec<f64> },
+    }
+    let marginal = |polarity: Polarity, i: usize, spec: &SynthSpec, fprs: &[f64]| match polarity {
+        Polarity::TrueTriples => spec.sources[i].recall,
+        Polarity::FalseTriples => fprs[i],
+    };
+    let prepared: Vec<PreparedGroup> = spec
+        .groups
+        .iter()
+        .map(|g| {
+            let ms: Vec<f64> = g
+                .members
+                .iter()
+                .map(|&i| marginal(g.polarity, i, spec, &fprs))
+                .collect();
+            let mechanism = match g.kind {
+                GroupKind::Positive { strength } => {
+                    Mechanism::Positive(positive_coupling(&ms, strength))
+                }
+                GroupKind::Complementary { strength } => {
+                    let (boosted, damped) = complementary_rates(&ms, strength);
+                    Mechanism::Complementary { boosted, damped }
+                }
+            };
+            PreparedGroup {
+                members: g.members.clone(),
+                polarity: g.polarity,
+                mechanism,
+            }
+        })
+        .collect();
+
+    // Which sources are group-driven, per polarity?
+    let mut grouped_true = vec![false; n_sources];
+    let mut grouped_false = vec![false; n_sources];
+    for g in &prepared {
+        let flags = match g.polarity {
+            Polarity::TrueTriples => &mut grouped_true,
+            Polarity::FalseTriples => &mut grouped_false,
+        };
+        for &m in &g.members {
+            flags[m] = true;
+        }
+    }
+
+    let mut provides = vec![false; n_sources];
+    for idx in 0..spec.n_triples {
+        let truth = idx < n_true;
+        let polarity = if truth {
+            Polarity::TrueTriples
+        } else {
+            Polarity::FalseTriples
+        };
+        provides.iter_mut().for_each(|p| *p = false);
+
+        // Independent sources.
+        for i in 0..n_sources {
+            let grouped = match polarity {
+                Polarity::TrueTriples => grouped_true[i],
+                Polarity::FalseTriples => grouped_false[i],
+            };
+            if grouped {
+                continue;
+            }
+            let m = marginal(polarity, i, spec, &fprs);
+            if rng.gen_bool(m.clamp(0.0, 1.0)) {
+                provides[i] = true;
+            }
+        }
+        // Group-driven sources.
+        for g in prepared.iter().filter(|g| g.polarity == polarity) {
+            match &g.mechanism {
+                Mechanism::Positive(c) => {
+                    let z = rng.gen_bool(c.rho);
+                    for (k, &i) in g.members.iter().enumerate() {
+                        let p = if z { c.hi[k] } else { c.lo[k] };
+                        if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                            provides[i] = true;
+                        }
+                    }
+                }
+                Mechanism::Complementary { boosted, damped } => {
+                    let owner = rng.gen_range(0..g.members.len());
+                    for (k, &i) in g.members.iter().enumerate() {
+                        let p = if k == owner { boosted[k] } else { damped[k] };
+                        if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                            provides[i] = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        if provides.iter().any(|&p| p) {
+            let t = builder.triple(format!("e{idx}"), "attr", format!("v{idx}"));
+            builder.label(t, truth);
+            for (i, &p) in provides.iter().enumerate() {
+                if p {
+                    builder.observe(source_ids[i], t);
+                }
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use corrfuse_core::joint::{correlation_false, correlation_true, EmpiricalJoint, SourceSet};
+    use corrfuse_core::quality::QualityEstimator;
+
+    fn realized_quality(ds: &Dataset) -> Vec<corrfuse_core::SourceQuality> {
+        QualityEstimator::new()
+            .estimate(ds, ds.gold().unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn independent_generator_hits_marginals() {
+        let spec = SynthSpec::uniform(5, 0.75, 0.45, 20_000, 0.5, 42);
+        let ds = generate(&spec).unwrap();
+        let q = realized_quality(&ds);
+        // Triples with no provider are dropped, which conditions the
+        // realized recall upward by exactly 1/(1 - (1-r)^n).
+        let expected_recall = 0.45 / (1.0 - 0.55f64.powi(5));
+        for (i, sq) in q.iter().enumerate() {
+            assert!(
+                (sq.recall - expected_recall).abs() < 0.015,
+                "S{i} recall {} (expected {expected_recall})",
+                sq.recall
+            );
+            // Precision is unaffected by the filtering (per-source outputs
+            // are unchanged).
+            assert!(
+                (sq.precision - 0.75).abs() < 0.02,
+                "S{i} precision {}",
+                sq.precision
+            );
+        }
+    }
+
+    #[test]
+    fn true_fraction_is_respected_before_filtering() {
+        let spec = SynthSpec::uniform(5, 0.6, 0.5, 10_000, 0.25, 7);
+        let ds = generate(&spec).unwrap();
+        let g = ds.gold().unwrap();
+        let frac = g.true_count() as f64 / (g.true_count() + g.false_count()) as f64;
+        // Filtering drops unprovided triples of both polarities; with five
+        // sources at r=0.5 almost every true triple survives, and false
+        // triples survive at ~1-(1-q)^5 — the realized fraction shifts but
+        // stays in a sane band.
+        assert!(frac > 0.15 && frac < 0.5, "realized true fraction {frac}");
+    }
+
+    #[test]
+    fn positive_group_creates_positive_correlation() {
+        let spec = SynthSpec::uniform(4, 0.7, 0.4, 20_000, 0.5, 123).with_group(GroupSpec {
+            members: vec![0, 1],
+            polarity: Polarity::TrueTriples,
+            kind: GroupKind::Positive { strength: 0.8 },
+        });
+        let ds = generate(&spec).unwrap();
+        let members: Vec<_> = ds.sources().collect();
+        let joint = EmpiricalJoint::new(&ds, ds.gold().unwrap(), members, 0.5).unwrap();
+        let c01 = correlation_true(&joint, SourceSet::EMPTY.with(0).with(1));
+        let c23 = correlation_true(&joint, SourceSet::EMPTY.with(2).with(3));
+        // Dropping unprovided triples deflates every lift by the kept
+        // fraction (~0.82 here), so compare the two pairs relatively: the
+        // grouped pair must sit far above the ungrouped one.
+        assert!(c01 > 1.5, "grouped pair lift {c01}");
+        assert!(c01 / c23 > 1.8, "grouped {c01} vs ungrouped {c23}");
+        assert!((0.7..=1.05).contains(&c23), "ungrouped pair lift {c23}");
+        // Marginals survive the coupling (up to the same conditioning).
+        let q = realized_quality(&ds);
+        assert!(
+            (0.38..=0.52).contains(&q[0].recall),
+            "recall {}",
+            q[0].recall
+        );
+        assert!((0.38..=0.52).contains(&q[1].recall));
+    }
+
+    #[test]
+    fn false_polarity_group_correlates_mistakes_only() {
+        let spec = SynthSpec::uniform(4, 0.6, 0.4, 20_000, 0.5, 9).with_group(GroupSpec {
+            members: vec![0, 1],
+            polarity: Polarity::FalseTriples,
+            kind: GroupKind::Positive { strength: 0.9 },
+        });
+        let ds = generate(&spec).unwrap();
+        let members: Vec<_> = ds.sources().collect();
+        let joint = EmpiricalJoint::new(&ds, ds.gold().unwrap(), members, 0.5).unwrap();
+        let pair = SourceSet::EMPTY.with(0).with(1);
+        assert!(correlation_false(&joint, pair) > 1.5);
+        // True-triple lift stays near independence (deflated slightly by
+        // the no-provider filtering).
+        assert!((0.7..=1.1).contains(&correlation_true(&joint, pair)));
+    }
+
+    #[test]
+    fn complementary_group_creates_negative_correlation() {
+        let spec = SynthSpec::uniform(4, 0.7, 0.4, 20_000, 0.5, 321).with_group(GroupSpec {
+            members: vec![0, 1, 2],
+            polarity: Polarity::TrueTriples,
+            kind: GroupKind::Complementary { strength: 0.9 },
+        });
+        let ds = generate(&spec).unwrap();
+        let members: Vec<_> = ds.sources().collect();
+        let joint = EmpiricalJoint::new(&ds, ds.gold().unwrap(), members, 0.5).unwrap();
+        let c01 = correlation_true(&joint, SourceSet::EMPTY.with(0).with(1));
+        assert!(c01 < 0.6, "complementary pair lift {c01}");
+        // Marginals still calibrated (up to the filtering shift).
+        let q = realized_quality(&ds);
+        for k in 0..3 {
+            assert!(
+                (0.37..=0.52).contains(&q[k].recall),
+                "recall {}",
+                q[k].recall
+            );
+        }
+    }
+
+    #[test]
+    fn coupling_math_preserves_marginals_exactly() {
+        for &s in &[0.0, 0.3, 0.7, 1.0] {
+            let ms = [0.2, 0.5, 0.9];
+            let c = positive_coupling(&ms, s);
+            for (k, &m) in ms.iter().enumerate() {
+                let got = c.rho * c.hi[k] + (1.0 - c.rho) * c.lo[k];
+                assert!((got - m).abs() < 1e-9, "s={s} k={k}: {got} vs {m}");
+                assert!((0.0..=1.0).contains(&c.hi[k]));
+                assert!((0.0..=1.0).contains(&c.lo[k]));
+            }
+        }
+    }
+
+    #[test]
+    fn complementary_math_preserves_marginals() {
+        for &s in &[0.0, 0.5, 1.0] {
+            let ms = [0.2, 0.4, 0.15];
+            let k = ms.len() as f64;
+            let (boost, damp) = complementary_rates(&ms, s);
+            for (i, &m) in ms.iter().enumerate() {
+                let got = boost[i] / k + (k - 1.0) * damp[i] / k;
+                assert!((got - m).abs() < 1e-9, "s={s} i={i}");
+                assert!((0.0..=1.0).contains(&boost[i]));
+                assert!((0.0..=1.0).contains(&damp[i]));
+            }
+        }
+        // Clamped case: marginal too large for full boost.
+        let (boost, damp) = complementary_rates(&[0.8, 0.8], 1.0);
+        assert_eq!(boost[0], 1.0);
+        let got = boost[0] / 2.0 + damp[0] / 2.0;
+        assert!((got - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn determinism_under_same_seed() {
+        let spec = SynthSpec::uniform(3, 0.6, 0.3, 500, 0.4, 99);
+        let a = generate(&spec).unwrap();
+        let b = generate(&spec).unwrap();
+        assert_eq!(a.n_triples(), b.n_triples());
+        for t in a.triples() {
+            assert_eq!(
+                a.providers(t).iter_ones().collect::<Vec<_>>(),
+                b.providers(t).iter_ones().collect::<Vec<_>>()
+            );
+        }
+        let spec2 = SynthSpec::uniform(3, 0.6, 0.3, 500, 0.4, 100);
+        let c = generate(&spec2).unwrap();
+        let same = a.n_triples() == c.n_triples()
+            && a.triples().all(|t| {
+                c.providers(t).iter_ones().collect::<Vec<_>>()
+                    == a.providers(t).iter_ones().collect::<Vec<_>>()
+            });
+        assert!(!same, "different seeds should differ");
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        // Infeasible q (> 1).
+        let spec = SynthSpec::uniform(2, 0.05, 0.9, 1000, 0.9, 1);
+        assert!(matches!(
+            generate(&spec),
+            Err(FusionError::FalsePositiveRateOutOfRange { .. })
+        ));
+        // Overlapping groups on the same polarity.
+        let spec = SynthSpec::uniform(3, 0.7, 0.4, 100, 0.5, 1)
+            .with_group(GroupSpec {
+                members: vec![0, 1],
+                polarity: Polarity::TrueTriples,
+                kind: GroupKind::Positive { strength: 0.5 },
+            })
+            .with_group(GroupSpec {
+                members: vec![1, 2],
+                polarity: Polarity::TrueTriples,
+                kind: GroupKind::Positive { strength: 0.5 },
+            });
+        assert!(generate(&spec).is_err());
+        // Member out of range.
+        let spec = SynthSpec::uniform(2, 0.7, 0.4, 100, 0.5, 1).with_group(GroupSpec {
+            members: vec![0, 5],
+            polarity: Polarity::FalseTriples,
+            kind: GroupKind::Positive { strength: 0.5 },
+        });
+        assert!(generate(&spec).is_err());
+        // Single-member group.
+        let spec = SynthSpec::uniform(2, 0.7, 0.4, 100, 0.5, 1).with_group(GroupSpec {
+            members: vec![0],
+            polarity: Polarity::TrueTriples,
+            kind: GroupKind::Positive { strength: 0.5 },
+        });
+        assert!(generate(&spec).is_err());
+        // Bad fraction.
+        let spec = SynthSpec::uniform(2, 0.7, 0.4, 100, 1.5, 1);
+        assert!(generate(&spec).is_err());
+        // Empty sources.
+        let spec = SynthSpec::uniform(0, 0.7, 0.4, 100, 0.5, 1);
+        assert!(generate(&spec).is_err());
+    }
+
+    #[test]
+    fn same_polarity_allows_groups_on_different_polarities() {
+        // A source may sit in a true-group and a false-group simultaneously
+        // (the paper found mostly different cliques per polarity).
+        let spec = SynthSpec::uniform(4, 0.7, 0.4, 5000, 0.5, 5)
+            .with_group(GroupSpec {
+                members: vec![0, 1],
+                polarity: Polarity::TrueTriples,
+                kind: GroupKind::Positive { strength: 0.8 },
+            })
+            .with_group(GroupSpec {
+                members: vec![0, 2],
+                polarity: Polarity::FalseTriples,
+                kind: GroupKind::Positive { strength: 0.8 },
+            });
+        assert!(generate(&spec).is_ok());
+    }
+}

@@ -1,0 +1,44 @@
+//! # corrfuse-synth
+//!
+//! Synthetic data generation for correlation-aware data fusion:
+//!
+//! * [`motivating`] — the paper's Figure 1 example, exactly;
+//! * [`generator`] — parametric worlds with controlled per-source
+//!   precision/recall and positive/complementary correlation groups
+//!   (drives the Figure 6/7 experiments);
+//! * [`replicas`] — statistical twins of the REVERB, RESTAURANT and BOOK
+//!   datasets (drives the Figure 4/5 experiments; see DESIGN.md §5 for the
+//!   substitution rationale).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod generator;
+pub mod motivating;
+pub mod replicas;
+
+pub use generator::{generate, GroupKind, GroupSpec, Polarity, SourceSpec, SynthSpec};
+
+use corrfuse_core::error::{FusionError, Result};
+
+/// Validate a fraction parameter in `(0, 1)`.
+pub(crate) fn check_fraction(what: &'static str, value: f64) -> Result<f64> {
+    if value.is_finite() && value > 0.0 && value < 1.0 {
+        Ok(value)
+    } else {
+        Err(FusionError::InvalidProbability { what, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_validation() {
+        assert!(check_fraction("f", 0.5).is_ok());
+        assert!(check_fraction("f", 0.0).is_err());
+        assert!(check_fraction("f", 1.0).is_err());
+        assert!(check_fraction("f", f64::NAN).is_err());
+    }
+}

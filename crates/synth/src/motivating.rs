@@ -1,0 +1,103 @@
+//! The paper's motivating example (Figure 1): ten knowledge triples about
+//! Barack Obama as extracted by five extraction systems.
+//!
+//! This tiny dataset reproduces every worked number in the paper —
+//! Figure 1b's per-source and joint quality, Figure 1c's voting results,
+//! Examples 3.3 / 4.4 / 4.7 / 4.10 — and is the canonical smoke-test input
+//! for all models.
+
+use corrfuse_core::dataset::{Dataset, DatasetBuilder};
+use corrfuse_core::triple::TripleId;
+
+/// Rows of Figure 1a: (predicate, object, truth, providers 1-based).
+const ROWS: [(&str, &str, bool, &[usize]); 10] = [
+    ("profession", "president", true, &[1, 2, 4, 5]),
+    ("died", "1982", false, &[1, 2]),
+    ("profession", "lawyer", true, &[3]),
+    ("religion", "Christian", true, &[2, 3, 4, 5]),
+    ("age", "50", false, &[2, 3]),
+    ("support", "White Sox", true, &[1, 4, 5]),
+    ("spouse", "Michelle", true, &[1, 2, 3]),
+    ("administered by", "John G. Roberts", false, &[1, 2, 4, 5]),
+    ("surgical operation", "05/01/2011", false, &[1, 2, 4, 5]),
+    ("profession", "community organizer", true, &[1, 3, 4, 5]),
+];
+
+/// Build the Figure 1 dataset: 5 extractors, 10 triples (6 true, 4 false),
+/// with the gold labels attached.
+pub fn figure1() -> Dataset {
+    let mut b = DatasetBuilder::new();
+    let sources: Vec<_> = (1..=5).map(|i| b.source(format!("S{i}"))).collect();
+    for (predicate, object, truth, providers) in ROWS {
+        let t = b.triple("Obama", predicate, object);
+        for &p in providers {
+            b.observe(sources[p - 1], t);
+        }
+        b.label(t, truth);
+    }
+    b.build().expect("figure 1 dataset is well-formed")
+}
+
+/// Triple ids of Figure 1 in paper order (`t1` is `ids()[0]`).
+pub fn ids() -> [TripleId; 10] {
+    std::array::from_fn(|i| TripleId(i as u32))
+}
+
+/// The paper's short names `t1..t10` for display.
+pub fn triple_name(t: TripleId) -> String {
+    format!("t{}", t.0 + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corrfuse_core::quality::QualityEstimator;
+
+    #[test]
+    fn shape_matches_figure_1a() {
+        let ds = figure1();
+        assert_eq!(ds.n_sources(), 5);
+        assert_eq!(ds.n_triples(), 10);
+        let gold = ds.gold().unwrap();
+        assert_eq!(gold.true_count(), 6);
+        assert_eq!(gold.false_count(), 4);
+        // O1 = {t1, t2, t6, t7, t8, t9, t10} (Example 2.1).
+        let s1 = ds.source_by_name("S1").unwrap();
+        let o1: Vec<u32> = ds.output(s1).iter().map(|t| t.0 + 1).collect();
+        assert_eq!(o1, vec![1, 2, 6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn quality_matches_figure_1b() {
+        let ds = figure1();
+        let q = QualityEstimator::new()
+            .estimate(&ds, ds.gold().unwrap())
+            .unwrap();
+        let expect = [
+            (0.57, 0.67),
+            (0.43, 0.5),
+            (0.8, 0.67),
+            (0.67, 0.67),
+            (0.67, 0.67),
+        ];
+        for (i, (p, r)) in expect.iter().enumerate() {
+            assert!((q[i].precision - p).abs() < 0.01, "S{}", i + 1);
+            assert!((q[i].recall - r).abs() < 0.01, "S{}", i + 1);
+        }
+    }
+
+    #[test]
+    fn triple_names() {
+        assert_eq!(triple_name(TripleId(0)), "t1");
+        assert_eq!(triple_name(TripleId(9)), "t10");
+        assert_eq!(ids()[3], TripleId(3));
+    }
+
+    #[test]
+    fn content_is_the_obama_page() {
+        let ds = figure1();
+        let t = ds.triple(TripleId(0));
+        assert_eq!(t.subject, "Obama");
+        assert_eq!(t.object, "president");
+    }
+}

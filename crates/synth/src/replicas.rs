@@ -1,0 +1,493 @@
+//! Statistical twins of the paper's three real-world datasets.
+//!
+//! The originals (ReVerb ClueWeb extractions, Mechanical-Turk restaurant
+//! labels, an abebooks.com crawl) are not redistributable; per DESIGN.md §5
+//! we generate replicas that match the published *shape*: source counts,
+//! gold-standard sizes, true/false proportions, the qualitative quality
+//! bands of Figure "scatter", and the correlation structure reported in
+//! §5.1 ("Discovered correlations"). Every compared algorithm consumes only
+//! the observation matrix and labels, so matching those statistics
+//! preserves the behaviour the paper's evaluation exercises.
+
+use corrfuse_core::dataset::{Dataset, DatasetBuilder, Domain};
+use corrfuse_core::error::Result;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::generator::{generate, GroupKind, GroupSpec, Polarity, SourceSpec, SynthSpec};
+
+/// REVERB replica: 6 extractors over 2407 world triples (≈616 true /
+/// 1791 false), low precision and recall.
+///
+/// Correlation structure (§5.1): on true triples one group of 2 and one
+/// group of 3 strongly correlated; on false triples two correlated pairs
+/// and one source anti-correlated with the others.
+pub fn reverb(seed: u64) -> Result<Dataset> {
+    let sources = vec![
+        SourceSpec::named("reverb-args1", 0.60, 0.34),
+        SourceSpec::named("reverb-args2", 0.56, 0.30),
+        SourceSpec::named("reverb-rel", 0.63, 0.42),
+        SourceSpec::named("reverb-pos", 0.58, 0.38),
+        SourceSpec::named("reverb-chunk", 0.68, 0.27),
+        SourceSpec::named("reverb-ner", 0.45, 0.50),
+    ];
+    // World sized so that the *post-filter* dataset (triples with at least
+    // one provider) lands near the paper's 616 true / 1791 false gold
+    // standard: true triples survive at ~0.9, false at ~0.3.
+    let spec = SynthSpec {
+        n_triples: 2600,
+        true_fraction: 0.28,
+        sources,
+        groups: vec![
+            GroupSpec {
+                members: vec![0, 1],
+                polarity: Polarity::TrueTriples,
+                kind: GroupKind::Positive { strength: 0.6 },
+            },
+            GroupSpec {
+                members: vec![2, 3, 4],
+                polarity: Polarity::TrueTriples,
+                kind: GroupKind::Positive { strength: 0.55 },
+            },
+            GroupSpec {
+                members: vec![0, 2],
+                polarity: Polarity::FalseTriples,
+                kind: GroupKind::Positive { strength: 0.65 },
+            },
+            GroupSpec {
+                members: vec![1, 3],
+                polarity: Polarity::FalseTriples,
+                kind: GroupKind::Positive { strength: 0.65 },
+            },
+            GroupSpec {
+                members: vec![4, 5],
+                polarity: Polarity::FalseTriples,
+                kind: GroupKind::Complementary { strength: 0.75 },
+            },
+        ],
+        seed,
+    };
+    generate(&spec)
+}
+
+/// RESTAURANT replica: 7 listing services over 93 gold triples (≈68 true /
+/// 25 false), all high precision, most high recall.
+///
+/// Correlation structure (§5.1): a group of 4 correlated and one pair
+/// anti-correlated on true triples; a group of 6 correlated on false
+/// triples.
+pub fn restaurant(seed: u64) -> Result<Dataset> {
+    let sources = vec![
+        SourceSpec::named("Yelp", 0.95, 0.85),
+        SourceSpec::named("Foursquare", 0.93, 0.80),
+        SourceSpec::named("OpenTable", 0.96, 0.75),
+        SourceSpec::named("MechanicalTurk", 0.82, 0.55),
+        SourceSpec::named("YellowPages", 0.86, 0.70),
+        SourceSpec::named("CitySearch", 0.88, 0.65),
+        SourceSpec::named("MenuPages", 0.97, 0.60),
+    ];
+    // World sized so the post-filter gold standard lands near the paper's
+    // 68 true / 25 false (false triples survive the >=1-provider filter at
+    // roughly 55%, true at ~99%).
+    let spec = SynthSpec {
+        n_triples: 140,
+        true_fraction: 0.50,
+        sources,
+        groups: vec![
+            GroupSpec {
+                members: vec![0, 1, 2, 3],
+                polarity: Polarity::TrueTriples,
+                kind: GroupKind::Positive { strength: 0.75 },
+            },
+            GroupSpec {
+                members: vec![4, 5],
+                polarity: Polarity::TrueTriples,
+                kind: GroupKind::Complementary { strength: 0.8 },
+            },
+            GroupSpec {
+                members: vec![0, 1, 2, 3, 4, 5],
+                polarity: Polarity::FalseTriples,
+                kind: GroupKind::Positive { strength: 0.7 },
+            },
+        ],
+        seed,
+    };
+    generate(&spec)
+}
+
+/// Knobs for the BOOK replica generator.
+#[derive(Debug, Clone)]
+pub struct BookConfig {
+    /// Number of books (objects) in the gold standard.
+    pub n_books: usize,
+    /// Number of seller sources active on the gold standard.
+    pub n_sources: usize,
+    /// Probability a clique member copies its clique master's opinion.
+    pub copy_strength: f64,
+    /// Tag triples with per-book domains so seller scopes are respected.
+    pub with_scopes: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BookConfig {
+    fn default() -> Self {
+        BookConfig {
+            n_books: 225,
+            n_sources: 333,
+            copy_strength: 0.85,
+            with_scopes: true,
+            seed: 2014,
+        }
+    }
+}
+
+/// Member lists of the copying cliques, mirroring §5.1: true-polarity
+/// cliques of sizes {22, 3, 2}; false-polarity cliques of sizes
+/// {22, 3, 2, 2}; the two 22-cliques share exactly two sources.
+fn book_cliques(n_sources: usize) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
+    assert!(n_sources >= 60, "book replica needs >= 60 sources");
+    let true_cliques = vec![
+        (0..22).collect::<Vec<_>>(),
+        vec![22, 23, 24],
+        vec![25, 26],
+    ];
+    // Shares members 20, 21 with the big true clique.
+    let mut false22 = vec![20, 21];
+    false22.extend(27..47);
+    let false_cliques = vec![false22, vec![47, 48, 49], vec![50, 51], vec![52, 53]];
+    (true_cliques, false_cliques)
+}
+
+/// One book's candidate world: true authors and false candidates.
+#[derive(Debug, Clone)]
+struct BookWorld {
+    true_authors: Vec<String>,
+    false_authors: Vec<String>,
+}
+
+/// A clique master's opinion on one book: which true / false authors it
+/// would list.
+#[derive(Debug, Clone, Default)]
+struct Opinion {
+    true_picks: Vec<bool>,
+    false_picks: Vec<bool>,
+}
+
+/// BOOK replica: multi-valued truth (books with 1–3 authors), hundreds of
+/// low-recall sellers with widely varying precision, and copying cliques.
+pub fn book(config: &BookConfig) -> Result<Dataset> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n_books = config.n_books;
+    let n_sources = config.n_sources;
+
+    // World: per-book true authors (avg ≈ 2.1 → ≈ 482 true triples for 225
+    // books) and false candidates (avg ≈ 4.15 → ≈ 935 false triples).
+    let worlds: Vec<BookWorld> = (0..n_books)
+        .map(|b| {
+            let roll: f64 = rng.gen();
+            let n_true = if roll < 0.25 {
+                1
+            } else if roll < 0.65 {
+                2
+            } else {
+                3
+            };
+            let n_false = 2 + (rng.gen::<f64>() * 5.0).floor() as usize; // 2..=6
+            BookWorld {
+                true_authors: (0..n_true).map(|k| format!("author-{b}-{k}")).collect(),
+                false_authors: (0..n_false).map(|k| format!("wrong-{b}-{k}")).collect(),
+            }
+        })
+        .collect();
+
+    // Source accuracy: wide spread (squared uniform biases low, matching
+    // "large variations in precision ... most have low recall").
+    let accuracy: Vec<f64> = (0..n_sources)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            0.25 + 0.73 * u.sqrt()
+        })
+        .collect();
+
+    let (true_cliques, false_cliques) = book_cliques(n_sources);
+    let mut clique_true_of = vec![usize::MAX; n_sources];
+    for (c, members) in true_cliques.iter().enumerate() {
+        for &m in members {
+            clique_true_of[m] = c;
+        }
+    }
+    let mut clique_false_of = vec![usize::MAX; n_sources];
+    for (c, members) in false_cliques.iter().enumerate() {
+        for &m in members {
+            clique_false_of[m] = c;
+        }
+    }
+
+    // Book pools: clique members draw their coverage from a shared pool so
+    // they overlap; independents draw from all books.
+    let pool = |size: usize, rng: &mut StdRng| -> Vec<usize> {
+        let mut picks: Vec<usize> = (0..n_books).collect();
+        for i in 0..size.min(n_books) {
+            let j = rng.gen_range(i..n_books);
+            picks.swap(i, j);
+        }
+        picks.truncate(size.min(n_books));
+        picks
+    };
+    let true_pools: Vec<Vec<usize>> = true_cliques.iter().map(|_| pool(80, &mut rng)).collect();
+    let false_pools: Vec<Vec<usize>> = false_cliques.iter().map(|_| pool(80, &mut rng)).collect();
+
+    // Master opinions per clique per book.
+    let master_opinion = |world: &BookWorld, rng: &mut StdRng| -> Opinion {
+        Opinion {
+            true_picks: world
+                .true_authors
+                .iter()
+                .map(|_| rng.gen_bool(0.8))
+                .collect(),
+            false_picks: world
+                .false_authors
+                .iter()
+                .map(|_| rng.gen_bool(0.12))
+                .collect(),
+        }
+    };
+    let true_masters: Vec<Vec<Opinion>> = true_cliques
+        .iter()
+        .map(|_| worlds.iter().map(|w| master_opinion(w, &mut rng)).collect())
+        .collect();
+    let false_masters: Vec<Vec<Opinion>> = false_cliques
+        .iter()
+        .map(|_| worlds.iter().map(|w| master_opinion(w, &mut rng)).collect())
+        .collect();
+
+    // Assemble observations.
+    let mut builder = DatasetBuilder::new();
+    let source_ids: Vec<_> = (0..n_sources)
+        .map(|i| builder.source(format!("seller-{i:03}")))
+        .collect();
+
+    // Pre-intern all candidate triples per book lazily; only observed ones
+    // are added (builder rejects unprovided interned triples, so intern on
+    // first observation).
+    let mut triple_of = std::collections::HashMap::new();
+    let observe =
+        |builder: &mut DatasetBuilder,
+         triple_of: &mut std::collections::HashMap<(usize, String), corrfuse_core::TripleId>,
+         src: usize,
+         b: usize,
+         author: &str,
+         truth: bool| {
+            let key = (b, author.to_string());
+            let t = *triple_of.entry(key).or_insert_with(|| {
+                let t = builder.triple(format!("book-{b:03}"), "author", author);
+                builder.label(t, truth);
+                if config.with_scopes {
+                    builder.set_domain(t, Domain(b as u32));
+                }
+                t
+            });
+            builder.observe(source_ids[src], t);
+        };
+
+    for src in 0..n_sources {
+        let tc = clique_true_of[src];
+        let fc = clique_false_of[src];
+        // Coverage size: geometric-ish. Clique members mirror large chunks
+        // of their master's catalogue (copiers replicate listings), so
+        // their coverage is larger and concentrated in the clique pool.
+        let in_clique = tc != usize::MAX || fc != usize::MAX;
+        let (mut cover, cap, p_grow) = if in_clique {
+            (18usize, 50usize, 0.85)
+        } else {
+            (3usize, 40usize, 0.82)
+        };
+        while cover < cap && rng.gen_bool(p_grow) {
+            cover += 1;
+        }
+        // Draw covered books, biased to clique pools when applicable.
+        let mut books: Vec<usize> = Vec::with_capacity(cover);
+        for _ in 0..cover {
+            let b = if tc != usize::MAX && rng.gen_bool(0.8) {
+                true_pools[tc][rng.gen_range(0..true_pools[tc].len())]
+            } else if fc != usize::MAX && rng.gen_bool(0.8) {
+                false_pools[fc][rng.gen_range(0..false_pools[fc].len())]
+            } else {
+                rng.gen_range(0..n_books)
+            };
+            if !books.contains(&b) {
+                books.push(b);
+            }
+        }
+
+        let acc = accuracy[src];
+        for &b in &books {
+            let world = &worlds[b];
+            // True-author picks: copy clique master or own opinion.
+            let copy_true = tc != usize::MAX && rng.gen_bool(config.copy_strength);
+            for (k, author) in world.true_authors.iter().enumerate() {
+                let provide = if copy_true {
+                    true_masters[tc][b].true_picks[k]
+                } else {
+                    rng.gen_bool(acc * 0.8)
+                };
+                if provide {
+                    observe(&mut builder, &mut triple_of, src, b, author, true);
+                }
+            }
+            // False-author picks.
+            let copy_false = fc != usize::MAX && rng.gen_bool(config.copy_strength);
+            for (k, author) in world.false_authors.iter().enumerate() {
+                let provide = if copy_false {
+                    false_masters[fc][b].false_picks[k]
+                } else {
+                    rng.gen_bool((1.0 - acc) * 0.3)
+                };
+                if provide {
+                    observe(&mut builder, &mut triple_of, src, b, author, false);
+                }
+            }
+        }
+    }
+
+    builder.build()
+}
+
+/// BOOK replica with the default configuration.
+pub fn book_default() -> Result<Dataset> {
+    book(&BookConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corrfuse_core::quality::QualityEstimator;
+
+    #[test]
+    fn reverb_shape() {
+        let ds = reverb(1).unwrap();
+        assert_eq!(ds.n_sources(), 6);
+        let g = ds.gold().unwrap();
+        // World: 2407 triples, 616 true; some drop to no-provider filtering.
+        assert!(ds.n_triples() > 1200, "{}", ds.n_triples());
+        assert!(ds.n_triples() <= 2407);
+        let frac = g.true_count() as f64 / g.labelled_count() as f64;
+        assert!(
+            (0.18..=0.45).contains(&frac),
+            "true fraction {frac} ({}/{})",
+            g.true_count(),
+            g.labelled_count()
+        );
+        // Low-quality band.
+        let q = QualityEstimator::new().estimate(&ds, g).unwrap();
+        for sq in &q {
+            assert!(sq.precision < 0.75, "reverb precision {}", sq.precision);
+            assert!(sq.recall < 0.75, "reverb recall {}", sq.recall);
+        }
+    }
+
+    #[test]
+    fn restaurant_shape() {
+        let ds = restaurant(1).unwrap();
+        assert_eq!(ds.n_sources(), 7);
+        assert_eq!(ds.source_name(corrfuse_core::SourceId(0)), "Yelp");
+        let g = ds.gold().unwrap();
+        assert!(ds.n_triples() >= 70 && ds.n_triples() <= 93, "{}", ds.n_triples());
+        // High precision band.
+        let q = QualityEstimator::new().estimate(&ds, g).unwrap();
+        let high_p = q.iter().filter(|sq| sq.precision > 0.8).count();
+        assert!(high_p >= 5, "most restaurant sources high precision");
+    }
+
+    #[test]
+    fn book_shape() {
+        // Use the unscoped variant so recall is computed globally, matching
+        // the paper's "most sellers have low recall" characterisation.
+        let ds = book(&BookConfig {
+            with_scopes: false,
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(ds.n_sources(), 333);
+        let g = ds.gold().unwrap();
+        // Target 482 true / 935 false; allow generation slack.
+        assert!(
+            (300..=650).contains(&g.true_count()),
+            "true {}",
+            g.true_count()
+        );
+        assert!(
+            (500..=1400).contains(&g.false_count()),
+            "false {}",
+            g.false_count()
+        );
+        // Low global recall for most sellers.
+        let q = QualityEstimator::new().estimate(&ds, g).unwrap();
+        let low_recall = q.iter().filter(|sq| sq.recall < 0.2).count();
+        assert!(
+            low_recall as f64 > 0.8 * 333.0,
+            "most sellers low recall ({low_recall})"
+        );
+        // Precision spread is wide.
+        let min_p = q
+            .iter()
+            .filter(|sq| sq.precision > 0.0)
+            .map(|sq| sq.precision)
+            .fold(1.0, f64::min);
+        let max_p = q.iter().map(|sq| sq.precision).fold(0.0, f64::max);
+        assert!(max_p - min_p > 0.4, "precision spread [{min_p}, {max_p}]");
+    }
+
+    #[test]
+    fn book_scoped_variant_builds_domains() {
+        let cfg = BookConfig {
+            n_books: 40,
+            n_sources: 80,
+            with_scopes: true,
+            ..Default::default()
+        };
+        let ds = book(&cfg).unwrap();
+        // Scoped: some (source, triple) pairs are out of scope.
+        let mut any_out_of_scope = false;
+        'outer: for s in ds.sources() {
+            for t in ds.triples() {
+                if !ds.in_scope(s, t) {
+                    any_out_of_scope = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(any_out_of_scope);
+    }
+
+    #[test]
+    fn replicas_are_deterministic_per_seed() {
+        let a = reverb(7).unwrap();
+        let b = reverb(7).unwrap();
+        assert_eq!(a.n_triples(), b.n_triples());
+        let c = reverb(8).unwrap();
+        assert!(a.n_triples() != c.n_triples() || {
+            a.triples().any(|t| {
+                a.providers(t).iter_ones().collect::<Vec<_>>()
+                    != c.providers(t).iter_ones().collect::<Vec<_>>()
+            })
+        });
+    }
+
+    #[test]
+    fn book_cliques_match_published_sizes() {
+        let (t, f) = book_cliques(333);
+        let mut ts: Vec<usize> = t.iter().map(Vec::len).collect();
+        ts.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(ts, vec![22, 3, 2]);
+        let mut fs: Vec<usize> = f.iter().map(Vec::len).collect();
+        fs.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(fs, vec![22, 3, 2, 2]);
+        // Overlap between the two 22-cliques is exactly 2 sources.
+        let big_t: std::collections::HashSet<_> = t[0].iter().collect();
+        let shared = f[0].iter().filter(|m| big_t.contains(m)).count();
+        assert_eq!(shared, 2);
+    }
+}

@@ -1,0 +1,81 @@
+//! Trading accuracy for speed with the elastic approximation.
+//!
+//! The exact correlated solver is exponential in the number of
+//! non-providing sources; the elastic approximation (Algorithm 1) costs
+//! `O(n^lambda)` per triple and approaches the exact answer as the level
+//! grows. This example sweeps the level on a REVERB-like workload and
+//! prints the quality/latency frontier, then shows how to pick a level
+//! programmatically from a latency budget.
+//!
+//! Run with: `cargo run --release --example elastic_tuning`
+
+use std::time::Instant;
+
+use corrfuse::core::fuser::{Fuser, FuserConfig, Method};
+use corrfuse::core::subset::elastic_term_count;
+use corrfuse::eval::metrics::Confusion;
+use corrfuse::synth::replicas;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ds = replicas::reverb(99)?;
+    println!("workload: {}", ds.stats());
+    let gold = ds.require_gold()?.clone();
+
+    // Exact reference.
+    let t0 = Instant::now();
+    let exact = Fuser::fit(&FuserConfig::new(Method::Exact), &ds, &gold)?;
+    let exact_scores = exact.score_all(&ds)?;
+    let exact_time = t0.elapsed().as_secs_f64();
+    let exact_f1 = f1(&gold, &exact_scores);
+
+    println!("\nlevel sweep (exact F1 = {exact_f1:.3}, {:.0} ms):", exact_time * 1e3);
+    println!(
+        "{:<12} {:>6} {:>9} {:>12} {:>16}",
+        "setting", "f1", "time(ms)", "gap-to-exact", "terms/triple(6 src)"
+    );
+    for level in 0..=5usize {
+        let t0 = Instant::now();
+        let fuser = Fuser::fit(&FuserConfig::new(Method::Elastic(level)), &ds, &gold)?;
+        let scores = fuser.score_all(&ds)?;
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let level_f1 = f1(&gold, &scores);
+        // Max deviation of any probability from the exact solution.
+        let gap = scores
+            .iter()
+            .zip(&exact_scores)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        println!(
+            "{:<12} {:>6.3} {:>9.1} {:>12.4} {:>16}",
+            format!("level-{level}"),
+            level_f1,
+            ms,
+            gap,
+            // Worst-case correction terms for a triple with an empty
+            // provider set in a 6-source cluster.
+            elastic_term_count(6, level)
+        );
+    }
+
+    // Programmatic selection: smallest level whose worst-case term count
+    // fits a budget (here: 50 correction terms per triple).
+    let budget = 50usize;
+    let n = ds.n_sources();
+    let chosen = (0..=n)
+        .find(|&l| elastic_term_count(n, l + 1) > budget)
+        .unwrap_or(n);
+    println!(
+        "\nwith a budget of {budget} correction terms/triple on {n} sources, \
+         pick level {chosen}"
+    );
+    let fuser = Fuser::fit(&FuserConfig::new(Method::Elastic(chosen)), &ds, &gold)?;
+    let scores = fuser.score_all(&ds)?;
+    println!("level-{chosen} F1 = {:.3}", f1(&gold, &scores));
+
+    Ok(())
+}
+
+fn f1(gold: &corrfuse::core::GoldLabels, scores: &[f64]) -> f64 {
+    let decisions: Vec<bool> = scores.iter().map(|&p| p > 0.5).collect();
+    Confusion::from_decisions(gold, &decisions).f1()
+}

@@ -1,0 +1,125 @@
+//! Cleaning aggregated restaurant listings.
+//!
+//! Seven listing services report restaurant locations; some copy from each
+//! other, some cover complementary neighbourhoods. We hold out part of the
+//! gold standard as a *training* set (the paper derives all parameters
+//! from labelled data), fit on it, then score the held-out triples —
+//! demonstrating that corrfuse does not need test labels.
+//!
+//! Run with: `cargo run --release --example restaurant_listings`
+
+use std::collections::HashSet;
+
+use corrfuse::core::fuser::{Fuser, FuserConfig, Method};
+use corrfuse::core::TripleId;
+use corrfuse::synth::{GroupKind, GroupSpec, Polarity, SourceSpec, SynthSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A larger listings corpus than the paper's 93-triple gold standard:
+    // the correlated models estimate joint parameters for source subsets,
+    // which needs enough labelled support (the paper hits the same issue
+    // on BOOK and solves it by clustering).
+    let spec = SynthSpec {
+        n_triples: 3000,
+        true_fraction: 0.55,
+        sources: vec![
+            SourceSpec::named("Yelp", 0.93, 0.80),
+            SourceSpec::named("Foursquare", 0.91, 0.75),
+            SourceSpec::named("OpenTable", 0.94, 0.70),
+            SourceSpec::named("MechanicalTurk", 0.80, 0.55),
+            SourceSpec::named("YellowPages", 0.85, 0.65),
+            SourceSpec::named("CitySearch", 0.87, 0.60),
+            SourceSpec::named("MenuPages", 0.95, 0.55),
+        ],
+        groups: vec![
+            // Four aggregators sharing a feed: correlated on both sides.
+            GroupSpec {
+                members: vec![0, 1, 2, 3],
+                polarity: Polarity::TrueTriples,
+                kind: GroupKind::Positive { strength: 0.7 },
+            },
+            GroupSpec {
+                members: vec![0, 1, 2, 3],
+                polarity: Polarity::FalseTriples,
+                kind: GroupKind::Positive { strength: 0.7 },
+            },
+            // Two services covering complementary neighbourhoods.
+            GroupSpec {
+                members: vec![4, 5],
+                polarity: Polarity::TrueTriples,
+                kind: GroupKind::Complementary { strength: 0.8 },
+            },
+        ],
+        seed: 2024,
+    };
+    let ds = corrfuse::synth::generate(&spec)?;
+    println!("aggregated listings: {}", ds.stats());
+    let gold = ds.require_gold()?;
+
+    // Split labelled triples: even ids train, odd ids test.
+    let train_ids: HashSet<TripleId> = gold
+        .iter_labelled()
+        .filter(|(t, _)| t.index() % 2 == 0)
+        .map(|(t, _)| t)
+        .collect();
+    let training = gold.restricted_to(&train_ids);
+    println!(
+        "training on {} labelled triples, evaluating on {}",
+        training.labelled_count(),
+        gold.labelled_count() - training.labelled_count()
+    );
+
+    // Fit each model on the training half only.
+    let indep = Fuser::fit(&FuserConfig::new(Method::PrecRec), &ds, &training)?;
+    let corr = Fuser::fit(&FuserConfig::new(Method::Exact), &ds, &training)?;
+
+    println!("\nper-service quality (estimated from training split):");
+    for s in ds.sources() {
+        let q = indep.qualities()[s.index()];
+        println!(
+            "  {:<15} precision {:.2}  recall {:.2}",
+            ds.source_name(s),
+            q.precision,
+            q.recall
+        );
+    }
+
+    // Evaluate on the held-out half.
+    let mut table = vec![("PrecRec", &indep), ("PrecRecCorr", &corr)];
+    table.reverse(); // print corr last for emphasis
+    for (name, fuser) in table.into_iter().rev() {
+        let (mut tp, mut fp, mut fn_) = (0.0, 0.0, 0.0);
+        for (t, truth) in gold.iter_labelled() {
+            if train_ids.contains(&t) {
+                continue;
+            }
+            let accepted = fuser.score_triple(&ds, t)? > 0.5;
+            match (accepted, truth) {
+                (true, true) => tp += 1.0,
+                (true, false) => fp += 1.0,
+                (false, true) => fn_ += 1.0,
+                _ => {}
+            }
+        }
+        let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+        let recall = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
+        println!(
+            "\n{name} on held-out triples: precision {:.3}, recall {:.3}, f1 {:.3}",
+            precision,
+            recall,
+            corrfuse::core::prob::f1_score(precision, recall)
+        );
+    }
+
+    // Show the discovered grouping the correlated model used.
+    println!("\ncorrelation clusters used by PrecRecCorr:");
+    for members in corr.clustering().non_trivial() {
+        let names: Vec<&str> = members.iter().map(|&s| ds.source_name(s)).collect();
+        println!("  {}", names.join(" + "));
+    }
+    if corr.clustering().non_trivial().next().is_none() {
+        println!("  (all sources in one joint cluster — few enough to solve exactly)");
+    }
+
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! # corrfuse
+//!
+//! Umbrella crate for the `corrfuse` workspace — a production-quality Rust
+//! implementation of correlation-aware data fusion (truth discovery),
+//! reproducing *"Fusing Data with Correlations"* (Pochampally, Das Sarma,
+//! Dong, Meliou, Srivastava — SIGMOD 2014).
+//!
+//! Re-exports the four member crates:
+//!
+//! * [`core`] (`corrfuse-core`) — data model, quality estimation, the
+//!   PrecRec and PrecRecCorr fusion models (exact / aggressive / elastic),
+//!   and source clustering.
+//! * [`baselines`] (`corrfuse-baselines`) — UNION-K voting, 2-/3-Estimates,
+//!   Cosine, the Latent Truth Model, and ACCU/AccuCopy.
+//! * [`synth`] (`corrfuse-synth`) — the Figure 1 example, parametric
+//!   correlated generators, and REVERB/RESTAURANT/BOOK replicas.
+//! * [`eval`] (`corrfuse-eval`) — metrics (P/R/F1, PR/ROC curves, AUC),
+//!   the method registry, and per-figure experiment runners.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use corrfuse_baselines as baselines;
+pub use corrfuse_core as core;
+pub use corrfuse_eval as eval;
+pub use corrfuse_synth as synth;
+
+/// Crate version of the umbrella package.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_set() {
+        assert!(!super::VERSION.is_empty());
+    }
+}
