@@ -299,8 +299,7 @@ pub fn detect_copying(
                     let same_true_indep = a1 * a2;
                     let same_false_indep = (1.0 - a1) * (1.0 - a2) / cfg.n_false_values;
                     let num = p_true * (c * a_bar + (1.0 - c) * same_true_indep)
-                        + (1.0 - p_true)
-                            * (c * (1.0 - a_bar) + (1.0 - c) * same_false_indep);
+                        + (1.0 - p_true) * (c * (1.0 - a_bar) + (1.0 - c) * same_false_indep);
                     let den = p_true * same_true_indep + (1.0 - p_true) * same_false_indep;
                     num / den.max(1e-12)
                 } else {
@@ -442,8 +441,12 @@ mod tests {
     fn copy_detection_flags_the_ring() {
         let p = problem(3, 5);
         let model = accu(&p, &AccuConfig::default());
-        let copies =
-            detect_copying(&p, &model.value_probs, &model.accuracy, &AccuConfig::default());
+        let copies = detect_copying(
+            &p,
+            &model.value_probs,
+            &model.accuracy,
+            &AccuConfig::default(),
+        );
         // Independents are sources 0..=4; ring members are 5..=7.
         let ring = copies.get(&(5, 6)).copied().unwrap_or(0.0);
         let independent = copies.get(&(0, 1)).copied().unwrap_or(0.0);

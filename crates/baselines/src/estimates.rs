@@ -88,11 +88,7 @@ pub fn two_estimates(ds: &Dataset, cfg: &EstimatesConfig) -> EstimatesResult {
         let mut acc = vec![0.0f64; n];
         for (f, cl) in claims.per_triple.iter().enumerate() {
             for c in cl {
-                let contribution = if c.positive {
-                    1.0 - truth[f]
-                } else {
-                    truth[f]
-                };
+                let contribution = if c.positive { 1.0 - truth[f] } else { truth[f] };
                 acc[c.source as usize] += contribution;
             }
         }

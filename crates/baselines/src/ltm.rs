@@ -14,8 +14,7 @@
 
 use corrfuse_core::dataset::Dataset;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use corrfuse_core::rng::StdRng;
 
 /// Hyper-parameters and sampler settings.
 ///

@@ -1,10 +1,11 @@
 //! Baseline throughput: voting, the Galland estimators and one LTM
 //! configuration on the REVERB replica.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use corrfuse_baselines::estimates::{cosine, three_estimates, two_estimates, EstimatesConfig};
 use corrfuse_baselines::ltm::{run as ltm, LtmConfig};
 use corrfuse_baselines::voting::UnionK;
+use corrfuse_bench::harness::Criterion;
+use corrfuse_bench::{criterion_group, criterion_main};
 
 fn bench_baselines(c: &mut Criterion) {
     let ds = corrfuse_bench::reverb().unwrap();

@@ -1,7 +1,8 @@
 //! Micro-benchmarks of the core substrates: bitset projection, subset
 //! enumeration, PrecRec scoring throughput.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use corrfuse_bench::harness::{black_box, Criterion};
+use corrfuse_bench::{criterion_group, criterion_main};
 use corrfuse_core::bits::BitSet;
 use corrfuse_core::independent::PrecRecModel;
 use corrfuse_core::subset::{submasks, submasks_of_size};

@@ -1,7 +1,8 @@
 //! Cost curve of the elastic approximation (Figure 5a's runtime axis):
 //! fit+score at levels 0..=4 plus the exact solver on REVERB.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use corrfuse_bench::harness::{BenchmarkId, Criterion};
+use corrfuse_bench::{criterion_group, criterion_main};
 use corrfuse_eval::harness::{run_method, MethodSpec};
 
 fn bench_levels(c: &mut Criterion) {

@@ -3,7 +3,8 @@
 //! full table including BOOK; this bench gives statistically solid
 //! comparisons for the small datasets.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use corrfuse_bench::harness::{BenchmarkId, Criterion};
+use corrfuse_bench::{criterion_group, criterion_main};
 use corrfuse_eval::harness::{run_method, MethodSpec};
 
 fn methods() -> Vec<MethodSpec> {
@@ -24,11 +25,9 @@ fn bench_fig5(c: &mut Criterion) {
     group.sample_size(10);
     for (name, ds) in [("reverb", &reverb), ("restaurant", &restaurant)] {
         for m in methods() {
-            group.bench_with_input(
-                BenchmarkId::new(m.name(), name),
-                ds,
-                |b, ds| b.iter(|| run_method(ds, &m).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(m.name(), name), ds, |b, ds| {
+                b.iter(|| run_method(ds, &m).unwrap())
+            });
         }
     }
     group.finish();

@@ -2,7 +2,8 @@
 //! (uncached) vs warm (memoised) joint recall queries over the REVERB
 //! replica, plus full-model fit cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use corrfuse_bench::harness::Criterion;
+use corrfuse_bench::{criterion_group, criterion_main};
 use corrfuse_core::joint::{EmpiricalJoint, JointQuality, SourceSet};
 
 fn bench_joint(c: &mut Criterion) {

@@ -2,7 +2,8 @@
 //! with cluster width. Exact is exponential in the complement; elastic-2 is
 //! quadratic; aggressive linear.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use corrfuse_bench::harness::{BenchmarkId, Criterion};
+use corrfuse_bench::{criterion_group, criterion_main};
 use corrfuse_core::aggressive::AggressiveSolver;
 use corrfuse_core::elastic::ElasticSolver;
 use corrfuse_core::exact::ExactSolver;
@@ -12,8 +13,7 @@ fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("solver_scaling");
     group.sample_size(10);
     for n in [6usize, 10, 14, 18] {
-        let joint =
-            IndependentJoint::new(vec![0.4; n], vec![0.1; n]).unwrap();
+        let joint = IndependentJoint::new(vec![0.4; n], vec![0.1; n]).unwrap();
         let active = SourceSet::full(n);
         // A triple provided by 2 sources: complement n-2.
         let providers = SourceSet::EMPTY.with(0).with(1);

@@ -8,12 +8,19 @@ fn main() {
     let cfg = ClusterConfig::default();
 
     let reverb = corrfuse_bench::reverb().expect("reverb");
-    println!("{}", discovery::run(&reverb, "REVERB", 8, &cfg).expect("reverb").render());
+    println!(
+        "{}",
+        discovery::run(&reverb, "REVERB", 8, &cfg)
+            .expect("reverb")
+            .render()
+    );
 
     let restaurant = corrfuse_bench::restaurant().expect("restaurant");
     println!(
         "{}",
-        discovery::run(&restaurant, "RESTAURANT", 8, &cfg).expect("restaurant").render()
+        discovery::run(&restaurant, "RESTAURANT", 8, &cfg)
+            .expect("restaurant")
+            .render()
     );
 
     let book = if corrfuse_bench::quick() {
@@ -21,5 +28,10 @@ fn main() {
     } else {
         corrfuse_bench::book().expect("book")
     };
-    println!("{}", discovery::run(&book, "BOOK", 12, &cfg).expect("book").render());
+    println!(
+        "{}",
+        discovery::run(&book, "BOOK", 12, &cfg)
+            .expect("book")
+            .render()
+    );
 }

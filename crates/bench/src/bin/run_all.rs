@@ -36,7 +36,9 @@ fn main() {
     let max_level = if corrfuse_bench::quick() { 2 } else { 4 };
     println!(
         "{}",
-        elastic_levels::run(&reverb, "REVERB", max_level, true).expect("fig5a reverb").render()
+        elastic_levels::run(&reverb, "REVERB", max_level, true)
+            .expect("fig5a reverb")
+            .render()
     );
     println!(
         "{}",
@@ -63,7 +65,12 @@ fn main() {
     ];
     // With per-book scopes the exact solver is feasible on BOOK too.
     let skip: [(&str, &str); 0] = [];
-    println!("{}", runtime::run(&datasets, &methods, &skip).expect("fig5b").render());
+    println!(
+        "{}",
+        runtime::run(&datasets, &methods, &skip)
+            .expect("fig5b")
+            .render()
+    );
 
     corrfuse_bench::banner("FIG6 + FIG7: synthetic sweeps");
     let reps = corrfuse_bench::sweep_reps();
@@ -72,13 +79,31 @@ fn main() {
     println!("{}", synthetic::fig6a(reps, seed).expect("fig6a").render());
     println!("{}", synthetic::fig6b(reps, seed).expect("fig6b").render());
     println!("{}", synthetic::fig6c(reps, seed).expect("fig6c").render());
-    println!("{}", synthetic::fig7(reps, seed + 7).expect("fig7").render());
+    println!(
+        "{}",
+        synthetic::fig7(reps, seed + 7).expect("fig7").render()
+    );
 
     corrfuse_bench::banner("TBL-CORR: discovered correlations");
     let cfg = ClusterConfig::default();
-    println!("{}", discovery::run(&reverb, "REVERB", 8, &cfg).expect("disc").render());
-    println!("{}", discovery::run(&restaurant, "RESTAURANT", 8, &cfg).expect("disc").render());
-    println!("{}", discovery::run(&book, "BOOK", 12, &cfg).expect("disc").render());
+    println!(
+        "{}",
+        discovery::run(&reverb, "REVERB", 8, &cfg)
+            .expect("disc")
+            .render()
+    );
+    println!(
+        "{}",
+        discovery::run(&restaurant, "RESTAURANT", 8, &cfg)
+            .expect("disc")
+            .render()
+    );
+    println!(
+        "{}",
+        discovery::run(&book, "BOOK", 12, &cfg)
+            .expect("disc")
+            .render()
+    );
 
     corrfuse_bench::banner("BOOK-COPY: ACCU / ACCUCOPY");
     let mut extra = Vec::new();
@@ -86,7 +111,10 @@ fn main() {
         let rep = evaluate_method(&book, &spec).expect("fusion baseline");
         extra.push((rep.name, rep.prf));
     }
-    println!("{}", book_copy::run(&book, extra).expect("book copy").render());
+    println!(
+        "{}",
+        book_copy::run(&book, extra).expect("book copy").render()
+    );
 
     println!("\ntotal wall time: {:.1}s", t0.elapsed().as_secs_f64());
 }

@@ -1,0 +1,327 @@
+//! An in-tree micro-benchmark harness exposing the subset of the
+//! `criterion` API the benches use.
+//!
+//! Offline builds cannot pull `criterion`, so bench targets (compiled with
+//! `harness = false`) run on this module instead: same `Criterion` /
+//! `benchmark_group` / `bench_function` / `bench_with_input` surface, same
+//! `criterion_group!` / `criterion_main!` macros, so swapping the real
+//! crate back in is a one-line import change per bench.
+//!
+//! Methodology: after a warm-up, each benchmark takes `sample_size`
+//! samples; a sample times a batch of iterations sized so one batch takes
+//! roughly [`TARGET_SAMPLE_NANOS`]. Reported statistics are the min /
+//! median / mean / max of per-iteration times across samples.
+//!
+//! Environment knobs:
+//!
+//! * `CORRFUSE_QUICK=1` — shrink warm-up and sample counts (CI smoke).
+//! * `CORRFUSE_BENCH_JSON=path` — append one JSON line per benchmark, so
+//!   runs can be captured (e.g. `BENCH_PR1.json`) and compared across PRs.
+
+use std::fmt;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock cost of one timing sample.
+pub const TARGET_SAMPLE_NANOS: u64 = 20_000_000;
+
+/// Top-level benchmark driver (criterion-compatible shape).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        eprintln!("\nbench group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: if quick() { 3 } else { 12 },
+        }
+    }
+}
+
+/// Identifier for one parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier, like criterion's.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Quick mode wins: CI smoke runs should stay fast no matter what
+        // the bench requests.
+        if !quick() {
+            self.sample_size = n.max(2);
+        }
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.to_string(), &mut f);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.label.clone(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Finish the group (report separator; kept for API parity).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        let full_id = format!("{}/{id}", self.name);
+        match Summary::from_samples(&bencher.samples) {
+            Some(summary) => {
+                eprintln!(
+                    "  {full_id}: median {} (min {}, mean {}, max {}, {} samples)",
+                    fmt_nanos(summary.median_ns),
+                    fmt_nanos(summary.min_ns),
+                    fmt_nanos(summary.mean_ns),
+                    fmt_nanos(summary.max_ns),
+                    summary.samples,
+                );
+                summary.append_json(&full_id);
+            }
+            None => eprintln!("  {full_id}: no samples recorded"),
+        }
+    }
+}
+
+/// Per-benchmark timing driver handed to the bench closure.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    /// Per-iteration nanoseconds, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine`, criterion-style: warm up, calibrate a batch size,
+    /// then record `sample_size` samples of batched iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up & calibration: run until we know the per-iteration cost.
+        let calibration_budget = if quick() {
+            Duration::from_millis(20)
+        } else {
+            Duration::from_millis(200)
+        };
+        let start = Instant::now();
+        let mut calibration_iters = 0u64;
+        while start.elapsed() < calibration_budget {
+            black_box(routine());
+            calibration_iters += 1;
+            if calibration_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = start.elapsed().as_nanos() as u64 / calibration_iters.max(1);
+        let batch = (TARGET_SAMPLE_NANOS / per_iter.max(1)).clamp(1, 1_000_000);
+        let batch = if quick() { batch.min(100) } else { batch };
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let nanos = t0.elapsed().as_nanos() as f64;
+            self.samples.push(nanos / batch as f64);
+        }
+    }
+}
+
+/// Summary statistics of one benchmark's samples (per-iteration nanos).
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// Mean of samples.
+    pub mean_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+impl Summary {
+    fn from_samples(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let n = sorted.len();
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+        };
+        Some(Summary {
+            min_ns: sorted[0],
+            median_ns: median,
+            mean_ns: sorted.iter().sum::<f64>() / n as f64,
+            max_ns: sorted[n - 1],
+            samples: n,
+        })
+    }
+
+    fn append_json(&self, id: &str) {
+        let Ok(path) = std::env::var("CORRFUSE_BENCH_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let line = format!(
+            "{{\"id\":\"{}\",\"median_ns\":{:.1},\"min_ns\":{:.1},\"mean_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{}}}\n",
+            id.replace('"', "'"),
+            self.median_ns,
+            self.min_ns,
+            self.mean_ns,
+            self.max_ns,
+            self.samples,
+        );
+        let written = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(line.as_bytes()));
+        if let Err(e) = written {
+            eprintln!("  (could not append to {path}: {e})");
+        }
+    }
+}
+
+fn quick() -> bool {
+    std::env::var("CORRFUSE_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declare a bench group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::harness::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_statistics() {
+        let s = Summary::from_samples(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.min_ns, 1.0);
+        assert_eq!(s.median_ns, 2.0);
+        assert_eq!(s.max_ns, 3.0);
+        assert!((s.mean_ns - 2.0).abs() < 1e-12);
+        assert_eq!(s.samples, 3);
+        assert!(Summary::from_samples(&[]).is_none());
+        let even = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((even.median_ns - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nanos_formatting() {
+        assert_eq!(fmt_nanos(12.0), "12 ns");
+        assert_eq!(fmt_nanos(1_500.0), "1.50 µs");
+        assert_eq!(fmt_nanos(2_500_000.0), "2.50 ms");
+        assert_eq!(fmt_nanos(3_100_000_000.0), "3.100 s");
+    }
+
+    #[test]
+    fn benchmark_id_label() {
+        let id = BenchmarkId::new("exact", 14);
+        assert_eq!(id.label, "exact/14");
+    }
+
+    #[test]
+    fn bencher_records_samples() {
+        // No env mutation (it would leak across concurrently-running
+        // tests); a small sample size keeps this fast either way.
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("selftest");
+        group.sample_size(2);
+        let mut bencher = Bencher {
+            sample_size: 2,
+            samples: Vec::new(),
+        };
+        bencher.iter(|| std::hint::black_box(1 + 1));
+        assert_eq!(bencher.samples.len(), 2);
+        assert!(bencher.samples.iter().all(|&ns| ns >= 0.0));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

@@ -24,6 +24,8 @@
 use corrfuse_core::dataset::Dataset;
 use corrfuse_core::error::Result;
 
+pub mod harness;
+
 /// Fixed seeds so every run regenerates identical replicas.
 pub mod seeds {
     /// REVERB replica seed.

@@ -31,7 +31,7 @@ pub struct AggressiveSolver {
 impl AggressiveSolver {
     /// Derive the `2n` correlation parameters from a joint-quality model
     /// over the given cluster.
-    pub fn new<J: JointQuality>(joint: &J, cluster: SourceSet) -> Self {
+    pub fn new<J: JointQuality + ?Sized>(joint: &J, cluster: SourceSet) -> Self {
         let corr = PerSourceCorrelation::compute(joint, cluster);
         AggressiveSolver {
             cr: corr.cr,

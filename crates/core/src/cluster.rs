@@ -270,26 +270,23 @@ pub fn pairwise_correlations(
 
     let s = cfg.smoothing;
     // Lift over the scope intersection of (a, b).
-    let pair_lift = |prov_a: &BitSet,
-                     prov_b: &BitSet,
-                     scope_a: &BitSet,
-                     scope_b: &BitSet|
-     -> Option<f64> {
-        let mut shared_scope = scope_a.clone();
-        shared_scope.intersect_with(scope_b);
-        let total = shared_scope.count_ones();
-        if total == 0 {
-            return None;
-        }
-        let na = prov_a.intersection_count(&shared_scope);
-        let nb = prov_b.intersection_count(&shared_scope);
-        if na < cfg.min_support || nb < cfg.min_support {
-            return None;
-        }
-        let n11 = prov_a.intersection_count(prov_b);
-        let expectation = (na as f64 + s) * (nb as f64 + s) / (total as f64 + s);
-        Some(((n11 as f64 + s) / expectation).max(1e-9))
-    };
+    let pair_lift =
+        |prov_a: &BitSet, prov_b: &BitSet, scope_a: &BitSet, scope_b: &BitSet| -> Option<f64> {
+            let mut shared_scope = scope_a.clone();
+            shared_scope.intersect_with(scope_b);
+            let total = shared_scope.count_ones();
+            if total == 0 {
+                return None;
+            }
+            let na = prov_a.intersection_count(&shared_scope);
+            let nb = prov_b.intersection_count(&shared_scope);
+            if na < cfg.min_support || nb < cfg.min_support {
+                return None;
+            }
+            let n11 = prov_a.intersection_count(prov_b);
+            let expectation = (na as f64 + s) * (nb as f64 + s) / (total as f64 + s);
+            Some(((n11 as f64 + s) / expectation).max(1e-9))
+        };
 
     let mut out = Vec::with_capacity(n * (n - 1) / 2);
     for a in 0..n {
@@ -297,12 +294,7 @@ pub fn pairwise_correlations(
             out.push(PairCorrelation {
                 a: SourceId(a as u32),
                 b: SourceId(b as u32),
-                lift_true: pair_lift(
-                    &true_sets[a],
-                    &true_sets[b],
-                    &true_scope[a],
-                    &true_scope[b],
-                ),
+                lift_true: pair_lift(&true_sets[a], &true_sets[b], &true_scope[a], &true_scope[b]),
                 lift_false: pair_lift(
                     &false_sets[a],
                     &false_sets[b],
@@ -317,11 +309,7 @@ pub fn pairwise_correlations(
 
 /// Partition sources into correlation clusters (strongest edges first,
 /// size-capped union-find).
-pub fn cluster_sources(
-    ds: &Dataset,
-    gold: &GoldLabels,
-    cfg: &ClusterConfig,
-) -> Result<Clustering> {
+pub fn cluster_sources(ds: &Dataset, gold: &GoldLabels, cfg: &ClusterConfig) -> Result<Clustering> {
     let n = ds.n_sources();
     if n == 0 {
         return Ok(Clustering::singletons(0));

@@ -289,7 +289,11 @@ impl fmt::Display for DatasetStats {
         write!(
             f,
             "{} sources, {} triples ({} true / {} false labelled), {} observations",
-            self.n_sources, self.n_triples, self.labelled_true, self.labelled_false, self.observations
+            self.n_sources,
+            self.n_triples,
+            self.labelled_true,
+            self.labelled_false,
+            self.observations
         )
     }
 }
@@ -430,7 +434,11 @@ impl DatasetBuilder {
             outputs,
             domains,
             scopes,
-            gold: if self.any_gold { Some(gold_labels) } else { None },
+            gold: if self.any_gold {
+                Some(gold_labels)
+            } else {
+                None
+            },
         })
     }
 }

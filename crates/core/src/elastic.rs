@@ -39,7 +39,7 @@ pub struct ElasticSolver {
 
 impl ElasticSolver {
     /// Derive correlation parameters from `joint` over `cluster`.
-    pub fn new<J: JointQuality>(joint: &J, cluster: SourceSet, level: usize) -> Self {
+    pub fn new<J: JointQuality + ?Sized>(joint: &J, cluster: SourceSet, level: usize) -> Self {
         let corr = PerSourceCorrelation::compute(joint, cluster);
         ElasticSolver {
             cr: corr.cr,
@@ -61,7 +61,7 @@ impl ElasticSolver {
 
     /// `(R, Q)` per Algorithm 1 for a triple provided by `providers`, with
     /// `active` cluster members in scope.
-    pub fn likelihoods<J: JointQuality>(
+    pub fn likelihoods<J: JointQuality + ?Sized>(
         &self,
         joint: &J,
         providers: SourceSet,
@@ -108,7 +108,12 @@ impl ElasticSolver {
     }
 
     /// Likelihood ratio `mu` at this solver's level.
-    pub fn mu<J: JointQuality>(&self, joint: &J, providers: SourceSet, active: SourceSet) -> f64 {
+    pub fn mu<J: JointQuality + ?Sized>(
+        &self,
+        joint: &J,
+        providers: SourceSet,
+        active: SourceSet,
+    ) -> f64 {
         let lk = self.likelihoods(joint, providers, active);
         if lk.q.abs() < 1e-300 {
             if lk.r > 0.0 {

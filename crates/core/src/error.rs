@@ -78,7 +78,10 @@ impl fmt::Display for FusionError {
             FusionError::UnknownSource(name) => write!(f, "unknown source `{name}`"),
             FusionError::TripleOutOfRange(i) => write!(f, "triple index {i} out of range"),
             FusionError::TooManySources { requested, max } => {
-                write!(f, "{requested} sources exceed the supported maximum of {max}")
+                write!(
+                    f,
+                    "{requested} sources exceed the supported maximum of {max}"
+                )
             }
             FusionError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
             FusionError::Io(msg) => write!(f, "i/o error: {msg}"),

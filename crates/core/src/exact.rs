@@ -80,7 +80,7 @@ impl ExactSolver {
     /// Compute `(Pr(O_t|t), Pr(O_t|¬t))` for a triple provided by
     /// `providers`, where `active` is the set of cluster members in scope
     /// for the triple (`providers ⊆ active`).
-    pub fn likelihoods<J: JointQuality>(
+    pub fn likelihoods<J: JointQuality + ?Sized>(
         &self,
         joint: &J,
         providers: SourceSet,
@@ -97,7 +97,11 @@ impl ExactSolver {
         let mut r = KahanSum::new();
         let mut q = KahanSum::new();
         for sub in submasks(complement.0) {
-            let sign = if (sub.count_ones() & 1) == 0 { 1.0 } else { -1.0 };
+            let sign = if (sub.count_ones() & 1) == 0 {
+                1.0
+            } else {
+                -1.0
+            };
             let set = providers.union(SourceSet(sub));
             r.add(sign * joint.joint_recall(set));
             q.add(sign * joint.joint_fpr(set));
@@ -109,7 +113,7 @@ impl ExactSolver {
     }
 
     /// The likelihood ratio `mu` (Theorem 4.2).
-    pub fn mu<J: JointQuality>(
+    pub fn mu<J: JointQuality + ?Sized>(
         &self,
         joint: &J,
         providers: SourceSet,
@@ -213,7 +217,11 @@ mod tests {
                 }
             }
         }
-        let joint = Replicas { n: 6, r: 0.6, q: 0.2 };
+        let joint = Replicas {
+            n: 6,
+            r: 0.6,
+            q: 0.2,
+        };
         let solver = ExactSolver::new();
         let active = SourceSet::full(6);
         // All replicas provide t: complement empty, mu = r/q = 3.
@@ -313,9 +321,7 @@ mod tests {
         let solver = ExactSolver::new();
         let active = SourceSet::full(3);
         for mask in 0..8u64 {
-            let lk = solver
-                .likelihoods(&joint, SourceSet(mask), active)
-                .unwrap();
+            let lk = solver.likelihoods(&joint, SourceSet(mask), active).unwrap();
             assert!((-1e-12..=1.0 + 1e-12).contains(&lk.r), "R={}", lk.r);
             assert!((-1e-12..=1.0 + 1e-12).contains(&lk.q), "Q={}", lk.q);
         }

@@ -16,14 +16,16 @@
 use crate::bits::BitSet;
 use crate::cluster::{cluster_sources, ClusterConfig, Clustering};
 use crate::dataset::{Dataset, GoldLabels, SourceId};
-use crate::triple::TripleId;
 use crate::elastic::ElasticSolver;
+use crate::engine::ScoringEngine;
 use crate::error::{FusionError, Result};
 use crate::exact::ExactSolver;
 use crate::independent::PrecRecModel;
-use crate::joint::{EmpiricalJoint, SourceSet};
+use crate::joint::{EmpiricalJoint, JointQuality, NoJoint, SourceSet};
 use crate::prob::posterior_from_log_mu;
 use crate::quality::{QualityEstimator, SourceQuality};
+use crate::solver::{CorrelationSolver, PrecRecSolver};
+use crate::triple::TripleId;
 
 use crate::aggressive::AggressiveSolver;
 
@@ -54,6 +56,29 @@ impl Method {
             Method::Exact => "PrecRecCorr".to_string(),
             Method::Aggressive => "PrecRecCorr-Aggr".to_string(),
             Method::Elastic(l) => format!("PrecRecCorr-Lvl{l}"),
+        }
+    }
+
+    /// Build this method's [`CorrelationSolver`] for one cluster — the
+    /// single dispatch point between `Method` and the solver layer.
+    ///
+    /// `joint` and `cluster` describe the cluster (cluster-local
+    /// numbering); `precrec` and `positions` let the PrecRec adapter reuse
+    /// the already-fitted per-source rates; `max_exact_complement` caps
+    /// the exact solver's inclusion–exclusion width.
+    pub fn build_solver(
+        self,
+        joint: &dyn JointQuality,
+        cluster: SourceSet,
+        precrec: &PrecRecModel,
+        positions: &[usize],
+        max_exact_complement: usize,
+    ) -> Box<dyn CorrelationSolver> {
+        match self {
+            Method::PrecRec => Box::new(PrecRecSolver::from_model(precrec, positions)),
+            Method::Exact => Box::new(ExactSolver::with_max_complement(max_exact_complement)),
+            Method::Aggressive => Box::new(AggressiveSolver::new(joint, cluster)),
+            Method::Elastic(level) => Box::new(ElasticSolver::new(joint, cluster, level)),
         }
     }
 }
@@ -113,29 +138,24 @@ impl FuserConfig {
     }
 }
 
-/// Per-cluster solving machinery.
+/// Per-cluster solving machinery: the cluster's joint parameters plus the
+/// method's solver, behind the [`CorrelationSolver`] trait.
 #[derive(Debug)]
 struct ClusterUnit {
     /// Positions (global source indices) of members; bit `k` of any
     /// projected mask refers to `positions[k]`.
     positions: Vec<usize>,
-    joint: EmpiricalJoint,
-    solver: ClusterSolverKind,
-}
-
-#[derive(Debug)]
-enum ClusterSolverKind {
-    Exact(ExactSolver),
-    Aggressive(AggressiveSolver),
-    Elastic(ElasticSolver),
+    /// Joint parameters — `None` for methods whose solver never reads
+    /// them (PrecRec), saving the estimation pass and the memo tables.
+    joint: Option<EmpiricalJoint>,
+    solver: Box<dyn CorrelationSolver>,
 }
 
 impl ClusterUnit {
     fn mu(&self, providers: SourceSet, active: SourceSet) -> Result<f64> {
-        match &self.solver {
-            ClusterSolverKind::Exact(s) => s.mu(&self.joint, providers, active),
-            ClusterSolverKind::Aggressive(s) => Ok(s.mu(providers, active)),
-            ClusterSolverKind::Elastic(s) => Ok(s.mu(&self.joint, providers, active)),
+        match &self.joint {
+            Some(joint) => self.solver.mu(joint, providers, active),
+            None => self.solver.mu(&NoJoint, providers, active),
         }
     }
 }
@@ -166,29 +186,35 @@ impl Fuser {
         let precrec = PrecRecModel::from_quality(&qualities, alpha)?;
 
         let n = ds.n_sources();
-        let clustering = if config.method.uses_correlations() {
-            match &config.strategy {
-                ClusterStrategy::SingleCluster => {
-                    if n > 64 {
+        let clustering = match &config.strategy {
+            ClusterStrategy::SingleCluster => {
+                if n > 64 {
+                    if config.method.uses_correlations() {
                         return Err(FusionError::TooManySources {
                             requested: n,
                             max: 64,
                         });
                     }
+                    // PrecRec is indifferent to clustering; fall back to
+                    // the singleton path instead of failing on width.
+                    Clustering::singletons(n)
+                } else {
                     Clustering::single_cluster(n)
                 }
-                ClusterStrategy::Singletons => Clustering::singletons(n),
-                ClusterStrategy::Explicit(c) => c.clone(),
-                ClusterStrategy::Auto => {
-                    if n <= config.cluster.max_cluster_size.min(64) {
-                        Clustering::single_cluster(n)
-                    } else {
-                        cluster_sources(ds, training, &config.cluster)?
-                    }
+            }
+            ClusterStrategy::Singletons => Clustering::singletons(n),
+            ClusterStrategy::Explicit(c) => c.clone(),
+            ClusterStrategy::Auto => {
+                if !config.method.uses_correlations() {
+                    // PrecRec treats every source independently, which the
+                    // log-space singleton path handles at any source count.
+                    Clustering::singletons(n)
+                } else if n <= config.cluster.max_cluster_size.min(64) {
+                    Clustering::single_cluster(n)
+                } else {
+                    cluster_sources(ds, training, &config.cluster)?
                 }
             }
-        } else {
-            Clustering::singletons(n)
         };
 
         let mut clusters = Vec::new();
@@ -196,32 +222,54 @@ impl Fuser {
         for s in 0..n {
             independent_mask.set(s, true);
         }
-        if config.method.uses_correlations() {
-            for members in clustering.non_trivial() {
-                let positions: Vec<usize> = members.iter().map(|m| m.index()).collect();
-                for &p in &positions {
-                    independent_mask.set(p, false);
+        for members in clustering.non_trivial() {
+            let positions: Vec<usize> = members.iter().map(|m| m.index()).collect();
+            if positions.len() > 64 {
+                if config.method.uses_correlations() {
+                    // Wider than the bitmask solvers support: a recoverable
+                    // error, checked here before `SourceSet::full` would
+                    // assert on the width.
+                    return Err(FusionError::TooManySources {
+                        requested: positions.len(),
+                        max: 64,
+                    });
                 }
-                let joint = EmpiricalJoint::new(ds, training, members.clone(), alpha)?;
-                let full = SourceSet::full(positions.len());
-                let solver = match config.method {
-                    Method::Exact => ClusterSolverKind::Exact(ExactSolver::with_max_complement(
-                        config.max_exact_complement,
-                    )),
-                    Method::Aggressive => {
-                        ClusterSolverKind::Aggressive(AggressiveSolver::new(&joint, full))
-                    }
-                    Method::Elastic(level) => {
-                        ClusterSolverKind::Elastic(ElasticSolver::new(&joint, full, level))
-                    }
-                    Method::PrecRec => unreachable!("guarded by uses_correlations"),
-                };
-                clusters.push(ClusterUnit {
-                    positions,
-                    joint,
-                    solver,
-                });
+                // Independence makes cluster structure irrelevant, so a
+                // cluster too wide for the bitmask solvers simply stays on
+                // the singleton log-space path (identical scores).
+                continue;
             }
+            for &p in &positions {
+                independent_mask.set(p, false);
+            }
+            let full = SourceSet::full(positions.len());
+            let (joint, solver) = if config.method.uses_correlations() {
+                let joint = EmpiricalJoint::new(ds, training, members.clone(), alpha)?;
+                let solver = config.method.build_solver(
+                    &joint,
+                    full,
+                    &precrec,
+                    &positions,
+                    config.max_exact_complement,
+                );
+                (Some(joint), solver)
+            } else {
+                // PrecRec's adapter never reads joint parameters; skip the
+                // estimation pass entirely.
+                let solver = config.method.build_solver(
+                    &NoJoint,
+                    full,
+                    &precrec,
+                    &positions,
+                    config.max_exact_complement,
+                );
+                (None, solver)
+            };
+            clusters.push(ClusterUnit {
+                positions,
+                joint,
+                solver,
+            });
         }
 
         Ok(Fuser {
@@ -250,7 +298,8 @@ impl Fuser {
         &self.qualities
     }
 
-    /// The clustering in effect (singletons for PrecRec).
+    /// The clustering in effect (singletons for PrecRec under the `Auto`
+    /// strategy; explicit strategies are honoured for every method).
     pub fn clustering(&self) -> &Clustering {
         &self.clustering
     }
@@ -293,45 +342,26 @@ impl Fuser {
 
     /// `Pr(t | O_t)` for every triple, in [`TripleId`] order.
     pub fn score_all(&self, ds: &Dataset) -> Result<Vec<f64>> {
-        ds.triples().map(|t| self.score_triple(ds, t)).collect()
+        self.score_all_with(ds, &ScoringEngine::serial())
     }
 
     /// Parallel [`Fuser::score_all`] over `n_threads` worker threads.
-    ///
-    /// Scoring is embarrassingly parallel; the exact solver's joint-rate
-    /// memo tables are shared behind `RwLock`s, so threads warm each
-    /// other's caches.
+    /// Equivalent to [`Fuser::score_all_with`] and an explicit engine.
     pub fn score_all_parallel(&self, ds: &Dataset, n_threads: usize) -> Result<Vec<f64>> {
-        let n = ds.n_triples();
-        let threads = n_threads.max(1).min(n.max(1));
-        if threads <= 1 || n < 64 {
-            return self.score_all(ds);
-        }
-        let chunk = n.div_ceil(threads);
-        let mut results: Vec<Result<Vec<f64>>> = Vec::new();
-        std::thread::scope(|s| {
-            let mut handles = Vec::new();
-            for w in 0..threads {
-                let lo = w * chunk;
-                let hi = ((w + 1) * chunk).min(n);
-                if lo >= hi {
-                    continue;
-                }
-                handles.push(s.spawn(move || {
-                    (lo..hi)
-                        .map(|i| self.score_triple(ds, TripleId(i as u32)))
-                        .collect::<Result<Vec<f64>>>()
-                }));
-            }
-            for h in handles {
-                results.push(h.join().expect("scoring worker panicked"));
-            }
-        });
-        let mut out = Vec::with_capacity(n);
-        for r in results {
-            out.extend(r?);
-        }
-        Ok(out)
+        self.score_all_with(ds, &ScoringEngine::with_threads(n_threads))
+    }
+
+    /// Score every triple through the given [`ScoringEngine`].
+    ///
+    /// Scoring is embarrassingly parallel; the engine's workers share this
+    /// fitted model immutably, so per-cluster solver state (including the
+    /// empirical joint's memoised rate tables behind `RwLock`s) is warmed
+    /// once and reused across the whole batch. Parallel results are
+    /// bitwise identical to serial results.
+    pub fn score_all_with(&self, ds: &Dataset, engine: &ScoringEngine) -> Result<Vec<f64>> {
+        engine.map(ds.n_triples(), |i| {
+            self.score_triple(ds, TripleId(i as u32))
+        })
     }
 
     /// Binary accept/reject decisions at the given probability threshold
@@ -404,12 +434,8 @@ mod tests {
     fn precrec_on_figure1_matches_overview_claim() {
         // §2.3: F1 = .86 (precision .75, recall 1).
         let ds = figure1();
-        let fuser = Fuser::fit(
-            &FuserConfig::new(Method::PrecRec),
-            &ds,
-            ds.gold().unwrap(),
-        )
-        .unwrap();
+        let fuser =
+            Fuser::fit(&FuserConfig::new(Method::PrecRec), &ds, ds.gold().unwrap()).unwrap();
         let scores = fuser.score_all(&ds).unwrap();
         let (p, r, f1) = f1_at_half(&ds, &scores);
         assert!((p - 0.75).abs() < 1e-9, "precision {p}");
@@ -436,12 +462,8 @@ mod tests {
         let p_t8 = fuser.score_triple(&ds, TripleId(7)).unwrap();
         assert!(p_t8 < 0.5, "Pr(t8)={p_t8}");
         // While PrecRec wrongly accepts it (Example 3.3).
-        let precrec = Fuser::fit(
-            &FuserConfig::new(Method::PrecRec),
-            &ds,
-            ds.gold().unwrap(),
-        )
-        .unwrap();
+        let precrec =
+            Fuser::fit(&FuserConfig::new(Method::PrecRec), &ds, ds.gold().unwrap()).unwrap();
         assert!(precrec.score_triple(&ds, TripleId(7)).unwrap() > 0.5);
     }
 
@@ -454,12 +476,8 @@ mod tests {
             ds.gold().unwrap(),
         )
         .unwrap();
-        let indep = Fuser::fit(
-            &FuserConfig::new(Method::PrecRec),
-            &ds,
-            ds.gold().unwrap(),
-        )
-        .unwrap();
+        let indep =
+            Fuser::fit(&FuserConfig::new(Method::PrecRec), &ds, ds.gold().unwrap()).unwrap();
         for t in ds.triples() {
             let a = corr.score_triple(&ds, t).unwrap();
             let b = indep.score_triple(&ds, t).unwrap();

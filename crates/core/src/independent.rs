@@ -13,10 +13,10 @@
 
 use crate::bits::BitSet;
 use crate::dataset::{Dataset, GoldLabels};
-use crate::triple::TripleId;
 use crate::error::{FusionError, Result};
 use crate::prob::{check_alpha, clamp_prob, posterior_from_log_mu};
 use crate::quality::{QualityEstimator, SourceQuality};
+use crate::triple::TripleId;
 
 /// The PrecRec model: per-source log contributions plus the prior.
 #[derive(Debug, Clone)]
@@ -25,6 +25,10 @@ pub struct PrecRecModel {
     log_pos: Vec<f64>,
     /// `ln((1 - r_i) / (1 - q_i))` — contribution of an in-scope non-provider.
     log_neg: Vec<f64>,
+    /// The clamped `(r_i, q_i)` pairs behind the log contributions, kept so
+    /// adapters (e.g. [`crate::solver::PrecRecSolver`]) can reuse exactly
+    /// the rates this model scores with.
+    rates: Vec<(f64, f64)>,
     alpha: f64,
 }
 
@@ -48,6 +52,7 @@ impl PrecRecModel {
         check_alpha(alpha)?;
         let mut log_pos = Vec::with_capacity(qualities.len());
         let mut log_neg = Vec::with_capacity(qualities.len());
+        let mut rates = Vec::with_capacity(qualities.len());
         for sq in qualities {
             let q_raw = match crate::quality::derive_fpr(sq.precision, sq.recall, alpha) {
                 Ok(q) => q,
@@ -58,10 +63,12 @@ impl PrecRecModel {
             let q = clamp_prob(q_raw);
             log_pos.push((r / q).ln());
             log_neg.push(((1.0 - r) / (1.0 - q)).ln());
+            rates.push((r, q));
         }
         Ok(PrecRecModel {
             log_pos,
             log_neg,
+            rates,
             alpha,
         })
     }
@@ -72,6 +79,7 @@ impl PrecRecModel {
         assert_eq!(recalls.len(), fprs.len());
         let mut log_pos = Vec::with_capacity(recalls.len());
         let mut log_neg = Vec::with_capacity(recalls.len());
+        let mut rates = Vec::with_capacity(recalls.len());
         for (&r, &q) in recalls.iter().zip(fprs) {
             crate::prob::check_prob("recall", r)?;
             crate::prob::check_prob("false positive rate", q)?;
@@ -79,10 +87,12 @@ impl PrecRecModel {
             let q = clamp_prob(q);
             log_pos.push((r / q).ln());
             log_neg.push(((1.0 - r) / (1.0 - q)).ln());
+            rates.push((r, q));
         }
         Ok(PrecRecModel {
             log_pos,
             log_neg,
+            rates,
             alpha,
         })
     }
@@ -107,6 +117,12 @@ impl PrecRecModel {
     /// The prior `Pr(t) = alpha`.
     pub fn alpha(&self) -> f64 {
         self.alpha
+    }
+
+    /// The clamped `(recall, false-positive rate)` pair the model scores
+    /// source `s` with (after Theorem 3.5 derivation and capping).
+    pub fn effective_rates(&self, s: usize) -> (f64, f64) {
+        self.rates[s]
     }
 
     /// `ln mu` for a triple with the given provider set, counting only

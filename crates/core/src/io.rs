@@ -49,7 +49,10 @@ fn unescape(field: &str, line: usize) -> Result<String> {
             other => {
                 return Err(FusionError::Parse {
                     line,
-                    msg: format!("bad escape sequence \\{}", other.map(String::from).unwrap_or_default()),
+                    msg: format!(
+                        "bad escape sequence \\{}",
+                        other.map(String::from).unwrap_or_default()
+                    ),
                 })
             }
         }
@@ -88,11 +91,7 @@ pub fn to_string(ds: &Dataset) -> String {
             None => out.push('?'),
         }
         out.push('\t');
-        let providers: Vec<String> = ds
-            .providers(t)
-            .iter_ones()
-            .map(|s| s.to_string())
-            .collect();
+        let providers: Vec<String> = ds.providers(t).iter_ones().map(|s| s.to_string()).collect();
         out.push_str(&providers.join(","));
         out.push('\n');
     }
@@ -140,20 +139,18 @@ pub fn from_str(text: &str) -> Result<Dataset> {
                 sources.push(builder.source(unescape(name, lineno)?));
             }
             "D" => {
-                let t: usize = fields
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or_else(|| FusionError::Parse {
+                let t: usize = fields.next().and_then(|v| v.parse().ok()).ok_or_else(|| {
+                    FusionError::Parse {
                         line: lineno,
                         msg: "D line needs a triple index".to_string(),
-                    })?;
-                let d: u32 = fields
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or_else(|| FusionError::Parse {
+                    }
+                })?;
+                let d: u32 = fields.next().and_then(|v| v.parse().ok()).ok_or_else(|| {
+                    FusionError::Parse {
                         line: lineno,
                         msg: "D line needs a domain id".to_string(),
-                    })?;
+                    }
+                })?;
                 pending_domains.push((t, d));
             }
             "T" => {

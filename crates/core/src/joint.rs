@@ -290,6 +290,26 @@ impl JointQuality for EmpiricalJoint {
     }
 }
 
+/// Placeholder joint for solvers that precompute everything at
+/// construction time and never read joint parameters (e.g. the PrecRec
+/// adapter). Returns the vacuous `r_∅ = q_∅ = 1` for every subset.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoJoint;
+
+impl JointQuality for NoJoint {
+    fn n_members(&self) -> usize {
+        0
+    }
+
+    fn joint_recall(&self, _set: SourceSet) -> f64 {
+        1.0
+    }
+
+    fn joint_fpr(&self, _set: SourceSet) -> f64 {
+        1.0
+    }
+}
+
 /// Joint quality of perfectly independent sources: products of per-source
 /// rates. Used to validate Corollaries 4.3 / 4.6 and as a fallback.
 #[derive(Debug, Clone)]
@@ -433,7 +453,7 @@ pub struct PerSourceCorrelation {
 
 impl PerSourceCorrelation {
     /// Compute for the given cluster.
-    pub fn compute(joint: &impl JointQuality, cluster: SourceSet) -> Self {
+    pub fn compute<J: JointQuality + ?Sized>(joint: &J, cluster: SourceSet) -> Self {
         let n = joint.n_members();
         let r_full = joint.joint_recall(cluster);
         let q_full = joint.joint_fpr(cluster);

@@ -20,6 +20,10 @@
 //!   Algorithm 1), trading accuracy for cost between the two.
 //! * [`cluster`] — pairwise-correlation source clustering for datasets
 //!   with hundreds of sources (§5).
+//! * [`solver::CorrelationSolver`] — the trait all of the above solvers
+//!   implement; [`fuser::Fuser`] dispatches every method through it.
+//! * [`engine::ScoringEngine`] — chunk-stealing batch scorer shared by the
+//!   serial and parallel paths (parallel output is bitwise identical).
 //! * [`fuser::Fuser`] — one-stop API combining all of the above.
 //!
 //! ## Quick start
@@ -52,6 +56,7 @@ pub mod bits;
 pub mod cluster;
 pub mod dataset;
 pub mod elastic;
+pub mod engine;
 pub mod error;
 pub mod exact;
 pub mod fuser;
@@ -60,11 +65,16 @@ pub mod io;
 pub mod joint;
 pub mod prob;
 pub mod quality;
+pub mod rng;
+pub mod solver;
 pub mod subset;
+pub mod testkit;
 pub mod triple;
 
 pub use dataset::{Dataset, DatasetBuilder, Domain, GoldLabels, SourceId};
+pub use engine::ScoringEngine;
 pub use error::{FusionError, Result};
 pub use fuser::{ClusterStrategy, Fuser, FuserConfig, Method};
 pub use quality::SourceQuality;
+pub use solver::{CorrelationSolver, PrecRecSolver};
 pub use triple::{Triple, TripleId};

@@ -278,7 +278,11 @@ mod tests {
         let expect = [0.5, 4.0 / 6.0, 1.0 / 6.0, 2.0 / 6.0, 2.0 / 6.0];
         for (i, want) in expect.iter().enumerate() {
             let got = q[i].false_positive_rate(0.5).unwrap();
-            assert!((got - want).abs() < 1e-12, "q{} got {got} want {want}", i + 1);
+            assert!(
+                (got - want).abs() < 1e-12,
+                "q{} got {got} want {want}",
+                i + 1
+            );
         }
     }
 

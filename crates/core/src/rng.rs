@@ -1,0 +1,160 @@
+//! Small, fast, dependency-free pseudo-random number generation.
+//!
+//! The workspace builds on air-gapped machines, so instead of the `rand`
+//! crate this module provides the subset of its API the project uses:
+//! [`StdRng::seed_from_u64`], [`StdRng::gen_f64`], [`StdRng::gen_bool`]
+//! and [`StdRng::gen_range`]. The generator is xoshiro256++ (Blackman &
+//! Vigna), seeded through SplitMix64 exactly as the reference
+//! implementation recommends — statistically strong for simulation
+//! workloads and deterministic across platforms, which is what the
+//! synthetic replicas and the Gibbs sampler need. It is **not**
+//! cryptographically secure.
+
+/// xoshiro256++ generator. [`StdRng`] aliases this type so call sites read
+/// like `rand` and can migrate to the real crate by swapping one import.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+/// Drop-in stand-in for `rand::rngs::StdRng` (see module docs).
+pub type StdRng = Xoshiro256PlusPlus;
+
+/// SplitMix64 step, used to expand a 64-bit seed into generator state.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Xoshiro256PlusPlus {
+    /// Deterministically seed the generator from a single `u64`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Xoshiro256PlusPlus { s }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`, using the top 53 bits.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform integer in `[range.start, range.end)`. Panics on an empty
+    /// range, mirroring `rand`.
+    #[inline]
+    pub fn gen_range(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "gen_range called with empty range");
+        let span = (range.end - range.start) as u64;
+        // Lemire's unbiased multiply-shift rejection method.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (span as u128);
+            let lo = m as u64;
+            if lo >= span {
+                return range.start + (m >> 64) as usize;
+            }
+            let threshold = span.wrapping_neg() % span;
+            if lo >= threshold {
+                return range.start + (m >> 64) as usize;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_f64();
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_near_half() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.01, "frac {frac}");
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(!(0..1000).any(|_| rng.gen_bool(0.0)));
+        assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_range_covers_and_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let k = rng.gen_range(3..13);
+            assert!((3..13).contains(&k));
+            seen[k - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values hit: {seen:?}");
+        // Width-1 range is the identity.
+        assert_eq!(rng.gen_range(42..43), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn gen_range_rejects_empty() {
+        StdRng::seed_from_u64(0).gen_range(5..5);
+    }
+}

@@ -1,0 +1,280 @@
+//! The [`CorrelationSolver`] abstraction: one interface over every
+//! per-cluster likelihood solver.
+//!
+//! The paper describes four ways to turn an observation pattern into the
+//! likelihood pair `(Pr(O_t | t), Pr(O_t | ¬t))` over one cluster of
+//! sources: the independent product of Theorem 3.1, the exact
+//! inclusion–exclusion of Theorem 4.2, the linear aggressive approximation
+//! of Definition 4.5, and the level-λ elastic approximation of
+//! Algorithm 1. They differ in cost and in which joint parameters they
+//! consume, but they answer the same question — so [`crate::fuser::Fuser`]
+//! talks to all of them through this trait, and future backends
+//! (sketch-based approximate joints, sharded solvers) slot in the same
+//! way.
+//!
+//! Each implementation keeps its own conventions for degenerate values
+//! (e.g. the aggressive solver deliberately lets `mu` go negative to
+//! signal Proposition 4.8 breakdown), which is why `mu` is a required
+//! method rather than a blanket `likelihoods`-based default.
+
+use std::fmt;
+
+use crate::aggressive::AggressiveSolver;
+use crate::elastic::ElasticSolver;
+use crate::error::Result;
+use crate::exact::{ExactSolver, Likelihoods};
+use crate::independent::PrecRecModel;
+use crate::joint::{JointQuality, SourceSet};
+
+/// A per-cluster likelihood solver.
+///
+/// `providers ⊆ active ⊆` the cluster the solver was built for; both sets
+/// use cluster-local bit numbering. `joint` supplies the joint quality
+/// parameters of that cluster — solvers that precompute everything at
+/// construction time (aggressive, PrecRec adapter) simply ignore it.
+pub trait CorrelationSolver: fmt::Debug + Send + Sync {
+    /// Short name for reports and errors.
+    fn name(&self) -> &'static str;
+
+    /// The likelihood pair `(Pr(O_t | t), Pr(O_t | ¬t))`.
+    fn likelihoods(
+        &self,
+        joint: &dyn JointQuality,
+        providers: SourceSet,
+        active: SourceSet,
+    ) -> Result<Likelihoods>;
+
+    /// The likelihood ratio `mu`, with this solver's degenerate-value
+    /// conventions applied.
+    fn mu(&self, joint: &dyn JointQuality, providers: SourceSet, active: SourceSet) -> Result<f64>;
+}
+
+impl CorrelationSolver for ExactSolver {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn likelihoods(
+        &self,
+        joint: &dyn JointQuality,
+        providers: SourceSet,
+        active: SourceSet,
+    ) -> Result<Likelihoods> {
+        ExactSolver::likelihoods(self, joint, providers, active)
+    }
+
+    fn mu(&self, joint: &dyn JointQuality, providers: SourceSet, active: SourceSet) -> Result<f64> {
+        ExactSolver::mu(self, joint, providers, active)
+    }
+}
+
+impl CorrelationSolver for AggressiveSolver {
+    fn name(&self) -> &'static str {
+        "aggressive"
+    }
+
+    fn likelihoods(
+        &self,
+        _joint: &dyn JointQuality,
+        providers: SourceSet,
+        active: SourceSet,
+    ) -> Result<Likelihoods> {
+        Ok(AggressiveSolver::likelihoods(self, providers, active))
+    }
+
+    fn mu(
+        &self,
+        _joint: &dyn JointQuality,
+        providers: SourceSet,
+        active: SourceSet,
+    ) -> Result<f64> {
+        Ok(AggressiveSolver::mu(self, providers, active))
+    }
+}
+
+impl CorrelationSolver for ElasticSolver {
+    fn name(&self) -> &'static str {
+        "elastic"
+    }
+
+    fn likelihoods(
+        &self,
+        joint: &dyn JointQuality,
+        providers: SourceSet,
+        active: SourceSet,
+    ) -> Result<Likelihoods> {
+        Ok(ElasticSolver::likelihoods(self, joint, providers, active))
+    }
+
+    fn mu(&self, joint: &dyn JointQuality, providers: SourceSet, active: SourceSet) -> Result<f64> {
+        Ok(ElasticSolver::mu(self, joint, providers, active))
+    }
+}
+
+/// Adapter dispatching **PrecRec** (Theorem 3.1) through the
+/// [`CorrelationSolver`] interface: the independent product over the
+/// cluster members, accumulated in log space exactly like
+/// [`PrecRecModel`] so the two paths agree to floating-point rounding.
+#[derive(Debug, Clone)]
+pub struct PrecRecSolver {
+    /// Per member: `(ln r, ln(1-r), ln q, ln(1-q))` with the model's
+    /// clamped rates.
+    log_rates: Vec<[f64; 4]>,
+}
+
+impl PrecRecSolver {
+    /// Build for a cluster whose members sit at the given global
+    /// `positions` of a fitted [`PrecRecModel`], reusing that model's
+    /// clamped and Theorem-3.5-derived rates.
+    pub fn from_model(model: &PrecRecModel, positions: &[usize]) -> Self {
+        let log_rates = positions
+            .iter()
+            .map(|&s| {
+                let (r, q) = model.effective_rates(s);
+                [r.ln(), (1.0 - r).ln(), q.ln(), (1.0 - q).ln()]
+            })
+            .collect();
+        PrecRecSolver { log_rates }
+    }
+
+    /// Build from explicit per-member `(recall, fpr)` rates. Delegates to
+    /// [`PrecRecModel::from_rates`] so validation and clamping policy live
+    /// in exactly one place (the prior is irrelevant to the solver).
+    pub fn from_rates(recalls: &[f64], fprs: &[f64]) -> Result<Self> {
+        let model = PrecRecModel::from_rates(recalls, fprs, 0.5)?;
+        let positions: Vec<usize> = (0..recalls.len()).collect();
+        Ok(Self::from_model(&model, &positions))
+    }
+
+    /// `(ln R, ln Q)` for the given pattern.
+    fn log_likelihoods(&self, providers: SourceSet, active: SourceSet) -> (f64, f64) {
+        debug_assert!(providers.is_subset_of(active));
+        let mut log_r = 0.0;
+        let mut log_q = 0.0;
+        for k in active.iter() {
+            let [lr, l1r, lq, l1q] = self.log_rates[k];
+            if providers.contains(k) {
+                log_r += lr;
+                log_q += lq;
+            } else {
+                log_r += l1r;
+                log_q += l1q;
+            }
+        }
+        (log_r, log_q)
+    }
+}
+
+impl CorrelationSolver for PrecRecSolver {
+    fn name(&self) -> &'static str {
+        "precrec"
+    }
+
+    fn likelihoods(
+        &self,
+        _joint: &dyn JointQuality,
+        providers: SourceSet,
+        active: SourceSet,
+    ) -> Result<Likelihoods> {
+        let (log_r, log_q) = self.log_likelihoods(providers, active);
+        Ok(Likelihoods {
+            r: log_r.exp(),
+            q: log_q.exp(),
+        })
+    }
+
+    fn mu(
+        &self,
+        _joint: &dyn JointQuality,
+        providers: SourceSet,
+        active: SourceSet,
+    ) -> Result<f64> {
+        let (log_r, log_q) = self.log_likelihoods(providers, active);
+        // Rates are clamped into the open unit interval, so the ratio is
+        // always finite and positive; exp of the difference avoids the
+        // underflow a 64-member product could hit in linear space.
+        Ok((log_r - log_q).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::joint::IndependentJoint;
+
+    fn dynify(j: &IndependentJoint) -> &dyn JointQuality {
+        j
+    }
+
+    #[test]
+    fn exact_trait_object_matches_inherent() {
+        let joint = IndependentJoint::new(vec![0.7, 0.5, 0.3], vec![0.2, 0.1, 0.25]).unwrap();
+        let solver = ExactSolver::new();
+        let dyn_solver: &dyn CorrelationSolver = &solver;
+        let active = SourceSet::full(3);
+        for mask in 0..8u64 {
+            let providers = SourceSet(mask);
+            let a = solver.mu(&joint, providers, active).unwrap();
+            let b = dyn_solver.mu(dynify(&joint), providers, active).unwrap();
+            assert_eq!(a, b, "mask {mask:b}");
+        }
+    }
+
+    #[test]
+    fn aggressive_and_elastic_trait_objects_match_inherent() {
+        let joint = IndependentJoint::new(vec![0.7, 0.5], vec![0.2, 0.1]).unwrap();
+        let active = SourceSet::full(2);
+        let aggr = AggressiveSolver::new(&joint, active);
+        let elastic = ElasticSolver::new(&joint, active, 1);
+        let dyn_aggr: &dyn CorrelationSolver = &aggr;
+        let dyn_elastic: &dyn CorrelationSolver = &elastic;
+        for mask in 0..4u64 {
+            let p = SourceSet(mask);
+            assert_eq!(aggr.mu(p, active), dyn_aggr.mu(&joint, p, active).unwrap());
+            assert_eq!(
+                elastic.mu(&joint, p, active),
+                dyn_elastic.mu(&joint, p, active).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn precrec_solver_is_the_independent_product() {
+        let recalls = [0.8, 0.6, 0.4];
+        let fprs = [0.1, 0.2, 0.3];
+        let solver = PrecRecSolver::from_rates(&recalls, &fprs).unwrap();
+        let joint = IndependentJoint::new(recalls.to_vec(), fprs.to_vec()).unwrap();
+        let active = SourceSet::full(3);
+        for mask in 0..8u64 {
+            let providers = SourceSet(mask);
+            let mut expected = 1.0;
+            for k in 0..3 {
+                expected *= if providers.contains(k) {
+                    recalls[k] / fprs[k]
+                } else {
+                    (1.0 - recalls[k]) / (1.0 - fprs[k])
+                };
+            }
+            let mu = solver.mu(&joint, providers, active).unwrap();
+            assert!(
+                (mu - expected).abs() < 1e-9 * expected.max(1.0),
+                "mask {mask:b}: {mu} vs {expected}"
+            );
+            let lk = solver.likelihoods(&joint, providers, active).unwrap();
+            assert!((lk.r / lk.q - mu).abs() < 1e-9 * mu.max(1.0));
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let joint = IndependentJoint::new(vec![0.5], vec![0.1]).unwrap();
+        let solvers: Vec<Box<dyn CorrelationSolver>> = vec![
+            Box::new(ExactSolver::new()),
+            Box::new(AggressiveSolver::new(&joint, SourceSet::full(1))),
+            Box::new(ElasticSolver::new(&joint, SourceSet::full(1), 0)),
+            Box::new(PrecRecSolver::from_rates(&[0.5], &[0.1]).unwrap()),
+        ];
+        let names: std::collections::HashSet<_> = solvers.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 4);
+    }
+}

@@ -150,9 +150,11 @@ mod tests {
     fn submasks_enumerates_power_set() {
         let mask = 0b1011u64;
         let got: HashSet<u64> = submasks(mask).collect();
-        let expected: HashSet<u64> = [0b0000, 0b0001, 0b0010, 0b0011, 0b1000, 0b1001, 0b1010, 0b1011]
-            .into_iter()
-            .collect();
+        let expected: HashSet<u64> = [
+            0b0000, 0b0001, 0b0010, 0b0011, 0b1000, 0b1001, 0b1010, 0b1011,
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(got, expected);
     }
 

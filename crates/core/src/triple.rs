@@ -57,7 +57,11 @@ impl Triple {
 
 impl fmt::Display for Triple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{{{}, {}, {}}}", self.subject, self.predicate, self.object)
+        write!(
+            f,
+            "{{{}, {}, {}}}",
+            self.subject, self.predicate, self.object
+        )
     }
 }
 

@@ -99,8 +99,7 @@ pub fn ranked_eval(gold: &GoldLabels, scores: &[f64]) -> RankedEval {
         }
         i = j;
     }
-    if roc.last().map(|p| (p.x, p.y)) != Some((1.0, 1.0)) && total_false > 0.0 && total_true > 0.0
-    {
+    if roc.last().map(|p| (p.x, p.y)) != Some((1.0, 1.0)) && total_false > 0.0 && total_true > 0.0 {
         roc.push(CurvePoint { x: 1.0, y: 1.0 });
     }
 

@@ -25,22 +25,14 @@ impl BookCopyResult {
     pub fn render(&self) -> String {
         let mut t = Table::new(["method", "precision", "recall", "f1"]);
         for (name, prf) in &self.rows {
-            t.row([
-                name.clone(),
-                f3(prf.precision),
-                f3(prf.recall),
-                f3(prf.f1),
-            ]);
+            t.row([name.clone(), f3(prf.precision), f3(prf.recall), f3(prf.f1)]);
         }
         format!("== BOOK: single-truth copy detection vs fusion ==\n{t}")
     }
 
     /// Look up a row.
     pub fn prf(&self, name: &str) -> Option<Prf> {
-        self.rows
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, p)| *p)
+        self.rows.iter().find(|(n, _)| n == name).map(|(_, p)| *p)
     }
 }
 

@@ -39,10 +39,7 @@ pub fn run(ds: &Dataset, name: &str, k: usize, cfg: &ClusterConfig) -> Result<Di
     let gold = ds.require_gold()?;
     let pairs = pairwise_correlations(ds, gold, cfg)?;
 
-    let mut by_true: Vec<_> = pairs
-        .iter()
-        .filter(|p| p.lift_true.is_some())
-        .collect();
+    let mut by_true: Vec<_> = pairs.iter().filter(|p| p.lift_true.is_some()).collect();
     by_true.sort_by(|a, b| {
         let sa = a.lift_true.unwrap().ln().abs();
         let sb = b.lift_true.unwrap().ln().abs();
@@ -58,10 +55,7 @@ pub fn run(ds: &Dataset, name: &str, k: usize, cfg: &ClusterConfig) -> Result<Di
         ]);
     }
 
-    let mut by_false: Vec<_> = pairs
-        .iter()
-        .filter(|p| p.lift_false.is_some())
-        .collect();
+    let mut by_false: Vec<_> = pairs.iter().filter(|p| p.lift_false.is_some()).collect();
     by_false.sort_by(|a, b| {
         let sa = a.lift_false.unwrap().ln().abs();
         let sb = b.lift_false.unwrap().ln().abs();

@@ -91,7 +91,12 @@ pub fn run() -> Result<Fig1Result> {
     let mut voting = Table::new(["method", "precision", "recall", "f1"]);
     for k in [25.0, 50.0, 75.0] {
         let rep = evaluate_method(&ds, &MethodSpec::Union(k))?;
-        voting.row([rep.name, f2(rep.prf.precision), f2(rep.prf.recall), f2(rep.prf.f1)]);
+        voting.row([
+            rep.name,
+            f2(rep.prf.precision),
+            f2(rep.prf.recall),
+            f2(rep.prf.f1),
+        ]);
     }
 
     // Per-triple probabilities.
@@ -101,7 +106,12 @@ pub fn run() -> Result<Fig1Result> {
     for t in ds.triples() {
         probabilities.row([
             motivating::triple_name(t),
-            if gold.get(t) == Some(true) { "true" } else { "false" }.to_string(),
+            if gold.get(t) == Some(true) {
+                "true"
+            } else {
+                "false"
+            }
+            .to_string(),
             f3(precrec.scores[t.index()]),
             f3(corr.scores[t.index()]),
         ]);
@@ -111,7 +121,12 @@ pub fn run() -> Result<Fig1Result> {
     let mut summary = Table::new(["method", "precision", "recall", "f1"]);
     for spec in [MethodSpec::PrecRec, MethodSpec::PrecRecCorr] {
         let rep = evaluate_method(&ds, &spec)?;
-        summary.row([rep.name, f2(rep.prf.precision), f2(rep.prf.recall), f2(rep.prf.f1)]);
+        summary.row([
+            rep.name,
+            f2(rep.prf.precision),
+            f2(rep.prf.recall),
+            f2(rep.prf.f1),
+        ]);
     }
 
     Ok(Fig1Result {

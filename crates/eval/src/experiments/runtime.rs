@@ -26,13 +26,11 @@ impl RuntimeResult {
         let mut t = Table::new(headers);
         for (name, times) in &self.rows {
             let mut row = vec![name.clone()];
-            row.extend(times.iter().map(|&v| {
-                if v.is_nan() {
-                    "-".to_string()
-                } else {
-                    secs(v)
-                }
-            }));
+            row.extend(
+                times
+                    .iter()
+                    .map(|&v| if v.is_nan() { "-".to_string() } else { secs(v) }),
+            );
             t.row(row);
         }
         format!("== Figure 5b: runtimes ==\n{t}")

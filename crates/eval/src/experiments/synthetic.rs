@@ -56,12 +56,11 @@ impl Sweep {
             for (m, _) in &first.f1 {
                 let mut row = vec![m.clone()];
                 for p in &self.points {
-                    let v = p
-                        .f1
-                        .iter()
-                        .find(|(name, _)| name == m)
-                        .map(|(_, f1)| *f1)
-                        .unwrap_or(f64::NAN);
+                    let v =
+                        p.f1.iter()
+                            .find(|(name, _)| name == m)
+                            .map(|(_, f1)| *f1)
+                            .unwrap_or(f64::NAN);
                     row.push(f3(v));
                 }
                 t.row(row);

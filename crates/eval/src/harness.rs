@@ -7,6 +7,7 @@ use corrfuse_baselines::estimates::{cosine, three_estimates, two_estimates, Esti
 use corrfuse_baselines::ltm::{run as ltm_run, LtmConfig};
 use corrfuse_baselines::voting::UnionK;
 use corrfuse_core::dataset::Dataset;
+use corrfuse_core::engine::ScoringEngine;
 use corrfuse_core::error::Result;
 use corrfuse_core::fuser::{ClusterStrategy, Fuser, FuserConfig, Method};
 
@@ -130,15 +131,9 @@ pub fn run_method(ds: &Dataset, spec: &MethodSpec) -> Result<MethodRun> {
 fn fuse(ds: &Dataset, method: Method) -> Result<(Vec<f64>, Vec<bool>)> {
     let config = FuserConfig::new(method).with_strategy(ClusterStrategy::Auto);
     let fuser = Fuser::fit(&config, ds, ds.require_gold()?)?;
-    let scores = fuser.score_all_parallel(ds, num_threads())?;
+    let scores = fuser.score_all_with(ds, &ScoringEngine::parallel())?;
     let decisions = scores.iter().map(|&p| p > 0.5).collect();
     Ok((scores, decisions))
-}
-
-fn num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
 }
 
 /// Full evaluation of one method: binary metrics + ranking AUCs + runtime.
@@ -197,11 +192,7 @@ mod tests {
     #[test]
     fn preccorr_beats_precrec_on_figure1() {
         let ds = figure1();
-        let reports = evaluate_all(
-            &ds,
-            &[MethodSpec::PrecRec, MethodSpec::PrecRecCorr],
-        )
-        .unwrap();
+        let reports = evaluate_all(&ds, &[MethodSpec::PrecRec, MethodSpec::PrecRecCorr]).unwrap();
         assert!(reports[1].prf.f1 > reports[0].prf.f1);
         assert!(reports[1].ranked.auc_pr >= reports[0].ranked.auc_pr - 1e-9);
     }

@@ -20,10 +20,7 @@ impl Confusion {
     pub fn from_decisions(gold: &GoldLabels, decisions: &[bool]) -> Self {
         let mut c = Confusion::default();
         for (t, truth) in gold.iter_labelled() {
-            let accepted = decisions
-                .get(t.index())
-                .copied()
-                .unwrap_or(false);
+            let accepted = decisions.get(t.index()).copied().unwrap_or(false);
             match (accepted, truth) {
                 (true, true) => c.tp += 1,
                 (true, false) => c.fp += 1,

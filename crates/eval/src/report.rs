@@ -147,7 +147,10 @@ mod tests {
         assert_eq!(secs(0.0005), "0.5ms");
         assert_eq!(secs(0.25), "250ms");
         assert_eq!(secs(12.5), "12.50s");
-        assert_eq!(series(&[(0.0, 1.0), (0.5, 0.25)]), "(0.00,1.00) (0.50,0.25)");
+        assert_eq!(
+            series(&[(0.0, 1.0), (0.5, 0.25)]),
+            "(0.00,1.00) (0.50,0.25)"
+        );
     }
 
     #[test]

@@ -25,8 +25,7 @@
 use corrfuse_core::dataset::{Dataset, DatasetBuilder};
 use corrfuse_core::error::{FusionError, Result};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use corrfuse_core::rng::StdRng;
 
 /// Target quality of one synthetic source.
 #[derive(Debug, Clone)]

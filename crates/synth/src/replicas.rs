@@ -12,8 +12,7 @@
 use corrfuse_core::dataset::{Dataset, DatasetBuilder, Domain};
 use corrfuse_core::error::Result;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use corrfuse_core::rng::StdRng;
 
 use crate::generator::{generate, GroupKind, GroupSpec, Polarity, SourceSpec, SynthSpec};
 
@@ -148,11 +147,7 @@ impl Default for BookConfig {
 /// {22, 3, 2, 2}; the two 22-cliques share exactly two sources.
 fn book_cliques(n_sources: usize) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
     assert!(n_sources >= 60, "book replica needs >= 60 sources");
-    let true_cliques = vec![
-        (0..22).collect::<Vec<_>>(),
-        vec![22, 23, 24],
-        vec![25, 26],
-    ];
+    let true_cliques = vec![(0..22).collect::<Vec<_>>(), vec![22, 23, 24], vec![25, 26]];
     // Shares members 20, 21 with the big true clique.
     let mut false22 = vec![20, 21];
     false22.extend(27..47);
@@ -186,7 +181,7 @@ pub fn book(config: &BookConfig) -> Result<Dataset> {
     // books) and false candidates (avg ≈ 4.15 → ≈ 935 false triples).
     let worlds: Vec<BookWorld> = (0..n_books)
         .map(|b| {
-            let roll: f64 = rng.gen();
+            let roll: f64 = rng.gen_f64();
             let n_true = if roll < 0.25 {
                 1
             } else if roll < 0.65 {
@@ -194,7 +189,7 @@ pub fn book(config: &BookConfig) -> Result<Dataset> {
             } else {
                 3
             };
-            let n_false = 2 + (rng.gen::<f64>() * 5.0).floor() as usize; // 2..=6
+            let n_false = 2 + (rng.gen_f64() * 5.0).floor() as usize; // 2..=6
             BookWorld {
                 true_authors: (0..n_true).map(|k| format!("author-{b}-{k}")).collect(),
                 false_authors: (0..n_false).map(|k| format!("wrong-{b}-{k}")).collect(),
@@ -206,7 +201,7 @@ pub fn book(config: &BookConfig) -> Result<Dataset> {
     // "large variations in precision ... most have low recall").
     let accuracy: Vec<f64> = (0..n_sources)
         .map(|_| {
-            let u: f64 = rng.gen();
+            let u: f64 = rng.gen_f64();
             0.25 + 0.73 * u.sqrt()
         })
         .collect();
@@ -394,7 +389,11 @@ mod tests {
         assert_eq!(ds.n_sources(), 7);
         assert_eq!(ds.source_name(corrfuse_core::SourceId(0)), "Yelp");
         let g = ds.gold().unwrap();
-        assert!(ds.n_triples() >= 70 && ds.n_triples() <= 93, "{}", ds.n_triples());
+        assert!(
+            ds.n_triples() >= 70 && ds.n_triples() <= 93,
+            "{}",
+            ds.n_triples()
+        );
         // High precision band.
         let q = QualityEstimator::new().estimate(&ds, g).unwrap();
         let high_p = q.iter().filter(|sq| sq.precision > 0.8).count();
@@ -468,12 +467,14 @@ mod tests {
         let b = reverb(7).unwrap();
         assert_eq!(a.n_triples(), b.n_triples());
         let c = reverb(8).unwrap();
-        assert!(a.n_triples() != c.n_triples() || {
-            a.triples().any(|t| {
-                a.providers(t).iter_ones().collect::<Vec<_>>()
-                    != c.providers(t).iter_ones().collect::<Vec<_>>()
-            })
-        });
+        assert!(
+            a.n_triples() != c.n_triples() || {
+                a.triples().any(|t| {
+                    a.providers(t).iter_ones().collect::<Vec<_>>()
+                        != c.providers(t).iter_ones().collect::<Vec<_>>()
+                })
+            }
+        );
     }
 
     #[test]

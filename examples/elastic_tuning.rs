@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let exact_time = t0.elapsed().as_secs_f64();
     let exact_f1 = f1(&gold, &exact_scores);
 
-    println!("\nlevel sweep (exact F1 = {exact_f1:.3}, {:.0} ms):", exact_time * 1e3);
+    println!(
+        "\nlevel sweep (exact F1 = {exact_f1:.3}, {:.0} ms):",
+        exact_time * 1e3
+    );
     println!(
         "{:<12} {:>6} {:>9} {:>12} {:>16}",
         "setting", "f1", "time(ms)", "gap-to-exact", "terms/triple(6 src)"

@@ -55,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pairs = pairwise_correlations(&ds, ds.require_gold()?, &ClusterConfig::default())?;
     for p in &pairs {
         let lt = p.lift_true.map(|v| format!("{v:.2}")).unwrap_or("-".into());
-        let lf = p.lift_false.map(|v| format!("{v:.2}")).unwrap_or("-".into());
+        let lf = p
+            .lift_false
+            .map(|v| format!("{v:.2}"))
+            .unwrap_or("-".into());
         println!(
             "  {:<11} ~ {:<11}  true {lt:<6} false {lf}",
             ds.source_name(p.a),
@@ -65,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Compare fusion strategies end to end.
     println!("\nfusion results (threshold 0.5):");
-    println!("{:<16} {:>9} {:>7} {:>6} {:>7}", "method", "precision", "recall", "f1", "auc-pr");
+    println!(
+        "{:<16} {:>9} {:>7} {:>6} {:>7}",
+        "method", "precision", "recall", "f1", "auc-pr"
+    );
     for spec in [
         MethodSpec::Union(25.0),
         MethodSpec::Union(50.0),

@@ -26,12 +26,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             i + 1,
             q.precision,
             q.recall,
-            if q.is_good(0.5) { "" } else { "  (bad source: p <= alpha)" }
+            if q.is_good(0.5) {
+                ""
+            } else {
+                "  (bad source: p <= alpha)"
+            }
         );
     }
 
     println!("\ntriple-by-triple probabilities:");
-    println!("{:<44} {:>5}  {:>8}  {:>12}", "triple", "gold", "PrecRec", "PrecRecCorr");
+    println!(
+        "{:<44} {:>5}  {:>8}  {:>12}",
+        "triple", "gold", "PrecRec", "PrecRecCorr"
+    );
     for t in ds.triples() {
         let triple = ds.triple(t);
         let g = gold.get(t).unwrap();

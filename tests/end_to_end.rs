@@ -7,11 +7,7 @@ use corrfuse::synth::replicas;
 #[test]
 fn reverb_ordering_matches_paper_shape() {
     let ds = replicas::reverb(41).unwrap();
-    let reports = evaluate_all(
-        &ds,
-        &MethodSpec::paper_lineup(MethodSpec::PrecRecCorr),
-    )
-    .unwrap();
+    let reports = evaluate_all(&ds, &MethodSpec::paper_lineup(MethodSpec::PrecRecCorr)).unwrap();
     let f1 = |name: &str| {
         reports
             .iter()
@@ -27,7 +23,14 @@ fn reverb_ordering_matches_paper_shape() {
             .unwrap()
     };
     // PrecRecCorr obtains the best results on all datasets (paper §5.1).
-    for name in ["Union-25", "Union-50", "Union-75", "3-Estimates", "LTM", "PrecRec"] {
+    for name in [
+        "Union-25",
+        "Union-50",
+        "Union-75",
+        "3-Estimates",
+        "LTM",
+        "PrecRec",
+    ] {
         assert!(
             f1("PrecRecCorr") > f1(name),
             "PrecRecCorr {} should beat {name} {}",
@@ -44,19 +47,23 @@ fn reverb_ordering_matches_paper_shape() {
 #[test]
 fn restaurant_everything_is_high_and_corr_wins() {
     let ds = replicas::restaurant(42).unwrap();
-    let reports = evaluate_all(
-        &ds,
-        &MethodSpec::paper_lineup(MethodSpec::PrecRecCorr),
-    )
-    .unwrap();
+    let reports = evaluate_all(&ds, &MethodSpec::paper_lineup(MethodSpec::PrecRecCorr)).unwrap();
     let corr = reports.iter().find(|r| r.name == "PrecRecCorr").unwrap();
     let best_other = reports
         .iter()
         .filter(|r| r.name != "PrecRecCorr")
         .map(|r| r.prf.f1)
         .fold(0.0, f64::max);
-    assert!(corr.prf.f1 >= best_other - 0.02, "corr {} vs best {best_other}", corr.prf.f1);
-    assert!(corr.prf.f1 > 0.9, "restaurant should be easy: {}", corr.prf.f1);
+    assert!(
+        corr.prf.f1 >= best_other - 0.02,
+        "corr {} vs best {best_other}",
+        corr.prf.f1
+    );
+    assert!(
+        corr.prf.f1 > 0.9,
+        "restaurant should be easy: {}",
+        corr.prf.f1
+    );
 }
 
 #[test]
@@ -73,14 +80,17 @@ fn book_runs_with_clustering_and_scopes() {
     assert!(indep.prf.f1 > 0.7, "precrec on book: {}", indep.prf.f1);
     // Union with scoped denominators is meaningful on book data.
     let union = evaluate_method(&ds, &MethodSpec::Union(50.0)).unwrap();
-    assert!(union.prf.recall > 0.3, "scoped union recall {}", union.prf.recall);
+    assert!(
+        union.prf.recall > 0.3,
+        "scoped union recall {}",
+        union.prf.recall
+    );
 }
 
 #[test]
 fn elastic_level_sweep_is_finite_everywhere() {
     let ds = replicas::reverb(5).unwrap();
-    let sweep =
-        corrfuse::eval::experiments::elastic_levels::run(&ds, "REVERB", 4, true).unwrap();
+    let sweep = corrfuse::eval::experiments::elastic_levels::run(&ds, "REVERB", 4, true).unwrap();
     for p in &sweep.points {
         assert!(p.f1.is_finite(), "{} produced NaN", p.label);
         assert!((0.0..=1.0).contains(&p.f1));
@@ -162,7 +172,11 @@ fn accucopy_comparison_runs_on_book() {
     let copy = res.prf("AccuCopy").unwrap();
     assert!(accu.f1.is_finite() && copy.f1.is_finite());
     // The paper's shape: copy detection keeps precision high.
-    assert!(copy.precision > 0.5, "accucopy precision {}", copy.precision);
+    assert!(
+        copy.precision > 0.5,
+        "accucopy precision {}",
+        copy.precision
+    );
 }
 
 #[test]

@@ -1,0 +1,287 @@
+//! Refactor-equivalence tests: the `CorrelationSolver` trait path inside
+//! `Fuser` must reproduce the direct solver calls it replaced, and the
+//! `ScoringEngine` parallel path must be bitwise identical to serial.
+//!
+//! Golden values come from the paper's worked examples on the Figure 1 /
+//! Example 4.4 fixture, so these tests also pin the refactored pipeline to
+//! the pre-refactor numbers.
+
+use corrfuse::core::aggressive::AggressiveSolver;
+use corrfuse::core::dataset::Dataset;
+use corrfuse::core::elastic::ElasticSolver;
+use corrfuse::core::engine::ScoringEngine;
+use corrfuse::core::exact::ExactSolver;
+use corrfuse::core::fuser::{ClusterStrategy, Fuser, FuserConfig, Method};
+use corrfuse::core::independent::PrecRecModel;
+use corrfuse::core::joint::{SourceSet, TableJoint};
+use corrfuse::core::prob::posterior_from_mu;
+use corrfuse::core::solver::{CorrelationSolver, PrecRecSolver};
+use corrfuse::core::triple::TripleId;
+use corrfuse::synth::motivating::figure1;
+
+const METHODS: [Method; 5] = [
+    Method::PrecRec,
+    Method::Exact,
+    Method::Aggressive,
+    Method::Elastic(1),
+    Method::Elastic(4),
+];
+
+fn fit(ds: &Dataset, method: Method) -> Fuser {
+    Fuser::fit(&FuserConfig::new(method), ds, ds.gold().unwrap()).unwrap()
+}
+
+/// Example 4.4's given joint parameters over {S1..S5}.
+fn example_4_4_joint() -> TableJoint {
+    let r = vec![2.0 / 3.0, 0.5, 2.0 / 3.0, 2.0 / 3.0, 2.0 / 3.0];
+    let q = vec![0.5, 2.0 / 3.0, 1.0 / 6.0, 1.0 / 3.0, 1.0 / 3.0];
+    let mut j = TableJoint::new(r, q).unwrap();
+    let s1245 = SourceSet::full(5).without(2);
+    j.set_recall(s1245, 0.22);
+    j.set_fpr(s1245, 0.22);
+    j.set_recall(SourceSet::full(5), 0.11);
+    j.set_fpr(SourceSet::full(5), 0.037);
+    j
+}
+
+/// For every `Method`, the trait-dispatched solver must agree with the
+/// direct (pre-refactor) solver call on the Example 4.4 fixture.
+#[test]
+fn trait_path_matches_direct_path_on_example_4_4() {
+    let joint = example_4_4_joint();
+    let active = SourceSet::full(5);
+    // t8's observation pattern: provided by {S1,S2,S4,S5}.
+    let t8 = active.without(2);
+
+    for providers_mask in 0..32u64 {
+        let providers = SourceSet(providers_mask);
+
+        let exact = ExactSolver::new();
+        let direct = exact.mu(&joint, providers, active).unwrap();
+        let via_trait: &dyn CorrelationSolver = &exact;
+        assert_eq!(
+            direct,
+            via_trait.mu(&joint, providers, active).unwrap(),
+            "exact, providers {providers_mask:b}"
+        );
+
+        let aggressive = AggressiveSolver::new(&joint, active);
+        let direct = aggressive.mu(providers, active);
+        let via_trait: &dyn CorrelationSolver = &aggressive;
+        assert_eq!(
+            direct,
+            via_trait.mu(&joint, providers, active).unwrap(),
+            "aggressive, providers {providers_mask:b}"
+        );
+
+        for level in 0..=4 {
+            let elastic = ElasticSolver::new(&joint, active, level);
+            let direct = elastic.mu(&joint, providers, active);
+            let via_trait: &dyn CorrelationSolver = &elastic;
+            assert_eq!(
+                direct,
+                via_trait.mu(&joint, providers, active).unwrap(),
+                "elastic-{level}, providers {providers_mask:b}"
+            );
+        }
+    }
+
+    // Golden value from Example 4.4: Pr(t8) = 0.11/(0.11+0.183) ≈ 0.37,
+    // identical through the trait object.
+    let exact = ExactSolver::new();
+    let p_exact = posterior_from_mu(exact.mu(&joint, t8, active).unwrap(), 0.5);
+    assert!((p_exact - 0.11 / (0.11 + 0.183)).abs() < 1e-12);
+    assert!((p_exact - 0.37).abs() < 0.01, "Pr_exact(t8)={p_exact}");
+    let via_trait: &dyn CorrelationSolver = &exact;
+    let p_trait = posterior_from_mu(via_trait.mu(&joint, t8, active).unwrap(), 0.5);
+    assert_eq!(p_exact, p_trait);
+}
+
+/// End-to-end: every method's `Fuser` scores on Figure 1 are unchanged by
+/// the trait refactor (golden values from §2.3 / Example 3.3 / 4.4).
+#[test]
+fn fuser_scores_match_pre_refactor_goldens_on_figure1() {
+    let ds = figure1();
+    let t2 = TripleId(1);
+    let t8 = TripleId(7);
+
+    // PrecRec: Example 3.3 — Pr(t2) = 1/11, Pr(t8) = 1.6/2.6.
+    let precrec = fit(&ds, Method::PrecRec);
+    assert!((precrec.score_triple(&ds, t2).unwrap() - 1.0 / 11.0).abs() < 1e-9);
+    assert!((precrec.score_triple(&ds, t8).unwrap() - 1.6 / 2.6).abs() < 1e-9);
+
+    // Exact on the *empirical* Figure 1 joint: R = r_1245 - r_12345 = 1/6,
+    // Q = q_1245 - q_12345 = 1/3, so mu = 1/2 and Pr(t8) = 1/3 — below the
+    // 0.5 threshold, matching the §2.3 claim that PrecRecCorr rejects t8.
+    let exact = fit(&ds, Method::Exact);
+    let p_t8 = exact.score_triple(&ds, t8).unwrap();
+    assert!((p_t8 - 1.0 / 3.0).abs() < 1e-9, "Pr(t8)={p_t8}");
+
+    // Elastic at full level equals exact on every triple.
+    let lvl4 = fit(&ds, Method::Elastic(4));
+    for t in ds.triples() {
+        let a = exact.score_triple(&ds, t).unwrap();
+        let b = lvl4.score_triple(&ds, t).unwrap();
+        assert!((a - b).abs() < 1e-9, "{t}: exact {a} vs elastic-4 {b}");
+    }
+
+    // Aggressive: probabilities, and t8 correctly rejected (Example 4.7).
+    let aggr = fit(&ds, Method::Aggressive);
+    let p = aggr.score_triple(&ds, t8).unwrap();
+    assert!(p < 0.5, "aggressive Pr(t8)={p}");
+}
+
+/// The PrecRec adapter dispatched through a forced single cluster must
+/// match the independent log-space path to floating-point rounding.
+#[test]
+fn precrec_trait_adapter_matches_independent_path() {
+    let ds = figure1();
+    let via_adapter = Fuser::fit(
+        &FuserConfig::new(Method::PrecRec).with_strategy(ClusterStrategy::SingleCluster),
+        &ds,
+        ds.gold().unwrap(),
+    )
+    .unwrap();
+    let via_model = fit(&ds, Method::PrecRec);
+    assert_eq!(via_adapter.clustering().len(), 1);
+    assert_eq!(via_model.clustering().len(), ds.n_sources());
+    for t in ds.triples() {
+        let a = via_adapter.score_triple(&ds, t).unwrap();
+        let b = via_model.score_triple(&ds, t).unwrap();
+        assert!((a - b).abs() < 1e-12, "{t}: adapter {a} vs model {b}");
+    }
+}
+
+/// The standalone PrecRec adapter agrees with `PrecRecModel` on every
+/// observation pattern of the Figure 1 fixture's rates.
+#[test]
+fn precrec_solver_matches_model_on_paper_rates() {
+    let recalls = [4.0 / 6.0, 3.0 / 6.0, 4.0 / 6.0, 4.0 / 6.0, 4.0 / 6.0];
+    let fprs = [3.0 / 6.0, 4.0 / 6.0, 1.0 / 6.0, 2.0 / 6.0, 2.0 / 6.0];
+    let model = PrecRecModel::from_rates(&recalls, &fprs, 0.5).unwrap();
+    let solver = PrecRecSolver::from_model(&model, &[0, 1, 2, 3, 4]);
+    let joint = example_4_4_joint(); // ignored by the adapter
+    let active = SourceSet::full(5);
+    for mask in 0..32u64 {
+        let mu = solver.mu(&joint, SourceSet(mask), active).unwrap();
+        let expected = independent_product(&recalls, &fprs, mask);
+        assert!(
+            (mu - expected).abs() < 1e-9 * expected.max(1.0),
+            "mask {mask:b}: {mu} vs {expected}"
+        );
+    }
+}
+
+fn independent_product(recalls: &[f64], fprs: &[f64], mask: u64) -> f64 {
+    let mut mu = 1.0;
+    for k in 0..recalls.len() {
+        mu *= if mask >> k & 1 == 1 {
+            recalls[k] / fprs[k]
+        } else {
+            (1.0 - recalls[k]) / (1.0 - fprs[k])
+        };
+    }
+    mu
+}
+
+/// `ScoringEngine` parallel output must be bitwise identical to serial
+/// output for every method, on a dataset large enough to actually engage
+/// the parallel path.
+#[test]
+fn parallel_scores_bitwise_identical_to_serial() {
+    let ds = corrfuse::synth::generate(&corrfuse::synth::SynthSpec::uniform(
+        8, 0.8, 0.6, 600, 0.5, 4242,
+    ))
+    .unwrap();
+    assert!(
+        ds.n_triples() >= corrfuse::core::engine::MIN_PARALLEL_BATCH,
+        "fixture too small to engage the parallel path"
+    );
+    for method in METHODS {
+        let fuser = fit(&ds, method);
+        let serial = fuser.score_all_with(&ds, &ScoringEngine::serial()).unwrap();
+        for threads in [2, 4, 16] {
+            let parallel = fuser
+                .score_all_with(&ds, &ScoringEngine::with_threads(threads))
+                .unwrap();
+            assert_eq!(serial, parallel, "{} with {threads} threads", method.name());
+        }
+    }
+}
+
+/// The legacy `score_all_parallel` entry point now routes through the
+/// engine and must keep agreeing with `score_all`.
+#[test]
+fn legacy_parallel_entry_point_matches() {
+    let ds = figure1();
+    for method in METHODS {
+        let fuser = fit(&ds, method);
+        let seq = fuser.score_all(&ds).unwrap();
+        let par = fuser.score_all_parallel(&ds, 4).unwrap();
+        assert_eq!(seq, par, "{}", method.name());
+    }
+}
+
+/// Pre-refactor, PrecRec ignored the clustering strategy entirely, so it
+/// worked on >64-source datasets under every strategy. That must still
+/// hold: cluster width only limits the correlated bitmask solvers.
+#[test]
+fn precrec_still_fits_beyond_64_sources_under_every_strategy() {
+    use corrfuse::core::cluster::Clustering;
+    use corrfuse::core::dataset::DatasetBuilder;
+
+    // 70 sources, alternating true/false triples with rotating providers.
+    let n_sources = 70;
+    let mut b = DatasetBuilder::new();
+    let sources: Vec<_> = (0..n_sources).map(|i| b.source(format!("S{i}"))).collect();
+    for i in 0..40 {
+        let t = b.triple("e", "p", format!("v{i}"));
+        for k in 0..7 {
+            b.observe(sources[(i * 7 + k) % n_sources], t);
+        }
+        b.label(t, i % 2 == 0);
+    }
+    let ds = b.build().unwrap();
+
+    let baseline = fit(&ds, Method::PrecRec).score_all(&ds).unwrap();
+    // One >64-wide explicit cluster plus strategy variants.
+    let strategies = [
+        ClusterStrategy::SingleCluster,
+        ClusterStrategy::Singletons,
+        ClusterStrategy::Explicit(Clustering::from_assignment(vec![0; n_sources])),
+    ];
+    for strategy in strategies {
+        let fuser = Fuser::fit(
+            &FuserConfig::new(Method::PrecRec).with_strategy(strategy.clone()),
+            &ds,
+            ds.gold().unwrap(),
+        )
+        .unwrap_or_else(|e| panic!("PrecRec must fit with {strategy:?}: {e}"));
+        let scores = fuser.score_all(&ds).unwrap();
+        for (i, (a, b)) in baseline.iter().zip(&scores).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-12,
+                "{strategy:?}, triple {i}: {a} vs {b}"
+            );
+        }
+    }
+    // Correlated methods still refuse a >64-wide cluster with an error
+    // (not a panic), under both SingleCluster and Explicit strategies.
+    for strategy in [
+        ClusterStrategy::SingleCluster,
+        ClusterStrategy::Explicit(Clustering::from_assignment(vec![0; n_sources])),
+    ] {
+        let err = Fuser::fit(
+            &FuserConfig::new(Method::Exact).with_strategy(strategy.clone()),
+            &ds,
+            ds.gold().unwrap(),
+        );
+        assert!(
+            matches!(
+                err,
+                Err(corrfuse::core::error::FusionError::TooManySources { .. })
+            ),
+            "{strategy:?}: {err:?}"
+        );
+    }
+}

@@ -28,13 +28,7 @@ fn example_2_2_source_quality() {
 #[test]
 fn example_2_3_joint_quality() {
     let ds = figure1();
-    let joint = EmpiricalJoint::new(
-        &ds,
-        ds.gold().unwrap(),
-        ds.sources().collect(),
-        0.5,
-    )
-    .unwrap();
+    let joint = EmpiricalJoint::new(&ds, ds.gold().unwrap(), ds.sources().collect(), 0.5).unwrap();
     // {S1,S4,S5}: joint precision 0.6, joint recall 0.5, independent
     // product would be 0.3 -> positive correlation.
     let s145 = SourceSet::EMPTY.with(0).with(3).with(4);
@@ -66,12 +60,7 @@ fn figure_1c_union_rows() {
 #[test]
 fn example_3_3_probabilities() {
     let ds = figure1();
-    let fuser = Fuser::fit(
-        &FuserConfig::new(Method::PrecRec),
-        &ds,
-        ds.gold().unwrap(),
-    )
-    .unwrap();
+    let fuser = Fuser::fit(&FuserConfig::new(Method::PrecRec), &ds, ds.gold().unwrap()).unwrap();
     approx(
         fuser.score_triple(&ds, TripleId(1)).unwrap(),
         0.09,
@@ -127,7 +116,12 @@ fn all_elastic_levels_are_sane_on_figure1() {
         let rep = evaluate_method(&ds, &MethodSpec::Elastic(level)).unwrap();
         assert!(rep.prf.f1.is_finite());
         if level >= 4 {
-            approx(rep.prf.f1, exact.prf.f1, 1e-9, "elastic == exact at full level");
+            approx(
+                rep.prf.f1,
+                exact.prf.f1,
+                1e-9,
+                "elastic == exact at full level",
+            );
         }
     }
 }

@@ -1,16 +1,20 @@
-//! Property-based tests of the core fusion invariants.
+//! Property-based tests of the core fusion invariants, driven by the
+//! in-tree [`corrfuse::core::testkit`] harness (offline `proptest`
+//! stand-in): each property runs over a deterministic stream of random
+//! cases seeded from its name.
 
-use corrfuse::core::bits::BitSet;
-use corrfuse::core::exact::ExactSolver;
-use corrfuse::core::elastic::ElasticSolver;
 use corrfuse::core::aggressive::AggressiveSolver;
+use corrfuse::core::bits::BitSet;
+use corrfuse::core::elastic::ElasticSolver;
+use corrfuse::core::exact::ExactSolver;
 use corrfuse::core::independent::PrecRecModel;
 use corrfuse::core::joint::{IndependentJoint, JointQuality, SourceSet};
 use corrfuse::core::prob::{posterior_from_mu, sigmoid};
 use corrfuse::core::quality::{derive_fpr, max_valid_alpha};
 use corrfuse::core::subset::{binomial, submasks, submasks_of_size};
+use corrfuse::core::testkit::{run_cases, Gen};
 
-use proptest::prelude::*;
+const CASES: usize = 64;
 
 /// A mixture-of-products joint model: always a valid exchangeable-ish
 /// correlation structure (each component is an independent world).
@@ -21,6 +25,18 @@ struct MixtureJoint {
     lo_r: Vec<f64>,
     hi_q: Vec<f64>,
     lo_q: Vec<f64>,
+}
+
+impl MixtureJoint {
+    fn sample(g: &mut Gen, n: usize) -> MixtureJoint {
+        MixtureJoint {
+            weight: g.f64_in(0.05, 0.95),
+            hi_r: prob_vec(g, n),
+            lo_r: prob_vec(g, n),
+            hi_q: prob_vec(g, n),
+            lo_q: prob_vec(g, n),
+        }
+    }
 }
 
 impl JointQuality for MixtureJoint {
@@ -39,148 +55,161 @@ impl JointQuality for MixtureJoint {
     }
 }
 
-fn prob_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(0.02f64..0.98, n)
+fn prob_vec(g: &mut Gen, n: usize) -> Vec<f64> {
+    g.vec_f64(n, 0.02, 0.98)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Theorem 3.1 product form over an explicit provider mask.
+fn independent_mu(recalls: &[f64], fprs: &[f64], mask: u64) -> f64 {
+    let mut mu = 1.0;
+    for k in 0..recalls.len() {
+        mu *= if mask >> k & 1 == 1 {
+            recalls[k] / fprs[k]
+        } else {
+            (1.0 - recalls[k]) / (1.0 - fprs[k])
+        };
+    }
+    mu
+}
 
-    #[test]
-    fn corollary_4_3_exact_equals_theorem_3_1(
-        recalls in prob_vec(5),
-        fprs in prob_vec(5),
-        mask in 0u64..32,
-    ) {
+#[test]
+fn corollary_4_3_exact_equals_theorem_3_1() {
+    run_cases("corollary_4_3_exact_equals_theorem_3_1", CASES, |g| {
+        let recalls = prob_vec(g, 5);
+        let fprs = prob_vec(g, 5);
+        let mask = g.u64_below(32);
         let joint = IndependentJoint::new(recalls.clone(), fprs.clone()).unwrap();
         let solver = ExactSolver::new();
         let active = SourceSet::full(5);
         let mu_exact = solver.mu(&joint, SourceSet(mask), active).unwrap();
-        let mut mu_indep = 1.0;
-        for k in 0..5 {
-            mu_indep *= if mask >> k & 1 == 1 {
-                recalls[k] / fprs[k]
-            } else {
-                (1.0 - recalls[k]) / (1.0 - fprs[k])
-            };
-        }
-        prop_assert!((mu_exact - mu_indep).abs() <= 1e-6 * mu_indep.abs().max(1.0),
-            "exact {} vs product {}", mu_exact, mu_indep);
-    }
+        let mu_indep = independent_mu(&recalls, &fprs, mask);
+        assert!(
+            (mu_exact - mu_indep).abs() <= 1e-6 * mu_indep.abs().max(1.0),
+            "exact {mu_exact} vs product {mu_indep}"
+        );
+    });
+}
 
-    #[test]
-    fn corollary_4_6_aggressive_equals_theorem_3_1(
-        recalls in prob_vec(4),
-        fprs in prob_vec(4),
-        mask in 0u64..16,
-    ) {
+#[test]
+fn corollary_4_6_aggressive_equals_theorem_3_1() {
+    run_cases("corollary_4_6_aggressive_equals_theorem_3_1", CASES, |g| {
+        let recalls = prob_vec(g, 4);
+        let fprs = prob_vec(g, 4);
+        let mask = g.u64_below(16);
         let joint = IndependentJoint::new(recalls.clone(), fprs.clone()).unwrap();
         let solver = AggressiveSolver::new(&joint, SourceSet::full(4));
         let mu = solver.mu(SourceSet(mask), SourceSet::full(4));
-        let mut expected = 1.0;
-        for k in 0..4 {
-            expected *= if mask >> k & 1 == 1 {
-                recalls[k] / fprs[k]
+        let expected = independent_mu(&recalls, &fprs, mask);
+        assert!(
+            (mu - expected).abs() <= 1e-6 * expected.abs().max(1.0),
+            "aggressive {mu} vs product {expected}"
+        );
+    });
+}
+
+#[test]
+fn elastic_at_full_level_is_exact_for_correlated_joints() {
+    run_cases(
+        "elastic_at_full_level_is_exact_for_correlated_joints",
+        CASES,
+        |g| {
+            let joint = MixtureJoint::sample(g, 5);
+            let mask = g.u64_below(32);
+            let active = SourceSet::full(5);
+            let providers = SourceSet(mask);
+            let lambda = active.minus(providers).count();
+            let elastic = ElasticSolver::new(&joint, active, lambda);
+            let mu_elastic = elastic.mu(&joint, providers, active);
+            let mu_exact = ExactSolver::new().mu(&joint, providers, active).unwrap();
+            // Both can be infinite together.
+            if mu_exact.is_finite() {
+                assert!(
+                    (mu_elastic - mu_exact).abs() <= 1e-6 * mu_exact.abs().max(1e-6),
+                    "elastic {mu_elastic} vs exact {mu_exact}"
+                );
             } else {
-                (1.0 - recalls[k]) / (1.0 - fprs[k])
-            };
-        }
-        prop_assert!((mu - expected).abs() <= 1e-6 * expected.abs().max(1.0));
-    }
+                assert!(!mu_elastic.is_finite());
+            }
+        },
+    );
+}
 
-    #[test]
-    fn elastic_at_full_level_is_exact_for_correlated_joints(
-        weight in 0.05f64..0.95,
-        hi_r in prob_vec(5),
-        lo_r in prob_vec(5),
-        hi_q in prob_vec(5),
-        lo_q in prob_vec(5),
-        mask in 0u64..32,
-    ) {
-        let joint = MixtureJoint { weight, hi_r, lo_r, hi_q, lo_q };
-        let active = SourceSet::full(5);
-        let providers = SourceSet(mask);
-        let lambda = active.minus(providers).count();
-        let elastic = ElasticSolver::new(&joint, active, lambda);
-        let mu_elastic = elastic.mu(&joint, providers, active);
-        let mu_exact = ExactSolver::new().mu(&joint, providers, active).unwrap();
-        // Both can be infinite together.
-        if mu_exact.is_finite() {
-            prop_assert!((mu_elastic - mu_exact).abs() <= 1e-6 * mu_exact.abs().max(1e-6),
-                "elastic {} vs exact {}", mu_elastic, mu_exact);
-        } else {
-            prop_assert!(!mu_elastic.is_finite());
-        }
-    }
+#[test]
+fn exact_likelihoods_are_probabilities_for_mixtures() {
+    run_cases(
+        "exact_likelihoods_are_probabilities_for_mixtures",
+        CASES,
+        |g| {
+            let joint = MixtureJoint::sample(g, 4);
+            let mask = g.u64_below(16);
+            let lk = ExactSolver::new()
+                .likelihoods(&joint, SourceSet(mask), SourceSet::full(4))
+                .unwrap();
+            assert!(lk.r >= -1e-9 && lk.r <= 1.0 + 1e-9, "R = {}", lk.r);
+            assert!(lk.q >= -1e-9 && lk.q <= 1.0 + 1e-9, "Q = {}", lk.q);
+        },
+    );
+}
 
-    #[test]
-    fn exact_likelihoods_are_probabilities_for_mixtures(
-        weight in 0.05f64..0.95,
-        hi_r in prob_vec(4),
-        lo_r in prob_vec(4),
-        hi_q in prob_vec(4),
-        lo_q in prob_vec(4),
-        mask in 0u64..16,
-    ) {
-        let joint = MixtureJoint { weight, hi_r, lo_r, hi_q, lo_q };
-        let lk = ExactSolver::new()
-            .likelihoods(&joint, SourceSet(mask), SourceSet::full(4))
-            .unwrap();
-        prop_assert!(lk.r >= -1e-9 && lk.r <= 1.0 + 1e-9, "R = {}", lk.r);
-        prop_assert!(lk.q >= -1e-9 && lk.q <= 1.0 + 1e-9, "Q = {}", lk.q);
-    }
-
-    #[test]
-    fn posterior_is_monotone_in_mu(
-        mu1 in 0.0f64..100.0,
-        mu2 in 0.0f64..100.0,
-        alpha in 0.05f64..0.95,
-    ) {
+#[test]
+fn posterior_is_monotone_in_mu() {
+    run_cases("posterior_is_monotone_in_mu", CASES, |g| {
+        let mu1 = g.f64_in(0.0, 100.0);
+        let mu2 = g.f64_in(0.0, 100.0);
+        let alpha = g.f64_in(0.05, 0.95);
         let (lo, hi) = if mu1 <= mu2 { (mu1, mu2) } else { (mu2, mu1) };
-        prop_assert!(posterior_from_mu(lo, alpha) <= posterior_from_mu(hi, alpha) + 1e-12);
-    }
+        assert!(posterior_from_mu(lo, alpha) <= posterior_from_mu(hi, alpha) + 1e-12);
+    });
+}
 
-    #[test]
-    fn posterior_is_monotone_in_alpha(
-        mu in 0.01f64..100.0,
-        a1 in 0.05f64..0.95,
-        a2 in 0.05f64..0.95,
-    ) {
+#[test]
+fn posterior_is_monotone_in_alpha() {
+    run_cases("posterior_is_monotone_in_alpha", CASES, |g| {
+        let mu = g.f64_in(0.01, 100.0);
+        let a1 = g.f64_in(0.05, 0.95);
+        let a2 = g.f64_in(0.05, 0.95);
         let (lo, hi) = if a1 <= a2 { (a1, a2) } else { (a2, a1) };
-        prop_assert!(posterior_from_mu(mu, lo) <= posterior_from_mu(mu, hi) + 1e-12);
-    }
+        assert!(posterior_from_mu(mu, lo) <= posterior_from_mu(mu, hi) + 1e-12);
+    });
+}
 
-    #[test]
-    fn derive_fpr_respects_validity_boundary(
-        p in 0.05f64..0.99,
-        r in 0.01f64..0.99,
-        alpha in 0.01f64..0.99,
-    ) {
+#[test]
+fn derive_fpr_respects_validity_boundary() {
+    run_cases("derive_fpr_respects_validity_boundary", CASES, |g| {
+        let p = g.f64_in(0.05, 0.99);
+        let r = g.f64_in(0.01, 0.99);
+        let alpha = g.f64_in(0.01, 0.99);
         let result = derive_fpr(p, r, alpha);
         let boundary = max_valid_alpha(p, r);
         if alpha <= boundary - 1e-9 {
             let q = result.unwrap();
-            prop_assert!((0.0..=1.0).contains(&q));
+            assert!((0.0..=1.0).contains(&q));
             // Theorem 3.5 second part: good source iff p > alpha.
             if p > alpha {
-                prop_assert!(q < r + 1e-12, "p {} > alpha {} should give q {} < r {}", p, alpha, q, r);
+                assert!(
+                    q < r + 1e-12,
+                    "p {p} > alpha {alpha} should give q {q} < r {r}"
+                );
             }
         } else if alpha > boundary + 1e-9 {
-            prop_assert!(result.is_err());
+            assert!(result.is_err());
         }
-    }
+    });
+}
 
-    #[test]
-    fn precrec_proposition_3_2(
-        recalls in prob_vec(3),
-        fprs in prob_vec(3),
-        extra_r in 0.05f64..0.95,
-        extra_q in 0.05f64..0.95,
-        mask in 0u64..8,
-    ) {
+#[test]
+fn precrec_proposition_3_2() {
+    run_cases("precrec_proposition_3_2", CASES, |g| {
         // Adding a good source providing t raises the score; a good source
         // not providing t lowers it (and vice versa for bad sources).
-        prop_assume!((extra_r - extra_q).abs() > 0.05);
+        let recalls = prob_vec(g, 3);
+        let fprs = prob_vec(g, 3);
+        let extra_r = g.f64_in(0.05, 0.95);
+        let extra_q = g.f64_in(0.05, 0.95);
+        let mask = g.u64_below(8);
+        if (extra_r - extra_q).abs() <= 0.05 {
+            return; // discard borderline sources (proptest's prop_assume!)
+        }
         let base = PrecRecModel::from_rates(&recalls, &fprs, 0.5).unwrap();
         let scope3 = BitSet::from_indices(3, 0..3);
         let providers3 = BitSet::from_indices(3, (0..3).filter(|k| mask >> k & 1 == 1));
@@ -201,51 +230,65 @@ proptest! {
         let p_with = ext.score(&with, &scope4);
         let p_without = ext.score(&without, &scope4);
         if extra_r > extra_q {
-            prop_assert!(p_with >= p_base - 1e-12);
-            prop_assert!(p_without <= p_base + 1e-12);
+            assert!(p_with >= p_base - 1e-12);
+            assert!(p_without <= p_base + 1e-12);
         } else {
-            prop_assert!(p_with <= p_base + 1e-12);
-            prop_assert!(p_without >= p_base - 1e-12);
+            assert!(p_with <= p_base + 1e-12);
+            assert!(p_without >= p_base - 1e-12);
         }
-    }
+    });
+}
 
-    #[test]
-    fn subset_enumeration_counts(mask in 0u64..(1 << 12)) {
+#[test]
+fn subset_enumeration_counts() {
+    run_cases("subset_enumeration_counts", CASES, |g| {
+        let mask = g.u64_below(1 << 12);
         let n = mask.count_ones() as usize;
-        prop_assert_eq!(submasks(mask).count(), 1usize << n);
+        assert_eq!(submasks(mask).count(), 1usize << n);
         let mut total = 0usize;
         for k in 0..=n {
             let c = submasks_of_size(mask, k).count();
-            prop_assert_eq!(c, binomial(n, k));
+            assert_eq!(c, binomial(n, k));
             total += c;
         }
-        prop_assert_eq!(total, 1usize << n);
-    }
+        assert_eq!(total, 1usize << n);
+    });
+}
 
-    #[test]
-    fn submasks_are_subsets(mask in 0u64..(1 << 14)) {
+#[test]
+fn submasks_are_subsets() {
+    run_cases("submasks_are_subsets", CASES, |g| {
+        let mask = g.u64_below(1 << 14);
         for sub in submasks(mask) {
-            prop_assert_eq!(sub & !mask, 0);
+            assert_eq!(sub & !mask, 0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn bitset_project_roundtrip(indices in proptest::collection::btree_set(0usize..200, 0..20)) {
+#[test]
+fn bitset_project_roundtrip() {
+    run_cases("bitset_project_roundtrip", CASES, |g| {
+        let n_indices = g.usize_in(0, 20);
+        let indices: std::collections::BTreeSet<usize> =
+            (0..n_indices).map(|_| g.usize_in(0, 200)).collect();
         let bs = BitSet::from_indices(200, indices.iter().copied());
         // Projecting onto the full identity positions of the first 64 bits
         // reproduces membership.
         let positions: Vec<usize> = (0..64).collect();
         let mask = bs.project(&positions);
         for k in 0..64 {
-            prop_assert_eq!(mask >> k & 1 == 1, bs.get(k));
+            assert_eq!(mask >> k & 1 == 1, bs.get(k));
         }
-        prop_assert_eq!(bs.count_ones(), indices.len());
-    }
+        assert_eq!(bs.count_ones(), indices.len());
+    });
+}
 
-    #[test]
-    fn sigmoid_bounds_and_symmetry(x in -500f64..500.0) {
+#[test]
+fn sigmoid_bounds_and_symmetry() {
+    run_cases("sigmoid_bounds_and_symmetry", CASES, |g| {
+        let x = g.f64_in(-500.0, 500.0);
         let s = sigmoid(x);
-        prop_assert!((0.0..=1.0).contains(&s));
-        prop_assert!((sigmoid(-x) - (1.0 - s)).abs() < 1e-12);
-    }
+        assert!((0.0..=1.0).contains(&s));
+        assert!((sigmoid(-x) - (1.0 - s)).abs() < 1e-12);
+    });
 }
