@@ -40,6 +40,15 @@ fn bench_joint(c: &mut Criterion) {
             acc
         })
     });
+    // The sharded memo exposes hit/miss counters: the warm loop should be
+    // all hits after its 63-query warm-up.
+    let stats = warm.cache_stats();
+    eprintln!(
+        "  joint_quality/warm_queries: memo hit rate {:.2}% ({} hits / {} misses)",
+        100.0 * stats.hit_rate(),
+        stats.hits,
+        stats.misses,
+    );
     group.finish();
 }
 

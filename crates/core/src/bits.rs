@@ -60,6 +60,16 @@ impl BitSet {
         self.len
     }
 
+    /// Grow the capacity to `len` bits, preserving existing bits; new bits
+    /// are clear. No-op when `len <= self.len()`. Used by the streaming
+    /// delta path when a new source joins an existing dataset.
+    pub fn grow_to(&mut self, len: usize) {
+        if len > self.len {
+            self.words.resize(len.div_ceil(WORD_BITS), 0);
+            self.len = len;
+        }
+    }
+
     /// True if no bit is set.
     pub fn is_empty(&self) -> bool {
         self.words.iter().all(|&w| w == 0)
@@ -254,6 +264,19 @@ mod tests {
     fn debug_format_lists_members() {
         let bs = BitSet::from_indices(10, [1, 7]);
         assert_eq!(format!("{bs:?}"), "BitSet{1,7}");
+    }
+
+    #[test]
+    fn grow_preserves_and_extends() {
+        let mut bs = BitSet::from_indices(10, [1, 9]);
+        bs.grow_to(130);
+        assert_eq!(bs.len(), 130);
+        assert_eq!(bs.iter_ones().collect::<Vec<_>>(), vec![1, 9]);
+        bs.set(129, true);
+        assert!(bs.get(129));
+        // Shrinking is a no-op.
+        bs.grow_to(5);
+        assert_eq!(bs.len(), 130);
     }
 
     #[test]

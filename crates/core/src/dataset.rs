@@ -220,6 +220,12 @@ impl Dataset {
         self.scopes[s.index()].contains(&self.domains[t.index()])
     }
 
+    /// The full scope of a source: the set of domains in which its
+    /// non-provision counts as evidence.
+    pub fn scope(&self, s: SourceId) -> &HashSet<Domain> {
+        &self.scopes[s.index()]
+    }
+
     /// Sources whose scope covers `t`, as a bitset.
     pub fn scope_mask(&self, t: TripleId) -> BitSet {
         let mut bs = BitSet::new(self.n_sources());
@@ -246,6 +252,93 @@ impl Dataset {
         self.gold = Some(gold);
     }
 
+    /// Register (or look up) a source by name on an already-built dataset.
+    ///
+    /// This is a *delta hook* for incremental ingestion
+    /// (`corrfuse-stream`): a new source starts with no outputs and an
+    /// empty scope, and every triple's provider bitset grows to cover it
+    /// (an O(triples) operation, so callers batch source additions).
+    /// Registering an existing name returns its id unchanged.
+    pub fn add_source(&mut self, name: impl Into<String>) -> SourceId {
+        let name = name.into();
+        if let Some(id) = self.source_by_name(&name) {
+            return id;
+        }
+        let id = SourceId(self.source_names.len() as u32);
+        self.source_names.push(name);
+        self.outputs.push(Vec::new());
+        self.scopes.push(HashSet::new());
+        let n = self.source_names.len();
+        for p in &mut self.providers {
+            p.grow_to(n);
+        }
+        id
+    }
+
+    /// Intern (or look up) a triple on an already-built dataset.
+    ///
+    /// Delta hook for incremental ingestion. A new triple starts with no
+    /// providers — callers must [`Dataset::observe`] it before scoring it,
+    /// mirroring the [`DatasetBuilder::build`] invariant that every triple
+    /// has an observation set. Interning an existing triple returns its id
+    /// and leaves its domain unchanged.
+    pub fn add_triple(&mut self, triple: Triple, domain: Domain) -> TripleId {
+        if let Some(id) = self.triples.get(&triple) {
+            return id;
+        }
+        let id = self.triples.intern(triple);
+        self.providers.push(BitSet::new(self.n_sources()));
+        self.domains.push(domain);
+        id
+    }
+
+    /// Record `S_i |= t` on an already-built dataset (delta hook).
+    ///
+    /// Mirrors the builder's semantics: duplicate observations are no-ops,
+    /// and providing in a new domain extends the source's scope (the
+    /// builder's "domains it provides in" inference). The returned
+    /// [`ObserveOutcome`] tells incremental callers exactly what changed so
+    /// they can invalidate the right state.
+    pub fn observe(&mut self, s: SourceId, t: TripleId) -> Result<ObserveOutcome> {
+        if s.index() >= self.n_sources() {
+            return Err(FusionError::UnknownSource(format!("{s}")));
+        }
+        if t.index() >= self.n_triples() {
+            return Err(FusionError::TripleOutOfRange(t.index()));
+        }
+        if self.providers[t.index()].get(s.index()) {
+            return Ok(ObserveOutcome {
+                newly_provided: false,
+                scope_expanded: false,
+            });
+        }
+        self.providers[t.index()].set(s.index(), true);
+        self.outputs[s.index()].push(t);
+        let scope_expanded = self.scopes[s.index()].insert(self.domains[t.index()]);
+        Ok(ObserveOutcome {
+            newly_provided: true,
+            scope_expanded,
+        })
+    }
+
+    /// Attach (or overwrite) a gold label on an already-built dataset
+    /// (delta hook). Returns the previous label, if any.
+    pub fn set_label(&mut self, t: TripleId, truth: bool) -> Result<Option<bool>> {
+        if t.index() >= self.n_triples() {
+            return Err(FusionError::TripleOutOfRange(t.index()));
+        }
+        let prev = self.gold.as_ref().and_then(|g| g.get(t));
+        match &mut self.gold {
+            Some(g) => g.set(t, truth),
+            None => {
+                let mut g = GoldLabels::new(self.n_triples());
+                g.set(t, truth);
+                self.gold = Some(g);
+            }
+        }
+        Ok(prev)
+    }
+
     /// Summary statistics, for reports and examples.
     pub fn stats(&self) -> DatasetStats {
         let per_source: Vec<usize> = self.outputs.iter().map(Vec::len).collect();
@@ -263,6 +356,16 @@ impl Dataset {
             min_source_output: per_source.iter().copied().min().unwrap_or(0),
         }
     }
+}
+
+/// What actually changed when [`Dataset::observe`] applied a claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObserveOutcome {
+    /// The claim was new (not a duplicate of an existing observation).
+    pub newly_provided: bool,
+    /// The source's scope gained the triple's domain — every triple in
+    /// that domain now counts the source as an in-scope non-provider.
+    pub scope_expanded: bool,
 }
 
 /// Aggregate statistics over a dataset. See [`Dataset::stats`].
@@ -397,7 +500,7 @@ impl DatasetBuilder {
         }
         for (i, p) in providers.iter().enumerate() {
             if p.is_empty() {
-                return Err(FusionError::TripleOutOfRange(i));
+                return Err(FusionError::UnobservedTriple(i));
             }
         }
 
@@ -629,6 +732,65 @@ mod tests {
         let ds = b.build().unwrap();
         assert!(ds.provides(s, t));
         assert_eq!(ds.source_name(s), "A");
+    }
+
+    #[test]
+    fn delta_hooks_mirror_builder_semantics() {
+        let mut ds = tiny();
+        // Adding an existing source/triple is a lookup, not a duplicate.
+        assert_eq!(ds.add_source("A"), SourceId(0));
+        let t1 = ds.add_triple(Triple::new("x", "p", "1"), Domain(0));
+        assert_eq!(t1, TripleId(0));
+        assert_eq!(ds.n_sources(), 2);
+        assert_eq!(ds.n_triples(), 2);
+
+        // A new source grows every provider bitset and starts scope-less.
+        let s3 = ds.add_source("C");
+        assert_eq!(ds.n_sources(), 3);
+        assert_eq!(ds.providers(t1).len(), 3);
+        assert!(!ds.in_scope(s3, t1));
+
+        // New triple + first claim: provider recorded, scope inferred.
+        let t3 = ds.add_triple(Triple::new("z", "p", "3"), Domain(0));
+        assert!(ds.providers(t3).is_empty());
+        let oc = ds.observe(s3, t3).unwrap();
+        assert!(oc.newly_provided && oc.scope_expanded);
+        assert!(ds.in_scope(s3, t1));
+        assert_eq!(ds.output(s3), &[t3]);
+
+        // Duplicate claim is a no-op.
+        let oc = ds.observe(s3, t3).unwrap();
+        assert!(!oc.newly_provided && !oc.scope_expanded);
+        assert_eq!(ds.output(s3).len(), 1);
+
+        // Claim in an already-covered domain does not re-expand scope.
+        let oc = ds.observe(s3, t1).unwrap();
+        assert!(oc.newly_provided && !oc.scope_expanded);
+
+        // Labels: new, overwrite, and previous value reporting.
+        assert_eq!(ds.set_label(t3, true).unwrap(), None);
+        assert_eq!(ds.set_label(t3, false).unwrap(), Some(true));
+        assert_eq!(ds.gold().unwrap().get(t3), Some(false));
+    }
+
+    #[test]
+    fn delta_hooks_reject_bad_ids() {
+        let mut ds = tiny();
+        assert!(ds.observe(SourceId(9), TripleId(0)).is_err());
+        assert!(ds.observe(SourceId(0), TripleId(9)).is_err());
+        assert!(ds.set_label(TripleId(9), true).is_err());
+    }
+
+    #[test]
+    fn set_label_creates_gold_when_absent() {
+        let mut b = DatasetBuilder::new();
+        let s = b.source("A");
+        let t = b.triple("x", "p", "1");
+        b.observe(s, t);
+        let mut ds = b.build().unwrap();
+        assert!(ds.gold().is_none());
+        ds.set_label(t, true).unwrap();
+        assert_eq!(ds.gold().unwrap().get(t), Some(true));
     }
 
     #[test]

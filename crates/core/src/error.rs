@@ -32,6 +32,10 @@ pub enum FusionError {
     UnknownSource(String),
     /// Referenced a triple index outside the dataset.
     TripleOutOfRange(usize),
+    /// A triple has no providing source: its observation set `O_t` is
+    /// empty, so no posterior is defined. Raised by dataset finalisation
+    /// and by stream batches that introduce a triple without claiming it.
+    UnobservedTriple(usize),
     /// A cluster exceeded the bitmask width supported by the exact solver.
     TooManySources {
         /// Number of sources requested.
@@ -77,6 +81,12 @@ impl fmt::Display for FusionError {
             }
             FusionError::UnknownSource(name) => write!(f, "unknown source `{name}`"),
             FusionError::TripleOutOfRange(i) => write!(f, "triple index {i} out of range"),
+            FusionError::UnobservedTriple(i) => {
+                write!(
+                    f,
+                    "triple {i} has no providing source (empty observation set)"
+                )
+            }
             FusionError::TooManySources { requested, max } => {
                 write!(
                     f,
@@ -121,6 +131,7 @@ mod tests {
             (FusionError::MissingGold, "gold"),
             (FusionError::UnknownSource("S9".into()), "S9"),
             (FusionError::TripleOutOfRange(42), "42"),
+            (FusionError::UnobservedTriple(3), "no providing source"),
             (
                 FusionError::TooManySources {
                     requested: 100,

@@ -172,6 +172,8 @@ pub struct Fuser {
     clusters: Vec<ClusterUnit>,
     /// Sources handled by the independent model (singleton clusters).
     independent_mask: BitSet,
+    /// Kept from the fit config so solvers can be rebuilt after deltas.
+    max_exact_complement: usize,
 }
 
 impl Fuser {
@@ -280,7 +282,79 @@ impl Fuser {
             clustering,
             clusters,
             independent_mask,
+            max_exact_complement: config.max_exact_complement,
         })
+    }
+
+    /// Number of correlated (non-singleton) cluster units.
+    pub fn n_cluster_units(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Global source indices of cluster unit `i`'s members; bit `k` of any
+    /// projected mask refers to `positions[k]`.
+    pub fn cluster_unit_positions(&self, i: usize) -> &[usize] {
+        &self.clusters[i].positions
+    }
+
+    /// Cluster unit `i`'s empirical joint parameters, if the fitted method
+    /// consumes them (`None` under PrecRec).
+    pub fn cluster_joint(&self, i: usize) -> Option<&EmpiricalJoint> {
+        self.clusters[i].joint.as_ref()
+    }
+
+    /// Mutable access to cluster unit `i`'s empirical joint — the delta
+    /// hook incremental ingestion uses to push/patch labelled rows. After
+    /// any row change, call [`Fuser::rebuild_cluster_solvers`] so solvers
+    /// that precompute from joint values pick up the new parameters.
+    pub fn cluster_joint_mut(&mut self, i: usize) -> Option<&mut EmpiricalJoint> {
+        self.clusters[i].joint.as_mut()
+    }
+
+    /// Replace the per-source quality model (delta hook).
+    ///
+    /// Incremental callers maintain the estimator's counts under deltas
+    /// and hand back recomputed qualities; this rebuilds the PrecRec model
+    /// exactly as [`Fuser::fit`] does and propagates `alpha` into every
+    /// cluster joint. Does *not* rebuild solvers — batch row updates first,
+    /// then call [`Fuser::rebuild_cluster_solvers`] once.
+    pub fn refresh_quality(&mut self, qualities: Vec<SourceQuality>, alpha: f64) -> Result<()> {
+        let precrec = PrecRecModel::from_quality(&qualities, alpha)?;
+        self.precrec = precrec;
+        self.qualities = qualities;
+        self.alpha = alpha;
+        for unit in &mut self.clusters {
+            if let Some(joint) = &mut unit.joint {
+                joint.set_alpha(alpha)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reconstruct every cluster unit's solver from the current joint
+    /// parameters and PrecRec model, exactly as [`Fuser::fit`] built them.
+    /// Required after [`Fuser::refresh_quality`] or any joint row change,
+    /// because the aggressive/elastic solvers precompute per-source
+    /// correlation summaries at construction time.
+    pub fn rebuild_cluster_solvers(&mut self) {
+        let method = self.method;
+        let max_exact_complement = self.max_exact_complement;
+        let precrec = &self.precrec;
+        for unit in &mut self.clusters {
+            let full = SourceSet::full(unit.positions.len());
+            unit.solver = match &unit.joint {
+                Some(joint) => {
+                    method.build_solver(joint, full, precrec, &unit.positions, max_exact_complement)
+                }
+                None => method.build_solver(
+                    &NoJoint,
+                    full,
+                    precrec,
+                    &unit.positions,
+                    max_exact_complement,
+                ),
+            };
+        }
     }
 
     /// The fitted method.
@@ -568,6 +642,53 @@ mod tests {
         // Still produces valid probabilities.
         for p in fuser.score_all(&ds).unwrap() {
             assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn refresh_and_rebuild_match_fresh_fit() {
+        // Fit on a truncated label set, then feed the held-out labels in
+        // through the delta hooks: the patched fuser must score bitwise
+        // identically to a fuser fitted from scratch on the full labels.
+        let ds = figure1();
+        let gold = ds.gold().unwrap();
+        let keep: std::collections::HashSet<TripleId> = (0..7u32).map(TripleId).collect();
+        let partial = gold.restricted_to(&keep);
+        for method in [
+            Method::Exact,
+            Method::Aggressive,
+            Method::Elastic(2),
+            Method::PrecRec,
+        ] {
+            let config = FuserConfig::new(method).with_strategy(ClusterStrategy::SingleCluster);
+            let mut patched = Fuser::fit(&config, &ds, &partial).unwrap();
+            // Push the held-out rows into the joint (correlated methods).
+            for i in 0..patched.n_cluster_units() {
+                if patched.cluster_joint(i).is_none() {
+                    continue;
+                }
+                for t in (7..10u32).map(TripleId) {
+                    let (prov, scope) = patched.cluster_joint(i).unwrap().project_pattern(&ds, t);
+                    patched.cluster_joint_mut(i).unwrap().push_row(
+                        prov,
+                        scope,
+                        gold.get(t).unwrap(),
+                    );
+                }
+            }
+            // Recompute per-source quality on the full labels and refresh.
+            let qualities = crate::quality::QualityEstimator::new()
+                .estimate(&ds, gold)
+                .unwrap();
+            patched.refresh_quality(qualities, 0.5).unwrap();
+            patched.rebuild_cluster_solvers();
+
+            let fresh = Fuser::fit(&config, &ds, gold).unwrap();
+            for t in ds.triples() {
+                let a = patched.score_triple(&ds, t).unwrap();
+                let b = fresh.score_triple(&ds, t).unwrap();
+                assert_eq!(a.to_bits(), b.to_bits(), "{method:?} {t}: {a} vs {b}");
+            }
         }
     }
 

@@ -5,6 +5,7 @@
 //! ```text
 //! #corrfuse-dataset v1
 //! S<TAB>source-name
+//! O<TAB>source-index<TAB>domain,domain,...  (optional; explicit scope override)
 //! D<TAB>triple-index<TAB>domain            (optional; default domain 0)
 //! T<TAB>subject<TAB>predicate<TAB>object<TAB>label<TAB>provider,provider,...
 //! ```
@@ -13,6 +14,12 @@
 //! comma-separated indices into the `S` lines, in file order. Triples are
 //! written in [`TripleId`] order so a round-trip preserves ids. Tab and
 //! newline characters inside fields are escaped (`\t`, `\n`, `\\`).
+//!
+//! An `O` record pins a source's scope to an explicit domain set (an
+//! empty set is legal: `O<TAB>3<TAB>` followed by nothing). It is only
+//! written for sources whose scope differs from the provision-inferred
+//! default, so files without overrides are unchanged from the base
+//! dialect.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -23,7 +30,10 @@ use crate::error::{FusionError, Result};
 
 const HEADER: &str = "#corrfuse-dataset v1";
 
-fn escape(field: &str, out: &mut String) {
+/// Escape a field for the TSV dialect (`\t`, `\n`, `\\`), appending to
+/// `out`. Public so dialect extensions (e.g. the `corrfuse-stream`
+/// journal) share one escaping policy.
+pub fn escape(field: &str, out: &mut String) {
     for c in field.chars() {
         match c {
             '\t' => out.push_str("\\t"),
@@ -34,7 +44,10 @@ fn escape(field: &str, out: &mut String) {
     }
 }
 
-fn unescape(field: &str, line: usize) -> Result<String> {
+/// Inverse of [`escape`]. `line` is the 1-based line number reported in
+/// parse errors (every `FusionError::Parse` in this dialect and its
+/// extensions is 1-based).
+pub fn unescape(field: &str, line: usize) -> Result<String> {
     let mut out = String::with_capacity(field.len());
     let mut chars = field.chars();
     while let Some(c) = chars.next() {
@@ -69,6 +82,16 @@ pub fn to_string(ds: &Dataset) -> String {
         out.push_str("S\t");
         escape(ds.source_name(s), &mut out);
         out.push('\n');
+    }
+    for s in ds.sources() {
+        let inferred: std::collections::HashSet<Domain> =
+            ds.output(s).iter().map(|&t| ds.domain(t)).collect();
+        if *ds.scope(s) != inferred {
+            let mut domains: Vec<u32> = ds.scope(s).iter().map(|d| d.0).collect();
+            domains.sort_unstable();
+            let list: Vec<String> = domains.iter().map(u32::to_string).collect();
+            let _ = writeln!(out, "O\t{}\t{}", s.0, list.join(","));
+        }
     }
     for t in ds.triples() {
         let d = ds.domain(t);
@@ -119,7 +142,10 @@ pub fn from_str(text: &str) -> Result<Dataset> {
 
     let mut builder = DatasetBuilder::new();
     let mut sources: Vec<SourceId> = Vec::new();
-    let mut pending_domains: Vec<(usize, u32)> = Vec::new();
+    // (triple index, domain, 1-based line of the D record for errors).
+    let mut pending_domains: Vec<(usize, u32, usize)> = Vec::new();
+    // (source index, domains, 1-based line of the O record for errors).
+    let mut pending_scopes: Vec<(usize, Vec<u32>, usize)> = Vec::new();
     let mut triple_count = 0usize;
 
     for (idx, raw) in lines {
@@ -138,6 +164,27 @@ pub fn from_str(text: &str) -> Result<Dataset> {
                 })?;
                 sources.push(builder.source(unescape(name, lineno)?));
             }
+            "O" => {
+                let s: usize = fields.next().and_then(|v| v.parse().ok()).ok_or_else(|| {
+                    FusionError::Parse {
+                        line: lineno,
+                        msg: "O line needs a source index".to_string(),
+                    }
+                })?;
+                let mut domains = Vec::new();
+                for d in fields
+                    .next()
+                    .unwrap_or_default()
+                    .split(',')
+                    .filter(|d| !d.is_empty())
+                {
+                    domains.push(d.parse().map_err(|_| FusionError::Parse {
+                        line: lineno,
+                        msg: format!("bad scope domain `{d}`"),
+                    })?);
+                }
+                pending_scopes.push((s, domains, lineno));
+            }
             "D" => {
                 let t: usize = fields.next().and_then(|v| v.parse().ok()).ok_or_else(|| {
                     FusionError::Parse {
@@ -151,7 +198,7 @@ pub fn from_str(text: &str) -> Result<Dataset> {
                         msg: "D line needs a domain id".to_string(),
                     }
                 })?;
-                pending_domains.push((t, d));
+                pending_domains.push((t, d, lineno));
             }
             "T" => {
                 let mut next = |what: &str| -> Result<String> {
@@ -207,14 +254,21 @@ pub fn from_str(text: &str) -> Result<Dataset> {
             }
         }
     }
-    for (t, d) in pending_domains {
+    for (t, d, lineno) in pending_domains {
         if t >= triple_count {
             return Err(FusionError::Parse {
-                line: 0,
+                line: lineno,
                 msg: format!("domain for unknown triple {t}"),
             });
         }
         builder.set_domain(crate::triple::TripleId(t as u32), Domain(d));
+    }
+    for (s, domains, lineno) in pending_scopes {
+        let &sid = sources.get(s).ok_or_else(|| FusionError::Parse {
+            line: lineno,
+            msg: format!("scope for unknown source {s}"),
+        })?;
+        builder.set_scope(sid, domains.into_iter().map(Domain));
     }
     builder.build()
 }
@@ -324,6 +378,78 @@ mod tests {
         let text = format!("{HEADER}\n\n# a comment\nS\tA\nT\tx\tp\tv\t1\t0\n");
         let ds = from_str(&text).unwrap();
         assert_eq!(ds.n_triples(), 1);
+    }
+
+    #[test]
+    fn scope_overrides_roundtrip() {
+        let mut b = DatasetBuilder::new();
+        let s1 = b.source("books");
+        let s2 = b.source("bios");
+        let t1 = b.triple("b1", "author", "X");
+        let t2 = b.triple("p1", "born", "1960");
+        b.set_domain(t1, Domain(1));
+        b.set_domain(t2, Domain(2));
+        b.observe(s1, t1);
+        b.observe(s2, t2);
+        b.label(t1, true);
+        b.label(t2, false);
+        // books covers both domains despite providing in one; bios is
+        // pinned to an *empty* scope.
+        b.set_scope(s1, [Domain(1), Domain(2)]);
+        b.set_scope(s2, []);
+        let ds = b.build().unwrap();
+        let text = to_string(&ds);
+        assert!(text.contains("O\t0\t1,2"), "{text}");
+        assert!(text.contains("O\t1\t"), "{text}");
+        let back = from_str(&text).unwrap();
+        for s in ds.sources() {
+            assert_eq!(back.scope(s), ds.scope(s), "{s}");
+        }
+        // Default-scope sources emit no O record.
+        let plain = sample();
+        assert!(!to_string(&plain).contains("\nO\t"));
+    }
+
+    #[test]
+    fn scope_record_errors() {
+        let text = format!("{HEADER}\nS\tA\nO\t9\t0\nT\tx\tp\tv\t1\t0\n");
+        let err = from_str(&text).unwrap_err();
+        assert!(err.to_string().contains("unknown source 9"), "{err}");
+        let text = format!("{HEADER}\nS\tA\nO\t0\tbad\nT\tx\tp\tv\t1\t0\n");
+        let err = from_str(&text).unwrap_err();
+        assert!(err.to_string().contains("bad scope domain"), "{err}");
+        let text = format!("{HEADER}\nS\tA\nO\n");
+        assert!(from_str(&text).is_err());
+    }
+
+    #[test]
+    fn domain_for_unknown_triple_names_its_line() {
+        // The D record sits on (1-based) line 3; the error must say so
+        // rather than the old placeholder line 0.
+        let text = format!("{HEADER}\nS\tA\nD\t7\t2\nT\tx\tp\tv\t1\t0\n");
+        match from_str(&text).unwrap_err() {
+            FusionError::Parse { line, msg } => {
+                assert_eq!(line, 3, "{msg}");
+                assert!(msg.contains("unknown triple 7"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_report_one_based_lines() {
+        // A bad label on the third line of the file.
+        let text = format!("{HEADER}\nS\tA\nT\tx\tp\tv\t2\t0\n");
+        match from_str(&text).unwrap_err() {
+            FusionError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected error {other:?}"),
+        }
+        // A bad escape in a field names the line holding the field.
+        let text = format!("{HEADER}\nS\tbad\\x\n");
+        match from_str(&text).unwrap_err() {
+            FusionError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]

@@ -13,11 +13,104 @@
 //! independence products for testing the corollaries).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
 use crate::dataset::{Dataset, GoldLabels, SourceId};
 use crate::error::{FusionError, Result};
 use crate::prob::check_alpha;
+use crate::triple::TripleId;
+
+/// Number of lock shards in a [`ShardedMemo`]. A small fixed power of two:
+/// enough to spread the scoring engine's workers across locks, cheap
+/// enough to clear on invalidation.
+const MEMO_SHARDS: usize = 16;
+
+/// Cumulative hit/miss counters of a memo cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that had to recompute (and then populated the cache).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, or 0 when nothing was queried.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Element-wise sum (for aggregating per-cluster caches).
+    pub fn merged(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+        }
+    }
+}
+
+/// A fixed-shard concurrent memo table `u64 -> f64` with hit/miss
+/// counters.
+///
+/// [`EmpiricalJoint`] memoises per-subset joint rates behind this: a
+/// single `RwLock<HashMap>` serialises every reader on the write path
+/// once the scoring engine fans out, while sharding by key hash keeps
+/// workers on (mostly) disjoint locks. Counters are relaxed atomics —
+/// they feed benchmarks and reports, not control flow.
+#[derive(Debug, Default)]
+struct ShardedMemo {
+    shards: [RwLock<HashMap<u64, f64>>; MEMO_SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ShardedMemo {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn shard(&self, key: u64) -> &RwLock<HashMap<u64, f64>> {
+        // Fibonacci hash then keep the top bits: subset masks are dense in
+        // the low bits, so modulo alone would alias neighbouring sets.
+        let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        &self.shards[(h >> 60) as usize % MEMO_SHARDS]
+    }
+
+    /// Look up `key`, bumping the hit/miss counter.
+    fn get(&self, key: u64) -> Option<f64> {
+        let found = self.shard(key).read().unwrap().get(&key).copied();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn insert(&self, key: u64, value: f64) {
+        self.shard(key).write().unwrap().insert(key, value);
+    }
+
+    /// Drop every memoised entry (counters are cumulative and survive).
+    fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().unwrap().clear();
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// A subset of the members of one cluster, as a bitmask. Bit `k` refers to
 /// the cluster's `k`-th member (cluster-local numbering), not to a global
@@ -157,8 +250,8 @@ pub struct EmpiricalJoint {
     /// (projected providers, projected scope, truth) per labelled triple.
     rows: Vec<(u64, u64, bool)>,
     alpha: f64,
-    recall_cache: RwLock<HashMap<u64, f64>>,
-    fpr_cache: RwLock<HashMap<u64, f64>>,
+    recall_cache: ShardedMemo,
+    fpr_cache: ShardedMemo,
 }
 
 impl EmpiricalJoint {
@@ -199,8 +292,8 @@ impl EmpiricalJoint {
             members,
             rows,
             alpha,
-            recall_cache: RwLock::new(HashMap::new()),
-            fpr_cache: RwLock::new(HashMap::new()),
+            recall_cache: ShardedMemo::new(),
+            fpr_cache: ShardedMemo::new(),
         })
     }
 
@@ -210,9 +303,90 @@ impl EmpiricalJoint {
         &self.members
     }
 
+    /// Cluster-local bit position of a source, if it is a member.
+    pub fn member_position(&self, s: SourceId) -> Option<usize> {
+        self.members.iter().position(|&m| m == s)
+    }
+
     /// The prior used for the Theorem 3.5 joint-FPR derivation.
     pub fn alpha(&self) -> f64 {
         self.alpha
+    }
+
+    /// Replace the prior. Joint recalls are alpha-free, so only the FPR
+    /// memo table is invalidated (and only when the value changed).
+    pub fn set_alpha(&mut self, alpha: f64) -> Result<()> {
+        check_alpha(alpha)?;
+        if alpha != self.alpha {
+            self.alpha = alpha;
+            self.fpr_cache.clear();
+        }
+        Ok(())
+    }
+
+    /// Number of labelled rows backing the estimates.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// One labelled row: `(projected providers, projected scope, truth)`.
+    pub fn row(&self, idx: usize) -> (u64, u64, bool) {
+        self.rows[idx]
+    }
+
+    /// Append a labelled row (a newly labelled triple) and invalidate the
+    /// memo caches. Delta hook for incremental ingestion: the estimates
+    /// are order-independent sums over rows, so appending in label-arrival
+    /// order yields bit-identical values to a from-scratch build.
+    pub fn push_row(&mut self, providers: u64, scope: u64, truth: bool) {
+        self.rows.push((providers, scope, truth));
+        self.invalidate_caches();
+    }
+
+    /// Overwrite a row in place (a claim or scope change touched an
+    /// already-labelled triple). Invalidates the memo caches only when the
+    /// row actually changed. Errors on an out-of-range index.
+    pub fn set_row(&mut self, idx: usize, providers: u64, scope: u64, truth: bool) -> Result<()> {
+        match self.rows.get_mut(idx) {
+            None => Err(FusionError::TripleOutOfRange(idx)),
+            Some(row) => {
+                let next = (providers, scope, truth);
+                if *row != next {
+                    *row = next;
+                    self.invalidate_caches();
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Drop every memoised joint rate (cluster invalidation). The next
+    /// queries recompute from the current rows; hit/miss counters are
+    /// cumulative and survive.
+    pub fn invalidate_caches(&self) {
+        self.recall_cache.clear();
+        self.fpr_cache.clear();
+    }
+
+    /// Cumulative hit/miss counters over both memo tables.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.recall_cache.stats().merged(self.fpr_cache.stats())
+    }
+
+    /// Project a triple's provider and scope sets onto this cluster's
+    /// members — the row this joint would store for `t` if it were
+    /// labelled. Delta hook used to build [`EmpiricalJoint::push_row`] /
+    /// [`EmpiricalJoint::set_row`] arguments from live dataset state.
+    pub fn project_pattern(&self, ds: &Dataset, t: TripleId) -> (u64, u64) {
+        let positions: Vec<usize> = self.members.iter().map(|s| s.index()).collect();
+        let providers = ds.providers(t).project(&positions);
+        let mut scope = 0u64;
+        for (k, &s) in self.members.iter().enumerate() {
+            if ds.in_scope(s, t) {
+                scope |= 1u64 << k;
+            }
+        }
+        (providers, scope)
     }
 
     /// Count `(true in scope, true provided, false provided)` for `set`.
@@ -257,7 +431,7 @@ impl JointQuality for EmpiricalJoint {
         if set.is_empty() {
             return 1.0;
         }
-        if let Some(&v) = self.recall_cache.read().unwrap().get(&set.0) {
+        if let Some(v) = self.recall_cache.get(set.0) {
             return v;
         }
         let (true_in_scope, tp, _) = self.counts(set);
@@ -266,7 +440,7 @@ impl JointQuality for EmpiricalJoint {
         } else {
             tp as f64 / true_in_scope as f64
         };
-        self.recall_cache.write().unwrap().insert(set.0, v);
+        self.recall_cache.insert(set.0, v);
         v
     }
 
@@ -274,7 +448,7 @@ impl JointQuality for EmpiricalJoint {
         if set.is_empty() {
             return 1.0;
         }
-        if let Some(&v) = self.fpr_cache.read().unwrap().get(&set.0) {
+        if let Some(v) = self.fpr_cache.get(set.0) {
             return v;
         }
         // Theorem 3.5 in count form: q = alpha/(1-alpha) * FP / N_true
@@ -285,7 +459,7 @@ impl JointQuality for EmpiricalJoint {
         } else {
             (self.alpha / (1.0 - self.alpha) * fp as f64 / true_in_scope as f64).min(1.0)
         };
-        self.fpr_cache.write().unwrap().insert(set.0, v);
+        self.fpr_cache.insert(set.0, v);
         v
     }
 }
@@ -748,6 +922,80 @@ mod tests {
         let members: Vec<SourceId> = (0..65).map(SourceId).collect();
         let err = EmpiricalJoint::new(&ds, ds.gold().unwrap(), members, 0.5);
         assert!(matches!(err, Err(FusionError::TooManySources { .. })));
+    }
+
+    #[test]
+    fn cache_counters_and_invalidation() {
+        let j = fig1_joint();
+        let s = set(&[1, 4, 5]);
+        assert_eq!(j.cache_stats(), CacheStats::default());
+        let first = j.joint_recall(s); // miss
+        let _ = j.joint_recall(s); // hit
+        let stats = j.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        // Invalidation keeps counters but drops entries: next query misses
+        // and recomputes the same value from the unchanged rows.
+        j.invalidate_caches();
+        assert_eq!(j.joint_recall(s), first);
+        assert_eq!(j.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn row_maintenance_matches_fresh_build() {
+        let ds = figure1();
+        let gold = ds.gold().unwrap();
+        let members: Vec<SourceId> = ds.sources().collect();
+        // Build incrementally: start from the first 6 labelled triples,
+        // push the rest as rows, then patch one row.
+        let keep: std::collections::HashSet<TripleId> = (0..6u32).map(TripleId).collect();
+        let partial = gold.restricted_to(&keep);
+        let mut inc = EmpiricalJoint::new(&ds, &partial, members.clone(), 0.5).unwrap();
+        assert_eq!(inc.n_rows(), 6);
+        // Warm a cache entry, then mutate rows — values must track.
+        let probe = set(&[1, 4, 5]);
+        let _ = inc.joint_recall(probe);
+        for t in (6..10u32).map(TripleId) {
+            let (prov, scope) = inc.project_pattern(&ds, t);
+            inc.push_row(prov, scope, gold.get(t).unwrap());
+        }
+        let full = EmpiricalJoint::new(&ds, gold, members, 0.5).unwrap();
+        for mask in 0..32u64 {
+            let s = SourceSet(mask);
+            assert_eq!(inc.joint_recall(s), full.joint_recall(s), "r mask {mask:b}");
+            assert_eq!(inc.joint_fpr(s), full.joint_fpr(s), "q mask {mask:b}");
+        }
+        // set_row with identical content keeps the cache warm...
+        let row = inc.row(0);
+        let before = inc.cache_stats();
+        inc.set_row(0, row.0, row.1, row.2).unwrap();
+        let _ = inc.joint_recall(probe);
+        assert_eq!(inc.cache_stats().hits, before.hits + 1);
+        // ...while a real change invalidates and shifts the estimate.
+        let r_before = inc.joint_recall(probe);
+        inc.set_row(0, 0, row.1, row.2).unwrap(); // t1 loses all providers
+        assert!(inc.joint_recall(probe) < r_before);
+        assert!(inc.set_row(99, 0, 0, true).is_err());
+    }
+
+    #[test]
+    fn set_alpha_scales_fpr_only() {
+        let mut j = fig1_joint();
+        let s = set(&[2, 3]);
+        let r = j.joint_recall(s);
+        let q_half = j.joint_fpr(s);
+        j.set_alpha(0.25).unwrap();
+        assert_eq!(j.joint_recall(s), r);
+        // q = alpha/(1-alpha) * FP/N_true: 0.25 -> one third of the 0.5 value.
+        assert!((j.joint_fpr(s) - q_half / 3.0).abs() < 1e-12);
+        assert!(j.set_alpha(1.5).is_err());
+    }
+
+    #[test]
+    fn member_position_lookup() {
+        let j = fig1_joint();
+        assert_eq!(j.member_position(SourceId(3)), Some(3));
+        assert_eq!(j.member_position(SourceId(9)), None);
     }
 
     #[test]

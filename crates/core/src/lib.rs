@@ -71,10 +71,11 @@ pub mod subset;
 pub mod testkit;
 pub mod triple;
 
-pub use dataset::{Dataset, DatasetBuilder, Domain, GoldLabels, SourceId};
+pub use dataset::{Dataset, DatasetBuilder, Domain, GoldLabels, ObserveOutcome, SourceId};
 pub use engine::ScoringEngine;
 pub use error::{FusionError, Result};
 pub use fuser::{ClusterStrategy, Fuser, FuserConfig, Method};
+pub use joint::{CacheStats, EmpiricalJoint, JointQuality, SourceSet};
 pub use quality::SourceQuality;
 pub use solver::{CorrelationSolver, PrecRecSolver};
 pub use triple::{Triple, TripleId};

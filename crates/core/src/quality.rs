@@ -166,21 +166,7 @@ impl QualityEstimator {
 
         let s = self.smoothing;
         let qualities = (0..n)
-            .map(|i| {
-                let provided = tp[i] + fp[i];
-                let precision = if provided == 0 && s == 0.0 {
-                    // No labelled output: uninformative source.
-                    0.0
-                } else {
-                    (tp[i] as f64 + s) / (provided as f64 + 2.0 * s)
-                };
-                let recall = if scope_true[i] == 0 && s == 0.0 {
-                    0.0
-                } else {
-                    (tp[i] as f64 + s) / (scope_true[i] as f64 + 2.0 * s)
-                };
-                SourceQuality { precision, recall }
-            })
+            .map(|i| quality_from_counts(tp[i], fp[i], scope_true[i], s))
             .collect();
         Ok(qualities)
     }
@@ -197,6 +183,36 @@ impl QualityEstimator {
             .copied()
             .ok_or_else(|| FusionError::UnknownSource(format!("{source}")))
     }
+}
+
+/// [`SourceQuality`] from the estimator's raw counts: `tp` labelled-true
+/// triples provided (in scope), `fp` labelled-false triples provided,
+/// `scope_true` labelled-true triples in the source's scope.
+///
+/// This is the single arithmetic behind [`QualityEstimator::estimate`],
+/// exposed so incremental callers (`corrfuse-stream`) that maintain the
+/// counts under deltas recompute *bit-identical* qualities without
+/// rescanning the labelled set.
+pub fn quality_from_counts(
+    tp: usize,
+    fp: usize,
+    scope_true: usize,
+    smoothing: f64,
+) -> SourceQuality {
+    let s = smoothing;
+    let provided = tp + fp;
+    let precision = if provided == 0 && s == 0.0 {
+        // No labelled output: uninformative source.
+        0.0
+    } else {
+        (tp as f64 + s) / (provided as f64 + 2.0 * s)
+    };
+    let recall = if scope_true == 0 && s == 0.0 {
+        0.0
+    } else {
+        (tp as f64 + s) / (scope_true as f64 + 2.0 * s)
+    };
+    SourceQuality { precision, recall }
 }
 
 /// Count-based false-positive rate used by the estimators.
@@ -419,6 +435,20 @@ mod tests {
             .estimate_one(&ds, ds.gold().unwrap(), SourceId(2))
             .unwrap();
         assert_eq!(bulk[2], one);
+    }
+
+    #[test]
+    fn quality_from_counts_matches_estimator_special_cases() {
+        // Uninformative source: no labelled output, nothing in scope.
+        let q = quality_from_counts(0, 0, 0, 0.0);
+        assert_eq!((q.precision, q.recall), (0.0, 0.0));
+        // Smoothing overrides the zero-count special case.
+        let q = quality_from_counts(0, 0, 0, 1.0);
+        assert_eq!((q.precision, q.recall), (0.5, 0.5));
+        // Plain ratios.
+        let q = quality_from_counts(4, 3, 6, 0.0);
+        assert_eq!(q.precision, 4.0 / 7.0);
+        assert_eq!(q.recall, 4.0 / 6.0);
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Memoised per-triple posteriors keyed by observation-pattern
+//! fingerprint.
+//!
+//! For a fixed fitted model and fixed source scopes, a triple's posterior
+//! `Pr(t | O_t)` is a pure function of `(domain, provider set)`: the
+//! domain determines the scope mask, the provider set determines every
+//! likelihood term. Realistic workloads have far fewer distinct patterns
+//! than triples (a handful of sources yields at most `2^n` patterns), so
+//! even a model-level refit that dirties every triple re-computes each
+//! pattern once and serves the rest from this cache.
+//!
+//! Invalidation is the caller's job and is coarse by design: any model
+//! change flushes everything (every pattern's score moved); a scope
+//! expansion invalidates one domain.
+
+use std::collections::HashMap;
+
+use corrfuse_core::bits::BitSet;
+use corrfuse_core::dataset::Domain;
+use corrfuse_core::joint::CacheStats;
+
+/// The fingerprint a score is keyed by: the triple's domain plus its
+/// exact provider set.
+pub type ScoreKey = (Domain, BitSet);
+
+/// A score memo table with hit/miss counters. See the module docs.
+#[derive(Debug, Default)]
+pub struct ScoreCache {
+    map: HashMap<ScoreKey, f64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ScoreCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up a pattern, bumping the hit/miss counters. A miss means the
+    /// persistent cache could not serve the lookup (the caller may still
+    /// avoid recomputation by deduplicating patterns within a batch).
+    pub fn get(&mut self, key: &ScoreKey) -> Option<f64> {
+        let found = self.map.get(key).copied();
+        match found {
+            Some(_) => self.hits += 1,
+            None => self.misses += 1,
+        }
+        found
+    }
+
+    /// Memoise a computed score.
+    pub fn insert(&mut self, key: ScoreKey, score: f64) {
+        self.map.insert(key, score);
+    }
+
+    /// Drop every entry (model changed: all patterns moved). Counters are
+    /// cumulative and survive.
+    pub fn flush(&mut self) {
+        self.map.clear();
+    }
+
+    /// Drop the entries of one domain (its scope mask changed).
+    pub fn invalidate_domain(&mut self, domain: Domain) {
+        self.map.retain(|(d, _), _| *d != domain);
+    }
+
+    /// Number of memoised patterns.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is memoised.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Cumulative hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(domain: u32, providers: &[usize]) -> ScoreKey {
+        (
+            Domain(domain),
+            BitSet::from_indices(8, providers.iter().copied()),
+        )
+    }
+
+    #[test]
+    fn get_insert_and_counters() {
+        let mut c = ScoreCache::new();
+        let k = key(0, &[1, 3]);
+        assert_eq!(c.get(&k), None);
+        c.insert(k.clone(), 0.75);
+        assert_eq!(c.get(&k), Some(0.75));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn flush_keeps_counters() {
+        let mut c = ScoreCache::new();
+        c.insert(key(0, &[1]), 0.5);
+        let _ = c.get(&key(0, &[1]));
+        c.flush();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.get(&key(0, &[1])), None);
+    }
+
+    #[test]
+    fn domain_invalidation_is_selective() {
+        let mut c = ScoreCache::new();
+        c.insert(key(0, &[1]), 0.5);
+        c.insert(key(1, &[1]), 0.6);
+        c.invalidate_domain(Domain(1));
+        assert_eq!(c.get(&key(0, &[1])), Some(0.5));
+        assert_eq!(c.get(&key(1, &[1])), None);
+    }
+}

@@ -1,0 +1,176 @@
+//! Ingest events and the append-only [`DeltaLog`].
+
+use corrfuse_core::dataset::{Domain, SourceId};
+use corrfuse_core::triple::{Triple, TripleId};
+
+/// One ingest event against a live session.
+///
+/// Sources and triples are referenced by the session's dense ids, which
+/// are assigned in event order: an [`Event::AddSource`] /
+/// [`Event::AddTriple`] for unseen content takes the next free id, while
+/// re-registering known content is a no-op (mirroring
+/// [`corrfuse_core::DatasetBuilder`]'s interning). This makes a recorded
+/// event stream deterministic to replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// Register a new source by name.
+    AddSource {
+        /// Source display name (the dataset's dedup key).
+        name: String,
+    },
+    /// Intern a new triple with its domain.
+    AddTriple {
+        /// The triple content.
+        triple: Triple,
+        /// Scope domain (use `Domain(0)` for single-domain workloads).
+        domain: Domain,
+    },
+    /// A new claim/provider edge: `source |= triple`.
+    Claim {
+        /// The claiming source.
+        source: SourceId,
+        /// The claimed triple.
+        triple: TripleId,
+    },
+    /// Attach (or overwrite) a gold truth label.
+    Label {
+        /// The labelled triple.
+        triple: TripleId,
+        /// Its truth value.
+        truth: bool,
+    },
+}
+
+impl Event {
+    /// Shorthand for [`Event::AddSource`].
+    pub fn add_source(name: impl Into<String>) -> Event {
+        Event::AddSource { name: name.into() }
+    }
+
+    /// Shorthand for [`Event::AddTriple`] in the default domain.
+    pub fn add_triple(
+        subject: impl Into<String>,
+        predicate: impl Into<String>,
+        object: impl Into<String>,
+    ) -> Event {
+        Event::add_triple_in(subject, predicate, object, Domain(0))
+    }
+
+    /// Shorthand for [`Event::AddTriple`] with an explicit domain.
+    pub fn add_triple_in(
+        subject: impl Into<String>,
+        predicate: impl Into<String>,
+        object: impl Into<String>,
+        domain: Domain,
+    ) -> Event {
+        Event::AddTriple {
+            triple: Triple::new(subject, predicate, object),
+            domain,
+        }
+    }
+
+    /// Shorthand for [`Event::Claim`].
+    pub fn claim(source: SourceId, triple: TripleId) -> Event {
+        Event::Claim { source, triple }
+    }
+
+    /// Shorthand for [`Event::Label`].
+    pub fn label(triple: TripleId, truth: bool) -> Event {
+        Event::Label { triple, truth }
+    }
+}
+
+/// Append-only in-memory log of every event a session has applied, with
+/// batch boundaries preserved so the stream can be replayed with the same
+/// micro-batching (and therefore the same refit/re-score cadence).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaLog {
+    events: Vec<Event>,
+    /// End index (exclusive) into `events` of each batch, ascending.
+    batch_ends: Vec<usize>,
+}
+
+impl DeltaLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one batch (empty batches are recorded too — they carry no
+    /// events but keep replay cadence faithful).
+    pub fn push_batch(&mut self, batch: &[Event]) {
+        self.events.extend_from_slice(batch);
+        self.batch_ends.push(self.events.len());
+    }
+
+    /// Total number of events across all batches.
+    pub fn n_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of batches.
+    pub fn n_batches(&self) -> usize {
+        self.batch_ends.len()
+    }
+
+    /// True when no batch has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.batch_ends.is_empty()
+    }
+
+    /// All events in application order, batch boundaries elided.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The `i`-th batch.
+    pub fn batch(&self, i: usize) -> &[Event] {
+        let start = if i == 0 { 0 } else { self.batch_ends[i - 1] };
+        &self.events[start..self.batch_ends[i]]
+    }
+
+    /// Iterate batches in order.
+    pub fn batches(&self) -> impl Iterator<Item = &[Event]> {
+        (0..self.n_batches()).map(|i| self.batch(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_preserves_batch_boundaries() {
+        let mut log = DeltaLog::new();
+        log.push_batch(&[Event::add_source("A"), Event::add_triple("x", "p", "1")]);
+        log.push_batch(&[]);
+        log.push_batch(&[Event::label(TripleId(0), true)]);
+        assert_eq!(log.n_batches(), 3);
+        assert_eq!(log.n_events(), 3);
+        assert_eq!(log.batch(0).len(), 2);
+        assert_eq!(log.batch(1).len(), 0);
+        assert_eq!(log.batch(2), &[Event::label(TripleId(0), true)]);
+        let sizes: Vec<usize> = log.batches().map(<[Event]>::len).collect();
+        assert_eq!(sizes, vec![2, 0, 1]);
+        assert!(!log.is_empty());
+        assert!(DeltaLog::new().is_empty());
+    }
+
+    #[test]
+    fn event_constructors() {
+        assert_eq!(
+            Event::add_triple("x", "p", "1"),
+            Event::AddTriple {
+                triple: Triple::new("x", "p", "1"),
+                domain: Domain(0)
+            }
+        );
+        assert_eq!(
+            Event::claim(SourceId(1), TripleId(2)),
+            Event::Claim {
+                source: SourceId(1),
+                triple: TripleId(2)
+            }
+        );
+    }
+}

@@ -1,0 +1,615 @@
+//! [`IncrementalFuser`]: apply ingest deltas to a fitted model and
+//! re-score only what changed.
+//!
+//! # How a batch is absorbed
+//!
+//! The fitted state of a [`Fuser`] factors into three layers with very
+//! different update costs, and each event type dirties the cheapest layer
+//! that covers it:
+//!
+//! 1. **Nothing** — a claim on an *unlabelled* triple changes no
+//!    estimator count and no joint row. Only that triple's own posterior
+//!    moves: re-score it, done. This is the dominant event type in a
+//!    stream and the fast path the whole subsystem exists for.
+//! 2. **Quality model** — a label (or a claim touching a labelled
+//!    triple) shifts per-source counts and per-cluster joint rows. The
+//!    estimator's counts are maintained incrementally, so the refresh is
+//!    O(sources) for the PrecRec model plus O(changed rows) for the
+//!    joints — their memo caches are invalidated per cluster, not
+//!    rebuilt — and every triple is re-scored *through the pattern
+//!    cache* (each distinct `(domain, providers)` pattern once).
+//! 3. **Everything** — a new source changes model dimensionality (and
+//!    possibly the clustering), so the incremental path falls back to a
+//!    full [`Fuser::fit`]. The same fallback guards configurations whose
+//!    clustering is data-driven (`Auto` over more sources than the
+//!    cluster cap), where new labels could legitimately re-cluster.
+//!
+//! # Equivalence invariant
+//!
+//! Every maintained count is an integer and every refreshed parameter is
+//! recomputed by the same floating-point expressions `Fuser::fit` uses
+//! ([`quality_from_counts`], [`Fuser::refresh_quality`],
+//! [`Fuser::rebuild_cluster_solvers`]), so after any batch the scores are
+//! **bitwise identical** to a from-scratch fit on the accumulated
+//! dataset. `tests/streaming_equivalence.rs` enforces this property over
+//! random event streams.
+//!
+//! # Scope semantics
+//!
+//! New claims extend a source's scope by provision, exactly like
+//! [`corrfuse_core::DatasetBuilder`]'s default inference. Seeds that used
+//! explicit scope *overrides* keep them for their original domains, but a
+//! source claiming into a brand-new domain still joins that domain's
+//! scope — there is no override event.
+
+use std::collections::{BTreeSet, HashMap};
+
+use corrfuse_core::dataset::{Dataset, Domain, SourceId};
+use corrfuse_core::engine::ScoringEngine;
+use corrfuse_core::error::{FusionError, Result};
+use corrfuse_core::fuser::{ClusterStrategy, Fuser, FuserConfig};
+use corrfuse_core::joint::CacheStats;
+use corrfuse_core::quality::{quality_from_counts, SourceQuality};
+use corrfuse_core::triple::TripleId;
+
+use crate::cache::{ScoreCache, ScoreKey};
+use crate::event::Event;
+
+/// How much of the fitted model one batch forced to be rebuilt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RefitLevel {
+    /// Claims on unlabelled triples only: the model is untouched and only
+    /// the touched triples (plus any re-scoped domain) were re-scored.
+    None,
+    /// Per-source counts or joint rows changed: quality model and solvers
+    /// were refreshed from maintained counters and all triples re-scored
+    /// through the pattern cache.
+    Model,
+    /// The source set changed (or clustering is data-driven): full
+    /// `Fuser::fit` fallback.
+    Full,
+}
+
+/// One re-scored triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredTriple {
+    /// The triple.
+    pub triple: TripleId,
+    /// Its score before the batch; `None` for triples new in this batch.
+    pub before: Option<f64>,
+    /// Its score after the batch.
+    pub after: f64,
+}
+
+/// What one [`IncrementalFuser::ingest`] call did.
+#[derive(Debug, Clone)]
+pub struct IngestOutcome {
+    /// The refit level the batch forced.
+    pub refit: RefitLevel,
+    /// Every triple whose score was recomputed, with before/after values.
+    pub rescored: Vec<ScoredTriple>,
+    /// Score-cache hits/misses attributable to this batch.
+    pub cache: CacheStats,
+}
+
+/// Dirt accumulated while applying one batch of events.
+#[derive(Debug, Default)]
+struct Dirt {
+    /// Triples whose own observation pattern changed.
+    touched: BTreeSet<TripleId>,
+    /// Domains whose scope mask changed (a source's scope expanded).
+    rescoped: BTreeSet<Domain>,
+    /// Quality counts or joint rows changed.
+    model: bool,
+    /// Source set changed.
+    full: bool,
+    /// Triples introduced by this batch (must end it with >= 1 claim).
+    new_triples: Vec<TripleId>,
+}
+
+/// A [`Fuser`] that stays fitted under ingest deltas. See module docs.
+#[derive(Debug)]
+pub struct IncrementalFuser {
+    config: FuserConfig,
+    ds: Dataset,
+    fuser: Fuser,
+    /// Per-source estimator counts (see [`quality_from_counts`]).
+    tp: Vec<usize>,
+    fp: Vec<usize>,
+    scope_true: Vec<usize>,
+    /// Gold totals for the empirical prior.
+    n_true: usize,
+    n_false: usize,
+    /// Joint-row index of each labelled triple (rows are shared across
+    /// clusters: every cluster's `EmpiricalJoint` stores the same
+    /// labelled triples in the same order).
+    row_of: HashMap<TripleId, usize>,
+    /// Per-domain triple index, for scope-expansion invalidation.
+    triples_by_domain: HashMap<Domain, Vec<TripleId>>,
+    labelled_by_domain: HashMap<Domain, Vec<TripleId>>,
+    true_by_domain: HashMap<Domain, usize>,
+    /// Current posterior per triple.
+    scores: Vec<f64>,
+    cache: ScoreCache,
+}
+
+impl IncrementalFuser {
+    /// Fit on a seed snapshot (which must carry gold labels — the paper's
+    /// training protocol) and score every triple once.
+    pub fn fit(config: FuserConfig, seed: Dataset, engine: &ScoringEngine) -> Result<Self> {
+        let gold = seed.require_gold()?.clone();
+        let fuser = Fuser::fit(&config, &seed, &gold)?;
+        let mut inc = IncrementalFuser {
+            config,
+            scores: vec![f64::NAN; seed.n_triples()],
+            ds: seed,
+            fuser,
+            tp: Vec::new(),
+            fp: Vec::new(),
+            scope_true: Vec::new(),
+            n_true: 0,
+            n_false: 0,
+            row_of: HashMap::new(),
+            triples_by_domain: HashMap::new(),
+            labelled_by_domain: HashMap::new(),
+            true_by_domain: HashMap::new(),
+            cache: ScoreCache::new(),
+        };
+        inc.rebuild_index_state();
+        let all: Vec<TripleId> = inc.ds.triples().collect();
+        inc.rescore(&all, engine)?;
+        Ok(inc)
+    }
+
+    /// The accumulated dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.ds
+    }
+
+    /// The currently fitted model.
+    pub fn fuser(&self) -> &Fuser {
+        &self.fuser
+    }
+
+    /// The fit configuration.
+    pub fn config(&self) -> &FuserConfig {
+        &self.config
+    }
+
+    /// Current posterior per triple, in [`TripleId`] order.
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// Cumulative score-cache counters.
+    pub fn score_cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Cumulative joint-rate memo counters, aggregated over all cluster
+    /// joints of the current model.
+    pub fn joint_cache_stats(&self) -> CacheStats {
+        (0..self.fuser.n_cluster_units())
+            .filter_map(|i| self.fuser.cluster_joint(i))
+            .fold(CacheStats::default(), |acc, j| acc.merged(j.cache_stats()))
+    }
+
+    /// Apply one batch of events, refresh exactly the dirtied model
+    /// layers, and re-score the dirtied triples through `engine`.
+    ///
+    /// # Atomicity
+    ///
+    /// The batch is validated up front ([`Self::validate_batch`]), so
+    /// input errors — unknown source/triple ids, a new triple without a
+    /// claim — are reported *before* any state mutates: an `Err` from bad
+    /// input leaves the session exactly as it was. Errors arising later,
+    /// in the model-refresh stage (e.g. a degenerate empirical prior
+    /// after a relabel), surface after the dataset has already absorbed
+    /// the batch; treat the session as poisoned then and rebuild it from
+    /// the journal or a snapshot.
+    pub fn ingest(&mut self, batch: &[Event], engine: &ScoringEngine) -> Result<IngestOutcome> {
+        self.validate_batch(batch)?;
+        let stats_before = self.cache.stats();
+        let dirt = self.apply(batch)?;
+        let refit = if dirt.full || (dirt.model && self.clustering_is_data_driven()) {
+            RefitLevel::Full
+        } else if dirt.model {
+            RefitLevel::Model
+        } else {
+            RefitLevel::None
+        };
+        match refit {
+            RefitLevel::Full => {
+                let gold = self.ds.require_gold()?.clone();
+                self.fuser = Fuser::fit(&self.config, &self.ds, &gold)?;
+                self.rebuild_index_state();
+                self.cache.flush();
+            }
+            RefitLevel::Model => {
+                let qualities: Vec<SourceQuality> = (0..self.ds.n_sources())
+                    .map(|s| quality_from_counts(self.tp[s], self.fp[s], self.scope_true[s], 0.0))
+                    .collect();
+                let alpha = self.alpha_now()?;
+                self.fuser.refresh_quality(qualities, alpha)?;
+                self.fuser.rebuild_cluster_solvers();
+                self.cache.flush();
+            }
+            RefitLevel::None => {
+                for &d in &dirt.rescoped {
+                    self.cache.invalidate_domain(d);
+                }
+            }
+        }
+        let rescored = match refit {
+            RefitLevel::None => {
+                let dirty: Vec<TripleId> = dirt.touched.iter().copied().collect();
+                self.rescore(&dirty, engine)?
+            }
+            _ => {
+                let all: Vec<TripleId> = self.ds.triples().collect();
+                self.rescore(&all, engine)?
+            }
+        };
+        let stats_after = self.cache.stats();
+        Ok(IngestOutcome {
+            refit,
+            rescored,
+            cache: CacheStats {
+                hits: stats_after.hits - stats_before.hits,
+                misses: stats_after.misses - stats_before.misses,
+            },
+        })
+    }
+
+    /// Would new labels move the clustering? `Auto` over more sources
+    /// than the cluster cap derives the clustering from the labelled data
+    /// itself, so the incremental path cannot assume it is stable.
+    fn clustering_is_data_driven(&self) -> bool {
+        matches!(self.config.strategy, ClusterStrategy::Auto)
+            && self.config.method.uses_correlations()
+            && self.ds.n_sources() > self.config.cluster.max_cluster_size.min(64)
+    }
+
+    /// The prior `Fuser::fit` would use right now.
+    fn alpha_now(&self) -> Result<f64> {
+        match self.config.alpha {
+            Some(a) => Ok(a),
+            // Mirrors `GoldLabels::empirical_alpha` on maintained totals.
+            None if self.n_true == 0 => Err(FusionError::DegenerateTraining("true")),
+            None if self.n_false == 0 => Err(FusionError::DegenerateTraining("false")),
+            None => Ok(self.n_true as f64 / (self.n_true + self.n_false) as f64),
+        }
+    }
+
+    /// Recompute every maintained index from the dataset (initial fit and
+    /// full-refit fallback).
+    fn rebuild_index_state(&mut self) {
+        let n = self.ds.n_sources();
+        self.tp = vec![0; n];
+        self.fp = vec![0; n];
+        self.scope_true = vec![0; n];
+        self.n_true = 0;
+        self.n_false = 0;
+        self.row_of.clear();
+        self.triples_by_domain.clear();
+        self.labelled_by_domain.clear();
+        self.true_by_domain.clear();
+        let triples: Vec<TripleId> = self.ds.triples().collect();
+        for &t in &triples {
+            self.triples_by_domain
+                .entry(self.ds.domain(t))
+                .or_default()
+                .push(t);
+        }
+        let Some(gold) = self.ds.gold().cloned() else {
+            return;
+        };
+        for (row, (t, truth)) in gold.iter_labelled().enumerate() {
+            self.row_of.insert(t, row);
+            let d = self.ds.domain(t);
+            self.labelled_by_domain.entry(d).or_default().push(t);
+            if truth {
+                *self.true_by_domain.entry(d).or_default() += 1;
+            }
+            self.count_label(t, truth, 1);
+        }
+    }
+
+    /// Reject a batch before touching any state: every referenced id must
+    /// resolve (counting the sources/triples the batch itself introduces)
+    /// and every introduced triple must be claimed within the batch (the
+    /// builder invariant: no triple without an observation set). After
+    /// this passes, [`Self::apply`] cannot fail on input.
+    fn validate_batch(&self, batch: &[Event]) -> Result<()> {
+        let mut n_sources = self.ds.n_sources();
+        let mut n_triples = self.ds.n_triples();
+        let mut new_names: Vec<&str> = Vec::new();
+        let mut new_triples: Vec<(usize, &corrfuse_core::Triple)> = Vec::new();
+        let mut claimed: BTreeSet<usize> = BTreeSet::new();
+        for ev in batch {
+            match ev {
+                Event::AddSource { name } => {
+                    if self.ds.source_by_name(name).is_none() && !new_names.contains(&name.as_str())
+                    {
+                        new_names.push(name);
+                        n_sources += 1;
+                    }
+                }
+                Event::AddTriple { triple, .. } => {
+                    if self.ds.triple_id(triple).is_none()
+                        && !new_triples.iter().any(|(_, t)| *t == triple)
+                    {
+                        new_triples.push((n_triples, triple));
+                        n_triples += 1;
+                    }
+                }
+                Event::Claim { source, triple } => {
+                    if source.index() >= n_sources {
+                        return Err(FusionError::UnknownSource(format!("{source}")));
+                    }
+                    if triple.index() >= n_triples {
+                        return Err(FusionError::TripleOutOfRange(triple.index()));
+                    }
+                    claimed.insert(triple.index());
+                }
+                Event::Label { triple, .. } => {
+                    if triple.index() >= n_triples {
+                        return Err(FusionError::TripleOutOfRange(triple.index()));
+                    }
+                }
+            }
+        }
+        for (id, _) in &new_triples {
+            if !claimed.contains(id) {
+                return Err(FusionError::UnobservedTriple(*id));
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply a batch without re-scoring, accumulating dirt. Input errors
+    /// were already ruled out by [`Self::validate_batch`]; the residual
+    /// checks here are defence in depth.
+    fn apply(&mut self, batch: &[Event]) -> Result<Dirt> {
+        let mut dirt = Dirt::default();
+        for ev in batch {
+            self.apply_event(ev, &mut dirt)?;
+        }
+        for &t in &dirt.new_triples {
+            if self.ds.providers(t).is_empty() {
+                return Err(FusionError::UnobservedTriple(t.index()));
+            }
+        }
+        Ok(dirt)
+    }
+
+    fn apply_event(&mut self, ev: &Event, dirt: &mut Dirt) -> Result<()> {
+        match ev {
+            Event::AddSource { name } => {
+                if self.ds.source_by_name(name).is_none() {
+                    self.ds.add_source(name.clone());
+                    // Keep the counter vectors indexable for later events
+                    // in this batch; the full-refit fallback recomputes
+                    // them from scratch afterwards anyway.
+                    self.tp.push(0);
+                    self.fp.push(0);
+                    self.scope_true.push(0);
+                    dirt.full = true;
+                }
+            }
+            Event::AddTriple { triple, domain } => {
+                if self.ds.triple_id(triple).is_none() {
+                    let t = self.ds.add_triple(triple.clone(), *domain);
+                    self.triples_by_domain.entry(*domain).or_default().push(t);
+                    self.scores.push(f64::NAN);
+                    dirt.new_triples.push(t);
+                    dirt.touched.insert(t);
+                }
+            }
+            Event::Claim { source, triple } => self.apply_claim(*source, *triple, dirt)?,
+            Event::Label { triple, truth } => self.apply_label(*triple, *truth, dirt)?,
+        }
+        Ok(())
+    }
+
+    fn apply_claim(&mut self, s: SourceId, t: TripleId, dirt: &mut Dirt) -> Result<()> {
+        let outcome = self.ds.observe(s, t)?;
+        if !outcome.newly_provided {
+            return Ok(());
+        }
+        dirt.touched.insert(t);
+        let d = self.ds.domain(t);
+        if outcome.scope_expanded {
+            // Every triple in `d` gains an in-scope non-provider: their
+            // scope masks (and scores) change even though their provider
+            // sets do not.
+            if let Some(ts) = self.triples_by_domain.get(&d) {
+                dirt.touched.extend(ts.iter().copied());
+            }
+            dirt.rescoped.insert(d);
+            // Newly in-scope labelled-true triples enter the source's
+            // recall denominator (the freshly claimed triple included, if
+            // labelled true — its tp contribution is counted below).
+            let gained = self.true_by_domain.get(&d).copied().unwrap_or(0);
+            if gained > 0 {
+                self.scope_true[s.index()] += gained;
+                dirt.model = true;
+            }
+            // The scope bit of every labelled row in `d` flips for any
+            // cluster containing this source.
+            let labelled = self.labelled_by_domain.get(&d).cloned().unwrap_or_default();
+            if self.refresh_rows(&labelled)? {
+                dirt.model = true;
+            }
+        }
+        if let Some(truth) = self.ds.gold().and_then(|g| g.get(t)) {
+            if truth {
+                // After `observe`, the source's scope covers `d`, so the
+                // in-scope check only guards exotic scope-override seeds.
+                if self.ds.in_scope(s, t) {
+                    self.tp[s.index()] += 1;
+                }
+            } else {
+                self.fp[s.index()] += 1;
+            }
+            dirt.model = true;
+            self.refresh_rows(&[t])?;
+        }
+        Ok(())
+    }
+
+    fn apply_label(&mut self, t: TripleId, truth: bool, dirt: &mut Dirt) -> Result<()> {
+        let prev = self.ds.set_label(t, truth)?;
+        if prev == Some(truth) {
+            return Ok(());
+        }
+        dirt.model = true;
+        let d = self.ds.domain(t);
+        match prev {
+            None => {
+                self.count_label(t, truth, 1);
+                if truth {
+                    *self.true_by_domain.entry(d).or_default() += 1;
+                }
+                self.labelled_by_domain.entry(d).or_default().push(t);
+                // Append the new row to every cluster joint, in
+                // label-arrival order (the estimates are order-free sums).
+                let row = self.row_of.len();
+                self.row_of.insert(t, row);
+                for i in 0..self.fuser.n_cluster_units() {
+                    let Some(joint) = self.fuser.cluster_joint(i) else {
+                        continue;
+                    };
+                    let (prov, scope) = joint.project_pattern(&self.ds, t);
+                    self.fuser
+                        .cluster_joint_mut(i)
+                        .expect("joint checked above")
+                        .push_row(prov, scope, truth);
+                }
+            }
+            Some(old) => {
+                // A relabel: retract the old contribution, add the new.
+                self.count_label(t, old, -1);
+                if old {
+                    *self.true_by_domain.entry(d).or_default() -= 1;
+                }
+                self.count_label(t, truth, 1);
+                if truth {
+                    *self.true_by_domain.entry(d).or_default() += 1;
+                }
+                self.refresh_rows(&[t])?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Add (`delta = 1`) or retract (`delta = -1`) one labelled triple's
+    /// contribution to the estimator counts, mirroring
+    /// [`corrfuse_core::quality::QualityEstimator::estimate`]'s loops.
+    fn count_label(&mut self, t: TripleId, truth: bool, delta: isize) {
+        fn bump(v: &mut usize, delta: isize) {
+            *v = v
+                .checked_add_signed(delta)
+                .expect("estimator count underflow");
+        }
+        if truth {
+            bump(&mut self.n_true, delta);
+            for s in 0..self.ds.n_sources() {
+                if self.ds.in_scope(SourceId(s as u32), t) {
+                    bump(&mut self.scope_true[s], delta);
+                    if self.ds.provides(SourceId(s as u32), t) {
+                        bump(&mut self.tp[s], delta);
+                    }
+                }
+            }
+        } else {
+            bump(&mut self.n_false, delta);
+            let providers: Vec<usize> = self.ds.providers(t).iter_ones().collect();
+            for s in providers {
+                bump(&mut self.fp[s], delta);
+            }
+        }
+    }
+
+    /// Recompute the joint rows of the given labelled triples from live
+    /// dataset state, in every cluster. Unlabelled triples are skipped.
+    /// Returns whether any row actually changed (which invalidated that
+    /// cluster's memo caches).
+    fn refresh_rows(&mut self, triples: &[TripleId]) -> Result<bool> {
+        let mut changed = false;
+        for i in 0..self.fuser.n_cluster_units() {
+            if self.fuser.cluster_joint(i).is_none() {
+                continue;
+            }
+            for &t in triples {
+                let Some(&row) = self.row_of.get(&t) else {
+                    continue;
+                };
+                let truth = self
+                    .ds
+                    .gold()
+                    .and_then(|g| g.get(t))
+                    .expect("indexed row for unlabelled triple");
+                let joint = self.fuser.cluster_joint(i).expect("joint checked above");
+                let (prov, scope) = joint.project_pattern(&self.ds, t);
+                if joint.row(row) != (prov, scope, truth) {
+                    self.fuser
+                        .cluster_joint_mut(i)
+                        .expect("joint checked above")
+                        .set_row(row, prov, scope, truth)?;
+                    changed = true;
+                }
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Re-score `dirty` triples: deduplicate by `(domain, providers)`
+    /// pattern, score each unique uncached pattern once through the
+    /// engine (deterministically — parallel output is bitwise identical
+    /// to serial), memoise, and assign.
+    fn rescore(&mut self, dirty: &[TripleId], engine: &ScoringEngine) -> Result<Vec<ScoredTriple>> {
+        enum Slot {
+            Cached(f64),
+            Miss(usize),
+        }
+        let mut miss_reps: Vec<TripleId> = Vec::new();
+        let mut miss_index: HashMap<ScoreKey, usize> = HashMap::new();
+        let mut slots: Vec<(TripleId, Slot)> = Vec::with_capacity(dirty.len());
+        for &t in dirty {
+            let key = (self.ds.domain(t), self.ds.providers(t).clone());
+            if let Some(i) = miss_index.get(&key) {
+                // Within-batch duplicate of a pattern already queued.
+                slots.push((t, Slot::Miss(*i)));
+            } else if let Some(v) = self.cache.get(&key) {
+                slots.push((t, Slot::Cached(v)));
+            } else {
+                let i = miss_reps.len();
+                miss_index.insert(key, i);
+                miss_reps.push(t);
+                slots.push((t, Slot::Miss(i)));
+            }
+        }
+        let ds = &self.ds;
+        let fuser = &self.fuser;
+        let values = engine.map(miss_reps.len(), |i| fuser.score_triple(ds, miss_reps[i]))?;
+        for (key, &i) in &miss_index {
+            self.cache.insert(key.clone(), values[i]);
+        }
+        let mut out = Vec::with_capacity(slots.len());
+        for (t, slot) in slots {
+            let after = match slot {
+                Slot::Cached(v) => v,
+                Slot::Miss(i) => values[i],
+            };
+            let before = self.scores[t.index()];
+            out.push(ScoredTriple {
+                triple: t,
+                before: if before.is_nan() { None } else { Some(before) },
+                after,
+            });
+            self.scores[t.index()] = after;
+        }
+        Ok(out)
+    }
+}

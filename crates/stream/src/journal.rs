@@ -1,0 +1,427 @@
+//! `#corrfuse-journal v1`: append-only session persistence.
+//!
+//! The journal extends the `corrfuse_core::io` TSV dialect. A file is a
+//! seed snapshot (the embedded `#corrfuse-dataset v1` section, verbatim)
+//! followed by event lines, one per ingest event, with `+B` marking batch
+//! boundaries:
+//!
+//! ```text
+//! #corrfuse-journal v1
+//! #seed
+//! #corrfuse-dataset v1
+//! S<TAB>source-name
+//! T<TAB>subject<TAB>predicate<TAB>object<TAB>label<TAB>providers
+//! #events
+//! +S<TAB>source-name                                  (AddSource)
+//! +T<TAB>subject<TAB>predicate<TAB>object<TAB>domain  (AddTriple)
+//! +C<TAB>source-index<TAB>triple-index                (Claim)
+//! +L<TAB>triple-index<TAB>0|1                         (Label)
+//! +B                                                  (batch boundary)
+//! ```
+//!
+//! Field escaping is shared with the dataset dialect
+//! ([`corrfuse_core::io::escape`]). Appending is the only mutation — a
+//! session's whole history replays from the top — and every parse error
+//! reports the 1-based line number *in the journal file*, including
+//! errors inside the embedded seed section. A trailing run of events
+//! without a closing `+B` (e.g. after a crash mid-append) is replayed as
+//! a final partial batch.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use corrfuse_core::dataset::{Dataset, Domain, SourceId};
+use corrfuse_core::error::{FusionError, Result};
+use corrfuse_core::io::{escape, unescape};
+use corrfuse_core::triple::{Triple, TripleId};
+
+use crate::event::Event;
+
+/// First line of every journal file.
+pub const HEADER: &str = "#corrfuse-journal v1";
+const SEED_MARK: &str = "#seed";
+const EVENTS_MARK: &str = "#events";
+
+/// Serialise one event as a journal line (no trailing newline).
+fn event_line(ev: &Event) -> String {
+    match ev {
+        Event::AddSource { name } => {
+            let mut out = String::from("+S\t");
+            escape(name, &mut out);
+            out
+        }
+        Event::AddTriple { triple, domain } => {
+            let mut out = String::from("+T\t");
+            escape(&triple.subject, &mut out);
+            out.push('\t');
+            escape(&triple.predicate, &mut out);
+            out.push('\t');
+            escape(&triple.object, &mut out);
+            out.push('\t');
+            out.push_str(&domain.0.to_string());
+            out
+        }
+        Event::Claim { source, triple } => format!("+C\t{}\t{}", source.0, triple.0),
+        Event::Label { triple, truth } => {
+            format!("+L\t{}\t{}", triple.0, if *truth { 1 } else { 0 })
+        }
+    }
+}
+
+/// The snapshot prefix of a journal: header, seed section, events marker.
+fn snapshot_string(seed: &Dataset) -> String {
+    // `io::to_string` ends with a newline, so the marker lands on its own
+    // line.
+    format!(
+        "{HEADER}\n{SEED_MARK}\n{}{EVENTS_MARK}\n",
+        corrfuse_core::io::to_string(seed)
+    )
+}
+
+/// Write a snapshot-only journal (a seed and no events yet).
+pub fn write_snapshot(path: impl AsRef<Path>, seed: &Dataset) -> Result<()> {
+    fs::write(path, snapshot_string(seed))?;
+    Ok(())
+}
+
+/// An open journal file accepting appended batches.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: fs::File,
+}
+
+impl JournalWriter {
+    /// Create (or truncate) a journal at `path` with `seed` as its
+    /// snapshot, ready to append batches.
+    pub fn create(path: impl AsRef<Path>, seed: &Dataset) -> Result<JournalWriter> {
+        write_snapshot(path.as_ref(), seed)?;
+        Self::append(path)
+    }
+
+    /// Open an existing journal for appending, validating its header.
+    /// Only the first line is read — journals grow without bound and this
+    /// runs on every restore.
+    pub fn append(path: impl AsRef<Path>) -> Result<JournalWriter> {
+        let mut first_line = String::new();
+        {
+            use std::io::BufRead as _;
+            let mut reader = std::io::BufReader::new(fs::File::open(path.as_ref())?);
+            reader.read_line(&mut first_line)?;
+        }
+        if first_line.trim_end() != HEADER {
+            return Err(FusionError::Parse {
+                line: 1,
+                msg: format!("expected journal header `{HEADER}`"),
+            });
+        }
+        let file = fs::OpenOptions::new().append(true).open(path.as_ref())?;
+        Ok(JournalWriter { file })
+    }
+
+    /// Append one batch: its event lines plus the `+B` boundary.
+    pub fn append_batch(&mut self, batch: &[Event]) -> Result<()> {
+        let mut buf = String::new();
+        for ev in batch {
+            buf.push_str(&event_line(ev));
+            buf.push('\n');
+        }
+        buf.push_str("+B\n");
+        self.file.write_all(buf.as_bytes())?;
+        self.file.flush()?;
+        Ok(())
+    }
+}
+
+/// Read a journal: the seed snapshot plus the recorded event batches.
+pub fn read(path: impl AsRef<Path>) -> Result<(Dataset, Vec<Vec<Event>>)> {
+    let text = fs::read_to_string(path)?;
+    parse(&text)
+}
+
+/// Parse journal text. See the module docs for the format.
+pub fn parse(text: &str) -> Result<(Dataset, Vec<Vec<Event>>)> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, l)) if l.trim_end() == HEADER => {}
+        _ => {
+            return Err(FusionError::Parse {
+                line: 1,
+                msg: format!("expected journal header `{HEADER}`"),
+            })
+        }
+    }
+    match lines.next() {
+        Some((_, l)) if l.trim_end() == SEED_MARK => {}
+        _ => {
+            return Err(FusionError::Parse {
+                line: 2,
+                msg: format!("expected `{SEED_MARK}` section"),
+            })
+        }
+    }
+    // The seed section runs until the events marker; its first line is
+    // file line 3, so dataset parse errors are offset by 2.
+    let mut seed_text = String::new();
+    let mut saw_events_mark = false;
+    for (_, raw) in lines.by_ref() {
+        if raw.trim_end() == EVENTS_MARK {
+            saw_events_mark = true;
+            break;
+        }
+        seed_text.push_str(raw);
+        seed_text.push('\n');
+    }
+    if !saw_events_mark {
+        return Err(FusionError::Parse {
+            line: text.lines().count(),
+            msg: format!("missing `{EVENTS_MARK}` marker"),
+        });
+    }
+    let seed = corrfuse_core::io::from_str(&seed_text).map_err(|e| match e {
+        FusionError::Parse { line, msg } => FusionError::Parse {
+            line: line + 2,
+            msg,
+        },
+        other => other,
+    })?;
+
+    let mut batches: Vec<Vec<Event>> = Vec::new();
+    let mut current: Vec<Event> = Vec::new();
+    let mut open = false;
+    for (idx, raw) in lines {
+        let lineno = idx + 1;
+        let line = raw.trim_end_matches('\r');
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let tag = fields.next().unwrap_or_default();
+        match tag {
+            "+B" => {
+                batches.push(std::mem::take(&mut current));
+                open = false;
+            }
+            "+S" => {
+                let name = fields.next().ok_or_else(|| FusionError::Parse {
+                    line: lineno,
+                    msg: "+S line missing name".to_string(),
+                })?;
+                current.push(Event::AddSource {
+                    name: unescape(name, lineno)?,
+                });
+                open = true;
+            }
+            "+T" => {
+                let mut next = |what: &str| -> Result<String> {
+                    fields
+                        .next()
+                        .ok_or_else(|| FusionError::Parse {
+                            line: lineno,
+                            msg: format!("+T line missing {what}"),
+                        })
+                        .and_then(|f| unescape(f, lineno))
+                };
+                let subject = next("subject")?;
+                let predicate = next("predicate")?;
+                let object = next("object")?;
+                let domain: u32 = next("domain")?.parse().map_err(|_| FusionError::Parse {
+                    line: lineno,
+                    msg: "+T line needs a numeric domain".to_string(),
+                })?;
+                current.push(Event::AddTriple {
+                    triple: Triple::new(subject, predicate, object),
+                    domain: Domain(domain),
+                });
+                open = true;
+            }
+            "+C" => {
+                let (s, t) = two_indices(&mut fields, "+C", lineno)?;
+                current.push(Event::Claim {
+                    source: SourceId(s),
+                    triple: TripleId(t),
+                });
+                open = true;
+            }
+            "+L" => {
+                let t: u32 = index_field(&mut fields, "+L", "triple index", lineno)?;
+                let truth = match fields.next() {
+                    Some("1") => true,
+                    Some("0") => false,
+                    other => {
+                        return Err(FusionError::Parse {
+                            line: lineno,
+                            msg: format!(
+                                "+L label must be 0 or 1, got `{}`",
+                                other.unwrap_or_default()
+                            ),
+                        })
+                    }
+                };
+                current.push(Event::Label {
+                    triple: TripleId(t),
+                    truth,
+                });
+                open = true;
+            }
+            other => {
+                return Err(FusionError::Parse {
+                    line: lineno,
+                    msg: format!("unknown journal tag `{other}`"),
+                })
+            }
+        }
+    }
+    // A trailing run without `+B` (crash mid-append) replays as a final
+    // partial batch.
+    if open {
+        batches.push(current);
+    }
+    Ok((seed, batches))
+}
+
+fn index_field<'a>(
+    fields: &mut impl Iterator<Item = &'a str>,
+    tag: &str,
+    what: &str,
+    lineno: usize,
+) -> Result<u32> {
+    fields
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| FusionError::Parse {
+            line: lineno,
+            msg: format!("{tag} line needs a {what}"),
+        })
+}
+
+fn two_indices<'a>(
+    fields: &mut impl Iterator<Item = &'a str>,
+    tag: &str,
+    lineno: usize,
+) -> Result<(u32, u32)> {
+    let a = index_field(fields, tag, "source index", lineno)?;
+    let b = index_field(fields, tag, "triple index", lineno)?;
+    Ok((a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corrfuse_core::dataset::DatasetBuilder;
+
+    fn seed() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let (s1, t1) = b.observe_named("A", "x", "p", "1");
+        let s2 = b.source("B");
+        b.observe(s2, t1);
+        let t2 = b.triple("weird\tfield", "q", "2");
+        b.observe(s1, t2);
+        b.label(t1, true);
+        b.label(t2, false);
+        b.build().unwrap()
+    }
+
+    fn batches() -> Vec<Vec<Event>> {
+        vec![
+            vec![
+                Event::add_triple("y", "p", "3"),
+                Event::claim(SourceId(1), TripleId(2)),
+            ],
+            vec![
+                Event::add_source("C\nwith newline"),
+                Event::label(TripleId(2), true),
+            ],
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_seed_and_batches() {
+        let dir = std::env::temp_dir().join("corrfuse-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.journal");
+        let mut w = JournalWriter::create(&path, &seed()).unwrap();
+        for b in batches() {
+            w.append_batch(&b).unwrap();
+        }
+        let (back_seed, back_batches) = read(&path).unwrap();
+        assert_eq!(back_seed.n_triples(), 2);
+        assert_eq!(back_seed.n_sources(), 2);
+        assert_eq!(
+            back_seed.triple(TripleId(1)).subject,
+            "weird\tfield",
+            "seed escaping survives"
+        );
+        assert_eq!(back_batches, batches());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trailing_partial_batch_is_replayed() {
+        let text = format!(
+            "{HEADER}\n{SEED_MARK}\n{}{EVENTS_MARK}\n+C\t0\t0\n+B\n+C\t1\t0\n",
+            corrfuse_core::io::to_string(&seed())
+        );
+        let (_, batches) = parse(&text).unwrap();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[1], vec![Event::claim(SourceId(1), TripleId(0))]);
+    }
+
+    #[test]
+    fn seed_errors_report_absolute_journal_lines() {
+        // Corrupt the label field of the seed's first T record. The seed
+        // section starts at line 3; its header is line 3, S lines 4-5, so
+        // the broken T record sits on line 6 of the journal file.
+        let good = snapshot_string(&seed());
+        let bad = good.replace("\t1\t0,1\n", "\t9\t0,1\n");
+        assert_ne!(good, bad);
+        match parse(&bad).unwrap_err() {
+            FusionError::Parse { line, msg } => {
+                assert_eq!(line, 6, "{msg}");
+                assert!(msg.contains("bad label"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn event_errors_are_one_based() {
+        let text = format!(
+            "{HEADER}\n{SEED_MARK}\n{}{EVENTS_MARK}\n+L\t0\t7\n",
+            corrfuse_core::io::to_string(&seed())
+        );
+        let events_line = text.lines().count();
+        match parse(&text).unwrap_err() {
+            FusionError::Parse { line, msg } => {
+                assert_eq!(line, events_line, "{msg}");
+                assert!(msg.contains("0 or 1"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_headers_rejected() {
+        assert!(parse("").is_err());
+        assert!(parse("#wrong\n").is_err());
+        assert!(parse(&format!("{HEADER}\nnot-seed\n")).is_err());
+        let no_events = format!(
+            "{HEADER}\n{SEED_MARK}\n{}",
+            corrfuse_core::io::to_string(&seed())
+        );
+        match parse(&no_events).unwrap_err() {
+            FusionError::Parse { msg, .. } => assert!(msg.contains("#events")),
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(JournalWriter::append("/nonexistent/nope.journal").is_err());
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let text = format!(
+            "{HEADER}\n{SEED_MARK}\n{}{EVENTS_MARK}\n+X\tboom\n",
+            corrfuse_core::io::to_string(&seed())
+        );
+        assert!(parse(&text).is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! # corrfuse-stream
+//!
+//! Incremental ingestion and online re-scoring for correlation-aware data
+//! fusion.
+//!
+//! The core crate models fusion over a static `(S, O)` snapshot: fit a
+//! [`corrfuse_core::Fuser`] on labelled data, score every triple. A
+//! production system serves continuous traffic — sources keep emitting
+//! claims, labels trickle in from curators — and refitting the whole
+//! model per update is O(dataset) when a delta touches a handful of
+//! triples. This crate wraps the core with an online lifecycle:
+//!
+//! * [`event::Event`] / [`event::DeltaLog`] — an append-only log of
+//!   ingest events: new sources, new triples, new claim/provider edges,
+//!   new gold labels;
+//! * [`incremental::IncrementalFuser`] — applies deltas by updating only
+//!   the affected per-source quality counts and per-cluster
+//!   [`corrfuse_core::EmpiricalJoint`] rows (invalidating just those
+//!   clusters' memo caches instead of rebuilding), falling back to a full
+//!   refit only when the source set changes;
+//! * [`cache::ScoreCache`] — memoises per-triple posteriors keyed by
+//!   `(domain, provider set)` fingerprint, so even a model-level refit
+//!   re-scores each distinct observation pattern once;
+//! * [`session::StreamSession`] — the micro-batching front end:
+//!   `ingest(batch) -> ScoredDelta` reports which triples were re-scored
+//!   and which flipped decision;
+//! * [`journal`] — `#corrfuse-journal v1`, an append-only extension of
+//!   the `corrfuse_core::io` TSV dialect that persists a session as a
+//!   seed snapshot plus its event batches, so it can be restored and
+//!   replayed.
+//!
+//! The subsystem's trust anchor is an equivalence invariant, enforced by
+//! unit and property tests: after any replayed event stream, the
+//! incremental scores are **bitwise identical** to a from-scratch
+//! `Fuser::fit` + `score_all` on the accumulated dataset.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use corrfuse_core::fuser::{FuserConfig, Method};
+//! use corrfuse_core::DatasetBuilder;
+//! use corrfuse_stream::{Event, StreamSession};
+//!
+//! // Seed: two sources, two labelled triples.
+//! let mut b = DatasetBuilder::new();
+//! let (s1, t1) = b.observe_named("A", "Obama", "profession", "president");
+//! let s2 = b.source("B");
+//! b.observe(s2, t1);
+//! let t2 = b.triple("Obama", "died", "1982");
+//! b.observe(s1, t2);
+//! b.label(t1, true);
+//! b.label(t2, false);
+//!
+//! let mut session = StreamSession::new(
+//!     FuserConfig::new(Method::PrecRec),
+//!     b.build().unwrap(),
+//! )
+//! .unwrap();
+//!
+//! // A new (unlabelled) triple arrives with claims from both sources:
+//! // the fast path — no model refit, one triple re-scored.
+//! let delta = session
+//!     .ingest(&[
+//!         Event::add_triple("Obama", "spouse", "Michelle"),
+//!         Event::claim(s1, corrfuse_core::TripleId(2)),
+//!         Event::claim(s2, corrfuse_core::TripleId(2)),
+//!     ])
+//!     .unwrap();
+//! assert_eq!(delta.rescored.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod event;
+pub mod incremental;
+pub mod journal;
+pub mod replay;
+pub mod session;
+
+pub use cache::ScoreCache;
+pub use event::{DeltaLog, Event};
+pub use incremental::{IncrementalFuser, IngestOutcome, RefitLevel, ScoredTriple};
+pub use journal::JournalWriter;
+pub use session::{ScoredDelta, StreamSession};

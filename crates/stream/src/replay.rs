@@ -1,0 +1,71 @@
+//! Reference semantics: rebuild the accumulated dataset from a seed plus
+//! an event stream through the ordinary [`DatasetBuilder`].
+//!
+//! This is the specification the incremental path is tested against: for
+//! any seed and replayable event sequence,
+//! `Fuser::fit(accumulate(seed, events))` must score bitwise identically
+//! to an [`crate::IncrementalFuser`] that ingested the same events. The
+//! builder route is O(dataset) — it exists for verification, snapshot
+//! compaction, and offline reprocessing, not for serving.
+//!
+//! One documented divergence: explicit scope *overrides* on the seed are
+//! not replayed (there is no override event), so `accumulate` reproduces
+//! the builder's default provision-inferred scopes.
+
+use corrfuse_core::dataset::{Dataset, DatasetBuilder};
+use corrfuse_core::error::Result;
+
+use crate::event::Event;
+
+/// Rebuild the dataset a seed plus `events` accumulates to.
+///
+/// Sources and triples re-register in id order, so every id embedded in
+/// `events` resolves to the same entity it named in the live session.
+pub fn accumulate(seed: &Dataset, events: &[Event]) -> Result<Dataset> {
+    let mut b = DatasetBuilder::new();
+    for s in seed.sources() {
+        b.source(seed.source_name(s));
+    }
+    for t in seed.triples() {
+        let triple = seed.triple(t);
+        let id = b.triple(
+            triple.subject.clone(),
+            triple.predicate.clone(),
+            triple.object.clone(),
+        );
+        debug_assert_eq!(id, t, "seed triples must re-register in id order");
+        b.set_domain(id, seed.domain(t));
+        if let Some(truth) = seed.gold().and_then(|g| g.get(t)) {
+            b.label(id, truth);
+        }
+    }
+    for s in seed.sources() {
+        for &t in seed.output(s) {
+            b.observe(s, t);
+        }
+    }
+    let mut n_triples = seed.n_triples();
+    for ev in events {
+        match ev {
+            Event::AddSource { name } => {
+                b.source(name.clone());
+            }
+            Event::AddTriple { triple, domain } => {
+                let id = b.triple(
+                    triple.subject.clone(),
+                    triple.predicate.clone(),
+                    triple.object.clone(),
+                );
+                // Mirror `Dataset::add_triple`: re-interning an existing
+                // triple leaves its domain unchanged.
+                if id.index() >= n_triples {
+                    n_triples += 1;
+                    b.set_domain(id, *domain);
+                }
+            }
+            Event::Claim { source, triple } => b.observe(*source, *triple),
+            Event::Label { triple, truth } => b.label(*triple, *truth),
+        }
+    }
+    b.build()
+}

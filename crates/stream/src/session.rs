@@ -1,0 +1,196 @@
+//! [`StreamSession`]: the micro-batching front end over
+//! [`IncrementalFuser`], with decision tracking and journal persistence.
+
+use std::path::Path;
+
+use corrfuse_core::dataset::Dataset;
+use corrfuse_core::engine::ScoringEngine;
+use corrfuse_core::error::Result;
+use corrfuse_core::fuser::{Fuser, FuserConfig};
+use corrfuse_core::joint::CacheStats;
+
+use crate::event::{DeltaLog, Event};
+use crate::incremental::{IncrementalFuser, RefitLevel, ScoredTriple};
+use crate::journal::JournalWriter;
+
+/// What one ingested batch changed, from the caller's point of view.
+#[derive(Debug, Clone)]
+pub struct ScoredDelta {
+    /// How much of the model the batch forced to be rebuilt.
+    pub refit: RefitLevel,
+    /// Every re-scored triple with before/after posteriors.
+    pub rescored: Vec<ScoredTriple>,
+    /// The subset of `rescored` whose accept/reject decision flipped at
+    /// the session threshold (new triples have no prior decision and are
+    /// never flips).
+    pub flips: Vec<ScoredTriple>,
+    /// Score-cache hits/misses attributable to this batch.
+    pub cache: CacheStats,
+}
+
+/// A live fusion session: seed snapshot + stream of micro-batches.
+///
+/// ```
+/// use corrfuse_core::fuser::{FuserConfig, Method};
+/// use corrfuse_core::DatasetBuilder;
+/// use corrfuse_stream::{Event, StreamSession};
+///
+/// let mut b = DatasetBuilder::new();
+/// let (s, t) = b.observe_named("A", "x", "p", "1");
+/// b.label(t, true);
+/// let t2 = b.triple("y", "p", "2");
+/// b.observe(s, t2);
+/// b.label(t2, false);
+/// let mut session =
+///     StreamSession::new(FuserConfig::new(Method::PrecRec), b.build().unwrap()).unwrap();
+/// let delta = session
+///     .ingest(&[Event::add_triple("z", "p", "3"), Event::claim(s, corrfuse_core::TripleId(2))])
+///     .unwrap();
+/// assert_eq!(delta.rescored.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct StreamSession {
+    inc: IncrementalFuser,
+    engine: ScoringEngine,
+    log: DeltaLog,
+    journal: Option<JournalWriter>,
+    threshold: f64,
+}
+
+impl StreamSession {
+    /// Open a session on a seed snapshot with the default (parallel)
+    /// scoring engine. Parallel and serial scoring are bitwise identical,
+    /// so the choice is purely about throughput.
+    pub fn new(config: FuserConfig, seed: Dataset) -> Result<StreamSession> {
+        Self::with_engine(config, seed, ScoringEngine::default())
+    }
+
+    /// Open a session with an explicit scoring engine.
+    pub fn with_engine(
+        config: FuserConfig,
+        seed: Dataset,
+        engine: ScoringEngine,
+    ) -> Result<StreamSession> {
+        let inc = IncrementalFuser::fit(config, seed, &engine)?;
+        Ok(StreamSession {
+            inc,
+            engine,
+            log: DeltaLog::new(),
+            journal: None,
+            threshold: 0.5,
+        })
+    }
+
+    /// Override the decision threshold (default 0.5, the paper's setting).
+    pub fn with_threshold(mut self, threshold: f64) -> StreamSession {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Restore a session from a `#corrfuse-journal v1` file: rebuild the
+    /// seed, replay every recorded batch through the incremental path,
+    /// and keep appending new batches to the same file.
+    pub fn restore(config: FuserConfig, path: impl AsRef<Path>) -> Result<StreamSession> {
+        let path = path.as_ref();
+        let (seed, batches) = crate::journal::read(path)?;
+        let mut session = StreamSession::new(config, seed)?;
+        for batch in &batches {
+            session.inc.ingest(batch, &session.engine)?;
+            session.log.push_batch(batch);
+        }
+        session.journal = Some(JournalWriter::append(path)?);
+        Ok(session)
+    }
+
+    /// Start journaling to `path`. Writes a snapshot of the *current*
+    /// accumulated dataset as the journal's seed (compacting any batches
+    /// ingested so far) and appends every subsequent batch.
+    pub fn journal_to(&mut self, path: impl AsRef<Path>) -> Result<()> {
+        self.journal = Some(JournalWriter::create(path, self.inc.dataset())?);
+        Ok(())
+    }
+
+    /// Apply one micro-batch: mutate the dataset, refresh the dirtied
+    /// model layers, re-score the dirtied triples, journal the batch, and
+    /// report what changed.
+    ///
+    /// Input errors (bad ids, an unclaimed new triple) are detected
+    /// before any state mutates, so an `Err` from them leaves the
+    /// session — and its journal — untouched. The batch is journalled
+    /// only after it was applied and scored; if the journal append itself
+    /// fails (an I/O problem), the in-memory session has already advanced
+    /// — call [`StreamSession::journal_to`] to re-snapshot onto healthy
+    /// storage.
+    pub fn ingest(&mut self, batch: &[Event]) -> Result<ScoredDelta> {
+        let outcome = self.inc.ingest(batch, &self.engine)?;
+        self.log.push_batch(batch);
+        if let Some(journal) = &mut self.journal {
+            journal.append_batch(batch)?;
+        }
+        let flips = outcome
+            .rescored
+            .iter()
+            .filter(|st| {
+                st.before
+                    .is_some_and(|b| (b > self.threshold) != (st.after > self.threshold))
+            })
+            .copied()
+            .collect();
+        Ok(ScoredDelta {
+            refit: outcome.refit,
+            rescored: outcome.rescored,
+            flips,
+            cache: outcome.cache,
+        })
+    }
+
+    /// The accumulated dataset.
+    pub fn dataset(&self) -> &Dataset {
+        self.inc.dataset()
+    }
+
+    /// The currently fitted model.
+    pub fn fuser(&self) -> &Fuser {
+        self.inc.fuser()
+    }
+
+    /// The fit configuration.
+    pub fn config(&self) -> &FuserConfig {
+        self.inc.config()
+    }
+
+    /// Current posterior per triple, in `TripleId` order.
+    pub fn scores(&self) -> &[f64] {
+        self.inc.scores()
+    }
+
+    /// Accept/reject decisions at the session threshold.
+    pub fn decisions(&self) -> Vec<bool> {
+        self.inc
+            .scores()
+            .iter()
+            .map(|&p| p > self.threshold)
+            .collect()
+    }
+
+    /// The decision threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Every batch ingested by this session (post-restore batches only
+    /// count once: replayed history lives here too).
+    pub fn delta_log(&self) -> &DeltaLog {
+        &self.log
+    }
+
+    /// Cumulative score-cache counters.
+    pub fn score_cache_stats(&self) -> CacheStats {
+        self.inc.score_cache_stats()
+    }
+
+    /// Cumulative joint-rate memo counters across cluster joints.
+    pub fn joint_cache_stats(&self) -> CacheStats {
+        self.inc.joint_cache_stats()
+    }
+}

@@ -8,7 +8,10 @@
 //!   (drives the Figure 6/7 experiments);
 //! * [`replicas`] — statistical twins of the REVERB, RESTAURANT and BOOK
 //!   datasets (drives the Figure 4/5 experiments; see DESIGN.md §5 for the
-//!   substitution rationale).
+//!   substitution rationale);
+//! * [`stream_events`] — slices a generated world into a seed snapshot
+//!   plus ingest-event micro-batches (drives the `corrfuse-stream`
+//!   equivalence tests and throughput bench).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -16,8 +19,10 @@
 pub mod generator;
 pub mod motivating;
 pub mod replicas;
+pub mod stream_events;
 
 pub use generator::{generate, GroupKind, GroupSpec, Polarity, SourceSpec, SynthSpec};
+pub use stream_events::{event_stream, StreamSpec};
 
 use corrfuse_core::error::{FusionError, Result};
 

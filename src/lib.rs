@@ -10,6 +10,9 @@
 //! * [`core`] (`corrfuse-core`) — data model, quality estimation, the
 //!   PrecRec and PrecRecCorr fusion models (exact / aggressive / elastic),
 //!   and source clustering.
+//! * [`stream`] (`corrfuse-stream`) — incremental ingestion: delta log,
+//!   incremental fuser, score cache, micro-batching sessions, and the
+//!   append-only journal.
 //! * [`baselines`] (`corrfuse-baselines`) — UNION-K voting, 2-/3-Estimates,
 //!   Cosine, the Latent Truth Model, and ACCU/AccuCopy.
 //! * [`synth`] (`corrfuse-synth`) — the Figure 1 example, parametric
@@ -22,6 +25,7 @@
 pub use corrfuse_baselines as baselines;
 pub use corrfuse_core as core;
 pub use corrfuse_eval as eval;
+pub use corrfuse_stream as stream;
 pub use corrfuse_synth as synth;
 
 /// Crate version of the umbrella package.

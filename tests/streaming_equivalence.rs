@@ -1,0 +1,114 @@
+//! The streaming subsystem's trust anchor, as a property over random
+//! event streams: after every ingested micro-batch, an
+//! [`corrfuse::stream::IncrementalFuser`]'s scores are **bitwise
+//! identical** to a from-scratch `Fuser::fit` + `score_all` on the
+//! accumulated dataset. Runs on the in-tree testkit harness (offline
+//! `proptest` stand-in), so every CI machine sees the same cases.
+
+use corrfuse::core::engine::ScoringEngine;
+use corrfuse::core::fuser::{ClusterStrategy, Fuser, FuserConfig, Method};
+use corrfuse::core::testkit::{run_cases, Gen};
+use corrfuse::core::Dataset;
+use corrfuse::stream::{replay, Event, StreamSession};
+use corrfuse::synth::{StreamSpec, SynthSpec};
+
+fn random_method(g: &mut Gen) -> Method {
+    match g.usize_in(0, 4) {
+        0 => Method::PrecRec,
+        1 => Method::Exact,
+        2 => Method::Aggressive,
+        _ => Method::Elastic(g.usize_in(0, 3)),
+    }
+}
+
+fn random_spec(g: &mut Gen, case_seed: u64) -> StreamSpec {
+    let n_sources = g.usize_in(3, 6);
+    let precision = g.f64_in(0.65, 0.9);
+    let recall = g.f64_in(0.3, 0.6);
+    let n_triples = g.usize_in(80, 160);
+    StreamSpec {
+        base: SynthSpec::uniform(n_sources, precision, recall, n_triples, 0.5, case_seed),
+        seed_fraction: g.f64_in(0.3, 0.7),
+        n_batches: g.usize_in(3, 6),
+        label_fraction: g.f64_in(0.0, 0.8),
+        add_source_every: if g.bool(0.4) {
+            Some(g.usize_in(2, 4))
+        } else {
+            None
+        },
+        seed: case_seed.wrapping_mul(31),
+    }
+}
+
+/// Bitwise comparison after a batch: any drift — an un-invalidated memo
+/// entry, a stale score-cache pattern, a count off by one — fails here.
+fn assert_batchwise_equivalence(
+    session: &StreamSession,
+    seed: &Dataset,
+    applied: &[Event],
+    batch_no: usize,
+) {
+    let accumulated = replay::accumulate(seed, applied).expect("accumulated dataset builds");
+    let fresh = Fuser::fit(
+        session.config(),
+        &accumulated,
+        accumulated.gold().expect("stream seeds carry gold"),
+    )
+    .expect("batch fit succeeds");
+    let batch_scores = fresh
+        .score_all(&accumulated)
+        .expect("batch scoring succeeds");
+    let inc = session.scores();
+    assert_eq!(
+        inc.len(),
+        batch_scores.len(),
+        "batch {batch_no}: triple count"
+    );
+    for (i, (a, b)) in inc.iter().zip(&batch_scores).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "batch {batch_no}, triple {i}: incremental {a} vs batch {b}"
+        );
+    }
+}
+
+fn run_stream(g: &mut Gen, config: FuserConfig) {
+    let case_seed = (g.usize_in(0, usize::MAX / 2)) as u64;
+    let spec = random_spec(g, case_seed);
+    let (seed, batches) = corrfuse::synth::event_stream(&spec).expect("stream generation succeeds");
+    // Random engine: parallel and serial scoring are bitwise equal.
+    let engine = if g.bool(0.5) {
+        ScoringEngine::serial()
+    } else {
+        ScoringEngine::with_threads(g.usize_in(2, 5))
+    };
+    let mut session =
+        StreamSession::with_engine(config, seed.clone(), engine).expect("seed session fits");
+    let mut applied: Vec<Event> = Vec::new();
+    for (i, batch) in batches.iter().enumerate() {
+        session.ingest(batch).expect("batch ingests");
+        applied.extend(batch.iter().cloned());
+        assert_batchwise_equivalence(&session, &seed, &applied, i);
+    }
+}
+
+#[test]
+fn incremental_scores_equal_batch_fit_on_random_streams() {
+    run_cases("incremental_equals_batch", 12, |g| {
+        let method = random_method(g);
+        run_stream(g, FuserConfig::new(method));
+    });
+}
+
+#[test]
+fn singleton_strategy_streams_stay_equivalent() {
+    // The explicit-singletons strategy exercises the no-cluster path for
+    // correlated methods under streaming.
+    run_cases("incremental_singletons", 4, |g| {
+        run_stream(
+            g,
+            FuserConfig::new(Method::Exact).with_strategy(ClusterStrategy::Singletons),
+        );
+    });
+}
