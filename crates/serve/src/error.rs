@@ -1,0 +1,104 @@
+//! Error type for the serving layer.
+
+use std::fmt;
+
+use corrfuse_core::error::FusionError;
+
+use crate::tenant::TenantId;
+
+/// Errors produced by the shard router and its workers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// An underlying fusion/dataset/journal error.
+    Fusion(FusionError),
+    /// The target shard's queue is full and the configured backpressure
+    /// policy gave up (`Reject` immediately, `Timeout` after its
+    /// deadline).
+    Backpressure {
+        /// The shard whose queue is full.
+        shard: usize,
+        /// Queue depth observed at rejection time.
+        depth: usize,
+    },
+    /// The router is shutting down; no new messages are accepted.
+    ShuttingDown,
+    /// A query referenced a tenant the router has never seen.
+    UnknownTenant(TenantId),
+    /// Router construction requires every shard to receive at least one
+    /// seeded tenant (a `StreamSession` cannot exist without a labelled
+    /// seed); this shard got none.
+    ShardSeedMissing {
+        /// The unseeded shard.
+        shard: usize,
+    },
+    /// A [`crate::config::RouterConfig`] field is out of range.
+    InvalidConfig(&'static str),
+    /// A shard worker thread panicked; its shard is lost.
+    ShardPanicked {
+        /// The dead shard.
+        shard: usize,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Fusion(e) => write!(f, "{e}"),
+            ServeError::Backpressure { shard, depth } => {
+                write!(f, "shard {shard} queue full ({depth} messages buffered)")
+            }
+            ServeError::ShuttingDown => write!(f, "router is shutting down"),
+            ServeError::UnknownTenant(t) => write!(f, "unknown tenant {t}"),
+            ServeError::ShardSeedMissing { shard } => {
+                write!(f, "shard {shard} received no seeded tenant")
+            }
+            ServeError::InvalidConfig(what) => write!(f, "invalid router config: {what}"),
+            ServeError::ShardPanicked { shard } => write!(f, "shard {shard} worker panicked"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Fusion(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FusionError> for ServeError {
+    fn from(e: FusionError) -> Self {
+        ServeError::Fusion(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(ServeError, &str)> = vec![
+            (ServeError::Fusion(FusionError::MissingGold), "gold"),
+            (ServeError::Backpressure { shard: 2, depth: 7 }, "shard 2"),
+            (ServeError::ShuttingDown, "shutting down"),
+            (ServeError::UnknownTenant(TenantId(9)), "tenant-9"),
+            (ServeError::ShardSeedMissing { shard: 3 }, "shard 3"),
+            (ServeError::InvalidConfig("n_shards"), "n_shards"),
+            (ServeError::ShardPanicked { shard: 1 }, "panicked"),
+        ];
+        for (err, needle) in cases {
+            let s = err.to_string();
+            assert!(s.contains(needle), "{s:?} should contain {needle:?}");
+        }
+        use std::error::Error as _;
+        assert!(ServeError::Fusion(FusionError::MissingGold)
+            .source()
+            .is_some());
+        assert!(ServeError::ShuttingDown.source().is_none());
+    }
+}

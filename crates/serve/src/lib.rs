@@ -1,0 +1,102 @@
+//! # corrfuse-serve
+//!
+//! Sharded multi-tenant serving on top of `corrfuse-stream`: a shard
+//! router with an asynchronous, non-blocking ingestion front door.
+//!
+//! A single synchronous [`corrfuse_stream::StreamSession`] per process
+//! cannot serve heavy multi-user traffic: every producer waits on every
+//! refit, one tenant's label burst stalls everyone, and one journal
+//! grows without bound. This crate partitions the claim stream by
+//! tenant into N independent shard sessions, each driven by its own
+//! worker thread:
+//!
+//! ```text
+//!  producers ──ingest(tenant, events)──▶ ShardRouter
+//!                                          │  tenant.0 % N
+//!              ┌───────────────────────────┼───────────────────────┐
+//!              ▼                           ▼                       ▼
+//!      bounded queue (shard 0)       bounded queue (1)    ...   queue (N-1)
+//!       block / reject / timeout          │                       │
+//!              ▼                           ▼                       ▼
+//!       micro-batcher (size/delay)   micro-batcher            micro-batcher
+//!              ▼                           ▼                       ▼
+//!       tenant-id translation        translation              translation
+//!              ▼                           ▼                       ▼
+//!       StreamSession::ingest        StreamSession            StreamSession
+//!              ▼                           ▼                       ▼
+//!       shard-0.journal  ⟲rotate     shard-1.journal         shard-(N-1).journal
+//! ```
+//!
+//! * [`router::ShardRouter`] — the front door: route, enqueue, return.
+//!   Backpressure is configurable ([`config::Backpressure`]: block /
+//!   reject / timeout), as are micro-batch size/latency bounds.
+//! * [`tenant`] — tenants speak tenant-local ids; shards namespace them
+//!   so co-tenants never collide. Translation is deterministic.
+//! * [`shard`] (internal) — the worker loop: batch, translate, ingest,
+//!   rotate the journal on size/age triggers, seal on shutdown.
+//! * [`stats`] — per-shard + aggregate queue depths, batch sizes,
+//!   ingest latency, flips, cache hit rates, rotations.
+//!
+//! The subsystem inherits the stream layer's trust anchor, per shard:
+//! routed, micro-batched, compacted ingestion produces scores **bitwise
+//! identical** to a from-scratch `Fuser::fit + score_all` on the shard's
+//! accumulated dataset (pinned by `tests/router_equivalence.rs` at the
+//! workspace root, over random multi-tenant streams, shard counts,
+//! backpressure and fsync policies, with mid-run journal rotations).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use corrfuse_core::fuser::{FuserConfig, Method};
+//! use corrfuse_core::DatasetBuilder;
+//! use corrfuse_serve::{RouterConfig, ShardRouter, TenantId};
+//! use corrfuse_stream::Event;
+//!
+//! // One tiny labelled seed per tenant.
+//! let seed = |flip: bool| {
+//!     let mut b = DatasetBuilder::new();
+//!     let (s, t1) = b.observe_named("A", "x", "p", "1");
+//!     b.label(t1, true);
+//!     let t2 = b.triple("y", "p", "2");
+//!     b.observe(s, t2);
+//!     b.label(t2, flip);
+//!     b.build().unwrap()
+//! };
+//! let router = ShardRouter::new(
+//!     FuserConfig::new(Method::PrecRec),
+//!     RouterConfig::new(2),
+//!     vec![(TenantId(0), seed(false)), (TenantId(1), seed(false))],
+//! )
+//! .unwrap();
+//!
+//! // Tenant 1 streams a claim; the call returns before the re-score.
+//! router
+//!     .ingest(
+//!         TenantId(1),
+//!         vec![
+//!             Event::add_triple("z", "p", "3"),
+//!             Event::claim(corrfuse_core::SourceId(0), corrfuse_core::TripleId(2)),
+//!         ],
+//!     )
+//!     .unwrap();
+//! router.flush().unwrap(); // read-your-writes
+//! assert_eq!(router.scores(TenantId(1)).unwrap().len(), 3);
+//! router.shutdown().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod error;
+pub mod queue;
+pub mod router;
+mod shard;
+pub mod stats;
+pub mod tenant;
+
+pub use config::{Backpressure, JournalConfig, RouterConfig};
+pub use error::{Result, ServeError};
+pub use router::{ShardRouter, ShardSnapshot};
+pub use stats::{RouterStats, ShardStats};
+pub use tenant::{TenantId, TenantMap};

@@ -1,0 +1,229 @@
+//! A bounded multi-producer / single-consumer queue with pluggable
+//! producer-side backpressure.
+//!
+//! `std::sync::mpsc::sync_channel` offers blocking and non-blocking
+//! sends but no deadline-bounded send and no depth introspection, both
+//! of which the router's front door needs (its backpressure policy is
+//! configuration, and queue depth is a first-class stat). This is the
+//! same offline-workspace pattern as `corrfuse_core::engine`: a small
+//! std-only implementation (Mutex + two Condvars) behind the API shape
+//! the subsystem actually wants.
+//!
+//! Close semantics: [`Queue::close`] stops new pushes immediately, but
+//! the consumer keeps draining buffered items — [`Queue::pop_deadline`]
+//! reports [`Pop::Closed`] only once the buffer is empty. That is
+//! exactly the graceful-shutdown contract: accepted messages are never
+//! dropped.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use crate::config::Backpressure;
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity and the policy gave up.
+    Full,
+    /// The queue was closed.
+    Closed,
+}
+
+/// Outcome of a pop.
+#[derive(Debug)]
+pub enum Pop<T> {
+    /// An item.
+    Item(T),
+    /// The deadline passed with the queue still empty.
+    TimedOut,
+    /// The queue is closed *and* fully drained.
+    Closed,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    buf: VecDeque<T>,
+    closed: bool,
+    max_depth: usize,
+}
+
+/// The bounded queue; see the module docs.
+#[derive(Debug)]
+pub struct Queue<T> {
+    capacity: usize,
+    inner: Mutex<Inner<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+impl<T> Queue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Queue<T> {
+        Queue {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                buf: VecDeque::new(),
+                closed: false,
+                max_depth: 0,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Push one item under the given backpressure policy.
+    pub fn push(&self, item: T, policy: Backpressure) -> Result<(), PushError> {
+        let deadline = match policy {
+            Backpressure::Timeout(d) => Some(Instant::now() + d),
+            _ => None,
+        };
+        let mut g = self.inner.lock().expect("queue lock");
+        loop {
+            if g.closed {
+                return Err(PushError::Closed);
+            }
+            if g.buf.len() < self.capacity {
+                g.buf.push_back(item);
+                g.max_depth = g.max_depth.max(g.buf.len());
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            match policy {
+                Backpressure::Reject => return Err(PushError::Full),
+                Backpressure::Block => g = self.not_full.wait(g).expect("queue lock"),
+                Backpressure::Timeout(_) => {
+                    let deadline = deadline.expect("deadline set for Timeout");
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(PushError::Full);
+                    }
+                    let (g2, _) = self
+                        .not_full
+                        .wait_timeout(g, deadline - now)
+                        .expect("queue lock");
+                    g = g2;
+                }
+            }
+        }
+    }
+
+    /// Pop one item, waiting until `deadline` (or forever when `None`).
+    /// Buffered items are delivered even after [`Queue::close`].
+    pub fn pop_deadline(&self, deadline: Option<Instant>) -> Pop<T> {
+        let mut g = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(item) = g.buf.pop_front() {
+                self.not_full.notify_one();
+                return Pop::Item(item);
+            }
+            if g.closed {
+                return Pop::Closed;
+            }
+            match deadline {
+                None => g = self.not_empty.wait(g).expect("queue lock"),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Pop::TimedOut;
+                    }
+                    let (g2, _) = self.not_empty.wait_timeout(g, d - now).expect("queue lock");
+                    g = g2;
+                }
+            }
+        }
+    }
+
+    /// Refuse all future pushes; the consumer drains what is buffered.
+    pub fn close(&self) {
+        let mut g = self.inner.lock().expect("queue lock");
+        g.closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Current number of buffered items.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock").buf.len()
+    }
+
+    /// High-water mark of the buffer since creation.
+    pub fn max_depth(&self) -> usize {
+        self.inner.lock().expect("queue lock").max_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn reject_policy_fails_fast_when_full() {
+        let q = Queue::new(2);
+        assert!(q.push(1, Backpressure::Reject).is_ok());
+        assert!(q.push(2, Backpressure::Reject).is_ok());
+        assert_eq!(q.push(3, Backpressure::Reject), Err(PushError::Full));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.max_depth(), 2);
+    }
+
+    #[test]
+    fn timeout_policy_waits_then_gives_up() {
+        let q = Queue::new(1);
+        q.push(1, Backpressure::Block).unwrap();
+        let t0 = Instant::now();
+        let policy = Backpressure::Timeout(Duration::from_millis(30));
+        assert_eq!(q.push(2, policy), Err(PushError::Full));
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn block_policy_waits_for_the_consumer() {
+        let q = Arc::new(Queue::new(1));
+        q.push(1, Backpressure::Block).unwrap();
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            match q2.pop_deadline(None) {
+                Pop::Item(v) => v,
+                other => panic!("expected item, got {other:?}"),
+            }
+        });
+        // Blocks until the consumer frees a slot.
+        q.push(2, Backpressure::Block).unwrap();
+        assert_eq!(consumer.join().unwrap(), 1);
+        assert_eq!(q.depth(), 1);
+    }
+
+    #[test]
+    fn close_drains_then_reports_closed() {
+        let q: Queue<u32> = Queue::new(4);
+        q.push(1, Backpressure::Block).unwrap();
+        q.push(2, Backpressure::Block).unwrap();
+        q.close();
+        assert_eq!(q.push(3, Backpressure::Block), Err(PushError::Closed));
+        assert!(matches!(q.pop_deadline(None), Pop::Item(1)));
+        assert!(matches!(q.pop_deadline(None), Pop::Item(2)));
+        assert!(matches!(q.pop_deadline(None), Pop::Closed));
+    }
+
+    #[test]
+    fn pop_deadline_times_out_on_empty_queue() {
+        let q: Queue<u32> = Queue::new(1);
+        let d = Instant::now() + Duration::from_millis(20);
+        assert!(matches!(q.pop_deadline(Some(d)), Pop::TimedOut));
+    }
+
+    #[test]
+    fn close_wakes_a_blocked_producer() {
+        let q = Arc::new(Queue::new(1));
+        q.push(1, Backpressure::Block).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push(2, Backpressure::Block));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(producer.join().unwrap(), Err(PushError::Closed));
+    }
+}

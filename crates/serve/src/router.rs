@@ -1,0 +1,403 @@
+//! [`ShardRouter`]: the multi-tenant front door.
+//!
+//! Construction partitions the seeded tenants across `n_shards` by
+//! `tenant.0 % n_shards`, merges each shard's seeds into one namespaced
+//! dataset, fits a [`StreamSession`] per shard and spawns its worker
+//! thread. [`ShardRouter::ingest`] then routes tenant messages to the
+//! owning shard's bounded queue and returns without waiting for the
+//! refit — the configured [`crate::config::Backpressure`] policy decides
+//! what happens when a shard falls behind.
+//!
+//! # Consistency model
+//!
+//! * Per shard, reads are snapshot-consistent: a worker applies a whole
+//!   micro-batch under the shard lock, so [`ShardRouter::scores`] /
+//!   [`ShardRouter::shard_snapshot`] observe batch boundaries only.
+//! * Across shards there is no global ordering — shards are independent
+//!   sessions by design.
+//! * [`ShardRouter::flush`] waits until every message accepted so far
+//!   has been applied, which makes read-your-writes explicit.
+//! * [`ShardRouter::shutdown`] closes the queues, drains them, seals
+//!   every journal and joins the workers.
+//!
+//! # Statistical coupling between co-tenants
+//!
+//! Sharing a shard session is *id-safe* (namespacing keeps sources,
+//! triples and domains disjoint) but not *statistically inert*: the
+//! empirical prior `alpha` is estimated over all of the shard's labels,
+//! and data-driven clustering draws cluster boundaries over all of the
+//! shard's sources. Pin `alpha` in the [`FuserConfig`] to decouple the
+//! prior; give every tenant its own shard for full statistical
+//! isolation. The per-shard trust anchor is unconditional either way:
+//! each shard's scores are bitwise identical to a from-scratch
+//! `Fuser::fit + score_all` on that shard's accumulated dataset.
+
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use corrfuse_core::dataset::{Dataset, DatasetBuilder, Domain};
+use corrfuse_core::engine::ScoringEngine;
+use corrfuse_core::error::{FusionError, Result as CoreResult};
+use corrfuse_core::fuser::FuserConfig;
+use corrfuse_stream::{Event, StreamSession};
+
+use crate::config::RouterConfig;
+use crate::error::{Result, ServeError};
+use crate::queue::{PushError, Queue};
+use crate::shard::{run_worker, Msg, Progress, ShardCore, ShardHandle, WorkerParams};
+use crate::stats::{RouterStats, ShardStats};
+use crate::tenant::{scoped_source_name, scoped_triple, TenantId, TenantMap};
+
+/// A snapshot-consistent copy of one shard's state.
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    /// Shard index.
+    pub shard: usize,
+    /// The shard's accumulated (namespaced) dataset.
+    pub dataset: Dataset,
+    /// Posterior per shard triple, in shard `TripleId` order.
+    pub scores: Vec<f64>,
+    /// Accept/reject decisions at the shard threshold.
+    pub decisions: Vec<bool>,
+    /// Tenants hosted by the shard, ascending.
+    pub tenants: Vec<TenantId>,
+    /// The shard's journal path, if journaling.
+    pub journal_path: Option<PathBuf>,
+}
+
+/// The sharded multi-tenant session router; see the module docs.
+#[derive(Debug)]
+pub struct ShardRouter {
+    config: RouterConfig,
+    shards: Vec<ShardHandle>,
+    workers: Vec<Option<JoinHandle<()>>>,
+}
+
+impl ShardRouter {
+    /// Build the router: partition `seeds` across shards, fit one
+    /// session per shard, spawn the workers.
+    ///
+    /// Every shard must receive at least one seeded tenant (a session
+    /// cannot exist without a labelled seed); tenants may also join
+    /// later, purely through [`ShardRouter::ingest`], as long as their
+    /// stream carries its own sources, claims and labels. Explicit scope
+    /// *overrides* on seed datasets are not preserved — shard sessions
+    /// use the builder's provision-inferred scopes, mirroring
+    /// `corrfuse_stream::replay`.
+    pub fn new(
+        fuser: FuserConfig,
+        config: RouterConfig,
+        seeds: Vec<(TenantId, Dataset)>,
+    ) -> Result<ShardRouter> {
+        config.validate()?;
+        let n = config.n_shards;
+        let mut seen: HashSet<TenantId> = HashSet::new();
+        for (t, _) in &seeds {
+            if !seen.insert(*t) {
+                return Err(ServeError::InvalidConfig("duplicate tenant in seeds"));
+            }
+        }
+        let mut per_shard: Vec<Vec<(TenantId, Dataset)>> = (0..n).map(|_| Vec::new()).collect();
+        for (t, ds) in seeds {
+            per_shard[t.0 as usize % n].push((t, ds));
+        }
+        if let Some(j) = &config.journal {
+            std::fs::create_dir_all(&j.dir).map_err(FusionError::from)?;
+        }
+        let mut shards = Vec::with_capacity(n);
+        let mut workers = Vec::with_capacity(n);
+        for (i, shard_seeds) in per_shard.into_iter().enumerate() {
+            if shard_seeds.is_empty() {
+                return Err(ServeError::ShardSeedMissing { shard: i });
+            }
+            let (ds, tenants, next_domain) = merge_seeds(&shard_seeds)?;
+            let engine = if config.shard_threads > 1 {
+                ScoringEngine::with_threads(config.shard_threads)
+            } else {
+                ScoringEngine::serial()
+            };
+            let mut session = StreamSession::with_engine(fuser.clone(), ds, engine)
+                .map_err(ServeError::Fusion)?
+                .with_threshold(config.threshold)
+                .with_log_retention(config.retention);
+            if let Some(j) = &config.journal {
+                session
+                    .journal_to_with(j.shard_path(i), j.fsync)
+                    .map_err(ServeError::Fusion)?;
+            }
+            let stats = ShardStats {
+                shard: i,
+                tenants: tenants.len(),
+                n_sources: session.dataset().n_sources(),
+                n_triples: session.dataset().n_triples(),
+                journal_bytes: session.journal_bytes(),
+                ..ShardStats::default()
+            };
+            let core = Arc::new(Mutex::new(ShardCore {
+                session,
+                tenants,
+                next_domain,
+                stats,
+                batches_since_rotation: 0,
+                poisoned: None,
+            }));
+            let queue = Arc::new(Queue::new(config.queue_capacity));
+            let progress = Arc::new(Progress::default());
+            let params = WorkerParams {
+                queue: Arc::clone(&queue),
+                core: Arc::clone(&core),
+                progress: Arc::clone(&progress),
+                max_batch_events: config.max_batch_events,
+                max_batch_delay: config.max_batch_delay,
+                journal: config.journal.clone(),
+            };
+            let join = std::thread::Builder::new()
+                .name(format!("corrfuse-shard-{i}"))
+                .spawn(move || run_worker(params))
+                .map_err(FusionError::from)?;
+            shards.push(ShardHandle {
+                queue,
+                core,
+                progress,
+                enqueued: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+            });
+            workers.push(Some(join));
+        }
+        Ok(ShardRouter {
+            config,
+            shards,
+            workers,
+        })
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.config.n_shards
+    }
+
+    /// The router configuration.
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// The shard a tenant routes to.
+    pub fn shard_of(&self, tenant: TenantId) -> usize {
+        tenant.0 as usize % self.config.n_shards
+    }
+
+    /// Enqueue one tenant message (a micro-batch of tenant-local events)
+    /// for asynchronous ingestion. Returns as soon as the message is
+    /// accepted; under backpressure the configured policy decides
+    /// between blocking, rejecting and timing out.
+    pub fn ingest(&self, tenant: TenantId, events: Vec<Event>) -> Result<()> {
+        let shard = self.shard_of(tenant);
+        let h = &self.shards[shard];
+        match h
+            .queue
+            .push(Msg { tenant, events }, self.config.backpressure)
+        {
+            Ok(()) => {
+                h.enqueued.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }
+            Err(PushError::Full) => {
+                h.rejected.fetch_add(1, Ordering::SeqCst);
+                Err(ServeError::Backpressure {
+                    shard,
+                    depth: h.queue.depth(),
+                })
+            }
+            Err(PushError::Closed) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Wait until every message accepted so far has been applied (then
+    /// reads see those writes). Fails if a shard worker died first.
+    pub fn flush(&self) -> Result<()> {
+        for (i, h) in self.shards.iter().enumerate() {
+            let target = h.enqueued.load(Ordering::SeqCst);
+            let dead = || self.workers[i].as_ref().is_none_or(JoinHandle::is_finished);
+            if !h.progress.wait_for(target, dead) {
+                return Err(ServeError::ShardPanicked { shard: i });
+            }
+        }
+        Ok(())
+    }
+
+    /// Current posterior per tenant-local triple, in the tenant's own
+    /// `TripleId` order (snapshot-consistent per-shard read).
+    pub fn scores(&self, tenant: TenantId) -> Result<Vec<f64>> {
+        self.with_tenant(tenant, |core, map| {
+            let scores = core.session.scores();
+            map.triples.iter().map(|&t| scores[t.index()]).collect()
+        })
+    }
+
+    /// Accept/reject decisions per tenant-local triple at the router
+    /// threshold.
+    pub fn decisions(&self, tenant: TenantId) -> Result<Vec<bool>> {
+        let threshold = self.config.threshold;
+        self.with_tenant(tenant, |core, map| {
+            let scores = core.session.scores();
+            map.triples
+                .iter()
+                .map(|&t| scores[t.index()] > threshold)
+                .collect()
+        })
+    }
+
+    fn with_tenant<R>(
+        &self,
+        tenant: TenantId,
+        f: impl FnOnce(&ShardCore, &TenantMap) -> R,
+    ) -> Result<R> {
+        let core = self.shards[self.shard_of(tenant)]
+            .core
+            .lock()
+            .expect("shard core lock");
+        match core.tenants.get(&tenant) {
+            Some(map) => Ok(f(&core, map)),
+            None => Err(ServeError::UnknownTenant(tenant)),
+        }
+    }
+
+    /// All tenants currently hosted, ascending.
+    pub fn tenants(&self) -> Vec<TenantId> {
+        let mut out: Vec<TenantId> = self
+            .shards
+            .iter()
+            .flat_map(|h| {
+                h.core
+                    .lock()
+                    .expect("shard core lock")
+                    .tenants
+                    .keys()
+                    .copied()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// A snapshot-consistent copy of one shard's dataset, scores and
+    /// decisions (clones under the shard lock).
+    pub fn shard_snapshot(&self, shard: usize) -> Result<ShardSnapshot> {
+        let h = self
+            .shards
+            .get(shard)
+            .ok_or(ServeError::InvalidConfig("shard index out of range"))?;
+        let core = h.core.lock().expect("shard core lock");
+        let mut tenants: Vec<TenantId> = core.tenants.keys().copied().collect();
+        tenants.sort_unstable();
+        Ok(ShardSnapshot {
+            shard,
+            dataset: core.session.dataset().clone(),
+            scores: core.session.scores().to_vec(),
+            decisions: core.session.decisions(),
+            tenants,
+            journal_path: self.config.journal.as_ref().map(|j| j.shard_path(shard)),
+        })
+    }
+
+    /// Per-shard and aggregate statistics.
+    pub fn stats(&self) -> RouterStats {
+        let shards = self
+            .shards
+            .iter()
+            .map(|h| {
+                let core = h.core.lock().expect("shard core lock");
+                let mut s = core.stats.clone();
+                s.queue_depth = h.queue.depth();
+                s.max_queue_depth = h.queue.max_depth();
+                s.enqueued_messages = h.enqueued.load(Ordering::SeqCst);
+                s.rejected_messages = h.rejected.load(Ordering::SeqCst);
+                s.tenants = core.tenants.len();
+                s.journal_bytes = core.session.journal_bytes();
+                s.n_sources = core.session.dataset().n_sources();
+                s.n_triples = core.session.dataset().n_triples();
+                s.score_cache = core.session.score_cache_stats();
+                s.log_dropped_events = core.session.delta_log().dropped_events();
+                s.poisoned = core.poisoned.is_some();
+                s
+            })
+            .collect();
+        RouterStats { shards }
+    }
+
+    /// Graceful shutdown: refuse new messages, drain every queue, seal
+    /// every journal, join the workers. Returns the final statistics.
+    pub fn shutdown(mut self) -> Result<RouterStats> {
+        self.close_and_join()?;
+        Ok(self.stats())
+    }
+
+    fn close_and_join(&mut self) -> Result<()> {
+        for h in &self.shards {
+            h.queue.close();
+        }
+        let mut panicked = None;
+        for (i, w) in self.workers.iter_mut().enumerate() {
+            if let Some(join) = w.take() {
+                if join.join().is_err() {
+                    panicked = Some(i);
+                }
+            }
+        }
+        match panicked {
+            Some(shard) => Err(ServeError::ShardPanicked { shard }),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for ShardRouter {
+    /// Dropping without [`ShardRouter::shutdown`] still drains and seals
+    /// (panics in workers are swallowed here; use `shutdown` to observe
+    /// them).
+    fn drop(&mut self) {
+        let _ = self.close_and_join();
+    }
+}
+
+/// Merge one shard's seeded tenants into a single namespaced dataset,
+/// building each tenant's id map along the way.
+fn merge_seeds(
+    seeds: &[(TenantId, Dataset)],
+) -> CoreResult<(Dataset, HashMap<TenantId, TenantMap>, u32)> {
+    let mut b = DatasetBuilder::new();
+    let mut tenants: HashMap<TenantId, TenantMap> = HashMap::new();
+    let mut next_domain = 0u32;
+    for (tenant, ds) in seeds {
+        let mut map = TenantMap::default();
+        for s in ds.sources() {
+            map.sources
+                .push(b.source(scoped_source_name(*tenant, ds.source_name(s))));
+        }
+        for t in ds.triples() {
+            let scoped = scoped_triple(*tenant, ds.triple(t));
+            let id = b.triple(scoped.subject, scoped.predicate, scoped.object);
+            let shard_domain = *map.domains.entry(ds.domain(t)).or_insert_with(|| {
+                let d = Domain(next_domain);
+                next_domain += 1;
+                d
+            });
+            b.set_domain(id, shard_domain);
+            if let Some(truth) = ds.gold().and_then(|g| g.get(t)) {
+                b.label(id, truth);
+            }
+            map.triples.push(id);
+        }
+        for s in ds.sources() {
+            for &t in ds.output(s) {
+                b.observe(map.sources[s.index()], map.triples[t.index()]);
+            }
+        }
+        tenants.insert(*tenant, map);
+    }
+    Ok((b.build()?, tenants, next_domain))
+}

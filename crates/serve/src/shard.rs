@@ -1,0 +1,451 @@
+//! Per-shard state and the worker loop: bounded queue → time/size
+//! micro-batcher → tenant-id translation → [`StreamSession::ingest`] →
+//! journal rotation.
+//!
+//! A shard owns one [`StreamSession`] plus the [`TenantMap`]s of every
+//! tenant routed to it, all behind one mutex ([`ShardCore`]). The worker
+//! thread applies a whole micro-batch under that lock, which is what
+//! makes router reads snapshot-consistent: a query never observes a
+//! half-applied batch.
+//!
+//! # Failure containment
+//!
+//! Translation errors (a tenant referencing an id it never registered)
+//! and ingest validation errors (a new triple without a claim) are
+//! detected before any session state mutates. When a *merged*
+//! micro-batch fails, the worker retries its messages individually so
+//! one malformed message cannot take innocent co-tenants down with it;
+//! the bad message is dropped and counted in
+//! [`ShardStats::ingest_errors`]. Errors that surface *after* state may
+//! have mutated (a model refresh failing on a degenerate prior, journal
+//! I/O) poison the shard instead: it stops applying, keeps serving its
+//! last consistent scores, and reports [`ShardStats::poisoned`] so an
+//! operator can rebuild it from its journal. Journal rotation runs
+//! outside the batch path; a rotation failure is recorded but neither
+//! retries the batch nor poisons the shard.
+
+use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use corrfuse_core::dataset::{Dataset, Domain, SourceId};
+use corrfuse_core::error::{FusionError, Result as CoreResult};
+use corrfuse_core::triple::{Triple, TripleId};
+use corrfuse_stream::{Event, StreamSession};
+
+use crate::config::JournalConfig;
+use crate::queue::{Pop, Queue};
+use crate::stats::ShardStats;
+use crate::tenant::{scoped_source_name, scoped_triple, TenantId, TenantMap};
+
+/// One routed message: a tenant's micro-batch of tenant-local events.
+#[derive(Debug)]
+pub(crate) struct Msg {
+    pub tenant: TenantId,
+    pub events: Vec<Event>,
+}
+
+/// The lockable state of one shard.
+#[derive(Debug)]
+pub(crate) struct ShardCore {
+    pub session: StreamSession,
+    pub tenants: HashMap<TenantId, TenantMap>,
+    /// Next shard-global domain to allocate for a tenant-local domain.
+    pub next_domain: u32,
+    pub stats: ShardStats,
+    /// Batches appended to the journal since the last rotation.
+    pub batches_since_rotation: u64,
+    /// Set when a post-validation ingest error (model refresh, journal
+    /// I/O) left the session in an undefined state. A poisoned shard
+    /// stops applying messages — each is counted as an error — and keeps
+    /// serving its last consistent scores; rebuild it from the journal
+    /// to recover.
+    pub poisoned: Option<String>,
+}
+
+/// Worker-side progress counter, used by `ShardRouter::flush` to wait
+/// until every accepted message has been applied.
+#[derive(Debug, Default)]
+pub(crate) struct Progress {
+    processed: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Progress {
+    pub fn add(&self, n: u64) {
+        let mut p = self.processed.lock().expect("progress lock");
+        *p += n;
+        self.cv.notify_all();
+    }
+
+    /// Wait until at least `target` messages were applied. Returns
+    /// `false` if `dead()` reports the worker gone before that.
+    pub fn wait_for(&self, target: u64, dead: impl Fn() -> bool) -> bool {
+        let mut p = self.processed.lock().expect("progress lock");
+        loop {
+            if *p >= target {
+                return true;
+            }
+            if dead() {
+                // Re-check after the death verdict: the worker may have
+                // finished its last batch in between.
+                return *p >= target;
+            }
+            let (p2, _) = self
+                .cv
+                .wait_timeout(p, Duration::from_millis(50))
+                .expect("progress lock");
+            p = p2;
+        }
+    }
+}
+
+/// The router-side handle of one shard.
+#[derive(Debug)]
+pub(crate) struct ShardHandle {
+    pub queue: Arc<Queue<Msg>>,
+    pub core: Arc<Mutex<ShardCore>>,
+    pub progress: Arc<Progress>,
+    /// Messages accepted into the queue (front-door side).
+    pub enqueued: AtomicU64,
+    /// Messages refused by backpressure (front-door side).
+    pub rejected: AtomicU64,
+}
+
+/// Everything a worker thread needs.
+pub(crate) struct WorkerParams {
+    pub queue: Arc<Queue<Msg>>,
+    pub core: Arc<Mutex<ShardCore>>,
+    pub progress: Arc<Progress>,
+    pub max_batch_events: usize,
+    pub max_batch_delay: Duration,
+    pub journal: Option<JournalConfig>,
+}
+
+/// The shard worker loop. Blocks on the queue, micro-batches messages
+/// until `max_batch_events` are buffered or the first message has waited
+/// `max_batch_delay`, applies the batch under the core lock, and seals
+/// the journal on exit (queue closed and drained).
+pub(crate) fn run_worker(p: WorkerParams) {
+    loop {
+        let first = match p.queue.pop_deadline(None) {
+            Pop::Item(m) => m,
+            Pop::Closed => break,
+            Pop::TimedOut => unreachable!("pop without deadline cannot time out"),
+        };
+        let mut n_events = first.events.len();
+        let mut msgs = vec![first];
+        let deadline = Instant::now() + p.max_batch_delay;
+        let mut closed = false;
+        while n_events < p.max_batch_events {
+            match p.queue.pop_deadline(Some(deadline)) {
+                Pop::Item(m) => {
+                    n_events += m.events.len();
+                    msgs.push(m);
+                }
+                Pop::TimedOut => break,
+                Pop::Closed => {
+                    closed = true;
+                    break;
+                }
+            }
+        }
+        {
+            let mut core = p.core.lock().expect("shard core lock");
+            apply_batch(&mut core, &msgs, p.journal.as_ref());
+            core.stats.processed_messages += msgs.len() as u64;
+        }
+        p.progress.add(msgs.len() as u64);
+        if closed {
+            break;
+        }
+    }
+    let mut core = p.core.lock().expect("shard core lock");
+    if let Err(e) = core.session.seal_journal() {
+        core.stats.last_error = Some(format!("journal seal failed: {e}"));
+    }
+}
+
+/// Apply one worker micro-batch, then (separately) consider journal
+/// rotation. A merged batch whose *input* is bad is retried message by
+/// message; a poisoned shard applies nothing and counts every message as
+/// an error. Rotation failures are recorded but never retried and never
+/// conflated with batch failures — the journal is merely still large.
+pub(crate) fn apply_batch(core: &mut ShardCore, msgs: &[Msg], journal: Option<&JournalConfig>) {
+    if msgs.is_empty() {
+        return;
+    }
+    if core.poisoned.is_some() {
+        refuse_poisoned(core, msgs.len());
+        return;
+    }
+    match try_apply(core, msgs) {
+        Ok(()) => {}
+        Err(_) if msgs.len() > 1 && core.poisoned.is_none() => {
+            // The merged pre-validation failed on some message's input;
+            // retry individually so innocent co-tenants aren't dropped.
+            for m in msgs {
+                if core.poisoned.is_some() {
+                    refuse_poisoned(core, 1);
+                    continue;
+                }
+                if let Err(e) = try_apply(core, std::slice::from_ref(m)) {
+                    record_error(core, m.tenant, &e);
+                }
+            }
+        }
+        Err(e) => record_error(core, msgs[0].tenant, &e),
+    }
+    if let Err(e) = maybe_rotate(core, journal) {
+        core.stats.last_error = Some(format!("journal rotation failed: {e}"));
+    }
+}
+
+fn record_error(core: &mut ShardCore, tenant: TenantId, e: &FusionError) {
+    core.stats.ingest_errors += 1;
+    core.stats.last_error = Some(format!("{tenant}: {e}"));
+}
+
+fn refuse_poisoned(core: &mut ShardCore, n_msgs: usize) {
+    core.stats.ingest_errors += n_msgs as u64;
+    core.stats.last_error = Some(format!(
+        "shard poisoned, message dropped: {}",
+        core.poisoned.as_deref().unwrap_or("unknown")
+    ));
+}
+
+/// Input errors are detected before any session state mutates (the
+/// translation layer plus `IncrementalFuser::validate_batch`); they are
+/// safe to drop and move on from. Any *other* ingest error surfaced
+/// after the dataset may have advanced (model refresh, journal I/O)
+/// leaves the session in an undefined state — the shard must stop
+/// applying (see [`ShardCore::poisoned`]).
+fn is_input_error(e: &FusionError) -> bool {
+    matches!(
+        e,
+        FusionError::UnknownSource(_)
+            | FusionError::TripleOutOfRange(_)
+            | FusionError::UnobservedTriple(_)
+    )
+}
+
+/// Translate + ingest one batch, committing tenant-map growth only once
+/// the shard dataset actually absorbed it.
+fn try_apply(core: &mut ShardCore, msgs: &[Msg]) -> CoreResult<()> {
+    let ShardCore {
+        session,
+        tenants,
+        next_domain,
+        stats,
+        batches_since_rotation,
+        poisoned,
+    } = core;
+    let tr = translate(tenants, session.dataset(), *next_domain, msgs)?;
+    let dims_before = (session.dataset().n_sources(), session.dataset().n_triples());
+    let t0 = Instant::now();
+    let result = session.ingest(&tr.events);
+    let ns = t0.elapsed().as_nanos() as u64;
+    let dims_after = (session.dataset().n_sources(), session.dataset().n_triples());
+    // Input errors are detected before any mutation, so a failed ingest
+    // normally discards the pending maps with the batch. The exception is
+    // an error *after* the dataset advanced (e.g. a journal I/O failure):
+    // then the maps must advance too or the tenants' ids would detach
+    // from the shard's.
+    if result.is_ok() || dims_after != dims_before {
+        *next_domain = tr.next_domain;
+        for (tenant, delta) in tr.pending {
+            let map = tenants.entry(tenant).or_default();
+            map.sources.extend(delta.sources);
+            map.triples.extend(delta.triples);
+            map.domains.extend(delta.domains);
+        }
+    }
+    let delta = match result {
+        Ok(delta) => delta,
+        Err(e) => {
+            if !is_input_error(&e) {
+                *poisoned = Some(e.to_string());
+            }
+            return Err(e);
+        }
+    };
+    stats.batches += 1;
+    if msgs.len() > 1 {
+        stats.merged_batches += 1;
+    }
+    stats.ingested_events += tr.events.len() as u64;
+    stats.max_batch_events = stats.max_batch_events.max(tr.events.len() as u64);
+    stats.total_ingest_ns += ns;
+    stats.max_ingest_ns = stats.max_ingest_ns.max(ns);
+    stats.rescored += delta.rescored.len() as u64;
+    stats.flips += delta.flips.len() as u64;
+    *batches_since_rotation += 1;
+    Ok(())
+}
+
+fn maybe_rotate(core: &mut ShardCore, journal: Option<&JournalConfig>) -> CoreResult<()> {
+    let Some(cfg) = journal else {
+        return Ok(());
+    };
+    let Some(bytes) = core.session.journal_bytes() else {
+        return Ok(());
+    };
+    let by_bytes = cfg.rotate_max_bytes.is_some_and(|max| bytes >= max);
+    let by_batches = cfg
+        .rotate_max_batches
+        .is_some_and(|max| core.batches_since_rotation >= max);
+    if by_bytes || by_batches {
+        core.session.rotate_journal()?;
+        core.stats.rotations += 1;
+        core.batches_since_rotation = 0;
+    }
+    Ok(())
+}
+
+/// Owned result of translating queued messages against a core snapshot:
+/// the shard-space events plus the tenant-map growth to commit on
+/// success.
+struct Translated {
+    events: Vec<Event>,
+    pending: HashMap<TenantId, TenantMap>,
+    next_domain: u32,
+}
+
+/// Rewrite tenant-local events into the shard session's id spaces. Pure
+/// with respect to the core (returns owned growth), so a failed batch
+/// leaves no trace.
+fn translate(
+    tenants: &HashMap<TenantId, TenantMap>,
+    ds: &Dataset,
+    mut next_domain: u32,
+    msgs: &[Msg],
+) -> CoreResult<Translated> {
+    let mut events = Vec::new();
+    let mut pending: HashMap<TenantId, TenantMap> = HashMap::new();
+    // Content introduced earlier in this same (possibly merged) batch,
+    // which the session has not interned yet.
+    let mut batch_names: HashMap<String, SourceId> = HashMap::new();
+    let mut batch_triples: HashMap<Triple, TripleId> = HashMap::new();
+    let mut n_sources = ds.n_sources();
+    let mut n_triples = ds.n_triples();
+    for msg in msgs {
+        let tenant = msg.tenant;
+        for ev in &msg.events {
+            match ev {
+                Event::AddSource { name } => {
+                    let scoped = scoped_source_name(tenant, name);
+                    let known =
+                        ds.source_by_name(&scoped).is_some() || batch_names.contains_key(&scoped);
+                    if !known {
+                        let id = SourceId(n_sources as u32);
+                        n_sources += 1;
+                        batch_names.insert(scoped.clone(), id);
+                        pending.entry(tenant).or_default().sources.push(id);
+                        events.push(Event::AddSource { name: scoped });
+                    }
+                }
+                Event::AddTriple { triple, domain } => {
+                    let scoped = scoped_triple(tenant, triple);
+                    let known =
+                        ds.triple_id(&scoped).is_some() || batch_triples.contains_key(&scoped);
+                    if !known {
+                        let id = TripleId(n_triples as u32);
+                        n_triples += 1;
+                        let shard_domain =
+                            domain_of(tenants, &mut pending, &mut next_domain, tenant, *domain);
+                        batch_triples.insert(scoped.clone(), id);
+                        pending.entry(tenant).or_default().triples.push(id);
+                        events.push(Event::AddTriple {
+                            triple: scoped,
+                            domain: shard_domain,
+                        });
+                    }
+                }
+                Event::Claim { source, triple } => {
+                    let s = lookup_source(tenants, &pending, tenant, *source).ok_or_else(|| {
+                        FusionError::UnknownSource(format!("{tenant} local {source}"))
+                    })?;
+                    let t = lookup_triple(tenants, &pending, tenant, *triple)
+                        .ok_or(FusionError::TripleOutOfRange(triple.index()))?;
+                    events.push(Event::Claim {
+                        source: s,
+                        triple: t,
+                    });
+                }
+                Event::Label { triple, truth } => {
+                    let t = lookup_triple(tenants, &pending, tenant, *triple)
+                        .ok_or(FusionError::TripleOutOfRange(triple.index()))?;
+                    events.push(Event::Label {
+                        triple: t,
+                        truth: *truth,
+                    });
+                }
+            }
+        }
+    }
+    Ok(Translated {
+        events,
+        pending,
+        next_domain,
+    })
+}
+
+/// Resolve a tenant-local source id: the committed map first, then the
+/// ids this batch is introducing.
+fn lookup_source(
+    tenants: &HashMap<TenantId, TenantMap>,
+    pending: &HashMap<TenantId, TenantMap>,
+    tenant: TenantId,
+    local: SourceId,
+) -> Option<SourceId> {
+    let committed = tenants.get(&tenant).map_or(&[][..], |m| &m.sources[..]);
+    if let Some(&id) = committed.get(local.index()) {
+        return Some(id);
+    }
+    pending
+        .get(&tenant)?
+        .sources
+        .get(local.index() - committed.len())
+        .copied()
+}
+
+/// Resolve a tenant-local triple id; see [`lookup_source`].
+fn lookup_triple(
+    tenants: &HashMap<TenantId, TenantMap>,
+    pending: &HashMap<TenantId, TenantMap>,
+    tenant: TenantId,
+    local: TripleId,
+) -> Option<TripleId> {
+    let committed = tenants.get(&tenant).map_or(&[][..], |m| &m.triples[..]);
+    if let Some(&id) = committed.get(local.index()) {
+        return Some(id);
+    }
+    pending
+        .get(&tenant)?
+        .triples
+        .get(local.index() - committed.len())
+        .copied()
+}
+
+/// Resolve (or allocate) the shard-global domain of a tenant-local
+/// domain.
+fn domain_of(
+    tenants: &HashMap<TenantId, TenantMap>,
+    pending: &mut HashMap<TenantId, TenantMap>,
+    next_domain: &mut u32,
+    tenant: TenantId,
+    local: Domain,
+) -> Domain {
+    if let Some(&d) = tenants.get(&tenant).and_then(|m| m.domains.get(&local)) {
+        return d;
+    }
+    let pend = pending.entry(tenant).or_default();
+    if let Some(&d) = pend.domains.get(&local) {
+        return d;
+    }
+    let d = Domain(*next_domain);
+    *next_domain += 1;
+    pend.domains.insert(local, d);
+    d
+}

@@ -1,0 +1,188 @@
+//! Per-shard and aggregate serving statistics.
+
+use corrfuse_core::joint::CacheStats;
+
+/// A point-in-time snapshot of one shard's counters.
+///
+/// Producer-side counters (`enqueued_messages`, `rejected_messages`) are
+/// maintained by the router front door; everything else is maintained by
+/// the shard worker under its core lock, so a snapshot never shows a
+/// half-applied batch.
+#[derive(Debug, Clone, Default)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Tenants hosted (seeded + joined mid-run).
+    pub tenants: usize,
+    /// Messages accepted into the queue.
+    pub enqueued_messages: u64,
+    /// Messages refused by backpressure (`Reject` / `Timeout`).
+    pub rejected_messages: u64,
+    /// Messages applied by the worker.
+    pub processed_messages: u64,
+    /// Translated events ingested into the shard session.
+    pub ingested_events: u64,
+    /// `StreamSession::ingest` calls (micro-batches).
+    pub batches: u64,
+    /// Micro-batches that coalesced more than one queued message.
+    pub merged_batches: u64,
+    /// Messages dropped because translation or ingest failed.
+    pub ingest_errors: u64,
+    /// Human-readable description of the most recent error.
+    pub last_error: Option<String>,
+    /// A post-validation error left the shard session in an undefined
+    /// state: it stopped applying messages and serves its last
+    /// consistent scores. Rebuild the shard from its journal to recover.
+    pub poisoned: bool,
+    /// Queue depth at snapshot time.
+    pub queue_depth: usize,
+    /// Queue high-water mark since start.
+    pub max_queue_depth: usize,
+    /// Largest single micro-batch, in events.
+    pub max_batch_events: u64,
+    /// Total wall time spent inside `ingest`, in nanoseconds.
+    pub total_ingest_ns: u64,
+    /// Slowest single micro-batch, in nanoseconds.
+    pub max_ingest_ns: u64,
+    /// Triples re-scored across all batches.
+    pub rescored: u64,
+    /// Decision flips across all batches.
+    pub flips: u64,
+    /// Journal rotations (compactions) performed.
+    pub rotations: u64,
+    /// Current journal size in bytes, if journaling.
+    pub journal_bytes: Option<u64>,
+    /// Cumulative score-cache counters of the shard session.
+    pub score_cache: CacheStats,
+    /// Triples accumulated in the shard session.
+    pub n_triples: usize,
+    /// Sources accumulated in the shard session.
+    pub n_sources: usize,
+    /// Delta-log events dropped by bounded retention.
+    pub log_dropped_events: usize,
+}
+
+impl ShardStats {
+    /// Mean events per micro-batch.
+    pub fn mean_batch_events(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.ingested_events as f64 / self.batches as f64
+        }
+    }
+
+    /// Mean `ingest` wall time per micro-batch, in nanoseconds.
+    pub fn mean_ingest_ns(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.total_ingest_ns as f64 / self.batches as f64
+        }
+    }
+}
+
+/// Stats for every shard plus aggregate views.
+#[derive(Debug, Clone, Default)]
+pub struct RouterStats {
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardStats>,
+}
+
+impl RouterStats {
+    /// Sum/max the per-shard counters into one aggregate row. `shard` is
+    /// the shard count, `queue_depth`/`max_queue_depth` are maxima,
+    /// `last_error` is the first one found; everything else sums.
+    pub fn aggregate(&self) -> ShardStats {
+        let mut agg = ShardStats {
+            shard: self.shards.len(),
+            ..ShardStats::default()
+        };
+        for s in &self.shards {
+            agg.tenants += s.tenants;
+            agg.enqueued_messages += s.enqueued_messages;
+            agg.rejected_messages += s.rejected_messages;
+            agg.processed_messages += s.processed_messages;
+            agg.ingested_events += s.ingested_events;
+            agg.batches += s.batches;
+            agg.merged_batches += s.merged_batches;
+            agg.ingest_errors += s.ingest_errors;
+            if agg.last_error.is_none() {
+                agg.last_error.clone_from(&s.last_error);
+            }
+            agg.poisoned |= s.poisoned;
+            agg.queue_depth = agg.queue_depth.max(s.queue_depth);
+            agg.max_queue_depth = agg.max_queue_depth.max(s.max_queue_depth);
+            agg.max_batch_events = agg.max_batch_events.max(s.max_batch_events);
+            agg.total_ingest_ns += s.total_ingest_ns;
+            agg.max_ingest_ns = agg.max_ingest_ns.max(s.max_ingest_ns);
+            agg.rescored += s.rescored;
+            agg.flips += s.flips;
+            agg.rotations += s.rotations;
+            if let Some(b) = s.journal_bytes {
+                *agg.journal_bytes.get_or_insert(0) += b;
+            }
+            agg.score_cache = agg.score_cache.merged(s.score_cache);
+            agg.n_triples += s.n_triples;
+            agg.n_sources += s.n_sources;
+            agg.log_dropped_events += s.log_dropped_events;
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_sums_and_maxes() {
+        let stats = RouterStats {
+            shards: vec![
+                ShardStats {
+                    shard: 0,
+                    tenants: 2,
+                    enqueued_messages: 10,
+                    processed_messages: 10,
+                    ingested_events: 100,
+                    batches: 4,
+                    queue_depth: 1,
+                    max_queue_depth: 5,
+                    max_ingest_ns: 50,
+                    total_ingest_ns: 100,
+                    journal_bytes: Some(1000),
+                    ..ShardStats::default()
+                },
+                ShardStats {
+                    shard: 1,
+                    tenants: 1,
+                    enqueued_messages: 3,
+                    processed_messages: 3,
+                    ingested_events: 20,
+                    batches: 1,
+                    queue_depth: 4,
+                    max_queue_depth: 4,
+                    max_ingest_ns: 80,
+                    total_ingest_ns: 80,
+                    journal_bytes: Some(500),
+                    last_error: Some("boom".into()),
+                    ..ShardStats::default()
+                },
+            ],
+        };
+        let agg = stats.aggregate();
+        assert_eq!(agg.shard, 2);
+        assert_eq!(agg.tenants, 3);
+        assert_eq!(agg.enqueued_messages, 13);
+        assert_eq!(agg.ingested_events, 120);
+        assert_eq!(agg.queue_depth, 4);
+        assert_eq!(agg.max_queue_depth, 5);
+        assert_eq!(agg.max_ingest_ns, 80);
+        assert_eq!(agg.journal_bytes, Some(1500));
+        assert_eq!(agg.last_error.as_deref(), Some("boom"));
+        assert!((agg.mean_batch_events() - 24.0).abs() < 1e-9);
+        assert!((agg.mean_ingest_ns() - 36.0).abs() < 1e-9);
+        assert_eq!(ShardStats::default().mean_batch_events(), 0.0);
+        assert_eq!(ShardStats::default().mean_ingest_ns(), 0.0);
+    }
+}

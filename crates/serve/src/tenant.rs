@@ -1,0 +1,134 @@
+//! Tenants and the per-tenant id translation into a shard's shared
+//! namespaces.
+//!
+//! Each tenant speaks to the router as if it owned a private session:
+//! its events reference tenant-local dense [`SourceId`]s / [`TripleId`]s
+//! / [`Domain`]s, assigned in event order exactly like a standalone
+//! [`corrfuse_stream::StreamSession`] would. A shard hosts many tenants
+//! in one session, so the shard worker translates on ingest:
+//!
+//! * source names and triple subjects are *namespaced* with the tenant id
+//!   (separated by ASCII unit-separator `\u{1F}`), so equal content from
+//!   different tenants never collides in the shard dataset's interning;
+//! * tenant-local ids map positionally through a [`TenantMap`] — local id
+//!   `k` is the `k`-th source/triple the tenant ever registered;
+//! * tenant-local domains map to shard-global domains allocated on first
+//!   sight, so per-tenant scope semantics are preserved verbatim.
+//!
+//! Translation is deterministic, which is what lets the serving layer
+//! inherit the stream layer's bitwise-equivalence trust anchor.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use corrfuse_core::dataset::{Domain, SourceId};
+use corrfuse_core::triple::{Triple, TripleId};
+
+/// A tenant (routing key). Dense ids; `tenant.0 % n_shards` picks the
+/// shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u32);
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant-{}", self.0)
+    }
+}
+
+/// Separator between the tenant prefix and user content in namespaced
+/// names. An ASCII control character that survives the journal's TSV
+/// escaping and is vanishingly unlikely in real source names/subjects.
+pub const NAMESPACE_SEP: char = '\u{1F}';
+
+/// Namespace a tenant-local source name into the shard's source space.
+pub(crate) fn scoped_source_name(tenant: TenantId, name: &str) -> String {
+    format!("{}{NAMESPACE_SEP}{name}", tenant.0)
+}
+
+/// Namespace a tenant-local triple into the shard's triple space (the
+/// subject carries the prefix; predicate/object are untouched).
+pub(crate) fn scoped_triple(tenant: TenantId, t: &Triple) -> Triple {
+    Triple::new(
+        format!("{}{NAMESPACE_SEP}{}", tenant.0, t.subject),
+        t.predicate.clone(),
+        t.object.clone(),
+    )
+}
+
+/// Strip the tenant namespace off a shard-side subject or source name
+/// (for human-facing output; returns the input unchanged if it carries no
+/// prefix).
+pub fn unscoped(name: &str) -> &str {
+    match name.split_once(NAMESPACE_SEP) {
+        Some((_, rest)) => rest,
+        None => name,
+    }
+}
+
+/// One tenant's positional id maps into its shard's session.
+///
+/// `sources[k]` / `triples[k]` is the shard-session id of the tenant's
+/// `k`-th registered source / triple; `domains` maps tenant-local domains
+/// to the shard-global domains allocated for this tenant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantMap {
+    pub(crate) sources: Vec<SourceId>,
+    pub(crate) triples: Vec<TripleId>,
+    pub(crate) domains: HashMap<Domain, Domain>,
+}
+
+impl TenantMap {
+    /// Number of sources the tenant has registered.
+    pub fn n_sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Number of triples the tenant has registered.
+    pub fn n_triples(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Shard-session id of the tenant-local triple `t`, if registered.
+    pub fn triple(&self, t: TripleId) -> Option<TripleId> {
+        self.triples.get(t.index()).copied()
+    }
+
+    /// Shard-session id of the tenant-local source `s`, if registered.
+    pub fn source(&self, s: SourceId) -> Option<SourceId> {
+        self.sources.get(s.index()).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn namespacing_separates_tenants() {
+        let a = scoped_source_name(TenantId(1), "crawler");
+        let b = scoped_source_name(TenantId(2), "crawler");
+        assert_ne!(a, b);
+        assert_eq!(unscoped(&a), "crawler");
+        assert_eq!(unscoped("plain"), "plain");
+        let t = Triple::new("Obama", "profession", "president");
+        let st = scoped_triple(TenantId(7), &t);
+        assert_eq!(unscoped(&st.subject), "Obama");
+        assert_eq!(st.predicate, "profession");
+        assert_ne!(st, scoped_triple(TenantId(8), &t));
+    }
+
+    #[test]
+    fn tenant_map_lookups() {
+        let map = TenantMap {
+            sources: vec![SourceId(4), SourceId(9)],
+            triples: vec![TripleId(3)],
+            domains: HashMap::new(),
+        };
+        assert_eq!(map.n_sources(), 2);
+        assert_eq!(map.n_triples(), 1);
+        assert_eq!(map.source(SourceId(1)), Some(SourceId(9)));
+        assert_eq!(map.source(SourceId(2)), None);
+        assert_eq!(map.triple(TripleId(0)), Some(TripleId(3)));
+        assert_eq!(map.triple(TripleId(1)), None);
+    }
+}

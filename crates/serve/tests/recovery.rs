@@ -1,0 +1,167 @@
+//! Crash-recovery property test: kill a shard mid-batch by truncating
+//! its journal at an *arbitrary byte*, restore via replay, and assert
+//! bitwise score equality with a fresh fit on the pre-crash accumulated
+//! dataset.
+//!
+//! The journal's crash contract: every write ends in a newline, so a
+//! tear can only damage the final line, which recovery drops. Truncation
+//! inside the seed snapshot is unrecoverable and must fail loudly; any
+//! truncation at or after the `#events` marker must recover to a
+//! well-formed prefix of what was written.
+
+use std::path::Path;
+
+use corrfuse_core::fuser::{Fuser, FuserConfig, Method};
+use corrfuse_core::testkit::run_cases;
+use corrfuse_serve::{JournalConfig, RouterConfig, ShardRouter, TenantId};
+use corrfuse_stream::{journal, Event, FsyncPolicy, StreamSession};
+use corrfuse_synth::{multi_tenant_events, MultiTenantSpec};
+
+/// Build a router over a multi-tenant stream, run it to completion with
+/// journaling, and return each shard's journal contents (post-seal).
+fn journaled_shards(dir: &Path, config: &FuserConfig) -> Vec<Vec<u8>> {
+    let s = multi_tenant_events(&MultiTenantSpec::new(3, 100, 17)).unwrap();
+    let seeds = s
+        .seeds
+        .iter()
+        .map(|(t, ds)| (TenantId(*t), ds.clone()))
+        .collect();
+    let router = ShardRouter::new(
+        config.clone(),
+        RouterConfig::new(2)
+            .with_batching(1, std::time::Duration::from_millis(1))
+            .with_journal(JournalConfig::new(dir).with_fsync(FsyncPolicy::EveryBatch)),
+        seeds,
+    )
+    .unwrap();
+    for (tenant, events) in &s.messages {
+        router.ingest(TenantId(*tenant), events.clone()).unwrap();
+    }
+    let stats = router.shutdown().unwrap();
+    assert_eq!(stats.aggregate().ingest_errors, 0);
+    (0..2)
+        .map(|i| std::fs::read(dir.join(format!("shard-{i}.journal"))).unwrap())
+        .collect()
+}
+
+#[test]
+fn truncated_journals_recover_to_a_consistent_prefix() {
+    let dir = std::env::temp_dir().join(format!("corrfuse-recovery-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let config = FuserConfig::new(Method::Exact);
+    let journals = journaled_shards(&dir, &config);
+
+    // Per journal: the full event list and the byte offset after which
+    // the seed snapshot is intact (end of the `#events` marker line).
+    let full: Vec<(Vec<Event>, usize)> = journals
+        .iter()
+        .map(|bytes| {
+            let text = std::str::from_utf8(bytes).unwrap();
+            let (_, batches) = journal::parse(text).unwrap();
+            let marker = "#events\n";
+            let seed_end = text.find(marker).unwrap() + marker.len();
+            (batches.concat(), seed_end)
+        })
+        .collect();
+
+    run_cases("journal_crash_recovery", 24, |g| {
+        let which = g.usize_in(0, journals.len() - 1);
+        let bytes = &journals[which];
+        let (full_events, seed_end) = &full[which];
+        let cut = g.usize_in(0, bytes.len());
+        let path = dir.join(format!("crash-{which}.journal"));
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+
+        let result = StreamSession::recover(config.clone(), &path, FsyncPolicy::Never);
+        if cut < *seed_end {
+            // The seed snapshot itself is damaged: recovery must refuse,
+            // not hallucinate a session.
+            assert!(result.is_err(), "cut {cut} inside seed (< {seed_end})");
+            return;
+        }
+        let (session, report) = result.expect("recovery succeeds past the seed section");
+        // The file was trimmed back to a well-formed prefix: a plain
+        // strict read must now succeed and agree with the session.
+        let (_, batches) = journal::read(&path).unwrap();
+        assert_eq!(batches.len(), report.batches_replayed);
+        // Nothing is ever dropped after a clean cut on a newline
+        // boundary, unless the surviving partial batch itself was
+        // invalid (its claims were lost with the tear) and recovery cut
+        // back to the previous batch boundary.
+        let on_boundary = bytes[..cut].last() == Some(&b'\n');
+        if report.dropped_bytes == 0 {
+            assert!(on_boundary, "cut {cut} dropped nothing off a torn line");
+        }
+        if !on_boundary {
+            assert!(report.torn, "cut {cut} tore a line but torn not set");
+        }
+
+        // Recovered events are a prefix of what was written (a torn
+        // numeric field must never be misread as a different event).
+        let recovered: Vec<Event> = batches.concat();
+        assert!(
+            recovered.len() <= full_events.len() && recovered[..] == full_events[..recovered.len()],
+            "recovered events must be a written prefix"
+        );
+
+        // The trust anchor on the pre-crash accumulated dataset: replayed
+        // scores are bitwise identical to a from-scratch fit.
+        let fresh = Fuser::fit(
+            &config,
+            session.dataset(),
+            session.dataset().gold().expect("seeds carry gold"),
+        )
+        .unwrap();
+        let scores = fresh.score_all(session.dataset()).unwrap();
+        for (i, (a, b)) in session.scores().iter().zip(&scores).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "cut {cut}, triple {i}: recovered {a} vs fresh {b}"
+            );
+        }
+    });
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Appending after a recovery resumes a valid journal: the next restore
+/// sees the recovered prefix plus the new batch.
+#[test]
+fn recovered_journals_accept_new_batches() {
+    let dir = std::env::temp_dir().join(format!("corrfuse-recovery-app-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let config = FuserConfig::new(Method::PrecRec).with_alpha(0.5);
+    let bytes = journaled_shards(&dir, &config).remove(0);
+    // Tear mid-way through the event section.
+    let marker_end = {
+        let text = std::str::from_utf8(&bytes).unwrap();
+        text.find("#events\n").unwrap() + "#events\n".len()
+    };
+    let cut = marker_end + (bytes.len() - marker_end) * 2 / 3;
+    let path = dir.join("resume.journal");
+    std::fs::write(&path, &bytes[..cut]).unwrap();
+
+    let (mut session, _) = StreamSession::recover(config.clone(), &path, FsyncPolicy::Always)
+        .expect("recovery past the seed succeeds");
+    let before_batches = journal::read(&path).unwrap().1.len();
+    // A fresh claim on an existing pair is always valid input.
+    session
+        .ingest(&[Event::claim(
+            corrfuse_core::SourceId(0),
+            corrfuse_core::TripleId(0),
+        )])
+        .unwrap();
+    session.seal_journal().unwrap();
+    let restored = StreamSession::restore(config, &path).unwrap();
+    assert_eq!(
+        restored.delta_log().n_batches(),
+        before_batches + 1,
+        "appended batch is visible to the next restore"
+    );
+    for (a, b) in restored.scores().iter().zip(session.scores()) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -80,14 +80,41 @@ impl Event {
     }
 }
 
-/// Append-only in-memory log of every event a session has applied, with
-/// batch boundaries preserved so the stream can be replayed with the same
+/// Retention policy for a session's in-memory [`DeltaLog`].
+///
+/// `KeepAll` preserves the full replayable history in memory; on a
+/// long-running session that is an unbounded leak. Once events are
+/// durably journaled the in-memory copy is redundant, so bounded
+/// retention truncates the oldest batches while the journal remains the
+/// replay source of record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LogRetention {
+    /// Keep every batch (the historical behaviour).
+    #[default]
+    KeepAll,
+    /// Keep only the most recent `n` batches in memory; older batches are
+    /// dropped (their counts remain visible through
+    /// [`DeltaLog::dropped_batches`] / [`DeltaLog::dropped_events`]).
+    LastBatches(usize),
+}
+
+/// In-memory log of the events a session has applied, with batch
+/// boundaries preserved so the stream can be replayed with the same
 /// micro-batching (and therefore the same refit/re-score cadence).
+///
+/// By default the log is append-only; under a bounded [`LogRetention`]
+/// the oldest batches are truncated ([`DeltaLog::retain_last`]), in which
+/// case [`DeltaLog::events`] holds only the retained suffix.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DeltaLog {
     events: Vec<Event>,
-    /// End index (exclusive) into `events` of each batch, ascending.
+    /// End index (exclusive) into `events` of each retained batch,
+    /// ascending.
     batch_ends: Vec<usize>,
+    /// Batches truncated by retention.
+    dropped_batches: usize,
+    /// Events truncated by retention.
+    dropped_events: usize,
 }
 
 impl DeltaLog {
@@ -133,6 +160,50 @@ impl DeltaLog {
     pub fn batches(&self) -> impl Iterator<Item = &[Event]> {
         (0..self.n_batches()).map(|i| self.batch(i))
     }
+
+    /// Drop the `n` oldest retained batches (saturating). Returns the
+    /// number of events dropped.
+    pub fn drop_oldest_batches(&mut self, n: usize) -> usize {
+        let n = n.min(self.batch_ends.len());
+        if n == 0 {
+            return 0;
+        }
+        let cut = self.batch_ends[n - 1];
+        self.events.drain(..cut);
+        self.batch_ends.drain(..n);
+        for end in &mut self.batch_ends {
+            *end -= cut;
+        }
+        self.dropped_batches += n;
+        self.dropped_events += cut;
+        cut
+    }
+
+    /// Apply a retention policy: keep only the most recent `keep`
+    /// batches. Returns the number of events dropped.
+    pub fn retain_last(&mut self, keep: usize) -> usize {
+        self.drop_oldest_batches(self.batch_ends.len().saturating_sub(keep))
+    }
+
+    /// Batches truncated by retention since the log was created.
+    pub fn dropped_batches(&self) -> usize {
+        self.dropped_batches
+    }
+
+    /// Events truncated by retention since the log was created.
+    pub fn dropped_events(&self) -> usize {
+        self.dropped_events
+    }
+
+    /// Total batches ever recorded (retained + dropped).
+    pub fn total_batches(&self) -> usize {
+        self.dropped_batches + self.n_batches()
+    }
+
+    /// Total events ever recorded (retained + dropped).
+    pub fn total_events(&self) -> usize {
+        self.dropped_events + self.n_events()
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +225,33 @@ mod tests {
         assert_eq!(sizes, vec![2, 0, 1]);
         assert!(!log.is_empty());
         assert!(DeltaLog::new().is_empty());
+    }
+
+    #[test]
+    fn retention_truncates_oldest_batches() {
+        let mut log = DeltaLog::new();
+        log.push_batch(&[Event::add_source("A"), Event::add_triple("x", "p", "1")]);
+        log.push_batch(&[Event::label(TripleId(0), true)]);
+        log.push_batch(&[Event::claim(SourceId(0), TripleId(0))]);
+        assert_eq!(log.retain_last(2), 2);
+        assert_eq!(log.n_batches(), 2);
+        assert_eq!(log.n_events(), 2);
+        assert_eq!(log.dropped_batches(), 1);
+        assert_eq!(log.dropped_events(), 2);
+        assert_eq!(log.total_batches(), 3);
+        assert_eq!(log.total_events(), 4);
+        // Retained batches re-index from zero.
+        assert_eq!(log.batch(0), &[Event::label(TripleId(0), true)]);
+        assert_eq!(log.batch(1), &[Event::claim(SourceId(0), TripleId(0))]);
+        // Larger keep is a no-op; keep 0 empties the log.
+        assert_eq!(log.retain_last(5), 0);
+        assert_eq!(log.retain_last(0), 2);
+        assert!(log.is_empty());
+        assert_eq!(log.total_batches(), 3);
+        // Appending after truncation keeps working.
+        log.push_batch(&[Event::label(TripleId(0), false)]);
+        assert_eq!(log.batch(0), &[Event::label(TripleId(0), false)]);
+        assert_eq!(log.drop_oldest_batches(10), 1);
     }
 
     #[test]

@@ -26,10 +26,23 @@
 //! errors inside the embedded seed section. A trailing run of events
 //! without a closing `+B` (e.g. after a crash mid-append) is replayed as
 //! a final partial batch.
+//!
+//! # Durability and crash recovery
+//!
+//! Every write ends in a newline, so after a crash (power loss, a killed
+//! shard worker) only the *final* line of the file can be torn.
+//! [`recover`] exploits that: an unterminated last line is dropped as
+//! torn before parsing, and the byte length of the surviving well-formed
+//! prefix is reported so the caller can truncate the file and resume
+//! appending. How eagerly writes reach the disk is the writer's
+//! [`FsyncPolicy`]; [`JournalWriter::seal`] forces a full sync at
+//! shutdown regardless of policy, and [`JournalWriter::rotate`] compacts
+//! the journal in place (snapshot of the accumulated dataset written to a
+//! temporary sibling, synced, then atomically renamed over the journal).
 
 use std::fs;
 use std::io::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use corrfuse_core::dataset::{Dataset, Domain, SourceId};
 use corrfuse_core::error::{FusionError, Result};
@@ -42,6 +55,44 @@ use crate::event::Event;
 pub const HEADER: &str = "#corrfuse-journal v1";
 const SEED_MARK: &str = "#seed";
 const EVENTS_MARK: &str = "#events";
+
+/// A complete batch boundary as it appears in the file: the `+B` line,
+/// newline-anchored on both sides. Event lines always follow the
+/// `#events` marker line, so this sequence can never occur inside
+/// escaped field content.
+pub(crate) const BOUNDARY_LINE: &str = "\n+B\n";
+
+/// Byte offset just past the last complete batch boundary in `prefix`,
+/// falling back to the end of the `#events` marker line when no batch
+/// ever completed. Used by crash recovery to discard an unterminated
+/// trailing batch atomically.
+pub(crate) fn last_complete_boundary(prefix: &str) -> usize {
+    if let Some(i) = prefix.rfind(BOUNDARY_LINE) {
+        return i + BOUNDARY_LINE.len();
+    }
+    let marker = format!("\n{EVENTS_MARK}\n");
+    prefix
+        .rfind(&marker)
+        .map(|i| i + marker.len())
+        .unwrap_or(prefix.len())
+}
+
+/// How eagerly journal writes are forced to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// `sync_all` after every write (data + metadata). The strongest
+    /// guarantee: an acknowledged batch survives power loss.
+    Always,
+    /// `sync_data` after each appended batch. Snapshot writes are synced
+    /// at creation/rotation/seal only; batch data is durable per ingest
+    /// but file metadata may lag.
+    EveryBatch,
+    /// No explicit syncing — writes reach the OS page cache only (the
+    /// pre-policy behaviour). Fastest; a crash can lose recent batches,
+    /// which [`recover`] then trims as a torn tail.
+    #[default]
+    Never,
+}
 
 /// Serialise one event as a journal line (no trailing newline).
 fn event_line(ev: &Event) -> String {
@@ -89,24 +140,48 @@ pub fn write_snapshot(path: impl AsRef<Path>, seed: &Dataset) -> Result<()> {
 #[derive(Debug)]
 pub struct JournalWriter {
     file: fs::File,
+    path: PathBuf,
+    fsync: FsyncPolicy,
+    /// Current file length in bytes (snapshot + appended batches).
+    bytes: u64,
 }
 
 impl JournalWriter {
     /// Create (or truncate) a journal at `path` with `seed` as its
-    /// snapshot, ready to append batches.
+    /// snapshot, ready to append batches. No explicit fsyncing
+    /// ([`FsyncPolicy::Never`]).
     pub fn create(path: impl AsRef<Path>, seed: &Dataset) -> Result<JournalWriter> {
+        Self::create_with(path, seed, FsyncPolicy::Never)
+    }
+
+    /// [`JournalWriter::create`] with an explicit durability policy.
+    pub fn create_with(
+        path: impl AsRef<Path>,
+        seed: &Dataset,
+        fsync: FsyncPolicy,
+    ) -> Result<JournalWriter> {
         write_snapshot(path.as_ref(), seed)?;
-        Self::append(path)
+        let w = Self::append_with(path, fsync)?;
+        if w.fsync != FsyncPolicy::Never {
+            w.file.sync_all()?;
+        }
+        Ok(w)
     }
 
     /// Open an existing journal for appending, validating its header.
-    /// Only the first line is read — journals grow without bound and this
-    /// runs on every restore.
+    /// Only the first line is read — journals can be large and this runs
+    /// on every restore. No explicit fsyncing ([`FsyncPolicy::Never`]).
     pub fn append(path: impl AsRef<Path>) -> Result<JournalWriter> {
+        Self::append_with(path, FsyncPolicy::Never)
+    }
+
+    /// [`JournalWriter::append`] with an explicit durability policy.
+    pub fn append_with(path: impl AsRef<Path>, fsync: FsyncPolicy) -> Result<JournalWriter> {
+        let path = path.as_ref().to_path_buf();
         let mut first_line = String::new();
         {
             use std::io::BufRead as _;
-            let mut reader = std::io::BufReader::new(fs::File::open(path.as_ref())?);
+            let mut reader = std::io::BufReader::new(fs::File::open(&path)?);
             reader.read_line(&mut first_line)?;
         }
         if first_line.trim_end() != HEADER {
@@ -115,11 +190,18 @@ impl JournalWriter {
                 msg: format!("expected journal header `{HEADER}`"),
             });
         }
-        let file = fs::OpenOptions::new().append(true).open(path.as_ref())?;
-        Ok(JournalWriter { file })
+        let file = fs::OpenOptions::new().append(true).open(&path)?;
+        let bytes = file.metadata()?.len();
+        Ok(JournalWriter {
+            file,
+            path,
+            fsync,
+            bytes,
+        })
     }
 
-    /// Append one batch: its event lines plus the `+B` boundary.
+    /// Append one batch: its event lines plus the `+B` boundary, synced
+    /// according to the writer's [`FsyncPolicy`].
     pub fn append_batch(&mut self, batch: &[Event]) -> Result<()> {
         let mut buf = String::new();
         for ev in batch {
@@ -129,7 +211,67 @@ impl JournalWriter {
         buf.push_str("+B\n");
         self.file.write_all(buf.as_bytes())?;
         self.file.flush()?;
+        match self.fsync {
+            FsyncPolicy::Always => self.file.sync_all()?,
+            FsyncPolicy::EveryBatch => self.file.sync_data()?,
+            FsyncPolicy::Never => {}
+        }
+        self.bytes += buf.len() as u64;
         Ok(())
+    }
+
+    /// Current journal size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The writer's durability policy.
+    pub fn fsync_policy(&self) -> FsyncPolicy {
+        self.fsync
+    }
+
+    /// Force everything written so far to stable storage (graceful
+    /// shutdown), regardless of the running [`FsyncPolicy`].
+    pub fn seal(&mut self) -> Result<()> {
+        self.file.flush()?;
+        self.file.sync_all()?;
+        Ok(())
+    }
+
+    /// Compact the journal in place: rewrite it as a snapshot of `seed`
+    /// (the accumulated dataset) with no events. The snapshot is written
+    /// to a temporary sibling, synced, and atomically renamed over the
+    /// journal, so a crash mid-rotation leaves either the old or the new
+    /// journal — never a torn hybrid. Returns the new size in bytes.
+    pub fn rotate(&mut self, seed: &Dataset) -> Result<u64> {
+        let file_name = self
+            .path
+            .file_name()
+            .ok_or_else(|| {
+                FusionError::Io(format!(
+                    "journal path `{}` has no file name",
+                    self.path.display()
+                ))
+            })?
+            .to_string_lossy()
+            .into_owned();
+        let tmp = self.path.with_file_name(format!("{file_name}.rotate.tmp"));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(snapshot_string(seed).as_bytes())?;
+            f.flush()?;
+            // Always sync the snapshot before the rename: renaming an
+            // unsynced file over the journal could lose both copies.
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &self.path)?;
+        *self = Self::append_with(&self.path, self.fsync)?;
+        Ok(self.bytes)
     }
 }
 
@@ -137,6 +279,55 @@ impl JournalWriter {
 pub fn read(path: impl AsRef<Path>) -> Result<(Dataset, Vec<Vec<Event>>)> {
     let text = fs::read_to_string(path)?;
     parse(&text)
+}
+
+/// Outcome of a crash-tolerant journal read ([`recover`]).
+#[derive(Debug, Clone)]
+pub struct Recovered {
+    /// The seed snapshot.
+    pub seed: Dataset,
+    /// The surviving event batches (a trailing run without `+B` is the
+    /// final partial batch, exactly as [`parse`] treats it).
+    pub batches: Vec<Vec<Event>>,
+    /// Byte length of the well-formed prefix. Truncate the file to this
+    /// length before resuming appends.
+    pub good_len: u64,
+    /// Whether a torn (unterminated) final line was dropped.
+    pub torn: bool,
+}
+
+/// Parse journal text tolerating a torn tail.
+///
+/// Every journal write ends in a newline, so a crash can only tear the
+/// *final* line. An unterminated last line is therefore dropped before
+/// parsing — unconditionally, because a truncated numeric field can
+/// coincidentally still parse (`+C\t1\t234` torn to `+C\t1\t23`) and
+/// must not be replayed as a different event. Corruption anywhere else
+/// (e.g. truncation inside the seed snapshot) is not recoverable and
+/// surfaces as the underlying parse error.
+pub fn recover(text: &str) -> Result<Recovered> {
+    let (prefix, torn) = if text.is_empty() || text.ends_with('\n') {
+        (text, false)
+    } else {
+        match text.rfind('\n') {
+            Some(i) => (&text[..=i], true),
+            // No complete line at all: even the header is torn.
+            None => ("", true),
+        }
+    };
+    let (seed, batches) = parse(prefix)?;
+    Ok(Recovered {
+        seed,
+        batches,
+        good_len: prefix.len() as u64,
+        torn,
+    })
+}
+
+/// [`recover`] over a file on disk.
+pub fn read_recover(path: impl AsRef<Path>) -> Result<Recovered> {
+    let text = fs::read_to_string(path)?;
+    recover(&text)
 }
 
 /// Parse journal text. See the module docs for the format.
@@ -414,6 +605,76 @@ mod tests {
             other => panic!("unexpected error {other:?}"),
         }
         assert!(JournalWriter::append("/nonexistent/nope.journal").is_err());
+    }
+
+    #[test]
+    fn rotation_compacts_and_keeps_appending() {
+        let dir = std::env::temp_dir().join("corrfuse-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rotate.journal");
+        let mut w = JournalWriter::create_with(&path, &seed(), FsyncPolicy::EveryBatch).unwrap();
+        for b in batches() {
+            w.append_batch(&b).unwrap();
+        }
+        let before = w.bytes();
+        assert_eq!(before, std::fs::metadata(&path).unwrap().len());
+        // Rotate onto the *original* seed here (a real caller passes the
+        // accumulated dataset): the events must be gone afterwards.
+        let after = w.rotate(&seed()).unwrap();
+        assert!(after < before, "rotation shrank the journal");
+        let (_, back) = read(&path).unwrap();
+        assert!(back.is_empty(), "rotation dropped the replayed events");
+        // Appending keeps working post-rotation, and the tmp file is gone.
+        w.append_batch(&batches()[0]).unwrap();
+        w.seal().unwrap();
+        let (_, back) = read(&path).unwrap();
+        assert_eq!(back, vec![batches()[0].clone()]);
+        assert!(!dir.join("rotate.journal.rotate.tmp").exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn recover_drops_torn_tail_lines() {
+        let mut text = format!(
+            "{HEADER}\n{SEED_MARK}\n{}{EVENTS_MARK}\n+C\t0\t0\n+B\n",
+            corrfuse_core::io::to_string(&seed())
+        );
+        let whole = recover(&text).unwrap();
+        assert!(!whole.torn);
+        assert_eq!(whole.good_len, text.len() as u64);
+        assert_eq!(
+            whole.batches,
+            vec![vec![Event::claim(SourceId(0), TripleId(0))]]
+        );
+
+        // A torn numeric field that would still parse must be dropped,
+        // not misread as a different event.
+        text.push_str("+C\t1\t0");
+        let torn = recover(&text).unwrap();
+        assert!(torn.torn);
+        assert_eq!(torn.good_len, whole.good_len);
+        assert_eq!(torn.batches, whole.batches);
+
+        // Truncation inside the seed snapshot is not recoverable.
+        assert!(recover(&text[..HEADER.len() + 10]).is_err());
+        assert!(recover("").is_err());
+        assert!(recover("#corrfuse-jour").is_err());
+    }
+
+    #[test]
+    fn writer_tracks_bytes_across_reopen() {
+        let dir = std::env::temp_dir().join("corrfuse-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bytes.journal");
+        let mut w = JournalWriter::create_with(&path, &seed(), FsyncPolicy::Always).unwrap();
+        w.append_batch(&batches()[0]).unwrap();
+        let bytes = w.bytes();
+        drop(w);
+        let w2 = JournalWriter::append_with(&path, FsyncPolicy::Never).unwrap();
+        assert_eq!(w2.bytes(), bytes);
+        assert_eq!(w2.fsync_policy(), FsyncPolicy::Never);
+        assert_eq!(w2.path(), path.as_path());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

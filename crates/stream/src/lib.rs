@@ -27,7 +27,13 @@
 //! * [`journal`] — `#corrfuse-journal v1`, an append-only extension of
 //!   the `corrfuse_core::io` TSV dialect that persists a session as a
 //!   seed snapshot plus its event batches, so it can be restored and
-//!   replayed.
+//!   replayed. Journals carry an [`journal::FsyncPolicy`], rotate in
+//!   place (atomic snapshot compaction, [`StreamSession::rotate_journal`])
+//!   so they do not grow without bound, and recover from arbitrary-byte
+//!   truncation ([`StreamSession::recover`] trims the torn tail). The
+//!   in-memory [`event::DeltaLog`] is bounded by an
+//!   [`event::LogRetention`] policy once the journal is the durable
+//!   history.
 //!
 //! The subsystem's trust anchor is an equivalence invariant, enforced by
 //! unit and property tests: after any replayed event stream, the
@@ -80,7 +86,7 @@ pub mod replay;
 pub mod session;
 
 pub use cache::ScoreCache;
-pub use event::{DeltaLog, Event};
+pub use event::{DeltaLog, Event, LogRetention};
 pub use incremental::{IncrementalFuser, IngestOutcome, RefitLevel, ScoredTriple};
-pub use journal::JournalWriter;
-pub use session::{ScoredDelta, StreamSession};
+pub use journal::{FsyncPolicy, JournalWriter};
+pub use session::{RecoveryReport, ScoredDelta, StreamSession};

@@ -9,9 +9,9 @@ use corrfuse_core::error::Result;
 use corrfuse_core::fuser::{Fuser, FuserConfig};
 use corrfuse_core::joint::CacheStats;
 
-use crate::event::{DeltaLog, Event};
+use crate::event::{DeltaLog, Event, LogRetention};
 use crate::incremental::{IncrementalFuser, RefitLevel, ScoredTriple};
-use crate::journal::JournalWriter;
+use crate::journal::{FsyncPolicy, JournalWriter};
 
 /// What one ingested batch changed, from the caller's point of view.
 #[derive(Debug, Clone)]
@@ -55,6 +55,19 @@ pub struct StreamSession {
     log: DeltaLog,
     journal: Option<JournalWriter>,
     threshold: f64,
+    retention: LogRetention,
+}
+
+/// What [`StreamSession::recover`] salvaged from a crashed journal.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryReport {
+    /// Whether a torn (unterminated) final line was dropped.
+    pub torn: bool,
+    /// Bytes trimmed off the journal file to restore a well-formed tail.
+    pub dropped_bytes: u64,
+    /// Event batches replayed from the surviving prefix (a trailing run
+    /// without a batch boundary counts as one partial batch).
+    pub batches_replayed: usize,
 }
 
 impl StreamSession {
@@ -78,6 +91,7 @@ impl StreamSession {
             log: DeltaLog::new(),
             journal: None,
             threshold: 0.5,
+            retention: LogRetention::KeepAll,
         })
     }
 
@@ -87,27 +101,151 @@ impl StreamSession {
         self
     }
 
+    /// Override the in-memory delta-log retention (default
+    /// [`LogRetention::KeepAll`]). Bounded retention applies immediately
+    /// and after every subsequent ingest, so a long-running journaled
+    /// session does not accumulate its whole history in memory.
+    pub fn with_log_retention(mut self, retention: LogRetention) -> StreamSession {
+        self.set_log_retention(retention);
+        self
+    }
+
+    /// See [`StreamSession::with_log_retention`].
+    pub fn set_log_retention(&mut self, retention: LogRetention) {
+        self.retention = retention;
+        self.apply_retention();
+    }
+
+    fn apply_retention(&mut self) {
+        if let LogRetention::LastBatches(k) = self.retention {
+            self.log.retain_last(k);
+        }
+    }
+
     /// Restore a session from a `#corrfuse-journal v1` file: rebuild the
     /// seed, replay every recorded batch through the incremental path,
     /// and keep appending new batches to the same file.
     pub fn restore(config: FuserConfig, path: impl AsRef<Path>) -> Result<StreamSession> {
         let path = path.as_ref();
         let (seed, batches) = crate::journal::read(path)?;
+        let mut session = Self::replayed(config, seed, &batches)?;
+        session.journal = Some(JournalWriter::append(path)?);
+        Ok(session)
+    }
+
+    /// Crash-tolerant [`StreamSession::restore`]: a torn final journal
+    /// line (e.g. the file was truncated mid-append when a shard worker
+    /// died) is dropped, the file is truncated back to its well-formed
+    /// prefix, and the session resumes appending from there with the
+    /// given durability policy.
+    ///
+    /// A tear can also leave an *unterminated trailing batch* (events
+    /// with no `+B`). If its surviving prefix replays cleanly it is kept
+    /// and sealed in the file, so later appends do not merge into it; if
+    /// it does not (e.g. a new triple whose claims were lost to the
+    /// tear), the whole partial batch is discarded and the file is cut
+    /// back to the last complete batch boundary — batches are atomic
+    /// under recovery.
+    pub fn recover(
+        config: FuserConfig,
+        path: impl AsRef<Path>,
+        fsync: FsyncPolicy,
+    ) -> Result<(StreamSession, RecoveryReport)> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)?;
+        let file_len = text.len() as u64;
+        let recovered = crate::journal::recover(&text)?;
+        let mut good_len = recovered.good_len as usize;
+        let mut batches = recovered.batches;
+        let prefix = &text[..good_len];
+        // Event lines always follow the `#events` marker line, so a
+        // closed tail ends with a newline-anchored batch boundary.
+        let open_tail = !batches.is_empty() && !prefix.ends_with(crate::journal::BOUNDARY_LINE);
+        let mut dropped_partial = false;
+        let mut replayed = Self::replayed(config.clone(), recovered.seed.clone(), &batches);
+        if replayed.is_err() && open_tail {
+            batches.pop();
+            good_len = crate::journal::last_complete_boundary(prefix);
+            dropped_partial = true;
+            replayed = Self::replayed(config, recovered.seed, &batches);
+        }
+        let mut session = replayed?;
+        if (good_len as u64) < file_len {
+            let f = std::fs::OpenOptions::new().write(true).open(path)?;
+            f.set_len(good_len as u64)?;
+            f.sync_all()?;
+        }
+        let mut writer = JournalWriter::append_with(path, fsync)?;
+        if open_tail && !dropped_partial {
+            // Close the surviving partial batch exactly as it was
+            // replayed (an empty append writes just the `+B` boundary).
+            writer.append_batch(&[])?;
+        }
+        session.journal = Some(writer);
+        let report = RecoveryReport {
+            torn: recovered.torn || dropped_partial,
+            dropped_bytes: file_len - good_len as u64,
+            batches_replayed: batches.len(),
+        };
+        Ok((session, report))
+    }
+
+    /// Seed a session and replay recorded batches through the
+    /// incremental path.
+    fn replayed(
+        config: FuserConfig,
+        seed: Dataset,
+        batches: &[Vec<Event>],
+    ) -> Result<StreamSession> {
         let mut session = StreamSession::new(config, seed)?;
-        for batch in &batches {
+        for batch in batches {
             session.inc.ingest(batch, &session.engine)?;
             session.log.push_batch(batch);
         }
-        session.journal = Some(JournalWriter::append(path)?);
         Ok(session)
     }
 
     /// Start journaling to `path`. Writes a snapshot of the *current*
     /// accumulated dataset as the journal's seed (compacting any batches
-    /// ingested so far) and appends every subsequent batch.
+    /// ingested so far) and appends every subsequent batch. No explicit
+    /// fsyncing; see [`StreamSession::journal_to_with`].
     pub fn journal_to(&mut self, path: impl AsRef<Path>) -> Result<()> {
-        self.journal = Some(JournalWriter::create(path, self.inc.dataset())?);
+        self.journal_to_with(path, FsyncPolicy::Never)
+    }
+
+    /// [`StreamSession::journal_to`] with an explicit durability policy
+    /// for the snapshot and every appended batch.
+    pub fn journal_to_with(&mut self, path: impl AsRef<Path>, fsync: FsyncPolicy) -> Result<()> {
+        self.journal = Some(JournalWriter::create_with(path, self.inc.dataset(), fsync)?);
         Ok(())
+    }
+
+    /// Compact the active journal in place: atomically rewrite it as a
+    /// snapshot of the current accumulated dataset (no events), then
+    /// resume appending. Bounds journal growth on long-running sessions;
+    /// returns the new journal size in bytes.
+    pub fn rotate_journal(&mut self) -> Result<u64> {
+        let Some(journal) = &mut self.journal else {
+            return Err(corrfuse_core::error::FusionError::Io(
+                "rotate_journal called with no active journal".to_string(),
+            ));
+        };
+        journal.rotate(self.inc.dataset())
+    }
+
+    /// Size in bytes of the active journal, if journaling.
+    pub fn journal_bytes(&self) -> Option<u64> {
+        self.journal.as_ref().map(JournalWriter::bytes)
+    }
+
+    /// Force the active journal to stable storage (graceful shutdown),
+    /// regardless of its running [`FsyncPolicy`]. No-op without a
+    /// journal.
+    pub fn seal_journal(&mut self) -> Result<()> {
+        match &mut self.journal {
+            Some(journal) => journal.seal(),
+            None => Ok(()),
+        }
     }
 
     /// Apply one micro-batch: mutate the dataset, refresh the dirtied
@@ -124,6 +262,7 @@ impl StreamSession {
     pub fn ingest(&mut self, batch: &[Event]) -> Result<ScoredDelta> {
         let outcome = self.inc.ingest(batch, &self.engine)?;
         self.log.push_batch(batch);
+        self.apply_retention();
         if let Some(journal) = &mut self.journal {
             journal.append_batch(batch)?;
         }
@@ -178,10 +317,17 @@ impl StreamSession {
         self.threshold
     }
 
-    /// Every batch ingested by this session (post-restore batches only
-    /// count once: replayed history lives here too).
+    /// The batches ingested by this session (post-restore batches only
+    /// count once: replayed history lives here too). Under a bounded
+    /// [`LogRetention`] only the most recent batches are retained; the
+    /// journal is then the replay source of record.
     pub fn delta_log(&self) -> &DeltaLog {
         &self.log
+    }
+
+    /// The session's delta-log retention policy.
+    pub fn log_retention(&self) -> LogRetention {
+        self.retention
     }
 
     /// Cumulative score-cache counters.

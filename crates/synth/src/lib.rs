@@ -11,17 +11,22 @@
 //!   substitution rationale);
 //! * [`stream_events`] — slices a generated world into a seed snapshot
 //!   plus ingest-event micro-batches (drives the `corrfuse-stream`
-//!   equivalence tests and throughput bench).
+//!   equivalence tests and throughput bench);
+//! * [`multi_tenant`] — interleaved per-tenant event streams with
+//!   Zipf-skewed tenant sizes (drives the `corrfuse-serve` router tests
+//!   and benches).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod generator;
 pub mod motivating;
+pub mod multi_tenant;
 pub mod replicas;
 pub mod stream_events;
 
 pub use generator::{generate, GroupKind, GroupSpec, Polarity, SourceSpec, SynthSpec};
+pub use multi_tenant::{multi_tenant_events, MultiTenantSpec, MultiTenantStream};
 pub use stream_events::{event_stream, StreamSpec};
 
 use corrfuse_core::error::{FusionError, Result};

@@ -1,0 +1,242 @@
+//! Multi-tenant event-stream workloads for the serving subsystem
+//! (`corrfuse-serve`).
+//!
+//! [`multi_tenant_events`] builds one independent streamed world per
+//! tenant (via [`crate::stream_events`]) and interleaves the tenants'
+//! micro-batches into a single arrival-ordered message sequence. Tenant
+//! sizes follow a Zipf-like skew — a few heavy tenants, a long tail of
+//! light ones — which is the shape that makes shard routing interesting:
+//! hashing tenants to shards must tolerate hot shards, and per-shard
+//! sessions stay much smaller than one session holding every tenant.
+//!
+//! Tenant ids are plain `u32`s (dense, `0..n_tenants`) so this module
+//! does not depend on the serving crate; the router wraps them in its own
+//! `TenantId` newtype. Each tenant's stream is fully self-contained:
+//! source/triple ids inside its events are tenant-local, exactly as a
+//! tenant-facing ingestion API would receive them.
+
+use corrfuse_core::dataset::Dataset;
+use corrfuse_core::error::{FusionError, Result};
+use corrfuse_core::rng::StdRng;
+use corrfuse_stream::Event;
+
+use crate::stream_events::{event_stream, StreamSpec};
+use crate::SynthSpec;
+
+/// Specification of a multi-tenant streamed workload.
+#[derive(Debug, Clone)]
+pub struct MultiTenantSpec {
+    /// Number of tenants (ids `0..n_tenants`).
+    pub n_tenants: usize,
+    /// World triples for the largest tenant; tenant `t` gets roughly
+    /// `triples_largest / (t+1)^skew`, floored at 40 so every tenant's
+    /// world still trains.
+    pub triples_largest: usize,
+    /// Zipf exponent for the tenant-size decay (`0` = uniform sizes).
+    pub skew: f64,
+    /// Sources per tenant.
+    pub n_sources: usize,
+    /// Micro-batches for the largest tenant; smaller tenants scale down
+    /// proportionally (floored at 2).
+    pub batches_largest: usize,
+    /// Probability a streamed triple receives a `Label` event.
+    pub label_fraction: f64,
+    /// RNG seed (fixes tenant worlds, per-tenant streams, and the
+    /// interleaving).
+    pub seed: u64,
+}
+
+impl MultiTenantSpec {
+    /// A moderately skewed default workload.
+    pub fn new(n_tenants: usize, triples_largest: usize, seed: u64) -> Self {
+        MultiTenantSpec {
+            n_tenants,
+            triples_largest,
+            skew: 1.0,
+            n_sources: 4,
+            batches_largest: 6,
+            label_fraction: 0.3,
+            seed,
+        }
+    }
+}
+
+/// A generated multi-tenant workload.
+#[derive(Debug, Clone)]
+pub struct MultiTenantStream {
+    /// Per-tenant seed snapshots (labelled), in tenant-id order.
+    pub seeds: Vec<(u32, Dataset)>,
+    /// Interleaved arrival-ordered messages: one tenant's micro-batch of
+    /// tenant-local events each. Per-tenant relative order is preserved.
+    pub messages: Vec<(u32, Vec<Event>)>,
+}
+
+impl MultiTenantStream {
+    /// Total events across all messages.
+    pub fn n_events(&self) -> usize {
+        self.messages.iter().map(|(_, b)| b.len()).sum()
+    }
+
+    /// The messages of one tenant, in order.
+    pub fn tenant_messages(&self, tenant: u32) -> impl Iterator<Item = &[Event]> {
+        self.messages
+            .iter()
+            .filter(move |(t, _)| *t == tenant)
+            .map(|(_, b)| b.as_slice())
+    }
+}
+
+/// Generate per-tenant worlds and interleave their event streams. See the
+/// module docs.
+pub fn multi_tenant_events(spec: &MultiTenantSpec) -> Result<MultiTenantStream> {
+    if spec.n_tenants == 0 {
+        return Err(FusionError::DegenerateTraining("tenants"));
+    }
+    if !spec.skew.is_finite() || spec.skew < 0.0 {
+        return Err(FusionError::InvalidProbability {
+            what: "skew",
+            value: spec.skew,
+        });
+    }
+    if spec.triples_largest < 40 {
+        return Err(FusionError::DegenerateTraining("triples"));
+    }
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x6d74_7374_7265_616d); // "mtstream"
+
+    let mut seeds: Vec<(u32, Dataset)> = Vec::with_capacity(spec.n_tenants);
+    let mut per_tenant: Vec<Vec<Vec<Event>>> = Vec::with_capacity(spec.n_tenants);
+    for t in 0..spec.n_tenants {
+        let shrink = ((t + 1) as f64).powf(spec.skew);
+        let n_triples = ((spec.triples_largest as f64 / shrink).round() as usize).max(40);
+        let n_batches = (spec.batches_largest * n_triples / spec.triples_largest)
+            .clamp(2, spec.batches_largest.max(2));
+        // Per-tenant quality variation, so shards host genuinely
+        // different models.
+        let precision = 0.7 + 0.2 * rng.gen_f64();
+        let recall = 0.35 + 0.25 * rng.gen_f64();
+        let world_seed = spec.seed.wrapping_mul(1_000_003).wrapping_add(t as u64);
+        let stream = StreamSpec {
+            base: SynthSpec::uniform(
+                spec.n_sources,
+                precision,
+                recall,
+                n_triples,
+                0.5,
+                world_seed,
+            ),
+            seed_fraction: 0.4 + 0.2 * rng.gen_f64(),
+            n_batches,
+            label_fraction: spec.label_fraction,
+            // Every third tenant grows a brand-new source mid-stream, so
+            // routed shards also exercise the full-refit fallback.
+            add_source_every: if t % 3 == 2 { Some(2) } else { None },
+            seed: world_seed.rotate_left(17),
+        };
+        let (seed_ds, batches) = event_stream(&stream)?;
+        seeds.push((t as u32, seed_ds));
+        per_tenant.push(batches);
+    }
+
+    // Weighted-random interleave preserving per-tenant batch order: at
+    // each step, pick the next message among tenants with batches left,
+    // weighted by how many they still have (heavy tenants arrive more
+    // often, like real traffic).
+    let mut cursors = vec![0usize; spec.n_tenants];
+    let mut remaining: usize = per_tenant.iter().map(Vec::len).sum();
+    let mut messages: Vec<(u32, Vec<Event>)> = Vec::with_capacity(remaining);
+    while remaining > 0 {
+        let mut pick = rng.gen_range(0..remaining);
+        let tenant = (0..spec.n_tenants)
+            .find(|&t| {
+                let left = per_tenant[t].len() - cursors[t];
+                if pick < left {
+                    true
+                } else {
+                    pick -= left;
+                    false
+                }
+            })
+            .expect("weights sum to remaining");
+        let batch = std::mem::take(&mut per_tenant[tenant][cursors[tenant]]);
+        cursors[tenant] += 1;
+        remaining -= 1;
+        messages.push((tenant as u32, batch));
+    }
+    Ok(MultiTenantStream { seeds, messages })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corrfuse_stream::replay;
+
+    fn spec() -> MultiTenantSpec {
+        MultiTenantSpec::new(5, 160, 42)
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let a = multi_tenant_events(&spec()).unwrap();
+        let b = multi_tenant_events(&spec()).unwrap();
+        assert_eq!(a.messages, b.messages);
+        let mut other = spec();
+        other.seed = 43;
+        let c = multi_tenant_events(&other).unwrap();
+        assert_ne!(a.messages, c.messages);
+    }
+
+    #[test]
+    fn tenant_sizes_are_skewed() {
+        let s = multi_tenant_events(&spec()).unwrap();
+        assert_eq!(s.seeds.len(), 5);
+        let n0 = s.seeds[0].1.n_triples();
+        let n4 = s.seeds[4].1.n_triples();
+        assert!(
+            n0 > n4,
+            "tenant 0 seed ({n0} triples) should dominate tenant 4 ({n4})"
+        );
+        assert!(s.n_events() > 0);
+    }
+
+    #[test]
+    fn per_tenant_streams_accumulate_independently() {
+        let s = multi_tenant_events(&spec()).unwrap();
+        for (tenant, seed_ds) in &s.seeds {
+            let events: Vec<Event> = s
+                .tenant_messages(*tenant)
+                .flat_map(|b| b.iter().cloned())
+                .collect();
+            let accumulated = replay::accumulate(seed_ds, &events).unwrap();
+            assert!(accumulated.n_triples() > seed_ds.n_triples());
+            // Both label classes survive for training.
+            let gold = accumulated.gold().unwrap();
+            assert!(gold.true_count() > 0 && gold.false_count() > 0);
+        }
+    }
+
+    #[test]
+    fn interleave_preserves_per_tenant_order() {
+        let s = multi_tenant_events(&spec()).unwrap();
+        // Rebuild each tenant's stream directly and compare against the
+        // filtered interleaved view.
+        let direct = multi_tenant_events(&spec()).unwrap();
+        for (tenant, _) in &s.seeds {
+            let a: Vec<&[Event]> = s.tenant_messages(*tenant).collect();
+            let b: Vec<&[Event]> = direct.tenant_messages(*tenant).collect();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let mut s = spec();
+        s.n_tenants = 0;
+        assert!(multi_tenant_events(&s).is_err());
+        let mut s = spec();
+        s.skew = -1.0;
+        assert!(multi_tenant_events(&s).is_err());
+        let mut s = spec();
+        s.triples_largest = 10;
+        assert!(multi_tenant_events(&s).is_err());
+    }
+}

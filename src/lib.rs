@@ -13,6 +13,9 @@
 //! * [`stream`] (`corrfuse-stream`) — incremental ingestion: delta log,
 //!   incremental fuser, score cache, micro-batching sessions, and the
 //!   append-only journal.
+//! * [`serve`] (`corrfuse-serve`) — the serving layer: a sharded
+//!   multi-tenant session router with an async ingestion front door,
+//!   backpressure, and per-shard journal rotation.
 //! * [`baselines`] (`corrfuse-baselines`) — UNION-K voting, 2-/3-Estimates,
 //!   Cosine, the Latent Truth Model, and ACCU/AccuCopy.
 //! * [`synth`] (`corrfuse-synth`) — the Figure 1 example, parametric
@@ -25,6 +28,7 @@
 pub use corrfuse_baselines as baselines;
 pub use corrfuse_core as core;
 pub use corrfuse_eval as eval;
+pub use corrfuse_serve as serve;
 pub use corrfuse_stream as stream;
 pub use corrfuse_synth as synth;
 
