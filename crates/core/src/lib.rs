@@ -26,6 +26,11 @@
 //!   serial and parallel paths (parallel output is bitwise identical).
 //! * [`fuser::Fuser`] — one-stop API combining all of the above.
 //!
+//! This crate is the model layer of the corrfuse stack (core → stream →
+//! serve → net); `docs/ARCHITECTURE.md` describes the layering and
+//! states the workspace-wide trust-anchor invariant every layer is
+//! pinned to.
+//!
 //! ## Quick start
 //!
 //! ```

@@ -1,0 +1,52 @@
+//! CRC-32 (IEEE 802.3) for frame payload integrity.
+//!
+//! The reflected polynomial `0xEDB88320`, init `0xFFFF_FFFF`, final
+//! XOR `0xFFFF_FFFF` — the same parameters as zlib/PNG/Ethernet, so a
+//! third-party client can use any stock `crc32` library against the
+//! values in `docs/PROTOCOL.md`. Table-driven, one 256-entry table
+//! built at first use.
+
+use std::sync::OnceLock;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *entry = c;
+        }
+        t
+    })
+}
+
+/// CRC-32 of `data` (IEEE, reflected, `xorout = 0xFFFF_FFFF`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_standard_check_value() {
+        // The universal CRC-32 check vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // One-bit corruption is detected.
+        assert_ne!(crc32(b"223456789"), 0xCBF4_3926);
+    }
+}

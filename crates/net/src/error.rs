@@ -1,0 +1,154 @@
+//! Error types for the network layer, including the protocol-level
+//! error codes carried by `ERROR` frames.
+
+use std::fmt;
+
+use corrfuse_serve::ServeError;
+
+use crate::frame::FrameError;
+
+/// Protocol error codes (the `u16` in an `ERROR` frame). The normative
+/// list lives in `docs/PROTOCOL.md`; codes are stable across protocol
+/// versions — new codes may be added, existing ones never renumbered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The request could not be decoded (bad payload, wrong state —
+    /// e.g. a request before `HELLO`).
+    Malformed = 1,
+    /// Version negotiation failed: no common protocol version.
+    UnsupportedVersion = 2,
+    /// The referenced tenant is not hosted by this router.
+    UnknownTenant = 3,
+    /// The target shard's queue is full and the router's backpressure
+    /// policy gave up. **Retryable** — back off and resend.
+    Busy = 4,
+    /// The target shard is poisoned (a post-validation error left it in
+    /// an undefined state). **Not retryable** — the shard must be
+    /// rebuilt from its journal; see `corrfuse_serve::ServeError`.
+    ShardPoisoned = 5,
+    /// The router/server is shutting down; no new work is accepted.
+    ShuttingDown = 6,
+    /// The request is valid but this server refuses it (e.g. `SHUTDOWN`
+    /// when remote shutdown is disabled).
+    Forbidden = 7,
+    /// Any other server-side failure.
+    Internal = 8,
+}
+
+impl ErrorCode {
+    /// Decode a wire code.
+    pub fn from_code(code: u16) -> Option<ErrorCode> {
+        use ErrorCode::*;
+        [
+            Malformed,
+            UnsupportedVersion,
+            UnknownTenant,
+            Busy,
+            ShardPoisoned,
+            ShuttingDown,
+            Forbidden,
+            Internal,
+        ]
+        .into_iter()
+        .find(|c| *c as u16 == code)
+    }
+
+    /// Whether a client may retry the exact same request and expect it
+    /// to eventually succeed. Only [`ErrorCode::Busy`] qualifies.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ErrorCode::Busy)
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorCode::Malformed => "MALFORMED",
+            ErrorCode::UnsupportedVersion => "UNSUPPORTED_VERSION",
+            ErrorCode::UnknownTenant => "UNKNOWN_TENANT",
+            ErrorCode::Busy => "BUSY",
+            ErrorCode::ShardPoisoned => "SHARD_POISONED",
+            ErrorCode::ShuttingDown => "SHUTTING_DOWN",
+            ErrorCode::Forbidden => "FORBIDDEN",
+            ErrorCode::Internal => "INTERNAL",
+        };
+        write!(f, "{name}({})", *self as u16)
+    }
+}
+
+/// Map a router error onto the protocol error code a server reports for
+/// it. This is the single point where serving-layer semantics become
+/// wire semantics — notably `Backpressure` → retryable [`ErrorCode::Busy`]
+/// versus `ShardPoisoned` → fatal [`ErrorCode::ShardPoisoned`].
+pub fn code_of(e: &ServeError) -> ErrorCode {
+    match e {
+        ServeError::Backpressure { .. } => ErrorCode::Busy,
+        ServeError::ShardPoisoned { .. } => ErrorCode::ShardPoisoned,
+        ServeError::UnknownTenant(_) => ErrorCode::UnknownTenant,
+        ServeError::ShuttingDown => ErrorCode::ShuttingDown,
+        _ => ErrorCode::Internal,
+    }
+}
+
+/// Errors produced by the network layer (client and server).
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetError {
+    /// A transport-level I/O failure (connect, read, write). The string
+    /// is the rendered `std::io::Error`.
+    Io(String),
+    /// A framing violation (bad magic/version/type/length/CRC, or an
+    /// undecodable payload).
+    Frame(FrameError),
+    /// The peer replied with an `ERROR` frame.
+    Remote {
+        /// The protocol error code.
+        code: ErrorCode,
+        /// The server's human-readable message.
+        message: String,
+    },
+    /// The peer violated the protocol state machine (e.g. responded
+    /// with an unexpected frame type).
+    Protocol(String),
+    /// Connect (or reconnect) retries were exhausted.
+    RetriesExhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// The final attempt's error, rendered.
+        last: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "I/O error: {e}"),
+            NetError::Frame(e) => write!(f, "{e}"),
+            NetError::Remote { code, message } => write!(f, "server error {code}: {message}"),
+            NetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            NetError::RetriesExhausted { attempts, last } => {
+                write!(
+                    f,
+                    "gave up after {attempts} connection attempts (last: {last})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e.to_string())
+    }
+}
+
+impl From<FrameError> for NetError {
+    fn from(e: FrameError) -> Self {
+        NetError::Frame(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, NetError>;

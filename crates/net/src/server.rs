@@ -1,0 +1,456 @@
+//! The blocking TCP [`Server`]: thread-per-connection, bounded by an
+//! accept semaphore, forwarding decoded batches into an owned
+//! [`ShardRouter`].
+//!
+//! ```text
+//!  remote producers ── TCP ──▶ accept loop ── permit ──▶ handler thread
+//!                                (bounded by                 │
+//!                                 max_connections)           ▼
+//!                                               HELLO negotiation, then
+//!                                               frame → Request → router
+//!                                                            │
+//!                                                            ▼
+//!                                               ShardRouter::ingest / scores /
+//!                                               decisions / flush / stats
+//! ```
+//!
+//! * The server **owns** the router (connections share it through an
+//!   `Arc`); [`Server::serve`] runs until [`ServerHandle::stop`] fires
+//!   or a remote `SHUTDOWN` is honoured, then joins every handler,
+//!   gracefully shuts the router down and returns the final
+//!   [`RouterStats`].
+//! * Backpressure propagates as protocol-level `BUSY` errors: when the
+//!   router's policy is `Reject`/`Timeout` a full shard queue turns
+//!   into a retryable [`ErrorCode::Busy`] response, while the `Block`
+//!   policy simply stalls the connection (natural TCP backpressure).
+//! * A poisoned shard answers with the **fatal**
+//!   [`ErrorCode::ShardPoisoned`] so clients stop retrying.
+//! * Each connection keeps its own counters, surfaced through the
+//!   `STATS` request alongside the per-shard router stats.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use corrfuse_serve::{RouterStats, ServeError, ShardRouter};
+
+use crate::error::{code_of, ErrorCode, NetError, Result};
+use crate::frame::{Frame, VERSION};
+use crate::sync::Semaphore;
+use crate::wire::{Request, Response, WireStats};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum concurrently served connections (the accept-semaphore
+    /// permit count). Further connections queue in the OS accept
+    /// backlog until a handler finishes.
+    pub max_connections: usize,
+    /// Honour remote `SHUTDOWN` requests. Off by default: a production
+    /// front door should only stop from its own process; the example
+    /// pair and tests enable it so a client can end the run.
+    pub accept_shutdown: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+            accept_shutdown: false,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The defaults: 64 connections, remote shutdown disabled.
+    pub fn new() -> ServerConfig {
+        ServerConfig::default()
+    }
+
+    /// Set the connection bound.
+    pub fn with_max_connections(mut self, n: usize) -> ServerConfig {
+        self.max_connections = n;
+        self
+    }
+
+    /// Allow clients to stop the server with a `SHUTDOWN` request.
+    pub fn with_accept_shutdown(mut self, allow: bool) -> ServerConfig {
+        self.accept_shutdown = allow;
+        self
+    }
+}
+
+/// A handle that can stop a running [`Server`] from another thread.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// Ask the server to stop: no new connections are accepted, live
+    /// connections are closed once their in-flight request finishes
+    /// (a mid-read handler is unblocked by a socket shutdown), and
+    /// [`Server::serve`] returns after the graceful router shutdown —
+    /// every *accepted* ingest batch is applied and journaled before
+    /// the final stats come back.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection; the
+        // accept loop re-checks the flag before handling it.
+        let _ = TcpStream::connect_timeout(&wake_addr(self.addr), Duration::from_millis(250));
+    }
+
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+/// The network front door; see the module docs.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    router: Arc<ShardRouter>,
+    config: ServerConfig,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind to `addr` (use port 0 for an ephemeral port) and take
+    /// ownership of the router. The router keeps serving its in-process
+    /// API through [`Server::router`] while the server runs.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        router: ShardRouter,
+        config: ServerConfig,
+    ) -> Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            router: Arc::new(router),
+            config,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn local_addr(&self) -> Result<SocketAddr> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// The owned router (for in-process reads next to the network
+    /// traffic).
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// A stop handle, safe to move to another thread.
+    pub fn handle(&self) -> Result<ServerHandle> {
+        Ok(ServerHandle {
+            stop: Arc::clone(&self.stop),
+            addr: self.local_addr()?,
+        })
+    }
+
+    /// Serve until stopped. Blocking: accepts connections (bounded by
+    /// the semaphore), one handler thread each. On stop, joins every
+    /// handler, shuts the router down gracefully (drain queues, seal
+    /// journals) and returns the final stats.
+    pub fn serve(self) -> Result<RouterStats> {
+        let sem = Arc::new(Semaphore::new(self.config.max_connections));
+        // The bound address cannot change after bind; resolve it once.
+        let addr = self.local_addr()?;
+        // Handler join handles paired with a clone of their socket, so
+        // shutdown can unblock a handler parked in a read.
+        let mut handlers: Vec<(JoinHandle<()>, TcpStream)> = Vec::new();
+        loop {
+            // Take the permit *before* accepting, so at most
+            // `max_connections` handlers run and the overflow waits in
+            // the OS backlog instead of in half-served threads. The
+            // wait is sliced so a stop still lands when every permit is
+            // held by an idle connection (whose socket only gets
+            // force-closed *after* this loop exits).
+            let permit = loop {
+                if self.stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                if let Some(p) = sem.acquire_timeout(Duration::from_millis(50)) {
+                    break Some(p);
+                }
+            };
+            let Some(permit) = permit else { break };
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let (stream, _peer) = match self.listener.accept() {
+                Ok(pair) => pair,
+                Err(_) if self.stop.load(Ordering::SeqCst) => break,
+                Err(_) => {
+                    // Accept errors (ECONNABORTED, EMFILE under load)
+                    // are transient from the listener's point of view;
+                    // bailing out here would leak parked handlers and
+                    // skip the graceful router shutdown. Back off
+                    // briefly and keep accepting — a stop still exits
+                    // through the permit loop.
+                    std::thread::sleep(Duration::from_millis(50));
+                    continue;
+                }
+            };
+            if self.stop.load(Ordering::SeqCst) {
+                // The wake-up connection from `ServerHandle::stop` (or a
+                // client racing the stop); drop it unserved.
+                break;
+            }
+            handlers.retain(|(h, _)| !h.is_finished());
+            // Without the shutdown clone the connection cannot be
+            // force-closed at stop time; refuse it rather than serve
+            // it unsupervised.
+            let Ok(socket) = stream.try_clone() else {
+                continue;
+            };
+            let router = Arc::clone(&self.router);
+            let config = self.config.clone();
+            let stop = Arc::clone(&self.stop);
+            let spawned = std::thread::Builder::new()
+                .name("corrfuse-net-conn".to_string())
+                .spawn(move || {
+                    let _permit = permit;
+                    let _ = handle_connection(stream, &router, &config, &stop, addr);
+                });
+            match spawned {
+                Ok(join) => handlers.push((join, socket)),
+                // Thread exhaustion: refuse this connection (dropping
+                // the stream closes it) instead of abandoning the
+                // already-accepted ones.
+                Err(_) => continue,
+            }
+        }
+        drop(self.listener);
+        // Force-close live connections so handlers blocked in a read
+        // wake up; in-flight requests already read still complete.
+        for (_, socket) in &handlers {
+            let _ = socket.shutdown(std::net::Shutdown::Both);
+        }
+        for (h, _) in handlers {
+            let _ = h.join();
+        }
+        // Handlers are joined, so ours is the last Arc; fall back to a
+        // plain drop (drain + seal via Drop) in the pathological case.
+        match Arc::try_unwrap(self.router) {
+            Ok(router) => router.shutdown().map_err(serve_to_net),
+            Err(_) => Err(NetError::Protocol(
+                "router still shared after handler join".to_string(),
+            )),
+        }
+    }
+}
+
+fn serve_to_net(e: ServeError) -> NetError {
+    NetError::Protocol(format!("router shutdown failed: {e}"))
+}
+
+/// The address the stop wake-up dials: a wildcard bind (`0.0.0.0` /
+/// `::`) is not connectable on every platform, so substitute the
+/// loopback of the same family, keeping the bound port.
+fn wake_addr(mut addr: SocketAddr) -> SocketAddr {
+    if addr.ip().is_unspecified() {
+        match addr {
+            SocketAddr::V4(_) => addr.set_ip(std::net::Ipv4Addr::LOCALHOST.into()),
+            SocketAddr::V6(_) => addr.set_ip(std::net::Ipv6Addr::LOCALHOST.into()),
+        }
+    }
+    addr
+}
+
+/// Per-connection counters (surfaced through `STATS`).
+#[derive(Debug, Default)]
+struct ConnStats {
+    frames: u64,
+    batches: u64,
+    events: u64,
+}
+
+/// Serve one connection: HELLO negotiation, then the request loop.
+fn handle_connection(
+    mut stream: TcpStream,
+    router: &ShardRouter,
+    config: &ServerConfig,
+    stop: &AtomicBool,
+    addr: SocketAddr,
+) -> Result<()> {
+    stream.set_nodelay(true).ok();
+    negotiate(&mut stream)?;
+    let mut stats = ConnStats::default();
+    let mut seq: u64 = 0;
+    loop {
+        let frame = match Frame::read_from(&mut stream) {
+            Ok(Some(f)) => f,
+            Ok(None) => return Ok(()), // clean close
+            Err(NetError::Frame(e)) => {
+                // The stream may be mis-aligned after a framing error;
+                // answer and close rather than guess at a resync point.
+                let resp = Response::Error {
+                    code: ErrorCode::Malformed,
+                    message: e.to_string(),
+                };
+                resp.to_frame().write_to(&mut stream).ok();
+                stream.flush().ok();
+                return Err(NetError::Frame(e));
+            }
+            Err(e) => return Err(e),
+        };
+        stats.frames += 1;
+        let request = match Request::from_frame(&frame) {
+            Ok(r) => r,
+            Err(e) => {
+                // Frame-aligned but undecodable payload: report and
+                // keep serving.
+                let resp = Response::Error {
+                    code: ErrorCode::Malformed,
+                    message: e.to_string(),
+                };
+                resp.to_frame().write_to(&mut stream)?;
+                continue;
+            }
+        };
+        let mut stop_after = false;
+        let response = match request {
+            Request::Hello { .. } => Response::Error {
+                code: ErrorCode::Malformed,
+                message: "HELLO is only valid as the first frame".to_string(),
+            },
+            Request::Ingest { tenant, events } => {
+                if stop.load(Ordering::SeqCst) {
+                    Response::Error {
+                        code: ErrorCode::ShuttingDown,
+                        message: "server is stopping".to_string(),
+                    }
+                } else {
+                    let n = events.len() as u64;
+                    match router.ingest(tenant, events) {
+                        Ok(()) => {
+                            seq += 1;
+                            stats.batches += 1;
+                            stats.events += n;
+                            Response::IngestOk { seq }
+                        }
+                        Err(e) => error_response(&e),
+                    }
+                }
+            }
+            Request::Scores { tenant } => match router.scores(tenant) {
+                Ok(scores) => Response::ScoresOk { scores },
+                Err(e) => error_response(&e),
+            },
+            Request::Decisions { tenant } => match router.decisions(tenant) {
+                Ok(decisions) => Response::DecisionsOk { decisions },
+                Err(e) => error_response(&e),
+            },
+            Request::Flush => match router.flush() {
+                Ok(()) => Response::FlushOk,
+                Err(e) => error_response(&e),
+            },
+            Request::Stats => {
+                let mut wire = WireStats::from_router(&router.stats());
+                wire.conn_frames = stats.frames;
+                wire.conn_batches = stats.batches;
+                wire.conn_events = stats.events;
+                Response::StatsOk { stats: wire }
+            }
+            Request::Ping => Response::Pong,
+            Request::Shutdown => {
+                if config.accept_shutdown {
+                    stop_after = true;
+                    Response::ShutdownOk
+                } else {
+                    Response::Error {
+                        code: ErrorCode::Forbidden,
+                        message: "remote shutdown is disabled on this server".to_string(),
+                    }
+                }
+            }
+        };
+        let mut frame = response.to_frame();
+        if !frame.fits() {
+            // Never put a frame on the wire the peer must reject (the
+            // decoder enforces MAX_PAYLOAD); report the overflow as a
+            // typed error instead.
+            frame = Response::Error {
+                code: ErrorCode::Internal,
+                message: frame.oversize_error().to_string(),
+            }
+            .to_frame();
+        }
+        frame.write_to(&mut stream)?;
+        stream.flush()?;
+        if stop_after {
+            stop.store(true, Ordering::SeqCst);
+            // Wake the accept loop exactly like `ServerHandle::stop`.
+            let _ = TcpStream::connect_timeout(&wake_addr(addr), Duration::from_millis(250));
+            return Ok(());
+        }
+    }
+}
+
+fn error_response(e: &ServeError) -> Response {
+    Response::Error {
+        code: code_of(e),
+        message: e.to_string(),
+    }
+}
+
+/// The HELLO handshake, server side: the first frame must be a HELLO
+/// whose version range intersects ours.
+fn negotiate(stream: &mut TcpStream) -> Result<()> {
+    let frame = match Frame::read_from(stream)? {
+        Some(f) => f,
+        None => return Ok(()), // connected and left without a word
+    };
+    match Request::from_frame(&frame) {
+        Ok(Request::Hello {
+            min_version,
+            max_version,
+        }) => {
+            if min_version <= VERSION && VERSION <= max_version {
+                Response::HelloOk { version: VERSION }
+                    .to_frame()
+                    .write_to(stream)?;
+                Ok(())
+            } else {
+                let resp = Response::Error {
+                    code: ErrorCode::UnsupportedVersion,
+                    message: format!(
+                        "server speaks version {VERSION}, client offered {min_version}..={max_version}"
+                    ),
+                };
+                resp.to_frame().write_to(stream)?;
+                Err(NetError::Protocol("version negotiation failed".to_string()))
+            }
+        }
+        _ => {
+            let resp = Response::Error {
+                code: ErrorCode::Malformed,
+                message: "the first frame on a connection must be HELLO".to_string(),
+            };
+            resp.to_frame().write_to(stream).ok();
+            Err(NetError::Protocol(
+                "connection did not start with HELLO".to_string(),
+            ))
+        }
+    }
+}
+
+/// Run a [`Server`] on a background thread. Returns the stop handle and
+/// the join handle yielding the final router stats — the shape tests,
+/// benches and embedders want.
+pub fn spawn(server: Server) -> Result<(ServerHandle, JoinHandle<Result<RouterStats>>)> {
+    let handle = server.handle()?;
+    let join = std::thread::Builder::new()
+        .name("corrfuse-net-accept".to_string())
+        .spawn(move || server.serve())?;
+    Ok((handle, join))
+}

@@ -1,0 +1,124 @@
+//! A tiny counting semaphore (Mutex + Condvar), bounding concurrent
+//! connection-handler threads.
+//!
+//! Same offline-workspace pattern as `corrfuse_serve::queue`: std has no
+//! stable semaphore, so this provides the minimal blocking
+//! acquire/release the accept loop needs, with an RAII permit so a
+//! panicking handler still frees its slot.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A counting semaphore.
+#[derive(Debug)]
+pub struct Semaphore {
+    permits: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Semaphore {
+    /// A semaphore with `n` permits (minimum 1).
+    pub fn new(n: usize) -> Semaphore {
+        Semaphore {
+            permits: Mutex::new(n.max(1)),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until a permit is available and take it. The permit is
+    /// returned when the guard drops.
+    pub fn acquire(self: &Arc<Self>) -> Permit {
+        let mut p = self.permits.lock().expect("semaphore lock");
+        while *p == 0 {
+            p = self.cv.wait(p).expect("semaphore lock");
+        }
+        *p -= 1;
+        Permit {
+            sem: Arc::clone(self),
+        }
+    }
+
+    /// [`Semaphore::acquire`] bounded by a timeout, so a waiter can
+    /// periodically re-check an external stop condition instead of
+    /// parking forever (the server's accept loop depends on this: at
+    /// stop time every permit may be held by an idle connection).
+    pub fn acquire_timeout(self: &Arc<Self>, timeout: std::time::Duration) -> Option<Permit> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut p = self.permits.lock().expect("semaphore lock");
+        while *p == 0 {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (p2, _) = self
+                .cv
+                .wait_timeout(p, deadline - now)
+                .expect("semaphore lock");
+            p = p2;
+        }
+        *p -= 1;
+        Some(Permit {
+            sem: Arc::clone(self),
+        })
+    }
+
+    /// Permits currently available.
+    pub fn available(&self) -> usize {
+        *self.permits.lock().expect("semaphore lock")
+    }
+
+    fn release(&self) {
+        let mut p = self.permits.lock().expect("semaphore lock");
+        *p += 1;
+        self.cv.notify_one();
+    }
+}
+
+/// RAII permit returned by [`Semaphore::acquire`].
+#[derive(Debug)]
+pub struct Permit {
+    sem: Arc<Semaphore>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.sem.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn permits_bound_and_release() {
+        let sem = Arc::new(Semaphore::new(2));
+        let a = sem.acquire();
+        let _b = sem.acquire();
+        assert_eq!(sem.available(), 0);
+        drop(a);
+        assert_eq!(sem.available(), 1);
+    }
+
+    #[test]
+    fn acquire_blocks_until_release() {
+        let sem = Arc::new(Semaphore::new(1));
+        let held = sem.acquire();
+        let sem2 = Arc::clone(&sem);
+        let waiter = std::thread::spawn(move || {
+            let _p = sem2.acquire();
+            true
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!waiter.is_finished(), "second acquire must block");
+        drop(held);
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn zero_permits_clamps_to_one() {
+        let sem = Arc::new(Semaphore::new(0));
+        let _p = sem.acquire();
+        assert_eq!(sem.available(), 0);
+    }
+}

@@ -1,0 +1,695 @@
+//! The message layer: typed [`Request`]s and [`Response`]s over
+//! [`Frame`]s.
+//!
+//! Every payload layout here is specified byte-for-byte in
+//! `docs/PROTOCOL.md`. Integers are little-endian. The `INGEST` payload
+//! embeds the journal event codec ([`corrfuse_stream::codec`]) as UTF-8
+//! text — exactly one `+B`-terminated batch — which is what makes a
+//! captured wire stream replayable as a journal: concatenate `INGEST`
+//! payloads after a `#corrfuse-journal v1` snapshot prefix and the
+//! result parses as a journal file.
+
+use corrfuse_serve::{RouterStats, TenantId};
+use corrfuse_stream::codec;
+use corrfuse_stream::Event;
+
+use crate::error::ErrorCode;
+use crate::frame::{Frame, FrameError, FrameType};
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Version negotiation; MUST be the first request on a connection.
+    /// Carries the inclusive range of protocol versions the client
+    /// speaks.
+    Hello {
+        /// Lowest version the client accepts.
+        min_version: u8,
+        /// Highest version the client accepts.
+        max_version: u8,
+    },
+    /// One event batch for one tenant.
+    Ingest {
+        /// The tenant the events belong to (tenant-local ids inside).
+        tenant: TenantId,
+        /// The batch, in application order.
+        events: Vec<Event>,
+    },
+    /// Posterior scores of one tenant, in tenant-local `TripleId` order.
+    Scores {
+        /// The queried tenant.
+        tenant: TenantId,
+    },
+    /// Accept/reject decisions of one tenant.
+    Decisions {
+        /// The queried tenant.
+        tenant: TenantId,
+    },
+    /// Read-your-writes barrier over the whole router.
+    Flush,
+    /// Per-connection and per-shard statistics.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Ask the server to stop accepting and shut down (honoured only
+    /// when the server enables remote shutdown).
+    Shutdown,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Hello accepted; `version` is the negotiated protocol version
+    /// (both sides speak it for the rest of the connection).
+    HelloOk {
+        /// The negotiated version.
+        version: u8,
+    },
+    /// Ingest batch accepted (enqueued; not necessarily applied yet —
+    /// use `Flush` for read-your-writes).
+    IngestOk {
+        /// 1-based count of batches this connection has had accepted.
+        seq: u64,
+    },
+    /// Scores reply.
+    ScoresOk {
+        /// Posteriors in tenant-local `TripleId` order (f64 bit
+        /// patterns travel verbatim, so remote reads are bitwise equal
+        /// to local ones).
+        scores: Vec<f64>,
+    },
+    /// Decisions reply.
+    DecisionsOk {
+        /// Accept/reject per tenant-local triple.
+        decisions: Vec<bool>,
+    },
+    /// Barrier reached: everything accepted before the `Flush` is
+    /// applied.
+    FlushOk,
+    /// Statistics reply.
+    StatsOk {
+        /// Connection + shard counters.
+        stats: WireStats,
+    },
+    /// Liveness reply.
+    Pong,
+    /// The server accepted the shutdown request and will stop.
+    ShutdownOk,
+    /// Typed failure; see [`ErrorCode`] for retryability.
+    Error {
+        /// The protocol error code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Statistics carried by [`Response::StatsOk`]: the serving connection's
+/// own counters plus a per-shard view of the router.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Frames this connection has received (requests, post-handshake).
+    pub conn_frames: u64,
+    /// Ingest batches this connection has had accepted.
+    pub conn_batches: u64,
+    /// Events across those batches.
+    pub conn_events: u64,
+    /// Per-shard router counters, in shard order.
+    pub shards: Vec<WireShardStats>,
+}
+
+/// One shard's counters as surfaced over the wire (a stable subset of
+/// `corrfuse_serve::ShardStats`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireShardStats {
+    /// Shard index.
+    pub shard: u32,
+    /// Tenants hosted.
+    pub tenants: u32,
+    /// Messages applied by the shard worker.
+    pub processed_messages: u64,
+    /// Events ingested into the shard session.
+    pub ingested_events: u64,
+    /// Messages dropped because translation or ingest failed.
+    pub ingest_errors: u64,
+    /// Queue depth at snapshot time.
+    pub queue_depth: u32,
+    /// Whether the shard is poisoned (fatal; see
+    /// [`ErrorCode::ShardPoisoned`]).
+    pub poisoned: bool,
+}
+
+impl WireStats {
+    /// Build the shard view from live router stats.
+    pub fn from_router(router: &RouterStats) -> WireStats {
+        WireStats {
+            shards: router
+                .shards
+                .iter()
+                .map(|s| WireShardStats {
+                    shard: s.shard as u32,
+                    tenants: s.tenants as u32,
+                    processed_messages: s.processed_messages,
+                    ingested_events: s.ingested_events,
+                    ingest_errors: s.ingest_errors,
+                    queue_depth: s.queue_depth as u32,
+                    poisoned: s.poisoned,
+                })
+                .collect(),
+            ..WireStats::default()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Payload primitives
+// ---------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], FrameError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(FrameError::BadPayload(format!(
+                "payload ends inside {what} ({} of {} bytes left)",
+                self.buf.len() - self.pos,
+                n
+            ))),
+        }
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, FrameError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, FrameError> {
+        Ok(u16::from_le_bytes(
+            self.take(2, what)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn rest(self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+
+    fn finish(self, what: &str) -> Result<(), FrameError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(FrameError::BadPayload(format!(
+                "{} trailing bytes after {what}",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+fn utf8<'a>(bytes: &'a [u8], what: &str) -> Result<&'a str, FrameError> {
+    std::str::from_utf8(bytes)
+        .map_err(|e| FrameError::BadPayload(format!("{what} is not UTF-8: {e}")))
+}
+
+// ---------------------------------------------------------------------
+// Request codec
+// ---------------------------------------------------------------------
+
+impl Request {
+    /// Build an `INGEST` frame from a borrowed batch (no event clone —
+    /// the hot path for pipelining clients that keep the encoded bytes
+    /// for resend).
+    pub fn ingest_frame(tenant: TenantId, events: &[Event]) -> Frame {
+        let mut payload = tenant.0.to_le_bytes().to_vec();
+        payload.extend_from_slice(codec::encode_batch(events).as_bytes());
+        Frame::new(FrameType::Ingest, payload)
+    }
+
+    /// Encode the request as a frame.
+    pub fn to_frame(&self) -> Frame {
+        match self {
+            Request::Hello {
+                min_version,
+                max_version,
+            } => Frame::new(FrameType::Hello, vec![*min_version, *max_version]),
+            Request::Ingest { tenant, events } => Request::ingest_frame(*tenant, events),
+            Request::Scores { tenant } => {
+                Frame::new(FrameType::Scores, tenant.0.to_le_bytes().to_vec())
+            }
+            Request::Decisions { tenant } => {
+                Frame::new(FrameType::Decisions, tenant.0.to_le_bytes().to_vec())
+            }
+            Request::Flush => Frame::new(FrameType::Flush, Vec::new()),
+            Request::Stats => Frame::new(FrameType::Stats, Vec::new()),
+            Request::Ping => Frame::new(FrameType::Ping, Vec::new()),
+            Request::Shutdown => Frame::new(FrameType::Shutdown, Vec::new()),
+        }
+    }
+
+    /// Decode a request frame. Response-typed frames are rejected.
+    pub fn from_frame(frame: &Frame) -> Result<Request, FrameError> {
+        let mut r = Reader::new(&frame.payload);
+        match frame.kind {
+            FrameType::Hello => {
+                let min_version = r.u8("min_version")?;
+                let max_version = r.u8("max_version")?;
+                r.finish("HELLO")?;
+                Ok(Request::Hello {
+                    min_version,
+                    max_version,
+                })
+            }
+            FrameType::Ingest => {
+                let tenant = TenantId(r.u32("tenant")?);
+                let text = utf8(r.rest(), "INGEST event text")?;
+                let parsed = codec::parse_batches(text)
+                    .map_err(|e| FrameError::BadPayload(e.to_string()))?;
+                if parsed.open_tail {
+                    return Err(FrameError::BadPayload(
+                        "INGEST batch is missing its +B terminator".to_string(),
+                    ));
+                }
+                match <[Vec<Event>; 1]>::try_from(parsed.batches) {
+                    Ok([events]) => Ok(Request::Ingest { tenant, events }),
+                    Err(batches) => Err(FrameError::BadPayload(format!(
+                        "INGEST carries {} batches, expected exactly 1",
+                        batches.len()
+                    ))),
+                }
+            }
+            FrameType::Scores => {
+                let tenant = TenantId(r.u32("tenant")?);
+                r.finish("SCORES")?;
+                Ok(Request::Scores { tenant })
+            }
+            FrameType::Decisions => {
+                let tenant = TenantId(r.u32("tenant")?);
+                r.finish("DECISIONS")?;
+                Ok(Request::Decisions { tenant })
+            }
+            FrameType::Flush => {
+                r.finish("FLUSH")?;
+                Ok(Request::Flush)
+            }
+            FrameType::Stats => {
+                r.finish("STATS")?;
+                Ok(Request::Stats)
+            }
+            FrameType::Ping => {
+                r.finish("PING")?;
+                Ok(Request::Ping)
+            }
+            FrameType::Shutdown => {
+                r.finish("SHUTDOWN")?;
+                Ok(Request::Shutdown)
+            }
+            other => Err(FrameError::BadPayload(format!(
+                "frame type {other:?} is not a request"
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Response codec
+// ---------------------------------------------------------------------
+
+impl Response {
+    /// Encode the response as a frame.
+    pub fn to_frame(&self) -> Frame {
+        match self {
+            Response::HelloOk { version } => Frame::new(FrameType::HelloOk, vec![*version]),
+            Response::IngestOk { seq } => {
+                Frame::new(FrameType::IngestOk, seq.to_le_bytes().to_vec())
+            }
+            Response::ScoresOk { scores } => {
+                let mut payload = (scores.len() as u32).to_le_bytes().to_vec();
+                for s in scores {
+                    payload.extend_from_slice(&s.to_bits().to_le_bytes());
+                }
+                Frame::new(FrameType::ScoresOk, payload)
+            }
+            Response::DecisionsOk { decisions } => {
+                let mut payload = (decisions.len() as u32).to_le_bytes().to_vec();
+                payload.extend(decisions.iter().map(|&d| d as u8));
+                Frame::new(FrameType::DecisionsOk, payload)
+            }
+            Response::FlushOk => Frame::new(FrameType::FlushOk, Vec::new()),
+            Response::StatsOk { stats } => {
+                let mut payload = Vec::new();
+                payload.extend_from_slice(&stats.conn_frames.to_le_bytes());
+                payload.extend_from_slice(&stats.conn_batches.to_le_bytes());
+                payload.extend_from_slice(&stats.conn_events.to_le_bytes());
+                payload.extend_from_slice(&(stats.shards.len() as u32).to_le_bytes());
+                for s in &stats.shards {
+                    payload.extend_from_slice(&s.shard.to_le_bytes());
+                    payload.extend_from_slice(&s.tenants.to_le_bytes());
+                    payload.extend_from_slice(&s.processed_messages.to_le_bytes());
+                    payload.extend_from_slice(&s.ingested_events.to_le_bytes());
+                    payload.extend_from_slice(&s.ingest_errors.to_le_bytes());
+                    payload.extend_from_slice(&s.queue_depth.to_le_bytes());
+                    payload.push(s.poisoned as u8);
+                }
+                Frame::new(FrameType::StatsOk, payload)
+            }
+            Response::Pong => Frame::new(FrameType::Pong, Vec::new()),
+            Response::ShutdownOk => Frame::new(FrameType::ShutdownOk, Vec::new()),
+            Response::Error { code, message } => {
+                let mut payload = (*code as u16).to_le_bytes().to_vec();
+                payload.extend_from_slice(message.as_bytes());
+                Frame::new(FrameType::Error, payload)
+            }
+        }
+    }
+
+    /// Decode a response frame. Request-typed frames are rejected.
+    pub fn from_frame(frame: &Frame) -> Result<Response, FrameError> {
+        let mut r = Reader::new(&frame.payload);
+        match frame.kind {
+            FrameType::HelloOk => {
+                let version = r.u8("version")?;
+                r.finish("HELLO_OK")?;
+                Ok(Response::HelloOk { version })
+            }
+            FrameType::IngestOk => {
+                let seq = r.u64("seq")?;
+                r.finish("INGEST_OK")?;
+                Ok(Response::IngestOk { seq })
+            }
+            FrameType::ScoresOk => {
+                let n = r.u32("score count")? as usize;
+                let mut scores = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    scores.push(f64::from_bits(r.u64("score")?));
+                }
+                r.finish("SCORES_OK")?;
+                Ok(Response::ScoresOk { scores })
+            }
+            FrameType::DecisionsOk => {
+                let n = r.u32("decision count")? as usize;
+                let bytes = r.take(n, "decisions")?;
+                let mut decisions = Vec::with_capacity(n);
+                for &b in bytes {
+                    match b {
+                        0 => decisions.push(false),
+                        1 => decisions.push(true),
+                        other => {
+                            return Err(FrameError::BadPayload(format!(
+                                "decision byte must be 0 or 1, got {other}"
+                            )))
+                        }
+                    }
+                }
+                r.finish("DECISIONS_OK")?;
+                Ok(Response::DecisionsOk { decisions })
+            }
+            FrameType::FlushOk => {
+                r.finish("FLUSH_OK")?;
+                Ok(Response::FlushOk)
+            }
+            FrameType::StatsOk => {
+                let conn_frames = r.u64("conn_frames")?;
+                let conn_batches = r.u64("conn_batches")?;
+                let conn_events = r.u64("conn_events")?;
+                let n = r.u32("shard count")? as usize;
+                let mut shards = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    shards.push(WireShardStats {
+                        shard: r.u32("shard")?,
+                        tenants: r.u32("tenants")?,
+                        processed_messages: r.u64("processed_messages")?,
+                        ingested_events: r.u64("ingested_events")?,
+                        ingest_errors: r.u64("ingest_errors")?,
+                        queue_depth: r.u32("queue_depth")?,
+                        poisoned: match r.u8("poisoned")? {
+                            0 => false,
+                            1 => true,
+                            other => {
+                                return Err(FrameError::BadPayload(format!(
+                                    "poisoned byte must be 0 or 1, got {other}"
+                                )))
+                            }
+                        },
+                    });
+                }
+                r.finish("STATS_OK")?;
+                Ok(Response::StatsOk {
+                    stats: WireStats {
+                        conn_frames,
+                        conn_batches,
+                        conn_events,
+                        shards,
+                    },
+                })
+            }
+            FrameType::Pong => {
+                r.finish("PONG")?;
+                Ok(Response::Pong)
+            }
+            FrameType::ShutdownOk => {
+                r.finish("SHUTDOWN_OK")?;
+                Ok(Response::ShutdownOk)
+            }
+            FrameType::Error => {
+                let raw = r.u16("error code")?;
+                let code = ErrorCode::from_code(raw)
+                    .ok_or_else(|| FrameError::BadPayload(format!("unknown error code {raw}")))?;
+                let message = utf8(r.rest(), "error message")?.to_string();
+                Ok(Response::Error { code, message })
+            }
+            other => Err(FrameError::BadPayload(format!(
+                "frame type {other:?} is not a response"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corrfuse_core::dataset::SourceId;
+    use corrfuse_core::TripleId;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Hello {
+                min_version: 1,
+                max_version: 1,
+            },
+            Request::Ingest {
+                tenant: TenantId(7),
+                events: vec![
+                    Event::add_source("remote\tsource"),
+                    Event::add_triple("x", "p", "1"),
+                    Event::claim(SourceId(0), TripleId(0)),
+                    Event::label(TripleId(0), true),
+                ],
+            },
+            Request::Ingest {
+                tenant: TenantId(0),
+                events: Vec::new(),
+            },
+            Request::Scores {
+                tenant: TenantId(3),
+            },
+            Request::Decisions {
+                tenant: TenantId(3),
+            },
+            Request::Flush,
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::HelloOk { version: 1 },
+            Response::IngestOk { seq: 42 },
+            Response::ScoresOk {
+                scores: vec![0.25, f64::MIN_POSITIVE, 1.0],
+            },
+            Response::DecisionsOk {
+                decisions: vec![true, false, true],
+            },
+            Response::FlushOk,
+            Response::StatsOk {
+                stats: WireStats {
+                    conn_frames: 10,
+                    conn_batches: 4,
+                    conn_events: 99,
+                    shards: vec![
+                        WireShardStats {
+                            shard: 0,
+                            tenants: 2,
+                            processed_messages: 7,
+                            ingested_events: 70,
+                            ingest_errors: 1,
+                            queue_depth: 3,
+                            poisoned: false,
+                        },
+                        WireShardStats {
+                            shard: 1,
+                            poisoned: true,
+                            ..WireShardStats::default()
+                        },
+                    ],
+                },
+            },
+            Response::Pong,
+            Response::ShutdownOk,
+            Response::Error {
+                code: ErrorCode::Busy,
+                message: "shard 2 queue full".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for req in sample_requests() {
+            let frame = req.to_frame();
+            // Through the byte level too, not just the frame structs.
+            let (decoded, _) = Frame::decode(&frame.encode()).unwrap();
+            assert_eq!(Request::from_frame(&decoded).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in sample_responses() {
+            let frame = resp.to_frame();
+            let (decoded, _) = Frame::decode(&frame.encode()).unwrap();
+            assert_eq!(Response::from_frame(&decoded).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn scores_travel_bitwise() {
+        let scores = vec![0.1 + 0.2, f64::EPSILON, 1.0 - 1e-16];
+        let resp = Response::ScoresOk {
+            scores: scores.clone(),
+        };
+        match Response::from_frame(&resp.to_frame()).unwrap() {
+            Response::ScoresOk { scores: back } => {
+                for (a, b) in back.iter().zip(&scores) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ingest_payload_is_journal_codec_text() {
+        let req = Request::Ingest {
+            tenant: TenantId(5),
+            events: vec![Event::claim(SourceId(1), TripleId(2))],
+        };
+        let frame = req.to_frame();
+        let text = std::str::from_utf8(&frame.payload[4..]).unwrap();
+        assert_eq!(text, "+C\t1\t2\n+B\n");
+    }
+
+    #[test]
+    fn cross_kind_decoding_is_rejected() {
+        let req_frame = Request::Ping.to_frame();
+        assert!(Response::from_frame(&req_frame).is_err());
+        let resp_frame = Response::Pong.to_frame();
+        assert!(Request::from_frame(&resp_frame).is_err());
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors() {
+        // Truncated tenant id.
+        let bad = Frame::new(FrameType::Scores, vec![1, 2]);
+        assert!(Request::from_frame(&bad).is_err());
+        // Trailing garbage.
+        let bad = Frame::new(FrameType::Flush, vec![0]);
+        assert!(Request::from_frame(&bad).is_err());
+        // Ingest without the +B terminator.
+        let mut payload = 3u32.to_le_bytes().to_vec();
+        payload.extend_from_slice(b"+C\t0\t0\n");
+        assert!(Request::from_frame(&Frame::new(FrameType::Ingest, payload)).is_err());
+        // Ingest with two batches.
+        let mut payload = 3u32.to_le_bytes().to_vec();
+        payload.extend_from_slice(b"+B\n+B\n");
+        assert!(Request::from_frame(&Frame::new(FrameType::Ingest, payload)).is_err());
+        // Non-UTF-8 ingest text.
+        let mut payload = 3u32.to_le_bytes().to_vec();
+        payload.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(Request::from_frame(&Frame::new(FrameType::Ingest, payload)).is_err());
+        // Unknown error code.
+        let mut payload = 999u16.to_le_bytes().to_vec();
+        payload.extend_from_slice(b"boom");
+        assert!(Response::from_frame(&Frame::new(FrameType::Error, payload)).is_err());
+        // Bad decision byte.
+        let bad = Frame::new(FrameType::DecisionsOk, vec![1, 0, 0, 0, 7]);
+        assert!(Response::from_frame(&bad).is_err());
+    }
+
+    #[test]
+    fn error_codes_roundtrip_and_classify() {
+        use corrfuse_serve::ServeError;
+        for code in [
+            ErrorCode::Malformed,
+            ErrorCode::UnsupportedVersion,
+            ErrorCode::UnknownTenant,
+            ErrorCode::Busy,
+            ErrorCode::ShardPoisoned,
+            ErrorCode::ShuttingDown,
+            ErrorCode::Forbidden,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_code(code as u16), Some(code));
+            assert_eq!(code.is_retryable(), code == ErrorCode::Busy);
+        }
+        assert_eq!(ErrorCode::from_code(0), None);
+        assert_eq!(
+            crate::error::code_of(&ServeError::Backpressure { shard: 0, depth: 1 }),
+            ErrorCode::Busy
+        );
+        assert_eq!(
+            crate::error::code_of(&ServeError::ShardPoisoned {
+                shard: 0,
+                reason: "x".into()
+            }),
+            ErrorCode::ShardPoisoned
+        );
+        assert_eq!(
+            crate::error::code_of(&ServeError::UnknownTenant(TenantId(1))),
+            ErrorCode::UnknownTenant
+        );
+        assert_eq!(
+            crate::error::code_of(&ServeError::ShuttingDown),
+            ErrorCode::ShuttingDown
+        );
+        assert_eq!(
+            crate::error::code_of(&ServeError::InvalidConfig("x")),
+            ErrorCode::Internal
+        );
+    }
+}

@@ -1,0 +1,209 @@
+//! Fuzz-style property tests for the wire codec: the decoder is total
+//! (random bytes never panic, they produce typed errors), and
+//! encode∘decode round-trips every frame and message type, including
+//! under prefix truncation and single-bit corruption.
+
+use corrfuse_core::dataset::SourceId;
+use corrfuse_core::testkit::{run_cases, Gen};
+use corrfuse_core::TripleId;
+use corrfuse_net::wire::{WireShardStats, WireStats};
+use corrfuse_net::{ErrorCode, Frame, FrameError, FrameType, Request, Response};
+use corrfuse_serve::TenantId;
+use corrfuse_stream::Event;
+
+fn random_bytes(g: &mut Gen, len: usize) -> Vec<u8> {
+    (0..len).map(|_| g.u64_below(256) as u8).collect()
+}
+
+fn random_events(g: &mut Gen) -> Vec<Event> {
+    let n = g.usize_in(0, 6);
+    (0..n)
+        .map(|_| match g.usize_in(0, 4) {
+            0 => Event::add_source(format!("src-{}", g.u64_below(1000))),
+            1 => Event::add_triple(
+                format!("s\t{}", g.u64_below(50)),
+                "p",
+                format!("{}", g.u64_below(9)),
+            ),
+            2 => Event::claim(
+                SourceId(g.u64_below(8) as u32),
+                TripleId(g.u64_below(64) as u32),
+            ),
+            _ => Event::label(TripleId(g.u64_below(64) as u32), g.bool(0.5)),
+        })
+        .collect()
+}
+
+fn random_request(g: &mut Gen) -> Request {
+    match g.usize_in(0, 8) {
+        0 => Request::Hello {
+            min_version: g.u64_below(4) as u8,
+            max_version: g.u64_below(4) as u8,
+        },
+        1 => Request::Ingest {
+            tenant: TenantId(g.u64_below(1000) as u32),
+            events: random_events(g),
+        },
+        2 => Request::Scores {
+            tenant: TenantId(g.u64_below(1000) as u32),
+        },
+        3 => Request::Decisions {
+            tenant: TenantId(g.u64_below(1000) as u32),
+        },
+        4 => Request::Flush,
+        5 => Request::Stats,
+        6 => Request::Ping,
+        _ => Request::Shutdown,
+    }
+}
+
+fn random_response(g: &mut Gen) -> Response {
+    match g.usize_in(0, 9) {
+        0 => Response::HelloOk {
+            version: g.u64_below(4) as u8,
+        },
+        1 => Response::IngestOk {
+            seq: g.u64_below(u64::MAX),
+        },
+        2 => Response::ScoresOk {
+            scores: {
+                let n = g.usize_in(0, 8);
+                g.vec_f64(n, 0.0, 1.0)
+            },
+        },
+        3 => Response::DecisionsOk {
+            decisions: (0..g.usize_in(0, 8)).map(|_| g.bool(0.5)).collect(),
+        },
+        4 => Response::FlushOk,
+        5 => Response::StatsOk {
+            stats: WireStats {
+                conn_frames: g.u64_below(1 << 40),
+                conn_batches: g.u64_below(1 << 30),
+                conn_events: g.u64_below(1 << 40),
+                shards: (0..g.usize_in(0, 4))
+                    .map(|i| WireShardStats {
+                        shard: i as u32,
+                        tenants: g.u64_below(100) as u32,
+                        processed_messages: g.u64_below(1 << 40),
+                        ingested_events: g.u64_below(1 << 40),
+                        ingest_errors: g.u64_below(1 << 20),
+                        queue_depth: g.u64_below(1 << 16) as u32,
+                        poisoned: g.bool(0.2),
+                    })
+                    .collect(),
+            },
+        },
+        6 => Response::Pong,
+        7 => Response::ShutdownOk,
+        _ => Response::Error {
+            code: ErrorCode::from_code(g.usize_in(1, 9) as u16).unwrap(),
+            message: format!("error {}", g.u64_below(100)),
+        },
+    }
+}
+
+/// Random bytes never panic the frame decoder: every outcome is a
+/// `Frame` or a typed `FrameError`. Messages decoded from surviving
+/// frames also never panic.
+#[test]
+fn decoder_is_total_on_random_bytes() {
+    run_cases("net_decoder_total", 300, |g| {
+        let len = g.usize_in(0, 96);
+        let buf = random_bytes(g, len);
+        if let Ok((frame, used)) = Frame::decode(&buf) {
+            assert!(used <= buf.len());
+            // Message decoding over the surviving frame is total too.
+            let _ = Request::from_frame(&frame);
+            let _ = Response::from_frame(&frame);
+        }
+    });
+}
+
+/// Random bytes stamped with a valid header prefix (the adversarial
+/// region is the length/CRC/payload) never panic either.
+#[test]
+fn decoder_is_total_on_magic_prefixed_bytes() {
+    run_cases("net_decoder_magic_prefixed", 300, |g| {
+        let len = g.usize_in(14, 80);
+        let mut buf = random_bytes(g, len);
+        buf[0..4].copy_from_slice(b"CRFN");
+        if g.bool(0.8) {
+            buf[4] = 1; // valid version
+        }
+        if g.bool(0.5) {
+            // A known type code, so deeper fields get exercised.
+            buf[5] = [0x01u8, 0x02, 0x03, 0x82, 0x83, 0x86, 0x8F][g.usize_in(0, 7)];
+        }
+        if let Ok((frame, _)) = Frame::decode(&buf) {
+            let _ = Request::from_frame(&frame);
+            let _ = Response::from_frame(&frame);
+        }
+    });
+}
+
+/// encode∘decode is the identity for every request and response,
+/// through the byte level.
+#[test]
+fn messages_roundtrip_through_bytes() {
+    run_cases("net_message_roundtrip", 150, |g| {
+        let req = random_request(g);
+        let bytes = req.to_frame().encode();
+        let (frame, used) = Frame::decode(&bytes).expect("valid frame");
+        assert_eq!(used, bytes.len());
+        assert_eq!(Request::from_frame(&frame).expect("valid request"), req);
+
+        let resp = random_response(g);
+        let bytes = resp.to_frame().encode();
+        let (frame, used) = Frame::decode(&bytes).expect("valid frame");
+        assert_eq!(used, bytes.len());
+        assert_eq!(Response::from_frame(&frame).expect("valid response"), resp);
+    });
+}
+
+/// Every strict prefix of a valid frame reports `Truncated` (with the
+/// bytes still needed), and any single corrupted byte yields a typed
+/// error or — only when it hits don't-care payload bytes whose CRC
+/// no longer matches — never a wrong frame.
+#[test]
+fn truncation_and_corruption_are_typed() {
+    run_cases("net_truncation_corruption", 100, |g| {
+        let req = random_request(g);
+        let bytes = req.to_frame().encode();
+        let cut = g.usize_in(0, bytes.len());
+        match Frame::decode(&bytes[..cut]) {
+            Err(FrameError::Truncated { needed, got }) => {
+                assert_eq!(got, cut);
+                assert!(needed > cut);
+            }
+            other => panic!("prefix of len {cut} decoded as {other:?}"),
+        }
+
+        // Flip one random byte: either the header check or the CRC
+        // catches it — a flipped frame never decodes to the original.
+        let mut corrupt = bytes.clone();
+        let at = g.usize_in(0, corrupt.len());
+        corrupt[at] ^= (1 + g.u64_below(255)) as u8;
+        match Frame::decode(&corrupt) {
+            Err(_) => {}
+            Ok((frame, _)) => {
+                assert_ne!(
+                    frame.encode(),
+                    bytes,
+                    "corrupted byte {at} decoded back to the original"
+                );
+            }
+        }
+    });
+}
+
+/// The 17 frame types cover requests and responses disjointly, and
+/// every code survives the `u8` round trip.
+#[test]
+fn frame_type_codes_are_stable() {
+    for t in FrameType::ALL {
+        assert_eq!(FrameType::from_code(t as u8), Some(t));
+    }
+    let requests = FrameType::ALL.iter().filter(|t| !t.is_response()).count();
+    assert_eq!(requests, 8);
+    assert_eq!(FrameType::ALL.len() - requests, 9);
+}

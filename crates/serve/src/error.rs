@@ -38,6 +38,22 @@ pub enum ServeError {
         /// The dead shard.
         shard: usize,
     },
+    /// The target shard is poisoned: a post-validation ingest error
+    /// (model refresh on a degenerate prior, journal I/O) left its
+    /// session in an undefined state, so it stopped applying messages.
+    ///
+    /// Unlike [`ServeError::Backpressure`] this is **not retryable** —
+    /// the shard must be rebuilt from its journal. Clients over the wire
+    /// see this as a dedicated protocol error code so they can tell
+    /// fatal poisoning apart from a transient `Busy`. The shard's
+    /// last-good state remains readable through
+    /// [`crate::ShardRouter::shard_snapshot`].
+    ShardPoisoned {
+        /// The poisoned shard.
+        shard: usize,
+        /// The error that poisoned it.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -54,6 +70,12 @@ impl fmt::Display for ServeError {
             }
             ServeError::InvalidConfig(what) => write!(f, "invalid router config: {what}"),
             ServeError::ShardPanicked { shard } => write!(f, "shard {shard} worker panicked"),
+            ServeError::ShardPoisoned { shard, reason } => {
+                write!(
+                    f,
+                    "shard {shard} is poisoned (rebuild from journal): {reason}"
+                )
+            }
         }
     }
 }
@@ -90,6 +112,13 @@ mod tests {
             (ServeError::ShardSeedMissing { shard: 3 }, "shard 3"),
             (ServeError::InvalidConfig("n_shards"), "n_shards"),
             (ServeError::ShardPanicked { shard: 1 }, "panicked"),
+            (
+                ServeError::ShardPoisoned {
+                    shard: 4,
+                    reason: "degenerate prior".into(),
+                },
+                "poisoned",
+            ),
         ];
         for (err, needle) in cases {
             let s = err.to_string();

@@ -37,12 +37,15 @@
 //! * [`stats`] — per-shard + aggregate queue depths, batch sizes,
 //!   ingest latency, flips, cache hit rates, rotations.
 //!
-//! The subsystem inherits the stream layer's trust anchor, per shard:
-//! routed, micro-batched, compacted ingestion produces scores **bitwise
-//! identical** to a from-scratch `Fuser::fit + score_all` on the shard's
-//! accumulated dataset (pinned by `tests/router_equivalence.rs` at the
-//! workspace root, over random multi-tenant streams, shard counts,
-//! backpressure and fsync policies, with mid-run journal rotations).
+//! The subsystem inherits the workspace trust anchor (stated once in
+//! `docs/ARCHITECTURE.md`), per shard: routed, micro-batched, compacted
+//! ingestion produces scores **bitwise identical** to a from-scratch
+//! `Fuser::fit + score_all` on the shard's accumulated dataset (pinned
+//! by `tests/router_equivalence.rs` at the workspace root, over random
+//! multi-tenant streams, shard counts, backpressure and fsync policies,
+//! with mid-run journal rotations). This crate is the serving layer of
+//! the stack (core → stream → **serve** → net); `corrfuse-net` puts a
+//! wire protocol in front of the router for remote producers.
 //!
 //! ## Quick start
 //!
@@ -84,8 +87,8 @@
 //! router.shutdown().unwrap();
 //! ```
 
-#![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![deny(missing_docs)]
 
 pub mod config;
 pub mod error;

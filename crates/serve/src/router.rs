@@ -47,7 +47,7 @@ use corrfuse_stream::{Event, StreamSession};
 use crate::config::RouterConfig;
 use crate::error::{Result, ServeError};
 use crate::queue::{PushError, Queue};
-use crate::shard::{run_worker, Msg, Progress, ShardCore, ShardHandle, WorkerParams};
+use crate::shard::{run_worker, Msg, PoisonCell, Progress, ShardCore, ShardHandle, WorkerParams};
 use crate::stats::{RouterStats, ShardStats};
 use crate::tenant::{scoped_source_name, scoped_triple, TenantId, TenantMap};
 
@@ -136,13 +136,14 @@ impl ShardRouter {
                 journal_bytes: session.journal_bytes(),
                 ..ShardStats::default()
             };
+            let poison = Arc::new(PoisonCell::new());
             let core = Arc::new(Mutex::new(ShardCore {
                 session,
                 tenants,
                 next_domain,
                 stats,
                 batches_since_rotation: 0,
-                poisoned: None,
+                poison: Arc::clone(&poison),
             }));
             let queue = Arc::new(Queue::new(config.queue_capacity));
             let progress = Arc::new(Progress::default());
@@ -162,6 +163,7 @@ impl ShardRouter {
                 queue,
                 core,
                 progress,
+                poison,
                 enqueued: AtomicU64::new(0),
                 rejected: AtomicU64::new(0),
             });
@@ -193,9 +195,22 @@ impl ShardRouter {
     /// for asynchronous ingestion. Returns as soon as the message is
     /// accepted; under backpressure the configured policy decides
     /// between blocking, rejecting and timing out.
+    ///
+    /// A poisoned shard refuses the message up front with the
+    /// **non-retryable** [`ServeError::ShardPoisoned`] — unlike
+    /// [`ServeError::Backpressure`], retrying cannot succeed; the shard
+    /// must be rebuilt from its journal. (Messages already queued when
+    /// the shard poisons are dropped by the worker and counted in
+    /// [`crate::ShardStats::ingest_errors`].)
     pub fn ingest(&self, tenant: TenantId, events: Vec<Event>) -> Result<()> {
         let shard = self.shard_of(tenant);
         let h = &self.shards[shard];
+        if let Some(reason) = h.poison.get() {
+            return Err(ServeError::ShardPoisoned {
+                shard,
+                reason: reason.clone(),
+            });
+        }
         match h
             .queue
             .push(Msg { tenant, events }, self.config.backpressure)
@@ -230,6 +245,11 @@ impl ShardRouter {
 
     /// Current posterior per tenant-local triple, in the tenant's own
     /// `TripleId` order (snapshot-consistent per-shard read).
+    ///
+    /// Queries against a poisoned shard fail with
+    /// [`ServeError::ShardPoisoned`] rather than silently serving state
+    /// of unknown freshness; use [`ShardRouter::shard_snapshot`] to read
+    /// the shard's last consistent state explicitly.
     pub fn scores(&self, tenant: TenantId) -> Result<Vec<f64>> {
         self.with_tenant(tenant, |core, map| {
             let scores = core.session.scores();
@@ -238,7 +258,8 @@ impl ShardRouter {
     }
 
     /// Accept/reject decisions per tenant-local triple at the router
-    /// threshold.
+    /// threshold. Fails with [`ServeError::ShardPoisoned`] on a poisoned
+    /// shard; see [`ShardRouter::scores`].
     pub fn decisions(&self, tenant: TenantId) -> Result<Vec<bool>> {
         let threshold = self.config.threshold;
         self.with_tenant(tenant, |core, map| {
@@ -255,14 +276,24 @@ impl ShardRouter {
         tenant: TenantId,
         f: impl FnOnce(&ShardCore, &TenantMap) -> R,
     ) -> Result<R> {
-        let core = self.shards[self.shard_of(tenant)]
-            .core
-            .lock()
-            .expect("shard core lock");
-        match core.tenants.get(&tenant) {
-            Some(map) => Ok(f(&core, map)),
-            None => Err(ServeError::UnknownTenant(tenant)),
+        let shard = self.shard_of(tenant);
+        let h = &self.shards[shard];
+        let core = h.core.lock().expect("shard core lock");
+        // Membership first (an unknown tenant is the caller's bug, not
+        // the shard's — reporting ShardPoisoned for it would send the
+        // operator on a pointless rebuild), then the poison check,
+        // *under the lock* so a query racing the poisoning batch can
+        // never observe half-mutated session state.
+        let Some(map) = core.tenants.get(&tenant) else {
+            return Err(ServeError::UnknownTenant(tenant));
+        };
+        if let Some(reason) = h.poison.get() {
+            return Err(ServeError::ShardPoisoned {
+                shard,
+                reason: reason.clone(),
+            });
         }
+        Ok(f(&core, map))
     }
 
     /// All tenants currently hosted, ascending.
@@ -286,6 +317,12 @@ impl ShardRouter {
 
     /// A snapshot-consistent copy of one shard's dataset, scores and
     /// decisions (clones under the shard lock).
+    ///
+    /// This read deliberately works on a **poisoned** shard too: it is
+    /// the operator's window onto the shard's last consistent state
+    /// (the worker stops applying the moment it poisons, so the copy is
+    /// the state as of the last successful batch) and the starting
+    /// point for rebuilding the shard from its journal.
     pub fn shard_snapshot(&self, shard: usize) -> Result<ShardSnapshot> {
         let h = self
             .shards
@@ -322,7 +359,7 @@ impl ShardRouter {
                 s.n_triples = core.session.dataset().n_triples();
                 s.score_cache = core.session.score_cache_stats();
                 s.log_dropped_events = core.session.delta_log().dropped_events();
-                s.poisoned = core.poisoned.is_some();
+                s.poisoned = core.poison.get().is_some();
                 s
             })
             .collect();

@@ -18,15 +18,18 @@
 //! the bad message is dropped and counted in
 //! [`ShardStats::ingest_errors`]. Errors that surface *after* state may
 //! have mutated (a model refresh failing on a degenerate prior, journal
-//! I/O) poison the shard instead: it stops applying, keeps serving its
-//! last consistent scores, and reports [`ShardStats::poisoned`] so an
-//! operator can rebuild it from its journal. Journal rotation runs
-//! outside the batch path; a rotation failure is recorded but neither
-//! retries the batch nor poisons the shard.
+//! I/O) poison the shard instead: it stops applying, refuses further
+//! front-door calls with the typed
+//! [`crate::ServeError::ShardPoisoned`], and reports
+//! [`ShardStats::poisoned`]; the last consistent state stays readable
+//! through [`crate::ShardRouter::shard_snapshot`] so an operator can
+//! rebuild the shard from its journal. Journal rotation runs outside
+//! the batch path; a rotation failure is recorded but neither retries
+//! the batch nor poisons the shard.
 
 use std::collections::HashMap;
 use std::sync::atomic::AtomicU64;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use corrfuse_core::dataset::{Dataset, Domain, SourceId};
@@ -46,6 +49,13 @@ pub(crate) struct Msg {
     pub events: Vec<Event>,
 }
 
+/// Permanent poison marker of one shard, shared between the worker
+/// (which sets it once, under the core lock) and the router front door
+/// (which checks it lock-free so ingest and queries can refuse with
+/// [`crate::ServeError::ShardPoisoned`] without waiting behind a batch
+/// apply).
+pub(crate) type PoisonCell = OnceLock<String>;
+
 /// The lockable state of one shard.
 #[derive(Debug)]
 pub(crate) struct ShardCore {
@@ -58,10 +68,13 @@ pub(crate) struct ShardCore {
     pub batches_since_rotation: u64,
     /// Set when a post-validation ingest error (model refresh, journal
     /// I/O) left the session in an undefined state. A poisoned shard
-    /// stops applying messages — each is counted as an error — and keeps
-    /// serving its last consistent scores; rebuild it from the journal
-    /// to recover.
-    pub poisoned: Option<String>,
+    /// stops applying messages — racing messages already queued are
+    /// dropped and counted as errors, new front-door calls are refused
+    /// with a typed [`crate::ServeError::ShardPoisoned`] — and its
+    /// last consistent state stays readable through
+    /// [`crate::ShardRouter::shard_snapshot`]; rebuild it from the
+    /// journal to recover.
+    pub poison: Arc<PoisonCell>,
 }
 
 /// Worker-side progress counter, used by `ShardRouter::flush` to wait
@@ -107,6 +120,9 @@ pub(crate) struct ShardHandle {
     pub queue: Arc<Queue<Msg>>,
     pub core: Arc<Mutex<ShardCore>>,
     pub progress: Arc<Progress>,
+    /// Lock-free view of the shard's poison marker (shared with
+    /// [`ShardCore::poison`]).
+    pub poison: Arc<PoisonCell>,
     /// Messages accepted into the queue (front-door side).
     pub enqueued: AtomicU64,
     /// Messages refused by backpressure (front-door side).
@@ -176,17 +192,17 @@ pub(crate) fn apply_batch(core: &mut ShardCore, msgs: &[Msg], journal: Option<&J
     if msgs.is_empty() {
         return;
     }
-    if core.poisoned.is_some() {
+    if core.poison.get().is_some() {
         refuse_poisoned(core, msgs.len());
         return;
     }
     match try_apply(core, msgs) {
         Ok(()) => {}
-        Err(_) if msgs.len() > 1 && core.poisoned.is_none() => {
+        Err(_) if msgs.len() > 1 && core.poison.get().is_none() => {
             // The merged pre-validation failed on some message's input;
             // retry individually so innocent co-tenants aren't dropped.
             for m in msgs {
-                if core.poisoned.is_some() {
+                if core.poison.get().is_some() {
                     refuse_poisoned(core, 1);
                     continue;
                 }
@@ -211,7 +227,7 @@ fn refuse_poisoned(core: &mut ShardCore, n_msgs: usize) {
     core.stats.ingest_errors += n_msgs as u64;
     core.stats.last_error = Some(format!(
         "shard poisoned, message dropped: {}",
-        core.poisoned.as_deref().unwrap_or("unknown")
+        core.poison.get().map(String::as_str).unwrap_or("unknown")
     ));
 }
 
@@ -239,7 +255,7 @@ fn try_apply(core: &mut ShardCore, msgs: &[Msg]) -> CoreResult<()> {
         next_domain,
         stats,
         batches_since_rotation,
-        poisoned,
+        poison,
     } = core;
     let tr = translate(tenants, session.dataset(), *next_domain, msgs)?;
     let dims_before = (session.dataset().n_sources(), session.dataset().n_triples());
@@ -265,7 +281,7 @@ fn try_apply(core: &mut ShardCore, msgs: &[Msg]) -> CoreResult<()> {
         Ok(delta) => delta,
         Err(e) => {
             if !is_input_error(&e) {
-                *poisoned = Some(e.to_string());
+                let _ = poison.set(e.to_string());
             }
             return Err(e);
         }

@@ -31,8 +31,11 @@ pub struct ShardStats {
     /// Human-readable description of the most recent error.
     pub last_error: Option<String>,
     /// A post-validation error left the shard session in an undefined
-    /// state: it stopped applying messages and serves its last
-    /// consistent scores. Rebuild the shard from its journal to recover.
+    /// state: it stopped applying messages, and ingest/queries against
+    /// it fail with the typed `ServeError::ShardPoisoned` (protocol
+    /// error `SHARD_POISONED` over the wire). The last consistent state
+    /// stays readable via `ShardRouter::shard_snapshot`; rebuild the
+    /// shard from its journal to recover.
     pub poisoned: bool,
     /// Queue depth at snapshot time.
     pub queue_depth: usize,

@@ -306,8 +306,10 @@ fn shutdown_drains_and_seals() {
 
 /// A post-validation ingest error (here: a relabel that degenerates the
 /// empirical prior, surfacing *after* the dataset mutated) poisons the
-/// shard: it stops applying, keeps serving last-good scores, and other
-/// shards are untouched.
+/// shard: it stops applying, further ingest and queries fail with the
+/// dedicated non-retryable `ShardPoisoned` variant, the last consistent
+/// state stays readable through `shard_snapshot`, and other shards are
+/// untouched.
 #[test]
 fn post_mutation_errors_poison_only_their_shard() {
     use corrfuse_core::dataset::DatasetBuilder;
@@ -340,25 +342,40 @@ fn post_mutation_errors_poison_only_their_shard() {
     assert!(stats.shards[0].poisoned, "{:?}", stats.shards[0].last_error);
     assert_eq!(stats.shards[0].ingest_errors, 1);
     assert!(stats.aggregate().poisoned);
-    // Further messages to the poisoned shard are refused and counted...
-    router
+    // Further front-door ingest is refused with the dedicated,
+    // non-retryable variant (not a generic backpressure/queue error)...
+    let err = router
         .ingest(TenantId(0), vec![Event::claim(SourceId(0), TripleId(1))])
-        .unwrap();
-    router.flush().unwrap();
-    let stats = router.stats();
-    assert_eq!(stats.shards[0].ingest_errors, 2);
-    assert!(stats.shards[0]
-        .last_error
-        .as_deref()
-        .unwrap()
-        .contains("poisoned"));
-    // ...while last-good scores keep serving.
-    assert_eq!(router.scores(TenantId(0)).unwrap(), before);
+        .unwrap_err();
+    assert!(
+        matches!(err, ServeError::ShardPoisoned { shard: 0, .. }),
+        "{err:?}"
+    );
+    // ...and so are tenant queries: a poisoned shard never silently
+    // serves state of unknown freshness.
+    let err = router.scores(TenantId(0)).unwrap_err();
+    assert!(
+        matches!(err, ServeError::ShardPoisoned { shard: 0, .. }),
+        "{err:?}"
+    );
+    assert!(router.decisions(TenantId(0)).is_err());
+    // An unknown tenant routed to the poisoned shard is still the
+    // caller's bug — UnknownTenant takes precedence over the shard's
+    // poisoning.
+    assert_eq!(
+        router.scores(TenantId(2)).unwrap_err(),
+        ServeError::UnknownTenant(TenantId(2))
+    );
+    // The explicit operator read still exposes the last consistent
+    // state (the scores as of the final successful batch).
+    let snap = router.shard_snapshot(0).unwrap();
+    assert_eq!(snap.scores, before);
     // The sibling shard is unaffected.
     router
         .ingest(TenantId(1), vec![Event::claim(SourceId(0), TripleId(1))])
         .unwrap();
     router.flush().unwrap();
+    assert!(router.scores(TenantId(1)).is_ok());
     let stats = router.shutdown().unwrap();
     assert!(!stats.shards[1].poisoned);
     assert_eq!(stats.shards[1].ingest_errors, 0);

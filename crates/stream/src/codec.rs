@@ -1,0 +1,304 @@
+//! The `#corrfuse-journal v1` *event codec*: the line-oriented encoding
+//! of [`Event`]s and batch boundaries, factored out of [`crate::journal`]
+//! so every transport that carries event batches speaks one dialect.
+//!
+//! Two consumers share this module:
+//!
+//! * [`crate::journal`] — the on-disk append-only session history (a
+//!   dataset snapshot followed by encoded batches);
+//! * `corrfuse-net` — the wire protocol's `INGEST` frame payload is
+//!   exactly one encoded batch ([`encode_batch`]), which makes a captured
+//!   wire stream *replayable as a journal*: concatenate the payloads
+//!   after a snapshot prefix and the result parses as a journal file.
+//!
+//! The encoding is TSV-per-line, reusing [`corrfuse_core::io::escape`]
+//! for field content, with one line per event and a `+B` line closing
+//! each batch:
+//!
+//! ```text
+//! +S<TAB>source-name                                  (AddSource)
+//! +T<TAB>subject<TAB>predicate<TAB>object<TAB>domain  (AddTriple)
+//! +C<TAB>source-index<TAB>triple-index                (Claim)
+//! +L<TAB>triple-index<TAB>0|1                         (Label)
+//! +B                                                  (batch boundary)
+//! ```
+//!
+//! Every line — including the last — ends in `\n`, so encoded batches
+//! concatenate cleanly and a torn append can only damage the final line.
+//! Parse errors report the 1-based line number handed in by the caller,
+//! so journal files can surface absolute file positions while wire
+//! payloads report payload-relative ones.
+
+use corrfuse_core::dataset::{Domain, SourceId};
+use corrfuse_core::error::{FusionError, Result};
+use corrfuse_core::io::{escape, unescape};
+use corrfuse_core::triple::{Triple, TripleId};
+
+use crate::event::Event;
+
+/// The batch-boundary tag (a complete line of its own).
+pub const BOUNDARY_TAG: &str = "+B";
+
+/// Serialise one event as a codec line (no trailing newline).
+pub fn event_line(ev: &Event) -> String {
+    match ev {
+        Event::AddSource { name } => {
+            let mut out = String::from("+S\t");
+            escape(name, &mut out);
+            out
+        }
+        Event::AddTriple { triple, domain } => {
+            let mut out = String::from("+T\t");
+            escape(&triple.subject, &mut out);
+            out.push('\t');
+            escape(&triple.predicate, &mut out);
+            out.push('\t');
+            escape(&triple.object, &mut out);
+            out.push('\t');
+            out.push_str(&domain.0.to_string());
+            out
+        }
+        Event::Claim { source, triple } => format!("+C\t{}\t{}", source.0, triple.0),
+        Event::Label { triple, truth } => {
+            format!("+L\t{}\t{}", triple.0, if *truth { 1 } else { 0 })
+        }
+    }
+}
+
+/// Append one encoded batch — its event lines plus the closing `+B`
+/// line, every line `\n`-terminated — to `out`.
+pub fn write_batch(batch: &[Event], out: &mut String) {
+    for ev in batch {
+        out.push_str(&event_line(ev));
+        out.push('\n');
+    }
+    out.push_str(BOUNDARY_TAG);
+    out.push('\n');
+}
+
+/// One encoded batch as a standalone string (the wire payload form).
+pub fn encode_batch(batch: &[Event]) -> String {
+    let mut out = String::new();
+    write_batch(batch, &mut out);
+    out
+}
+
+/// A decoded codec line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Line {
+    /// An event line (`+S` / `+T` / `+C` / `+L`).
+    Event(Event),
+    /// The `+B` batch boundary.
+    Boundary,
+}
+
+/// Decode one codec line. `lineno` is the 1-based line number reported
+/// in parse errors (journal files pass absolute file positions, wire
+/// payloads pass payload-relative ones). Trailing `\r` is tolerated.
+pub fn parse_line(raw: &str, lineno: usize) -> Result<Line> {
+    let line = raw.trim_end_matches('\r');
+    let mut fields = line.split('\t');
+    let tag = fields.next().unwrap_or_default();
+    match tag {
+        BOUNDARY_TAG => Ok(Line::Boundary),
+        "+S" => {
+            let name = fields.next().ok_or_else(|| FusionError::Parse {
+                line: lineno,
+                msg: "+S line missing name".to_string(),
+            })?;
+            Ok(Line::Event(Event::AddSource {
+                name: unescape(name, lineno)?,
+            }))
+        }
+        "+T" => {
+            let mut next = |what: &str| -> Result<String> {
+                fields
+                    .next()
+                    .ok_or_else(|| FusionError::Parse {
+                        line: lineno,
+                        msg: format!("+T line missing {what}"),
+                    })
+                    .and_then(|f| unescape(f, lineno))
+            };
+            let subject = next("subject")?;
+            let predicate = next("predicate")?;
+            let object = next("object")?;
+            let domain: u32 = next("domain")?.parse().map_err(|_| FusionError::Parse {
+                line: lineno,
+                msg: "+T line needs a numeric domain".to_string(),
+            })?;
+            Ok(Line::Event(Event::AddTriple {
+                triple: Triple::new(subject, predicate, object),
+                domain: Domain(domain),
+            }))
+        }
+        "+C" => {
+            let s = index_field(&mut fields, "+C", "source index", lineno)?;
+            let t = index_field(&mut fields, "+C", "triple index", lineno)?;
+            Ok(Line::Event(Event::Claim {
+                source: SourceId(s),
+                triple: TripleId(t),
+            }))
+        }
+        "+L" => {
+            let t: u32 = index_field(&mut fields, "+L", "triple index", lineno)?;
+            let truth = match fields.next() {
+                Some("1") => true,
+                Some("0") => false,
+                other => {
+                    return Err(FusionError::Parse {
+                        line: lineno,
+                        msg: format!(
+                            "+L label must be 0 or 1, got `{}`",
+                            other.unwrap_or_default()
+                        ),
+                    })
+                }
+            };
+            Ok(Line::Event(Event::Label {
+                triple: TripleId(t),
+                truth,
+            }))
+        }
+        other => Err(FusionError::Parse {
+            line: lineno,
+            msg: format!("unknown journal tag `{other}`"),
+        }),
+    }
+}
+
+/// Decoded batches plus whether the final run of events was left open
+/// (no closing `+B`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedBatches {
+    /// The decoded batches, in order. A trailing run without `+B` is
+    /// included as the final (partial) batch.
+    pub batches: Vec<Vec<Event>>,
+    /// True when the final batch had no closing boundary (a crash
+    /// mid-append, or a truncated wire payload).
+    pub open_tail: bool,
+}
+
+/// Decode a sequence of `(1-based lineno, raw line)` pairs into batches.
+/// Blank lines and `#`-comments are skipped, mirroring the journal's
+/// event section. This is the shared walk behind [`crate::journal::parse`]
+/// and the wire decoder ([`parse_batches`]).
+pub fn parse_batch_lines<'a>(
+    lines: impl Iterator<Item = (usize, &'a str)>,
+) -> Result<ParsedBatches> {
+    let mut batches: Vec<Vec<Event>> = Vec::new();
+    let mut current: Vec<Event> = Vec::new();
+    let mut open = false;
+    for (lineno, raw) in lines {
+        let line = raw.trim_end_matches('\r');
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match parse_line(line, lineno)? {
+            Line::Boundary => {
+                batches.push(std::mem::take(&mut current));
+                open = false;
+            }
+            Line::Event(ev) => {
+                current.push(ev);
+                open = true;
+            }
+        }
+    }
+    if open {
+        batches.push(current);
+    }
+    Ok(ParsedBatches {
+        batches,
+        open_tail: open,
+    })
+}
+
+/// Decode standalone codec text (e.g. a wire payload) into batches.
+/// Line numbers in errors are relative to `text` (1-based).
+pub fn parse_batches(text: &str) -> Result<ParsedBatches> {
+    parse_batch_lines(text.lines().enumerate().map(|(i, l)| (i + 1, l)))
+}
+
+fn index_field<'a>(
+    fields: &mut impl Iterator<Item = &'a str>,
+    tag: &str,
+    what: &str,
+    lineno: usize,
+) -> Result<u32> {
+    fields
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| FusionError::Parse {
+            line: lineno,
+            msg: format!("{tag} line needs a {what}"),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Event> {
+        vec![
+            Event::add_source("A\twith tab"),
+            Event::add_triple_in("x\ny", "p", "1", Domain(3)),
+            Event::claim(SourceId(0), TripleId(7)),
+            Event::label(TripleId(7), true),
+        ]
+    }
+
+    #[test]
+    fn batch_roundtrip_preserves_events() {
+        let text = encode_batch(&sample());
+        assert!(text.ends_with("+B\n"), "batches are self-terminating");
+        let parsed = parse_batches(&text).unwrap();
+        assert_eq!(parsed.batches, vec![sample()]);
+        assert!(!parsed.open_tail);
+    }
+
+    #[test]
+    fn concatenated_batches_parse_in_order() {
+        let mut text = encode_batch(&sample());
+        text.push_str(&encode_batch(&[Event::label(TripleId(0), false)]));
+        let parsed = parse_batches(&text).unwrap();
+        assert_eq!(parsed.batches.len(), 2);
+        assert_eq!(parsed.batches[1], vec![Event::label(TripleId(0), false)]);
+    }
+
+    #[test]
+    fn open_tail_is_reported() {
+        let parsed = parse_batches("+C\t0\t0\n").unwrap();
+        assert!(parsed.open_tail);
+        assert_eq!(
+            parsed.batches,
+            vec![vec![Event::claim(SourceId(0), TripleId(0))]]
+        );
+        // An empty closed batch is just the boundary.
+        let parsed = parse_batches("+B\n").unwrap();
+        assert!(!parsed.open_tail);
+        assert_eq!(parsed.batches, vec![Vec::new()]);
+    }
+
+    #[test]
+    fn errors_carry_the_caller_lineno() {
+        match parse_line("+L\t0\t7", 42).unwrap_err() {
+            FusionError::Parse { line, msg } => {
+                assert_eq!(line, 42);
+                assert!(msg.contains("0 or 1"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(parse_line("+X\tboom", 1).is_err());
+        assert!(parse_line("+S", 1).is_err());
+        assert!(parse_line("+T\ta\tb", 1).is_err());
+        assert!(parse_line("+T\ta\tb\tc\tnot-a-number", 1).is_err());
+        assert!(parse_line("+C\t1", 1).is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let parsed = parse_batches("# comment\n\n+C\t0\t0\n+B\n").unwrap();
+        assert_eq!(parsed.batches.len(), 1);
+    }
+}

@@ -44,11 +44,10 @@ use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-use corrfuse_core::dataset::{Dataset, Domain, SourceId};
+use corrfuse_core::dataset::Dataset;
 use corrfuse_core::error::{FusionError, Result};
-use corrfuse_core::io::{escape, unescape};
-use corrfuse_core::triple::{Triple, TripleId};
 
+use crate::codec;
 use crate::event::Event;
 
 /// First line of every journal file.
@@ -77,6 +76,10 @@ pub(crate) fn last_complete_boundary(prefix: &str) -> usize {
         .unwrap_or(prefix.len())
 }
 
+// The event-line encoding itself lives in [`crate::codec`], shared with
+// the wire protocol (`corrfuse-net`); this module owns the file format
+// around it: header, embedded seed snapshot, durability and rotation.
+
 /// How eagerly journal writes are forced to stable storage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FsyncPolicy {
@@ -92,32 +95,6 @@ pub enum FsyncPolicy {
     /// which [`recover`] then trims as a torn tail.
     #[default]
     Never,
-}
-
-/// Serialise one event as a journal line (no trailing newline).
-fn event_line(ev: &Event) -> String {
-    match ev {
-        Event::AddSource { name } => {
-            let mut out = String::from("+S\t");
-            escape(name, &mut out);
-            out
-        }
-        Event::AddTriple { triple, domain } => {
-            let mut out = String::from("+T\t");
-            escape(&triple.subject, &mut out);
-            out.push('\t');
-            escape(&triple.predicate, &mut out);
-            out.push('\t');
-            escape(&triple.object, &mut out);
-            out.push('\t');
-            out.push_str(&domain.0.to_string());
-            out
-        }
-        Event::Claim { source, triple } => format!("+C\t{}\t{}", source.0, triple.0),
-        Event::Label { triple, truth } => {
-            format!("+L\t{}\t{}", triple.0, if *truth { 1 } else { 0 })
-        }
-    }
 }
 
 /// The snapshot prefix of a journal: header, seed section, events marker.
@@ -200,15 +177,12 @@ impl JournalWriter {
         })
     }
 
-    /// Append one batch: its event lines plus the `+B` boundary, synced
-    /// according to the writer's [`FsyncPolicy`].
+    /// Append one batch: its event lines plus the `+B` boundary (the
+    /// shared [`crate::codec`] encoding), synced according to the
+    /// writer's [`FsyncPolicy`].
     pub fn append_batch(&mut self, batch: &[Event]) -> Result<()> {
         let mut buf = String::new();
-        for ev in batch {
-            buf.push_str(&event_line(ev));
-            buf.push('\n');
-        }
-        buf.push_str("+B\n");
+        codec::write_batch(batch, &mut buf);
         self.file.write_all(buf.as_bytes())?;
         self.file.flush()?;
         match self.fsync {
@@ -377,129 +351,17 @@ pub fn parse(text: &str) -> Result<(Dataset, Vec<Vec<Event>>)> {
         other => other,
     })?;
 
-    let mut batches: Vec<Vec<Event>> = Vec::new();
-    let mut current: Vec<Event> = Vec::new();
-    let mut open = false;
-    for (idx, raw) in lines {
-        let lineno = idx + 1;
-        let line = raw.trim_end_matches('\r');
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let mut fields = line.split('\t');
-        let tag = fields.next().unwrap_or_default();
-        match tag {
-            "+B" => {
-                batches.push(std::mem::take(&mut current));
-                open = false;
-            }
-            "+S" => {
-                let name = fields.next().ok_or_else(|| FusionError::Parse {
-                    line: lineno,
-                    msg: "+S line missing name".to_string(),
-                })?;
-                current.push(Event::AddSource {
-                    name: unescape(name, lineno)?,
-                });
-                open = true;
-            }
-            "+T" => {
-                let mut next = |what: &str| -> Result<String> {
-                    fields
-                        .next()
-                        .ok_or_else(|| FusionError::Parse {
-                            line: lineno,
-                            msg: format!("+T line missing {what}"),
-                        })
-                        .and_then(|f| unescape(f, lineno))
-                };
-                let subject = next("subject")?;
-                let predicate = next("predicate")?;
-                let object = next("object")?;
-                let domain: u32 = next("domain")?.parse().map_err(|_| FusionError::Parse {
-                    line: lineno,
-                    msg: "+T line needs a numeric domain".to_string(),
-                })?;
-                current.push(Event::AddTriple {
-                    triple: Triple::new(subject, predicate, object),
-                    domain: Domain(domain),
-                });
-                open = true;
-            }
-            "+C" => {
-                let (s, t) = two_indices(&mut fields, "+C", lineno)?;
-                current.push(Event::Claim {
-                    source: SourceId(s),
-                    triple: TripleId(t),
-                });
-                open = true;
-            }
-            "+L" => {
-                let t: u32 = index_field(&mut fields, "+L", "triple index", lineno)?;
-                let truth = match fields.next() {
-                    Some("1") => true,
-                    Some("0") => false,
-                    other => {
-                        return Err(FusionError::Parse {
-                            line: lineno,
-                            msg: format!(
-                                "+L label must be 0 or 1, got `{}`",
-                                other.unwrap_or_default()
-                            ),
-                        })
-                    }
-                };
-                current.push(Event::Label {
-                    triple: TripleId(t),
-                    truth,
-                });
-                open = true;
-            }
-            other => {
-                return Err(FusionError::Parse {
-                    line: lineno,
-                    msg: format!("unknown journal tag `{other}`"),
-                })
-            }
-        }
-    }
-    // A trailing run without `+B` (crash mid-append) replays as a final
-    // partial batch.
-    if open {
-        batches.push(current);
-    }
-    Ok((seed, batches))
-}
-
-fn index_field<'a>(
-    fields: &mut impl Iterator<Item = &'a str>,
-    tag: &str,
-    what: &str,
-    lineno: usize,
-) -> Result<u32> {
-    fields
-        .next()
-        .and_then(|v| v.parse().ok())
-        .ok_or_else(|| FusionError::Parse {
-            line: lineno,
-            msg: format!("{tag} line needs a {what}"),
-        })
-}
-
-fn two_indices<'a>(
-    fields: &mut impl Iterator<Item = &'a str>,
-    tag: &str,
-    lineno: usize,
-) -> Result<(u32, u32)> {
-    let a = index_field(fields, tag, "source index", lineno)?;
-    let b = index_field(fields, tag, "triple index", lineno)?;
-    Ok((a, b))
+    // The event section is the shared codec dialect; a trailing run
+    // without `+B` (crash mid-append) replays as a final partial batch.
+    let parsed = codec::parse_batch_lines(lines.map(|(idx, raw)| (idx + 1, raw)))?;
+    Ok((seed, parsed.batches))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use corrfuse_core::dataset::DatasetBuilder;
+    use corrfuse_core::dataset::{DatasetBuilder, SourceId};
+    use corrfuse_core::triple::TripleId;
 
     fn seed() -> Dataset {
         let mut b = DatasetBuilder::new();

@@ -13,6 +13,9 @@
 //! * [`event::Event`] / [`event::DeltaLog`] — an append-only log of
 //!   ingest events: new sources, new triples, new claim/provider edges,
 //!   new gold labels;
+//! * [`codec`] — the line-oriented event encoding shared by journal
+//!   files and `corrfuse-net` wire frames, so a captured wire stream is
+//!   replayable as a journal;
 //! * [`incremental::IncrementalFuser`] — applies deltas by updating only
 //!   the affected per-source quality counts and per-cluster
 //!   [`corrfuse_core::EmpiricalJoint`] rows (invalidating just those
@@ -35,10 +38,12 @@
 //!   [`event::LogRetention`] policy once the journal is the durable
 //!   history.
 //!
-//! The subsystem's trust anchor is an equivalence invariant, enforced by
-//! unit and property tests: after any replayed event stream, the
-//! incremental scores are **bitwise identical** to a from-scratch
-//! `Fuser::fit` + `score_all` on the accumulated dataset.
+//! The subsystem inherits the workspace trust anchor (stated once in
+//! `docs/ARCHITECTURE.md`), enforced here by unit and property tests:
+//! after any replayed event stream, the incremental scores are
+//! **bitwise identical** to a from-scratch `Fuser::fit` + `score_all`
+//! on the accumulated dataset. This crate is the streaming layer of the
+//! stack (core → **stream** → serve → net).
 //!
 //! ## Quick start
 //!
@@ -75,10 +80,11 @@
 //! assert_eq!(delta.rescored.len(), 1);
 //! ```
 
-#![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![deny(missing_docs)]
 
 pub mod cache;
+pub mod codec;
 pub mod event;
 pub mod incremental;
 pub mod journal;

@@ -259,6 +259,39 @@ impl StreamSession {
     /// fails (an I/O problem), the in-memory session has already advanced
     /// — call [`StreamSession::journal_to`] to re-snapshot onto healthy
     /// storage.
+    ///
+    /// ```
+    /// use corrfuse_core::fuser::{FuserConfig, Method};
+    /// use corrfuse_core::{DatasetBuilder, SourceId, TripleId};
+    /// use corrfuse_stream::{Event, RefitLevel, StreamSession};
+    ///
+    /// let mut b = DatasetBuilder::new();
+    /// let (s, t1) = b.observe_named("A", "x", "p", "1");
+    /// b.label(t1, true);
+    /// let t2 = b.triple("y", "p", "2");
+    /// b.observe(s, t2);
+    /// b.label(t2, false);
+    /// let mut session =
+    ///     StreamSession::new(FuserConfig::new(Method::PrecRec), b.build().unwrap()).unwrap();
+    ///
+    /// // A new claimed triple: the fast path — no model refit, one
+    /// // triple re-scored, no decision flips.
+    /// let delta = session
+    ///     .ingest(&[Event::add_triple("z", "p", "3"), Event::claim(s, TripleId(2))])
+    ///     .unwrap();
+    /// assert_eq!(delta.refit, RefitLevel::None);
+    /// assert_eq!(delta.rescored.len(), 1);
+    /// assert!(delta.flips.is_empty());
+    ///
+    /// // A label refreshes the quality model and re-scores everything.
+    /// let delta = session.ingest(&[Event::label(TripleId(2), true)]).unwrap();
+    /// assert_eq!(delta.refit, RefitLevel::Model);
+    /// assert_eq!(session.scores().len(), 3);
+    ///
+    /// // Input errors never mutate: the bad batch is fully rejected.
+    /// assert!(session.ingest(&[Event::claim(SourceId(9), TripleId(0))]).is_err());
+    /// assert_eq!(session.dataset().n_triples(), 3);
+    /// ```
     pub fn ingest(&mut self, batch: &[Event]) -> Result<ScoredDelta> {
         let outcome = self.inc.ingest(batch, &self.engine)?;
         self.log.push_batch(batch);

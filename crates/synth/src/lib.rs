@@ -14,7 +14,10 @@
 //!   equivalence tests and throughput bench);
 //! * [`multi_tenant`] — interleaved per-tenant event streams with
 //!   Zipf-skewed tenant sizes (drives the `corrfuse-serve` router tests
-//!   and benches).
+//!   and benches);
+//! * [`remote`] — per-producer connection scripts (sends + forced
+//!   reconnects) over a multi-tenant stream (drives the `corrfuse-net`
+//!   loopback tests and the `net_throughput` bench).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -22,11 +25,15 @@
 pub mod generator;
 pub mod motivating;
 pub mod multi_tenant;
+pub mod remote;
 pub mod replicas;
 pub mod stream_events;
 
 pub use generator::{generate, GroupKind, GroupSpec, Polarity, SourceSpec, SynthSpec};
 pub use multi_tenant::{multi_tenant_events, MultiTenantSpec, MultiTenantStream};
+pub use remote::{
+    remote_producer_scripts, ProducerAction, ProducerScript, RemoteSpec, RemoteWorkload,
+};
 pub use stream_events::{event_stream, StreamSpec};
 
 use corrfuse_core::error::{FusionError, Result};

@@ -1,0 +1,229 @@
+//! Remote-producer workloads for the network front door
+//! (`corrfuse-net`).
+//!
+//! [`remote_producer_scripts`] turns a multi-tenant interleaved stream
+//! ([`crate::multi_tenant_events`]) into per-*producer* connection
+//! scripts: each producer is one remote client owning a disjoint set of
+//! tenants, sending its tenants' micro-batches in arrival order and —
+//! the part that makes the workload adversarial — dropping and
+//! re-establishing its connection mid-stream at deterministic points.
+//! Tenant ownership is `tenant % n_producers`, so every tenant's batch
+//! order is preserved within its producer's script (the ordering the
+//! wire protocol guarantees per connection).
+//!
+//! The scripts drive the end-to-end trust-anchor test
+//! (`tests/net_equivalence.rs`): replaying every script through real
+//! TCP clients, reconnects included, must leave each shard bitwise
+//! identical to a from-scratch fit.
+
+use corrfuse_core::dataset::Dataset;
+use corrfuse_core::error::{FusionError, Result};
+use corrfuse_stream::Event;
+
+use crate::multi_tenant::{multi_tenant_events, MultiTenantSpec};
+
+/// One step of a producer's connection script.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProducerAction {
+    /// Send one tenant-scoped micro-batch over the live connection.
+    Send {
+        /// The tenant the batch belongs to.
+        tenant: u32,
+        /// The batch, in tenant-local ids.
+        events: Vec<Event>,
+    },
+    /// Drop the TCP connection and reconnect before the next send
+    /// (exercising the client's resend-on-reconnect path).
+    Reconnect,
+}
+
+/// One remote producer's scripted session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProducerScript {
+    /// Producer index (`0..n_producers`).
+    pub producer: usize,
+    /// The actions, in order.
+    pub actions: Vec<ProducerAction>,
+}
+
+impl ProducerScript {
+    /// Number of `Send` actions.
+    pub fn n_sends(&self) -> usize {
+        self.actions
+            .iter()
+            .filter(|a| matches!(a, ProducerAction::Send { .. }))
+            .count()
+    }
+
+    /// Number of forced reconnects.
+    pub fn n_reconnects(&self) -> usize {
+        self.actions.len() - self.n_sends()
+    }
+}
+
+/// Specification of a remote-producer workload.
+#[derive(Debug, Clone)]
+pub struct RemoteSpec {
+    /// The underlying multi-tenant stream.
+    pub tenants: MultiTenantSpec,
+    /// Number of producer connections; tenants are assigned by
+    /// `tenant % n_producers`.
+    pub n_producers: usize,
+    /// Force a reconnect after every `n` sends of a producer (`None` =
+    /// stable connections).
+    pub reconnect_every: Option<usize>,
+}
+
+impl RemoteSpec {
+    /// A workload with `n_producers` producers over the given tenant
+    /// stream, reconnecting every 3 sends.
+    pub fn new(tenants: MultiTenantSpec, n_producers: usize) -> RemoteSpec {
+        RemoteSpec {
+            tenants,
+            n_producers,
+            reconnect_every: Some(3),
+        }
+    }
+}
+
+/// A generated remote workload: the per-tenant seeds (to build the
+/// router from) plus one script per producer.
+#[derive(Debug, Clone)]
+pub struct RemoteWorkload {
+    /// Per-tenant seed snapshots, in tenant-id order.
+    pub seeds: Vec<(u32, Dataset)>,
+    /// One script per producer, in producer order. Producers whose
+    /// tenant set is empty get an empty script.
+    pub scripts: Vec<ProducerScript>,
+}
+
+impl RemoteWorkload {
+    /// Total events across all scripts.
+    pub fn n_events(&self) -> usize {
+        self.scripts
+            .iter()
+            .flat_map(|s| &s.actions)
+            .map(|a| match a {
+                ProducerAction::Send { events, .. } => events.len(),
+                ProducerAction::Reconnect => 0,
+            })
+            .sum()
+    }
+}
+
+/// Generate per-producer connection scripts over a multi-tenant stream;
+/// see the module docs.
+pub fn remote_producer_scripts(spec: &RemoteSpec) -> Result<RemoteWorkload> {
+    if spec.n_producers == 0 {
+        return Err(FusionError::DegenerateTraining("producers"));
+    }
+    if spec.reconnect_every == Some(0) {
+        return Err(FusionError::DegenerateTraining("reconnect_every"));
+    }
+    let stream = multi_tenant_events(&spec.tenants)?;
+    let mut scripts: Vec<ProducerScript> = (0..spec.n_producers)
+        .map(|producer| ProducerScript {
+            producer,
+            actions: Vec::new(),
+        })
+        .collect();
+    let mut sends_since_reconnect = vec![0usize; spec.n_producers];
+    for (tenant, events) in &stream.messages {
+        let p = *tenant as usize % spec.n_producers;
+        if let Some(every) = spec.reconnect_every {
+            if sends_since_reconnect[p] == every {
+                scripts[p].actions.push(ProducerAction::Reconnect);
+                sends_since_reconnect[p] = 0;
+            }
+        }
+        scripts[p].actions.push(ProducerAction::Send {
+            tenant: *tenant,
+            events: events.clone(),
+        });
+        sends_since_reconnect[p] += 1;
+    }
+    Ok(RemoteWorkload {
+        seeds: stream.seeds,
+        scripts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> RemoteSpec {
+        RemoteSpec::new(MultiTenantSpec::new(5, 160, 99), 2)
+    }
+
+    #[test]
+    fn scripts_partition_tenants_and_preserve_order() {
+        let w = remote_producer_scripts(&spec()).unwrap();
+        assert_eq!(w.scripts.len(), 2);
+        assert!(w.n_events() > 0);
+        // Tenant → producer assignment is deterministic and disjoint.
+        for s in &w.scripts {
+            for a in &s.actions {
+                if let ProducerAction::Send { tenant, .. } = a {
+                    assert_eq!(*tenant as usize % 2, s.producer);
+                }
+            }
+        }
+        // Per-tenant batch order inside a script matches the stream.
+        let stream = multi_tenant_events(&spec().tenants).unwrap();
+        for tenant in 0..5u32 {
+            let from_stream: Vec<&[Event]> = stream.tenant_messages(tenant).collect();
+            let from_script: Vec<&[Event]> = w.scripts[tenant as usize % 2]
+                .actions
+                .iter()
+                .filter_map(|a| match a {
+                    ProducerAction::Send { tenant: t, events } if *t == tenant => {
+                        Some(events.as_slice())
+                    }
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(from_stream, from_script);
+        }
+    }
+
+    #[test]
+    fn reconnects_fire_on_schedule() {
+        let w = remote_producer_scripts(&spec()).unwrap();
+        for s in &w.scripts {
+            assert!(
+                s.n_reconnects() > 0,
+                "producer {} never reconnects",
+                s.producer
+            );
+            // Never two reconnects in a row, never as the first action.
+            let mut prev_was_reconnect = true;
+            for a in &s.actions {
+                let is_reconnect = matches!(a, ProducerAction::Reconnect);
+                assert!(!(prev_was_reconnect && is_reconnect));
+                prev_was_reconnect = is_reconnect;
+            }
+        }
+        let mut stable = spec();
+        stable.reconnect_every = None;
+        let w = remote_producer_scripts(&stable).unwrap();
+        assert!(w.scripts.iter().all(|s| s.n_reconnects() == 0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = remote_producer_scripts(&spec()).unwrap();
+        let b = remote_producer_scripts(&spec()).unwrap();
+        assert_eq!(a.scripts, b.scripts);
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let mut s = spec();
+        s.n_producers = 0;
+        assert!(remote_producer_scripts(&s).is_err());
+        let mut s = spec();
+        s.reconnect_every = Some(0);
+        assert!(remote_producer_scripts(&s).is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! Network front-door walkthrough, client side: connect to the
+//! `net_server` example, stream every tenant's events over TCP —
+//! dropping the connection mid-stream to show resend-on-reconnect —
+//! then read scores back and shut the server down.
+//!
+//! Start `net_server` first; see its header for the two-command run.
+
+use corrfuse::net::Client;
+use corrfuse::serve::TenantId;
+use corrfuse::synth::{remote_producer_scripts, MultiTenantSpec, ProducerAction, RemoteSpec};
+
+/// Must match `net_server`'s workload seed.
+pub const WORKLOAD_SEED: u64 = 2026;
+
+fn main() {
+    let port: u16 = std::env::args()
+        .nth(1)
+        .map(|p| p.parse().expect("port must be a number"))
+        .unwrap_or(7171);
+    let addr = format!("127.0.0.1:{port}");
+
+    // The same three-tenant world the server seeded, sliced into one
+    // producer script with a forced reconnect every 4 sends.
+    let spec = RemoteSpec {
+        tenants: MultiTenantSpec::new(3, 200, WORKLOAD_SEED),
+        n_producers: 1,
+        reconnect_every: Some(4),
+    };
+    let workload = remote_producer_scripts(&spec).expect("workload generates");
+    let script = &workload.scripts[0];
+    println!(
+        "streaming {} events in {} batches to {addr} ({} forced reconnects)",
+        workload.n_events(),
+        script.n_sends(),
+        script.n_reconnects(),
+    );
+
+    let mut client = Client::connect(&addr).expect("connect (is net_server running?)");
+    client.ping().expect("server alive");
+    for action in &script.actions {
+        match action {
+            ProducerAction::Send { tenant, events } => {
+                client
+                    .ingest(TenantId(*tenant), events)
+                    .expect("pipelined ingest");
+            }
+            ProducerAction::Reconnect => {
+                // Yank the TCP connection with acks still in flight; the
+                // next send transparently reconnects and resends.
+                client.disconnect();
+            }
+        }
+    }
+    client.flush().expect("read-your-writes barrier");
+    println!(
+        "delivered: {} batches acked, {} reconnects performed",
+        client.acked_batches(),
+        client.reconnects(),
+    );
+
+    println!("\n== tenant queries over the wire ==");
+    for (tenant, _) in &workload.seeds {
+        let scores = client.scores(TenantId(*tenant)).expect("scores");
+        let decisions = client.decisions(TenantId(*tenant)).expect("decisions");
+        let accepted = decisions.iter().filter(|&&d| d).count();
+        println!(
+            "tenant {tenant}: {} triples, {accepted} accepted, mean posterior {:.3}",
+            scores.len(),
+            scores.iter().sum::<f64>() / scores.len().max(1) as f64,
+        );
+    }
+
+    let stats = client.stats().expect("stats");
+    println!(
+        "\nconnection: {} frames, {} batches, {} events; {} shards server-side",
+        stats.conn_frames,
+        stats.conn_batches,
+        stats.conn_events,
+        stats.shards.len(),
+    );
+    for s in &stats.shards {
+        println!(
+            "  shard {}: {} tenants, {} events ingested, {} errors, poisoned: {}",
+            s.shard, s.tenants, s.ingested_events, s.ingest_errors, s.poisoned,
+        );
+    }
+
+    client.shutdown_server().expect("remote shutdown");
+    println!("\nserver asked to shut down — run done");
+}

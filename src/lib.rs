@@ -16,6 +16,11 @@
 //! * [`serve`] (`corrfuse-serve`) — the serving layer: a sharded
 //!   multi-tenant session router with an async ingestion front door,
 //!   backpressure, and per-shard journal rotation.
+//! * [`net`] (`corrfuse-net`) — the network front door: the
+//!   `corrfuse-net v1` wire protocol (length-prefixed CRC-checked
+//!   frames carrying journal-codec event batches), a blocking TCP
+//!   server owning a `ShardRouter`, and a pipelined reconnecting
+//!   client. Spec in `docs/PROTOCOL.md`.
 //! * [`baselines`] (`corrfuse-baselines`) — UNION-K voting, 2-/3-Estimates,
 //!   Cosine, the Latent Truth Model, and ACCU/AccuCopy.
 //! * [`synth`] (`corrfuse-synth`) — the Figure 1 example, parametric
@@ -28,6 +33,7 @@
 pub use corrfuse_baselines as baselines;
 pub use corrfuse_core as core;
 pub use corrfuse_eval as eval;
+pub use corrfuse_net as net;
 pub use corrfuse_serve as serve;
 pub use corrfuse_stream as stream;
 pub use corrfuse_synth as synth;

@@ -1,0 +1,198 @@
+//! The network subsystem's trust anchor, as a property over random
+//! remote-producer workloads: events ingested through **real TCP
+//! loopback connections** — any shard count, pipelined clients, forced
+//! mid-stream disconnect/reconnects with at-least-once resend, random
+//! backpressure, journal rotation — produce per-shard state whose
+//! scores are **bitwise identical** to a from-scratch
+//! `Fuser::fit + score_all` on the accumulated dataset, and the
+//! tenant-scoped scores read back *over the wire* are bitwise identical
+//! to that same fit.
+
+use std::time::Duration;
+
+use corrfuse::core::fuser::{Fuser, FuserConfig, Method};
+use corrfuse::core::testkit::{run_cases, Gen};
+use corrfuse::net::server::spawn;
+use corrfuse::net::{Client, ClientConfig, Server, ServerConfig};
+use corrfuse::serve::tenant::NAMESPACE_SEP;
+use corrfuse::serve::{Backpressure, JournalConfig, RouterConfig, ShardRouter, TenantId};
+use corrfuse::stream::StreamSession;
+use corrfuse::synth::{remote_producer_scripts, MultiTenantSpec, ProducerAction, RemoteSpec};
+
+fn random_method(g: &mut Gen) -> Method {
+    match g.usize_in(0, 3) {
+        0 => Method::PrecRec,
+        1 => Method::Exact,
+        _ => Method::Aggressive,
+    }
+}
+
+#[test]
+fn tcp_loopback_ingestion_equals_batch_fit() {
+    let dir = std::env::temp_dir().join(format!("corrfuse-net-eq-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    run_cases("net_equivalence", 4, |g| {
+        let case_dir = dir.join(format!("case-{}", g.usize_in(0, usize::MAX / 2)));
+        std::fs::create_dir_all(&case_dir).unwrap();
+        let n_tenants = g.usize_in(2, 5);
+        let spec = RemoteSpec {
+            tenants: MultiTenantSpec {
+                n_tenants,
+                triples_largest: g.usize_in(80, 130),
+                skew: g.f64_in(0.0, 1.5),
+                n_sources: g.usize_in(3, 5),
+                batches_largest: g.usize_in(3, 6),
+                label_fraction: g.f64_in(0.0, 0.5),
+                seed: g.usize_in(0, usize::MAX / 2) as u64,
+            },
+            n_producers: g.usize_in(1, 4),
+            reconnect_every: if g.bool(0.7) {
+                Some(g.usize_in(1, 4))
+            } else {
+                None
+            },
+        };
+        let workload = remote_producer_scripts(&spec).expect("workload generates");
+        eprintln!(
+            "case: {} tenants, {} producers, {} events, reconnect_every {:?}",
+            n_tenants,
+            spec.n_producers,
+            workload.n_events(),
+            spec.reconnect_every
+        );
+        let config = FuserConfig::new(random_method(g));
+        let n_shards = g.usize_in(1, n_tenants);
+        // Either lossless blocking backpressure with deep pipelining, or
+        // a rejecting policy with a strictly-ordered (1 in-flight)
+        // retrying client — the two order-safe deployment shapes the
+        // protocol documents.
+        let (backpressure, client_config) = if g.bool(0.5) {
+            (
+                Backpressure::Block,
+                ClientConfig::new().with_max_in_flight(g.usize_in(2, 32)),
+            )
+        } else {
+            (
+                if g.bool(0.5) {
+                    Backpressure::Reject
+                } else {
+                    Backpressure::Timeout(Duration::from_millis(g.usize_in(1, 5) as u64))
+                },
+                ClientConfig::new()
+                    .with_max_in_flight(1)
+                    .with_busy_retries(10_000, Duration::from_micros(200)),
+            )
+        };
+        let router_cfg = RouterConfig::new(n_shards)
+            .with_queue_capacity(g.usize_in(1, 64))
+            .with_backpressure(backpressure)
+            .with_batching(g.usize_in(1, 256), Duration::from_millis(1))
+            .with_journal(
+                JournalConfig::new(&case_dir).with_rotate_max_batches(g.usize_in(1, 4) as u64),
+            );
+        let seeds = workload
+            .seeds
+            .iter()
+            .map(|(t, ds)| (TenantId(*t), ds.clone()))
+            .collect();
+        let router =
+            ShardRouter::new(config.clone(), router_cfg, seeds).expect("router constructs");
+        let server =
+            Server::bind("127.0.0.1:0", router, ServerConfig::new()).expect("server binds");
+        let addr = server.local_addr().expect("bound addr").to_string();
+        let (handle, join) = spawn(server).expect("server spawns");
+
+        // One real TCP client per producer, each replaying its script —
+        // disconnects included — then flushing (read-your-writes).
+        std::thread::scope(|scope| {
+            for script in &workload.scripts {
+                let addr = addr.clone();
+                let client_config = client_config.clone();
+                scope.spawn(move || {
+                    let mut client =
+                        Client::connect_with(&addr, client_config).expect("producer connects");
+                    for action in &script.actions {
+                        match action {
+                            ProducerAction::Send { tenant, events } => {
+                                client
+                                    .ingest(TenantId(*tenant), events)
+                                    .expect("pipelined ingest accepted");
+                            }
+                            ProducerAction::Reconnect => client.disconnect(),
+                        }
+                    }
+                    client.flush().expect("producer flush");
+                    if script.n_reconnects() > 0 {
+                        assert!(
+                            client.reconnects() >= script.n_reconnects() as u64,
+                            "forced disconnects must really reconnect"
+                        );
+                    }
+                });
+            }
+        });
+
+        // Read every tenant's scores back over the wire.
+        let mut reader = Client::connect(&addr).expect("reader connects");
+        reader.flush().expect("global barrier");
+        let wire_scores: Vec<(u32, Vec<f64>)> = workload
+            .seeds
+            .iter()
+            .map(|(t, _)| (*t, reader.scores(TenantId(*t)).expect("tenant scores")))
+            .collect();
+        drop(reader);
+
+        handle.stop();
+        let stats = join.join().expect("accept thread").expect("graceful stop");
+        let agg = stats.aggregate();
+        assert_eq!(agg.ingest_errors, 0, "{:?}", agg.last_error);
+
+        // Per shard: the journal replays to the accumulated dataset; a
+        // from-scratch fit on it must match the shard's served state
+        // bitwise — and the scores each tenant read over TCP must be
+        // that same fit, filtered to the tenant's namespace.
+        for shard in 0..n_shards {
+            let journal = JournalConfig::new(&case_dir).shard_path(shard);
+            let restored =
+                StreamSession::restore(config.clone(), &journal).expect("journal restores");
+            let ds = restored.dataset();
+            let fresh = Fuser::fit(&config, ds, ds.gold().expect("shard gold"))
+                .expect("fresh fit succeeds");
+            let fresh_scores = fresh.score_all(ds).expect("fresh scoring");
+            for (i, (a, b)) in restored.scores().iter().zip(&fresh_scores).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "shard {shard}, triple {i}: replayed {a} vs batch fit {b}"
+                );
+            }
+            for (tenant, over_wire) in &wire_scores {
+                if *tenant as usize % n_shards != shard {
+                    continue;
+                }
+                // Tenant-local triple order is registration order, which
+                // is shard-id order filtered to the tenant's namespace.
+                let prefix = format!("{tenant}{NAMESPACE_SEP}");
+                let expected: Vec<f64> = ds
+                    .triples()
+                    .filter(|t| ds.triple(*t).subject.starts_with(&prefix))
+                    .map(|t| fresh_scores[t.index()])
+                    .collect();
+                assert_eq!(
+                    over_wire.len(),
+                    expected.len(),
+                    "tenant {tenant} triple count over the wire"
+                );
+                for (i, (a, b)) in over_wire.iter().zip(&expected).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "tenant {tenant}, local triple {i}: wire {a} vs batch fit {b}"
+                    );
+                }
+            }
+        }
+        std::fs::remove_dir_all(&case_dir).ok();
+    });
+    std::fs::remove_dir_all(&dir).ok();
+}
