@@ -19,6 +19,7 @@
 use crate::bits::BitSet;
 use crate::dataset::{Dataset, GoldLabels, SourceId};
 use crate::error::{FusionError, Result};
+use crate::triple::TripleId;
 
 /// Tuning knobs for [`cluster_sources`].
 #[derive(Debug, Clone, Copy)]
@@ -217,6 +218,33 @@ impl UnionFind {
     }
 }
 
+/// The smoothed lift of one pair for one polarity, from its exact
+/// co-occurrence counts: `n11` co-provisions, `na` / `nb` per-side
+/// provisions and `total` shared-scope triples (all within the pair's
+/// scope intersection).
+///
+/// This is the **single** float expression behind both the batch
+/// ([`pairwise_correlations`]) and incremental ([`LiftGraph`]) paths, so
+/// equal integer counts always yield bitwise-equal lifts. `None` when the
+/// pair shares no scope or either side lacks `min_support`.
+pub fn lift_from_counts(
+    n11: usize,
+    na: usize,
+    nb: usize,
+    total: usize,
+    cfg: &ClusterConfig,
+) -> Option<f64> {
+    if total == 0 {
+        return None;
+    }
+    if na < cfg.min_support || nb < cfg.min_support {
+        return None;
+    }
+    let s = cfg.smoothing;
+    let expectation = (na as f64 + s) * (nb as f64 + s) / (total as f64 + s);
+    Some(((n11 as f64 + s) / expectation).max(1e-9))
+}
+
 /// Compute pairwise correlations between all sources from labelled data.
 ///
 /// For each polarity, the lift of `(a, b)` is observed co-occurrence over
@@ -268,24 +296,16 @@ pub fn pairwise_correlations(
         }
     }
 
-    let s = cfg.smoothing;
     // Lift over the scope intersection of (a, b).
     let pair_lift =
         |prov_a: &BitSet, prov_b: &BitSet, scope_a: &BitSet, scope_b: &BitSet| -> Option<f64> {
             let mut shared_scope = scope_a.clone();
             shared_scope.intersect_with(scope_b);
             let total = shared_scope.count_ones();
-            if total == 0 {
-                return None;
-            }
             let na = prov_a.intersection_count(&shared_scope);
             let nb = prov_b.intersection_count(&shared_scope);
-            if na < cfg.min_support || nb < cfg.min_support {
-                return None;
-            }
             let n11 = prov_a.intersection_count(prov_b);
-            let expectation = (na as f64 + s) * (nb as f64 + s) / (total as f64 + s);
-            Some(((n11 as f64 + s) / expectation).max(1e-9))
+            lift_from_counts(n11, na, nb, total, cfg)
         };
 
     let mut out = Vec::with_capacity(n * (n - 1) / 2);
@@ -307,6 +327,32 @@ pub fn pairwise_correlations(
     Ok(out)
 }
 
+/// Partition sources into correlation clusters given their pairwise
+/// lifts (strongest edges first, size-capped union-find).
+///
+/// The deterministic second half of [`cluster_sources`], shared with the
+/// incremental [`LiftGraph::clustering`] path: equal `pairs` (in the
+/// same `(a, b)` enumeration order — ties keep it, the sort is stable)
+/// always produce the identical [`Clustering`].
+pub fn cluster_from_pairs(
+    n_sources: usize,
+    mut pairs: Vec<PairCorrelation>,
+    cfg: &ClusterConfig,
+) -> Clustering {
+    pairs.retain(|p| p.strength() >= cfg.ln_threshold);
+    pairs.sort_by(|x, y| {
+        y.strength()
+            .partial_cmp(&x.strength())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut uf = UnionFind::new(n_sources);
+    let cap = cfg.max_cluster_size.clamp(1, 64);
+    for p in &pairs {
+        uf.union_capped(p.a.index(), p.b.index(), cap);
+    }
+    Clustering::from_assignment(uf.into_assignment())
+}
+
 /// Partition sources into correlation clusters (strongest edges first,
 /// size-capped union-find).
 pub fn cluster_sources(ds: &Dataset, gold: &GoldLabels, cfg: &ClusterConfig) -> Result<Clustering> {
@@ -314,19 +360,267 @@ pub fn cluster_sources(ds: &Dataset, gold: &GoldLabels, cfg: &ClusterConfig) -> 
     if n == 0 {
         return Ok(Clustering::singletons(0));
     }
-    let mut pairs = pairwise_correlations(ds, gold, cfg)?;
-    pairs.retain(|p| p.strength() >= cfg.ln_threshold);
-    pairs.sort_by(|x, y| {
-        y.strength()
-            .partial_cmp(&x.strength())
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-    let mut uf = UnionFind::new(n);
-    let cap = cfg.max_cluster_size.clamp(1, 64);
-    for p in &pairs {
-        uf.union_capped(p.a.index(), p.b.index(), cap);
+    let pairs = pairwise_correlations(ds, gold, cfg)?;
+    Ok(cluster_from_pairs(n, pairs, cfg))
+}
+
+/// Exact co-occurrence counts of one source pair for one polarity, all
+/// restricted to the pair's scope intersection (see
+/// [`pairwise_correlations`] for why).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct PairCounts {
+    /// Labelled triples of this polarity in both sources' scope.
+    total: u32,
+    /// Of those, provided by the pair's lower-indexed source.
+    na: u32,
+    /// Of those, provided by the pair's higher-indexed source.
+    nb: u32,
+    /// Of those, provided by both.
+    n11: u32,
+}
+
+impl PairCounts {
+    #[inline]
+    fn bump(v: &mut u32, delta: i32) {
+        *v = v.checked_add_signed(delta).expect("pair count underflow");
     }
-    Ok(Clustering::from_assignment(uf.into_assignment()))
+}
+
+/// Incrementally maintained pairwise-lift state: the integer counts
+/// behind every pair's true/false lift, kept exact under label, claim
+/// and scope deltas.
+///
+/// [`pairwise_correlations`] recomputes all counts with one pass over
+/// the labelled data — O(sources² · labelled) per call, which data-driven
+/// (`Auto`) clustering used to pay on *every* label change by falling
+/// back to a full refit. A `LiftGraph` instead absorbs each delta in
+/// O(in-scope sources) to O(in-scope sources²) integer updates and can
+/// re-derive the clustering from its maintained counts at any time —
+/// [`LiftGraph::clustering`] — through the exact code path
+/// ([`lift_from_counts`] + [`cluster_from_pairs`]) the batch computation
+/// uses, so both always agree bitwise.
+///
+/// # Hook contract
+///
+/// Callers apply dataset deltas first, then mirror them here:
+///
+/// * a (re)label of triple `t` — providers and scopes unchanged —
+///   becomes [`LiftGraph::relabel`];
+/// * a new claim `(s, t)` that did **not** expand `s`'s scope becomes
+///   [`LiftGraph::source_provided`] (only `s`'s provision sets change);
+/// * a claim that *did* expand `s`'s scope into domain `d` becomes one
+///   [`LiftGraph::source_entered_scope`] per labelled triple of `d`
+///   (including `t` itself if labelled — its provision is absorbed in
+///   the same call), because every such triple now counts `s` in its
+///   scope intersection with every other in-scope source.
+///
+/// A new *source* changes the pair universe; rebuild with
+/// [`LiftGraph::build`] (incremental callers fall back to a full refit
+/// there anyway).
+#[derive(Debug, Clone)]
+pub struct LiftGraph {
+    n: usize,
+    cfg: ClusterConfig,
+    /// Upper-triangular pair counts, `(a < b)` at `idx(a, b)`.
+    true_counts: Vec<PairCounts>,
+    false_counts: Vec<PairCounts>,
+    /// Any count changed since the last [`LiftGraph::take_changed`].
+    changed: bool,
+}
+
+impl LiftGraph {
+    /// Build from the current labelled state, mirroring
+    /// [`pairwise_correlations`]' counts exactly. A dataset with no
+    /// labels yields all-zero counts (every lift `None`).
+    pub fn build(ds: &Dataset, gold: &GoldLabels, cfg: &ClusterConfig) -> LiftGraph {
+        let n = ds.n_sources();
+        let n_pairs = n * n.saturating_sub(1) / 2;
+        let mut graph = LiftGraph {
+            n,
+            cfg: *cfg,
+            true_counts: vec![PairCounts::default(); n_pairs],
+            false_counts: vec![PairCounts::default(); n_pairs],
+            changed: false,
+        };
+        for (t, truth) in gold.iter_labelled() {
+            graph.contribute(ds, t, truth, 1);
+        }
+        graph.changed = false;
+        graph
+    }
+
+    /// Number of sources the pair universe covers.
+    pub fn n_sources(&self) -> usize {
+        self.n
+    }
+
+    /// The clustering knobs the lifts and edges are derived with.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn idx(&self, a: usize, b: usize) -> usize {
+        debug_assert!(a < b && b < self.n);
+        a * (2 * self.n - a - 1) / 2 + (b - a - 1)
+    }
+
+    #[inline]
+    fn counts_mut(&mut self, truth: bool) -> &mut [PairCounts] {
+        if truth {
+            &mut self.true_counts
+        } else {
+            &mut self.false_counts
+        }
+    }
+
+    /// Add (`delta = 1`) or retract (`delta = -1`) one labelled triple's
+    /// whole contribution, from current provider/scope state.
+    fn contribute(&mut self, ds: &Dataset, t: TripleId, truth: bool, delta: i32) {
+        let scope: Vec<usize> = ds.scope_mask(t).iter_ones().collect();
+        if scope.len() < 2 {
+            return;
+        }
+        let provided: Vec<bool> = scope.iter().map(|&s| ds.providers(t).get(s)).collect();
+        self.changed = true;
+        let n = self.n;
+        let counts = self.counts_mut(truth);
+        for i in 0..scope.len() {
+            let a = scope[i];
+            // Inline `idx` over the row of `a` to keep the hot double
+            // loop free of per-pair re-derivation.
+            let base = a * (2 * n - a - 1) / 2;
+            for j in i + 1..scope.len() {
+                let c = &mut counts[base + scope[j] - a - 1];
+                PairCounts::bump(&mut c.total, delta);
+                if provided[i] {
+                    PairCounts::bump(&mut c.na, delta);
+                }
+                if provided[j] {
+                    PairCounts::bump(&mut c.nb, delta);
+                }
+                if provided[i] && provided[j] {
+                    PairCounts::bump(&mut c.n11, delta);
+                }
+            }
+        }
+    }
+
+    /// Triple `t` was labelled or relabelled (providers and scopes
+    /// unchanged): retract the old polarity's contribution, add the new.
+    pub fn relabel(&mut self, ds: &Dataset, t: TripleId, old: Option<bool>, new: bool) {
+        if old == Some(new) {
+            return;
+        }
+        if let Some(old) = old {
+            self.contribute(ds, t, old, -1);
+        }
+        self.contribute(ds, t, new, 1);
+    }
+
+    /// Source `s` newly entered the scope of the labelled triple `t`
+    /// (typically: its first claim in `t`'s domain). Adds `t` to the
+    /// scope intersection of every pair `(s, other-in-scope source)`;
+    /// `s`'s own provision of `t` — present exactly when `t` is the
+    /// claimed triple itself — is absorbed in the same update.
+    pub fn source_entered_scope(&mut self, ds: &Dataset, s: SourceId, t: TripleId, truth: bool) {
+        let s = s.index();
+        let s_provides = ds.providers(t).get(s);
+        let scope = ds.scope_mask(t);
+        let prov = ds.providers(t).clone();
+        self.changed = true;
+        for o in scope.iter_ones() {
+            if o == s {
+                continue;
+            }
+            let (lo, hi) = if s < o { (s, o) } else { (o, s) };
+            let i = self.idx(lo, hi);
+            let c = &mut self.counts_mut(truth)[i];
+            PairCounts::bump(&mut c.total, 1);
+            let o_provides = prov.get(o);
+            if s_provides {
+                PairCounts::bump(if s < o { &mut c.na } else { &mut c.nb }, 1);
+            }
+            if o_provides {
+                PairCounts::bump(if s < o { &mut c.nb } else { &mut c.na }, 1);
+            }
+            if s_provides && o_provides {
+                PairCounts::bump(&mut c.n11, 1);
+            }
+        }
+    }
+
+    /// Source `s` newly provides the labelled triple `t` and was already
+    /// in its scope: only `s`'s provision-side counts move.
+    pub fn source_provided(&mut self, ds: &Dataset, s: SourceId, t: TripleId, truth: bool) {
+        let s = s.index();
+        let scope = ds.scope_mask(t);
+        let prov = ds.providers(t).clone();
+        self.changed = true;
+        for o in scope.iter_ones() {
+            if o == s {
+                continue;
+            }
+            let (lo, hi) = if s < o { (s, o) } else { (o, s) };
+            let i = self.idx(lo, hi);
+            let c = &mut self.counts_mut(truth)[i];
+            PairCounts::bump(if s < o { &mut c.na } else { &mut c.nb }, 1);
+            if prov.get(o) {
+                PairCounts::bump(&mut c.n11, 1);
+            }
+        }
+    }
+
+    /// Did any pair count change since the last call? Cleared on read;
+    /// callers skip re-deriving the clustering entirely when nothing
+    /// moved.
+    pub fn take_changed(&mut self) -> bool {
+        std::mem::take(&mut self.changed)
+    }
+
+    /// The pairwise lifts from the maintained counts, in the same
+    /// enumeration order (and through the same float path) as
+    /// [`pairwise_correlations`].
+    pub fn pair_correlations(&self) -> Vec<PairCorrelation> {
+        let n = self.n;
+        let mut out = Vec::with_capacity(self.true_counts.len());
+        for a in 0..n {
+            for b in a + 1..n {
+                let i = self.idx(a, b);
+                let tc = &self.true_counts[i];
+                let fc = &self.false_counts[i];
+                out.push(PairCorrelation {
+                    a: SourceId(a as u32),
+                    b: SourceId(b as u32),
+                    lift_true: lift_from_counts(
+                        tc.n11 as usize,
+                        tc.na as usize,
+                        tc.nb as usize,
+                        tc.total as usize,
+                        &self.cfg,
+                    ),
+                    lift_false: lift_from_counts(
+                        fc.n11 as usize,
+                        fc.na as usize,
+                        fc.nb as usize,
+                        fc.total as usize,
+                        &self.cfg,
+                    ),
+                });
+            }
+        }
+        out
+    }
+
+    /// Re-derive the clustering from the maintained counts — identical
+    /// to [`cluster_sources`] on the same labelled state, without its
+    /// O(sources² · labelled) scan.
+    pub fn clustering(&self) -> Clustering {
+        if self.n == 0 {
+            return Clustering::singletons(0);
+        }
+        cluster_from_pairs(self.n, self.pair_correlations(), &self.cfg)
+    }
 }
 
 #[cfg(test)]
@@ -545,6 +839,136 @@ mod tests {
         // And clustering therefore keeps them apart.
         let c = cluster_sources(&ds, ds.gold().unwrap(), &cfg).unwrap();
         assert_ne!(c.cluster_of(s0), c.cluster_of(s1));
+    }
+
+    #[test]
+    fn lift_graph_build_matches_batch_computation() {
+        let ds = correlated_dataset();
+        let cfg = ClusterConfig::default();
+        let gold = ds.gold().unwrap();
+        let batch = pairwise_correlations(&ds, gold, &cfg).unwrap();
+        let graph = LiftGraph::build(&ds, gold, &cfg);
+        let inc = graph.pair_correlations();
+        assert_eq!(batch.len(), inc.len());
+        for (b, i) in batch.iter().zip(&inc) {
+            assert_eq!(b.a, i.a);
+            assert_eq!(b.b, i.b);
+            assert_eq!(
+                b.lift_true.map(f64::to_bits),
+                i.lift_true.map(f64::to_bits),
+                "true lift {}-{}",
+                b.a,
+                b.b
+            );
+            assert_eq!(
+                b.lift_false.map(f64::to_bits),
+                i.lift_false.map(f64::to_bits),
+                "false lift {}-{}",
+                b.a,
+                b.b
+            );
+        }
+        assert_eq!(
+            graph.clustering(),
+            cluster_sources(&ds, gold, &cfg).unwrap()
+        );
+    }
+
+    /// The incremental clustering trust anchor at the unit level: under
+    /// random label flips, fresh labels, and claims (with and without
+    /// scope expansion), the maintained pair counts stay bitwise equal to
+    /// a from-scratch [`pairwise_correlations`] pass, and the derived
+    /// clustering equals [`cluster_sources`].
+    #[test]
+    fn lift_graph_stays_equal_under_random_churn() {
+        use crate::dataset::Domain;
+        use crate::testkit::run_cases;
+        run_cases("lift_graph_churn", 10, |g| {
+            let n_sources = g.usize_in(4, 8);
+            let n_triples = g.usize_in(12, 30);
+            let n_domains = g.usize_in(1, 3);
+            let mut b = DatasetBuilder::new();
+            let sources: Vec<_> = (0..n_sources).map(|i| b.source(format!("S{i}"))).collect();
+            let mut triples = Vec::new();
+            for i in 0..n_triples {
+                let t = b.triple(format!("e{i}"), "p", "v");
+                b.set_domain(t, Domain((i % n_domains) as u32));
+                // At least one provider, a sprinkling of others.
+                b.observe(sources[g.usize_in(0, n_sources)], t);
+                for &s in &sources {
+                    if g.bool(0.3) {
+                        b.observe(s, t);
+                    }
+                }
+                if g.bool(0.6) {
+                    b.label(t, g.bool(0.5));
+                }
+                triples.push(t);
+            }
+            // Ensure at least one label so `pairwise_correlations` runs.
+            b.label(triples[0], true);
+            let mut ds = b.build().unwrap();
+            let cfg = ClusterConfig {
+                min_support: g.usize_in(1, 4),
+                max_cluster_size: g.usize_in(2, 5),
+                ..Default::default()
+            };
+            let mut graph = LiftGraph::build(&ds, ds.gold().unwrap(), &cfg);
+            for _ in 0..20 {
+                let t = triples[g.usize_in(0, triples.len())];
+                if g.bool(0.5) {
+                    // Label or flip.
+                    let truth = g.bool(0.5);
+                    let prev = ds.set_label(t, truth).unwrap();
+                    graph.relabel(&ds, t, prev, truth);
+                } else {
+                    // Claim, possibly expanding scope.
+                    let s = sources[g.usize_in(0, n_sources)];
+                    let outcome = ds.observe(s, t).unwrap();
+                    if !outcome.newly_provided {
+                        continue;
+                    }
+                    let gold = ds.gold().unwrap().clone();
+                    if outcome.scope_expanded {
+                        let d = ds.domain(t);
+                        let in_domain: Vec<TripleId> = triples
+                            .iter()
+                            .copied()
+                            .filter(|&x| ds.domain(x) == d)
+                            .collect();
+                        for x in in_domain {
+                            if let Some(truth) = gold.get(x) {
+                                graph.source_entered_scope(&ds, s, x, truth);
+                            }
+                        }
+                    } else if let Some(truth) = gold.get(t) {
+                        graph.source_provided(&ds, s, t, truth);
+                    }
+                }
+                let batch = pairwise_correlations(&ds, ds.gold().unwrap(), &cfg).unwrap();
+                let inc = graph.pair_correlations();
+                for (bp, ip) in batch.iter().zip(&inc) {
+                    assert_eq!(
+                        bp.lift_true.map(f64::to_bits),
+                        ip.lift_true.map(f64::to_bits),
+                        "true lift {}-{}",
+                        bp.a,
+                        bp.b
+                    );
+                    assert_eq!(
+                        bp.lift_false.map(f64::to_bits),
+                        ip.lift_false.map(f64::to_bits),
+                        "false lift {}-{}",
+                        bp.a,
+                        bp.b
+                    );
+                }
+                assert_eq!(
+                    graph.clustering(),
+                    cluster_sources(&ds, ds.gold().unwrap(), &cfg).unwrap()
+                );
+            }
+        });
     }
 
     #[test]

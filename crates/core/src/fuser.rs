@@ -160,6 +160,29 @@ impl ClusterUnit {
     }
 }
 
+/// What one [`Fuser::rebuild_cluster_solvers`] pass did: how many
+/// cluster solvers had to be reconstructed vs. how many were reused
+/// because their joint parameters were bitwise unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolverRebuild {
+    /// Solvers reconstructed (dirty joint, or no joint to compare).
+    pub rebuilt: usize,
+    /// Solvers kept as-is (clean joint).
+    pub reused: usize,
+}
+
+/// What one [`Fuser::reconcile_clustering`] call did: how many cluster
+/// units survived the re-clustering with identical membership vs. how
+/// many had to be refitted from the labelled rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClusterReconcile {
+    /// Units reused (membership unchanged; rows were maintained
+    /// incrementally all along).
+    pub reused: usize,
+    /// Units built fresh (membership changed).
+    pub rebuilt: usize,
+}
+
 /// A fitted fusion model. Create with [`Fuser::fit`], then call
 /// [`Fuser::score_all`] / [`Fuser::score_triple`].
 #[derive(Debug)]
@@ -316,8 +339,52 @@ impl Fuser {
     /// Incremental callers maintain the estimator's counts under deltas
     /// and hand back recomputed qualities; this rebuilds the PrecRec model
     /// exactly as [`Fuser::fit`] does and propagates `alpha` into every
-    /// cluster joint. Does *not* rebuild solvers — batch row updates first,
-    /// then call [`Fuser::rebuild_cluster_solvers`] once.
+    /// cluster joint (which recompute their memoised FPRs in place from
+    /// maintained counts — no rescan). Does *not* rebuild solvers — batch
+    /// row updates first, then call [`Fuser::rebuild_cluster_solvers`]
+    /// once.
+    ///
+    /// The refreshed model is bitwise equal to a from-scratch fit on the
+    /// same accumulated labels:
+    ///
+    /// ```
+    /// use corrfuse_core::fuser::{ClusterStrategy, Fuser, FuserConfig, Method};
+    /// use corrfuse_core::quality::QualityEstimator;
+    /// use corrfuse_core::{DatasetBuilder, TripleId};
+    ///
+    /// let mut b = DatasetBuilder::new();
+    /// let (s1, t1) = b.observe_named("A", "x", "p", "1");
+    /// let s2 = b.source("B");
+    /// b.observe(s2, t1);
+    /// let t2 = b.triple("y", "p", "2");
+    /// b.observe(s1, t2);
+    /// let t3 = b.triple("z", "p", "3");
+    /// b.observe(s2, t3);
+    /// b.label(t1, true);
+    /// b.label(t2, false);
+    /// b.label(t3, true);
+    /// let ds = b.build().unwrap();
+    /// let gold = ds.gold().unwrap();
+    ///
+    /// // Fit on the first two labels only, then stream the third in as
+    /// // a row delta + quality refresh instead of a refit.
+    /// let config = FuserConfig::new(Method::Exact).with_strategy(ClusterStrategy::SingleCluster);
+    /// let keep = [TripleId(0), TripleId(1)].into_iter().collect();
+    /// let mut patched = Fuser::fit(&config, &ds, &gold.restricted_to(&keep)).unwrap();
+    /// let (prov, scope) = patched.cluster_joint(0).unwrap().project_pattern(&ds, t3);
+    /// patched.cluster_joint_mut(0).unwrap().push_row(prov, scope, true);
+    /// let qualities = QualityEstimator::new().estimate(&ds, gold).unwrap();
+    /// patched.refresh_quality(qualities, 0.5).unwrap();
+    /// patched.rebuild_cluster_solvers();
+    ///
+    /// // Delta-refreshed scores == full-rescan (from-scratch) scores.
+    /// let fresh = Fuser::fit(&config, &ds, gold).unwrap();
+    /// for t in ds.triples() {
+    ///     let a = patched.score_triple(&ds, t).unwrap();
+    ///     let b = fresh.score_triple(&ds, t).unwrap();
+    ///     assert_eq!(a.to_bits(), b.to_bits());
+    /// }
+    /// ```
     pub fn refresh_quality(&mut self, qualities: Vec<SourceQuality>, alpha: f64) -> Result<()> {
         let precrec = PrecRecModel::from_quality(&qualities, alpha)?;
         self.precrec = precrec;
@@ -331,19 +398,34 @@ impl Fuser {
         Ok(())
     }
 
-    /// Reconstruct every cluster unit's solver from the current joint
-    /// parameters and PrecRec model, exactly as [`Fuser::fit`] built them.
-    /// Required after [`Fuser::refresh_quality`] or any joint row change,
-    /// because the aggressive/elastic solvers precompute per-source
-    /// correlation summaries at construction time.
-    pub fn rebuild_cluster_solvers(&mut self) {
+    /// Reconstruct the cluster units' solvers from the current joint
+    /// parameters and PrecRec model, exactly as [`Fuser::fit`] built
+    /// them. Required after [`Fuser::refresh_quality`] or any joint row
+    /// change, because the aggressive/elastic solvers precompute
+    /// per-source correlation summaries at construction time.
+    ///
+    /// Refits only the clusters whose inputs changed: a unit whose joint
+    /// reports itself clean ([`EmpiricalJoint::is_dirty`] — no row or
+    /// alpha change since its solver was built) has bitwise-identical
+    /// solver inputs, so its solver is reused. Units without a joint
+    /// (PrecRec) read the refreshed PrecRec model and always rebuild.
+    /// Returns how many solvers were rebuilt vs. reused.
+    pub fn rebuild_cluster_solvers(&mut self) -> SolverRebuild {
         let method = self.method;
         let max_exact_complement = self.max_exact_complement;
         let precrec = &self.precrec;
+        let mut report = SolverRebuild {
+            rebuilt: 0,
+            reused: 0,
+        };
         for unit in &mut self.clusters {
             let full = SourceSet::full(unit.positions.len());
-            unit.solver = match &unit.joint {
+            unit.solver = match &mut unit.joint {
                 Some(joint) => {
+                    if !joint.take_dirty() {
+                        report.reused += 1;
+                        continue;
+                    }
                     method.build_solver(joint, full, precrec, &unit.positions, max_exact_complement)
                 }
                 None => method.build_solver(
@@ -354,7 +436,128 @@ impl Fuser {
                     max_exact_complement,
                 ),
             };
+            report.rebuilt += 1;
         }
+        report
+    }
+
+    /// Replace the clustering with `new_clustering`, reusing every cluster
+    /// unit whose membership is unchanged (its joint rows having been
+    /// maintained incrementally) and building fresh joints only for
+    /// clusters whose membership actually changed — the cluster-level
+    /// delta hook behind incremental re-clustering.
+    ///
+    /// `labelled` supplies the labelled triples **in the caller's row
+    /// order** for freshly built joints (see
+    /// [`EmpiricalJoint::with_labelled_rows`]): an incremental caller
+    /// passes its label-arrival order so row indices stay consistent
+    /// across reused and rebuilt cluster joints. The estimates are
+    /// order-independent sums, so scores match a from-scratch fit on the
+    /// new clustering bitwise.
+    ///
+    /// Call [`Fuser::rebuild_cluster_solvers`] afterwards (fresh units
+    /// are built dirty), as after any joint row change.
+    ///
+    /// On `Err` (an over-wide cluster under a correlated method, or a
+    /// labelled triple out of the dataset's range) the fuser is left
+    /// exactly as it was: all fallible work happens before any fitted
+    /// state is touched.
+    pub fn reconcile_clustering(
+        &mut self,
+        ds: &Dataset,
+        new_clustering: Clustering,
+        labelled: &[(TripleId, bool)],
+    ) -> Result<ClusterReconcile> {
+        let n = ds.n_sources();
+        let mut report = ClusterReconcile {
+            reused: 0,
+            rebuilt: 0,
+        };
+        // Index the old units by membership for O(1) reuse lookups.
+        let old_index: std::collections::HashMap<&[usize], usize> = self
+            .clusters
+            .iter()
+            .enumerate()
+            .map(|(i, u)| (u.positions.as_slice(), i))
+            .collect();
+        // Phase 1 (fallible, read-only): plan each new cluster and build
+        // the fresh units. Nothing in `self` mutates yet, so any error
+        // leaves the fitted model fully intact.
+        enum Plan {
+            Reuse(usize),
+            Fresh(Box<ClusterUnit>),
+        }
+        let mut plans = Vec::new();
+        let mut independent_mask = BitSet::new(n);
+        for s in 0..n {
+            independent_mask.set(s, true);
+        }
+        for members in new_clustering.non_trivial() {
+            let positions: Vec<usize> = members.iter().map(|m| m.index()).collect();
+            if positions.len() > 64 {
+                if self.method.uses_correlations() {
+                    // Mirror `Fuser::fit`: wider than the bitmask solvers
+                    // support.
+                    return Err(FusionError::TooManySources {
+                        requested: positions.len(),
+                        max: 64,
+                    });
+                }
+                continue;
+            }
+            for &p in &positions {
+                independent_mask.set(p, false);
+            }
+            if let Some(&i) = old_index.get(positions.as_slice()) {
+                report.reused += 1;
+                plans.push(Plan::Reuse(i));
+                continue;
+            }
+            report.rebuilt += 1;
+            let full = SourceSet::full(positions.len());
+            let (joint, solver) = if self.method.uses_correlations() {
+                let joint =
+                    EmpiricalJoint::with_labelled_rows(ds, members.clone(), self.alpha, labelled)?;
+                // Joint and solver are built in lockstep here, so the
+                // fresh unit starts clean: a following
+                // `rebuild_cluster_solvers` pass correctly skips it.
+                let solver = self.method.build_solver(
+                    &joint,
+                    full,
+                    &self.precrec,
+                    &positions,
+                    self.max_exact_complement,
+                );
+                (Some(joint), solver)
+            } else {
+                let solver = self.method.build_solver(
+                    &NoJoint,
+                    full,
+                    &self.precrec,
+                    &positions,
+                    self.max_exact_complement,
+                );
+                (None, solver)
+            };
+            plans.push(Plan::Fresh(Box::new(ClusterUnit {
+                positions,
+                joint,
+                solver,
+            })));
+        }
+        // Phase 2 (infallible): commit. Clusters are disjoint, so each
+        // old index is referenced by at most one reuse plan.
+        let mut old: Vec<Option<ClusterUnit>> = self.clusters.drain(..).map(Some).collect();
+        self.clusters = plans
+            .into_iter()
+            .map(|p| match p {
+                Plan::Reuse(i) => old[i].take().expect("old unit reused once"),
+                Plan::Fresh(unit) => *unit,
+            })
+            .collect();
+        self.clustering = new_clustering;
+        self.independent_mask = independent_mask;
+        Ok(report)
     }
 
     /// The fitted method.
@@ -688,6 +891,39 @@ mod tests {
                 let a = patched.score_triple(&ds, t).unwrap();
                 let b = fresh.score_triple(&ds, t).unwrap();
                 assert_eq!(a.to_bits(), b.to_bits(), "{method:?} {t}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn reconcile_clustering_matches_fresh_fit() {
+        // Fit under one explicit clustering, then reconcile to a changed
+        // partition: the unit whose membership survived must be reused,
+        // the changed ones rebuilt, and scores must equal a from-scratch
+        // fit on the new clustering bitwise.
+        let ds = figure1();
+        let gold = ds.gold().unwrap();
+        let labelled: Vec<(TripleId, bool)> = gold.iter_labelled().collect();
+        let before = Clustering::from_assignment(vec![0, 1, 2, 0, 0]); // {S1,S4,S5}
+        let after = Clustering::from_assignment(vec![0, 1, 1, 0, 0]); // + {S2,S3}
+        for method in [Method::Exact, Method::Aggressive, Method::Elastic(2)] {
+            let cfg_before =
+                FuserConfig::new(method).with_strategy(ClusterStrategy::Explicit(before.clone()));
+            let mut patched = Fuser::fit(&cfg_before, &ds, gold).unwrap();
+            let report = patched
+                .reconcile_clustering(&ds, after.clone(), &labelled)
+                .unwrap();
+            assert_eq!((report.reused, report.rebuilt), (1, 1), "{method:?}");
+            let rebuilds = patched.rebuild_cluster_solvers();
+            // The reused unit's joint is clean: solver reused too.
+            assert_eq!(rebuilds.reused, 2, "{method:?}: {rebuilds:?}");
+            let cfg_after =
+                FuserConfig::new(method).with_strategy(ClusterStrategy::Explicit(after.clone()));
+            let fresh = Fuser::fit(&cfg_after, &ds, gold).unwrap();
+            for t in ds.triples() {
+                let a = patched.score_triple(&ds, t).unwrap();
+                let b = fresh.score_triple(&ds, t).unwrap();
+                assert_eq!(a.to_bits(), b.to_bits(), "{method:?} {t}");
             }
         }
     }

@@ -35,6 +35,38 @@ pub struct CacheStats {
     pub misses: u64,
 }
 
+/// Counters of the incremental (delta) maintenance of an
+/// [`EmpiricalJoint`]'s subset-count state.
+///
+/// `delta_rows` counts row mutations ([`EmpiricalJoint::push_row`] /
+/// [`EmpiricalJoint::set_row`]) that were absorbed by updating the
+/// memoised subset counts in place; `rescans` counts full passes over the
+/// row store (one per memo miss — see the full-rescan conditions on
+/// [`EmpiricalJoint::invalidate_caches`]); `invalidations` counts
+/// explicit whole-cache drops. A healthy streaming workload shows
+/// `delta_rows` growing while `rescans` stays near the number of
+/// *distinct* subsets ever queried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JointDeltaStats {
+    /// Row mutations absorbed by delta-updating memoised subset counts.
+    pub delta_rows: u64,
+    /// Full row-store scans (exactly one per memo miss).
+    pub rescans: u64,
+    /// Explicit [`EmpiricalJoint::invalidate_caches`] calls.
+    pub invalidations: u64,
+}
+
+impl JointDeltaStats {
+    /// Element-wise sum (for aggregating per-cluster joints).
+    pub fn merged(self, other: JointDeltaStats) -> JointDeltaStats {
+        JointDeltaStats {
+            delta_rows: self.delta_rows + other.delta_rows,
+            rescans: self.rescans + other.rescans,
+            invalidations: self.invalidations + other.invalidations,
+        }
+    }
+}
+
 impl CacheStats {
     /// `hits / (hits + misses)`, or 0 when nothing was queried.
     pub fn hit_rate(&self) -> f64 {
@@ -55,17 +87,105 @@ impl CacheStats {
     }
 }
 
-/// A fixed-shard concurrent memo table `u64 -> f64` with hit/miss
+/// Exact joint counts of one source subset over the labelled row store:
+/// the integer state behind both joint rates.
+///
+/// `n_true` is the number of labelled-true rows whose scope covers the
+/// whole subset (the recall denominator), `tp` of those how many the
+/// whole subset provides, and `fp` the labelled-false rows the whole
+/// subset provides within scope. These are plain sums over rows, so they
+/// can be maintained under row deltas by adding/retracting a single
+/// row's contribution — which is what keeps
+/// [`EmpiricalJoint::push_row`] / [`EmpiricalJoint::set_row`] /
+/// [`EmpiricalJoint::set_alpha`] O(memoised subsets) instead of
+/// O(rows × subsets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SubsetCounts {
+    /// Labelled-true rows with the whole subset in scope.
+    pub n_true: usize,
+    /// Labelled-true in-scope rows provided by the whole subset.
+    pub tp: usize,
+    /// Labelled-false rows provided (in scope) by the whole subset.
+    pub fp: usize,
+}
+
+impl SubsetCounts {
+    /// Add (`delta = 1`) or retract (`delta = -1`) one row's contribution
+    /// for the subset `mask`. Mirrors the scan in `EmpiricalJoint::counts`
+    /// term by term, so a maintained count always equals a fresh rescan.
+    #[inline]
+    fn apply_row(&mut self, mask: u64, row: (u64, u64, bool), delta: isize) {
+        fn bump(v: &mut usize, delta: isize) {
+            *v = v.checked_add_signed(delta).expect("subset count underflow");
+        }
+        let (providers, scope, truth) = row;
+        if truth {
+            if mask & !scope == 0 {
+                bump(&mut self.n_true, delta);
+                if mask & !providers == 0 {
+                    bump(&mut self.tp, delta);
+                }
+            }
+        } else if mask & !scope == 0 && mask & !providers == 0 {
+            bump(&mut self.fp, delta);
+        }
+    }
+
+    /// `r_{S*}` from counts — the single float expression shared by the
+    /// rescan fallback and the delta path (bitwise equality by
+    /// construction).
+    #[inline]
+    fn recall_value(&self) -> f64 {
+        if self.n_true == 0 {
+            0.0
+        } else {
+            self.tp as f64 / self.n_true as f64
+        }
+    }
+
+    /// `q_{S*}` from counts (Theorem 3.5 in count form, see
+    /// `quality::fpr_from_counts`). Stays defined when `tp = 0`.
+    #[inline]
+    fn fpr_value(&self, alpha: f64) -> f64 {
+        if self.n_true == 0 {
+            0.0
+        } else {
+            (alpha / (1.0 - alpha) * self.fp as f64 / self.n_true as f64).min(1.0)
+        }
+    }
+}
+
+/// One memoised subset: its exact counts plus both derived rates.
+#[derive(Debug, Clone, Copy)]
+struct JointEntry {
+    counts: SubsetCounts,
+    recall: f64,
+    fpr: f64,
+}
+
+impl JointEntry {
+    fn from_counts(counts: SubsetCounts, alpha: f64) -> JointEntry {
+        JointEntry {
+            counts,
+            recall: counts.recall_value(),
+            fpr: counts.fpr_value(alpha),
+        }
+    }
+}
+
+/// A fixed-shard concurrent memo table `u64 -> JointEntry` with hit/miss
 /// counters.
 ///
-/// [`EmpiricalJoint`] memoises per-subset joint rates behind this: a
-/// single `RwLock<HashMap>` serialises every reader on the write path
-/// once the scoring engine fans out, while sharding by key hash keeps
-/// workers on (mostly) disjoint locks. Counters are relaxed atomics —
-/// they feed benchmarks and reports, not control flow.
+/// [`EmpiricalJoint`] memoises per-subset counts and joint rates behind
+/// this: a single `RwLock<HashMap>` serialises every reader on the write
+/// path once the scoring engine fans out, while sharding by key hash
+/// keeps workers on (mostly) disjoint locks. Counters are relaxed
+/// atomics — they feed benchmarks and reports, not control flow. Row
+/// deltas walk every shard under `&mut self` (no lock contention: the
+/// mutable borrow proves no reader exists).
 #[derive(Debug, Default)]
 struct ShardedMemo {
-    shards: [RwLock<HashMap<u64, f64>>; MEMO_SHARDS],
+    shards: [RwLock<HashMap<u64, JointEntry>>; MEMO_SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -76,7 +196,7 @@ impl ShardedMemo {
     }
 
     #[inline]
-    fn shard(&self, key: u64) -> &RwLock<HashMap<u64, f64>> {
+    fn shard(&self, key: u64) -> &RwLock<HashMap<u64, JointEntry>> {
         // Fibonacci hash then keep the top bits: subset masks are dense in
         // the low bits, so modulo alone would alias neighbouring sets.
         let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
@@ -84,7 +204,7 @@ impl ShardedMemo {
     }
 
     /// Look up `key`, bumping the hit/miss counter.
-    fn get(&self, key: u64) -> Option<f64> {
+    fn get(&self, key: u64) -> Option<JointEntry> {
         let found = self.shard(key).read().unwrap().get(&key).copied();
         match found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
@@ -93,8 +213,18 @@ impl ShardedMemo {
         found
     }
 
-    fn insert(&self, key: u64, value: f64) {
+    fn insert(&self, key: u64, value: JointEntry) {
         self.shard(key).write().unwrap().insert(key, value);
+    }
+
+    /// Apply `f` to every memoised entry, in place. Requires `&mut self`,
+    /// so no scoring reader can observe a half-updated table.
+    fn update_entries(&mut self, mut f: impl FnMut(u64, &mut JointEntry)) {
+        for shard in &mut self.shards {
+            for (mask, entry) in shard.get_mut().unwrap().iter_mut() {
+                f(*mask, entry);
+            }
+        }
     }
 
     /// Drop every memoised entry (counters are cumulative and survive).
@@ -241,17 +371,30 @@ pub trait JointQuality {
 /// Joint quality estimated from labelled training data.
 ///
 /// For each labelled triple we pre-project its provider set and scope set
-/// onto the cluster members; each distinct subset query is then one pass
-/// over those rows and the answer is memoised (the exact solver re-queries
-/// the same subsets for every triple).
+/// onto the cluster members; the first query of a distinct subset is one
+/// pass over those rows, after which its exact `(n_true, tp, fp)` counts
+/// ([`SubsetCounts`]) and both derived rates are memoised (the exact
+/// solver re-queries the same subsets for every triple). Row deltas
+/// ([`EmpiricalJoint::push_row`] / [`EmpiricalJoint::set_row`]) and prior
+/// changes ([`EmpiricalJoint::set_alpha`]) update the memoised state in
+/// place instead of invalidating it, so a hot streaming path never pays
+/// the O(rows) rescan twice for the same subset.
 #[derive(Debug)]
 pub struct EmpiricalJoint {
     members: Vec<SourceId>,
     /// (projected providers, projected scope, truth) per labelled triple.
     rows: Vec<(u64, u64, bool)>,
     alpha: f64,
-    recall_cache: ShardedMemo,
-    fpr_cache: ShardedMemo,
+    /// Memoised per-subset counts + derived recall/FPR.
+    memo: ShardedMemo,
+    /// Whether any memo-visible input (rows, alpha) changed since the
+    /// last [`crate::fuser::Fuser::rebuild_cluster_solvers`] consumed it.
+    dirty: bool,
+    /// Row deltas absorbed incrementally (see [`JointDeltaStats`]).
+    delta_rows: u64,
+    /// Explicit whole-cache invalidations (atomic: the invalidation
+    /// entry point takes `&self`).
+    invalidations: AtomicU64,
 }
 
 impl EmpiricalJoint {
@@ -263,6 +406,25 @@ impl EmpiricalJoint {
         members: Vec<SourceId>,
         alpha: f64,
     ) -> Result<Self> {
+        let labelled: Vec<(TripleId, bool)> = gold.iter_labelled().collect();
+        Self::with_labelled_rows(ds, members, alpha, &labelled)
+    }
+
+    /// Build for the given cluster members with the labelled triples in an
+    /// explicit, caller-chosen row order.
+    ///
+    /// [`EmpiricalJoint::new`] stores rows in [`TripleId`] order; an
+    /// incremental caller that has been appending rows in label-*arrival*
+    /// order uses this to rebuild a cluster joint whose row indices stay
+    /// consistent with its sibling clusters (the estimates themselves are
+    /// order-independent sums, so both orders yield bitwise-identical
+    /// rates).
+    pub fn with_labelled_rows(
+        ds: &Dataset,
+        members: Vec<SourceId>,
+        alpha: f64,
+        labelled: &[(TripleId, bool)],
+    ) -> Result<Self> {
         check_alpha(alpha)?;
         if members.len() > 64 {
             return Err(FusionError::TooManySources {
@@ -270,12 +432,12 @@ impl EmpiricalJoint {
                 max: 64,
             });
         }
-        if gold.labelled_count() == 0 {
+        if labelled.is_empty() {
             return Err(FusionError::MissingGold);
         }
         let positions: Vec<usize> = members.iter().map(|s| s.index()).collect();
-        let mut rows = Vec::with_capacity(gold.labelled_count());
-        for (t, truth) in gold.iter_labelled() {
+        let mut rows = Vec::with_capacity(labelled.len());
+        for &(t, truth) in labelled {
             if t.index() >= ds.n_triples() {
                 return Err(FusionError::TripleOutOfRange(t.index()));
             }
@@ -292,8 +454,10 @@ impl EmpiricalJoint {
             members,
             rows,
             alpha,
-            recall_cache: ShardedMemo::new(),
-            fpr_cache: ShardedMemo::new(),
+            memo: ShardedMemo::new(),
+            dirty: false,
+            delta_rows: 0,
+            invalidations: AtomicU64::new(0),
         })
     }
 
@@ -313,13 +477,17 @@ impl EmpiricalJoint {
         self.alpha
     }
 
-    /// Replace the prior. Joint recalls are alpha-free, so only the FPR
-    /// memo table is invalidated (and only when the value changed).
+    /// Replace the prior. Joint recalls are alpha-free; every memoised
+    /// subset's FPR is recomputed in place from its maintained counts
+    /// (`q = alpha/(1-alpha) · fp/n_true`), so no memo entry is dropped
+    /// and no row is rescanned. A no-op when the value is unchanged.
     pub fn set_alpha(&mut self, alpha: f64) -> Result<()> {
         check_alpha(alpha)?;
         if alpha != self.alpha {
             self.alpha = alpha;
-            self.fpr_cache.clear();
+            self.memo
+                .update_entries(|_, e| e.fpr = e.counts.fpr_value(alpha));
+            self.dirty = true;
         }
         Ok(())
     }
@@ -334,43 +502,129 @@ impl EmpiricalJoint {
         self.rows[idx]
     }
 
-    /// Append a labelled row (a newly labelled triple) and invalidate the
-    /// memo caches. Delta hook for incremental ingestion: the estimates
-    /// are order-independent sums over rows, so appending in label-arrival
-    /// order yields bit-identical values to a from-scratch build.
+    /// Append a labelled row (a newly labelled triple), delta-updating the
+    /// maintained counts of every memoised subset in place — no memo entry
+    /// is dropped and no rescan is triggered. Delta hook for incremental
+    /// ingestion: the counts are order-independent sums over rows, so
+    /// appending in label-arrival order yields bit-identical values to a
+    /// from-scratch build.
+    ///
+    /// ```
+    /// use corrfuse_core::joint::{EmpiricalJoint, JointQuality, SourceSet};
+    /// use corrfuse_core::{DatasetBuilder, TripleId};
+    ///
+    /// let mut b = DatasetBuilder::new();
+    /// let (s1, t1) = b.observe_named("A", "x", "p", "1");
+    /// let s2 = b.source("B");
+    /// b.observe(s2, t1);
+    /// let t2 = b.triple("y", "p", "2");
+    /// b.observe(s1, t2);
+    /// b.label(t1, true);
+    /// b.label(t2, false);
+    /// let ds = b.build().unwrap();
+    /// let members: Vec<_> = ds.sources().collect();
+    ///
+    /// // Fit on only the first label, warm a subset, then stream the
+    /// // second label in as a row delta.
+    /// let keep = [TripleId(0)].into_iter().collect();
+    /// let partial = ds.gold().unwrap().restricted_to(&keep);
+    /// let mut inc = EmpiricalJoint::new(&ds, &partial, members.clone(), 0.5).unwrap();
+    /// let probe = SourceSet::singleton(0);
+    /// let _ = inc.joint_fpr(probe); // memoise (one rescan)
+    /// let (prov, scope) = inc.project_pattern(&ds, TripleId(1));
+    /// inc.push_row(prov, scope, false);
+    ///
+    /// // The delta-updated value is bitwise equal to a fresh build that
+    /// // rescans everything — and the warm entry answered without a
+    /// // second rescan.
+    /// let fresh = EmpiricalJoint::new(&ds, ds.gold().unwrap(), members, 0.5).unwrap();
+    /// assert_eq!(inc.joint_fpr(probe).to_bits(), fresh.joint_fpr(probe).to_bits());
+    /// assert_eq!(inc.delta_stats().rescans, 1);
+    /// assert_eq!(inc.delta_stats().delta_rows, 1);
+    /// ```
     pub fn push_row(&mut self, providers: u64, scope: u64, truth: bool) {
-        self.rows.push((providers, scope, truth));
-        self.invalidate_caches();
+        let row = (providers, scope, truth);
+        self.rows.push(row);
+        let alpha = self.alpha;
+        self.memo.update_entries(|mask, e| {
+            e.counts.apply_row(mask, row, 1);
+            *e = JointEntry::from_counts(e.counts, alpha);
+        });
+        self.delta_rows += 1;
+        self.dirty = true;
     }
 
     /// Overwrite a row in place (a claim or scope change touched an
-    /// already-labelled triple). Invalidates the memo caches only when the
-    /// row actually changed. Errors on an out-of-range index.
+    /// already-labelled triple), retracting the old row's contribution
+    /// from every memoised subset and adding the new one — the memo stays
+    /// warm. A no-op when the row is unchanged. Errors on an out-of-range
+    /// index.
     pub fn set_row(&mut self, idx: usize, providers: u64, scope: u64, truth: bool) -> Result<()> {
         match self.rows.get_mut(idx) {
             None => Err(FusionError::TripleOutOfRange(idx)),
             Some(row) => {
                 let next = (providers, scope, truth);
                 if *row != next {
+                    let prev = *row;
                     *row = next;
-                    self.invalidate_caches();
+                    let alpha = self.alpha;
+                    self.memo.update_entries(|mask, e| {
+                        e.counts.apply_row(mask, prev, -1);
+                        e.counts.apply_row(mask, next, 1);
+                        *e = JointEntry::from_counts(e.counts, alpha);
+                    });
+                    self.delta_rows += 1;
+                    self.dirty = true;
                 }
                 Ok(())
             }
         }
     }
 
-    /// Drop every memoised joint rate (cluster invalidation). The next
-    /// queries recompute from the current rows; hit/miss counters are
+    /// Drop every memoised subset (counts and rates). The next query of
+    /// each subset pays one full O(rows) rescan; hit/miss counters are
     /// cumulative and survive.
+    ///
+    /// Since row deltas and prior changes are absorbed in place, nothing
+    /// in the maintenance path calls this any more. The **only**
+    /// conditions that still force a full rescan are: (1) the first query
+    /// of a subset never seen by this instance, (2) any query after an
+    /// explicit `invalidate_caches` (kept public as a memory-release /
+    /// defensive escape hatch), and (3) construction of a new
+    /// `EmpiricalJoint` — e.g. when re-clustering changes a cluster's
+    /// membership, which changes the projection every row is stored
+    /// under.
     pub fn invalidate_caches(&self) {
-        self.recall_cache.clear();
-        self.fpr_cache.clear();
+        self.memo.clear();
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Cumulative hit/miss counters over both memo tables.
+    /// Cumulative hit/miss counters of the subset memo.
     pub fn cache_stats(&self) -> CacheStats {
-        self.recall_cache.stats().merged(self.fpr_cache.stats())
+        self.memo.stats()
+    }
+
+    /// Cumulative incremental-maintenance counters (row deltas absorbed
+    /// in place vs. full rescans paid).
+    pub fn delta_stats(&self) -> JointDeltaStats {
+        JointDeltaStats {
+            delta_rows: self.delta_rows,
+            rescans: self.memo.stats().misses,
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether any memo-visible input (rows, alpha) changed since
+    /// [`EmpiricalJoint::take_dirty`] last ran. Solver-rebuild scheduling
+    /// reads this to skip clusters whose parameters are bitwise
+    /// unchanged.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Read and clear the dirty flag (see [`EmpiricalJoint::is_dirty`]).
+    pub fn take_dirty(&mut self) -> bool {
+        std::mem::take(&mut self.dirty)
     }
 
     /// Project a triple's provider and scope sets onto this cluster's
@@ -389,31 +643,49 @@ impl EmpiricalJoint {
         (providers, scope)
     }
 
-    /// Count `(true in scope, true provided, false provided)` for `set`.
-    fn counts(&self, set: SourceSet) -> (usize, usize, usize) {
+    /// The exact joint counts for `set`, by one full pass over the row
+    /// store. This is the **rescan fallback** that pins the incremental
+    /// path: a delta-maintained [`SubsetCounts`] must always equal this
+    /// scan (enforced by a testkit property over random row streams).
+    pub fn scan_counts(&self, set: SourceSet) -> SubsetCounts {
         let m = set.0;
-        let mut true_in_scope = 0usize;
-        let mut tp = 0usize;
-        let mut fp = 0usize;
+        let mut counts = SubsetCounts::default();
         for &(providers, scope, truth) in &self.rows {
             if truth {
                 if m & !scope == 0 {
-                    true_in_scope += 1;
+                    counts.n_true += 1;
                     if m & !providers == 0 {
-                        tp += 1;
+                        counts.tp += 1;
                     }
                 }
             } else if m & !scope == 0 && m & !providers == 0 {
-                fp += 1;
+                counts.fp += 1;
             }
         }
-        (true_in_scope, tp, fp)
+        counts
+    }
+
+    /// The memoised entry for `set`, rescanning on a miss.
+    fn entry(&self, set: SourceSet) -> JointEntry {
+        if let Some(e) = self.memo.get(set.0) {
+            return e;
+        }
+        let e = JointEntry::from_counts(self.scan_counts(set), self.alpha);
+        self.memo.insert(set.0, e);
+        e
+    }
+
+    /// The memoised joint counts for `set` (delta-maintained; rescans on
+    /// the first query of a subset). Exposed so callers correlating many
+    /// subsets (clustering, reports) share the maintained state.
+    pub fn counts(&self, set: SourceSet) -> SubsetCounts {
+        self.entry(set).counts
     }
 
     /// Joint precision `p_{S*}` — `None` when no labelled triple is jointly
     /// provided (no support). Exposed for reports (Fig 1b) and clustering.
     pub fn joint_precision(&self, set: SourceSet) -> Option<f64> {
-        let (_, tp, fp) = self.counts(set);
+        let SubsetCounts { tp, fp, .. } = self.counts(set);
         if tp + fp == 0 {
             None
         } else {
@@ -431,36 +703,16 @@ impl JointQuality for EmpiricalJoint {
         if set.is_empty() {
             return 1.0;
         }
-        if let Some(v) = self.recall_cache.get(set.0) {
-            return v;
-        }
-        let (true_in_scope, tp, _) = self.counts(set);
-        let v = if true_in_scope == 0 {
-            0.0
-        } else {
-            tp as f64 / true_in_scope as f64
-        };
-        self.recall_cache.insert(set.0, v);
-        v
+        self.entry(set).recall
     }
 
     fn joint_fpr(&self, set: SourceSet) -> f64 {
         if set.is_empty() {
             return 1.0;
         }
-        if let Some(v) = self.fpr_cache.get(set.0) {
-            return v;
-        }
         // Theorem 3.5 in count form: q = alpha/(1-alpha) * FP / N_true
         // (see `quality::fpr_from_counts`). Stays defined when TP = 0.
-        let (true_in_scope, _, fp) = self.counts(set);
-        let v = if true_in_scope == 0 {
-            0.0
-        } else {
-            (self.alpha / (1.0 - self.alpha) * fp as f64 / true_in_scope as f64).min(1.0)
-        };
-        self.fpr_cache.insert(set.0, v);
-        v
+        self.entry(set).fpr
     }
 }
 
@@ -965,17 +1217,95 @@ mod tests {
             assert_eq!(inc.joint_recall(s), full.joint_recall(s), "r mask {mask:b}");
             assert_eq!(inc.joint_fpr(s), full.joint_fpr(s), "q mask {mask:b}");
         }
-        // set_row with identical content keeps the cache warm...
+        // set_row keeps the cache warm whether or not the row changed...
         let row = inc.row(0);
         let before = inc.cache_stats();
         inc.set_row(0, row.0, row.1, row.2).unwrap();
         let _ = inc.joint_recall(probe);
         assert_eq!(inc.cache_stats().hits, before.hits + 1);
-        // ...while a real change invalidates and shifts the estimate.
+        // ...and a real change delta-updates the estimate in place: the
+        // re-query is another hit, with the shifted value.
         let r_before = inc.joint_recall(probe);
+        let hits_before = inc.cache_stats().hits;
         inc.set_row(0, 0, row.1, row.2).unwrap(); // t1 loses all providers
         assert!(inc.joint_recall(probe) < r_before);
+        assert_eq!(inc.cache_stats().hits, hits_before + 1);
         assert!(inc.set_row(99, 0, 0, true).is_err());
+    }
+
+    /// The incremental-maintenance trust anchor: under random streams of
+    /// `push_row` / `set_row` / `set_alpha` with interleaved (cache-
+    /// warming) queries, every memoised subset's counts stay equal to the
+    /// exact full-rescan fallback, and both derived rates stay bitwise
+    /// equal to the count formulas applied to those rescanned counts.
+    #[test]
+    fn delta_maintenance_matches_rescan_on_random_row_streams() {
+        use crate::testkit::run_cases;
+        run_cases("joint_delta_vs_rescan", 16, |g| {
+            let n_members = g.usize_in(1, 6);
+            let n_masks = 1u64 << n_members;
+            let mut b = DatasetBuilder::new();
+            let sources: Vec<_> = (0..n_members).map(|i| b.source(format!("S{i}"))).collect();
+            let t = b.triple("seed", "p", "v");
+            b.observe(sources[0], t);
+            b.label(t, g.bool(0.5));
+            let ds = b.build().unwrap();
+            let members: Vec<SourceId> = ds.sources().collect();
+            let mut alpha = 0.5;
+            let mut joint = EmpiricalJoint::new(&ds, ds.gold().unwrap(), members, alpha).unwrap();
+            let random_row = |g: &mut crate::testkit::Gen| {
+                let scope = g.u64_below(n_masks);
+                // Providers are a subset of the scope, like real rows.
+                (g.u64_below(n_masks) & scope, scope, g.bool(0.5))
+            };
+            for step in 0..24 {
+                // Warm a random slice of the subset lattice before
+                // mutating, so deltas hit a partially-warm memo.
+                for _ in 0..g.usize_in(0, 4) {
+                    let m = SourceSet(g.u64_below(n_masks));
+                    let _ = joint.joint_recall(m);
+                    let _ = joint.joint_fpr(m);
+                }
+                match g.usize_in(0, 4) {
+                    0 if step > 0 => {
+                        let idx = g.usize_in(0, joint.n_rows());
+                        let (p, s, tr) = random_row(g);
+                        joint.set_row(idx, p, s, tr).unwrap();
+                    }
+                    1 => {
+                        alpha = g.f64_in(0.05, 0.95);
+                        joint.set_alpha(alpha).unwrap();
+                    }
+                    _ => {
+                        let (p, s, tr) = random_row(g);
+                        joint.push_row(p, s, tr);
+                    }
+                }
+                for mask in 0..n_masks {
+                    let set = SourceSet(mask);
+                    let scanned = joint.scan_counts(set);
+                    assert_eq!(joint.counts(set), scanned, "mask {mask:b}");
+                    if set.is_empty() {
+                        continue;
+                    }
+                    let want_r = if scanned.n_true == 0 {
+                        0.0
+                    } else {
+                        scanned.tp as f64 / scanned.n_true as f64
+                    };
+                    let want_q = if scanned.n_true == 0 {
+                        0.0
+                    } else {
+                        (alpha / (1.0 - alpha) * scanned.fp as f64 / scanned.n_true as f64).min(1.0)
+                    };
+                    assert_eq!(joint.joint_recall(set).to_bits(), want_r.to_bits());
+                    assert_eq!(joint.joint_fpr(set).to_bits(), want_q.to_bits());
+                }
+            }
+            // The whole stream was absorbed without a single invalidation:
+            // rescans only ever came from first-touch memo misses.
+            assert_eq!(joint.delta_stats().invalidations, 0);
+        });
     }
 
     #[test]

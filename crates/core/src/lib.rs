@@ -29,7 +29,11 @@
 //! This crate is the model layer of the corrfuse stack (core → stream →
 //! serve → net); `docs/ARCHITECTURE.md` describes the layering and
 //! states the workspace-wide trust-anchor invariant every layer is
-//! pinned to.
+//! pinned to. The core math itself — the dataset → quality →
+//! joint-counts → solver → score pipeline, the subset-memo design, the
+//! incremental count and lift-graph maintenance, and what exactly makes
+//! the incremental path bitwise-trustworthy — is documented as a book in
+//! `docs/INTERNALS.md`.
 //!
 //! ## Quick start
 //!
@@ -53,7 +57,7 @@
 //! assert!(scores[t1.index()] > scores[t2.index()]);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod aggressive;

@@ -358,6 +358,8 @@ impl ShardRouter {
                 s.n_sources = core.session.dataset().n_sources();
                 s.n_triples = core.session.dataset().n_triples();
                 s.score_cache = core.session.score_cache_stats();
+                s.joint_cache = core.session.joint_cache_stats();
+                s.joint_delta = core.session.joint_delta_stats();
                 s.log_dropped_events = core.session.delta_log().dropped_events();
                 s.poisoned = core.poison.get().is_some();
                 s

@@ -35,7 +35,7 @@ use std::time::{Duration, Instant};
 use corrfuse_core::dataset::{Dataset, Domain, SourceId};
 use corrfuse_core::error::{FusionError, Result as CoreResult};
 use corrfuse_core::triple::{Triple, TripleId};
-use corrfuse_stream::{Event, StreamSession};
+use corrfuse_stream::{Event, RefitLevel, StreamSession};
 
 use crate::config::JournalConfig;
 use crate::queue::{Pop, Queue};
@@ -296,6 +296,16 @@ fn try_apply(core: &mut ShardCore, msgs: &[Msg]) -> CoreResult<()> {
     stats.max_ingest_ns = stats.max_ingest_ns.max(ns);
     stats.rescored += delta.rescored.len() as u64;
     stats.flips += delta.flips.len() as u64;
+    match delta.refit {
+        RefitLevel::None => {}
+        RefitLevel::Model => stats.refit_model += 1,
+        RefitLevel::Cluster => stats.refit_cluster += 1,
+        RefitLevel::Full => stats.refit_full += 1,
+    }
+    if let Some(r) = delta.reconcile {
+        stats.cluster_units_reused += r.reused as u64;
+        stats.cluster_units_rebuilt += r.rebuilt as u64;
+    }
     *batches_since_rotation += 1;
     Ok(())
 }

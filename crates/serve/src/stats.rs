@@ -1,6 +1,6 @@
 //! Per-shard and aggregate serving statistics.
 
-use corrfuse_core::joint::CacheStats;
+use corrfuse_core::joint::{CacheStats, JointDeltaStats};
 
 /// A point-in-time snapshot of one shard's counters.
 ///
@@ -51,6 +51,31 @@ pub struct ShardStats {
     pub rescored: u64,
     /// Decision flips across all batches.
     pub flips: u64,
+    /// Batches that refreshed the quality model from maintained counters
+    /// (`RefitLevel::Model`). Batches minus the three refit counters is
+    /// the fast path (`RefitLevel::None`).
+    pub refit_model: u64,
+    /// Batches that re-derived the data-driven clustering from the
+    /// maintained lift graph and refitted only changed clusters
+    /// (`RefitLevel::Cluster`).
+    pub refit_cluster: u64,
+    /// Batches that fell back to a full `Fuser::fit`
+    /// (`RefitLevel::Full`; source-set changes).
+    pub refit_full: u64,
+    /// Cluster units kept across `Cluster`-level re-clusterings (their
+    /// joints were maintained incrementally all along).
+    pub cluster_units_reused: u64,
+    /// Cluster units refitted because re-clustering changed their
+    /// membership.
+    pub cluster_units_rebuilt: u64,
+    /// Joint-rate memo counters of the shard session's cluster joints.
+    pub joint_cache: CacheStats,
+    /// Incremental-maintenance counters of the cluster joints: row
+    /// deltas absorbed in place vs. full row rescans paid. A healthy
+    /// shard shows `delta_rows` growing while `rescans` trails the
+    /// number of distinct subsets queried. Counters restart when a full
+    /// refit rebuilds the joints.
+    pub joint_delta: JointDeltaStats,
     /// Journal rotations (compactions) performed.
     pub rotations: u64,
     /// Current journal size in bytes, if journaling.
@@ -121,6 +146,13 @@ impl RouterStats {
             agg.max_ingest_ns = agg.max_ingest_ns.max(s.max_ingest_ns);
             agg.rescored += s.rescored;
             agg.flips += s.flips;
+            agg.refit_model += s.refit_model;
+            agg.refit_cluster += s.refit_cluster;
+            agg.refit_full += s.refit_full;
+            agg.cluster_units_reused += s.cluster_units_reused;
+            agg.cluster_units_rebuilt += s.cluster_units_rebuilt;
+            agg.joint_cache = agg.joint_cache.merged(s.joint_cache);
+            agg.joint_delta = agg.joint_delta.merged(s.joint_delta);
             agg.rotations += s.rotations;
             if let Some(b) = s.journal_bytes {
                 *agg.journal_bytes.get_or_insert(0) += b;
@@ -154,6 +186,14 @@ mod tests {
                     max_ingest_ns: 50,
                     total_ingest_ns: 100,
                     journal_bytes: Some(1000),
+                    refit_model: 2,
+                    refit_cluster: 1,
+                    cluster_units_reused: 3,
+                    joint_delta: JointDeltaStats {
+                        delta_rows: 7,
+                        rescans: 2,
+                        invalidations: 0,
+                    },
                     ..ShardStats::default()
                 },
                 ShardStats {
@@ -169,6 +209,14 @@ mod tests {
                     total_ingest_ns: 80,
                     journal_bytes: Some(500),
                     last_error: Some("boom".into()),
+                    refit_model: 1,
+                    refit_full: 1,
+                    cluster_units_rebuilt: 2,
+                    joint_delta: JointDeltaStats {
+                        delta_rows: 1,
+                        rescans: 4,
+                        invalidations: 1,
+                    },
                     ..ShardStats::default()
                 },
             ],
@@ -183,6 +231,20 @@ mod tests {
         assert_eq!(agg.max_ingest_ns, 80);
         assert_eq!(agg.journal_bytes, Some(1500));
         assert_eq!(agg.last_error.as_deref(), Some("boom"));
+        assert_eq!(
+            (agg.refit_model, agg.refit_cluster, agg.refit_full),
+            (3, 1, 1)
+        );
+        assert_eq!(agg.cluster_units_reused, 3);
+        assert_eq!(agg.cluster_units_rebuilt, 2);
+        assert_eq!(
+            agg.joint_delta,
+            JointDeltaStats {
+                delta_rows: 8,
+                rescans: 6,
+                invalidations: 1,
+            }
+        );
         assert!((agg.mean_batch_events() - 24.0).abs() < 1e-9);
         assert!((agg.mean_ingest_ns() - 36.0).abs() < 1e-9);
         assert_eq!(ShardStats::default().mean_batch_events(), 0.0);

@@ -18,11 +18,17 @@
 //!    joints — their memo caches are invalidated per cluster, not
 //!    rebuilt — and every triple is re-scored *through the pattern
 //!    cache* (each distinct `(domain, providers)` pattern once).
-//! 3. **Everything** — a new source changes model dimensionality (and
-//!    possibly the clustering), so the incremental path falls back to a
-//!    full [`Fuser::fit`]. The same fallback guards configurations whose
-//!    clustering is data-driven (`Auto` over more sources than the
-//!    cluster cap), where new labels could legitimately re-cluster.
+//! 3. **Clustering** — under data-driven clustering (`Auto` over more
+//!    sources than the cluster cap) a label or scope change can move the
+//!    pairwise lifts enough to re-partition the sources. The lift-graph
+//!    counts are maintained incrementally
+//!    ([`corrfuse_core::cluster::LiftGraph`]); when the re-derived
+//!    partition actually differs, only the clusters whose membership
+//!    changed are refitted ([`Fuser::reconcile_clustering`]) — unchanged
+//!    clusters keep their incrementally-maintained joints.
+//! 4. **Everything** — a new source changes model dimensionality (and
+//!    the pair universe of the lift graph), so the incremental path
+//!    falls back to a full [`Fuser::fit`].
 //!
 //! # Equivalence invariant
 //!
@@ -44,11 +50,12 @@
 
 use std::collections::{BTreeSet, HashMap};
 
+use corrfuse_core::cluster::{Clustering, LiftGraph};
 use corrfuse_core::dataset::{Dataset, Domain, SourceId};
 use corrfuse_core::engine::ScoringEngine;
 use corrfuse_core::error::{FusionError, Result};
-use corrfuse_core::fuser::{ClusterStrategy, Fuser, FuserConfig};
-use corrfuse_core::joint::CacheStats;
+use corrfuse_core::fuser::{ClusterReconcile, ClusterStrategy, Fuser, FuserConfig};
+use corrfuse_core::joint::{CacheStats, JointDeltaStats};
 use corrfuse_core::quality::{quality_from_counts, SourceQuality};
 use corrfuse_core::triple::TripleId;
 
@@ -65,8 +72,14 @@ pub enum RefitLevel {
     /// were refreshed from maintained counters and all triples re-scored
     /// through the pattern cache.
     Model,
-    /// The source set changed (or clustering is data-driven): full
-    /// `Fuser::fit` fallback.
+    /// The pairwise lifts moved enough to change the data-driven
+    /// clustering: the partition was re-derived from the maintained
+    /// lift-graph counts and only clusters whose membership changed were
+    /// refitted (the rest keep their incrementally-maintained joints);
+    /// quality model refreshed and all triples re-scored through the
+    /// pattern cache.
+    Cluster,
+    /// The source set changed: full `Fuser::fit` fallback.
     Full,
 }
 
@@ -90,6 +103,9 @@ pub struct IngestOutcome {
     pub rescored: Vec<ScoredTriple>,
     /// Score-cache hits/misses attributable to this batch.
     pub cache: CacheStats,
+    /// On a [`RefitLevel::Cluster`] batch, how many cluster units were
+    /// reused vs. refitted by the re-clustering.
+    pub reconcile: Option<ClusterReconcile>,
 }
 
 /// Dirt accumulated while applying one batch of events.
@@ -124,6 +140,14 @@ pub struct IncrementalFuser {
     /// clusters: every cluster's `EmpiricalJoint` stores the same
     /// labelled triples in the same order).
     row_of: HashMap<TripleId, usize>,
+    /// The labelled triples in row (label-arrival) order — the inverse of
+    /// `row_of`, handed to `Fuser::reconcile_clustering` so freshly built
+    /// cluster joints keep consistent row indices.
+    labelled_order: Vec<(TripleId, bool)>,
+    /// Maintained pairwise-lift counts; `Some` exactly when the
+    /// clustering is data-driven (`Auto` over more sources than the
+    /// cluster cap), rebuilt whenever the full-refit path runs.
+    lift: Option<LiftGraph>,
     /// Per-domain triple index, for scope-expansion invalidation.
     triples_by_domain: HashMap<Domain, Vec<TripleId>>,
     labelled_by_domain: HashMap<Domain, Vec<TripleId>>,
@@ -150,6 +174,8 @@ impl IncrementalFuser {
             n_true: 0,
             n_false: 0,
             row_of: HashMap::new(),
+            labelled_order: Vec::new(),
+            lift: None,
             triples_by_domain: HashMap::new(),
             labelled_by_domain: HashMap::new(),
             true_by_domain: HashMap::new(),
@@ -194,6 +220,18 @@ impl IncrementalFuser {
             .fold(CacheStats::default(), |acc, j| acc.merged(j.cache_stats()))
     }
 
+    /// Cumulative incremental-maintenance counters (row deltas absorbed
+    /// in place vs. full rescans), aggregated over all cluster joints of
+    /// the current model. Counters restart when a full refit rebuilds the
+    /// joints.
+    pub fn joint_delta_stats(&self) -> JointDeltaStats {
+        (0..self.fuser.n_cluster_units())
+            .filter_map(|i| self.fuser.cluster_joint(i))
+            .fold(JointDeltaStats::default(), |acc, j| {
+                acc.merged(j.delta_stats())
+            })
+    }
+
     /// Apply one batch of events, refresh exactly the dirtied model
     /// layers, and re-score the dirtied triples through `engine`.
     ///
@@ -211,13 +249,32 @@ impl IncrementalFuser {
         self.validate_batch(batch)?;
         let stats_before = self.cache.stats();
         let dirt = self.apply(batch)?;
-        let refit = if dirt.full || (dirt.model && self.clustering_is_data_driven()) {
+        // Under data-driven clustering, re-derive the partition from the
+        // maintained lift counts — but only when a count actually moved,
+        // and refit only if the partition differs. (Scope expansions can
+        // move pair counts without dirtying the quality model, so this
+        // check is independent of `dirt.model`.)
+        let mut new_clustering: Option<Clustering> = None;
+        if !dirt.full {
+            if let Some(lift) = &mut self.lift {
+                if lift.take_changed() {
+                    let derived = lift.clustering();
+                    if derived != *self.fuser.clustering() {
+                        new_clustering = Some(derived);
+                    }
+                }
+            }
+        }
+        let refit = if dirt.full {
             RefitLevel::Full
+        } else if new_clustering.is_some() {
+            RefitLevel::Cluster
         } else if dirt.model {
             RefitLevel::Model
         } else {
             RefitLevel::None
         };
+        let mut reconcile = None;
         match refit {
             RefitLevel::Full => {
                 let gold = self.ds.require_gold()?.clone();
@@ -225,12 +282,21 @@ impl IncrementalFuser {
                 self.rebuild_index_state();
                 self.cache.flush();
             }
+            RefitLevel::Cluster => {
+                self.refresh_quality()?;
+                let derived = new_clustering
+                    .take()
+                    .expect("cluster refit has a partition");
+                reconcile = Some(self.fuser.reconcile_clustering(
+                    &self.ds,
+                    derived,
+                    &self.labelled_order,
+                )?);
+                self.fuser.rebuild_cluster_solvers();
+                self.cache.flush();
+            }
             RefitLevel::Model => {
-                let qualities: Vec<SourceQuality> = (0..self.ds.n_sources())
-                    .map(|s| quality_from_counts(self.tp[s], self.fp[s], self.scope_true[s], 0.0))
-                    .collect();
-                let alpha = self.alpha_now()?;
-                self.fuser.refresh_quality(qualities, alpha)?;
+                self.refresh_quality()?;
                 self.fuser.rebuild_cluster_solvers();
                 self.cache.flush();
             }
@@ -258,12 +324,25 @@ impl IncrementalFuser {
                 hits: stats_after.hits - stats_before.hits,
                 misses: stats_after.misses - stats_before.misses,
             },
+            reconcile,
         })
     }
 
-    /// Would new labels move the clustering? `Auto` over more sources
-    /// than the cluster cap derives the clustering from the labelled data
-    /// itself, so the incremental path cannot assume it is stable.
+    /// Refresh the PrecRec model and every cluster joint's prior from the
+    /// maintained per-source counts, exactly as `Fuser::fit` would
+    /// recompute them.
+    fn refresh_quality(&mut self) -> Result<()> {
+        let qualities: Vec<SourceQuality> = (0..self.ds.n_sources())
+            .map(|s| quality_from_counts(self.tp[s], self.fp[s], self.scope_true[s], 0.0))
+            .collect();
+        let alpha = self.alpha_now()?;
+        self.fuser.refresh_quality(qualities, alpha)
+    }
+
+    /// Is the clustering derived from the labelled data itself? `Auto`
+    /// over more sources than the cluster cap re-clusters on lift
+    /// changes, so such sessions maintain a [`LiftGraph`] and reconcile
+    /// the partition whenever its counts move.
     fn clustering_is_data_driven(&self) -> bool {
         matches!(self.config.strategy, ClusterStrategy::Auto)
             && self.config.method.uses_correlations()
@@ -291,6 +370,8 @@ impl IncrementalFuser {
         self.n_true = 0;
         self.n_false = 0;
         self.row_of.clear();
+        self.labelled_order.clear();
+        self.lift = None;
         self.triples_by_domain.clear();
         self.labelled_by_domain.clear();
         self.true_by_domain.clear();
@@ -306,12 +387,16 @@ impl IncrementalFuser {
         };
         for (row, (t, truth)) in gold.iter_labelled().enumerate() {
             self.row_of.insert(t, row);
+            self.labelled_order.push((t, truth));
             let d = self.ds.domain(t);
             self.labelled_by_domain.entry(d).or_default().push(t);
             if truth {
                 *self.true_by_domain.entry(d).or_default() += 1;
             }
             self.count_label(t, truth, 1);
+        }
+        if self.clustering_is_data_driven() {
+            self.lift = Some(LiftGraph::build(&self.ds, &gold, &self.config.cluster));
         }
     }
 
@@ -419,6 +504,34 @@ impl IncrementalFuser {
         }
         dirt.touched.insert(t);
         let d = self.ds.domain(t);
+        // One clone serves both the lift updates and `refresh_rows`
+        // below (scope expansion touches the same labelled triples).
+        let labelled_in_domain = if outcome.scope_expanded {
+            self.labelled_by_domain.get(&d).cloned().unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        // Maintain the pairwise-lift counts (data-driven clustering
+        // only). A batch that already forced a full refit skips this:
+        // the graph is rebuilt from scratch afterwards, and new sources
+        // may have outgrown its pair universe.
+        if !dirt.full {
+            if let Some(mut lift) = self.lift.take() {
+                let truth_of = |inc: &Self, x: TripleId| inc.ds.gold().and_then(|g| g.get(x));
+                if outcome.scope_expanded {
+                    // Every labelled triple of `d` now counts `s` in its
+                    // pairwise scope intersections; the claimed triple's
+                    // own provision rides along in the same update.
+                    for &x in &labelled_in_domain {
+                        let truth = truth_of(self, x).expect("labelled_by_domain is labelled");
+                        lift.source_entered_scope(&self.ds, s, x, truth);
+                    }
+                } else if let Some(truth) = truth_of(self, t) {
+                    lift.source_provided(&self.ds, s, t, truth);
+                }
+                self.lift = Some(lift);
+            }
+        }
         if outcome.scope_expanded {
             // Every triple in `d` gains an in-scope non-provider: their
             // scope masks (and scores) change even though their provider
@@ -437,8 +550,7 @@ impl IncrementalFuser {
             }
             // The scope bit of every labelled row in `d` flips for any
             // cluster containing this source.
-            let labelled = self.labelled_by_domain.get(&d).cloned().unwrap_or_default();
-            if self.refresh_rows(&labelled)? {
+            if self.refresh_rows(&labelled_in_domain)? {
                 dirt.model = true;
             }
         }
@@ -464,6 +576,15 @@ impl IncrementalFuser {
             return Ok(());
         }
         dirt.model = true;
+        // Labels leave providers and scopes untouched, so the lift-graph
+        // delta is a polarity swap of this one triple's contribution.
+        // (Skipped once a full refit is pending — the graph is rebuilt.)
+        if !dirt.full {
+            if let Some(mut lift) = self.lift.take() {
+                lift.relabel(&self.ds, t, prev, truth);
+                self.lift = Some(lift);
+            }
+        }
         let d = self.ds.domain(t);
         match prev {
             None => {
@@ -476,6 +597,7 @@ impl IncrementalFuser {
                 // label-arrival order (the estimates are order-free sums).
                 let row = self.row_of.len();
                 self.row_of.insert(t, row);
+                self.labelled_order.push((t, truth));
                 for i in 0..self.fuser.n_cluster_units() {
                     let Some(joint) = self.fuser.cluster_joint(i) else {
                         continue;
@@ -489,6 +611,7 @@ impl IncrementalFuser {
             }
             Some(old) => {
                 // A relabel: retract the old contribution, add the new.
+                self.labelled_order[self.row_of[&t]].1 = truth;
                 self.count_label(t, old, -1);
                 if old {
                     *self.true_by_domain.entry(d).or_default() -= 1;

@@ -18,9 +18,12 @@
 //!   replayable as a journal;
 //! * [`incremental::IncrementalFuser`] — applies deltas by updating only
 //!   the affected per-source quality counts and per-cluster
-//!   [`corrfuse_core::EmpiricalJoint`] rows (invalidating just those
-//!   clusters' memo caches instead of rebuilding), falling back to a full
-//!   refit only when the source set changes;
+//!   [`corrfuse_core::EmpiricalJoint`] rows (whose memoised subset
+//!   counts are delta-updated in place, never invalidated), maintains
+//!   the pairwise-lift graph under data-driven clustering so a label
+//!   that re-partitions the sources refits only the changed clusters
+//!   ([`RefitLevel::Cluster`]), and falls back to a full refit only when
+//!   the source set changes;
 //! * [`cache::ScoreCache`] — memoises per-triple posteriors keyed by
 //!   `(domain, provider set)` fingerprint, so even a model-level refit
 //!   re-scores each distinct observation pattern once;

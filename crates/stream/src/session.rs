@@ -6,8 +6,8 @@ use std::path::Path;
 use corrfuse_core::dataset::Dataset;
 use corrfuse_core::engine::ScoringEngine;
 use corrfuse_core::error::Result;
-use corrfuse_core::fuser::{Fuser, FuserConfig};
-use corrfuse_core::joint::CacheStats;
+use corrfuse_core::fuser::{ClusterReconcile, Fuser, FuserConfig};
+use corrfuse_core::joint::{CacheStats, JointDeltaStats};
 
 use crate::event::{DeltaLog, Event, LogRetention};
 use crate::incremental::{IncrementalFuser, RefitLevel, ScoredTriple};
@@ -26,6 +26,9 @@ pub struct ScoredDelta {
     pub flips: Vec<ScoredTriple>,
     /// Score-cache hits/misses attributable to this batch.
     pub cache: CacheStats,
+    /// On a [`RefitLevel::Cluster`] batch, how many cluster units the
+    /// re-clustering reused vs. refitted.
+    pub reconcile: Option<ClusterReconcile>,
 }
 
 /// A live fusion session: seed snapshot + stream of micro-batches.
@@ -313,6 +316,7 @@ impl StreamSession {
             rescored: outcome.rescored,
             flips,
             cache: outcome.cache,
+            reconcile: outcome.reconcile,
         })
     }
 
@@ -371,5 +375,12 @@ impl StreamSession {
     /// Cumulative joint-rate memo counters across cluster joints.
     pub fn joint_cache_stats(&self) -> CacheStats {
         self.inc.joint_cache_stats()
+    }
+
+    /// Cumulative incremental-maintenance counters across cluster joints
+    /// (row deltas absorbed in place vs. full row rescans). Counters
+    /// restart when a full refit rebuilds the joints.
+    pub fn joint_delta_stats(&self) -> JointDeltaStats {
+        self.inc.joint_delta_stats()
     }
 }

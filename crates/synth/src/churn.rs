@@ -1,0 +1,203 @@
+//! Adversarial label-churn workloads for the incremental core path.
+//!
+//! [`label_churn_stream`] seeds a session with a *whole* generated world
+//! (claims and labels included) and then streams batches that flip
+//! existing gold labels back and forth — optionally sprinkling in new
+//! claim edges — without ever adding a triple or source. Every batch
+//! therefore lands on the hottest maintenance paths: per-source count
+//! retraction/re-add, in-place joint-row patches across every cluster,
+//! and (under data-driven `Auto` clustering) pairwise-lift updates that
+//! can re-partition the sources, including across correlation-group
+//! boundaries. The equivalence property in
+//! `tests/label_churn_equivalence.rs` runs on this workload.
+
+use corrfuse_core::dataset::{Dataset, SourceId};
+use corrfuse_core::error::{FusionError, Result};
+use corrfuse_core::rng::StdRng;
+use corrfuse_core::triple::TripleId;
+use corrfuse_stream::Event;
+
+use crate::generator::{generate, SynthSpec};
+
+/// Specification of a label-churn workload.
+#[derive(Debug, Clone)]
+pub struct ChurnSpec {
+    /// The world to generate; it seeds the session in full. Give it
+    /// correlation groups so the (data-driven) clustering has boundaries
+    /// for the churn to push labels across.
+    pub base: SynthSpec,
+    /// Number of churn batches.
+    pub n_batches: usize,
+    /// Label flips per batch. A flip inverts the *current* label of a
+    /// random triple (tracked across batches, so labels genuinely go back
+    /// and forth); flips that would empty either label class are skipped
+    /// to keep the training set non-degenerate.
+    pub flips_per_batch: usize,
+    /// Probability that a batch also adds one brand-new claim edge (a
+    /// random source claiming a random triple it does not provide yet),
+    /// shifting provider sets and pair provision counts.
+    pub claim_fraction: f64,
+    /// RNG seed for the churn itself (independent of `base.seed`).
+    pub seed: u64,
+}
+
+impl ChurnSpec {
+    /// A default adversarial workload over `base`.
+    pub fn new(base: SynthSpec, n_batches: usize, seed: u64) -> Self {
+        ChurnSpec {
+            base,
+            n_batches,
+            flips_per_batch: 4,
+            claim_fraction: 0.5,
+            seed,
+        }
+    }
+}
+
+/// Generate the world and the churn batches: `(seed dataset, batches)`.
+/// The seed is the full world; batches only flip labels and add claims.
+pub fn label_churn_stream(spec: &ChurnSpec) -> Result<(Dataset, Vec<Vec<Event>>)> {
+    if spec.n_batches == 0 || spec.flips_per_batch == 0 {
+        return Err(FusionError::DegenerateTraining("churn batches"));
+    }
+    if !(0.0..=1.0).contains(&spec.claim_fraction) {
+        return Err(FusionError::InvalidProbability {
+            what: "claim_fraction",
+            value: spec.claim_fraction,
+        });
+    }
+    let world = generate(&spec.base)?;
+    let gold = world.gold().expect("generator labels every triple");
+    let n = world.n_triples();
+    if n < 2 {
+        return Err(FusionError::DegenerateTraining("triples"));
+    }
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    // Track the live label state so flips invert the *current* value.
+    let mut labels: Vec<bool> = world
+        .triples()
+        .map(|t| gold.get(t).expect("labelled world"))
+        .collect();
+    let mut n_true = labels.iter().filter(|&&b| b).count();
+    let mut n_false = n - n_true;
+    // Track provider sets so sprinkled claims are genuinely new edges.
+    let mut provides: Vec<Vec<bool>> = world
+        .triples()
+        .map(|t| {
+            (0..world.n_sources())
+                .map(|s| world.providers(t).get(s))
+                .collect()
+        })
+        .collect();
+
+    let mut batches: Vec<Vec<Event>> = Vec::with_capacity(spec.n_batches);
+    for _ in 0..spec.n_batches {
+        let mut batch = Vec::new();
+        for _ in 0..spec.flips_per_batch {
+            let t = rng.gen_range(0..n);
+            let next = !labels[t];
+            // Never empty a label class: a degenerate training set would
+            // (correctly) poison the session mid-churn.
+            if next && n_false == 1 || !next && n_true == 1 {
+                continue;
+            }
+            labels[t] = next;
+            if next {
+                n_true += 1;
+                n_false -= 1;
+            } else {
+                n_true -= 1;
+                n_false += 1;
+            }
+            batch.push(Event::label(TripleId(t as u32), next));
+        }
+        if spec.claim_fraction > 0.0 && rng.gen_bool(spec.claim_fraction) {
+            // One new claim edge, if a free (source, triple) slot exists
+            // in a few probes.
+            for _ in 0..8 {
+                let s = rng.gen_range(0..world.n_sources());
+                let t = rng.gen_range(0..n);
+                if !provides[t][s] {
+                    provides[t][s] = true;
+                    batch.push(Event::claim(SourceId(s as u32), TripleId(t as u32)));
+                    break;
+                }
+            }
+        }
+        batches.push(batch);
+    }
+    Ok((world, batches))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GroupKind, GroupSpec, Polarity};
+    use corrfuse_stream::replay;
+
+    fn spec() -> ChurnSpec {
+        let base = SynthSpec::uniform(6, 0.8, 0.5, 120, 0.5, 3)
+            .with_group(GroupSpec {
+                members: vec![0, 1],
+                polarity: Polarity::FalseTriples,
+                kind: GroupKind::Positive { strength: 0.9 },
+            })
+            .with_group(GroupSpec {
+                members: vec![2, 3],
+                polarity: Polarity::TrueTriples,
+                kind: GroupKind::Positive { strength: 0.8 },
+            });
+        ChurnSpec::new(base, 6, 17)
+    }
+
+    #[test]
+    fn churn_flips_labels_back_and_forth() {
+        let (seed, batches) = label_churn_stream(&spec()).unwrap();
+        assert_eq!(batches.len(), 6);
+        let flips: Vec<(TripleId, bool)> = batches
+            .iter()
+            .flatten()
+            .filter_map(|e| match e {
+                Event::Label { triple, truth } => Some((*triple, *truth)),
+                _ => None,
+            })
+            .collect();
+        assert!(!flips.is_empty());
+        // Every flip inverts the then-current label.
+        let mut labels: Vec<bool> = seed
+            .triples()
+            .map(|t| seed.gold().unwrap().get(t).unwrap())
+            .collect();
+        for (t, truth) in flips {
+            assert_ne!(labels[t.index()], truth, "flip at {t} is a no-op");
+            labels[t.index()] = truth;
+        }
+        // The replayed stream still carries both label classes.
+        let events: Vec<Event> = batches.concat();
+        let accumulated = replay::accumulate(&seed, &events).unwrap();
+        let g = accumulated.gold().unwrap();
+        assert!(g.true_count() > 0 && g.false_count() > 0);
+    }
+
+    #[test]
+    fn churn_is_deterministic_per_seed() {
+        let (_, a) = label_churn_stream(&spec()).unwrap();
+        let (_, b) = label_churn_stream(&spec()).unwrap();
+        assert_eq!(a, b);
+        let mut other = spec();
+        other.seed = 18;
+        let (_, c) = label_churn_stream(&other).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let mut s = spec();
+        s.n_batches = 0;
+        assert!(label_churn_stream(&s).is_err());
+        let mut s = spec();
+        s.claim_fraction = 1.5;
+        assert!(label_churn_stream(&s).is_err());
+    }
+}

@@ -12,6 +12,10 @@
 //! * [`stream_events`] — slices a generated world into a seed snapshot
 //!   plus ingest-event micro-batches (drives the `corrfuse-stream`
 //!   equivalence tests and throughput bench);
+//! * [`churn`] — adversarial label-churn batches over a full world
+//!   (labels flipping back and forth, claims shifting provider sets;
+//!   drives the incremental-core equivalence property and the
+//!   `joint_incremental` bench);
 //! * [`multi_tenant`] — interleaved per-tenant event streams with
 //!   Zipf-skewed tenant sizes (drives the `corrfuse-serve` router tests
 //!   and benches);
@@ -22,6 +26,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod churn;
 pub mod generator;
 pub mod motivating;
 pub mod multi_tenant;
@@ -29,6 +34,7 @@ pub mod remote;
 pub mod replicas;
 pub mod stream_events;
 
+pub use churn::{label_churn_stream, ChurnSpec};
 pub use generator::{generate, GroupKind, GroupSpec, Polarity, SourceSpec, SynthSpec};
 pub use multi_tenant::{multi_tenant_events, MultiTenantSpec, MultiTenantStream};
 pub use remote::{

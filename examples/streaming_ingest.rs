@@ -13,6 +13,7 @@ fn describe(session: &StreamSession, tag: &str, delta: &ScoredDelta) {
     let refit = match delta.refit {
         RefitLevel::None => "none (claims on unlabelled triples only)",
         RefitLevel::Model => "model (quality counts / joint rows refreshed from counters)",
+        RefitLevel::Cluster => "cluster (lift graph re-partitioned; changed clusters refitted)",
         RefitLevel::Full => "full (source set changed: fresh fit)",
     };
     println!("refit level : {refit}");

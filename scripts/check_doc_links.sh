@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Fail on broken relative markdown links across README.md and docs/*.md.
+#
+# Checks every `](target)` whose target is not an absolute URL or a
+# pure in-page anchor; the target (with any `#anchor` stripped) must
+# exist relative to the file that links it. Run from anywhere:
+#   bash scripts/check_doc_links.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+for f in README.md docs/*.md; do
+  while IFS= read -r link; do
+    [ -z "$link" ] && continue
+    case "$link" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    target="${link%%#*}"
+    [ -z "$target" ] && continue
+    if [ ! -e "$(dirname "$f")/$target" ]; then
+      echo "broken link in $f: ($link)" >&2
+      status=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$f" | sed -e 's/^](//' -e 's/)$//')
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "doc links OK"
+fi
+exit "$status"

@@ -1,0 +1,133 @@
+//! Adversarial label churn against the incremental core path: gold
+//! labels flip back and forth (with claim edges shifting provider sets)
+//! over a world whose `Auto` clustering is data-driven, so the
+//! maintained joint counts, the maintained lift graph, **and** the
+//! incremental re-clustering all get exercised — and after every batch
+//! the session must stay **bitwise identical** to a from-scratch
+//! `Fuser::fit` + `score_all` on the accumulated dataset.
+
+use std::cell::RefCell;
+
+use corrfuse::core::engine::ScoringEngine;
+use corrfuse::core::fuser::{Fuser, FuserConfig, Method};
+use corrfuse::core::testkit::{run_cases, Gen};
+use corrfuse::stream::{replay, Event, RefitLevel, StreamSession};
+use corrfuse::synth::{ChurnSpec, GroupKind, GroupSpec, Polarity, SynthSpec};
+
+fn random_churn_spec(g: &mut Gen, case_seed: u64) -> ChurnSpec {
+    let n_sources = g.usize_in(6, 10);
+    let mut base = SynthSpec::uniform(
+        n_sources,
+        g.f64_in(0.65, 0.9),
+        g.f64_in(0.35, 0.6),
+        g.usize_in(60, 140),
+        0.5,
+        case_seed,
+    );
+    // Two correlation groups so the clustering has boundaries for the
+    // churn to push lifts across; the remaining sources are independent.
+    base = base
+        .with_group(GroupSpec {
+            members: vec![0, 1],
+            polarity: Polarity::FalseTriples,
+            kind: GroupKind::Positive {
+                strength: g.f64_in(0.6, 0.95),
+            },
+        })
+        .with_group(GroupSpec {
+            members: vec![2, 3],
+            polarity: Polarity::TrueTriples,
+            kind: GroupKind::Positive {
+                strength: g.f64_in(0.5, 0.9),
+            },
+        });
+    ChurnSpec {
+        base,
+        n_batches: g.usize_in(4, 8),
+        flips_per_batch: g.usize_in(2, 7),
+        claim_fraction: g.f64_in(0.2, 0.9),
+        seed: case_seed.wrapping_mul(37),
+    }
+}
+
+#[test]
+fn label_churn_stays_bitwise_equal_to_fresh_fits() {
+    let seen: RefCell<Vec<RefitLevel>> = RefCell::new(Vec::new());
+    run_cases("label_churn_equivalence", 10, |g| {
+        let case_seed = (g.usize_in(0, usize::MAX / 2)) as u64;
+        let spec = random_churn_spec(g, case_seed);
+        let method = match g.usize_in(0, 3) {
+            0 => Method::Exact,
+            1 => Method::Aggressive,
+            _ => Method::Elastic(2),
+        };
+        let mut config = FuserConfig::new(method);
+        // Cap below the source count: `Auto` goes data-driven and the
+        // lift graph + incremental re-clustering carry every batch.
+        config.cluster.max_cluster_size = g.usize_in(2, 4);
+        config.cluster.min_support = g.usize_in(1, 4);
+        let (seed, batches) =
+            corrfuse::synth::label_churn_stream(&spec).expect("churn generation succeeds");
+        let engine = if g.bool(0.5) {
+            ScoringEngine::serial()
+        } else {
+            ScoringEngine::with_threads(g.usize_in(2, 5))
+        };
+        let mut session = StreamSession::with_engine(config.clone(), seed.clone(), engine)
+            .expect("seed session fits");
+        let mut applied: Vec<Event> = Vec::new();
+        for (i, batch) in batches.iter().enumerate() {
+            let delta = session.ingest(batch).expect("churn batch ingests");
+            // The whole point of the incremental path: churn must never
+            // fall back to a full refit (no sources are added).
+            assert_ne!(
+                delta.refit,
+                RefitLevel::Full,
+                "batch {i} fell back to a full refit"
+            );
+            // (A Cluster refit can legitimately rebuild zero non-trivial
+            // units — e.g. a cluster dissolving into singletons — so the
+            // reconcile report is informational here.)
+            seen.borrow_mut().push(delta.refit);
+            applied.extend(batch.iter().cloned());
+
+            let accumulated =
+                replay::accumulate(&seed, &applied).expect("accumulated dataset builds");
+            let fresh = Fuser::fit(
+                session.config(),
+                &accumulated,
+                accumulated.gold().expect("churn worlds carry gold"),
+            )
+            .expect("fresh fit succeeds");
+            // The incremental clustering must be the one a fresh fit
+            // derives...
+            assert_eq!(
+                session.fuser().clustering(),
+                fresh.clustering(),
+                "batch {i}: clustering diverged"
+            );
+            // ...and the scores bitwise equal.
+            let batch_scores = fresh
+                .score_all(&accumulated)
+                .expect("fresh scoring succeeds");
+            for (j, (a, b)) in session.scores().iter().zip(&batch_scores).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "batch {i}, triple {j}: incremental {a} vs fresh {b}"
+                );
+            }
+        }
+    });
+    // The suite must actually exercise the incremental re-clustering:
+    // at least one batch across the cases re-partitioned the sources.
+    let seen = seen.borrow();
+    assert!(
+        seen.contains(&RefitLevel::Cluster),
+        "no churn batch ever changed the clustering: {seen:?}"
+    );
+    assert!(
+        seen.contains(&RefitLevel::Model),
+        "no churn batch stayed at a model-level refresh: {seen:?}"
+    );
+}

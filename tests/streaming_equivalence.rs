@@ -73,7 +73,7 @@ fn assert_batchwise_equivalence(
     }
 }
 
-fn run_stream(g: &mut Gen, config: FuserConfig) {
+fn run_stream(g: &mut Gen, config: FuserConfig) -> Vec<corrfuse::stream::RefitLevel> {
     let case_seed = (g.usize_in(0, usize::MAX / 2)) as u64;
     let spec = random_spec(g, case_seed);
     let (seed, batches) = corrfuse::synth::event_stream(&spec).expect("stream generation succeeds");
@@ -86,11 +86,13 @@ fn run_stream(g: &mut Gen, config: FuserConfig) {
     let mut session =
         StreamSession::with_engine(config, seed.clone(), engine).expect("seed session fits");
     let mut applied: Vec<Event> = Vec::new();
+    let mut refits = Vec::new();
     for (i, batch) in batches.iter().enumerate() {
-        session.ingest(batch).expect("batch ingests");
+        refits.push(session.ingest(batch).expect("batch ingests").refit);
         applied.extend(batch.iter().cloned());
         assert_batchwise_equivalence(&session, &seed, &applied, i);
     }
+    refits
 }
 
 #[test]
@@ -99,6 +101,41 @@ fn incremental_scores_equal_batch_fit_on_random_streams() {
         let method = random_method(g);
         run_stream(g, FuserConfig::new(method));
     });
+}
+
+#[test]
+fn data_driven_auto_clustering_streams_stay_equivalent() {
+    // Shrinking the cluster cap below the source count makes `Auto`
+    // clustering data-driven: labels move the pairwise lifts, and the
+    // incremental path maintains the lift graph and reconciles the
+    // partition instead of falling back to a full refit. The bitwise
+    // anchor must keep holding through Model, Cluster and Full batches.
+    use corrfuse::stream::RefitLevel;
+    use std::cell::RefCell;
+    let seen = RefCell::new(Vec::new());
+    run_cases("incremental_data_driven", 8, |g| {
+        let method = match g.usize_in(0, 3) {
+            0 => Method::Exact,
+            1 => Method::Aggressive,
+            _ => Method::Elastic(2),
+        };
+        let mut config = FuserConfig::new(method);
+        config.cluster.max_cluster_size = 2;
+        config.cluster.min_support = g.usize_in(1, 3);
+        seen.borrow_mut().extend(run_stream(g, config));
+    });
+    // The suite is only meaningful if the incremental paths actually ran:
+    // model-level refreshes must occur, and full refits must no longer be
+    // the answer to every label under data-driven clustering.
+    let seen = seen.borrow();
+    assert!(
+        seen.contains(&RefitLevel::Model),
+        "no model-level refresh observed under data-driven clustering: {seen:?}"
+    );
+    assert!(
+        seen.iter().filter(|&&r| r == RefitLevel::Full).count() < seen.len(),
+        "every batch fell back to a full refit: {seen:?}"
+    );
 }
 
 #[test]
