@@ -1,0 +1,133 @@
+//! Wide-world scaling: sparse lift graph + sketch tier vs. the dense
+//! pre-PR pair enumeration.
+//!
+//! Tiers run over `corrfuse_synth::wide_world` worlds (10-source
+//! domains, one planted 3-clique per domain) at 10³/10⁴/10⁵ sources:
+//!
+//! * `sparse_fit/<n>` — `LiftGraph::build` with the sketch tier on, plus
+//!   deriving the clustering: the post-PR fit path. Work scales with
+//!   observations + co-scoped candidates, not sources².
+//! * `sparse_refit/<n>` — steady-state incremental refit: one label
+//!   flip absorbed through `relabel`, candidate re-admission, and a
+//!   fresh clustering.
+//! * `dense_fit/<n>` — the pre-PR batch path (`pairwise_correlations` +
+//!   `cluster_from_pairs`): every source pair enumerated, O(sources² ·
+//!   labelled). Kept as the baseline the ≥5x acceptance ratio is
+//!   measured against; the 10⁴ tier runs in full mode only (a single
+//!   dense pass there is minutes, which is the point).
+//!
+//! Structure sizes (tracked pairs vs. co-scoped candidates vs. the
+//! all-pairs table a dense graph would hold) are printed per tier — the
+//! "memory ceiling" half of the acceptance criteria.
+//!
+//! `CORRFUSE_QUICK=1` restricts everything to the 10³ tier (CI smoke).
+
+use corrfuse_bench::harness::{black_box, Criterion};
+use corrfuse_bench::{criterion_group, criterion_main};
+use corrfuse_core::cluster::{
+    cluster_from_pairs, pairwise_correlations, ClusterConfig, LiftGraph, SketchParams,
+};
+use corrfuse_core::dataset::Dataset;
+use corrfuse_core::triple::TripleId;
+use corrfuse_synth::{wide_world, WideWorldSpec};
+
+fn sketch_cfg() -> ClusterConfig {
+    ClusterConfig {
+        // Above the wide world's coin-flip noise floor, below its
+        // planted clique strength (ln 4) — see the generator docs.
+        ln_threshold: 2.5f64.ln(),
+        sketch: SketchParams::on(),
+        ..ClusterConfig::default()
+    }
+}
+
+fn world(n_sources: usize) -> (WideWorldSpec, Dataset) {
+    let spec = WideWorldSpec::new(n_sources);
+    let ds = wide_world(&spec).expect("wide world generates");
+    (spec, ds)
+}
+
+fn bench_sparse(c: &mut Criterion) {
+    let tiers: &[usize] = if corrfuse_bench::quick() {
+        &[1_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let cfg = sketch_cfg();
+    let mut group = c.benchmark_group("wide_world");
+    group.sample_size(10);
+    for &n in tiers {
+        let (spec, mut ds) = world(n);
+        let gold = ds.gold().unwrap().clone();
+        group.bench_function(&format!("sparse_fit/{n}"), |b| {
+            b.iter(|| {
+                let graph = LiftGraph::build(&ds, &gold, &cfg);
+                black_box(graph.clustering().len())
+            })
+        });
+
+        // Structure-size report: what the sparse graph holds vs. what a
+        // co-scoped-only table and the dense all-pairs table would.
+        let graph = LiftGraph::build(&ds, &gold, &cfg);
+        let stats = graph.stats();
+        let width = spec.sources_per_domain;
+        let candidates = spec.n_domains() * width * (width - 1) / 2;
+        eprintln!(
+            "  wide_world/structures/{n}: tracked {} pairs \
+             (sketch pruned {}), co-scoped candidates {}, dense table {}",
+            stats.pairs_exact,
+            stats.pairs_sketch_pruned,
+            candidates,
+            n * (n - 1) / 2,
+        );
+
+        // Steady-state refit: one label flip per iteration, absorbed
+        // incrementally (flipping the same triple back and forth keeps
+        // the world statistically unchanged).
+        let mut graph = LiftGraph::build(&ds, &gold, &cfg);
+        let t = TripleId(0);
+        let mut truth = gold.get(t).unwrap();
+        group.bench_function(&format!("sparse_refit/{n}"), |b| {
+            b.iter(|| {
+                let next = !truth;
+                ds.set_label(t, next).unwrap();
+                graph.relabel(&ds, t, Some(truth), next);
+                truth = next;
+                graph.take_changed();
+                graph.admit_candidates(&ds);
+                black_box(graph.clustering().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dense_baseline(c: &mut Criterion) {
+    let tiers: &[(usize, usize)] = if corrfuse_bench::quick() {
+        &[(1_000, 10)]
+    } else {
+        // One dense sample at 10⁴ is already minutes of work — that gap
+        // is the measurement.
+        &[(1_000, 10), (10_000, 1)]
+    };
+    let cfg = ClusterConfig {
+        sketch: SketchParams::default(),
+        ..sketch_cfg()
+    };
+    let mut group = c.benchmark_group("wide_world");
+    for &(n, samples) in tiers {
+        let (_, ds) = world(n);
+        let gold = ds.gold().unwrap().clone();
+        group.sample_size(samples);
+        group.bench_function(&format!("dense_fit/{n}"), |b| {
+            b.iter(|| {
+                let pairs = pairwise_correlations(&ds, &gold, &cfg).expect("labelled world");
+                black_box(cluster_from_pairs(ds.n_sources(), pairs, &cfg).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparse, bench_dense_baseline);
+criterion_main!(benches);

@@ -16,6 +16,8 @@
 //! Sources not pulled into any clique become singleton clusters, for which
 //! the fuser uses the plain independent contribution.
 
+use std::collections::{BTreeSet, HashMap, HashSet};
+
 use crate::bits::BitSet;
 use crate::dataset::{Dataset, GoldLabels, SourceId};
 use crate::error::{FusionError, Result};
@@ -35,6 +37,9 @@ pub struct ClusterConfig {
     pub max_cluster_size: usize,
     /// Smoothing pseudo-count added to co-occurrence counts.
     pub smoothing: f64,
+    /// Correlation-sketch admission tier for [`LiftGraph`]; disabled by
+    /// default (every co-scoped pair gets exact counts).
+    pub sketch: SketchParams,
 }
 
 impl Default for ClusterConfig {
@@ -44,6 +49,50 @@ impl Default for ClusterConfig {
             min_support: 4,
             max_cluster_size: 24,
             smoothing: 0.5,
+            sketch: SketchParams::default(),
+        }
+    }
+}
+
+/// Knobs for the correlation-sketch prefilter of [`LiftGraph`].
+///
+/// When enabled, the graph keeps exact pair counts only for *admitted*
+/// pairs; everything else is summarised by small per-source claim
+/// samples plus exact per-domain counters, and a pair is admitted the
+/// moment its sketched lift *could* reach `ClusterConfig::ln_threshold`.
+/// See the [`LiftGraph`] type docs for the precise contract.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SketchParams {
+    /// Maintain the sketch tier and admit pairs lazily. When `false`
+    /// the graph stores exact counts for every co-scoped pair.
+    pub enabled: bool,
+    /// Bottom-k sample size per source per polarity. While a source's
+    /// provisions fit in the sample, its co-provision counts (and hence
+    /// admission decisions involving it) are *exact*; beyond it they
+    /// become conservative estimates.
+    pub sample_size: usize,
+    /// Relative slack applied to estimated co-provision counts once a
+    /// sample has saturated, widening the admission interval so borderline
+    /// pairs still get admitted. Irrelevant while samples are exact.
+    pub margin: f64,
+}
+
+impl Default for SketchParams {
+    fn default() -> Self {
+        SketchParams {
+            enabled: false,
+            sample_size: 64,
+            margin: 0.5,
+        }
+    }
+}
+
+impl SketchParams {
+    /// Enabled with default sample size and margin.
+    pub fn on() -> Self {
+        SketchParams {
+            enabled: true,
+            ..SketchParams::default()
         }
     }
 }
@@ -355,13 +404,31 @@ pub fn cluster_from_pairs(
 
 /// Partition sources into correlation clusters (strongest edges first,
 /// size-capped union-find).
+///
+/// Wide worlds (or an enabled sketch tier, which must drive admission)
+/// route through the sparse [`LiftGraph`], so batch fitting pays only
+/// for co-scoped (or sketch-admitted) pairs instead of `n²`. Narrow
+/// worlds keep the dense [`pairwise_correlations`] scan: at paper-scale
+/// source counts its word-parallel bitset intersections beat per-triple
+/// pair updates by ~4x. The two paths are bitwise identical — see the
+/// [`LiftGraph`] sparsity contract — so the switch is purely a cost
+/// choice.
 pub fn cluster_sources(ds: &Dataset, gold: &GoldLabels, cfg: &ClusterConfig) -> Result<Clustering> {
+    /// Above this, the all-pairs table itself dominates the sparse
+    /// graph's per-triple overhead even on fully co-scoped data.
+    const DENSE_BATCH_MAX_SOURCES: usize = 512;
     let n = ds.n_sources();
     if n == 0 {
         return Ok(Clustering::singletons(0));
     }
-    let pairs = pairwise_correlations(ds, gold, cfg)?;
-    Ok(cluster_from_pairs(n, pairs, cfg))
+    if gold.labelled_count() == 0 {
+        return Err(FusionError::MissingGold);
+    }
+    if !cfg.sketch.enabled && n <= DENSE_BATCH_MAX_SOURCES {
+        let pairs = pairwise_correlations(ds, gold, cfg)?;
+        return Ok(cluster_from_pairs(n, pairs, cfg));
+    }
+    Ok(LiftGraph::build(ds, gold, cfg).clustering())
 }
 
 /// Exact co-occurrence counts of one source pair for one polarity, all
@@ -384,21 +451,123 @@ impl PairCounts {
     fn bump(v: &mut u32, delta: i32) {
         *v = v.checked_add_signed(delta).expect("pair count underflow");
     }
+
+    fn lift(&self, cfg: &ClusterConfig) -> Option<f64> {
+        lift_from_counts(
+            self.n11 as usize,
+            self.na as usize,
+            self.nb as usize,
+            self.total as usize,
+            cfg,
+        )
+    }
 }
 
-/// Incrementally maintained pairwise-lift state: the integer counts
-/// behind every pair's true/false lift, kept exact under label, claim
-/// and scope deltas.
+/// Both polarities' exact counts of one tracked pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct PairState {
+    t: PairCounts,
+    f: PairCounts,
+}
+
+impl PairState {
+    #[inline]
+    fn side_mut(&mut self, truth: bool) -> &mut PairCounts {
+        if truth {
+            &mut self.t
+        } else {
+            &mut self.f
+        }
+    }
+
+    fn correlation(&self, a: usize, b: usize, cfg: &ClusterConfig) -> PairCorrelation {
+        PairCorrelation {
+            a: SourceId(a as u32),
+            b: SourceId(b as u32),
+            lift_true: self.t.lift(cfg),
+            lift_false: self.f.lift(cfg),
+        }
+    }
+}
+
+/// Packed upper-triangle key of a source pair, `a < b`.
+#[inline]
+fn pair_key(a: usize, b: usize) -> u64 {
+    debug_assert!(a < b);
+    ((a as u64) << 32) | b as u64
+}
+
+#[inline]
+fn unpack_key(key: u64) -> (usize, usize) {
+    ((key >> 32) as usize, (key & 0xffff_ffff) as usize)
+}
+
+/// Size-observability counters of a [`LiftGraph`]: how many pairs carry
+/// exact counts, and how many candidate evaluations the sketch tier has
+/// declined (cumulative — a pair re-evaluated after new deltas counts
+/// again).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LiftGraphStats {
+    /// Pairs currently tracked with exact counts (the sparse map size).
+    pub pairs_exact: usize,
+    /// Cumulative sketch-admission evaluations that declined a pair.
+    pub pairs_sketch_pruned: u64,
+}
+
+impl LiftGraphStats {
+    /// Combine counters from two graphs (sums both fields;
+    /// `pairs_exact` becomes total occupancy).
+    pub fn merged(self, other: LiftGraphStats) -> LiftGraphStats {
+        LiftGraphStats {
+            pairs_exact: self.pairs_exact + other.pairs_exact,
+            pairs_sketch_pruned: self.pairs_sketch_pruned + other.pairs_sketch_pruned,
+        }
+    }
+}
+
+/// Incrementally maintained pairwise-lift state: a **sparse
+/// upper-triangle map** of the integer counts behind tracked pairs'
+/// true/false lifts, kept exact under label, claim and scope deltas.
 ///
-/// [`pairwise_correlations`] recomputes all counts with one pass over
-/// the labelled data — O(sources² · labelled) per call, which data-driven
-/// (`Auto`) clustering used to pay on *every* label change by falling
-/// back to a full refit. A `LiftGraph` instead absorbs each delta in
-/// O(in-scope sources) to O(in-scope sources²) integer updates and can
-/// re-derive the clustering from its maintained counts at any time —
-/// [`LiftGraph::clustering`] — through the exact code path
-/// ([`lift_from_counts`] + [`cluster_from_pairs`]) the batch computation
-/// uses, so both always agree bitwise.
+/// [`pairwise_correlations`] recomputes all `n²` pair counts with one
+/// pass over the labelled data, which data-driven (`Auto`) clustering
+/// used to pay on *every* label change by falling back to a full refit.
+/// A `LiftGraph` instead stores counts only for pairs that can matter
+/// and absorbs each delta in O(in-scope sources²) integer updates; it
+/// can re-derive the clustering from its maintained counts at any time
+/// — [`LiftGraph::clustering`] — through the exact code path
+/// ([`lift_from_counts`] + [`cluster_from_pairs`]) the batch
+/// computation uses, so both always agree bitwise.
+///
+/// # Sparsity and the sketch-admission contract
+///
+/// With the sketch disabled (default), the map holds every *co-scoped*
+/// pair — pairs that share at least one labelled triple's scope. A pair
+/// of sources that never share scope has zero counts, hence `None`
+/// lifts and strength `0.0`, which [`cluster_from_pairs`] drops for any
+/// positive `ln_threshold`; omitting such pairs from
+/// [`LiftGraph::pair_correlations`] therefore cannot change the
+/// clustering. (For the degenerate `ln_threshold <= 0` configuration,
+/// where zero-strength pairs *would* union, emission falls back to the
+/// full dense enumeration so equality still holds.)
+///
+/// With [`SketchParams::enabled`], co-scoped pairs start *untracked*:
+/// the graph maintains per-source bottom-k claim samples plus exact
+/// per-domain provision/label counters, and
+/// [`LiftGraph::admit_candidates`] promotes a pair to exact tracking
+/// the moment an upper bound on its sketched strength reaches
+/// `ln_threshold` (admission is monotone — a pair is never demoted; its
+/// exact counts are rebuilt by a shared-scope rescan at admission and
+/// maintained by the delta hooks thereafter). Exact counts remain the
+/// *sole* input to [`cluster_from_pairs`]; the sketch only withholds
+/// pairs. While every involved sample is unsaturated (a source provides
+/// at most `sample_size` labelled triples per polarity) the sketched
+/// co-provision count is exact, so pruning decisions equal the exact
+/// decisions and the clustering stays bitwise identical to the
+/// sketch-disabled configuration. Once samples saturate, admission uses
+/// a conservative interval (KMV estimate ± `margin`, clamped to hard
+/// inclusion-exclusion bounds) and may, for aggressive thresholds,
+/// prune a borderline pair.
 ///
 /// # Hook contract
 ///
@@ -412,7 +581,11 @@ impl PairCounts {
 ///   [`LiftGraph::source_entered_scope`] per labelled triple of `d`
 ///   (including `t` itself if labelled — its provision is absorbed in
 ///   the same call), because every such triple now counts `s` in its
-///   scope intersection with every other in-scope source.
+///   scope intersection with every other in-scope source;
+/// * after a batch of deltas, and before reading
+///   [`LiftGraph::clustering`], call [`LiftGraph::admit_candidates`]
+///   so newly-correlated pairs get promoted (a no-op when the sketch is
+///   disabled).
 ///
 /// A new *source* changes the pair universe; rebuild with
 /// [`LiftGraph::build`] (incremental callers fall back to a full refit
@@ -421,30 +594,70 @@ impl PairCounts {
 pub struct LiftGraph {
     n: usize,
     cfg: ClusterConfig,
-    /// Upper-triangular pair counts, `(a < b)` at `idx(a, b)`.
-    true_counts: Vec<PairCounts>,
-    false_counts: Vec<PairCounts>,
+    /// Exact pair counts, keyed by [`pair_key`] — sparse over co-scoped
+    /// (sketch off) or admitted (sketch on) pairs only.
+    pairs: HashMap<u64, PairState>,
+    /// Sketch tier; `Some` exactly when `cfg.sketch.enabled`.
+    sketch: Option<SketchTier>,
+    /// Cumulative candidate evaluations the sketch declined.
+    sketch_pruned: u64,
     /// Any count changed since the last [`LiftGraph::take_changed`].
     changed: bool,
 }
 
 impl LiftGraph {
-    /// Build from the current labelled state, mirroring
+    /// Build from the current labelled state; tracked pairs mirror
     /// [`pairwise_correlations`]' counts exactly. A dataset with no
-    /// labels yields all-zero counts (every lift `None`).
+    /// labels yields an empty graph (every lift `None`).
     pub fn build(ds: &Dataset, gold: &GoldLabels, cfg: &ClusterConfig) -> LiftGraph {
         let n = ds.n_sources();
-        let n_pairs = n * n.saturating_sub(1) / 2;
         let mut graph = LiftGraph {
             n,
             cfg: *cfg,
-            true_counts: vec![PairCounts::default(); n_pairs],
-            false_counts: vec![PairCounts::default(); n_pairs],
+            pairs: HashMap::new(),
+            sketch: cfg.sketch.enabled.then(|| SketchTier::new(n, &cfg.sketch)),
+            sketch_pruned: 0,
             changed: false,
         };
-        for (t, truth) in gold.iter_labelled() {
-            graph.contribute(ds, t, truth, 1);
+        if let Some(sk) = &mut graph.sketch {
+            // Pass 1a: per-domain counters and label index, in
+            // label-arrival order (matches the delta path).
+            for (t, truth) in gold.iter_labelled() {
+                let d = ds.domain(t).0;
+                sk.dirty.insert(d);
+                sk.domain_labelled.entry(d).or_default().push(t);
+                sk.domain_totals.entry(d).or_default()[truth as usize] += 1;
+            }
+            // Pass 1b: per-source samples from the output lists —
+            // O(observations), never a provider-bitset scan per triple.
+            // Bottom-k samples and provision counters are insertion-order
+            // independent, so this lands bit-identically to absorbing
+            // labels one at a time.
+            for s in 0..n {
+                for &t in ds.output(SourceId(s as u32)) {
+                    if let Some(truth) = gold.get(t) {
+                        sk.sources[s][truth as usize].add(ds.domain(t).0, t, sk.k);
+                    }
+                }
+            }
+        } else {
+            // In-scope sources per domain, ascending — one dataset pass
+            // instead of an O(n_sources) scope scan per labelled triple.
+            let mut domain_members: HashMap<u32, Vec<usize>> = HashMap::new();
+            for s in 0..n {
+                for dom in ds.scope(SourceId(s as u32)) {
+                    domain_members.entry(dom.0).or_default().push(s);
+                }
+            }
+            for (t, truth) in gold.iter_labelled() {
+                if let Some(scope) = domain_members.get(&ds.domain(t).0) {
+                    graph.contribute_scoped(ds, scope, t, truth, 1);
+                }
+            }
         }
+        // Pass 2 (sketch only): evaluate co-scoped candidates, rescan
+        // the admitted.
+        graph.admit_candidates(ds);
         graph.changed = false;
         graph
     }
@@ -459,39 +672,58 @@ impl LiftGraph {
         &self.cfg
     }
 
-    #[inline]
-    fn idx(&self, a: usize, b: usize) -> usize {
-        debug_assert!(a < b && b < self.n);
-        a * (2 * self.n - a - 1) / 2 + (b - a - 1)
+    /// Current size/prune counters.
+    pub fn stats(&self) -> LiftGraphStats {
+        LiftGraphStats {
+            pairs_exact: self.pairs.len(),
+            pairs_sketch_pruned: self.sketch_pruned,
+        }
     }
 
+    /// Mutable counts of `(a, b)`, `a < b`. Sketch off: co-scoped pairs
+    /// materialise on first touch. Sketch on: only admitted pairs are
+    /// maintained — everything else is `None` (the sketch tier absorbs
+    /// the delta instead).
     #[inline]
-    fn counts_mut(&mut self, truth: bool) -> &mut [PairCounts] {
-        if truth {
-            &mut self.true_counts
+    fn pair_mut(&mut self, a: usize, b: usize) -> Option<&mut PairState> {
+        let key = pair_key(a, b);
+        if self.sketch.is_some() {
+            self.pairs.get_mut(&key)
         } else {
-            &mut self.false_counts
+            Some(self.pairs.entry(key).or_default())
         }
     }
 
     /// Add (`delta = 1`) or retract (`delta = -1`) one labelled triple's
-    /// whole contribution, from current provider/scope state.
+    /// whole contribution to tracked pairs, from current provider/scope
+    /// state.
     fn contribute(&mut self, ds: &Dataset, t: TripleId, truth: bool, delta: i32) {
         let scope: Vec<usize> = ds.scope_mask(t).iter_ones().collect();
+        self.contribute_scoped(ds, &scope, t, truth, delta);
+    }
+
+    /// [`LiftGraph::contribute`] with the in-scope source list (ascending)
+    /// already in hand — the batch build path resolves it once per domain
+    /// rather than scanning every source per triple.
+    fn contribute_scoped(
+        &mut self,
+        ds: &Dataset,
+        scope: &[usize],
+        t: TripleId,
+        truth: bool,
+        delta: i32,
+    ) {
         if scope.len() < 2 {
             return;
         }
         let provided: Vec<bool> = scope.iter().map(|&s| ds.providers(t).get(s)).collect();
         self.changed = true;
-        let n = self.n;
-        let counts = self.counts_mut(truth);
         for i in 0..scope.len() {
-            let a = scope[i];
-            // Inline `idx` over the row of `a` to keep the hot double
-            // loop free of per-pair re-derivation.
-            let base = a * (2 * n - a - 1) / 2;
             for j in i + 1..scope.len() {
-                let c = &mut counts[base + scope[j] - a - 1];
+                let Some(state) = self.pair_mut(scope[i], scope[j]) else {
+                    continue;
+                };
+                let c = state.side_mut(truth);
                 PairCounts::bump(&mut c.total, delta);
                 if provided[i] {
                     PairCounts::bump(&mut c.na, delta);
@@ -516,13 +748,16 @@ impl LiftGraph {
             self.contribute(ds, t, old, -1);
         }
         self.contribute(ds, t, new, 1);
+        if self.sketch.is_some() {
+            self.sketch_absorb_label(ds, t, old, new);
+        }
     }
 
     /// Source `s` newly entered the scope of the labelled triple `t`
     /// (typically: its first claim in `t`'s domain). Adds `t` to the
-    /// scope intersection of every pair `(s, other-in-scope source)`;
-    /// `s`'s own provision of `t` — present exactly when `t` is the
-    /// claimed triple itself — is absorbed in the same update.
+    /// scope intersection of every tracked pair `(s, other-in-scope
+    /// source)`; `s`'s own provision of `t` — present exactly when `t`
+    /// is the claimed triple itself — is absorbed in the same update.
     pub fn source_entered_scope(&mut self, ds: &Dataset, s: SourceId, t: TripleId, truth: bool) {
         let s = s.index();
         let s_provides = ds.providers(t).get(s);
@@ -534,8 +769,10 @@ impl LiftGraph {
                 continue;
             }
             let (lo, hi) = if s < o { (s, o) } else { (o, s) };
-            let i = self.idx(lo, hi);
-            let c = &mut self.counts_mut(truth)[i];
+            let Some(state) = self.pair_mut(lo, hi) else {
+                continue;
+            };
+            let c = state.side_mut(truth);
             PairCounts::bump(&mut c.total, 1);
             let o_provides = prov.get(o);
             if s_provides {
@@ -546,6 +783,13 @@ impl LiftGraph {
             }
             if s_provides && o_provides {
                 PairCounts::bump(&mut c.n11, 1);
+            }
+        }
+        if let Some(sk) = &mut self.sketch {
+            let d = ds.domain(t).0;
+            sk.dirty.insert(d);
+            if s_provides {
+                sk.sources[s][truth as usize].add(d, t, sk.k);
             }
         }
     }
@@ -562,13 +806,98 @@ impl LiftGraph {
                 continue;
             }
             let (lo, hi) = if s < o { (s, o) } else { (o, s) };
-            let i = self.idx(lo, hi);
-            let c = &mut self.counts_mut(truth)[i];
+            let Some(state) = self.pair_mut(lo, hi) else {
+                continue;
+            };
+            let c = state.side_mut(truth);
             PairCounts::bump(if s < o { &mut c.na } else { &mut c.nb }, 1);
             if prov.get(o) {
                 PairCounts::bump(&mut c.n11, 1);
             }
         }
+        if let Some(sk) = &mut self.sketch {
+            let d = ds.domain(t).0;
+            sk.dirty.insert(d);
+            sk.sources[s][truth as usize].add(d, t, sk.k);
+        }
+    }
+
+    /// Mirror a (re)label into the sketch tier: per-domain label totals,
+    /// the labelled-triple index, and every provider's sample/provision
+    /// counters move from the old polarity to the new.
+    fn sketch_absorb_label(&mut self, ds: &Dataset, t: TripleId, old: Option<bool>, new: bool) {
+        let sk = self.sketch.as_mut().expect("sketch tier enabled");
+        let d = ds.domain(t).0;
+        sk.dirty.insert(d);
+        if old.is_none() {
+            sk.domain_labelled.entry(d).or_default().push(t);
+        }
+        let totals = sk.domain_totals.entry(d).or_default();
+        if let Some(old) = old {
+            totals[old as usize] -= 1;
+        }
+        totals[new as usize] += 1;
+        for s in ds.providers(t).iter_ones() {
+            if let Some(old) = old {
+                sk.sources[s][old as usize].remove(d, t);
+            }
+            sk.sources[s][new as usize].add(d, t, sk.k);
+        }
+    }
+
+    /// Evaluate every co-scoped pair in a *dirty* domain (one touched by
+    /// a delta since the last call) and promote those whose sketched
+    /// strength could reach `ln_threshold`: their exact counts are
+    /// rebuilt by a shared-scope rescan and maintained incrementally
+    /// from then on. No-op when the sketch tier is disabled. Call after
+    /// a delta batch, before [`LiftGraph::clustering`].
+    pub fn admit_candidates(&mut self, ds: &Dataset) {
+        let Some(sk) = &self.sketch else {
+            return;
+        };
+        if sk.dirty.is_empty() {
+            return;
+        }
+        let Some(gold) = ds.gold() else {
+            return;
+        };
+        let mut dirty: Vec<u32> = sk.dirty.iter().copied().collect();
+        dirty.sort_unstable();
+        // In-scope sources per dirty domain, ascending (one dataset pass).
+        let mut members: HashMap<u32, Vec<usize>> =
+            dirty.iter().map(|&d| (d, Vec::new())).collect();
+        for s in 0..self.n {
+            for dom in ds.scope(SourceId(s as u32)) {
+                if let Some(list) = members.get_mut(&dom.0) {
+                    list.push(s);
+                }
+            }
+        }
+        let mut evaluated = 0u64;
+        let mut admitted: Vec<u64> = Vec::new();
+        let mut seen: HashSet<u64> = HashSet::new();
+        for &d in &dirty {
+            let list = &members[&d];
+            for i in 0..list.len() {
+                for j in i + 1..list.len() {
+                    let key = pair_key(list[i], list[j]);
+                    if self.pairs.contains_key(&key) || !seen.insert(key) {
+                        continue;
+                    }
+                    evaluated += 1;
+                    let sk = self.sketch.as_ref().expect("sketch tier enabled");
+                    let bound = sk.strength_bound(ds, list[i], list[j], &self.cfg);
+                    if bound >= self.cfg.ln_threshold {
+                        admitted.push(key);
+                        let state = sk.rescan_pair(ds, gold, list[i], list[j]);
+                        self.pairs.insert(key, state);
+                    }
+                }
+            }
+        }
+        self.sketch_pruned += evaluated - admitted.len() as u64;
+        let sk = self.sketch.as_mut().expect("sketch tier enabled");
+        sk.dirty.clear();
     }
 
     /// Did any pair count change since the last call? Cleared on read;
@@ -578,38 +907,34 @@ impl LiftGraph {
         std::mem::take(&mut self.changed)
     }
 
-    /// The pairwise lifts from the maintained counts, in the same
-    /// enumeration order (and through the same float path) as
-    /// [`pairwise_correlations`].
+    /// The pairwise lifts of tracked pairs from the maintained counts,
+    /// ascending in `(a, b)` — the same relative order (and the same
+    /// float path) as [`pairwise_correlations`], restricted to tracked
+    /// pairs. Untracked pairs have strength `0.0` (sketch off) or a
+    /// sketch-certified strength below `ln_threshold` (sketch on), so
+    /// [`cluster_from_pairs`] treats both emissions identically; for the
+    /// degenerate `ln_threshold <= 0` configuration — where
+    /// zero-strength pairs survive the threshold — the full dense
+    /// enumeration is emitted instead.
     pub fn pair_correlations(&self) -> Vec<PairCorrelation> {
-        let n = self.n;
-        let mut out = Vec::with_capacity(self.true_counts.len());
-        for a in 0..n {
-            for b in a + 1..n {
-                let i = self.idx(a, b);
-                let tc = &self.true_counts[i];
-                let fc = &self.false_counts[i];
-                out.push(PairCorrelation {
-                    a: SourceId(a as u32),
-                    b: SourceId(b as u32),
-                    lift_true: lift_from_counts(
-                        tc.n11 as usize,
-                        tc.na as usize,
-                        tc.nb as usize,
-                        tc.total as usize,
-                        &self.cfg,
-                    ),
-                    lift_false: lift_from_counts(
-                        fc.n11 as usize,
-                        fc.na as usize,
-                        fc.nb as usize,
-                        fc.total as usize,
-                        &self.cfg,
-                    ),
-                });
+        if self.cfg.ln_threshold <= 0.0 {
+            let mut out = Vec::with_capacity(self.n * self.n.saturating_sub(1) / 2);
+            for a in 0..self.n {
+                for b in a + 1..self.n {
+                    let state = self.pairs.get(&pair_key(a, b)).copied().unwrap_or_default();
+                    out.push(state.correlation(a, b, &self.cfg));
+                }
             }
+            return out;
         }
-        out
+        let mut keys: Vec<u64> = self.pairs.keys().copied().collect();
+        keys.sort_unstable();
+        keys.iter()
+            .map(|&key| {
+                let (a, b) = unpack_key(key);
+                self.pairs[&key].correlation(a, b, &self.cfg)
+            })
+            .collect()
     }
 
     /// Re-derive the clustering from the maintained counts — identical
@@ -621,6 +946,228 @@ impl LiftGraph {
         }
         cluster_from_pairs(self.n, self.pair_correlations(), &self.cfg)
     }
+}
+
+/// Per-source, per-polarity claim summary: a bottom-k sample of provided
+/// labelled triples (exact until it overflows `k`) plus exact per-domain
+/// provision counts.
+#[derive(Debug, Clone, Default)]
+struct SketchSide {
+    /// Bottom-k triple hashes ([`triple_hash`] is a bijection, so
+    /// membership is collision-free). Complete while `!saturated`.
+    sample: BTreeSet<u64>,
+    /// The sample has ever overflowed (sticky): counts derived from it
+    /// are estimates from here on.
+    saturated: bool,
+    /// Labelled provisions per domain, exact regardless of saturation.
+    provisions: HashMap<u32, u32>,
+}
+
+impl SketchSide {
+    fn add(&mut self, domain: u32, t: TripleId, k: usize) {
+        *self.provisions.entry(domain).or_default() += 1;
+        let h = triple_hash(t);
+        if self.sample.len() < k {
+            self.sample.insert(h);
+        } else {
+            self.saturated = true;
+            if self.sample.last().is_some_and(|&max| h < max) {
+                self.sample.insert(h);
+                self.sample.pop_last();
+            }
+        }
+    }
+
+    fn remove(&mut self, domain: u32, t: TripleId) {
+        if let Some(c) = self.provisions.get_mut(&domain) {
+            *c -= 1;
+        }
+        // May miss if the element was evicted; `saturated` already
+        // records that the sample is approximate.
+        self.sample.remove(&triple_hash(t));
+    }
+}
+
+/// The sketch tier of a [`LiftGraph`]: per-source claim samples, exact
+/// per-domain counters, and the dirty-domain set driving
+/// [`LiftGraph::admit_candidates`].
+#[derive(Debug, Clone)]
+struct SketchTier {
+    k: usize,
+    margin: f64,
+    /// `[false-polarity, true-polarity]` per source (indexed by
+    /// `truth as usize`).
+    sources: Vec<[SketchSide; 2]>,
+    /// Labelled triples per domain per polarity (same indexing).
+    domain_totals: HashMap<u32, [u32; 2]>,
+    /// Every-labelled-triple index per domain (membership never
+    /// shrinks: labels flip but are not removed). Drives admission
+    /// rescans.
+    domain_labelled: HashMap<u32, Vec<TripleId>>,
+    /// Domains touched by a delta since the last admission pass.
+    dirty: HashSet<u32>,
+}
+
+impl SketchTier {
+    fn new(n_sources: usize, params: &SketchParams) -> SketchTier {
+        SketchTier {
+            k: params.sample_size.max(1),
+            margin: params.margin.max(0.0),
+            sources: vec![Default::default(); n_sources],
+            domain_totals: HashMap::new(),
+            domain_labelled: HashMap::new(),
+            dirty: HashSet::new(),
+        }
+    }
+
+    /// Shared-scope domains of `(a, b)`, from the dataset's per-source
+    /// scope sets.
+    fn shared_domains(ds: &Dataset, a: usize, b: usize) -> Vec<u32> {
+        let sa = ds.scope(SourceId(a as u32));
+        let sb = ds.scope(SourceId(b as u32));
+        let (small, large) = if sa.len() <= sb.len() {
+            (sa, sb)
+        } else {
+            (sb, sa)
+        };
+        small
+            .iter()
+            .filter(|d| large.contains(d))
+            .map(|d| d.0)
+            .collect()
+    }
+
+    /// Upper bound on the pair's edge strength (`max |ln lift|` over
+    /// both polarities) from exact side counts and sketched co-provision
+    /// bounds. Exact — hence equal to the true strength — while both
+    /// samples of each polarity are unsaturated.
+    fn strength_bound(&self, ds: &Dataset, a: usize, b: usize, cfg: &ClusterConfig) -> f64 {
+        let shared = Self::shared_domains(ds, a, b);
+        let mut bound = 0.0f64;
+        for polarity in [false, true] {
+            let p = polarity as usize;
+            let mut total = 0usize;
+            let mut na = 0usize;
+            let mut nb = 0usize;
+            for &d in &shared {
+                total += self.domain_totals.get(&d).map_or(0, |t| t[p] as usize);
+                na += self.sources[a][p].provisions.get(&d).copied().unwrap_or(0) as usize;
+                nb += self.sources[b][p].provisions.get(&d).copied().unwrap_or(0) as usize;
+            }
+            if total == 0 {
+                continue;
+            }
+            let (lo, hi) = self.n11_bounds(a, b, p, na, nb, total);
+            for n11 in [lo, hi] {
+                if let Some(l) = lift_from_counts(n11, na, nb, total, cfg) {
+                    bound = bound.max(l.ln().abs());
+                }
+            }
+        }
+        bound
+    }
+
+    /// `[lo, hi]` interval containing the pair's co-provision count for
+    /// one polarity. Tight (`lo == hi == n11`) while both samples are
+    /// complete; otherwise a KMV estimate widened by `margin` and
+    /// clamped to the inclusion-exclusion hard bounds.
+    fn n11_bounds(
+        &self,
+        a: usize,
+        b: usize,
+        p: usize,
+        na: usize,
+        nb: usize,
+        total: usize,
+    ) -> (usize, usize) {
+        let sa = &self.sources[a][p];
+        let sb = &self.sources[b][p];
+        // Every co-provided triple is provided by both sides and lies in
+        // the shared scope, so these bounds always hold.
+        let hard_lo = (na + nb).saturating_sub(total);
+        let hard_hi = na.min(nb);
+        if !sa.saturated && !sb.saturated {
+            let (small, large) = if sa.sample.len() <= sb.sample.len() {
+                (&sa.sample, &sb.sample)
+            } else {
+                (&sb.sample, &sa.sample)
+            };
+            let exact = small.iter().filter(|h| large.contains(h)).count();
+            return (exact, exact);
+        }
+        let est = kmv_intersection_estimate(&sa.sample, &sb.sample, self.k);
+        let lo = (est * (1.0 - self.margin)).floor().max(0.0) as usize;
+        let hi = (est * (1.0 + self.margin)).ceil() as usize;
+        (lo.clamp(hard_lo, hard_hi), hi.clamp(hard_lo, hard_hi))
+    }
+
+    /// Exact counts of a newly admitted pair, rebuilt from the labelled
+    /// triples of its shared-scope domains — the same counts
+    /// [`LiftGraph::contribute`] would have accumulated had the pair
+    /// been tracked from the start.
+    fn rescan_pair(&self, ds: &Dataset, gold: &GoldLabels, a: usize, b: usize) -> PairState {
+        let mut state = PairState::default();
+        for d in Self::shared_domains(ds, a, b) {
+            let Some(triples) = self.domain_labelled.get(&d) else {
+                continue;
+            };
+            for &t in triples {
+                let truth = gold.get(t).expect("indexed triple is labelled");
+                let prov = ds.providers(t);
+                let c = state.side_mut(truth);
+                c.total += 1;
+                let pa = prov.get(a);
+                let pb = prov.get(b);
+                if pa {
+                    c.na += 1;
+                }
+                if pb {
+                    c.nb += 1;
+                }
+                if pa && pb {
+                    c.n11 += 1;
+                }
+            }
+        }
+        state
+    }
+}
+
+/// Deterministic 64-bit mix of a triple id (splitmix64 finalizer — a
+/// bijection, so distinct triples never collide and bottom-k samples
+/// across sources stay mutually comparable).
+#[inline]
+fn triple_hash(t: TripleId) -> u64 {
+    let mut z = (t.0 as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// K-minimum-values estimate of `|A ∩ B|` from two bottom-k hash
+/// samples: distinct-union size `(k - 1) / τ` (τ = normalized k-th
+/// smallest of the union) scaled by the match fraction among the
+/// union's bottom k. Falls back to the raw match count when the union
+/// holds fewer than `k` values.
+fn kmv_intersection_estimate(a: &BTreeSet<u64>, b: &BTreeSet<u64>, k: usize) -> f64 {
+    let mut union: Vec<u64> = a.union(b).copied().take(k + 1).collect();
+    union.truncate(k);
+    if union.is_empty() {
+        return 0.0;
+    }
+    let matches = union
+        .iter()
+        .filter(|h| a.contains(h) && b.contains(h))
+        .count();
+    if union.len() < k {
+        return matches as f64;
+    }
+    let tau = (union[k - 1] as f64) / (u64::MAX as f64);
+    if tau <= 0.0 {
+        return matches as f64;
+    }
+    let distinct = (k as f64 - 1.0) / tau;
+    (matches as f64 / k as f64) * distinct
 }
 
 #[cfg(test)]
@@ -841,6 +1388,57 @@ mod tests {
         assert_ne!(c.cluster_of(s0), c.cluster_of(s1));
     }
 
+    /// Compare the sparse graph's emission against the dense batch
+    /// reference: every tracked pair must be bitwise equal, and every
+    /// untracked pair must be one the batch also gives zero strength
+    /// (no shared scope) — or, when `allow_pruned`, one below the
+    /// clustering threshold (sketch admission declined it).
+    fn assert_matches_batch(
+        batch: &[PairCorrelation],
+        graph: &LiftGraph,
+        cfg: &ClusterConfig,
+        allow_pruned: bool,
+    ) {
+        let inc = graph.pair_correlations();
+        assert!(inc.len() <= batch.len());
+        let by_pair: std::collections::HashMap<(SourceId, SourceId), &PairCorrelation> =
+            inc.iter().map(|p| ((p.a, p.b), p)).collect();
+        for b in batch {
+            match by_pair.get(&(b.a, b.b)) {
+                Some(i) => {
+                    assert_eq!(
+                        b.lift_true.map(f64::to_bits),
+                        i.lift_true.map(f64::to_bits),
+                        "true lift {}-{}",
+                        b.a,
+                        b.b
+                    );
+                    assert_eq!(
+                        b.lift_false.map(f64::to_bits),
+                        i.lift_false.map(f64::to_bits),
+                        "false lift {}-{}",
+                        b.a,
+                        b.b
+                    );
+                }
+                None if allow_pruned => assert!(
+                    b.strength() < cfg.ln_threshold,
+                    "pruned pair {}-{} has above-threshold strength {}",
+                    b.a,
+                    b.b,
+                    b.strength()
+                ),
+                None => assert_eq!(
+                    (b.lift_true, b.lift_false),
+                    (None, None),
+                    "untracked pair {}-{} has batch evidence",
+                    b.a,
+                    b.b
+                ),
+            }
+        }
+    }
+
     #[test]
     fn lift_graph_build_matches_batch_computation() {
         let ds = correlated_dataset();
@@ -848,126 +1446,177 @@ mod tests {
         let gold = ds.gold().unwrap();
         let batch = pairwise_correlations(&ds, gold, &cfg).unwrap();
         let graph = LiftGraph::build(&ds, gold, &cfg);
-        let inc = graph.pair_correlations();
-        assert_eq!(batch.len(), inc.len());
-        for (b, i) in batch.iter().zip(&inc) {
-            assert_eq!(b.a, i.a);
-            assert_eq!(b.b, i.b);
-            assert_eq!(
-                b.lift_true.map(f64::to_bits),
-                i.lift_true.map(f64::to_bits),
-                "true lift {}-{}",
-                b.a,
-                b.b
-            );
-            assert_eq!(
-                b.lift_false.map(f64::to_bits),
-                i.lift_false.map(f64::to_bits),
-                "false lift {}-{}",
-                b.a,
-                b.b
-            );
-        }
+        assert_matches_batch(&batch, &graph, &cfg, false);
+        // All six sources share one domain, so the sketch-off graph
+        // tracks the full pair universe here.
+        assert_eq!(graph.stats().pairs_exact, batch.len());
         assert_eq!(
             graph.clustering(),
             cluster_sources(&ds, gold, &cfg).unwrap()
         );
     }
 
+    #[test]
+    fn sketch_admission_prunes_only_sub_threshold_pairs() {
+        let ds = correlated_dataset();
+        let cfg = ClusterConfig {
+            sketch: SketchParams::on(),
+            ..Default::default()
+        };
+        let exact_cfg = ClusterConfig::default();
+        let gold = ds.gold().unwrap();
+        let batch = pairwise_correlations(&ds, gold, &exact_cfg).unwrap();
+        let graph = LiftGraph::build(&ds, gold, &cfg);
+        assert_matches_batch(&batch, &graph, &cfg, true);
+        // Unsaturated samples (60 triples < sample_size per polarity)
+        // make admission decisions exact: tracked pairs are exactly the
+        // above-threshold ones.
+        let above = batch
+            .iter()
+            .filter(|p| p.strength() >= cfg.ln_threshold)
+            .count();
+        let stats = graph.stats();
+        assert_eq!(stats.pairs_exact, above);
+        assert_eq!(stats.pairs_sketch_pruned, (batch.len() - above) as u64);
+        assert_eq!(
+            graph.clustering(),
+            cluster_sources(&ds, gold, &exact_cfg).unwrap()
+        );
+    }
+
+    #[test]
+    fn saturated_sketch_still_tracks_admitted_pairs_exactly() {
+        let ds = correlated_dataset();
+        let cfg = ClusterConfig {
+            sketch: SketchParams {
+                enabled: true,
+                sample_size: 4, // far below the ~30 provisions per side
+                margin: 1.0,
+            },
+            ..Default::default()
+        };
+        let gold = ds.gold().unwrap();
+        let graph = LiftGraph::build(&ds, gold, &cfg);
+        // Estimates may admit a different pair set, but whatever was
+        // admitted carries exact (bitwise) counts.
+        let batch = pairwise_correlations(&ds, gold, &ClusterConfig::default()).unwrap();
+        let by_pair: std::collections::HashMap<(SourceId, SourceId), &PairCorrelation> =
+            batch.iter().map(|p| ((p.a, p.b), p)).collect();
+        let inc = graph.pair_correlations();
+        assert!(!inc.is_empty(), "replica pair should still be admitted");
+        for i in &inc {
+            let b = by_pair[&(i.a, i.b)];
+            assert_eq!(b.lift_true.map(f64::to_bits), i.lift_true.map(f64::to_bits));
+            assert_eq!(
+                b.lift_false.map(f64::to_bits),
+                i.lift_false.map(f64::to_bits)
+            );
+        }
+    }
+
+    /// Drive one randomized churn case — label flips, fresh labels, and
+    /// claims with and without scope expansion — checking after every
+    /// delta that the maintained graph stays bitwise equal to the
+    /// from-scratch references.
+    fn churn_case(g: &mut crate::testkit::Gen, sketch: SketchParams) {
+        use crate::dataset::Domain;
+        let n_sources = g.usize_in(4, 8);
+        let n_triples = g.usize_in(12, 30);
+        let n_domains = g.usize_in(1, 3);
+        let mut b = DatasetBuilder::new();
+        let sources: Vec<_> = (0..n_sources).map(|i| b.source(format!("S{i}"))).collect();
+        let mut triples = Vec::new();
+        for i in 0..n_triples {
+            let t = b.triple(format!("e{i}"), "p", "v");
+            b.set_domain(t, Domain((i % n_domains) as u32));
+            // At least one provider, a sprinkling of others.
+            b.observe(sources[g.usize_in(0, n_sources)], t);
+            for &s in &sources {
+                if g.bool(0.3) {
+                    b.observe(s, t);
+                }
+            }
+            if g.bool(0.6) {
+                b.label(t, g.bool(0.5));
+            }
+            triples.push(t);
+        }
+        // Ensure at least one label so `pairwise_correlations` runs.
+        b.label(triples[0], true);
+        let mut ds = b.build().unwrap();
+        let cfg = ClusterConfig {
+            min_support: g.usize_in(1, 4),
+            max_cluster_size: g.usize_in(2, 5),
+            sketch,
+            ..Default::default()
+        };
+        let exact_cfg = ClusterConfig {
+            sketch: SketchParams::default(),
+            ..cfg
+        };
+        let mut graph = LiftGraph::build(&ds, ds.gold().unwrap(), &cfg);
+        for _ in 0..20 {
+            let t = triples[g.usize_in(0, triples.len())];
+            if g.bool(0.5) {
+                // Label or flip.
+                let truth = g.bool(0.5);
+                let prev = ds.set_label(t, truth).unwrap();
+                graph.relabel(&ds, t, prev, truth);
+            } else {
+                // Claim, possibly expanding scope.
+                let s = sources[g.usize_in(0, n_sources)];
+                let outcome = ds.observe(s, t).unwrap();
+                if !outcome.newly_provided {
+                    continue;
+                }
+                let gold = ds.gold().unwrap().clone();
+                if outcome.scope_expanded {
+                    let d = ds.domain(t);
+                    let in_domain: Vec<TripleId> = triples
+                        .iter()
+                        .copied()
+                        .filter(|&x| ds.domain(x) == d)
+                        .collect();
+                    for x in in_domain {
+                        if let Some(truth) = gold.get(x) {
+                            graph.source_entered_scope(&ds, s, x, truth);
+                        }
+                    }
+                } else if let Some(truth) = gold.get(t) {
+                    graph.source_provided(&ds, s, t, truth);
+                }
+            }
+            graph.admit_candidates(&ds);
+            let batch = pairwise_correlations(&ds, ds.gold().unwrap(), &exact_cfg).unwrap();
+            assert_matches_batch(&batch, &graph, &cfg, sketch.enabled);
+            assert_eq!(
+                graph.clustering(),
+                cluster_sources(&ds, ds.gold().unwrap(), &exact_cfg).unwrap()
+            );
+        }
+    }
+
     /// The incremental clustering trust anchor at the unit level: under
-    /// random label flips, fresh labels, and claims (with and without
-    /// scope expansion), the maintained pair counts stay bitwise equal to
-    /// a from-scratch [`pairwise_correlations`] pass, and the derived
+    /// random churn the maintained pair counts stay bitwise equal to a
+    /// from-scratch [`pairwise_correlations`] pass, and the derived
     /// clustering equals [`cluster_sources`].
     #[test]
     fn lift_graph_stays_equal_under_random_churn() {
-        use crate::dataset::Domain;
         use crate::testkit::run_cases;
         run_cases("lift_graph_churn", 10, |g| {
-            let n_sources = g.usize_in(4, 8);
-            let n_triples = g.usize_in(12, 30);
-            let n_domains = g.usize_in(1, 3);
-            let mut b = DatasetBuilder::new();
-            let sources: Vec<_> = (0..n_sources).map(|i| b.source(format!("S{i}"))).collect();
-            let mut triples = Vec::new();
-            for i in 0..n_triples {
-                let t = b.triple(format!("e{i}"), "p", "v");
-                b.set_domain(t, Domain((i % n_domains) as u32));
-                // At least one provider, a sprinkling of others.
-                b.observe(sources[g.usize_in(0, n_sources)], t);
-                for &s in &sources {
-                    if g.bool(0.3) {
-                        b.observe(s, t);
-                    }
-                }
-                if g.bool(0.6) {
-                    b.label(t, g.bool(0.5));
-                }
-                triples.push(t);
-            }
-            // Ensure at least one label so `pairwise_correlations` runs.
-            b.label(triples[0], true);
-            let mut ds = b.build().unwrap();
-            let cfg = ClusterConfig {
-                min_support: g.usize_in(1, 4),
-                max_cluster_size: g.usize_in(2, 5),
-                ..Default::default()
-            };
-            let mut graph = LiftGraph::build(&ds, ds.gold().unwrap(), &cfg);
-            for _ in 0..20 {
-                let t = triples[g.usize_in(0, triples.len())];
-                if g.bool(0.5) {
-                    // Label or flip.
-                    let truth = g.bool(0.5);
-                    let prev = ds.set_label(t, truth).unwrap();
-                    graph.relabel(&ds, t, prev, truth);
-                } else {
-                    // Claim, possibly expanding scope.
-                    let s = sources[g.usize_in(0, n_sources)];
-                    let outcome = ds.observe(s, t).unwrap();
-                    if !outcome.newly_provided {
-                        continue;
-                    }
-                    let gold = ds.gold().unwrap().clone();
-                    if outcome.scope_expanded {
-                        let d = ds.domain(t);
-                        let in_domain: Vec<TripleId> = triples
-                            .iter()
-                            .copied()
-                            .filter(|&x| ds.domain(x) == d)
-                            .collect();
-                        for x in in_domain {
-                            if let Some(truth) = gold.get(x) {
-                                graph.source_entered_scope(&ds, s, x, truth);
-                            }
-                        }
-                    } else if let Some(truth) = gold.get(t) {
-                        graph.source_provided(&ds, s, t, truth);
-                    }
-                }
-                let batch = pairwise_correlations(&ds, ds.gold().unwrap(), &cfg).unwrap();
-                let inc = graph.pair_correlations();
-                for (bp, ip) in batch.iter().zip(&inc) {
-                    assert_eq!(
-                        bp.lift_true.map(f64::to_bits),
-                        ip.lift_true.map(f64::to_bits),
-                        "true lift {}-{}",
-                        bp.a,
-                        bp.b
-                    );
-                    assert_eq!(
-                        bp.lift_false.map(f64::to_bits),
-                        ip.lift_false.map(f64::to_bits),
-                        "false lift {}-{}",
-                        bp.a,
-                        bp.b
-                    );
-                }
-                assert_eq!(
-                    graph.clustering(),
-                    cluster_sources(&ds, ds.gold().unwrap(), &cfg).unwrap()
-                );
-            }
+            churn_case(g, SketchParams::default());
+        });
+    }
+
+    /// Same churn workload with the sketch tier admitting pairs: small
+    /// worlds keep every sample unsaturated, so pruning decisions are
+    /// exact and the clustering must stay bitwise equal to the exact
+    /// configuration, with every pruned pair genuinely sub-threshold.
+    #[test]
+    fn sketch_admission_stays_equal_under_random_churn() {
+        use crate::testkit::run_cases;
+        run_cases("lift_graph_sketch_churn", 10, |g| {
+            churn_case(g, SketchParams::on());
         });
     }
 

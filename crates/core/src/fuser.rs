@@ -111,6 +111,11 @@ pub struct FuserConfig {
     pub cluster: ClusterConfig,
     /// Cap on `|S_t̄|` for the exact solver.
     pub max_exact_complement: usize,
+    /// Bound on live subset-memo entries per cluster joint (see
+    /// [`EmpiricalJoint::set_memo_capacity`]); `None` = unbounded.
+    /// Evicted subsets rescan on next touch, so scores never change —
+    /// this is a memory ceiling for wide/long-running deployments.
+    pub memo_capacity: Option<usize>,
 }
 
 impl FuserConfig {
@@ -122,6 +127,7 @@ impl FuserConfig {
             strategy: ClusterStrategy::Auto,
             cluster: ClusterConfig::default(),
             max_exact_complement: crate::exact::DEFAULT_MAX_COMPLEMENT,
+            memo_capacity: None,
         }
     }
 
@@ -134,6 +140,12 @@ impl FuserConfig {
     /// Builder-style strategy override.
     pub fn with_strategy(mut self, strategy: ClusterStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Builder-style subset-memo bound (entries per cluster joint).
+    pub fn with_memo_capacity(mut self, max_entries: usize) -> Self {
+        self.memo_capacity = Some(max_entries);
         self
     }
 }
@@ -197,6 +209,9 @@ pub struct Fuser {
     independent_mask: BitSet,
     /// Kept from the fit config so solvers can be rebuilt after deltas.
     max_exact_complement: usize,
+    /// Kept from the fit config so joints rebuilt on reconcile inherit
+    /// the same subset-memo bound.
+    memo_capacity: Option<usize>,
 }
 
 impl Fuser {
@@ -269,7 +284,8 @@ impl Fuser {
             }
             let full = SourceSet::full(positions.len());
             let (joint, solver) = if config.method.uses_correlations() {
-                let joint = EmpiricalJoint::new(ds, training, members.clone(), alpha)?;
+                let mut joint = EmpiricalJoint::new(ds, training, members.clone(), alpha)?;
+                joint.set_memo_capacity(config.memo_capacity);
                 let solver = config.method.build_solver(
                     &joint,
                     full,
@@ -306,6 +322,7 @@ impl Fuser {
             clusters,
             independent_mask,
             max_exact_complement: config.max_exact_complement,
+            memo_capacity: config.memo_capacity,
         })
     }
 
@@ -516,8 +533,9 @@ impl Fuser {
             report.rebuilt += 1;
             let full = SourceSet::full(positions.len());
             let (joint, solver) = if self.method.uses_correlations() {
-                let joint =
+                let mut joint =
                     EmpiricalJoint::with_labelled_rows(ds, members.clone(), self.alpha, labelled)?;
+                joint.set_memo_capacity(self.memo_capacity);
                 // Joint and solver are built in lockstep here, so the
                 // fresh unit starts clean: a following
                 // `rebuild_cluster_solvers` pass correctly skips it.

@@ -54,15 +54,25 @@ pub struct JointDeltaStats {
     pub rescans: u64,
     /// Explicit [`EmpiricalJoint::invalidate_caches`] calls.
     pub invalidations: u64,
+    /// Memoised subsets currently held (occupancy gauge; summing over
+    /// joints gives total tracked entries).
+    pub memo_entries: u64,
+    /// Entries evicted by the memo's capacity bound
+    /// ([`EmpiricalJoint::set_memo_capacity`]); each evicted subset pays
+    /// one rescan if touched again.
+    pub memo_evictions: u64,
 }
 
 impl JointDeltaStats {
-    /// Element-wise sum (for aggregating per-cluster joints).
+    /// Element-wise sum (for aggregating per-cluster joints;
+    /// `memo_entries` sums to total occupancy).
     pub fn merged(self, other: JointDeltaStats) -> JointDeltaStats {
         JointDeltaStats {
             delta_rows: self.delta_rows + other.delta_rows,
             rescans: self.rescans + other.rescans,
             invalidations: self.invalidations + other.invalidations,
+            memo_entries: self.memo_entries + other.memo_entries,
+            memo_evictions: self.memo_evictions + other.memo_evictions,
         }
     }
 }
@@ -173,8 +183,17 @@ impl JointEntry {
     }
 }
 
+/// One memoised subset plus its last-touch stamp (for LRU eviction).
+/// The stamp is a relaxed atomic so cache *reads* can refresh it under
+/// the shard's read lock.
+#[derive(Debug)]
+struct MemoSlot {
+    entry: JointEntry,
+    stamp: AtomicU64,
+}
+
 /// A fixed-shard concurrent memo table `u64 -> JointEntry` with hit/miss
-/// counters.
+/// counters and an optional capacity bound.
 ///
 /// [`EmpiricalJoint`] memoises per-subset counts and joint rates behind
 /// this: a single `RwLock<HashMap>` serialises every reader on the write
@@ -183,11 +202,24 @@ impl JointEntry {
 /// atomics — they feed benchmarks and reports, not control flow. Row
 /// deltas walk every shard under `&mut self` (no lock contention: the
 /// mutable borrow proves no reader exists).
+///
+/// With a capacity set ([`ShardedMemo::set_capacity`]), each shard holds
+/// at most `ceil(capacity / MEMO_SHARDS)` entries; inserting past that
+/// evicts the shard's least-recently-touched slot. Eviction is purely a
+/// memory bound, never a correctness concern: a re-touched evicted
+/// subset takes the ordinary miss path (one `scan_counts` rescan), which
+/// the delta-vs-rescan property pins bitwise equal to the maintained
+/// entry it replaced.
 #[derive(Debug, Default)]
 struct ShardedMemo {
-    shards: [RwLock<HashMap<u64, JointEntry>>; MEMO_SHARDS],
+    shards: [RwLock<HashMap<u64, MemoSlot>>; MEMO_SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Monotone touch clock feeding the slots' LRU stamps.
+    clock: AtomicU64,
+    evictions: AtomicU64,
+    /// Per-shard entry cap; `None` = unbounded.
+    shard_cap: Option<usize>,
 }
 
 impl ShardedMemo {
@@ -195,17 +227,53 @@ impl ShardedMemo {
         Self::default()
     }
 
+    /// Bound the total entry count (`None` lifts the bound). Shrinks
+    /// over-full shards immediately, coldest entries first.
+    fn set_capacity(&mut self, max_entries: Option<usize>) {
+        self.shard_cap = max_entries.map(|m| m.div_ceil(MEMO_SHARDS).max(1));
+        if let Some(cap) = self.shard_cap {
+            for shard in &mut self.shards {
+                let map = shard.get_mut().unwrap();
+                while map.len() > cap {
+                    Self::evict_coldest(map, &self.evictions);
+                }
+            }
+        }
+    }
+
+    fn evict_coldest(map: &mut HashMap<u64, MemoSlot>, evictions: &AtomicU64) {
+        let coldest = map
+            .iter()
+            .min_by_key(|(_, slot)| slot.stamp.load(Ordering::Relaxed))
+            .map(|(&k, _)| k);
+        if let Some(k) = coldest {
+            map.remove(&k);
+            evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     #[inline]
-    fn shard(&self, key: u64) -> &RwLock<HashMap<u64, JointEntry>> {
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    #[inline]
+    fn shard(&self, key: u64) -> &RwLock<HashMap<u64, MemoSlot>> {
         // Fibonacci hash then keep the top bits: subset masks are dense in
         // the low bits, so modulo alone would alias neighbouring sets.
         let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         &self.shards[(h >> 60) as usize % MEMO_SHARDS]
     }
 
-    /// Look up `key`, bumping the hit/miss counter.
+    /// Look up `key`, bumping the hit/miss counter (and, on a hit, the
+    /// slot's LRU stamp).
     fn get(&self, key: u64) -> Option<JointEntry> {
-        let found = self.shard(key).read().unwrap().get(&key).copied();
+        let guard = self.shard(key).read().unwrap();
+        let found = guard.get(&key).map(|slot| {
+            slot.stamp.store(self.tick(), Ordering::Relaxed);
+            slot.entry
+        });
+        drop(guard);
         match found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -214,15 +282,28 @@ impl ShardedMemo {
     }
 
     fn insert(&self, key: u64, value: JointEntry) {
-        self.shard(key).write().unwrap().insert(key, value);
+        let stamp = self.tick();
+        let mut map = self.shard(key).write().unwrap();
+        if let Some(cap) = self.shard_cap {
+            while !map.contains_key(&key) && map.len() >= cap {
+                Self::evict_coldest(&mut map, &self.evictions);
+            }
+        }
+        map.insert(
+            key,
+            MemoSlot {
+                entry: value,
+                stamp: AtomicU64::new(stamp),
+            },
+        );
     }
 
     /// Apply `f` to every memoised entry, in place. Requires `&mut self`,
     /// so no scoring reader can observe a half-updated table.
     fn update_entries(&mut self, mut f: impl FnMut(u64, &mut JointEntry)) {
         for shard in &mut self.shards {
-            for (mask, entry) in shard.get_mut().unwrap().iter_mut() {
-                f(*mask, entry);
+            for (mask, slot) in shard.get_mut().unwrap().iter_mut() {
+                f(*mask, &mut slot.entry);
             }
         }
     }
@@ -232,6 +313,11 @@ impl ShardedMemo {
         for shard in &self.shards {
             shard.write().unwrap().clear();
         }
+    }
+
+    /// Current total occupancy across shards.
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
     }
 
     fn stats(&self) -> CacheStats {
@@ -604,13 +690,25 @@ impl EmpiricalJoint {
         self.memo.stats()
     }
 
+    /// Bound the subset memo to roughly `max_entries` live entries
+    /// (`None` lifts the bound). Past the bound, inserting a fresh
+    /// subset evicts the least-recently-touched one in its shard; a
+    /// re-touched evicted subset simply pays the ordinary miss-path
+    /// rescan, so scores are unaffected — this is purely a memory
+    /// ceiling for long sessions that sweep many distinct subsets.
+    pub fn set_memo_capacity(&mut self, max_entries: Option<usize>) {
+        self.memo.set_capacity(max_entries);
+    }
+
     /// Cumulative incremental-maintenance counters (row deltas absorbed
-    /// in place vs. full rescans paid).
+    /// in place vs. full rescans paid, plus memo occupancy/evictions).
     pub fn delta_stats(&self) -> JointDeltaStats {
         JointDeltaStats {
             delta_rows: self.delta_rows,
             rescans: self.memo.stats().misses,
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            memo_entries: self.memo.len() as u64,
+            memo_evictions: self.memo.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -1194,6 +1292,78 @@ mod tests {
     }
 
     #[test]
+    fn memo_eviction_bounds_entries_and_keeps_rates_bitwise() {
+        let mut bounded = fig1_joint();
+        bounded.set_memo_capacity(Some(4)); // 1 entry per shard
+        let unbounded = fig1_joint();
+        // Sweep the whole subset lattice twice: far more distinct
+        // subsets than the bound, so eviction must kick in, and every
+        // (re)computed rate must still match the unbounded memo bitwise.
+        for round in 0..2 {
+            for mask in 1..32u64 {
+                let s = SourceSet(mask);
+                assert_eq!(
+                    bounded.joint_recall(s).to_bits(),
+                    unbounded.joint_recall(s).to_bits(),
+                    "r mask {mask:b} round {round}"
+                );
+                assert_eq!(
+                    bounded.joint_fpr(s).to_bits(),
+                    unbounded.joint_fpr(s).to_bits(),
+                    "q mask {mask:b} round {round}"
+                );
+            }
+        }
+        let stats = bounded.delta_stats();
+        // Per-shard cap is ceil(4/16) = 1, so at most MEMO_SHARDS live.
+        assert!(
+            stats.memo_entries <= MEMO_SHARDS as u64,
+            "occupancy {} over bound",
+            stats.memo_entries
+        );
+        assert!(stats.memo_evictions > 0);
+        // Evicted subsets re-enter through the miss path: strictly more
+        // rescans than the unbounded memo paid for the same queries.
+        assert!(stats.rescans > unbounded.delta_stats().rescans);
+        assert_eq!(stats.invalidations, 0);
+    }
+
+    #[test]
+    fn memo_capacity_shrinks_existing_entries() {
+        let mut j = fig1_joint();
+        for mask in 1..32u64 {
+            let _ = j.joint_recall(SourceSet(mask));
+        }
+        assert_eq!(j.delta_stats().memo_entries, 31);
+        j.set_memo_capacity(Some(4));
+        let stats = j.delta_stats();
+        assert!(stats.memo_entries <= MEMO_SHARDS as u64);
+        assert_eq!(
+            stats.memo_evictions,
+            31 - stats.memo_entries,
+            "every entry over the bound was evicted"
+        );
+        // Row deltas keep maintaining the surviving entries in place.
+        let row = j.row(0);
+        j.set_row(0, 0, row.1, row.2).unwrap();
+        let fresh = fig1_joint_after(|f| {
+            let r = f.row(0);
+            f.set_row(0, 0, r.1, r.2).unwrap();
+        });
+        for mask in 1..32u64 {
+            let s = SourceSet(mask);
+            assert_eq!(j.joint_recall(s).to_bits(), fresh.joint_recall(s).to_bits());
+            assert_eq!(j.joint_fpr(s).to_bits(), fresh.joint_fpr(s).to_bits());
+        }
+    }
+
+    fn fig1_joint_after(mutate: impl FnOnce(&mut EmpiricalJoint)) -> EmpiricalJoint {
+        let mut j = fig1_joint();
+        mutate(&mut j);
+        j
+    }
+
+    #[test]
     fn row_maintenance_matches_fresh_build() {
         let ds = figure1();
         let gold = ds.gold().unwrap();
@@ -1253,6 +1423,11 @@ mod tests {
             let members: Vec<SourceId> = ds.sources().collect();
             let mut alpha = 0.5;
             let mut joint = EmpiricalJoint::new(&ds, ds.gold().unwrap(), members, alpha).unwrap();
+            // Half the cases run under a tight memo bound: eviction must
+            // be invisible to every value below (evicted subsets rescan).
+            if g.bool(0.5) {
+                joint.set_memo_capacity(Some(g.usize_in(1, 8)));
+            }
             let random_row = |g: &mut crate::testkit::Gen| {
                 let scope = g.u64_below(n_masks);
                 // Providers are a subset of the scope, like real rows.

@@ -95,6 +95,12 @@ pub struct RouterConfig {
     /// themselves are the parallelism; raise it for few-shard deployments
     /// on wide machines.
     pub shard_threads: usize,
+    /// Optional bound on joint-count memo entries per cluster joint in
+    /// every shard session (overrides the fuser config's
+    /// `memo_capacity` when set). Evicted subsets rescan on next touch,
+    /// so scores are unchanged — this caps resident memory in wide or
+    /// long-running deployments.
+    pub memo_capacity: Option<usize>,
 }
 
 impl RouterConfig {
@@ -112,6 +118,7 @@ impl RouterConfig {
             retention: LogRetention::KeepAll,
             threshold: 0.5,
             shard_threads: 1,
+            memo_capacity: None,
         }
     }
 
@@ -158,6 +165,12 @@ impl RouterConfig {
         self
     }
 
+    /// Bound joint-count memo entries per cluster joint in every shard.
+    pub fn with_memo_capacity(mut self, max_entries: usize) -> RouterConfig {
+        self.memo_capacity = Some(max_entries);
+        self
+    }
+
     pub(crate) fn validate(&self) -> Result<()> {
         if self.n_shards == 0 {
             return Err(ServeError::InvalidConfig("n_shards must be >= 1"));
@@ -170,6 +183,9 @@ impl RouterConfig {
         }
         if !(self.threshold.is_finite() && (0.0..=1.0).contains(&self.threshold)) {
             return Err(ServeError::InvalidConfig("threshold must be in [0, 1]"));
+        }
+        if self.memo_capacity == Some(0) {
+            return Err(ServeError::InvalidConfig("memo_capacity must be >= 1"));
         }
         Ok(())
     }
@@ -200,6 +216,14 @@ mod tests {
             .with_threshold(f64::NAN)
             .validate()
             .is_err());
+        assert!(RouterConfig::new(1)
+            .with_memo_capacity(0)
+            .validate()
+            .is_err());
+        assert!(RouterConfig::new(1)
+            .with_memo_capacity(64)
+            .validate()
+            .is_ok());
     }
 
     #[test]

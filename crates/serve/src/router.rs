@@ -93,6 +93,10 @@ impl ShardRouter {
         seeds: Vec<(TenantId, Dataset)>,
     ) -> Result<ShardRouter> {
         config.validate()?;
+        let mut fuser = fuser;
+        if config.memo_capacity.is_some() {
+            fuser.memo_capacity = config.memo_capacity;
+        }
         let n = config.n_shards;
         let mut seen: HashSet<TenantId> = HashSet::new();
         for (t, _) in &seeds {
@@ -360,6 +364,7 @@ impl ShardRouter {
                 s.score_cache = core.session.score_cache_stats();
                 s.joint_cache = core.session.joint_cache_stats();
                 s.joint_delta = core.session.joint_delta_stats();
+                s.lift = core.session.lift_stats();
                 s.log_dropped_events = core.session.delta_log().dropped_events();
                 s.poisoned = core.poison.get().is_some();
                 s

@@ -1,5 +1,6 @@
 //! Per-shard and aggregate serving statistics.
 
+use corrfuse_core::cluster::LiftGraphStats;
 use corrfuse_core::joint::{CacheStats, JointDeltaStats};
 
 /// A point-in-time snapshot of one shard's counters.
@@ -76,6 +77,12 @@ pub struct ShardStats {
     /// number of distinct subsets queried. Counters restart when a full
     /// refit rebuilds the joints.
     pub joint_delta: JointDeltaStats,
+    /// Lift-graph occupancy of the shard session: exact pairs tracked
+    /// in the sparse graph, and candidate pairs the sketch tier declined
+    /// to admit. Zero unless the shard's clustering is data-driven.
+    /// Serve-side only — the fixed-width STATS wire records predate
+    /// these counters (see docs/PROTOCOL.md).
+    pub lift: LiftGraphStats,
     /// Journal rotations (compactions) performed.
     pub rotations: u64,
     /// Current journal size in bytes, if journaling.
@@ -153,6 +160,7 @@ impl RouterStats {
             agg.cluster_units_rebuilt += s.cluster_units_rebuilt;
             agg.joint_cache = agg.joint_cache.merged(s.joint_cache);
             agg.joint_delta = agg.joint_delta.merged(s.joint_delta);
+            agg.lift = agg.lift.merged(s.lift);
             agg.rotations += s.rotations;
             if let Some(b) = s.journal_bytes {
                 *agg.journal_bytes.get_or_insert(0) += b;
@@ -193,6 +201,12 @@ mod tests {
                         delta_rows: 7,
                         rescans: 2,
                         invalidations: 0,
+                        memo_entries: 5,
+                        memo_evictions: 1,
+                    },
+                    lift: LiftGraphStats {
+                        pairs_exact: 4,
+                        pairs_sketch_pruned: 10,
                     },
                     ..ShardStats::default()
                 },
@@ -216,6 +230,12 @@ mod tests {
                         delta_rows: 1,
                         rescans: 4,
                         invalidations: 1,
+                        memo_entries: 3,
+                        memo_evictions: 2,
+                    },
+                    lift: LiftGraphStats {
+                        pairs_exact: 6,
+                        pairs_sketch_pruned: 30,
                     },
                     ..ShardStats::default()
                 },
@@ -243,6 +263,15 @@ mod tests {
                 delta_rows: 8,
                 rescans: 6,
                 invalidations: 1,
+                memo_entries: 8,
+                memo_evictions: 3,
+            }
+        );
+        assert_eq!(
+            agg.lift,
+            LiftGraphStats {
+                pairs_exact: 10,
+                pairs_sketch_pruned: 40,
             }
         );
         assert!((agg.mean_batch_events() - 24.0).abs() < 1e-9);

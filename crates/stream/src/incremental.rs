@@ -50,7 +50,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use corrfuse_core::cluster::{Clustering, LiftGraph};
+use corrfuse_core::cluster::{Clustering, LiftGraph, LiftGraphStats};
 use corrfuse_core::dataset::{Dataset, Domain, SourceId};
 use corrfuse_core::engine::ScoringEngine;
 use corrfuse_core::error::{FusionError, Result};
@@ -232,6 +232,13 @@ impl IncrementalFuser {
             })
     }
 
+    /// Lift-graph occupancy counters (exact pairs tracked, pairs the
+    /// sketch tier declined to admit). Zero when clustering is not
+    /// data-driven — there is no maintained lift graph then.
+    pub fn lift_stats(&self) -> LiftGraphStats {
+        self.lift.as_ref().map(LiftGraph::stats).unwrap_or_default()
+    }
+
     /// Apply one batch of events, refresh exactly the dirtied model
     /// layers, and re-score the dirtied triples through `engine`.
     ///
@@ -258,6 +265,7 @@ impl IncrementalFuser {
         if !dirt.full {
             if let Some(lift) = &mut self.lift {
                 if lift.take_changed() {
+                    lift.admit_candidates(&self.ds);
                     let derived = lift.clustering();
                     if derived != *self.fuser.clustering() {
                         new_clustering = Some(derived);

@@ -3,6 +3,7 @@
 
 use std::path::Path;
 
+use corrfuse_core::cluster::LiftGraphStats;
 use corrfuse_core::dataset::Dataset;
 use corrfuse_core::engine::ScoringEngine;
 use corrfuse_core::error::Result;
@@ -382,5 +383,11 @@ impl StreamSession {
     /// restart when a full refit rebuilds the joints.
     pub fn joint_delta_stats(&self) -> JointDeltaStats {
         self.inc.joint_delta_stats()
+    }
+
+    /// Lift-graph occupancy counters (exact pairs tracked, sketch-pruned
+    /// pairs). Zero when clustering is not data-driven.
+    pub fn lift_stats(&self) -> LiftGraphStats {
+        self.inc.lift_stats()
     }
 }

@@ -21,7 +21,10 @@
 //!   and benches);
 //! * [`remote`] — per-producer connection scripts (sends + forced
 //!   reconnects) over a multi-tenant stream (drives the `corrfuse-net`
-//!   loopback tests and the `net_throughput` bench).
+//!   loopback tests and the `net_throughput` bench);
+//! * [`wide_world`] — many sources partitioned into narrow domains with
+//!   one planted correlation clique per domain (drives the sparse
+//!   lift-graph / sketch-tier scaling tests and the `wide_world` bench).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -33,6 +36,7 @@ pub mod multi_tenant;
 pub mod remote;
 pub mod replicas;
 pub mod stream_events;
+pub mod wide_world;
 
 pub use churn::{label_churn_stream, ChurnSpec};
 pub use generator::{generate, GroupKind, GroupSpec, Polarity, SourceSpec, SynthSpec};
@@ -41,6 +45,7 @@ pub use remote::{
     remote_producer_scripts, ProducerAction, ProducerScript, RemoteSpec, RemoteWorkload,
 };
 pub use stream_events::{event_stream, StreamSpec};
+pub use wide_world::{wide_world, WideWorldSpec};
 
 use corrfuse_core::error::{FusionError, Result};
 

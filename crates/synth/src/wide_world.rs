@@ -1,0 +1,240 @@
+//! Wide-world generator: many sources partitioned into narrow domains,
+//! with one planted correlation group per domain.
+//!
+//! The paper's experiments live at ~20 sources; the wide-world workload
+//! models the regime the sparse lift graph and sketch tier exist for —
+//! 10³–10⁵ sources where almost every source pair shares no scope and
+//! almost every co-scoped pair is uncorrelated. Sources are chunked into
+//! consecutive blocks of [`WideWorldSpec::sources_per_domain`], each
+//! block providing in its own [`Domain`] only, so the co-scoped pair
+//! count grows linearly in sources (blocks × C(width, 2)) rather than
+//! quadratically.
+//!
+//! Within every block, the first [`WideWorldSpec::group_size`] sources
+//! form a planted clique: they all provide exactly the same quarter of
+//! the block's false triples, giving each clique pair a false-side lift
+//! of ~4 (`n11·total / (na·nb)` with `n11 = na = nb = total/4`).
+//! Every other provision is an independent coin flip, so non-clique
+//! pairs sit at lift ~1 and fall below any threshold comfortably above
+//! the sampling noise (`σ(ln lift) ≈ 2/√n_false`). A pruning tier that
+//! admits only above-threshold pairs should therefore track close to
+//! `blocks × C(group_size, 2)` pairs.
+//!
+//! All triples are gold-labelled (half true, half false per block): the
+//! lift machinery only sees labelled triples, and leaving some
+//! unlabelled would just shrink the effective world.
+
+use corrfuse_core::dataset::{Dataset, DatasetBuilder, Domain};
+use corrfuse_core::error::{FusionError, Result};
+use corrfuse_core::rng::StdRng;
+
+/// Parameters of a wide world. Construct with [`WideWorldSpec::new`] and
+/// adjust via the `with_*` builders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WideWorldSpec {
+    /// Total source count (the scaling axis).
+    pub n_sources: usize,
+    /// Sources per domain block (the "width" of each narrow domain).
+    pub sources_per_domain: usize,
+    /// Planted-clique size per block (capped at the block width).
+    pub group_size: usize,
+    /// Labelled triples per block, split half true / half false.
+    pub triples_per_domain: usize,
+    /// RNG seed for the independent coin-flip provisions.
+    pub seed: u64,
+}
+
+impl WideWorldSpec {
+    /// Defaults: 10-source domains, 3-source planted cliques, 64 triples
+    /// per domain (32 true / 32 false — false-side lift noise
+    /// `σ ≈ 2/√32 ≈ 0.35`, well under the planted `ln 4 ≈ 1.39`).
+    pub fn new(n_sources: usize) -> WideWorldSpec {
+        WideWorldSpec {
+            n_sources,
+            sources_per_domain: 10,
+            group_size: 3,
+            triples_per_domain: 64,
+            seed: 0x5eed,
+        }
+    }
+
+    /// Set the domain width.
+    pub fn with_sources_per_domain(mut self, width: usize) -> WideWorldSpec {
+        self.sources_per_domain = width;
+        self
+    }
+
+    /// Set the planted-clique size.
+    pub fn with_group_size(mut self, size: usize) -> WideWorldSpec {
+        self.group_size = size;
+        self
+    }
+
+    /// Set the labelled triples per domain.
+    pub fn with_triples_per_domain(mut self, triples: usize) -> WideWorldSpec {
+        self.triples_per_domain = triples;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> WideWorldSpec {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of domain blocks this spec produces.
+    pub fn n_domains(&self) -> usize {
+        self.n_sources.div_ceil(self.sources_per_domain)
+    }
+
+    /// Planted above-threshold pairs: one clique of `group_size` per
+    /// full-width block (a trailing short block plants what fits).
+    pub fn planted_pairs(&self) -> usize {
+        let pairs_of = |g: usize| g * g.saturating_sub(1) / 2;
+        let full = self.n_sources / self.sources_per_domain;
+        let rest = self.n_sources % self.sources_per_domain;
+        full * pairs_of(self.group_size) + pairs_of(self.group_size.min(rest))
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.n_sources == 0 {
+            return Err(FusionError::DegenerateTraining("any"));
+        }
+        if self.sources_per_domain < 2 || self.group_size < 2 {
+            return Err(FusionError::DegenerateTraining("pair"));
+        }
+        if self.group_size > self.sources_per_domain {
+            return Err(FusionError::DegenerateTraining("clique member"));
+        }
+        if self.triples_per_domain < 8 {
+            return Err(FusionError::DegenerateTraining("per-domain"));
+        }
+        Ok(())
+    }
+}
+
+/// Generate the wide world described by `spec`. Deterministic in the
+/// spec (including its seed).
+pub fn wide_world(spec: &WideWorldSpec) -> Result<Dataset> {
+    spec.validate()?;
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut b = DatasetBuilder::new();
+    let sources: Vec<_> = (0..spec.n_sources)
+        .map(|i| b.source(format!("S{i}")))
+        .collect();
+
+    let n_true = spec.triples_per_domain / 2;
+    let n_false = spec.triples_per_domain - n_true;
+    // The clique co-provides the first quarter of each block's false
+    // triples (≥ 2 so a lift is defined even at the minimum spec).
+    let shared = (n_false / 4).max(2).min(n_false);
+
+    for (d, block) in sources.chunks(spec.sources_per_domain).enumerate() {
+        let domain = Domain(d as u32);
+        let clique = spec.group_size.min(block.len());
+        let mut triples = Vec::with_capacity(spec.triples_per_domain);
+        for j in 0..spec.triples_per_domain {
+            let t = b.triple(format!("d{d}e{j}"), "p", "v");
+            b.set_domain(t, domain);
+            b.label(t, j < n_true);
+            triples.push(t);
+        }
+        let mut provided = vec![false; triples.len()];
+        for (i, &s) in block.iter().enumerate() {
+            for (j, &t) in triples.iter().enumerate() {
+                let is_false = j >= n_true;
+                let observe = if i < clique && is_false {
+                    // Clique members provide exactly the shared subset of
+                    // false triples — nothing else on the false side.
+                    j - n_true < shared
+                } else {
+                    rng.gen_bool(0.5)
+                };
+                if observe {
+                    b.observe(s, t);
+                    provided[j] = true;
+                }
+            }
+        }
+        // `DatasetBuilder::build` rejects provider-less triples; back-fill
+        // the coin-flip stragglers with a rotating block member.
+        for (j, &t) in triples.iter().enumerate() {
+            if !provided[j] {
+                b.observe(block[j % block.len()], t);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corrfuse_core::cluster::{pairwise_correlations, ClusterConfig};
+
+    #[test]
+    fn spec_validation() {
+        assert!(wide_world(&WideWorldSpec::new(0)).is_err());
+        assert!(wide_world(&WideWorldSpec::new(10).with_group_size(1)).is_err());
+        assert!(wide_world(&WideWorldSpec::new(10).with_group_size(11)).is_err());
+        assert!(wide_world(&WideWorldSpec::new(10).with_triples_per_domain(4)).is_err());
+        assert!(wide_world(&WideWorldSpec::new(10)).is_ok());
+    }
+
+    #[test]
+    fn world_shape_matches_spec() {
+        let spec = WideWorldSpec::new(25).with_sources_per_domain(10);
+        let ds = wide_world(&spec).unwrap();
+        assert_eq!(ds.n_sources(), 25);
+        assert_eq!(spec.n_domains(), 3);
+        assert_eq!(ds.n_triples(), 3 * spec.triples_per_domain);
+        let gold = ds.gold().unwrap();
+        assert_eq!(gold.labelled_count(), ds.n_triples());
+        assert_eq!(gold.true_count(), 3 * (spec.triples_per_domain / 2));
+        // Each block's sources provide (and therefore scope) only their
+        // own domain.
+        for s in ds.sources() {
+            let expect = Domain((s.index() / spec.sources_per_domain) as u32);
+            assert_eq!(ds.scope(s).iter().copied().collect::<Vec<_>>(), [expect]);
+        }
+        assert_eq!(spec.planted_pairs(), 2 * 3 + 3);
+    }
+
+    #[test]
+    fn planted_cliques_dominate_above_threshold_pairs() {
+        let spec = WideWorldSpec::new(40).with_sources_per_domain(8);
+        let ds = wide_world(&spec).unwrap();
+        let cfg = ClusterConfig {
+            ln_threshold: 2.5f64.ln(),
+            ..ClusterConfig::default()
+        };
+        let pairs = pairwise_correlations(&ds, ds.gold().unwrap(), &cfg).unwrap();
+        let above: Vec<_> = pairs
+            .iter()
+            .filter(|p| p.strength() >= cfg.ln_threshold)
+            .collect();
+        // Every planted clique pair is above threshold...
+        for d in 0..spec.n_domains() {
+            let base = d * spec.sources_per_domain;
+            for a in 0..spec.group_size {
+                for b in a + 1..spec.group_size {
+                    assert!(
+                        above
+                            .iter()
+                            .any(|p| p.a.index() == base + a && p.b.index() == base + b),
+                        "clique pair ({},{}) below threshold",
+                        base + a,
+                        base + b
+                    );
+                }
+            }
+        }
+        // ...and noise admits stay a small minority.
+        assert!(
+            above.len() <= 2 * spec.planted_pairs(),
+            "noise pairs dominate: {} above threshold vs {} planted",
+            above.len(),
+            spec.planted_pairs()
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Wide-world scaling: a 10⁵-source world must fit — and refit under
+//! label churn — with the lift graph holding only a bounded, planted-
+//! clique-sized pair set, while the derived clustering stays bitwise
+//! identical to the exact (sketch-free) configuration.
+//!
+//! The budget math: `corrfuse_synth::wide_world` plants one
+//! above-threshold clique per domain and keeps every other pair near
+//! lift 1, so the sketch tier should admit roughly
+//! [`WideWorldSpec::planted_pairs`] of the `domains × C(width, 2)`
+//! co-scoped candidates. The assert allows 2× for sampling noise — still
+//! ~7× below the co-scoped total and ~10⁵× below the all-pairs table the
+//! pre-sparse graph would have allocated (`C(100_000, 2) ≈ 5·10⁹`).
+
+use corrfuse::core::cluster::{
+    cluster_from_pairs, cluster_sources, pairwise_correlations, ClusterConfig, LiftGraph,
+    SketchParams,
+};
+use corrfuse::core::dataset::Dataset;
+use corrfuse::synth::{wide_world, WideWorldSpec};
+
+fn sketch_cfg() -> ClusterConfig {
+    ClusterConfig {
+        // Comfortably above the wide world's coin-flip noise floor
+        // (σ ≈ 0.35) and below its planted clique strength (ln 4).
+        ln_threshold: 2.5f64.ln(),
+        sketch: SketchParams::on(),
+        ..ClusterConfig::default()
+    }
+}
+
+fn exact_cfg() -> ClusterConfig {
+    ClusterConfig {
+        sketch: SketchParams::default(),
+        ..sketch_cfg()
+    }
+}
+
+#[test]
+fn hundred_thousand_sources_fit_and_refit_under_pair_budget() {
+    let spec = WideWorldSpec::new(100_000);
+    let mut ds: Dataset = wide_world(&spec).unwrap();
+    let gold = ds.gold().unwrap().clone();
+    let budget = 2 * spec.planted_pairs();
+
+    let mut sparse = LiftGraph::build(&ds, &gold, &sketch_cfg());
+    let mut exact = LiftGraph::build(&ds, &gold, &exact_cfg());
+
+    let stats = sparse.stats();
+    assert!(
+        stats.pairs_exact <= budget,
+        "fit: {} exact pairs over the {budget} budget",
+        stats.pairs_exact
+    );
+    assert!(
+        stats.pairs_exact >= spec.planted_pairs(),
+        "fit: planted cliques missing ({} < {})",
+        stats.pairs_exact,
+        spec.planted_pairs()
+    );
+    assert!(stats.pairs_sketch_pruned > 0, "sketch never pruned");
+    // The sketch-free graph tracks every co-scoped pair; the sketch tier
+    // must be well under that.
+    assert!(stats.pairs_exact * 5 < exact.stats().pairs_exact);
+    assert_eq!(sparse.clustering(), exact.clustering(), "fit diverged");
+
+    // Refit: flip one label per 50th domain and reconcile both graphs
+    // through the incremental hooks.
+    let flips: Vec<_> = (0..spec.n_domains())
+        .step_by(50)
+        .map(|d| {
+            let t = corrfuse::core::triple::TripleId((d * spec.triples_per_domain) as u32);
+            (t, gold.get(t).unwrap())
+        })
+        .collect();
+    for &(t, old) in &flips {
+        ds.set_label(t, !old).unwrap();
+        sparse.relabel(&ds, t, Some(old), !old);
+        exact.relabel(&ds, t, Some(old), !old);
+    }
+    assert!(sparse.take_changed());
+    sparse.admit_candidates(&ds);
+    let stats = sparse.stats();
+    assert!(
+        stats.pairs_exact <= budget,
+        "refit: {} exact pairs over the {budget} budget",
+        stats.pairs_exact
+    );
+    assert_eq!(sparse.clustering(), exact.clustering(), "refit diverged");
+}
+
+#[test]
+fn sketch_path_matches_dense_reference_at_moderate_scale() {
+    let spec = WideWorldSpec::new(300);
+    let ds = wide_world(&spec).unwrap();
+    let gold = ds.gold().unwrap();
+    let dense = cluster_from_pairs(
+        ds.n_sources(),
+        pairwise_correlations(&ds, gold, &exact_cfg()).unwrap(),
+        &exact_cfg(),
+    );
+    assert_eq!(cluster_sources(&ds, gold, &sketch_cfg()).unwrap(), dense);
+    assert_eq!(cluster_sources(&ds, gold, &exact_cfg()).unwrap(), dense);
+}
