@@ -115,10 +115,11 @@ impl BenchmarkGroup<'_> {
         match Summary::from_samples(&bencher.samples) {
             Some(summary) => {
                 eprintln!(
-                    "  {full_id}: median {} (min {}, mean {}, max {}, {} samples)",
+                    "  {full_id}: median {} (min {}, mean {}, p99 {}, max {}, {} samples)",
                     fmt_nanos(summary.median_ns),
                     fmt_nanos(summary.min_ns),
                     fmt_nanos(summary.mean_ns),
+                    fmt_nanos(summary.p99_ns as f64),
                     fmt_nanos(summary.max_ns),
                     summary.samples,
                 );
@@ -186,6 +187,14 @@ pub struct Summary {
     pub mean_ns: f64,
     /// Slowest sample.
     pub max_ns: f64,
+    /// Histogram-estimated 50th percentile (log₂-bucket resolution;
+    /// the exact `median_ns` stays the headline number, this one exists
+    /// to exercise the same [`corrfuse_obs::Histogram`] the serving
+    /// stack reports through).
+    pub p50_ns: u64,
+    /// Histogram-estimated 99th percentile — the tail-latency figure
+    /// the exact min/median/max row cannot show.
+    pub p99_ns: u64,
     /// Number of samples taken.
     pub samples: usize,
 }
@@ -195,8 +204,13 @@ impl Summary {
         if samples.is_empty() {
             return None;
         }
+        let hist = corrfuse_obs::Histogram::new();
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.total_cmp(b));
+        for &s in &sorted {
+            hist.record(s.max(0.0).round() as u64);
+        }
+        let snap = hist.snapshot();
         let n = sorted.len();
         let median = if n % 2 == 1 {
             sorted[n / 2]
@@ -208,6 +222,8 @@ impl Summary {
             median_ns: median,
             mean_ns: sorted.iter().sum::<f64>() / n as f64,
             max_ns: sorted[n - 1],
+            p50_ns: snap.p50(),
+            p99_ns: snap.p99(),
             samples: n,
         })
     }
@@ -220,12 +236,14 @@ impl Summary {
             return;
         }
         let line = format!(
-            "{{\"id\":\"{}\",\"median_ns\":{:.1},\"min_ns\":{:.1},\"mean_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{}}}\n",
+            "{{\"id\":\"{}\",\"median_ns\":{:.1},\"min_ns\":{:.1},\"mean_ns\":{:.1},\"max_ns\":{:.1},\"p50_ns\":{},\"p99_ns\":{},\"samples\":{}}}\n",
             id.replace('"', "'"),
             self.median_ns,
             self.min_ns,
             self.mean_ns,
             self.max_ns,
+            self.p50_ns,
+            self.p99_ns,
             self.samples,
         );
         let written = std::fs::OpenOptions::new()
@@ -288,6 +306,10 @@ mod tests {
         assert_eq!(s.max_ns, 3.0);
         assert!((s.mean_ns - 2.0).abs() < 1e-12);
         assert_eq!(s.samples, 3);
+        // Histogram percentiles bracket the exact statistics (log₂
+        // buckets: within the recorded range, ordered).
+        assert!(s.p50_ns >= 1 && s.p50_ns <= 3, "p50={}", s.p50_ns);
+        assert!(s.p99_ns >= s.p50_ns && s.p99_ns <= 3, "p99={}", s.p99_ns);
         assert!(Summary::from_samples(&[]).is_none());
         let even = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]).unwrap();
         assert!((even.median_ns - 2.5).abs() < 1e-12);

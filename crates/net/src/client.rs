@@ -392,6 +392,20 @@ impl Client {
         }
     }
 
+    /// Self-describing metrics snapshot: the server's registered
+    /// counters, gauges and latency histograms (when the server runs
+    /// with a metrics registry) plus the always-present router-derived
+    /// series. Entries are sorted by name; histograms convert to
+    /// quantile-readable snapshots via
+    /// [`crate::wire::WireHistogram::to_snapshot`].
+    pub fn metrics(&mut self) -> Result<Vec<crate::wire::WireMetric>> {
+        self.sync()?;
+        match self.request(Request::Metrics)? {
+            Response::MetricsOk { metrics } => Ok(metrics),
+            other => unexpected("METRICS_OK", other),
+        }
+    }
+
     /// Liveness probe.
     pub fn ping(&mut self) -> Result<()> {
         self.sync()?;

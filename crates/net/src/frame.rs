@@ -63,6 +63,10 @@ pub enum FrameType {
     Ping = 0x07,
     /// Ask the server to stop (honoured only when enabled server-side).
     Shutdown = 0x08,
+    /// Query: self-describing metrics snapshot (counters, gauges and
+    /// latency histograms); the growable successor to the fixed-width
+    /// [`FrameType::Stats`] records.
+    Metrics = 0x09,
 
     /// Positive reply to [`FrameType::Hello`].
     HelloOk = 0x81,
@@ -80,13 +84,15 @@ pub enum FrameType {
     Pong = 0x87,
     /// Server acknowledges it will stop.
     ShutdownOk = 0x88,
+    /// Metrics payload (length-prefixed name/tag/value entries).
+    MetricsOk = 0x89,
     /// Typed error reply (`u16` code + UTF-8 message).
     Error = 0x8F,
 }
 
 impl FrameType {
     /// All frame types, for exhaustive round-trip tests.
-    pub const ALL: [FrameType; 17] = [
+    pub const ALL: [FrameType; 19] = [
         FrameType::Hello,
         FrameType::Ingest,
         FrameType::Scores,
@@ -95,6 +101,7 @@ impl FrameType {
         FrameType::Stats,
         FrameType::Ping,
         FrameType::Shutdown,
+        FrameType::Metrics,
         FrameType::HelloOk,
         FrameType::IngestOk,
         FrameType::ScoresOk,
@@ -103,6 +110,7 @@ impl FrameType {
         FrameType::StatsOk,
         FrameType::Pong,
         FrameType::ShutdownOk,
+        FrameType::MetricsOk,
         FrameType::Error,
     ];
 
@@ -114,6 +122,33 @@ impl FrameType {
     /// True for response types (high bit set).
     pub fn is_response(self) -> bool {
         (self as u8) & 0x80 != 0
+    }
+
+    /// Lowercase snake-case name, used as the per-type suffix of the
+    /// server's `net_decode_ns_*` / `net_handle_ns_*` /
+    /// `net_encode_ns_*` metric series (see `docs/OBSERVABILITY.md`).
+    pub fn label(self) -> &'static str {
+        match self {
+            FrameType::Hello => "hello",
+            FrameType::Ingest => "ingest",
+            FrameType::Scores => "scores",
+            FrameType::Decisions => "decisions",
+            FrameType::Flush => "flush",
+            FrameType::Stats => "stats",
+            FrameType::Ping => "ping",
+            FrameType::Shutdown => "shutdown",
+            FrameType::Metrics => "metrics",
+            FrameType::HelloOk => "hello_ok",
+            FrameType::IngestOk => "ingest_ok",
+            FrameType::ScoresOk => "scores_ok",
+            FrameType::DecisionsOk => "decisions_ok",
+            FrameType::FlushOk => "flush_ok",
+            FrameType::StatsOk => "stats_ok",
+            FrameType::Pong => "pong",
+            FrameType::ShutdownOk => "shutdown_ok",
+            FrameType::MetricsOk => "metrics_ok",
+            FrameType::Error => "error",
+        }
     }
 }
 

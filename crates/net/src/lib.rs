@@ -98,4 +98,6 @@ pub use client::{Client, ClientConfig};
 pub use error::{ErrorCode, NetError, Result};
 pub use frame::{Frame, FrameError, FrameType};
 pub use server::{Server, ServerConfig, ServerHandle};
-pub use wire::{Request, Response, WireShardStats, WireStats};
+pub use wire::{
+    Request, Response, WireHistogram, WireMetric, WireMetricValue, WireShardStats, WireStats,
+};

@@ -28,6 +28,7 @@
 //! * Each connection keeps its own counters, surfaced through the
 //!   `STATS` request alongside the per-shard router stats.
 
+use std::collections::HashMap;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -35,12 +36,13 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use corrfuse_obs::{Histogram, MetricSample, MetricValue, Registry, Span};
 use corrfuse_serve::{RouterStats, ServeError, ShardRouter};
 
 use crate::error::{code_of, ErrorCode, NetError, Result};
-use crate::frame::{Frame, VERSION};
+use crate::frame::{Frame, FrameType, VERSION};
 use crate::sync::Semaphore;
-use crate::wire::{Request, Response, WireStats};
+use crate::wire::{Request, Response, WireMetric, WireStats};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -53,6 +55,16 @@ pub struct ServerConfig {
     /// front door should only stop from its own process; the example
     /// pair and tests enable it so a client can end the run.
     pub accept_shutdown: bool,
+    /// Metrics registry for wire-level instrumentation. When set,
+    /// connection handlers record per-frame-type decode/handle/encode
+    /// latency histograms (`net_decode_ns_<type>` etc. — catalog in
+    /// `docs/OBSERVABILITY.md`), and the `METRICS` reply carries the
+    /// registry's full snapshot. `None` (the default) keeps the request
+    /// loop free of clock reads; `METRICS` still answers with the
+    /// router-derived series. Share the same registry with
+    /// [`corrfuse_serve::RouterConfig::with_metrics`] to get the shard
+    /// pipeline's stage histograms in the same snapshot.
+    pub metrics: Option<Arc<Registry>>,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +72,7 @@ impl Default for ServerConfig {
         ServerConfig {
             max_connections: 64,
             accept_shutdown: false,
+            metrics: None,
         }
     }
 }
@@ -79,6 +92,13 @@ impl ServerConfig {
     /// Allow clients to stop the server with a `SHUTDOWN` request.
     pub fn with_accept_shutdown(mut self, allow: bool) -> ServerConfig {
         self.accept_shutdown = allow;
+        self
+    }
+
+    /// Record wire-level latency into `registry` and serve its snapshot
+    /// through `METRICS` (see [`ServerConfig::metrics`]).
+    pub fn with_metrics(mut self, registry: Arc<Registry>) -> ServerConfig {
+        self.metrics = Some(registry);
         self
     }
 }
@@ -274,6 +294,88 @@ struct ConnStats {
     events: u64,
 }
 
+/// Per-connection cache of the per-frame-type wire histograms
+/// (`net_<stage>_ns_<type>`), so the request loop pays one map probe
+/// per record instead of a registry lookup with its name formatting.
+struct ConnSpans {
+    registry: Arc<Registry>,
+    cache: HashMap<(&'static str, FrameType), Arc<Histogram>>,
+}
+
+impl ConnSpans {
+    fn record(&mut self, stage: &'static str, kind: FrameType, ns: u64) {
+        let registry = &self.registry;
+        self.cache
+            .entry((stage, kind))
+            .or_insert_with(|| registry.histogram(&format!("net_{stage}_ns_{}", kind.label())))
+            .record(ns);
+    }
+}
+
+/// The `METRICS` reply body: the registry snapshot (when the server has
+/// one) plus router-derived series that are always present — the PR 5/6
+/// joint-delta, lift-graph and cache counters the frozen `STATS` records
+/// deliberately do not carry, and per-shard queue-pressure gauges.
+fn metrics_response(registry: Option<&Arc<Registry>>, router: &ShardRouter) -> Response {
+    let mut samples = registry.map(|r| r.snapshot()).unwrap_or_default();
+    let agg = router.stats().aggregate();
+    let counter = |name: &str, v: u64| MetricSample {
+        name: name.to_string(),
+        value: MetricValue::Counter(v),
+    };
+    let gauge = |name: &str, v: i64| MetricSample {
+        name: name.to_string(),
+        value: MetricValue::Gauge(v),
+    };
+    samples.extend([
+        counter("serve_batches", agg.batches),
+        counter("serve_merged_batches", agg.merged_batches),
+        counter("serve_ingested_events", agg.ingested_events),
+        counter("serve_ingest_errors", agg.ingest_errors),
+        counter("serve_rescored", agg.rescored),
+        counter("serve_flips", agg.flips),
+        counter("serve_refit_model", agg.refit_model),
+        counter("serve_refit_cluster", agg.refit_cluster),
+        counter("serve_refit_full", agg.refit_full),
+        counter("serve_ingest_ns_none", agg.ingest_ns_none),
+        counter("serve_ingest_ns_model", agg.ingest_ns_model),
+        counter("serve_ingest_ns_cluster", agg.ingest_ns_cluster),
+        counter("serve_ingest_ns_full", agg.ingest_ns_full),
+        counter("serve_joint_delta_rows", agg.joint_delta.delta_rows),
+        counter("serve_joint_rescans", agg.joint_delta.rescans),
+        counter("serve_joint_invalidations", agg.joint_delta.invalidations),
+        gauge(
+            "serve_joint_memo_entries",
+            agg.joint_delta.memo_entries as i64,
+        ),
+        counter("serve_joint_memo_evictions", agg.joint_delta.memo_evictions),
+        gauge("serve_lift_pairs_exact", agg.lift.pairs_exact as i64),
+        counter(
+            "serve_lift_pairs_sketch_pruned",
+            agg.lift.pairs_sketch_pruned,
+        ),
+        counter("serve_joint_cache_hits", agg.joint_cache.hits),
+        counter("serve_joint_cache_misses", agg.joint_cache.misses),
+        counter("serve_score_cache_hits", agg.score_cache.hits),
+        counter("serve_score_cache_misses", agg.score_cache.misses),
+        counter("serve_journal_rotations", agg.rotations),
+    ]);
+    for q in &agg.queue {
+        samples.push(gauge(
+            &format!("serve_queue_depth_shard_{}", q.shard),
+            q.depth as i64,
+        ));
+        samples.push(gauge(
+            &format!("serve_queue_high_water_shard_{}", q.shard),
+            q.high_water as i64,
+        ));
+    }
+    samples.sort_by(|a, b| a.name.cmp(&b.name));
+    Response::MetricsOk {
+        metrics: WireMetric::from_samples(&samples),
+    }
+}
+
 /// Serve one connection: HELLO negotiation, then the request loop.
 fn handle_connection(
     mut stream: TcpStream,
@@ -286,6 +388,11 @@ fn handle_connection(
     negotiate(&mut stream)?;
     let mut stats = ConnStats::default();
     let mut seq: u64 = 0;
+    let mut spans = config.metrics.as_ref().map(|r| ConnSpans {
+        registry: Arc::clone(r),
+        cache: HashMap::new(),
+    });
+    let timed = spans.is_some();
     loop {
         let frame = match Frame::read_from(&mut stream) {
             Ok(Some(f)) => f,
@@ -304,7 +411,13 @@ fn handle_connection(
             Err(e) => return Err(e),
         };
         stats.frames += 1;
-        let request = match Request::from_frame(&frame) {
+        let req_kind = frame.kind;
+        let decode_span = Span::start(timed);
+        let decoded = Request::from_frame(&frame);
+        if let Some(sp) = spans.as_mut() {
+            sp.record("decode", req_kind, decode_span.elapsed_ns());
+        }
+        let request = match decoded {
             Ok(r) => r,
             Err(e) => {
                 // Frame-aligned but undecodable payload: report and
@@ -318,6 +431,7 @@ fn handle_connection(
             }
         };
         let mut stop_after = false;
+        let handle_span = Span::start(timed);
         let response = match request {
             Request::Hello { .. } => Response::Error {
                 code: ErrorCode::Malformed,
@@ -362,6 +476,7 @@ fn handle_connection(
                 Response::StatsOk { stats: wire }
             }
             Request::Ping => Response::Pong,
+            Request::Metrics => metrics_response(config.metrics.as_ref(), router),
             Request::Shutdown => {
                 if config.accept_shutdown {
                     stop_after = true;
@@ -374,6 +489,10 @@ fn handle_connection(
                 }
             }
         };
+        if let Some(sp) = spans.as_mut() {
+            sp.record("handle", req_kind, handle_span.elapsed_ns());
+        }
+        let encode_span = Span::start(timed);
         let mut frame = response.to_frame();
         if !frame.fits() {
             // Never put a frame on the wire the peer must reject (the
@@ -384,6 +503,9 @@ fn handle_connection(
                 message: frame.oversize_error().to_string(),
             }
             .to_frame();
+        }
+        if let Some(sp) = spans.as_mut() {
+            sp.record("encode", frame.kind, encode_span.elapsed_ns());
         }
         frame.write_to(&mut stream)?;
         stream.flush()?;

@@ -9,6 +9,7 @@
 //! payloads after a `#corrfuse-journal v1` snapshot prefix and the
 //! result parses as a journal file.
 
+use corrfuse_obs::{HistogramSnapshot, MetricSample, MetricValue, BUCKETS};
 use corrfuse_serve::{RouterStats, TenantId};
 use corrfuse_stream::codec;
 use corrfuse_stream::Event;
@@ -54,6 +55,12 @@ pub enum Request {
     /// Ask the server to stop accepting and shut down (honoured only
     /// when the server enables remote shutdown).
     Shutdown,
+    /// Self-describing metrics snapshot: named counters, gauges and
+    /// latency histograms. Unlike [`Request::Stats`]' frozen
+    /// fixed-width records, the reply's entries are length-prefixed
+    /// and type-tagged, so servers can add metrics without a protocol
+    /// rev.
+    Metrics,
 }
 
 /// A server-to-client message.
@@ -95,6 +102,11 @@ pub enum Response {
     Pong,
     /// The server accepted the shutdown request and will stop.
     ShutdownOk,
+    /// Metrics reply; entries sorted by name.
+    MetricsOk {
+        /// Every metric the server chose to expose.
+        metrics: Vec<WireMetric>,
+    },
     /// Typed failure; see [`ErrorCode`] for retryability.
     Error {
         /// The protocol error code.
@@ -158,6 +170,103 @@ impl WireStats {
                 .collect(),
             ..WireStats::default()
         }
+    }
+}
+
+/// One named metric in a [`Response::MetricsOk`] payload.
+///
+/// On the wire each metric is a length-prefixed, type-tagged entry
+/// (layout in `docs/PROTOCOL.md` §5.9): decoders skip entries whose tag
+/// they don't know and ignore trailing bytes inside an entry, so
+/// servers can ship new metric kinds — or extend existing ones — to old
+/// clients without a protocol rev.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireMetric {
+    /// Registered metric name (catalog in `docs/OBSERVABILITY.md`).
+    pub name: String,
+    /// The metric's value.
+    pub value: WireMetricValue,
+}
+
+/// The typed value of one [`WireMetric`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMetricValue {
+    /// Monotonic counter (wire tag 0).
+    Counter(u64),
+    /// Instantaneous signed gauge (wire tag 1).
+    Gauge(i64),
+    /// Log₂ latency histogram (wire tag 2).
+    Histogram(WireHistogram),
+}
+
+/// A histogram as carried on the wire: totals plus the log₂ bucket
+/// array (bucket semantics of [`corrfuse_obs::Histogram`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireHistogram {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Per-bucket counts; servers send [`BUCKETS`] buckets, decoders
+    /// accept any length (forward compatibility).
+    pub buckets: Vec<u64>,
+}
+
+impl WireHistogram {
+    /// Convert to a [`HistogramSnapshot`] for quantile readout
+    /// (`p50()`/`p99()` etc.); buckets beyond [`BUCKETS`] are dropped,
+    /// missing ones read as empty.
+    pub fn to_snapshot(&self) -> HistogramSnapshot {
+        let mut s = HistogramSnapshot::empty();
+        for (i, &b) in self.buckets.iter().take(BUCKETS).enumerate() {
+            s.buckets[i] = b;
+        }
+        s.count = self.count;
+        s.sum = self.sum;
+        s.max = self.max;
+        s
+    }
+}
+
+impl WireMetric {
+    /// Convert a registry snapshot into wire metrics, preserving order.
+    pub fn from_samples(samples: &[MetricSample]) -> Vec<WireMetric> {
+        samples
+            .iter()
+            .map(|s| WireMetric {
+                name: s.name.clone(),
+                value: match &s.value {
+                    MetricValue::Counter(v) => WireMetricValue::Counter(*v),
+                    MetricValue::Gauge(v) => WireMetricValue::Gauge(*v),
+                    MetricValue::Histogram(h) => WireMetricValue::Histogram(WireHistogram {
+                        count: h.count,
+                        sum: h.sum,
+                        max: h.max,
+                        buckets: h.buckets.to_vec(),
+                    }),
+                },
+            })
+            .collect()
+    }
+
+    /// Convert wire metrics back into registry-shaped samples (for
+    /// feeding [`corrfuse_obs::export::render_text`] client-side).
+    pub fn to_samples(metrics: &[WireMetric]) -> Vec<MetricSample> {
+        metrics
+            .iter()
+            .map(|m| MetricSample {
+                name: m.name.clone(),
+                value: match &m.value {
+                    WireMetricValue::Counter(v) => MetricValue::Counter(*v),
+                    WireMetricValue::Gauge(v) => MetricValue::Gauge(*v),
+                    WireMetricValue::Histogram(h) => {
+                        MetricValue::Histogram(Box::new(h.to_snapshot()))
+                    }
+                },
+            })
+            .collect()
     }
 }
 
@@ -266,6 +375,7 @@ impl Request {
             Request::Stats => Frame::new(FrameType::Stats, Vec::new()),
             Request::Ping => Frame::new(FrameType::Ping, Vec::new()),
             Request::Shutdown => Frame::new(FrameType::Shutdown, Vec::new()),
+            Request::Metrics => Frame::new(FrameType::Metrics, Vec::new()),
         }
     }
 
@@ -326,6 +436,10 @@ impl Request {
                 r.finish("SHUTDOWN")?;
                 Ok(Request::Shutdown)
             }
+            FrameType::Metrics => {
+                r.finish("METRICS")?;
+                Ok(Request::Metrics)
+            }
             other => Err(FrameError::BadPayload(format!(
                 "frame type {other:?} is not a request"
             ))),
@@ -377,6 +491,13 @@ impl Response {
             }
             Response::Pong => Frame::new(FrameType::Pong, Vec::new()),
             Response::ShutdownOk => Frame::new(FrameType::ShutdownOk, Vec::new()),
+            Response::MetricsOk { metrics } => {
+                let mut payload = (metrics.len() as u32).to_le_bytes().to_vec();
+                for m in metrics {
+                    encode_metric(&mut payload, m);
+                }
+                Frame::new(FrameType::MetricsOk, payload)
+            }
             Response::Error { code, message } => {
                 let mut payload = (*code as u16).to_le_bytes().to_vec();
                 payload.extend_from_slice(message.as_bytes());
@@ -473,6 +594,11 @@ impl Response {
                 r.finish("SHUTDOWN_OK")?;
                 Ok(Response::ShutdownOk)
             }
+            FrameType::MetricsOk => {
+                let metrics = decode_metrics(&mut r)?;
+                r.finish("METRICS_OK")?;
+                Ok(Response::MetricsOk { metrics })
+            }
             FrameType::Error => {
                 let raw = r.u16("error code")?;
                 let code = ErrorCode::from_code(raw)
@@ -485,6 +611,85 @@ impl Response {
             ))),
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// METRICS_OK entry codec
+// ---------------------------------------------------------------------
+
+/// Wire tags for metric entry kinds. Unknown tags are skipped by
+/// decoders, which is what lets the payload grow without a protocol
+/// rev.
+const TAG_COUNTER: u8 = 0;
+const TAG_GAUGE: u8 = 1;
+const TAG_HISTOGRAM: u8 = 2;
+
+fn encode_metric(payload: &mut Vec<u8>, m: &WireMetric) {
+    // Entry body first, so the length prefix can be computed once.
+    let mut body = (m.name.len() as u16).to_le_bytes().to_vec();
+    body.extend_from_slice(m.name.as_bytes());
+    match &m.value {
+        WireMetricValue::Counter(v) => {
+            body.push(TAG_COUNTER);
+            body.extend_from_slice(&v.to_le_bytes());
+        }
+        WireMetricValue::Gauge(v) => {
+            body.push(TAG_GAUGE);
+            body.extend_from_slice(&v.to_le_bytes());
+        }
+        WireMetricValue::Histogram(h) => {
+            body.push(TAG_HISTOGRAM);
+            body.extend_from_slice(&h.count.to_le_bytes());
+            body.extend_from_slice(&h.sum.to_le_bytes());
+            body.extend_from_slice(&h.max.to_le_bytes());
+            body.extend_from_slice(&(h.buckets.len() as u16).to_le_bytes());
+            for b in &h.buckets {
+                body.extend_from_slice(&b.to_le_bytes());
+            }
+        }
+    }
+    payload.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    payload.extend_from_slice(&body);
+}
+
+fn decode_metrics(r: &mut Reader<'_>) -> Result<Vec<WireMetric>, FrameError> {
+    let n = r.u32("metric count")? as usize;
+    let mut metrics = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        let entry_len = r.u32("metric entry length")? as usize;
+        let entry = r.take(entry_len, "metric entry")?;
+        let mut e = Reader::new(entry);
+        let name_len = e.u16("metric name length")? as usize;
+        let name = utf8(e.take(name_len, "metric name")?, "metric name")?.to_string();
+        let tag = e.u8("metric tag")?;
+        // Trailing bytes inside an entry are deliberately tolerated
+        // (no `finish()` here): a newer server may append fields to a
+        // known kind, and `entry_len` already told us where it ends.
+        let value = match tag {
+            TAG_COUNTER => WireMetricValue::Counter(e.u64("counter value")?),
+            TAG_GAUGE => WireMetricValue::Gauge(e.u64("gauge value")? as i64),
+            TAG_HISTOGRAM => {
+                let count = e.u64("histogram count")?;
+                let sum = e.u64("histogram sum")?;
+                let max = e.u64("histogram max")?;
+                let nb = e.u16("bucket count")? as usize;
+                let mut buckets = Vec::with_capacity(nb.min(1 << 10));
+                for _ in 0..nb {
+                    buckets.push(e.u64("bucket")?);
+                }
+                WireMetricValue::Histogram(WireHistogram {
+                    count,
+                    sum,
+                    max,
+                    buckets,
+                })
+            }
+            // Unknown kind from a newer server: skip the whole entry.
+            _ => continue,
+        };
+        metrics.push(WireMetric { name, value });
+    }
+    Ok(metrics)
 }
 
 #[cfg(test)]
@@ -522,6 +727,7 @@ mod tests {
             Request::Stats,
             Request::Ping,
             Request::Shutdown,
+            Request::Metrics,
         ]
     }
 
@@ -561,6 +767,30 @@ mod tests {
             },
             Response::Pong,
             Response::ShutdownOk,
+            Response::MetricsOk {
+                metrics: Vec::new(),
+            },
+            Response::MetricsOk {
+                metrics: vec![
+                    WireMetric {
+                        name: "serve_joint_delta_rows".to_string(),
+                        value: WireMetricValue::Counter(1234),
+                    },
+                    WireMetric {
+                        name: "serve_queue_depth_0".to_string(),
+                        value: WireMetricValue::Gauge(-3),
+                    },
+                    WireMetric {
+                        name: "stream_ingest_ns".to_string(),
+                        value: WireMetricValue::Histogram(WireHistogram {
+                            count: 5,
+                            sum: 900,
+                            max: 400,
+                            buckets: vec![0, 1, 0, 2, 2],
+                        }),
+                    },
+                ],
+            },
             Response::Error {
                 code: ErrorCode::Busy,
                 message: "shard 2 queue full".to_string(),
@@ -649,6 +879,99 @@ mod tests {
         // Bad decision byte.
         let bad = Frame::new(FrameType::DecisionsOk, vec![1, 0, 0, 0, 7]);
         assert!(Response::from_frame(&bad).is_err());
+    }
+
+    /// Hand-encode one METRICS_OK entry (the layout under test).
+    fn raw_entry(name: &str, tag: u8, body: &[u8]) -> Vec<u8> {
+        let mut entry = (name.len() as u16).to_le_bytes().to_vec();
+        entry.extend_from_slice(name.as_bytes());
+        entry.push(tag);
+        entry.extend_from_slice(body);
+        let mut out = (entry.len() as u32).to_le_bytes().to_vec();
+        out.extend_from_slice(&entry);
+        out
+    }
+
+    #[test]
+    fn metrics_decoder_skips_unknown_tags() {
+        // A "newer server" payload: known counter, unknown tag 9 with an
+        // opaque body, known gauge. The decoder must keep both known
+        // entries and drop the middle one without erroring.
+        let mut payload = 3u32.to_le_bytes().to_vec();
+        payload.extend_from_slice(&raw_entry("a", 0, &7u64.to_le_bytes()));
+        payload.extend_from_slice(&raw_entry("mystery", 9, &[1, 2, 3, 4, 5]));
+        payload.extend_from_slice(&raw_entry("b", 1, &(-2i64).to_le_bytes()));
+        let frame = Frame::new(FrameType::MetricsOk, payload);
+        match Response::from_frame(&frame).unwrap() {
+            Response::MetricsOk { metrics } => {
+                assert_eq!(
+                    metrics,
+                    vec![
+                        WireMetric {
+                            name: "a".to_string(),
+                            value: WireMetricValue::Counter(7),
+                        },
+                        WireMetric {
+                            name: "b".to_string(),
+                            value: WireMetricValue::Gauge(-2),
+                        },
+                    ]
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_decoder_tolerates_trailing_entry_bytes() {
+        // A known counter whose entry carries extra bytes after the
+        // value — a newer server extending the kind. entry_len bounds
+        // the skip, so decoding still succeeds.
+        let mut body = 7u64.to_le_bytes().to_vec();
+        body.extend_from_slice(b"future-field");
+        let mut payload = 1u32.to_le_bytes().to_vec();
+        payload.extend_from_slice(&raw_entry("a", 0, &body));
+        let frame = Frame::new(FrameType::MetricsOk, payload);
+        match Response::from_frame(&frame).unwrap() {
+            Response::MetricsOk { metrics } => {
+                assert_eq!(metrics[0].value, WireMetricValue::Counter(7));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_decoder_rejects_truncated_entries() {
+        // entry_len pointing past the payload end is a typed error.
+        let mut payload = 1u32.to_le_bytes().to_vec();
+        payload.extend_from_slice(&99u32.to_le_bytes());
+        payload.push(0);
+        let frame = Frame::new(FrameType::MetricsOk, payload);
+        assert!(Response::from_frame(&frame).is_err());
+    }
+
+    #[test]
+    fn wire_histogram_converts_to_quantile_snapshot() {
+        use corrfuse_obs::Histogram;
+        let h = Histogram::new();
+        for v in [3, 3, 900, 17, 0] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let wire = &WireMetric::from_samples(&[corrfuse_obs::MetricSample {
+            name: "x".to_string(),
+            value: corrfuse_obs::MetricValue::Histogram(Box::new(snap.clone())),
+        }])[0];
+        match &wire.value {
+            WireMetricValue::Histogram(wh) => {
+                // Round-trip through the wire shape preserves quantiles.
+                let back = wh.to_snapshot();
+                assert_eq!(back, snap);
+                assert_eq!(back.p50(), snap.p50());
+                assert_eq!(back.max, 900);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 use corrfuse_core::dataset::SourceId;
 use corrfuse_core::testkit::{run_cases, Gen};
 use corrfuse_core::TripleId;
-use corrfuse_net::wire::{WireShardStats, WireStats};
+use corrfuse_net::wire::{WireHistogram, WireMetric, WireMetricValue, WireShardStats, WireStats};
 use corrfuse_net::{ErrorCode, Frame, FrameError, FrameType, Request, Response};
 use corrfuse_serve::TenantId;
 use corrfuse_stream::Event;
@@ -35,7 +35,7 @@ fn random_events(g: &mut Gen) -> Vec<Event> {
 }
 
 fn random_request(g: &mut Gen) -> Request {
-    match g.usize_in(0, 8) {
+    match g.usize_in(0, 9) {
         0 => Request::Hello {
             min_version: g.u64_below(4) as u8,
             max_version: g.u64_below(4) as u8,
@@ -53,12 +53,33 @@ fn random_request(g: &mut Gen) -> Request {
         4 => Request::Flush,
         5 => Request::Stats,
         6 => Request::Ping,
+        7 => Request::Metrics,
         _ => Request::Shutdown,
     }
 }
 
+fn random_metrics(g: &mut Gen) -> Vec<WireMetric> {
+    (0..g.usize_in(0, 5))
+        .map(|i| WireMetric {
+            name: format!("metric_{i}_{}", g.u64_below(100)),
+            value: match g.usize_in(0, 3) {
+                0 => WireMetricValue::Counter(g.u64_below(u64::MAX)),
+                1 => WireMetricValue::Gauge(g.u64_below(u64::MAX) as i64),
+                _ => WireMetricValue::Histogram(WireHistogram {
+                    count: g.u64_below(1 << 40),
+                    sum: g.u64_below(1 << 50),
+                    max: g.u64_below(1 << 40),
+                    buckets: (0..g.usize_in(0, 64))
+                        .map(|_| g.u64_below(1 << 30))
+                        .collect(),
+                }),
+            },
+        })
+        .collect()
+}
+
 fn random_response(g: &mut Gen) -> Response {
-    match g.usize_in(0, 9) {
+    match g.usize_in(0, 10) {
         0 => Response::HelloOk {
             version: g.u64_below(4) as u8,
         },
@@ -95,6 +116,9 @@ fn random_response(g: &mut Gen) -> Response {
         },
         6 => Response::Pong,
         7 => Response::ShutdownOk,
+        8 => Response::MetricsOk {
+            metrics: random_metrics(g),
+        },
         _ => Response::Error {
             code: ErrorCode::from_code(g.usize_in(1, 9) as u16).unwrap(),
             message: format!("error {}", g.u64_below(100)),
@@ -132,7 +156,7 @@ fn decoder_is_total_on_magic_prefixed_bytes() {
         }
         if g.bool(0.5) {
             // A known type code, so deeper fields get exercised.
-            buf[5] = [0x01u8, 0x02, 0x03, 0x82, 0x83, 0x86, 0x8F][g.usize_in(0, 7)];
+            buf[5] = [0x01u8, 0x02, 0x03, 0x09, 0x82, 0x83, 0x86, 0x89, 0x8F][g.usize_in(0, 9)];
         }
         if let Ok((frame, _)) = Frame::decode(&buf) {
             let _ = Request::from_frame(&frame);
@@ -196,7 +220,7 @@ fn truncation_and_corruption_are_typed() {
     });
 }
 
-/// The 17 frame types cover requests and responses disjointly, and
+/// The 19 frame types cover requests and responses disjointly, and
 /// every code survives the `u8` round trip.
 #[test]
 fn frame_type_codes_are_stable() {
@@ -204,6 +228,6 @@ fn frame_type_codes_are_stable() {
         assert_eq!(FrameType::from_code(t as u8), Some(t));
     }
     let requests = FrameType::ALL.iter().filter(|t| !t.is_response()).count();
-    assert_eq!(requests, 8);
-    assert_eq!(FrameType::ALL.len() - requests, 9);
+    assert_eq!(requests, 9);
+    assert_eq!(FrameType::ALL.len() - requests, 10);
 }

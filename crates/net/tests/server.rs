@@ -401,3 +401,126 @@ fn reconnect_resends_unacked_batches() {
     // the resend; duplicates must not error.
     assert_eq!(stats.aggregate().ingest_errors, 0);
 }
+
+#[test]
+fn metrics_over_loopback() {
+    use corrfuse_net::{WireMetric, WireMetricValue};
+    use corrfuse_obs::Registry;
+    use std::sync::Arc;
+
+    // One registry shared by the router workers (stage histograms,
+    // traces) and the server handlers (per-frame-type wire histograms).
+    let registry = Arc::new(Registry::new());
+    let server = Server::bind(
+        "127.0.0.1:0",
+        router(
+            2,
+            &[0, 1],
+            RouterConfig::new(2).with_metrics(Arc::clone(&registry)),
+        ),
+        ServerConfig::new().with_metrics(Arc::clone(&registry)),
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let (handle, join) = spawn(server).unwrap();
+
+    let mut client = Client::connect(&addr).unwrap();
+    for round in 0..4u32 {
+        client
+            .ingest(
+                TenantId(round % 2),
+                &[
+                    Event::add_triple("z", "p", format!("{round}")),
+                    Event::claim(SourceId(0), TripleId(2 + round / 2)),
+                ],
+            )
+            .unwrap();
+    }
+    client.flush().unwrap();
+
+    let metrics = client.metrics().unwrap();
+    assert!(!metrics.is_empty());
+    assert!(
+        metrics.windows(2).all(|w| w[0].name <= w[1].name),
+        "METRICS entries arrive sorted by name"
+    );
+    let find = |name: &str| -> &WireMetric {
+        metrics
+            .iter()
+            .find(|m| m.name == name)
+            .unwrap_or_else(|| panic!("metric {name} missing"))
+    };
+
+    // Router-derived series are always present, including the PR 5/6
+    // serve-side-only stats the frozen STATS records cannot carry.
+    match find("serve_ingested_events").value {
+        WireMetricValue::Counter(v) => assert_eq!(v, 8),
+        ref other => panic!("unexpected {other:?}"),
+    }
+    for name in [
+        "serve_joint_delta_rows",
+        "serve_joint_rescans",
+        "serve_joint_memo_evictions",
+        "serve_lift_pairs_sketch_pruned",
+    ] {
+        assert!(matches!(find(name).value, WireMetricValue::Counter(_)));
+    }
+    for shard in 0..2 {
+        assert!(matches!(
+            find(&format!("serve_queue_depth_shard_{shard}")).value,
+            WireMetricValue::Gauge(_)
+        ));
+        assert!(matches!(
+            find(&format!("serve_queue_high_water_shard_{shard}")).value,
+            WireMetricValue::Gauge(_)
+        ));
+    }
+
+    // Shard-pipeline stage histograms (router registry): the flush
+    // barrier guarantees the batches were applied, so the ingest stage
+    // has recorded and its quantiles read out.
+    match &find("stream_ingest_ns").value {
+        WireMetricValue::Histogram(h) => {
+            assert!(h.count >= 1, "ingest histogram recorded");
+            let snap = h.to_snapshot();
+            assert!(snap.p50() <= snap.p99());
+            assert!(snap.p99() <= snap.max);
+            assert!(snap.max > 0);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Wire-level per-frame-type histograms (server registry): the four
+    // ingest requests each recorded a decode and a handle.
+    for name in ["net_decode_ns_ingest", "net_handle_ns_ingest"] {
+        match &find(name).value {
+            WireMetricValue::Histogram(h) => assert!(h.count >= 4, "{name} count {}", h.count),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    handle.stop();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn metrics_without_registry_still_answers() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        router(1, &[0], RouterConfig::new(1)),
+        ServerConfig::new(),
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let (handle, join) = spawn(server).unwrap();
+
+    let mut client = Client::connect(&addr).unwrap();
+    let metrics = client.metrics().unwrap();
+    // No registry anywhere: only the router-derived series, still a
+    // valid non-empty reply.
+    assert!(metrics.iter().any(|m| m.name == "serve_batches"));
+    assert!(!metrics.iter().any(|m| m.name.starts_with("net_")));
+
+    handle.stop();
+    join.join().unwrap().unwrap();
+}

@@ -1,0 +1,63 @@
+//! Prometheus-style text exposition of a registry snapshot.
+
+use crate::registry::{MetricSample, MetricValue};
+
+/// Render samples as Prometheus-style text:
+///
+/// * counters and gauges as `name value`,
+/// * histograms as `name{quantile="0.5"} v` / `"0.9"` / `"0.99"` plus
+///   `name_count`, `name_sum` and `name_max` lines.
+///
+/// Samples are rendered in the order given; [`crate::Registry::snapshot`]
+/// already sorts by name, so the exposition is deterministic for a
+/// given registry state. This is the payload behind the
+/// `metrics_dump` example and the shape documented in
+/// `docs/OBSERVABILITY.md`.
+pub fn render_text(samples: &[MetricSample]) -> String {
+    let mut out = String::new();
+    for s in samples {
+        match &s.value {
+            MetricValue::Counter(v) => out.push_str(&format!("{} {v}\n", s.name)),
+            MetricValue::Gauge(v) => out.push_str(&format!("{} {v}\n", s.name)),
+            MetricValue::Histogram(h) => {
+                for (q, label) in [(0.50, "0.5"), (0.90, "0.9"), (0.99, "0.99")] {
+                    out.push_str(&format!(
+                        "{}{{quantile=\"{label}\"}} {}\n",
+                        s.name,
+                        h.quantile(q)
+                    ));
+                }
+                out.push_str(&format!("{}_count {}\n", s.name, h.count));
+                out.push_str(&format!("{}_sum {}\n", s.name, h.sum));
+                out.push_str(&format!("{}_max {}\n", s.name, h.max));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn renders_all_kinds() {
+        let r = Registry::new();
+        r.counter("batches").add(3);
+        r.gauge("depth").set(-2);
+        r.histogram("lat_ns").record(100);
+        let text = render_text(&r.snapshot());
+        assert!(text.contains("batches 3\n"));
+        assert!(text.contains("depth -2\n"));
+        assert!(text.contains("lat_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("lat_ns{quantile=\"0.99\"}"));
+        assert!(text.contains("lat_ns_count 1\n"));
+        assert!(text.contains("lat_ns_max 100\n"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert_eq!(render_text(&[]), "");
+    }
+}

@@ -1,0 +1,295 @@
+//! Fixed-memory log₂ latency histogram with mergeable snapshots.
+//!
+//! A [`Histogram`] is 64 relaxed-atomic buckets plus count / sum / max —
+//! a few hundred bytes that absorb any number of `u64` observations
+//! (nanoseconds, bytes, queue depths…) without allocating. Bucket `k`
+//! covers one power-of-two range, so relative quantile error is bounded
+//! at 2× worst case across the full `u64` domain, which is plenty for
+//! latency work where the interesting distinctions are 10µs vs 100µs,
+//! not 41µs vs 43µs.
+//!
+//! Reads go through [`Histogram::snapshot`]; snapshots are plain data
+//! and merge associatively ([`HistogramSnapshot::merged`]), so per-shard
+//! histograms combine in any grouping to the same global view.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets in a [`Histogram`]. Bucket 0 holds only zeros;
+/// bucket `k` for `1 ≤ k ≤ 62` covers `[2^(k-1), 2^k - 1]`; the top
+/// bucket (63) saturates, covering `[2^62, u64::MAX]`.
+pub const BUCKETS: usize = 64;
+
+/// Index of the bucket that absorbs `v`.
+///
+/// `0` maps to bucket 0; otherwise the bucket is `64 − leading_zeros`,
+/// clamped to [`BUCKETS`]` − 1` so values at and beyond `2^62` all land
+/// in the saturated top bucket.
+#[inline]
+pub(crate) fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive `[lo, hi]` value range covered by bucket `idx`.
+///
+/// The bracketing property pinned by the testkit suite: for every
+/// recorded `v`, `bucket_bounds(bucket_of(v))` contains `v`.
+pub fn bucket_bounds(idx: usize) -> (u64, u64) {
+    assert!(idx < BUCKETS, "bucket index out of range");
+    match idx {
+        0 => (0, 0),
+        _ if idx == BUCKETS - 1 => (1u64 << (BUCKETS - 2), u64::MAX),
+        _ => (1u64 << (idx - 1), (1u64 << idx) - 1),
+    }
+}
+
+/// Lock-free log₂ histogram. All updates are relaxed atomic adds on
+/// fixed storage — safe to share across shard workers via `Arc` and to
+/// hammer from many threads (the registry hammer test does exactly
+/// that).
+///
+/// Cross-field consistency is deliberately loose: a reader racing a
+/// writer may see `count` without the matching bucket increment. That
+/// is fine for monitoring (snapshots are taken between batches in
+/// practice) and is what buys the zero-coordination hot path.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copy the current state into a plain-data snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data copy of a [`Histogram`], suitable for merging, wire
+/// transport and quantile readout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`bucket_bounds`]).
+    pub buckets: [u64; BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (wrapping on overflow, like the
+    /// live histogram's relaxed adds).
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with no observations.
+    pub fn empty() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Merge `other` into a new snapshot. Elementwise bucket sums, sum
+    /// of counts/sums, max of maxima — associative and commutative, so
+    /// shard snapshots can be folded in any order.
+    pub fn merged(&self, other: &Self) -> Self {
+        Self {
+            buckets: std::array::from_fn(|i| self.buckets[i].wrapping_add(other.buckets[i])),
+            count: self.count.wrapping_add(other.count),
+            sum: self.sum.wrapping_add(other.sum),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) by walking buckets and
+    /// interpolating linearly within the target bucket. Returns 0 for
+    /// an empty snapshot. The estimate is always inside the target
+    /// bucket's bounds, so the worst-case relative error is the bucket
+    /// width (2×).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let (lo, hi) = bucket_bounds(idx);
+                // Cap the top of the interpolation range at the
+                // observed max: it is a real observation and tighter
+                // than the open-ended bucket ceiling.
+                let hi = hi.min(self.max).max(lo);
+                let within = (rank - seen - 1) as f64 / n as f64;
+                return lo + ((hi - lo) as f64 * within) as u64;
+            }
+            seen += n;
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean of observed values, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_of_matches_bounds() {
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1000, u64::MAX / 2, u64::MAX] {
+            let idx = bucket_of(v);
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(lo <= v && v <= hi, "v={v} idx={idx} lo={lo} hi={hi}");
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_domain() {
+        // Consecutive buckets abut with no gaps or overlaps.
+        for idx in 0..BUCKETS - 1 {
+            let (_, hi) = bucket_bounds(idx);
+            let (lo_next, _) = bucket_bounds(idx + 1);
+            assert_eq!(hi + 1, lo_next, "gap between bucket {idx} and {}", idx + 1);
+        }
+        assert_eq!(bucket_bounds(BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 5, 5, 1000, 1_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1_001_011);
+        assert_eq!(s.max, 1_000_000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn quantiles_of_uniform_run() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // Log buckets: estimates are coarse but must bracket sanely.
+        let p50 = s.p50();
+        assert!((256..=1000).contains(&p50), "p50={p50}");
+        assert!(s.p99() <= 1000);
+        assert!(s.p99() >= s.p50());
+        assert!(s.quantile(1.0) <= s.max);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s, HistogramSnapshot::empty());
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_commutative_here() {
+        let a = {
+            let h = Histogram::new();
+            h.record(3);
+            h.record(70);
+            h.snapshot()
+        };
+        let b = {
+            let h = Histogram::new();
+            h.record(1_000_000);
+            h.snapshot()
+        };
+        assert_eq!(a.merged(&b), b.merged(&a));
+        assert_eq!(a.merged(&b).count, 3);
+        assert_eq!(a.merged(&b).max, 1_000_000);
+    }
+
+    #[test]
+    fn top_bucket_saturates() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1u64 << 62);
+        h.record(1u64 << 63);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[BUCKETS - 1], 3);
+    }
+}

@@ -1,0 +1,301 @@
+//! Lock-free, insert-only registry of named metrics.
+//!
+//! The registry is a fixed-capacity open-addressing table whose slots
+//! are `OnceLock`s: registration races are settled by whichever thread
+//! wins the slot initialization, lookups are wait-free loads, and no
+//! entry is ever removed or rehashed. That makes `counter` / `gauge` /
+//! `histogram` safe to call from any thread at any time — though the
+//! intended pattern (and the only hot-path-safe one) is to resolve
+//! handles once at wiring time and clone the `Arc`s into workers.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::trace::TraceRing;
+
+/// Slots in the registry table. Power of two so probing wraps with a
+/// mask. 512 named metrics is far beyond the stack's catalog (~40
+/// names in `docs/OBSERVABILITY.md`); overflow degrades gracefully to
+/// detached metrics rather than panicking.
+const CAPACITY: usize = 512;
+
+/// Default capacity of the registry's built-in [`TraceRing`].
+const TRACE_CAPACITY: usize = 64;
+
+/// Monotonically increasing counter (`AtomicU64`, relaxed).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous signed value (`AtomicI64`, relaxed).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the value by `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+#[derive(Debug)]
+struct Slot {
+    name: String,
+    metric: Metric,
+}
+
+/// One named metric's value at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Registered metric name.
+    pub name: String,
+    /// The value read at snapshot time.
+    pub value: MetricValue,
+}
+
+/// Snapshot value of a single metric.
+///
+/// The histogram arm is boxed: a snapshot is 64 bucket counts, and
+/// most samples in a registry dump are bare counters/gauges.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotonic counter reading.
+    Counter(u64),
+    /// A gauge reading.
+    Gauge(i64),
+    /// A full histogram snapshot.
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// Lock-free table of named metrics plus a bounded trace ring.
+///
+/// Metrics are created on first use and live for the registry's
+/// lifetime. Two degenerate cases return a *detached* metric — a live,
+/// usable handle that simply isn't listed in [`Registry::snapshot`] —
+/// instead of panicking: registering more than the fixed capacity, and
+/// re-registering a name under a different metric kind. Both indicate
+/// a wiring bug, and monitoring plumbing must never take the process
+/// down over one.
+#[derive(Debug)]
+pub struct Registry {
+    slots: Box<[OnceLock<Slot>]>,
+    traces: TraceRing,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry with the default trace-ring capacity.
+    pub fn new() -> Self {
+        Self::with_trace_capacity(TRACE_CAPACITY)
+    }
+
+    /// An empty registry whose trace ring keeps the last
+    /// `trace_capacity` batch traces.
+    pub fn with_trace_capacity(trace_capacity: usize) -> Self {
+        Self {
+            slots: (0..CAPACITY).map(|_| OnceLock::new()).collect(),
+            traces: TraceRing::new(trace_capacity),
+        }
+    }
+
+    /// The registry's bounded ring of recent batch traces.
+    pub fn traces(&self) -> &TraceRing {
+        &self.traces
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self.get_or_insert(name, || Metric::Counter(Arc::new(Counter::default()))) {
+            Some(Metric::Counter(c)) => Arc::clone(c),
+            _ => Arc::new(Counter::default()),
+        }
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self.get_or_insert(name, || Metric::Gauge(Arc::new(Gauge::default()))) {
+            Some(Metric::Gauge(g)) => Arc::clone(g),
+            _ => Arc::new(Gauge::default()),
+        }
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        match self.get_or_insert(name, || Metric::Histogram(Arc::new(Histogram::new()))) {
+            Some(Metric::Histogram(h)) => Arc::clone(h),
+            _ => Arc::new(Histogram::new()),
+        }
+    }
+
+    /// FNV-1a, the same dependency-free hash the rest of the stack
+    /// uses for non-adversarial keys.
+    fn hash(name: &str) -> usize {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h as usize
+    }
+
+    /// Probe for `name`, inserting via `make` on first sight. Returns
+    /// `None` when the table is full (caller falls back to a detached
+    /// metric). The returned reference points into the winning slot,
+    /// whichever thread initialized it.
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Option<&Metric> {
+        let mask = CAPACITY - 1;
+        let start = Self::hash(name) & mask;
+        let mut make = Some(make);
+        for probe in 0..CAPACITY {
+            let slot = &self.slots[(start + probe) & mask];
+            let init = slot.get_or_init(|| Slot {
+                name: name.to_string(),
+                // `make` is consumed at most once: if this closure runs,
+                // this thread won the slot and the loop returns below.
+                metric: (make.take().expect("slot init ran twice"))(),
+            });
+            if init.name == name {
+                return Some(&init.metric);
+            }
+        }
+        None
+    }
+
+    /// Read every registered metric, sorted by name for stable output.
+    pub fn snapshot(&self) -> Vec<MetricSample> {
+        let mut out: Vec<MetricSample> = self
+            .slots
+            .iter()
+            .filter_map(|slot| slot.get())
+            .map(|s| MetricSample {
+                name: s.name.clone(),
+                value: match &s.metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(Box::new(h.snapshot())),
+                },
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+}
+
+// The registry is shared across shard workers and the net server via
+// `Arc<Registry>`; everything inside is atomics, OnceLock, or the
+// mutex-guarded trace ring.
+const _: () = {
+    const fn assert_sync<T: Send + Sync>() {}
+    assert_sync::<Registry>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_gauge_histogram_roundtrip() {
+        let r = Registry::new();
+        r.counter("c").add(5);
+        r.counter("c").inc();
+        r.gauge("g").set(-3);
+        r.histogram("h").record(1000);
+
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].name, "c");
+        assert_eq!(snap[0].value, MetricValue::Counter(6));
+        assert_eq!(snap[1].value, MetricValue::Gauge(-3));
+        match &snap[2].value {
+            MetricValue::Histogram(h) => assert_eq!(h.count, 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_name_returns_same_metric() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn kind_mismatch_returns_detached() {
+        let r = Registry::new();
+        r.counter("x").inc();
+        // Same name, wrong kind: caller gets a live but unlisted gauge.
+        let g = r.gauge("x");
+        g.set(42);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].value, MetricValue::Counter(1));
+    }
+
+    #[test]
+    fn overflow_returns_detached_not_panic() {
+        let r = Registry::new();
+        for i in 0..CAPACITY {
+            r.counter(&format!("m{i}")).inc();
+        }
+        let extra = r.counter("one_too_many");
+        extra.inc(); // usable, just unlisted
+        assert_eq!(extra.get(), 1);
+        assert_eq!(r.snapshot().len(), CAPACITY);
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let r = Registry::new();
+        for name in ["zebra", "alpha", "mid"] {
+            r.counter(name).inc();
+        }
+        let names: Vec<_> = r.snapshot().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zebra"]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Bounded ring of recent batch traces with stage breakdowns.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One processed batch's timing breakdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchTrace {
+    /// Monotonic sequence number assigned by the ring on push.
+    pub seq: u64,
+    /// Free-form origin label, e.g. `"shard-3"` or `"net"`.
+    pub label: String,
+    /// End-to-end time for the batch in nanoseconds.
+    pub total_ns: u64,
+    /// `(stage name, nanoseconds)` pairs in execution order. Stages
+    /// need not sum to `total_ns`; untimed gaps are normal.
+    pub stages: Vec<(String, u64)>,
+}
+
+/// Overwrite-oldest buffer of the last `capacity` [`BatchTrace`]s.
+///
+/// Pushes take a short mutex (traces are per-batch, not per-event, so
+/// contention is negligible next to the batch work itself) and memory
+/// is bounded by construction: once full, each push drops the oldest
+/// trace. Disabled instrumentation never constructs traces at all.
+#[derive(Debug)]
+pub struct TraceRing {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct Inner {
+    next_seq: u64,
+    ring: VecDeque<BatchTrace>,
+}
+
+impl TraceRing {
+    /// A ring keeping the last `capacity` traces (capacity 0 is
+    /// clamped to 1 so pushes always retain something).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            inner: Mutex::new(Inner {
+                next_seq: 0,
+                ring: VecDeque::with_capacity(capacity),
+            }),
+            capacity,
+        }
+    }
+
+    /// Maximum number of retained traces.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Append a trace, assigning its sequence number; evicts the
+    /// oldest entry when full. Returns the assigned sequence number.
+    pub fn push(&self, label: &str, total_ns: u64, stages: Vec<(String, u64)>) -> u64 {
+        let mut inner = self.inner.lock().expect("trace ring poisoned");
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.ring.len() == self.capacity {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(BatchTrace {
+            seq,
+            label: label.to_string(),
+            total_ns,
+            stages,
+        });
+        seq
+    }
+
+    /// Copy out the retained traces, oldest first.
+    pub fn traces(&self) -> Vec<BatchTrace> {
+        self.inner
+            .lock()
+            .expect("trace ring poisoned")
+            .ring
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of currently retained traces.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("trace ring poisoned").ring.len()
+    }
+
+    /// Whether no traces have been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Render the retained traces as JSON lines (one object per
+    /// trace), oldest first. Hand-rolled — the workspace has no serde
+    /// — with labels and stage names JSON-string-escaped.
+    pub fn dump_json_lines(&self) -> String {
+        let mut out = String::new();
+        for t in self.traces() {
+            out.push_str(&format!(
+                "{{\"seq\":{},\"label\":{},\"total_ns\":{},\"stages\":{{",
+                t.seq,
+                json_string(&t.label),
+                t.total_ns
+            ));
+            for (i, (stage, ns)) in t.stages.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{}:{}", json_string(stage), ns));
+            }
+            out.push_str("}}\n");
+        }
+        out
+    }
+}
+
+/// Minimal JSON string encoder: quotes, backslashes and control
+/// characters escaped, everything else passed through.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back() {
+        let ring = TraceRing::new(4);
+        ring.push(
+            "shard-0",
+            100,
+            vec![("refit".into(), 60), ("rescore".into(), 30)],
+        );
+        let traces = ring.traces();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].seq, 0);
+        assert_eq!(traces[0].stages[0], ("refit".to_string(), 60));
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let ring = TraceRing::new(3);
+        for i in 0..5u64 {
+            ring.push("s", i, vec![]);
+        }
+        let traces = ring.traces();
+        assert_eq!(traces.len(), 3);
+        assert_eq!(
+            traces.iter().map(|t| t.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(traces[0].total_ns, 2);
+    }
+
+    #[test]
+    fn json_lines_shape() {
+        let ring = TraceRing::new(2);
+        ring.push("shard \"a\"", 42, vec![("q\nwait".into(), 7)]);
+        let dump = ring.dump_json_lines();
+        assert_eq!(dump.lines().count(), 1);
+        assert_eq!(
+            dump.trim_end(),
+            "{\"seq\":0,\"label\":\"shard \\\"a\\\"\",\"total_ns\":42,\"stages\":{\"q\\nwait\":7}}"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_clamped() {
+        let ring = TraceRing::new(0);
+        ring.push("x", 1, vec![]);
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.capacity(), 1);
+    }
+}

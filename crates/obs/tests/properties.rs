@@ -1,0 +1,143 @@
+//! Seeded property tests for the histogram and registry, on the
+//! workspace testkit: merge associativity/commutativity, percentile
+//! bracketing against exact order statistics, top-bucket saturation,
+//! and a multi-thread registry hammer.
+
+use std::sync::Arc;
+
+use corrfuse_core::testkit::{run_cases, Gen};
+use corrfuse_obs::histogram::bucket_bounds;
+use corrfuse_obs::{Histogram, HistogramSnapshot, Registry, BUCKETS};
+
+/// A snapshot of random observations spanning many buckets (skewed so
+/// zeros, small values and huge values all appear).
+fn random_snapshot(g: &mut Gen) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for _ in 0..g.usize_in(0, 40) {
+        let v = match g.usize_in(0, 3) {
+            0 => 0,
+            1 => g.u64_below(1 << 10),
+            2 => g.u64_below(1 << 40),
+            _ => u64::MAX - g.u64_below(1 << 30),
+        };
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+#[test]
+fn merge_is_associative_and_commutative() {
+    run_cases("obs_merge_associative", 200, |g| {
+        let (a, b, c) = (random_snapshot(g), random_snapshot(g), random_snapshot(g));
+        assert_eq!(a.merged(&b), b.merged(&a));
+        assert_eq!(a.merged(&b).merged(&c), a.merged(&b.merged(&c)));
+        // Merging the empty snapshot is the identity.
+        assert_eq!(a.merged(&HistogramSnapshot::empty()), a);
+    });
+}
+
+/// The quantile estimate always lands in the same log₂ bucket as the
+/// exact order statistic it approximates (the 2× relative-error
+/// contract), and never exceeds the observed max.
+#[test]
+fn percentiles_bracket_exact_order_statistics() {
+    run_cases("obs_percentile_bracketing", 200, |g| {
+        let n = g.usize_in(1, 60);
+        let mut values: Vec<u64> = (0..n)
+            .map(|_| match g.usize_in(0, 2) {
+                0 => g.u64_below(1 << 8),
+                1 => g.u64_below(1 << 30),
+                _ => g.u64_below(u64::MAX),
+            })
+            .collect();
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let snap = h.snapshot();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * n as f64).ceil() as usize).max(1);
+            let exact = values[rank - 1];
+            let estimate = snap.quantile(q);
+            let (lo, hi) = bucket_bounds(
+                (0..BUCKETS)
+                    .find(|&i| {
+                        let (l, h) = bucket_bounds(i);
+                        l <= exact && exact <= h
+                    })
+                    .expect("bucket tiling covers u64"),
+            );
+            assert!(
+                lo <= estimate && estimate <= hi,
+                "q={q} exact={exact} estimate={estimate} bucket=[{lo},{hi}]"
+            );
+            assert!(estimate <= snap.max);
+        }
+    });
+}
+
+#[test]
+fn top_bucket_absorbs_everything_beyond_2_pow_62() {
+    run_cases("obs_top_bucket_saturation", 100, |g| {
+        let h = Histogram::new();
+        let mut huge = 0u64;
+        for _ in 0..g.usize_in(1, 30) {
+            let v = if g.bool(0.5) {
+                huge += 1;
+                (1u64 << 62) + g.u64_below(u64::MAX - (1 << 62))
+            } else {
+                g.u64_below(1 << 62)
+            };
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[BUCKETS - 1], huge);
+        if huge > 0 {
+            // The estimate for the top of the distribution stays inside
+            // the saturated bucket, capped at the observed max.
+            assert!(snap.quantile(1.0) >= 1 << 62);
+            assert!(snap.quantile(1.0) <= snap.max);
+        }
+    });
+}
+
+/// Many threads resolving the same names and hammering the metrics:
+/// every handle resolves to the same slot, nothing is lost, and the
+/// final snapshot adds up exactly.
+#[test]
+fn registry_survives_concurrent_hammering() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 5_000;
+    let registry = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|i| {
+            let registry = Arc::clone(&registry);
+            std::thread::spawn(move || {
+                // Resolve inside the thread, racing the other inserters.
+                let counter = registry.counter("hammer_total");
+                let gauge = registry.gauge("hammer_gauge");
+                let hist = registry.histogram("hammer_ns");
+                for k in 0..PER_THREAD {
+                    counter.inc();
+                    gauge.add(if i % 2 == 0 { 1 } else { -1 });
+                    hist.record(k);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        registry.counter("hammer_total").get(),
+        THREADS as u64 * PER_THREAD
+    );
+    assert_eq!(registry.gauge("hammer_gauge").get(), 0);
+    let snap = registry.histogram("hammer_ns").snapshot();
+    assert_eq!(snap.count, THREADS as u64 * PER_THREAD);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+    assert_eq!(snap.max, PER_THREAD - 1);
+    // The registry listing sees exactly the three hammered metrics.
+    assert_eq!(registry.snapshot().len(), 3);
+}

@@ -2,8 +2,10 @@
 //! journaling and rotation knobs.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
+use corrfuse_obs::Registry;
 use corrfuse_stream::{FsyncPolicy, LogRetention};
 
 use crate::error::{Result, ServeError};
@@ -101,6 +103,14 @@ pub struct RouterConfig {
     /// so scores are unchanged — this caps resident memory in wide or
     /// long-running deployments.
     pub memo_capacity: Option<usize>,
+    /// Observability registry. When set, shard workers record queue
+    /// wait, batch assembly, per-[`corrfuse_stream::RefitLevel`] refit,
+    /// rescore, sketch and journal latencies into named histograms (see
+    /// `docs/OBSERVABILITY.md`), push per-batch traces into the
+    /// registry's trace ring, and each shard session runs with
+    /// `FuserConfig::spans` on. `None` (the default) records nothing —
+    /// no clock reads beyond the always-on per-ingest totals.
+    pub metrics: Option<Arc<Registry>>,
 }
 
 impl RouterConfig {
@@ -119,6 +129,7 @@ impl RouterConfig {
             threshold: 0.5,
             shard_threads: 1,
             memo_capacity: None,
+            metrics: None,
         }
     }
 
@@ -168,6 +179,12 @@ impl RouterConfig {
     /// Bound joint-count memo entries per cluster joint in every shard.
     pub fn with_memo_capacity(mut self, max_entries: usize) -> RouterConfig {
         self.memo_capacity = Some(max_entries);
+        self
+    }
+
+    /// Record shard latencies and batch traces into `registry`.
+    pub fn with_metrics(mut self, registry: Arc<Registry>) -> RouterConfig {
+        self.metrics = Some(registry);
         self
     }
 

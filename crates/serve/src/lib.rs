@@ -35,7 +35,11 @@
 //! * [`shard`] (internal) — the worker loop: batch, translate, ingest,
 //!   rotate the journal on size/age triggers, seal on shutdown.
 //! * [`stats`] — per-shard + aggregate queue depths, batch sizes,
-//!   ingest latency, flips, cache hit rates, rotations.
+//!   ingest latency, flips, cache hit rates, rotations. With a
+//!   [`corrfuse_obs::Registry`] on the config
+//!   ([`RouterConfig::with_metrics`]), workers additionally record
+//!   per-stage latency histograms and batch traces — the metric
+//!   catalog lives in `docs/OBSERVABILITY.md`.
 //!
 //! The subsystem inherits the workspace trust anchor (stated once in
 //! `docs/ARCHITECTURE.md`), per shard: routed, micro-batched, compacted
@@ -101,5 +105,5 @@ pub mod tenant;
 pub use config::{Backpressure, JournalConfig, RouterConfig};
 pub use error::{Result, ServeError};
 pub use router::{ShardRouter, ShardSnapshot};
-pub use stats::{RouterStats, ShardStats};
+pub use stats::{RouterAggregate, RouterStats, ShardQueueStat, ShardStats};
 pub use tenant::{TenantId, TenantMap};

@@ -47,7 +47,9 @@ use corrfuse_stream::{Event, StreamSession};
 use crate::config::RouterConfig;
 use crate::error::{Result, ServeError};
 use crate::queue::{PushError, Queue};
-use crate::shard::{run_worker, Msg, PoisonCell, Progress, ShardCore, ShardHandle, WorkerParams};
+use crate::shard::{
+    run_worker, Msg, PoisonCell, Progress, ShardCore, ShardHandle, ShardSpans, WorkerParams,
+};
 use crate::stats::{RouterStats, ShardStats};
 use crate::tenant::{scoped_source_name, scoped_triple, TenantId, TenantMap};
 
@@ -96,6 +98,13 @@ impl ShardRouter {
         let mut fuser = fuser;
         if config.memo_capacity.is_some() {
             fuser.memo_capacity = config.memo_capacity;
+        }
+        // A metrics registry implies per-stage timing: the shard
+        // sessions collect their stage breakdowns so the worker has
+        // something to record. (`spans` alone, without a registry,
+        // only surfaces timings on each `ScoredDelta`.)
+        if config.metrics.is_some() {
+            fuser.spans = true;
         }
         let n = config.n_shards;
         let mut seen: HashSet<TenantId> = HashSet::new();
@@ -158,6 +167,10 @@ impl ShardRouter {
                 max_batch_events: config.max_batch_events,
                 max_batch_delay: config.max_batch_delay,
                 journal: config.journal.clone(),
+                spans: config
+                    .metrics
+                    .as_ref()
+                    .map(|r| Arc::new(ShardSpans::new(Arc::clone(r), i))),
             };
             let join = std::thread::Builder::new()
                 .name(format!("corrfuse-shard-{i}"))
@@ -215,10 +228,15 @@ impl ShardRouter {
                 reason: reason.clone(),
             });
         }
-        match h
-            .queue
-            .push(Msg { tenant, events }, self.config.backpressure)
-        {
+        let enqueued_at = self.config.metrics.is_some().then(std::time::Instant::now);
+        match h.queue.push(
+            Msg {
+                tenant,
+                events,
+                enqueued_at,
+            },
+            self.config.backpressure,
+        ) {
             Ok(()) => {
                 h.enqueued.fetch_add(1, Ordering::SeqCst);
                 Ok(())

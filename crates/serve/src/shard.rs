@@ -35,6 +35,7 @@ use std::time::{Duration, Instant};
 use corrfuse_core::dataset::{Dataset, Domain, SourceId};
 use corrfuse_core::error::{FusionError, Result as CoreResult};
 use corrfuse_core::triple::{Triple, TripleId};
+use corrfuse_obs::{Histogram, Registry, Span};
 use corrfuse_stream::{Event, RefitLevel, StreamSession};
 
 use crate::config::JournalConfig;
@@ -47,6 +48,58 @@ use crate::tenant::{scoped_source_name, scoped_triple, TenantId, TenantMap};
 pub(crate) struct Msg {
     pub tenant: TenantId,
     pub events: Vec<Event>,
+    /// Front-door enqueue time; `Some` only when the router records
+    /// metrics, so the unobserved path never reads the clock.
+    pub enqueued_at: Option<Instant>,
+}
+
+/// Pre-resolved metric handles for one shard worker. Built once at
+/// router start from [`crate::RouterConfig::metrics`], so the hot path
+/// records into `Arc<Histogram>`s without any registry lookup. Metric
+/// names are the catalog in `docs/OBSERVABILITY.md`; histograms are
+/// shared across shards (one series per stage, per-shard attribution
+/// comes from the trace ring's labels and `ShardStats`).
+#[derive(Debug)]
+pub(crate) struct ShardSpans {
+    pub registry: Arc<Registry>,
+    /// Trace-ring label, `shard-<i>`.
+    pub label: String,
+    /// Front-door enqueue → worker pop, per message.
+    pub queue_wait: Arc<Histogram>,
+    /// First pop → micro-batch sealed, per batch.
+    pub assembly: Arc<Histogram>,
+    /// Whole `StreamSession::ingest` call, per batch.
+    pub ingest: Arc<Histogram>,
+    /// Refit stage on `RefitLevel::Model` batches.
+    pub refit_model: Arc<Histogram>,
+    /// Refit stage on `RefitLevel::Cluster` batches.
+    pub refit_cluster: Arc<Histogram>,
+    /// Refit stage on `RefitLevel::Full` batches.
+    pub refit_full: Arc<Histogram>,
+    /// Re-scoring stage (score-cache lookups + engine scoring).
+    pub rescore: Arc<Histogram>,
+    /// Lift-sketch admission / candidate-rescan stage.
+    pub sketch: Arc<Histogram>,
+    /// Journal append + fsync, per batch (journaling shards only).
+    pub journal: Arc<Histogram>,
+}
+
+impl ShardSpans {
+    pub fn new(registry: Arc<Registry>, shard: usize) -> ShardSpans {
+        ShardSpans {
+            label: format!("shard-{shard}"),
+            queue_wait: registry.histogram("serve_queue_wait_ns"),
+            assembly: registry.histogram("serve_batch_assembly_ns"),
+            ingest: registry.histogram("stream_ingest_ns"),
+            refit_model: registry.histogram("stream_refit_model_ns"),
+            refit_cluster: registry.histogram("stream_refit_cluster_ns"),
+            refit_full: registry.histogram("stream_refit_full_ns"),
+            rescore: registry.histogram("stream_rescore_ns"),
+            sketch: registry.histogram("stream_sketch_ns"),
+            journal: registry.histogram("stream_journal_ns"),
+            registry,
+        }
+    }
 }
 
 /// Permanent poison marker of one shard, shared between the worker
@@ -137,6 +190,8 @@ pub(crate) struct WorkerParams {
     pub max_batch_events: usize,
     pub max_batch_delay: Duration,
     pub journal: Option<JournalConfig>,
+    /// Metric handles; `Some` only when the router records metrics.
+    pub spans: Option<Arc<ShardSpans>>,
 }
 
 /// The shard worker loop. Blocks on the queue, micro-batches messages
@@ -144,12 +199,15 @@ pub(crate) struct WorkerParams {
 /// `max_batch_delay`, applies the batch under the core lock, and seals
 /// the journal on exit (queue closed and drained).
 pub(crate) fn run_worker(p: WorkerParams) {
+    let spans = p.spans.as_deref();
     loop {
         let first = match p.queue.pop_deadline(None) {
             Pop::Item(m) => m,
             Pop::Closed => break,
             Pop::TimedOut => unreachable!("pop without deadline cannot time out"),
         };
+        let assembly = Span::start(spans.is_some());
+        record_queue_wait(spans, &first);
         let mut n_events = first.events.len();
         let mut msgs = vec![first];
         let deadline = Instant::now() + p.max_batch_delay;
@@ -157,6 +215,7 @@ pub(crate) fn run_worker(p: WorkerParams) {
         while n_events < p.max_batch_events {
             match p.queue.pop_deadline(Some(deadline)) {
                 Pop::Item(m) => {
+                    record_queue_wait(spans, &m);
                     n_events += m.events.len();
                     msgs.push(m);
                 }
@@ -167,9 +226,12 @@ pub(crate) fn run_worker(p: WorkerParams) {
                 }
             }
         }
+        if let Some(sp) = spans {
+            assembly.record(&sp.assembly);
+        }
         {
             let mut core = p.core.lock().expect("shard core lock");
-            apply_batch(&mut core, &msgs, p.journal.as_ref());
+            apply_batch(&mut core, &msgs, p.journal.as_ref(), spans);
             core.stats.processed_messages += msgs.len() as u64;
         }
         p.progress.add(msgs.len() as u64);
@@ -188,7 +250,12 @@ pub(crate) fn run_worker(p: WorkerParams) {
 /// message; a poisoned shard applies nothing and counts every message as
 /// an error. Rotation failures are recorded but never retried and never
 /// conflated with batch failures — the journal is merely still large.
-pub(crate) fn apply_batch(core: &mut ShardCore, msgs: &[Msg], journal: Option<&JournalConfig>) {
+pub(crate) fn apply_batch(
+    core: &mut ShardCore,
+    msgs: &[Msg],
+    journal: Option<&JournalConfig>,
+    spans: Option<&ShardSpans>,
+) {
     if msgs.is_empty() {
         return;
     }
@@ -196,7 +263,7 @@ pub(crate) fn apply_batch(core: &mut ShardCore, msgs: &[Msg], journal: Option<&J
         refuse_poisoned(core, msgs.len());
         return;
     }
-    match try_apply(core, msgs) {
+    match try_apply(core, msgs, spans) {
         Ok(()) => {}
         Err(_) if msgs.len() > 1 && core.poison.get().is_none() => {
             // The merged pre-validation failed on some message's input;
@@ -206,7 +273,7 @@ pub(crate) fn apply_batch(core: &mut ShardCore, msgs: &[Msg], journal: Option<&J
                     refuse_poisoned(core, 1);
                     continue;
                 }
-                if let Err(e) = try_apply(core, std::slice::from_ref(m)) {
+                if let Err(e) = try_apply(core, std::slice::from_ref(m), spans) {
                     record_error(core, m.tenant, &e);
                 }
             }
@@ -215,6 +282,15 @@ pub(crate) fn apply_batch(core: &mut ShardCore, msgs: &[Msg], journal: Option<&J
     }
     if let Err(e) = maybe_rotate(core, journal) {
         core.stats.last_error = Some(format!("journal rotation failed: {e}"));
+    }
+}
+
+/// Record a message's front-door-to-pop latency, when both the shard
+/// records metrics and the message carries its enqueue stamp.
+fn record_queue_wait(spans: Option<&ShardSpans>, msg: &Msg) {
+    if let (Some(sp), Some(t)) = (spans, msg.enqueued_at) {
+        let ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        sp.queue_wait.record(ns);
     }
 }
 
@@ -248,7 +324,7 @@ fn is_input_error(e: &FusionError) -> bool {
 
 /// Translate + ingest one batch, committing tenant-map growth only once
 /// the shard dataset actually absorbed it.
-fn try_apply(core: &mut ShardCore, msgs: &[Msg]) -> CoreResult<()> {
+fn try_apply(core: &mut ShardCore, msgs: &[Msg], spans: Option<&ShardSpans>) -> CoreResult<()> {
     let ShardCore {
         session,
         tenants,
@@ -297,14 +373,52 @@ fn try_apply(core: &mut ShardCore, msgs: &[Msg]) -> CoreResult<()> {
     stats.rescored += delta.rescored.len() as u64;
     stats.flips += delta.flips.len() as u64;
     match delta.refit {
-        RefitLevel::None => {}
-        RefitLevel::Model => stats.refit_model += 1,
-        RefitLevel::Cluster => stats.refit_cluster += 1,
-        RefitLevel::Full => stats.refit_full += 1,
+        RefitLevel::None => stats.ingest_ns_none += ns,
+        RefitLevel::Model => {
+            stats.refit_model += 1;
+            stats.ingest_ns_model += ns;
+        }
+        RefitLevel::Cluster => {
+            stats.refit_cluster += 1;
+            stats.ingest_ns_cluster += ns;
+        }
+        RefitLevel::Full => {
+            stats.refit_full += 1;
+            stats.ingest_ns_full += ns;
+        }
     }
     if let Some(r) = delta.reconcile {
         stats.cluster_units_reused += r.reused as u64;
         stats.cluster_units_rebuilt += r.rebuilt as u64;
+    }
+    if let Some(sp) = spans {
+        sp.ingest.record(ns);
+        if delta.journal_ns > 0 {
+            sp.journal.record(delta.journal_ns);
+        }
+        // The session runs with `FuserConfig::spans` on whenever the
+        // router records metrics (see `ShardRouter::new`), so the
+        // per-stage breakdown is present.
+        if let Some(st) = delta.stages {
+            match delta.refit {
+                RefitLevel::None => {}
+                RefitLevel::Model => sp.refit_model.record(st.refit_ns),
+                RefitLevel::Cluster => sp.refit_cluster.record(st.refit_ns),
+                RefitLevel::Full => sp.refit_full.record(st.refit_ns),
+            }
+            sp.rescore.record(st.rescore_ns);
+            sp.sketch.record(st.sketch_ns);
+            sp.registry.traces().push(
+                &sp.label,
+                ns,
+                vec![
+                    ("sketch".to_string(), st.sketch_ns),
+                    ("refit".to_string(), st.refit_ns),
+                    ("rescore".to_string(), st.rescore_ns),
+                    ("journal".to_string(), delta.journal_ns),
+                ],
+            );
+        }
     }
     *batches_since_rotation += 1;
     Ok(())

@@ -48,6 +48,17 @@ pub struct ShardStats {
     pub total_ingest_ns: u64,
     /// Slowest single micro-batch, in nanoseconds.
     pub max_ingest_ns: u64,
+    /// `total_ingest_ns` attributed to fast-path batches
+    /// (`RefitLevel::None`). The four `ingest_ns_*` counters partition
+    /// `total_ingest_ns`, so slow ingests are attributable to their
+    /// refit level without enabling span tracing.
+    pub ingest_ns_none: u64,
+    /// `total_ingest_ns` attributed to `RefitLevel::Model` batches.
+    pub ingest_ns_model: u64,
+    /// `total_ingest_ns` attributed to `RefitLevel::Cluster` batches.
+    pub ingest_ns_cluster: u64,
+    /// `total_ingest_ns` attributed to `RefitLevel::Full` batches.
+    pub ingest_ns_full: u64,
     /// Triples re-scored across all batches.
     pub rescored: u64,
     /// Decision flips across all batches.
@@ -117,6 +128,57 @@ impl ShardStats {
     }
 }
 
+/// One shard's queue pressure, preserved through aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardQueueStat {
+    /// Shard index.
+    pub shard: usize,
+    /// Queue depth at snapshot time.
+    pub depth: usize,
+    /// Queue high-water mark since start.
+    pub high_water: usize,
+}
+
+/// Aggregated router counters plus the per-shard queue detail that a
+/// single summed/maxed row cannot carry.
+///
+/// The workspace-wide maxima in [`RouterAggregate::totals`] say *how
+/// hot* the hottest queue got but not *which* shard it was, or whether
+/// the pressure was one skewed shard or uniform load —
+/// [`RouterAggregate::queue`] keeps that, as groundwork for
+/// queue-depth-driven rebalancing (ROADMAP item 4).
+///
+/// Derefs to [`ShardStats`] (the totals row), so existing callers of
+/// [`RouterStats::aggregate`] keep reading summed counters field-for-
+/// field unchanged.
+#[derive(Debug, Clone)]
+pub struct RouterAggregate {
+    /// Summed/maxed counters across shards (`shard` holds the shard
+    /// count; see [`RouterStats::aggregate`] for the folding rules).
+    pub totals: ShardStats,
+    /// Per-shard queue depth and high-water mark, in shard order.
+    pub queue: Vec<ShardQueueStat>,
+}
+
+impl std::ops::Deref for RouterAggregate {
+    type Target = ShardStats;
+
+    fn deref(&self) -> &ShardStats {
+        &self.totals
+    }
+}
+
+impl RouterAggregate {
+    /// The shard whose queue high-water mark is largest (ties resolve
+    /// to the lowest shard index); `None` with no shards.
+    pub fn hottest_shard(&self) -> Option<ShardQueueStat> {
+        self.queue
+            .iter()
+            .copied()
+            .max_by(|a, b| a.high_water.cmp(&b.high_water).then(b.shard.cmp(&a.shard)))
+    }
+}
+
 /// Stats for every shard plus aggregate views.
 #[derive(Debug, Clone, Default)]
 pub struct RouterStats {
@@ -125,15 +187,22 @@ pub struct RouterStats {
 }
 
 impl RouterStats {
-    /// Sum/max the per-shard counters into one aggregate row. `shard` is
-    /// the shard count, `queue_depth`/`max_queue_depth` are maxima,
+    /// Fold the per-shard counters into one aggregate row, keeping the
+    /// per-shard queue detail alongside. In the totals, `shard` is the
+    /// shard count, `queue_depth`/`max_queue_depth` are maxima,
     /// `last_error` is the first one found; everything else sums.
-    pub fn aggregate(&self) -> ShardStats {
+    pub fn aggregate(&self) -> RouterAggregate {
         let mut agg = ShardStats {
             shard: self.shards.len(),
             ..ShardStats::default()
         };
+        let mut queue = Vec::with_capacity(self.shards.len());
         for s in &self.shards {
+            queue.push(ShardQueueStat {
+                shard: s.shard,
+                depth: s.queue_depth,
+                high_water: s.max_queue_depth,
+            });
             agg.tenants += s.tenants;
             agg.enqueued_messages += s.enqueued_messages;
             agg.rejected_messages += s.rejected_messages;
@@ -151,6 +220,10 @@ impl RouterStats {
             agg.max_batch_events = agg.max_batch_events.max(s.max_batch_events);
             agg.total_ingest_ns += s.total_ingest_ns;
             agg.max_ingest_ns = agg.max_ingest_ns.max(s.max_ingest_ns);
+            agg.ingest_ns_none += s.ingest_ns_none;
+            agg.ingest_ns_model += s.ingest_ns_model;
+            agg.ingest_ns_cluster += s.ingest_ns_cluster;
+            agg.ingest_ns_full += s.ingest_ns_full;
             agg.rescored += s.rescored;
             agg.flips += s.flips;
             agg.refit_model += s.refit_model;
@@ -170,7 +243,7 @@ impl RouterStats {
             agg.n_sources += s.n_sources;
             agg.log_dropped_events += s.log_dropped_events;
         }
-        agg
+        RouterAggregate { totals: agg, queue }
     }
 }
 
@@ -193,6 +266,9 @@ mod tests {
                     max_queue_depth: 5,
                     max_ingest_ns: 50,
                     total_ingest_ns: 100,
+                    ingest_ns_none: 40,
+                    ingest_ns_model: 50,
+                    ingest_ns_cluster: 10,
                     journal_bytes: Some(1000),
                     refit_model: 2,
                     refit_cluster: 1,
@@ -221,6 +297,8 @@ mod tests {
                     max_queue_depth: 4,
                     max_ingest_ns: 80,
                     total_ingest_ns: 80,
+                    ingest_ns_model: 30,
+                    ingest_ns_full: 50,
                     journal_bytes: Some(500),
                     last_error: Some("boom".into()),
                     refit_model: 1,
@@ -249,6 +327,15 @@ mod tests {
         assert_eq!(agg.queue_depth, 4);
         assert_eq!(agg.max_queue_depth, 5);
         assert_eq!(agg.max_ingest_ns, 80);
+        assert_eq!(
+            (
+                agg.ingest_ns_none,
+                agg.ingest_ns_model,
+                agg.ingest_ns_cluster,
+                agg.ingest_ns_full
+            ),
+            (40, 80, 10, 50)
+        );
         assert_eq!(agg.journal_bytes, Some(1500));
         assert_eq!(agg.last_error.as_deref(), Some("boom"));
         assert_eq!(
@@ -278,5 +365,46 @@ mod tests {
         assert!((agg.mean_ingest_ns() - 36.0).abs() < 1e-9);
         assert_eq!(ShardStats::default().mean_batch_events(), 0.0);
         assert_eq!(ShardStats::default().mean_ingest_ns(), 0.0);
+
+        // The aggregate keeps the per-shard queue detail the summed row
+        // can't carry: shard 1 had the deeper standing queue, shard 0
+        // the higher high-water mark.
+        assert_eq!(
+            agg.queue,
+            vec![
+                ShardQueueStat {
+                    shard: 0,
+                    depth: 1,
+                    high_water: 5,
+                },
+                ShardQueueStat {
+                    shard: 1,
+                    depth: 4,
+                    high_water: 4,
+                },
+            ]
+        );
+        assert_eq!(agg.hottest_shard().map(|q| q.shard), Some(0));
+    }
+
+    #[test]
+    fn hottest_shard_handles_edge_cases() {
+        assert!(RouterStats::default().aggregate().hottest_shard().is_none());
+        // Ties resolve to the lowest shard index.
+        let tied = RouterStats {
+            shards: vec![
+                ShardStats {
+                    shard: 0,
+                    max_queue_depth: 7,
+                    ..ShardStats::default()
+                },
+                ShardStats {
+                    shard: 1,
+                    max_queue_depth: 7,
+                    ..ShardStats::default()
+                },
+            ],
+        };
+        assert_eq!(tied.aggregate().hottest_shard().map(|q| q.shard), Some(0));
     }
 }

@@ -58,6 +58,7 @@ use corrfuse_core::fuser::{ClusterReconcile, ClusterStrategy, Fuser, FuserConfig
 use corrfuse_core::joint::{CacheStats, JointDeltaStats};
 use corrfuse_core::quality::{quality_from_counts, SourceQuality};
 use corrfuse_core::triple::TripleId;
+use corrfuse_obs::Span;
 
 use crate::cache::{ScoreCache, ScoreKey};
 use crate::event::Event;
@@ -94,6 +95,20 @@ pub struct ScoredTriple {
     pub after: f64,
 }
 
+/// Per-stage wall-clock breakdown of one ingest, collected only when
+/// [`FuserConfig::spans`] is on (see `docs/OBSERVABILITY.md` for the
+/// stage map). Stages don't sum to the outcome's `elapsed_ns`: event
+/// application and bookkeeping run between them untimed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Lift-sketch admission / candidate rescan time.
+    pub sketch_ns: u64,
+    /// Model/cluster/full refit time (0 on a [`RefitLevel::None`] batch).
+    pub refit_ns: u64,
+    /// Re-scoring time through the engine.
+    pub rescore_ns: u64,
+}
+
 /// What one [`IncrementalFuser::ingest`] call did.
 #[derive(Debug, Clone)]
 pub struct IngestOutcome {
@@ -106,6 +121,13 @@ pub struct IngestOutcome {
     /// On a [`RefitLevel::Cluster`] batch, how many cluster units were
     /// reused vs. refitted by the re-clustering.
     pub reconcile: Option<ClusterReconcile>,
+    /// End-to-end ingest time in nanoseconds. Always measured — two
+    /// clock reads per batch — so callers can attribute slow ingests to
+    /// their [`RefitLevel`] without enabling full tracing.
+    pub elapsed_ns: u64,
+    /// Per-stage breakdown; `Some` only when [`FuserConfig::spans`] is
+    /// enabled.
+    pub stages: Option<StageTimings>,
 }
 
 /// Dirt accumulated while applying one batch of events.
@@ -253,6 +275,8 @@ impl IncrementalFuser {
     /// the batch; treat the session as poisoned then and rebuild it from
     /// the journal or a snapshot.
     pub fn ingest(&mut self, batch: &[Event], engine: &ScoringEngine) -> Result<IngestOutcome> {
+        let spans = self.config.spans;
+        let total_span = Span::start(true);
         self.validate_batch(batch)?;
         let stats_before = self.cache.stats();
         let dirt = self.apply(batch)?;
@@ -261,6 +285,7 @@ impl IncrementalFuser {
         // and refit only if the partition differs. (Scope expansions can
         // move pair counts without dirtying the quality model, so this
         // check is independent of `dirt.model`.)
+        let sketch_span = Span::start(spans);
         let mut new_clustering: Option<Clustering> = None;
         if !dirt.full {
             if let Some(lift) = &mut self.lift {
@@ -273,6 +298,7 @@ impl IncrementalFuser {
                 }
             }
         }
+        let sketch_ns = sketch_span.elapsed_ns();
         let refit = if dirt.full {
             RefitLevel::Full
         } else if new_clustering.is_some() {
@@ -283,6 +309,7 @@ impl IncrementalFuser {
             RefitLevel::None
         };
         let mut reconcile = None;
+        let refit_span = Span::start(spans);
         match refit {
             RefitLevel::Full => {
                 let gold = self.ds.require_gold()?.clone();
@@ -314,6 +341,8 @@ impl IncrementalFuser {
                 }
             }
         }
+        let refit_ns = refit_span.elapsed_ns();
+        let rescore_span = Span::start(spans);
         let rescored = match refit {
             RefitLevel::None => {
                 let dirty: Vec<TripleId> = dirt.touched.iter().copied().collect();
@@ -324,6 +353,7 @@ impl IncrementalFuser {
                 self.rescore(&all, engine)?
             }
         };
+        let rescore_ns = rescore_span.elapsed_ns();
         let stats_after = self.cache.stats();
         Ok(IngestOutcome {
             refit,
@@ -333,6 +363,12 @@ impl IncrementalFuser {
                 misses: stats_after.misses - stats_before.misses,
             },
             reconcile,
+            elapsed_ns: total_span.elapsed_ns(),
+            stages: spans.then_some(StageTimings {
+                sketch_ns,
+                refit_ns,
+                rescore_ns,
+            }),
         })
     }
 

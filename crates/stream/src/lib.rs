@@ -96,6 +96,6 @@ pub mod session;
 
 pub use cache::ScoreCache;
 pub use event::{DeltaLog, Event, LogRetention};
-pub use incremental::{IncrementalFuser, IngestOutcome, RefitLevel, ScoredTriple};
+pub use incremental::{IncrementalFuser, IngestOutcome, RefitLevel, ScoredTriple, StageTimings};
 pub use journal::{FsyncPolicy, JournalWriter};
 pub use session::{RecoveryReport, ScoredDelta, StreamSession};

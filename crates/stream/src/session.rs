@@ -9,9 +9,10 @@ use corrfuse_core::engine::ScoringEngine;
 use corrfuse_core::error::Result;
 use corrfuse_core::fuser::{ClusterReconcile, Fuser, FuserConfig};
 use corrfuse_core::joint::{CacheStats, JointDeltaStats};
+use corrfuse_obs::Span;
 
 use crate::event::{DeltaLog, Event, LogRetention};
-use crate::incremental::{IncrementalFuser, RefitLevel, ScoredTriple};
+use crate::incremental::{IncrementalFuser, RefitLevel, ScoredTriple, StageTimings};
 use crate::journal::{FsyncPolicy, JournalWriter};
 
 /// What one ingested batch changed, from the caller's point of view.
@@ -30,6 +31,15 @@ pub struct ScoredDelta {
     /// On a [`RefitLevel::Cluster`] batch, how many cluster units the
     /// re-clustering reused vs. refitted.
     pub reconcile: Option<ClusterReconcile>,
+    /// End-to-end apply+rescore time in nanoseconds (always measured,
+    /// journal append excluded) — attribute it via `refit`.
+    pub elapsed_ns: u64,
+    /// Journal append + fsync time in nanoseconds; 0 when the session
+    /// isn't journaling.
+    pub journal_ns: u64,
+    /// Per-stage breakdown, `Some` only when the session's
+    /// [`FuserConfig::spans`] toggle is on.
+    pub stages: Option<StageTimings>,
 }
 
 /// A live fusion session: seed snapshot + stream of micro-batches.
@@ -300,8 +310,11 @@ impl StreamSession {
         let outcome = self.inc.ingest(batch, &self.engine)?;
         self.log.push_batch(batch);
         self.apply_retention();
+        let mut journal_ns = 0;
         if let Some(journal) = &mut self.journal {
+            let journal_span = Span::start(true);
             journal.append_batch(batch)?;
+            journal_ns = journal_span.elapsed_ns();
         }
         let flips = outcome
             .rescored
@@ -318,6 +331,9 @@ impl StreamSession {
             flips,
             cache: outcome.cache,
             reconcile: outcome.reconcile,
+            elapsed_ns: outcome.elapsed_ns,
+            journal_ns,
+            stages: outcome.stages,
         })
     }
 

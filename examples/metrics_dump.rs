@@ -1,0 +1,112 @@
+//! Observability walkthrough: run a metrics-enabled server, stream a
+//! workload through a loopback client, fetch the self-describing
+//! `METRICS` snapshot, and print it as Prometheus-style text.
+//!
+//! ```sh
+//! cargo run --release --example metrics_dump            # default port 7272
+//! cargo run --release --example metrics_dump -- 0      # ephemeral port
+//! ```
+//!
+//! One registry is shared by the shard workers (per-stage latency
+//! histograms, batch traces) and the connection handlers (per-frame-type
+//! wire histograms); the same snapshot the server would export locally
+//! travels over the `METRICS` frame, so the readout below is exactly
+//! what a remote operator sees. `docs/OBSERVABILITY.md` catalogs every
+//! series printed here.
+
+use std::sync::Arc;
+
+use corrfuse::core::fuser::{FuserConfig, Method};
+use corrfuse::net::{Client, Server, ServerConfig, WireMetric, WireMetricValue};
+use corrfuse::obs::{export::render_text, Registry};
+use corrfuse::serve::{RouterConfig, ShardRouter, TenantId};
+use corrfuse::synth::{multi_tenant_events, MultiTenantSpec};
+
+fn main() {
+    let port: u16 = std::env::args()
+        .nth(1)
+        .map(|p| p.parse().expect("port must be a number"))
+        .unwrap_or(7272);
+
+    // Shared registry: router workers and server handlers record into
+    // the same table, so one METRICS fetch sees the whole pipeline.
+    let registry = Arc::new(Registry::new());
+
+    let spec = MultiTenantSpec::new(3, 150, 2026);
+    let stream = multi_tenant_events(&spec).expect("workload generates");
+    let router = ShardRouter::new(
+        FuserConfig::new(Method::Exact),
+        RouterConfig::new(2).with_metrics(Arc::clone(&registry)),
+        stream
+            .seeds
+            .iter()
+            .map(|(t, ds)| (TenantId(*t), ds.clone()))
+            .collect(),
+    )
+    .expect("router constructs");
+
+    let server = Server::bind(
+        ("127.0.0.1", port),
+        router,
+        ServerConfig::new()
+            .with_max_connections(4)
+            .with_metrics(Arc::clone(&registry)),
+    )
+    .expect("server binds");
+    let addr = server.local_addr().expect("bound address");
+    println!("metrics_dump: server on {addr}, streaming workload…");
+    let (handle, join) = corrfuse::net::server::spawn(server).expect("server spawns");
+
+    // Stream the multi-tenant workload through the wire, then barrier so
+    // every stage histogram has recorded before the snapshot.
+    let mut client = Client::connect(addr.to_string()).expect("client connects");
+    for (tenant, events) in &stream.messages {
+        client
+            .ingest(TenantId(*tenant), events)
+            .expect("batch accepted");
+    }
+    client.flush().expect("read-your-writes barrier");
+
+    let metrics = client.metrics().expect("METRICS reply");
+    assert!(!metrics.is_empty(), "exposition must not be empty");
+
+    // Render the remote snapshot exactly like a local registry dump.
+    println!(
+        "\n== Prometheus-style exposition ({} series) ==",
+        metrics.len()
+    );
+    print!("{}", render_text(&WireMetric::to_samples(&metrics)));
+
+    // Quantile readout of the stage histograms, via the wire shape.
+    println!("== stage latency quantiles ==");
+    for m in &metrics {
+        if let WireMetricValue::Histogram(h) = &m.value {
+            if h.count == 0 {
+                continue;
+            }
+            let snap = h.to_snapshot();
+            println!(
+                "{}: n={} p50={}ns p90={}ns p99={}ns max={}ns",
+                m.name,
+                h.count,
+                snap.p50(),
+                snap.p90(),
+                snap.p99(),
+                snap.max,
+            );
+        }
+    }
+
+    // The server-side trace ring kept the last batches' stage
+    // breakdowns; dump them as JSON lines (newest last).
+    let traces = registry.traces().dump_json_lines();
+    println!(
+        "\n== last {} batch traces (JSON lines) ==",
+        registry.traces().len()
+    );
+    print!("{traces}");
+
+    handle.stop();
+    join.join().expect("server thread").expect("clean stop");
+    println!("\nmetrics_dump: done");
+}

@@ -21,6 +21,10 @@
 //!   frames carrying journal-codec event batches), a blocking TCP
 //!   server owning a `ShardRouter`, and a pipelined reconnecting
 //!   client. Spec in `docs/PROTOCOL.md`.
+//! * [`obs`] (`corrfuse-obs`) — zero-dependency observability: the
+//!   lock-free metric registry, log₂ latency histograms, span timers
+//!   and the bounded batch-trace ring. Catalog in
+//!   `docs/OBSERVABILITY.md`.
 //! * [`baselines`] (`corrfuse-baselines`) — UNION-K voting, 2-/3-Estimates,
 //!   Cosine, the Latent Truth Model, and ACCU/AccuCopy.
 //! * [`synth`] (`corrfuse-synth`) — the Figure 1 example, parametric
@@ -34,6 +38,7 @@ pub use corrfuse_baselines as baselines;
 pub use corrfuse_core as core;
 pub use corrfuse_eval as eval;
 pub use corrfuse_net as net;
+pub use corrfuse_obs as obs;
 pub use corrfuse_serve as serve;
 pub use corrfuse_stream as stream;
 pub use corrfuse_synth as synth;
