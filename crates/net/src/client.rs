@@ -368,7 +368,27 @@ impl Client {
     /// identical to in-process `ShardRouter::scores`.
     pub fn scores(&mut self, tenant: TenantId) -> Result<Vec<f64>> {
         self.sync()?;
-        match self.request(Request::Scores { tenant })? {
+        match self.request(Request::Scores {
+            tenant,
+            min_epoch: None,
+        })? {
+            Response::ScoresOk { scores } => Ok(scores),
+            other => unexpected("SCORES_OK", other),
+        }
+    }
+
+    /// Bounded-staleness scores: like [`Client::scores`], but the
+    /// answering server (typically a read replica) must have reached
+    /// `min_epoch` on the tenant's shard. A server that has not yet
+    /// caught up answers with the **retryable** `STALE` error
+    /// ([`ErrorCode::Stale`], surfaced as [`NetError::Remote`]) — back
+    /// off and resend, or read from the leader.
+    pub fn scores_at(&mut self, tenant: TenantId, min_epoch: u64) -> Result<Vec<f64>> {
+        self.sync()?;
+        match self.request(Request::Scores {
+            tenant,
+            min_epoch: Some(min_epoch),
+        })? {
             Response::ScoresOk { scores } => Ok(scores),
             other => unexpected("SCORES_OK", other),
         }
@@ -377,7 +397,22 @@ impl Client {
     /// Accept/reject decisions of `tenant` at the router threshold.
     pub fn decisions(&mut self, tenant: TenantId) -> Result<Vec<bool>> {
         self.sync()?;
-        match self.request(Request::Decisions { tenant })? {
+        match self.request(Request::Decisions {
+            tenant,
+            min_epoch: None,
+        })? {
+            Response::DecisionsOk { decisions } => Ok(decisions),
+            other => unexpected("DECISIONS_OK", other),
+        }
+    }
+
+    /// Bounded-staleness decisions; see [`Client::scores_at`].
+    pub fn decisions_at(&mut self, tenant: TenantId, min_epoch: u64) -> Result<Vec<bool>> {
+        self.sync()?;
+        match self.request(Request::Decisions {
+            tenant,
+            min_epoch: Some(min_epoch),
+        })? {
             Response::DecisionsOk { decisions } => Ok(decisions),
             other => unexpected("DECISIONS_OK", other),
         }
@@ -386,7 +421,20 @@ impl Client {
     /// Per-connection and per-shard statistics.
     pub fn stats(&mut self) -> Result<WireStats> {
         self.sync()?;
-        match self.request(Request::Stats)? {
+        match self.request(Request::Stats { min_epoch: None })? {
+            Response::StatsOk { stats } => Ok(stats),
+            other => unexpected("STATS_OK", other),
+        }
+    }
+
+    /// Bounded-staleness statistics: every shard in the reply must have
+    /// reached `min_epoch`; see [`Client::scores_at`]. The leader
+    /// ignores the floor (its stats are never stale).
+    pub fn stats_at(&mut self, min_epoch: u64) -> Result<WireStats> {
+        self.sync()?;
+        match self.request(Request::Stats {
+            min_epoch: Some(min_epoch),
+        })? {
             Response::StatsOk { stats } => Ok(stats),
             other => unexpected("STATS_OK", other),
         }

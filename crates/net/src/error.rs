@@ -34,6 +34,11 @@ pub enum ErrorCode {
     Forbidden = 7,
     /// Any other server-side failure.
     Internal = 8,
+    /// A bounded-staleness read (`min_epoch` on `SCORES` / `DECISIONS`
+    /// / `STATS`) demanded an epoch the answering replica has not
+    /// reached. **Retryable** — the replica is catching up; back off
+    /// and resend, or lower `min_epoch`.
+    Stale = 9,
 }
 
 impl ErrorCode {
@@ -49,15 +54,18 @@ impl ErrorCode {
             ShuttingDown,
             Forbidden,
             Internal,
+            Stale,
         ]
         .into_iter()
         .find(|c| *c as u16 == code)
     }
 
     /// Whether a client may retry the exact same request and expect it
-    /// to eventually succeed. Only [`ErrorCode::Busy`] qualifies.
+    /// to eventually succeed. [`ErrorCode::Busy`] (queue pressure
+    /// drains) and [`ErrorCode::Stale`] (the replica catches up)
+    /// qualify.
     pub fn is_retryable(self) -> bool {
-        matches!(self, ErrorCode::Busy)
+        matches!(self, ErrorCode::Busy | ErrorCode::Stale)
     }
 }
 
@@ -72,6 +80,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::ShuttingDown => "SHUTTING_DOWN",
             ErrorCode::Forbidden => "FORBIDDEN",
             ErrorCode::Internal => "INTERNAL",
+            ErrorCode::Stale => "STALE",
         };
         write!(f, "{name}({})", *self as u16)
     }
@@ -87,6 +96,7 @@ pub fn code_of(e: &ServeError) -> ErrorCode {
         ServeError::ShardPoisoned { .. } => ErrorCode::ShardPoisoned,
         ServeError::UnknownTenant(_) => ErrorCode::UnknownTenant,
         ServeError::ShuttingDown => ErrorCode::ShuttingDown,
+        ServeError::Stale { .. } => ErrorCode::Stale,
         _ => ErrorCode::Internal,
     }
 }

@@ -67,6 +67,13 @@ pub enum FrameType {
     /// latency histograms); the growable successor to the fixed-width
     /// [`FrameType::Stats`] records.
     Metrics = 0x09,
+    /// Open a replication subscription on one shard. On success the
+    /// connection leaves request/response and enters **replication
+    /// mode** (see `docs/PROTOCOL.md` §7).
+    Subscribe = 0x0A,
+    /// Follower acknowledgement that every batch up to the carried
+    /// epoch is applied. Replication mode only; elicits no response.
+    EpochAck = 0x0B,
 
     /// Positive reply to [`FrameType::Hello`].
     HelloOk = 0x81,
@@ -86,13 +93,20 @@ pub enum FrameType {
     ShutdownOk = 0x88,
     /// Metrics payload (length-prefixed name/tag/value entries).
     MetricsOk = 0x89,
+    /// Positive reply to [`FrameType::Subscribe`]: how the follower
+    /// bootstraps (resume or dataset snapshot). Everything after it on
+    /// the connection is server-pushed [`FrameType::Batch`] frames.
+    SubscribeOk = 0x8A,
+    /// One replicated batch, pushed leader → follower unsolicited
+    /// (replication mode only).
+    Batch = 0x8B,
     /// Typed error reply (`u16` code + UTF-8 message).
     Error = 0x8F,
 }
 
 impl FrameType {
     /// All frame types, for exhaustive round-trip tests.
-    pub const ALL: [FrameType; 19] = [
+    pub const ALL: [FrameType; 23] = [
         FrameType::Hello,
         FrameType::Ingest,
         FrameType::Scores,
@@ -102,6 +116,8 @@ impl FrameType {
         FrameType::Ping,
         FrameType::Shutdown,
         FrameType::Metrics,
+        FrameType::Subscribe,
+        FrameType::EpochAck,
         FrameType::HelloOk,
         FrameType::IngestOk,
         FrameType::ScoresOk,
@@ -111,6 +127,8 @@ impl FrameType {
         FrameType::Pong,
         FrameType::ShutdownOk,
         FrameType::MetricsOk,
+        FrameType::SubscribeOk,
+        FrameType::Batch,
         FrameType::Error,
     ];
 
@@ -138,6 +156,8 @@ impl FrameType {
             FrameType::Ping => "ping",
             FrameType::Shutdown => "shutdown",
             FrameType::Metrics => "metrics",
+            FrameType::Subscribe => "subscribe",
+            FrameType::EpochAck => "epoch_ack",
             FrameType::HelloOk => "hello_ok",
             FrameType::IngestOk => "ingest_ok",
             FrameType::ScoresOk => "scores_ok",
@@ -147,6 +167,8 @@ impl FrameType {
             FrameType::Pong => "pong",
             FrameType::ShutdownOk => "shutdown_ok",
             FrameType::MetricsOk => "metrics_ok",
+            FrameType::SubscribeOk => "subscribe_ok",
+            FrameType::Batch => "batch",
             FrameType::Error => "error",
         }
     }

@@ -100,4 +100,5 @@ pub use frame::{Frame, FrameError, FrameType};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use wire::{
     Request, Response, WireHistogram, WireMetric, WireMetricValue, WireShardStats, WireStats,
+    WireSubscriptionStart,
 };

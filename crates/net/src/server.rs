@@ -34,15 +34,16 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use corrfuse_obs::{Histogram, MetricSample, MetricValue, Registry, Span};
-use corrfuse_serve::{RouterStats, ServeError, ShardRouter};
+use corrfuse_serve::queue::Pop;
+use corrfuse_serve::{RouterStats, ServeError, ShardRouter, Subscription, SubscriptionStart};
 
 use crate::error::{code_of, ErrorCode, NetError, Result};
 use crate::frame::{Frame, FrameType, VERSION};
 use crate::sync::Semaphore;
-use crate::wire::{Request, Response, WireMetric, WireStats};
+use crate::wire::{Request, Response, WireMetric, WireStats, WireSubscriptionStart};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -318,7 +319,8 @@ impl ConnSpans {
 /// deliberately do not carry, and per-shard queue-pressure gauges.
 fn metrics_response(registry: Option<&Arc<Registry>>, router: &ShardRouter) -> Response {
     let mut samples = registry.map(|r| r.snapshot()).unwrap_or_default();
-    let agg = router.stats().aggregate();
+    let stats = router.stats();
+    let agg = stats.aggregate();
     let counter = |name: &str, v: u64| MetricSample {
         name: name.to_string(),
         value: MetricValue::Counter(v),
@@ -370,6 +372,24 @@ fn metrics_response(registry: Option<&Arc<Registry>>, router: &ShardRouter) -> R
             q.high_water as i64,
         ));
     }
+    // Replication epochs and lag. The lag gauge counts only shards with
+    // a live subscriber — an idle tap is not "behind", it has no
+    // follower to be behind.
+    let mut lag: u64 = 0;
+    for s in &stats.shards {
+        samples.push(gauge(
+            &format!("serve_epoch_shard_{}", s.shard),
+            s.epoch as i64,
+        ));
+        samples.push(gauge(
+            &format!("replica_applied_epoch_shard_{}", s.shard),
+            s.replica_acked_epoch as i64,
+        ));
+        if s.replica_subscribers > 0 {
+            lag += s.epoch.saturating_sub(s.replica_acked_epoch);
+        }
+    }
+    samples.push(gauge("replica_lag_batches", lag as i64));
     samples.sort_by(|a, b| a.name.cmp(&b.name));
     Response::MetricsOk {
         metrics: WireMetric::from_samples(&samples),
@@ -456,19 +476,34 @@ fn handle_connection(
                     }
                 }
             }
-            Request::Scores { tenant } => match router.scores(tenant) {
-                Ok(scores) => Response::ScoresOk { scores },
-                Err(e) => error_response(&e),
-            },
-            Request::Decisions { tenant } => match router.decisions(tenant) {
-                Ok(decisions) => Response::DecisionsOk { decisions },
-                Err(e) => error_response(&e),
-            },
+            Request::Scores { tenant, min_epoch } => {
+                let result = match min_epoch {
+                    Some(e) => router.scores_at(tenant, e),
+                    None => router.scores(tenant),
+                };
+                match result {
+                    Ok(scores) => Response::ScoresOk { scores },
+                    Err(e) => error_response(&e),
+                }
+            }
+            Request::Decisions { tenant, min_epoch } => {
+                let result = match min_epoch {
+                    Some(e) => router.decisions_at(tenant, e),
+                    None => router.decisions(tenant),
+                };
+                match result {
+                    Ok(decisions) => Response::DecisionsOk { decisions },
+                    Err(e) => error_response(&e),
+                }
+            }
             Request::Flush => match router.flush() {
                 Ok(()) => Response::FlushOk,
                 Err(e) => error_response(&e),
             },
-            Request::Stats => {
+            // `min_epoch` is ignored on the leader: its stats are the
+            // authoritative present. Followers gate on their applied
+            // epoch before answering.
+            Request::Stats { min_epoch: _ } => {
                 let mut wire = WireStats::from_router(&router.stats());
                 wire.conn_frames = stats.frames;
                 wire.conn_batches = stats.batches;
@@ -488,6 +523,28 @@ fn handle_connection(
                     }
                 }
             }
+            Request::Subscribe { shard, from_epoch } => {
+                if stop.load(Ordering::SeqCst) {
+                    Response::Error {
+                        code: ErrorCode::ShuttingDown,
+                        message: "server is stopping".to_string(),
+                    }
+                } else {
+                    match router.subscribe(shard as usize, from_epoch) {
+                        // The connection leaves request/response for
+                        // good: `replicate` owns it until the follower
+                        // disconnects or the subscription closes.
+                        Ok((start, sub)) => {
+                            return replicate(stream, router, shard as usize, start, sub)
+                        }
+                        Err(e) => error_response(&e),
+                    }
+                }
+            }
+            Request::EpochAck { .. } => Response::Error {
+                code: ErrorCode::Malformed,
+                message: "EPOCH_ACK is only valid in replication mode".to_string(),
+            },
         };
         if let Some(sp) = spans.as_mut() {
             sp.record("handle", req_kind, handle_span.elapsed_ns());
@@ -523,6 +580,103 @@ fn error_response(e: &ServeError) -> Response {
         code: code_of(e),
         message: e.to_string(),
     }
+}
+
+/// Replication mode: after the `SUBSCRIBE_OK` goes out, a pusher thread
+/// streams the subscription's `BATCH` frames over the write half while
+/// this thread reads `EPOCH_ACK`s off the read half (the one protocol
+/// state where the server sends unsolicited frames — `docs/PROTOCOL.md`
+/// §7). Any other client frame is a protocol violation that ends the
+/// connection; the follower resubscribes from its applied epoch.
+fn replicate(
+    stream: TcpStream,
+    router: &ShardRouter,
+    shard: usize,
+    start: SubscriptionStart,
+    sub: Subscription,
+) -> Result<()> {
+    let mut reader = stream.try_clone()?;
+    let mut writer = stream;
+    let start = match start {
+        SubscriptionStart::Resume => WireSubscriptionStart::Resume,
+        SubscriptionStart::Snapshot {
+            epoch,
+            dataset,
+            threshold,
+        } => WireSubscriptionStart::Snapshot {
+            epoch,
+            threshold,
+            dataset,
+        },
+    };
+    let frame = Response::SubscribeOk { start }.to_frame();
+    if !frame.fits() {
+        // A snapshot dataset past MAX_PAYLOAD cannot be bootstrapped
+        // over this protocol version; report instead of wedging the
+        // peer's decoder.
+        let err = frame.oversize_error();
+        Response::Error {
+            code: ErrorCode::Internal,
+            message: err.to_string(),
+        }
+        .to_frame()
+        .write_to(&mut writer)?;
+        writer.flush()?;
+        return Err(NetError::Frame(err));
+    }
+    frame.write_to(&mut writer)?;
+    writer.flush()?;
+    // Shutdown story: the pusher wakes on `done` (ack reader exited),
+    // on the subscription closing (router shutdown, or the tap dropped
+    // a fallen-behind follower), or on a write failure; it then shuts
+    // the socket down, which unblocks the ack reader. Neither thread
+    // can strand the other.
+    let done = Arc::new(AtomicBool::new(false));
+    let push_done = Arc::clone(&done);
+    let pusher = std::thread::Builder::new()
+        .name("corrfuse-net-push".to_string())
+        .spawn(move || {
+            while !push_done.load(Ordering::SeqCst) {
+                match sub.recv_deadline(Some(Instant::now() + Duration::from_millis(50))) {
+                    Pop::Item(b) => {
+                        let frame = Response::Batch {
+                            epoch: b.epoch,
+                            text: b.text,
+                        }
+                        .to_frame();
+                        let sent = frame
+                            .write_to(&mut writer)
+                            .and_then(|()| Ok(writer.flush()?));
+                        if sent.is_err() {
+                            break;
+                        }
+                    }
+                    Pop::TimedOut => continue,
+                    Pop::Closed => break,
+                }
+            }
+            let _ = writer.shutdown(std::net::Shutdown::Both);
+        })?;
+    let result = loop {
+        match Frame::read_from(&mut reader) {
+            Ok(Some(frame)) => match Request::from_frame(&frame) {
+                Ok(Request::EpochAck { shard: s, epoch }) if s as usize == shard => {
+                    let _ = router.record_ack(shard, epoch);
+                }
+                Ok(other) => {
+                    break Err(NetError::Protocol(format!(
+                        "{other:?} is not valid in replication mode"
+                    )))
+                }
+                Err(e) => break Err(NetError::Frame(e)),
+            },
+            Ok(None) => break Ok(()), // follower left cleanly
+            Err(e) => break Err(e),
+        }
+    };
+    done.store(true, Ordering::SeqCst);
+    let _ = pusher.join();
+    result
 }
 
 /// The HELLO handshake, server side: the first frame must be a HELLO

@@ -40,16 +40,31 @@ pub enum Request {
     Scores {
         /// The queried tenant.
         tenant: TenantId,
+        /// Bounded-staleness floor: answer only from state that has
+        /// reached this epoch on the tenant's shard, else reply
+        /// `STALE`. `None` (the wire default — the field is an optional
+        /// trailing u64, absent in pre-replication encodings) reads
+        /// whatever is current. The leader is authoritative and always
+        /// satisfies the floor it has reached; followers gate on their
+        /// applied epoch.
+        min_epoch: Option<u64>,
     },
     /// Accept/reject decisions of one tenant.
     Decisions {
         /// The queried tenant.
         tenant: TenantId,
+        /// Bounded-staleness floor; see [`Request::Scores::min_epoch`].
+        min_epoch: Option<u64>,
     },
     /// Read-your-writes barrier over the whole router.
     Flush,
     /// Per-connection and per-shard statistics.
-    Stats,
+    Stats {
+        /// Bounded-staleness floor applied to **every** shard in the
+        /// reply; see [`Request::Scores::min_epoch`]. The leader
+        /// ignores it (its stats are never stale).
+        min_epoch: Option<u64>,
+    },
     /// Liveness probe.
     Ping,
     /// Ask the server to stop accepting and shut down (honoured only
@@ -61,6 +76,27 @@ pub enum Request {
     /// and type-tagged, so servers can add metrics without a protocol
     /// rev.
     Metrics,
+    /// Open a replication subscription on `shard`, resuming after
+    /// `from_epoch` (0 for a fresh follower). On success the server
+    /// answers [`Response::SubscribeOk`] and the connection enters
+    /// replication mode: the server pushes [`Response::Batch`] frames,
+    /// the client sends only [`Request::EpochAck`].
+    Subscribe {
+        /// The leader shard to replicate.
+        shard: u32,
+        /// The follower's applied epoch: replication resumes at
+        /// `from_epoch + 1`.
+        from_epoch: u64,
+    },
+    /// Replication mode only: every batch up to `epoch` is applied on
+    /// the follower. Elicits no response; the leader uses it for lag
+    /// accounting (`replica_applied_epoch_shard_*` gauges).
+    EpochAck {
+        /// The subscribed shard (must match the subscription).
+        shard: u32,
+        /// The follower's new applied epoch.
+        epoch: u64,
+    },
 }
 
 /// A server-to-client message.
@@ -107,12 +143,53 @@ pub enum Response {
         /// Every metric the server chose to expose.
         metrics: Vec<WireMetric>,
     },
+    /// Subscription accepted; how the follower bootstraps. Every
+    /// subsequent frame on the connection is a server-pushed
+    /// [`Response::Batch`].
+    SubscribeOk {
+        /// Resume from the follower's own state, or rebuild from a
+        /// snapshot.
+        start: WireSubscriptionStart,
+    },
+    /// One replicated batch (pushed unsolicited in replication mode).
+    Batch {
+        /// The shard epoch after this batch committed; consecutive
+        /// `Batch` frames carry consecutive epochs.
+        epoch: u64,
+        /// The batch's shard-space events in the journal event codec
+        /// (`corrfuse_stream::codec`): event lines plus the `+B`
+        /// terminator, exactly the `INGEST` payload tail.
+        text: String,
+    },
     /// Typed failure; see [`ErrorCode`] for retryability.
     Error {
         /// The protocol error code.
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+    },
+}
+
+/// How a replication subscription begins, as carried by
+/// [`Response::SubscribeOk`] (the wire shape of
+/// `corrfuse_serve::SubscriptionStart`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireSubscriptionStart {
+    /// The leader's backlog covered `from_epoch`: the follower keeps
+    /// its state and the first `BATCH` frame carries `from_epoch + 1`.
+    Resume,
+    /// The follower is too far behind (or brand new): it must rebuild
+    /// from this snapshot, then apply the streamed batches.
+    Snapshot {
+        /// The shard epoch the snapshot was captured at; the first
+        /// `BATCH` frame carries `epoch + 1`.
+        epoch: u64,
+        /// The shard session's decision threshold (f64 bits travel
+        /// verbatim).
+        threshold: f64,
+        /// The shard's accumulated (namespaced) dataset in the
+        /// `corrfuse_core::io` TSV dialect.
+        dataset: String,
     },
 }
 
@@ -326,6 +403,12 @@ impl<'a> Reader<'a> {
         &self.buf[self.pos..]
     }
 
+    /// Whether the payload is exhausted — how optional trailing fields
+    /// (the `min_epoch` staleness floor) detect their absence.
+    fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
     fn finish(self, what: &str) -> Result<(), FrameError> {
         if self.pos == self.buf.len() {
             Ok(())
@@ -365,17 +448,38 @@ impl Request {
                 max_version,
             } => Frame::new(FrameType::Hello, vec![*min_version, *max_version]),
             Request::Ingest { tenant, events } => Request::ingest_frame(*tenant, events),
-            Request::Scores { tenant } => {
-                Frame::new(FrameType::Scores, tenant.0.to_le_bytes().to_vec())
+            Request::Scores { tenant, min_epoch } => {
+                let mut payload = tenant.0.to_le_bytes().to_vec();
+                if let Some(e) = min_epoch {
+                    payload.extend_from_slice(&e.to_le_bytes());
+                }
+                Frame::new(FrameType::Scores, payload)
             }
-            Request::Decisions { tenant } => {
-                Frame::new(FrameType::Decisions, tenant.0.to_le_bytes().to_vec())
+            Request::Decisions { tenant, min_epoch } => {
+                let mut payload = tenant.0.to_le_bytes().to_vec();
+                if let Some(e) = min_epoch {
+                    payload.extend_from_slice(&e.to_le_bytes());
+                }
+                Frame::new(FrameType::Decisions, payload)
             }
             Request::Flush => Frame::new(FrameType::Flush, Vec::new()),
-            Request::Stats => Frame::new(FrameType::Stats, Vec::new()),
+            Request::Stats { min_epoch } => Frame::new(
+                FrameType::Stats,
+                min_epoch.map_or_else(Vec::new, |e| e.to_le_bytes().to_vec()),
+            ),
             Request::Ping => Frame::new(FrameType::Ping, Vec::new()),
             Request::Shutdown => Frame::new(FrameType::Shutdown, Vec::new()),
             Request::Metrics => Frame::new(FrameType::Metrics, Vec::new()),
+            Request::Subscribe { shard, from_epoch } => {
+                let mut payload = shard.to_le_bytes().to_vec();
+                payload.extend_from_slice(&from_epoch.to_le_bytes());
+                Frame::new(FrameType::Subscribe, payload)
+            }
+            Request::EpochAck { shard, epoch } => {
+                let mut payload = shard.to_le_bytes().to_vec();
+                payload.extend_from_slice(&epoch.to_le_bytes());
+                Frame::new(FrameType::EpochAck, payload)
+            }
         }
     }
 
@@ -412,21 +516,36 @@ impl Request {
             }
             FrameType::Scores => {
                 let tenant = TenantId(r.u32("tenant")?);
+                let min_epoch = if r.at_end() {
+                    None
+                } else {
+                    Some(r.u64("min_epoch")?)
+                };
                 r.finish("SCORES")?;
-                Ok(Request::Scores { tenant })
+                Ok(Request::Scores { tenant, min_epoch })
             }
             FrameType::Decisions => {
                 let tenant = TenantId(r.u32("tenant")?);
+                let min_epoch = if r.at_end() {
+                    None
+                } else {
+                    Some(r.u64("min_epoch")?)
+                };
                 r.finish("DECISIONS")?;
-                Ok(Request::Decisions { tenant })
+                Ok(Request::Decisions { tenant, min_epoch })
             }
             FrameType::Flush => {
                 r.finish("FLUSH")?;
                 Ok(Request::Flush)
             }
             FrameType::Stats => {
+                let min_epoch = if r.at_end() {
+                    None
+                } else {
+                    Some(r.u64("min_epoch")?)
+                };
                 r.finish("STATS")?;
-                Ok(Request::Stats)
+                Ok(Request::Stats { min_epoch })
             }
             FrameType::Ping => {
                 r.finish("PING")?;
@@ -439,6 +558,18 @@ impl Request {
             FrameType::Metrics => {
                 r.finish("METRICS")?;
                 Ok(Request::Metrics)
+            }
+            FrameType::Subscribe => {
+                let shard = r.u32("shard")?;
+                let from_epoch = r.u64("from_epoch")?;
+                r.finish("SUBSCRIBE")?;
+                Ok(Request::Subscribe { shard, from_epoch })
+            }
+            FrameType::EpochAck => {
+                let shard = r.u32("shard")?;
+                let epoch = r.u64("epoch")?;
+                r.finish("EPOCH_ACK")?;
+                Ok(Request::EpochAck { shard, epoch })
             }
             other => Err(FrameError::BadPayload(format!(
                 "frame type {other:?} is not a request"
@@ -497,6 +628,28 @@ impl Response {
                     encode_metric(&mut payload, m);
                 }
                 Frame::new(FrameType::MetricsOk, payload)
+            }
+            Response::SubscribeOk { start } => {
+                let payload = match start {
+                    WireSubscriptionStart::Resume => vec![START_RESUME],
+                    WireSubscriptionStart::Snapshot {
+                        epoch,
+                        threshold,
+                        dataset,
+                    } => {
+                        let mut p = vec![START_SNAPSHOT];
+                        p.extend_from_slice(&epoch.to_le_bytes());
+                        p.extend_from_slice(&threshold.to_bits().to_le_bytes());
+                        p.extend_from_slice(dataset.as_bytes());
+                        p
+                    }
+                };
+                Frame::new(FrameType::SubscribeOk, payload)
+            }
+            Response::Batch { epoch, text } => {
+                let mut payload = epoch.to_le_bytes().to_vec();
+                payload.extend_from_slice(text.as_bytes());
+                Frame::new(FrameType::Batch, payload)
             }
             Response::Error { code, message } => {
                 let mut payload = (*code as u16).to_le_bytes().to_vec();
@@ -599,6 +752,36 @@ impl Response {
                 r.finish("METRICS_OK")?;
                 Ok(Response::MetricsOk { metrics })
             }
+            FrameType::SubscribeOk => {
+                let tag = r.u8("subscription start tag")?;
+                let start = match tag {
+                    START_RESUME => {
+                        r.finish("SUBSCRIBE_OK")?;
+                        WireSubscriptionStart::Resume
+                    }
+                    START_SNAPSHOT => {
+                        let epoch = r.u64("snapshot epoch")?;
+                        let threshold = f64::from_bits(r.u64("snapshot threshold")?);
+                        let dataset = utf8(r.rest(), "snapshot dataset")?.to_string();
+                        WireSubscriptionStart::Snapshot {
+                            epoch,
+                            threshold,
+                            dataset,
+                        }
+                    }
+                    other => {
+                        return Err(FrameError::BadPayload(format!(
+                            "subscription start tag must be 0 or 1, got {other}"
+                        )))
+                    }
+                };
+                Ok(Response::SubscribeOk { start })
+            }
+            FrameType::Batch => {
+                let epoch = r.u64("batch epoch")?;
+                let text = utf8(r.rest(), "batch event text")?.to_string();
+                Ok(Response::Batch { epoch, text })
+            }
             FrameType::Error => {
                 let raw = r.u16("error code")?;
                 let code = ErrorCode::from_code(raw)
@@ -612,6 +795,10 @@ impl Response {
         }
     }
 }
+
+/// Wire tags for [`WireSubscriptionStart`] in a `SUBSCRIBE_OK` payload.
+const START_RESUME: u8 = 0;
+const START_SNAPSHOT: u8 = 1;
 
 // ---------------------------------------------------------------------
 // METRICS_OK entry codec
@@ -719,15 +906,38 @@ mod tests {
             },
             Request::Scores {
                 tenant: TenantId(3),
+                min_epoch: None,
+            },
+            Request::Scores {
+                tenant: TenantId(3),
+                min_epoch: Some(17),
             },
             Request::Decisions {
                 tenant: TenantId(3),
+                min_epoch: None,
+            },
+            Request::Decisions {
+                tenant: TenantId(3),
+                min_epoch: Some(u64::MAX),
             },
             Request::Flush,
-            Request::Stats,
+            Request::Stats { min_epoch: None },
+            Request::Stats { min_epoch: Some(9) },
             Request::Ping,
             Request::Shutdown,
             Request::Metrics,
+            Request::Subscribe {
+                shard: 2,
+                from_epoch: 0,
+            },
+            Request::Subscribe {
+                shard: 0,
+                from_epoch: 1234,
+            },
+            Request::EpochAck {
+                shard: 2,
+                epoch: 1235,
+            },
         ]
     }
 
@@ -791,9 +1001,27 @@ mod tests {
                     },
                 ],
             },
+            Response::SubscribeOk {
+                start: WireSubscriptionStart::Resume,
+            },
+            Response::SubscribeOk {
+                start: WireSubscriptionStart::Snapshot {
+                    epoch: 41,
+                    threshold: 0.5,
+                    dataset: "#corrfuse v1\nS\tA\n".to_string(),
+                },
+            },
+            Response::Batch {
+                epoch: 42,
+                text: "+C\t1\t2\n+B\n".to_string(),
+            },
             Response::Error {
                 code: ErrorCode::Busy,
                 message: "shard 2 queue full".to_string(),
+            },
+            Response::Error {
+                code: ErrorCode::Stale,
+                message: "shard 0 is stale: at epoch 3, read demanded 5".to_string(),
             },
         ]
     }
@@ -845,6 +1073,52 @@ mod tests {
     }
 
     #[test]
+    fn batch_payload_is_epoch_then_journal_codec_text() {
+        // The BATCH payload tail is the same codec text as INGEST's, so
+        // a follower's apply path and the server's ingest path share one
+        // parser.
+        let resp = Response::Batch {
+            epoch: 7,
+            text: "+C\t1\t2\n+B\n".to_string(),
+        };
+        let frame = resp.to_frame();
+        assert_eq!(&frame.payload[..8], &7u64.to_le_bytes());
+        assert_eq!(
+            std::str::from_utf8(&frame.payload[8..]).unwrap(),
+            "+C\t1\t2\n+B\n"
+        );
+    }
+
+    #[test]
+    fn min_epoch_is_an_optional_trailing_field() {
+        // Absent: the pre-replication 4-byte SCORES payload still
+        // decodes (wire compatibility with older clients).
+        let legacy = Frame::new(FrameType::Scores, 3u32.to_le_bytes().to_vec());
+        assert_eq!(
+            Request::from_frame(&legacy).unwrap(),
+            Request::Scores {
+                tenant: TenantId(3),
+                min_epoch: None,
+            }
+        );
+        // Present: 4 + 8 bytes.
+        let req = Request::Scores {
+            tenant: TenantId(3),
+            min_epoch: Some(11),
+        };
+        assert_eq!(req.to_frame().payload.len(), 12);
+        // STATS: empty or 8 bytes.
+        assert_eq!(
+            Request::Stats { min_epoch: None }.to_frame().payload.len(),
+            0
+        );
+        assert_eq!(
+            Request::from_frame(&Frame::new(FrameType::Stats, Vec::new())).unwrap(),
+            Request::Stats { min_epoch: None }
+        );
+    }
+
+    #[test]
     fn cross_kind_decoding_is_rejected() {
         let req_frame = Request::Ping.to_frame();
         assert!(Response::from_frame(&req_frame).is_err());
@@ -857,6 +1131,26 @@ mod tests {
         // Truncated tenant id.
         let bad = Frame::new(FrameType::Scores, vec![1, 2]);
         assert!(Request::from_frame(&bad).is_err());
+        // Truncated min_epoch (5 bytes after the tenant id).
+        let bad = Frame::new(FrameType::Scores, vec![0; 4 + 5]);
+        assert!(Request::from_frame(&bad).is_err());
+        // Truncated STATS min_epoch.
+        let bad = Frame::new(FrameType::Stats, vec![0; 3]);
+        assert!(Request::from_frame(&bad).is_err());
+        // Truncated SUBSCRIBE and trailing garbage after EPOCH_ACK.
+        let bad = Frame::new(FrameType::Subscribe, vec![0; 11]);
+        assert!(Request::from_frame(&bad).is_err());
+        let bad = Frame::new(FrameType::EpochAck, vec![0; 13]);
+        assert!(Request::from_frame(&bad).is_err());
+        // Unknown subscription start tag, and trailing bytes on Resume.
+        let bad = Frame::new(FrameType::SubscribeOk, vec![7]);
+        assert!(Response::from_frame(&bad).is_err());
+        let bad = Frame::new(FrameType::SubscribeOk, vec![0, 1]);
+        assert!(Response::from_frame(&bad).is_err());
+        // Non-UTF-8 batch text.
+        let mut payload = 5u64.to_le_bytes().to_vec();
+        payload.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(Response::from_frame(&Frame::new(FrameType::Batch, payload)).is_err());
         // Trailing garbage.
         let bad = Frame::new(FrameType::Flush, vec![0]);
         assert!(Request::from_frame(&bad).is_err());
@@ -986,9 +1280,15 @@ mod tests {
             ErrorCode::ShuttingDown,
             ErrorCode::Forbidden,
             ErrorCode::Internal,
+            ErrorCode::Stale,
         ] {
             assert_eq!(ErrorCode::from_code(code as u16), Some(code));
-            assert_eq!(code.is_retryable(), code == ErrorCode::Busy);
+            // Busy clears as queues drain; Stale clears as the replica
+            // catches up. Everything else is deterministic.
+            assert_eq!(
+                code.is_retryable(),
+                matches!(code, ErrorCode::Busy | ErrorCode::Stale)
+            );
         }
         assert_eq!(ErrorCode::from_code(0), None);
         assert_eq!(
@@ -1009,6 +1309,14 @@ mod tests {
         assert_eq!(
             crate::error::code_of(&ServeError::ShuttingDown),
             ErrorCode::ShuttingDown
+        );
+        assert_eq!(
+            crate::error::code_of(&ServeError::Stale {
+                shard: 0,
+                epoch: 3,
+                min_epoch: 5
+            }),
+            ErrorCode::Stale
         );
         assert_eq!(
             crate::error::code_of(&ServeError::InvalidConfig("x")),

@@ -34,8 +34,12 @@ fn random_events(g: &mut Gen) -> Vec<Event> {
         .collect()
 }
 
+fn random_min_epoch(g: &mut Gen) -> Option<u64> {
+    g.bool(0.5).then(|| g.u64_below(1 << 40))
+}
+
 fn random_request(g: &mut Gen) -> Request {
-    match g.usize_in(0, 9) {
+    match g.usize_in(0, 11) {
         0 => Request::Hello {
             min_version: g.u64_below(4) as u8,
             max_version: g.u64_below(4) as u8,
@@ -46,14 +50,26 @@ fn random_request(g: &mut Gen) -> Request {
         },
         2 => Request::Scores {
             tenant: TenantId(g.u64_below(1000) as u32),
+            min_epoch: random_min_epoch(g),
         },
         3 => Request::Decisions {
             tenant: TenantId(g.u64_below(1000) as u32),
+            min_epoch: random_min_epoch(g),
         },
         4 => Request::Flush,
-        5 => Request::Stats,
+        5 => Request::Stats {
+            min_epoch: random_min_epoch(g),
+        },
         6 => Request::Ping,
         7 => Request::Metrics,
+        8 => Request::Subscribe {
+            shard: g.u64_below(16) as u32,
+            from_epoch: g.u64_below(1 << 40),
+        },
+        9 => Request::EpochAck {
+            shard: g.u64_below(16) as u32,
+            epoch: g.u64_below(1 << 40),
+        },
         _ => Request::Shutdown,
     }
 }
@@ -79,7 +95,8 @@ fn random_metrics(g: &mut Gen) -> Vec<WireMetric> {
 }
 
 fn random_response(g: &mut Gen) -> Response {
-    match g.usize_in(0, 10) {
+    use corrfuse_net::WireSubscriptionStart;
+    match g.usize_in(0, 12) {
         0 => Response::HelloOk {
             version: g.u64_below(4) as u8,
         },
@@ -119,8 +136,23 @@ fn random_response(g: &mut Gen) -> Response {
         8 => Response::MetricsOk {
             metrics: random_metrics(g),
         },
+        9 => Response::SubscribeOk {
+            start: if g.bool(0.5) {
+                WireSubscriptionStart::Resume
+            } else {
+                WireSubscriptionStart::Snapshot {
+                    epoch: g.u64_below(1 << 40),
+                    threshold: g.vec_f64(1, 0.0, 1.0)[0],
+                    dataset: format!("#corrfuse v1\nS\tsrc-{}\n", g.u64_below(100)),
+                }
+            },
+        },
+        10 => Response::Batch {
+            epoch: g.u64_below(1 << 40),
+            text: corrfuse_stream::codec::encode_batch(&random_events(g)),
+        },
         _ => Response::Error {
-            code: ErrorCode::from_code(g.usize_in(1, 9) as u16).unwrap(),
+            code: ErrorCode::from_code(g.usize_in(1, 10) as u16).unwrap(),
             message: format!("error {}", g.u64_below(100)),
         },
     }
@@ -156,7 +188,9 @@ fn decoder_is_total_on_magic_prefixed_bytes() {
         }
         if g.bool(0.5) {
             // A known type code, so deeper fields get exercised.
-            buf[5] = [0x01u8, 0x02, 0x03, 0x09, 0x82, 0x83, 0x86, 0x89, 0x8F][g.usize_in(0, 9)];
+            buf[5] = [
+                0x01u8, 0x02, 0x03, 0x09, 0x0A, 0x0B, 0x82, 0x83, 0x86, 0x89, 0x8A, 0x8B, 0x8F,
+            ][g.usize_in(0, 13)];
         }
         if let Ok((frame, _)) = Frame::decode(&buf) {
             let _ = Request::from_frame(&frame);
@@ -220,7 +254,7 @@ fn truncation_and_corruption_are_typed() {
     });
 }
 
-/// The 19 frame types cover requests and responses disjointly, and
+/// The 23 frame types cover requests and responses disjointly, and
 /// every code survives the `u8` round trip.
 #[test]
 fn frame_type_codes_are_stable() {
@@ -228,6 +262,6 @@ fn frame_type_codes_are_stable() {
         assert_eq!(FrameType::from_code(t as u8), Some(t));
     }
     let requests = FrameType::ALL.iter().filter(|t| !t.is_response()).count();
-    assert_eq!(requests, 9);
-    assert_eq!(FrameType::ALL.len() - requests, 10);
+    assert_eq!(requests, 11);
+    assert_eq!(FrameType::ALL.len() - requests, 12);
 }

@@ -1,0 +1,89 @@
+//! Error type for the replication layer.
+
+use std::fmt;
+
+use corrfuse_net::NetError;
+use corrfuse_serve::ServeError;
+
+/// Errors produced by followers and their replication links.
+#[derive(Debug)]
+pub enum ReplicaError {
+    /// A transport or protocol-codec failure on the leader link.
+    Net(NetError),
+    /// A serving-layer failure: bounded-staleness reads surface
+    /// [`ServeError::Stale`] here, unknown tenants
+    /// [`ServeError::UnknownTenant`], and session/journal problems the
+    /// underlying [`corrfuse_core::error::FusionError`].
+    Serve(ServeError),
+    /// The leader violated the replication protocol (an out-of-sequence
+    /// `BATCH` epoch, a malformed batch payload, an unexpected frame).
+    /// The follower drops the connection and resubscribes.
+    Protocol(String),
+}
+
+impl fmt::Display for ReplicaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplicaError::Net(e) => write!(f, "{e}"),
+            ReplicaError::Serve(e) => write!(f, "{e}"),
+            ReplicaError::Protocol(msg) => write!(f, "replication protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplicaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReplicaError::Net(e) => Some(e),
+            ReplicaError::Serve(e) => Some(e),
+            ReplicaError::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<NetError> for ReplicaError {
+    fn from(e: NetError) -> Self {
+        ReplicaError::Net(e)
+    }
+}
+
+impl From<ServeError> for ReplicaError {
+    fn from(e: ServeError) -> Self {
+        ReplicaError::Serve(e)
+    }
+}
+
+impl From<corrfuse_core::error::FusionError> for ReplicaError {
+    fn from(e: corrfuse_core::error::FusionError) -> Self {
+        ReplicaError::Serve(ServeError::Fusion(e))
+    }
+}
+
+impl From<std::io::Error> for ReplicaError {
+    fn from(e: std::io::Error) -> Self {
+        ReplicaError::Net(NetError::from(e))
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, ReplicaError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        use std::error::Error as _;
+        let stale = ReplicaError::Serve(ServeError::Stale {
+            shard: 1,
+            epoch: 3,
+            min_epoch: 7,
+        });
+        assert!(stale.to_string().contains("stale"));
+        assert!(stale.source().is_some());
+        let proto = ReplicaError::Protocol("epoch gap".to_string());
+        assert!(proto.to_string().contains("epoch gap"));
+        assert!(proto.source().is_none());
+    }
+}

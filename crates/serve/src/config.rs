@@ -73,6 +73,58 @@ impl JournalConfig {
     }
 }
 
+/// Leader-side replication tap configuration.
+///
+/// The tap keeps, per shard, a bounded in-memory backlog of committed
+/// batches (in the shared `corrfuse_stream::codec` text encoding, one
+/// entry per epoch) plus a list of subscriber queues. A follower whose
+/// requested resume epoch is still covered by the backlog gets the
+/// missing suffix; one that has fallen further behind gets a fresh
+/// dataset snapshot at the current epoch. Subscriber queues are pushed
+/// with reject-on-full semantics: a follower that cannot keep up has its
+/// queue closed and must resubscribe, so a slow follower can never stall
+/// or bloat the leader.
+#[derive(Debug, Clone)]
+pub struct ReplicationConfig {
+    /// Committed batches retained per shard for resume-from-epoch
+    /// subscriptions. Followers behind by more than this bootstrap from
+    /// a snapshot instead.
+    pub backlog_batches: usize,
+    /// Capacity of each subscriber's batch queue, in batches. A full
+    /// queue disconnects that subscriber (it resubscribes and, if still
+    /// behind the backlog, resnapshots).
+    pub subscriber_capacity: usize,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        ReplicationConfig::new()
+    }
+}
+
+impl ReplicationConfig {
+    /// Defaults: 1024-batch backlog per shard, 256-batch subscriber
+    /// queues.
+    pub fn new() -> ReplicationConfig {
+        ReplicationConfig {
+            backlog_batches: 1024,
+            subscriber_capacity: 256,
+        }
+    }
+
+    /// Set the per-shard resume backlog, in batches.
+    pub fn with_backlog_batches(mut self, batches: usize) -> ReplicationConfig {
+        self.backlog_batches = batches;
+        self
+    }
+
+    /// Set each subscriber queue's capacity, in batches.
+    pub fn with_subscriber_capacity(mut self, batches: usize) -> ReplicationConfig {
+        self.subscriber_capacity = batches;
+        self
+    }
+}
+
 /// Full configuration of a [`crate::ShardRouter`].
 #[derive(Debug, Clone)]
 pub struct RouterConfig {
@@ -111,6 +163,11 @@ pub struct RouterConfig {
     /// `FuserConfig::spans` on. `None` (the default) records nothing —
     /// no clock reads beyond the always-on per-ingest totals.
     pub metrics: Option<Arc<Registry>>,
+    /// Leader-side replication tap. When set, every shard records its
+    /// committed batches into a bounded backlog and accepts follower
+    /// subscriptions via [`crate::ShardRouter::subscribe`]. `None` (the
+    /// default) records nothing — no per-batch encoding cost.
+    pub replication: Option<ReplicationConfig>,
 }
 
 impl RouterConfig {
@@ -130,6 +187,7 @@ impl RouterConfig {
             shard_threads: 1,
             memo_capacity: None,
             metrics: None,
+            replication: None,
         }
     }
 
@@ -188,6 +246,12 @@ impl RouterConfig {
         self
     }
 
+    /// Enable the leader-side replication tap.
+    pub fn with_replication(mut self, replication: ReplicationConfig) -> RouterConfig {
+        self.replication = Some(replication);
+        self
+    }
+
     pub(crate) fn validate(&self) -> Result<()> {
         if self.n_shards == 0 {
             return Err(ServeError::InvalidConfig("n_shards must be >= 1"));
@@ -203,6 +267,13 @@ impl RouterConfig {
         }
         if self.memo_capacity == Some(0) {
             return Err(ServeError::InvalidConfig("memo_capacity must be >= 1"));
+        }
+        if let Some(r) = &self.replication {
+            if r.subscriber_capacity == 0 {
+                return Err(ServeError::InvalidConfig(
+                    "replication subscriber_capacity must be >= 1",
+                ));
+            }
         }
         Ok(())
     }
@@ -241,6 +312,17 @@ mod tests {
             .with_memo_capacity(64)
             .validate()
             .is_ok());
+        assert!(RouterConfig::new(1)
+            .with_replication(ReplicationConfig::new().with_subscriber_capacity(0))
+            .validate()
+            .is_err());
+        assert!(
+            RouterConfig::new(1)
+                .with_replication(ReplicationConfig::new().with_backlog_batches(0))
+                .validate()
+                .is_ok(),
+            "a zero backlog is legal: every resubscribe snapshots"
+        );
     }
 
     #[test]

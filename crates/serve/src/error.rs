@@ -54,6 +54,17 @@ pub enum ServeError {
         /// The error that poisoned it.
         reason: String,
     },
+    /// A bounded-staleness read (`min_epoch`) found the shard — or a
+    /// replication follower — behind the requested epoch. Retryable:
+    /// the reader backs off and re-asks, or lowers its `min_epoch`.
+    Stale {
+        /// The shard that is behind.
+        shard: usize,
+        /// The shard's current epoch.
+        epoch: u64,
+        /// The epoch the reader demanded.
+        min_epoch: u64,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -74,6 +85,16 @@ impl fmt::Display for ServeError {
                 write!(
                     f,
                     "shard {shard} is poisoned (rebuild from journal): {reason}"
+                )
+            }
+            ServeError::Stale {
+                shard,
+                epoch,
+                min_epoch,
+            } => {
+                write!(
+                    f,
+                    "shard {shard} is stale: at epoch {epoch}, read demanded {min_epoch}"
                 )
             }
         }
@@ -118,6 +139,14 @@ mod tests {
                     reason: "degenerate prior".into(),
                 },
                 "poisoned",
+            ),
+            (
+                ServeError::Stale {
+                    shard: 0,
+                    epoch: 3,
+                    min_epoch: 5,
+                },
+                "stale",
             ),
         ];
         for (err, needle) in cases {

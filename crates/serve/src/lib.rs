@@ -40,6 +40,14 @@
 //!   ([`RouterConfig::with_metrics`]), workers additionally record
 //!   per-stage latency histograms and batch traces — the metric
 //!   catalog lives in `docs/OBSERVABILITY.md`.
+//! * [`replica`] — the leader side of read-replica replication: every
+//!   committed batch is stamped with its shard **epoch** (batches
+//!   committed since start) and fanned out to subscriber queues
+//!   ([`ShardRouter::subscribe`]), reads accept a bounded-staleness
+//!   floor ([`ShardRouter::scores_at`], typed [`ServeError::Stale`]
+//!   when behind), and [`ShardRouter::snapshot_all`] takes a
+//!   flush-fenced cross-shard export stamped with per-shard epochs.
+//!   `corrfuse-replica` builds the follower process on top.
 //!
 //! The subsystem inherits the workspace trust anchor (stated once in
 //! `docs/ARCHITECTURE.md`), per shard: routed, micro-batched, compacted
@@ -97,13 +105,15 @@
 pub mod config;
 pub mod error;
 pub mod queue;
+pub mod replica;
 pub mod router;
 mod shard;
 pub mod stats;
 pub mod tenant;
 
-pub use config::{Backpressure, JournalConfig, RouterConfig};
+pub use config::{Backpressure, JournalConfig, ReplicationConfig, RouterConfig};
 pub use error::{Result, ServeError};
+pub use replica::{ReplicaBatch, Subscription, SubscriptionStart};
 pub use router::{ShardRouter, ShardSnapshot};
 pub use stats::{RouterAggregate, RouterStats, ShardQueueStat, ShardStats};
-pub use tenant::{TenantId, TenantMap};
+pub use tenant::{derive_tenant_maps, extend_tenant_maps, TenantId, TenantMap};

@@ -47,6 +47,7 @@ use corrfuse_stream::{Event, StreamSession};
 use crate::config::RouterConfig;
 use crate::error::{Result, ServeError};
 use crate::queue::{PushError, Queue};
+use crate::replica::{ReplicaTap, Subscription, SubscriptionStart};
 use crate::shard::{
     run_worker, Msg, PoisonCell, Progress, ShardCore, ShardHandle, ShardSpans, WorkerParams,
 };
@@ -68,6 +69,10 @@ pub struct ShardSnapshot {
     pub tenants: Vec<TenantId>,
     /// The shard's journal path, if journaling.
     pub journal_path: Option<PathBuf>,
+    /// The shard's replication epoch at snapshot time: the number of
+    /// batches committed into the shard session. Two snapshots of the
+    /// same shard at the same epoch are identical.
+    pub epoch: u64,
 }
 
 /// The sharded multi-tenant session router; see the module docs.
@@ -157,6 +162,7 @@ impl ShardRouter {
                 stats,
                 batches_since_rotation: 0,
                 poison: Arc::clone(&poison),
+                tap: config.replication.clone().map(|r| ReplicaTap::new(r, 0)),
             }));
             let queue = Arc::new(Queue::new(config.queue_capacity));
             let progress = Arc::new(Progress::default());
@@ -183,6 +189,7 @@ impl ShardRouter {
                 poison,
                 enqueued: AtomicU64::new(0),
                 rejected: AtomicU64::new(0),
+                acked_epoch: AtomicU64::new(0),
             });
             workers.push(Some(join));
         }
@@ -273,7 +280,21 @@ impl ShardRouter {
     /// of unknown freshness; use [`ShardRouter::shard_snapshot`] to read
     /// the shard's last consistent state explicitly.
     pub fn scores(&self, tenant: TenantId) -> Result<Vec<f64>> {
-        self.with_tenant(tenant, |core, map| {
+        self.with_tenant_at(tenant, None, |core, map| {
+            let scores = core.session.scores();
+            map.triples.iter().map(|&t| scores[t.index()]).collect()
+        })
+    }
+
+    /// [`ShardRouter::scores`] with a bounded-staleness floor: fails
+    /// with the retryable [`ServeError::Stale`] unless the tenant's
+    /// shard has committed at least `min_epoch` batches. The same
+    /// `min_epoch` travels to replication followers over the wire, so a
+    /// reader can take a leader epoch fence (e.g. from
+    /// [`ShardRouter::snapshot_all`]) and demand reads at least that
+    /// fresh from any replica.
+    pub fn scores_at(&self, tenant: TenantId, min_epoch: u64) -> Result<Vec<f64>> {
+        self.with_tenant_at(tenant, Some(min_epoch), |core, map| {
             let scores = core.session.scores();
             map.triples.iter().map(|&t| scores[t.index()]).collect()
         })
@@ -284,7 +305,7 @@ impl ShardRouter {
     /// shard; see [`ShardRouter::scores`].
     pub fn decisions(&self, tenant: TenantId) -> Result<Vec<bool>> {
         let threshold = self.config.threshold;
-        self.with_tenant(tenant, |core, map| {
+        self.with_tenant_at(tenant, None, |core, map| {
             let scores = core.session.scores();
             map.triples
                 .iter()
@@ -293,9 +314,23 @@ impl ShardRouter {
         })
     }
 
-    fn with_tenant<R>(
+    /// [`ShardRouter::decisions`] with a bounded-staleness floor; see
+    /// [`ShardRouter::scores_at`].
+    pub fn decisions_at(&self, tenant: TenantId, min_epoch: u64) -> Result<Vec<bool>> {
+        let threshold = self.config.threshold;
+        self.with_tenant_at(tenant, Some(min_epoch), |core, map| {
+            let scores = core.session.scores();
+            map.triples
+                .iter()
+                .map(|&t| scores[t.index()] > threshold)
+                .collect()
+        })
+    }
+
+    fn with_tenant_at<R>(
         &self,
         tenant: TenantId,
+        min_epoch: Option<u64>,
         f: impl FnOnce(&ShardCore, &TenantMap) -> R,
     ) -> Result<R> {
         let shard = self.shard_of(tenant);
@@ -314,6 +349,16 @@ impl ShardRouter {
                 shard,
                 reason: reason.clone(),
             });
+        }
+        if let Some(min) = min_epoch {
+            let epoch = core.session.epoch();
+            if epoch < min {
+                return Err(ServeError::Stale {
+                    shard,
+                    epoch,
+                    min_epoch: min,
+                });
+            }
         }
         Ok(f(&core, map))
     }
@@ -360,7 +405,95 @@ impl ShardRouter {
             decisions: core.session.decisions(),
             tenants,
             journal_path: self.config.journal.as_ref().map(|j| j.shard_path(shard)),
+            epoch: core.session.epoch(),
         })
+    }
+
+    /// A cross-shard snapshot read behind an epoch fence: flush every
+    /// shard (so each one has applied every message accepted before this
+    /// call), then snapshot each shard in turn. The returned snapshots
+    /// carry their shard epochs — together they form a consistent fence:
+    /// any reader, on the leader or on a follower, that demands
+    /// `min_epoch >= snapshot.epoch` per shard observes a state at least
+    /// as fresh as this export. There is still no cross-shard *ordering*
+    /// (shards are independent sessions by design); the fence pins a
+    /// "nothing accepted before the call is missing" frontier, which is
+    /// what a consistent multi-tenant export needs.
+    pub fn snapshot_all(&self) -> Result<Vec<ShardSnapshot>> {
+        self.flush()?;
+        (0..self.config.n_shards)
+            .map(|i| self.shard_snapshot(i))
+            .collect()
+    }
+
+    /// Each shard's current replication epoch, in shard order.
+    pub fn epochs(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|h| h.core.lock().expect("shard core lock").session.epoch())
+            .collect()
+    }
+
+    /// Subscribe to a shard's committed-batch stream, resuming after
+    /// `from_epoch` — the epoch the subscriber has fully applied. A
+    /// brand-new follower holds no state at all (not even the epoch-0
+    /// seed dataset), so it passes the bootstrap sentinel `u64::MAX`,
+    /// which can never be covered and always forces a snapshot start.
+    /// Returns how the
+    /// subscription starts — [`SubscriptionStart::Resume`] when the
+    /// tap's backlog still covers the gap (the missing suffix is already
+    /// queued), else [`SubscriptionStart::Snapshot`] at the current
+    /// epoch — plus the live [`Subscription`]. Registration is atomic
+    /// with the captured state (both happen under the shard lock), so
+    /// the subscriber sees every epoch exactly once, even across a
+    /// concurrent journal rotation.
+    ///
+    /// Fails with [`ServeError::InvalidConfig`] unless the router was
+    /// built with [`RouterConfig::with_replication`], and with
+    /// [`ServeError::ShardPoisoned`] on a poisoned shard (its epoch
+    /// stream is frozen; rebuild it first).
+    pub fn subscribe(
+        &self,
+        shard: usize,
+        from_epoch: u64,
+    ) -> Result<(SubscriptionStart, Subscription)> {
+        let h = self
+            .shards
+            .get(shard)
+            .ok_or(ServeError::InvalidConfig("shard index out of range"))?;
+        let mut core = h.core.lock().expect("shard core lock");
+        if let Some(reason) = h.poison.get() {
+            return Err(ServeError::ShardPoisoned {
+                shard,
+                reason: reason.clone(),
+            });
+        }
+        let ShardCore { session, tap, .. } = &mut *core;
+        let Some(tap) = tap.as_mut() else {
+            return Err(ServeError::InvalidConfig(
+                "replication is not enabled on this router",
+            ));
+        };
+        let epoch = session.epoch();
+        Ok(tap.subscribe(from_epoch, epoch, || {
+            (
+                corrfuse_core::io::to_string(session.dataset()),
+                session.threshold(),
+            )
+        }))
+    }
+
+    /// Record a follower's acknowledgement that it has applied `shard`'s
+    /// stream through `epoch`. Monotonic (a late or duplicate ack never
+    /// regresses the mark); feeds [`ShardStats::replica_acked_epoch`]
+    /// and the `replica_*` metrics gauges.
+    pub fn record_ack(&self, shard: usize, epoch: u64) -> Result<()> {
+        let h = self
+            .shards
+            .get(shard)
+            .ok_or(ServeError::InvalidConfig("shard index out of range"))?;
+        h.acked_epoch.fetch_max(epoch, Ordering::SeqCst);
+        Ok(())
     }
 
     /// Per-shard and aggregate statistics.
@@ -385,6 +518,9 @@ impl ShardRouter {
                 s.lift = core.session.lift_stats();
                 s.log_dropped_events = core.session.delta_log().dropped_events();
                 s.poisoned = core.poison.get().is_some();
+                s.epoch = core.session.epoch();
+                s.replica_acked_epoch = h.acked_epoch.load(Ordering::SeqCst);
+                s.replica_subscribers = core.tap.as_ref().map_or(0, ReplicaTap::n_subscribers);
                 s
             })
             .collect();

@@ -40,6 +40,7 @@ use corrfuse_stream::{Event, RefitLevel, StreamSession};
 
 use crate::config::JournalConfig;
 use crate::queue::{Pop, Queue};
+use crate::replica::ReplicaTap;
 use crate::stats::ShardStats;
 use crate::tenant::{scoped_source_name, scoped_triple, TenantId, TenantMap};
 
@@ -128,6 +129,11 @@ pub(crate) struct ShardCore {
     /// [`crate::ShardRouter::shard_snapshot`]; rebuild it from the
     /// journal to recover.
     pub poison: Arc<PoisonCell>,
+    /// Leader-side replication tap; `Some` only when the router runs
+    /// with [`crate::RouterConfig::replication`]. Published to under
+    /// this same lock right after the session commits a batch, so
+    /// subscribers see exactly the committed epoch sequence.
+    pub tap: Option<ReplicaTap>,
 }
 
 /// Worker-side progress counter, used by `ShardRouter::flush` to wait
@@ -180,6 +186,10 @@ pub(crate) struct ShardHandle {
     pub enqueued: AtomicU64,
     /// Messages refused by backpressure (front-door side).
     pub rejected: AtomicU64,
+    /// Highest epoch any follower has acknowledged applying
+    /// (monotonic `fetch_max`; 0 before the first ack). Shard epoch
+    /// minus this is the shard's replication lag in batches.
+    pub acked_epoch: AtomicU64,
 }
 
 /// Everything a worker thread needs.
@@ -242,6 +252,11 @@ pub(crate) fn run_worker(p: WorkerParams) {
     let mut core = p.core.lock().expect("shard core lock");
     if let Err(e) = core.session.seal_journal() {
         core.stats.last_error = Some(format!("journal seal failed: {e}"));
+    }
+    if let Some(tap) = &mut core.tap {
+        // Followers drain what is buffered, then observe the close and
+        // know the leader is gone.
+        tap.close();
     }
 }
 
@@ -332,6 +347,7 @@ fn try_apply(core: &mut ShardCore, msgs: &[Msg], spans: Option<&ShardSpans>) -> 
         stats,
         batches_since_rotation,
         poison,
+        tap,
     } = core;
     let tr = translate(tenants, session.dataset(), *next_domain, msgs)?;
     let dims_before = (session.dataset().n_sources(), session.dataset().n_triples());
@@ -362,6 +378,13 @@ fn try_apply(core: &mut ShardCore, msgs: &[Msg], spans: Option<&ShardSpans>) -> 
             return Err(e);
         }
     };
+    if let Some(tap) = tap {
+        // Publish under the same lock that committed the batch: the
+        // session's post-commit epoch stamps it, and subscription
+        // registration (also under this lock) can never race a batch
+        // into both the snapshot and the queue.
+        tap.publish(session.epoch(), &tr.events);
+    }
     stats.batches += 1;
     if msgs.len() > 1 {
         stats.merged_batches += 1;

@@ -106,6 +106,21 @@ pub struct ShardStats {
     pub n_sources: usize,
     /// Delta-log events dropped by bounded retention.
     pub log_dropped_events: usize,
+    /// The shard's replication epoch: batches committed into the shard
+    /// session since start (one increment per applied micro-batch).
+    /// Surfaced over the wire as the `serve_epoch_shard_<i>` METRICS
+    /// gauge. Aggregates as a **maximum** — summing epochs across
+    /// independent shards would be meaningless.
+    pub epoch: u64,
+    /// Highest epoch any replication follower has acknowledged applying
+    /// for this shard (0 before the first ack; monotonic). `epoch -
+    /// replica_acked_epoch` is the shard's replication lag in batches;
+    /// surfaced as `replica_applied_epoch_shard_<i>` /
+    /// `replica_lag_batches`. Aggregates as a maximum, like `epoch`.
+    pub replica_acked_epoch: u64,
+    /// Live replication subscriber queues on this shard's tap (0 when
+    /// replication is disabled). Sums across shards.
+    pub replica_subscribers: usize,
 }
 
 impl ShardStats {
@@ -189,8 +204,9 @@ pub struct RouterStats {
 impl RouterStats {
     /// Fold the per-shard counters into one aggregate row, keeping the
     /// per-shard queue detail alongside. In the totals, `shard` is the
-    /// shard count, `queue_depth`/`max_queue_depth` are maxima,
-    /// `last_error` is the first one found; everything else sums.
+    /// shard count, `queue_depth`/`max_queue_depth`/`epoch`/
+    /// `replica_acked_epoch` are maxima, `last_error` is the first one
+    /// found; everything else sums.
     pub fn aggregate(&self) -> RouterAggregate {
         let mut agg = ShardStats {
             shard: self.shards.len(),
@@ -242,6 +258,9 @@ impl RouterStats {
             agg.n_triples += s.n_triples;
             agg.n_sources += s.n_sources;
             agg.log_dropped_events += s.log_dropped_events;
+            agg.epoch = agg.epoch.max(s.epoch);
+            agg.replica_acked_epoch = agg.replica_acked_epoch.max(s.replica_acked_epoch);
+            agg.replica_subscribers += s.replica_subscribers;
         }
         RouterAggregate { totals: agg, queue }
     }
@@ -284,6 +303,9 @@ mod tests {
                         pairs_exact: 4,
                         pairs_sketch_pruned: 10,
                     },
+                    epoch: 9,
+                    replica_acked_epoch: 7,
+                    replica_subscribers: 2,
                     ..ShardStats::default()
                 },
                 ShardStats {
@@ -315,6 +337,9 @@ mod tests {
                         pairs_exact: 6,
                         pairs_sketch_pruned: 30,
                     },
+                    epoch: 4,
+                    replica_acked_epoch: 4,
+                    replica_subscribers: 1,
                     ..ShardStats::default()
                 },
             ],
@@ -361,6 +386,11 @@ mod tests {
                 pairs_sketch_pruned: 40,
             }
         );
+        // Epochs fold as maxima (each shard counts its own stream);
+        // subscriber counts sum.
+        assert_eq!(agg.epoch, 9);
+        assert_eq!(agg.replica_acked_epoch, 7);
+        assert_eq!(agg.replica_subscribers, 3);
         assert!((agg.mean_batch_events() - 24.0).abs() < 1e-9);
         assert!((agg.mean_ingest_ns() - 36.0).abs() < 1e-9);
         assert_eq!(ShardStats::default().mean_batch_events(), 0.0);

@@ -21,7 +21,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use corrfuse_core::dataset::{Domain, SourceId};
+use corrfuse_core::dataset::{Dataset, Domain, SourceId};
 use corrfuse_core::triple::{Triple, TripleId};
 
 /// A tenant (routing key). Dense ids; `tenant.0 % n_shards` picks the
@@ -62,6 +62,53 @@ pub fn unscoped(name: &str) -> &str {
     match name.split_once(NAMESPACE_SEP) {
         Some((_, rest)) => rest,
         None => name,
+    }
+}
+
+/// The tenant a shard-side subject or source name belongs to, if it
+/// carries a parseable namespace prefix.
+pub(crate) fn tenant_of(name: &str) -> Option<TenantId> {
+    let (prefix, _) = name.split_once(NAMESPACE_SEP)?;
+    prefix.parse().ok().map(TenantId)
+}
+
+/// Rebuild the per-tenant id maps of a shard from its dataset alone.
+///
+/// Shard datasets intern sources and triples in first-registration
+/// order, and a tenant's positional map is exactly its registration
+/// order, so walking the dataset in id order and grouping by namespace
+/// prefix reproduces the leader's [`TenantMap`]s deterministically. This
+/// is how a replication follower — which receives shard-space snapshots
+/// and batches, never tenant events — recovers the tenant view needed to
+/// serve per-tenant reads. Domain translation maps are not recoverable
+/// (and not needed: followers never translate ingest), so `domains` is
+/// left empty. Entries without a parseable tenant prefix are ignored.
+pub fn derive_tenant_maps(dataset: &Dataset) -> HashMap<TenantId, TenantMap> {
+    let mut maps = HashMap::new();
+    extend_tenant_maps(&mut maps, dataset, 0, 0);
+    maps
+}
+
+/// Incrementally extend derived tenant maps with the sources/triples the
+/// dataset gained since the last derivation (`from_sources` /
+/// `from_triples` are the counts already mapped). Interning ids are
+/// dense and append-only, so walking just the new suffix keeps a
+/// follower's maps exact in O(batch) per batch instead of O(dataset).
+pub fn extend_tenant_maps(
+    maps: &mut HashMap<TenantId, TenantMap>,
+    dataset: &Dataset,
+    from_sources: usize,
+    from_triples: usize,
+) {
+    for s in dataset.sources().skip(from_sources) {
+        if let Some(tenant) = tenant_of(dataset.source_name(s)) {
+            maps.entry(tenant).or_default().sources.push(s);
+        }
+    }
+    for t in dataset.triples().skip(from_triples) {
+        if let Some(tenant) = tenant_of(&dataset.triple(t).subject) {
+            maps.entry(tenant).or_default().triples.push(t);
+        }
     }
 }
 
@@ -115,6 +162,62 @@ mod tests {
         assert_eq!(unscoped(&st.subject), "Obama");
         assert_eq!(st.predicate, "profession");
         assert_ne!(st, scoped_triple(TenantId(8), &t));
+    }
+
+    #[test]
+    fn derived_maps_follow_registration_order() {
+        use corrfuse_core::dataset::DatasetBuilder;
+        let mut b = DatasetBuilder::new();
+        let s0 = b.source(scoped_source_name(TenantId(1), "A"));
+        let s1 = b.source(scoped_source_name(TenantId(2), "A"));
+        let s2 = b.source(scoped_source_name(TenantId(1), "B"));
+        b.source("unprefixed");
+        let t0 = b.triple(format!("2{NAMESPACE_SEP}x"), "p", "1");
+        b.observe(s1, t0);
+        let t1 = b.triple(format!("1{NAMESPACE_SEP}x"), "p", "1");
+        b.observe(s0, t1);
+        b.observe(s2, t1);
+        b.label(t0, true);
+        b.label(t1, false);
+        let d = b.build().unwrap();
+
+        let maps = derive_tenant_maps(&d);
+        assert_eq!(maps.len(), 2);
+        let m1 = &maps[&TenantId(1)];
+        assert_eq!(m1.sources, vec![s0, s2]);
+        assert_eq!(m1.triples, vec![t1]);
+        assert!(m1.domains.is_empty());
+        let m2 = &maps[&TenantId(2)];
+        assert_eq!(m2.sources, vec![s1]);
+        assert_eq!(m2.triples, vec![t0]);
+    }
+
+    #[test]
+    fn extend_picks_up_only_the_new_suffix() {
+        use corrfuse_core::dataset::DatasetBuilder;
+        let mut b = DatasetBuilder::new();
+        let s0 = b.source(scoped_source_name(TenantId(1), "A"));
+        let t0 = b.triple(format!("1{NAMESPACE_SEP}x"), "p", "1");
+        b.observe(s0, t0);
+        b.label(t0, true);
+        let t1 = b.triple(format!("2{NAMESPACE_SEP}y"), "p", "2");
+        let s1 = b.source(scoped_source_name(TenantId(2), "B"));
+        b.observe(s1, t1);
+        b.label(t1, false);
+        let d = b.build().unwrap();
+
+        let full = derive_tenant_maps(&d);
+        let mut maps = HashMap::new();
+        extend_tenant_maps(&mut maps, &d, 0, 0);
+        assert_eq!(maps, full);
+        // Re-extending from the current counts is a no-op.
+        extend_tenant_maps(&mut maps, &d, d.n_sources(), d.n_triples());
+        assert_eq!(maps, full);
+        // Extending from a mid-stream count maps only the suffix.
+        let mut tail = HashMap::new();
+        extend_tenant_maps(&mut tail, &d, 1, 1);
+        assert_eq!(tail[&TenantId(2)], full[&TenantId(2)]);
+        assert!(!tail.contains_key(&TenantId(1)));
     }
 
     #[test]

@@ -54,6 +54,13 @@ use crate::event::Event;
 pub const HEADER: &str = "#corrfuse-journal v1";
 const SEED_MARK: &str = "#seed";
 const EVENTS_MARK: &str = "#events";
+/// Optional epoch line between the header and the seed section:
+/// `#epoch <n>` records the replication epoch of the snapshot, i.e. how
+/// many batches had been committed when the seed was captured. Emitted
+/// only when the epoch is non-zero, so journals written before epochs
+/// existed — and journals from un-replicated sessions — are byte-for-byte
+/// unchanged. A missing line reads as epoch 0.
+const EPOCH_MARK: &str = "#epoch";
 
 /// A complete batch boundary as it appears in the file: the `+B` line,
 /// newline-anchored on both sides. Event lines always follow the
@@ -97,19 +104,38 @@ pub enum FsyncPolicy {
     Never,
 }
 
-/// The snapshot prefix of a journal: header, seed section, events marker.
+/// The snapshot prefix of a journal: header, optional epoch line, seed
+/// section, events marker.
 fn snapshot_string(seed: &Dataset) -> String {
+    snapshot_string_at(seed, 0)
+}
+
+/// [`snapshot_string`] stamped with a base epoch (omitted when zero).
+fn snapshot_string_at(seed: &Dataset, epoch: u64) -> String {
     // `io::to_string` ends with a newline, so the marker lands on its own
     // line.
-    format!(
-        "{HEADER}\n{SEED_MARK}\n{}{EVENTS_MARK}\n",
-        corrfuse_core::io::to_string(seed)
-    )
+    if epoch == 0 {
+        format!(
+            "{HEADER}\n{SEED_MARK}\n{}{EVENTS_MARK}\n",
+            corrfuse_core::io::to_string(seed)
+        )
+    } else {
+        format!(
+            "{HEADER}\n{EPOCH_MARK} {epoch}\n{SEED_MARK}\n{}{EVENTS_MARK}\n",
+            corrfuse_core::io::to_string(seed)
+        )
+    }
 }
 
 /// Write a snapshot-only journal (a seed and no events yet).
 pub fn write_snapshot(path: impl AsRef<Path>, seed: &Dataset) -> Result<()> {
     fs::write(path, snapshot_string(seed))?;
+    Ok(())
+}
+
+/// [`write_snapshot`] stamped with a base epoch (see [`read_at`]).
+pub fn write_snapshot_at(path: impl AsRef<Path>, seed: &Dataset, epoch: u64) -> Result<()> {
+    fs::write(path, snapshot_string_at(seed, epoch))?;
     Ok(())
 }
 
@@ -137,7 +163,21 @@ impl JournalWriter {
         seed: &Dataset,
         fsync: FsyncPolicy,
     ) -> Result<JournalWriter> {
-        write_snapshot(path.as_ref(), seed)?;
+        Self::create_at(path, seed, fsync, 0)
+    }
+
+    /// [`JournalWriter::create_with`] whose snapshot is stamped with a
+    /// base epoch: the replication epoch at which `seed` was captured.
+    /// [`read_at`]/[`recover`] report it back so a restored session (or a
+    /// cold-restarting follower) resumes epoch numbering where the
+    /// snapshot left off instead of restarting from zero.
+    pub fn create_at(
+        path: impl AsRef<Path>,
+        seed: &Dataset,
+        fsync: FsyncPolicy,
+        epoch: u64,
+    ) -> Result<JournalWriter> {
+        write_snapshot_at(path.as_ref(), seed, epoch)?;
         let w = Self::append_with(path, fsync)?;
         if w.fsync != FsyncPolicy::Never {
             w.file.sync_all()?;
@@ -222,7 +262,21 @@ impl JournalWriter {
     /// to a temporary sibling, synced, and atomically renamed over the
     /// journal, so a crash mid-rotation leaves either the old or the new
     /// journal — never a torn hybrid. Returns the new size in bytes.
+    ///
+    /// Rotation discards any epoch stamp (the compacted snapshot reads
+    /// as epoch 0). A session feeding a replication tap must use
+    /// [`JournalWriter::rotate_at`] instead, or a follower bootstrapping
+    /// from the rotated file would restart its epoch numbering and
+    /// re-request batches the snapshot already contains.
     pub fn rotate(&mut self, seed: &Dataset) -> Result<u64> {
+        self.rotate_at(seed, 0)
+    }
+
+    /// [`JournalWriter::rotate`] whose compacted snapshot is stamped
+    /// with `epoch` — the number of batches committed into `seed` — so
+    /// epoch numbering survives compaction exactly as it survives a
+    /// plain restart.
+    pub fn rotate_at(&mut self, seed: &Dataset, epoch: u64) -> Result<u64> {
         let file_name = self
             .path
             .file_name()
@@ -237,7 +291,7 @@ impl JournalWriter {
         let tmp = self.path.with_file_name(format!("{file_name}.rotate.tmp"));
         {
             let mut f = fs::File::create(&tmp)?;
-            f.write_all(snapshot_string(seed).as_bytes())?;
+            f.write_all(snapshot_string_at(seed, epoch).as_bytes())?;
             f.flush()?;
             // Always sync the snapshot before the rename: renaming an
             // unsynced file over the journal could lose both copies.
@@ -251,13 +305,25 @@ impl JournalWriter {
 
 /// Read a journal: the seed snapshot plus the recorded event batches.
 pub fn read(path: impl AsRef<Path>) -> Result<(Dataset, Vec<Vec<Event>>)> {
+    let (_, seed, batches) = read_at(path)?;
+    Ok((seed, batches))
+}
+
+/// [`read`] that also reports the snapshot's base epoch: the replication
+/// epoch at which the seed was captured (0 for journals without an
+/// `#epoch` line). The session's epoch after replay is
+/// `base_epoch + batches.len()`.
+pub fn read_at(path: impl AsRef<Path>) -> Result<(u64, Dataset, Vec<Vec<Event>>)> {
     let text = fs::read_to_string(path)?;
-    parse(&text)
+    parse_at(&text)
 }
 
 /// Outcome of a crash-tolerant journal read ([`recover`]).
 #[derive(Debug, Clone)]
 pub struct Recovered {
+    /// The base epoch of the seed snapshot (0 when the journal predates
+    /// epochs or was written by an un-replicated session).
+    pub base_epoch: u64,
     /// The seed snapshot.
     pub seed: Dataset,
     /// The surviving event batches (a trailing run without `+B` is the
@@ -289,8 +355,9 @@ pub fn recover(text: &str) -> Result<Recovered> {
             None => ("", true),
         }
     };
-    let (seed, batches) = parse(prefix)?;
+    let (base_epoch, seed, batches) = parse_at(prefix)?;
     Ok(Recovered {
+        base_epoch,
         seed,
         batches,
         good_len: prefix.len() as u64,
@@ -306,6 +373,13 @@ pub fn read_recover(path: impl AsRef<Path>) -> Result<Recovered> {
 
 /// Parse journal text. See the module docs for the format.
 pub fn parse(text: &str) -> Result<(Dataset, Vec<Vec<Event>>)> {
+    let (_, seed, batches) = parse_at(text)?;
+    Ok((seed, batches))
+}
+
+/// [`parse`] that also reports the snapshot's base epoch (see
+/// [`read_at`]).
+pub fn parse_at(text: &str) -> Result<(u64, Dataset, Vec<Vec<Event>>)> {
     let mut lines = text.lines().enumerate();
     match lines.next() {
         Some((_, l)) if l.trim_end() == HEADER => {}
@@ -316,17 +390,33 @@ pub fn parse(text: &str) -> Result<(Dataset, Vec<Vec<Event>>)> {
             })
         }
     }
-    match lines.next() {
+    // An optional `#epoch <n>` line may sit between the header and the
+    // seed marker; its presence shifts every subsequent line by one.
+    let mut base_epoch = 0u64;
+    let mut seed_offset = 2;
+    let mut next = lines.next();
+    if let Some((_, l)) = next {
+        if let Some(rest) = l.trim_end().strip_prefix(EPOCH_MARK) {
+            base_epoch = rest.trim().parse().map_err(|_| FusionError::Parse {
+                line: 2,
+                msg: format!("bad `{EPOCH_MARK}` value `{}`", rest.trim()),
+            })?;
+            seed_offset = 3;
+            next = lines.next();
+        }
+    }
+    match next {
         Some((_, l)) if l.trim_end() == SEED_MARK => {}
         _ => {
             return Err(FusionError::Parse {
-                line: 2,
+                line: seed_offset,
                 msg: format!("expected `{SEED_MARK}` section"),
             })
         }
     }
     // The seed section runs until the events marker; its first line is
-    // file line 3, so dataset parse errors are offset by 2.
+    // the file line just past the seed marker, so dataset parse errors
+    // are offset by `seed_offset` (2, or 3 with an epoch line).
     let mut seed_text = String::new();
     let mut saw_events_mark = false;
     for (_, raw) in lines.by_ref() {
@@ -345,7 +435,7 @@ pub fn parse(text: &str) -> Result<(Dataset, Vec<Vec<Event>>)> {
     }
     let seed = corrfuse_core::io::from_str(&seed_text).map_err(|e| match e {
         FusionError::Parse { line, msg } => FusionError::Parse {
-            line: line + 2,
+            line: line + seed_offset,
             msg,
         },
         other => other,
@@ -354,7 +444,7 @@ pub fn parse(text: &str) -> Result<(Dataset, Vec<Vec<Event>>)> {
     // The event section is the shared codec dialect; a trailing run
     // without `+B` (crash mid-append) replays as a final partial batch.
     let parsed = codec::parse_batch_lines(lines.map(|(idx, raw)| (idx + 1, raw)))?;
-    Ok((seed, parsed.batches))
+    Ok((base_epoch, seed, parsed.batches))
 }
 
 #[cfg(test)]
@@ -537,6 +627,76 @@ mod tests {
         assert_eq!(w2.fsync_policy(), FsyncPolicy::Never);
         assert_eq!(w2.path(), path.as_path());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn epoch_line_roundtrips_and_defaults_to_zero() {
+        let dir = std::env::temp_dir().join("corrfuse-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("epoch.journal");
+
+        // Epoch 0 omits the line entirely: byte-identical to the
+        // pre-epoch format.
+        assert_eq!(snapshot_string_at(&seed(), 0), snapshot_string(&seed()));
+
+        let mut w = JournalWriter::create_at(&path, &seed(), FsyncPolicy::Never, 7).unwrap();
+        for b in batches() {
+            w.append_batch(&b).unwrap();
+        }
+        let (base, _, back) = read_at(&path).unwrap();
+        assert_eq!(base, 7);
+        assert_eq!(back, batches());
+        // The epoch-blind readers still work on stamped journals.
+        let (_, back) = read(&path).unwrap();
+        assert_eq!(back, batches());
+
+        // Rotation re-stamps: the compacted snapshot carries the epoch
+        // of the accumulated state.
+        w.rotate_at(&seed(), 9).unwrap();
+        let (base, _, back) = read_at(&path).unwrap();
+        assert_eq!(base, 9);
+        assert!(back.is_empty());
+
+        // `recover` reports the base epoch too.
+        w.append_batch(&batches()[0]).unwrap();
+        w.seal().unwrap();
+        let rec = read_recover(&path).unwrap();
+        assert_eq!(rec.base_epoch, 9);
+        assert_eq!(rec.batches.len(), 1);
+
+        // Epoch-less rotate drops the stamp (documented hazard).
+        w.rotate(&seed()).unwrap();
+        let (base, _, _) = read_at(&path).unwrap();
+        assert_eq!(base, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn epoch_line_shifts_seed_error_offsets() {
+        // With the `#epoch` line the seed section starts one line later,
+        // so the broken T record sits on line 7 instead of 6.
+        let good = snapshot_string_at(&seed(), 3);
+        let bad = good.replace("\t1\t0,1\n", "\t9\t0,1\n");
+        assert_ne!(good, bad);
+        match parse(&bad).unwrap_err() {
+            FusionError::Parse { line, msg } => {
+                assert_eq!(line, 7, "{msg}");
+                assert!(msg.contains("bad label"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_epoch_line_rejected() {
+        let text = format!("{HEADER}\n{EPOCH_MARK} not-a-number\n{SEED_MARK}\n");
+        match parse(&text).unwrap_err() {
+            FusionError::Parse { line, msg } => {
+                assert_eq!(line, 2, "{msg}");
+                assert!(msg.contains("#epoch"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]

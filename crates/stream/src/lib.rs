@@ -39,7 +39,10 @@
 //!   truncation ([`StreamSession::recover`] trims the torn tail). The
 //!   in-memory [`event::DeltaLog`] is bounded by an
 //!   [`event::LogRetention`] policy once the journal is the durable
-//!   history.
+//!   history. Snapshots may carry an `#epoch <n>` stamp so a session's
+//!   replication epoch ([`StreamSession::epoch`], one increment per
+//!   committed batch) survives restore, recovery and rotation — the
+//!   ordering backbone of `corrfuse-replica` followers.
 //!
 //! The subsystem inherits the workspace trust anchor (stated once in
 //! `docs/ARCHITECTURE.md`), enforced here by unit and property tests:

@@ -70,6 +70,12 @@ pub struct StreamSession {
     journal: Option<JournalWriter>,
     threshold: f64,
     retention: LogRetention,
+    /// Replication epoch: the number of batches committed into this
+    /// session since epoch 0, counting batches replayed from a journal
+    /// (restore/recover resume at `base_epoch + replayed`). Two sessions
+    /// at the same epoch that started from the same epoch-stamped seed
+    /// hold bitwise-identical state.
+    epoch: u64,
 }
 
 /// What [`StreamSession::recover`] salvaged from a crashed journal.
@@ -106,12 +112,22 @@ impl StreamSession {
             journal: None,
             threshold: 0.5,
             retention: LogRetention::KeepAll,
+            epoch: 0,
         })
     }
 
     /// Override the decision threshold (default 0.5, the paper's setting).
     pub fn with_threshold(mut self, threshold: f64) -> StreamSession {
         self.threshold = threshold;
+        self
+    }
+
+    /// Override the base epoch (default 0). Used when the seed dataset
+    /// is itself a snapshot taken at a known epoch — e.g. a replication
+    /// follower bootstrapping from a leader snapshot at epoch `e` — so
+    /// this session's epoch numbering continues the leader's.
+    pub fn with_epoch(mut self, epoch: u64) -> StreamSession {
+        self.epoch = epoch;
         self
     }
 
@@ -141,8 +157,9 @@ impl StreamSession {
     /// and keep appending new batches to the same file.
     pub fn restore(config: FuserConfig, path: impl AsRef<Path>) -> Result<StreamSession> {
         let path = path.as_ref();
-        let (seed, batches) = crate::journal::read(path)?;
+        let (base_epoch, seed, batches) = crate::journal::read_at(path)?;
         let mut session = Self::replayed(config, seed, &batches)?;
+        session.epoch = base_epoch + batches.len() as u64;
         session.journal = Some(JournalWriter::append(path)?);
         Ok(session)
     }
@@ -184,6 +201,7 @@ impl StreamSession {
             replayed = Self::replayed(config, recovered.seed, &batches);
         }
         let mut session = replayed?;
+        session.epoch = recovered.base_epoch + batches.len() as u64;
         if (good_len as u64) < file_len {
             let f = std::fs::OpenOptions::new().write(true).open(path)?;
             f.set_len(good_len as u64)?;
@@ -228,9 +246,16 @@ impl StreamSession {
     }
 
     /// [`StreamSession::journal_to`] with an explicit durability policy
-    /// for the snapshot and every appended batch.
+    /// for the snapshot and every appended batch. The snapshot is
+    /// stamped with the session's current epoch, so a restore resumes
+    /// epoch numbering where this session stands now.
     pub fn journal_to_with(&mut self, path: impl AsRef<Path>, fsync: FsyncPolicy) -> Result<()> {
-        self.journal = Some(JournalWriter::create_with(path, self.inc.dataset(), fsync)?);
+        self.journal = Some(JournalWriter::create_at(
+            path,
+            self.inc.dataset(),
+            fsync,
+            self.epoch,
+        )?);
         Ok(())
     }
 
@@ -238,13 +263,18 @@ impl StreamSession {
     /// snapshot of the current accumulated dataset (no events), then
     /// resume appending. Bounds journal growth on long-running sessions;
     /// returns the new journal size in bytes.
+    ///
+    /// The compacted snapshot is stamped with the session's current
+    /// epoch, so restore/recover — and any replication follower
+    /// bootstrapping from the rotated file — resume epoch numbering
+    /// rather than restarting it at zero.
     pub fn rotate_journal(&mut self) -> Result<u64> {
         let Some(journal) = &mut self.journal else {
             return Err(corrfuse_core::error::FusionError::Io(
                 "rotate_journal called with no active journal".to_string(),
             ));
         };
-        journal.rotate(self.inc.dataset())
+        journal.rotate_at(self.inc.dataset(), self.epoch)
     }
 
     /// Size in bytes of the active journal, if journaling.
@@ -308,6 +338,7 @@ impl StreamSession {
     /// ```
     pub fn ingest(&mut self, batch: &[Event]) -> Result<ScoredDelta> {
         let outcome = self.inc.ingest(batch, &self.engine)?;
+        self.epoch += 1;
         self.log.push_batch(batch);
         self.apply_retention();
         let mut journal_ns = 0;
@@ -369,6 +400,13 @@ impl StreamSession {
     /// The decision threshold.
     pub fn threshold(&self) -> f64 {
         self.threshold
+    }
+
+    /// The session's replication epoch: batches committed since epoch 0,
+    /// including batches replayed from the journal at restore/recover.
+    /// Increments once per successful [`StreamSession::ingest`].
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The batches ingested by this session (post-restore batches only

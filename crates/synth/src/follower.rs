@@ -1,0 +1,164 @@
+//! Replication-fault scenarios for the read-replica subsystem
+//! (`corrfuse-replica`).
+//!
+//! [`follower_scenario`] wraps a [`crate::multi_tenant`] workload with a
+//! deterministic fault schedule: at chosen points in the interleaved
+//! message sequence the harness severs the follower's leader links,
+//! rotates the leader's shard journals, or cold-restarts the follower
+//! process entirely. The schedule is what makes the replica equivalence
+//! property adversarial — every fault lands mid-stream, so resumes,
+//! snapshot re-bootstraps and journal recovery all get exercised while
+//! epochs keep advancing.
+
+use corrfuse_core::error::Result;
+use corrfuse_core::rng::StdRng;
+
+use crate::multi_tenant::{multi_tenant_events, MultiTenantSpec, MultiTenantStream};
+
+/// A replication fault injected after a given message index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Sever every live leader link; links resubscribe from their
+    /// applied epochs (resume or snapshot, depending on the backlog).
+    Disconnect,
+    /// Rotate (compact in place) every leader shard journal, under the
+    /// active replication taps.
+    RotateJournal,
+    /// Tear the follower down and start a fresh one from its on-disk
+    /// journals (or from scratch when it keeps none).
+    ColdRestart,
+}
+
+/// Specification of a follower fault scenario.
+#[derive(Debug, Clone)]
+pub struct FollowerScenarioSpec {
+    /// The underlying multi-tenant ingest workload.
+    pub tenants: MultiTenantSpec,
+    /// Link disconnects to inject.
+    pub n_disconnects: usize,
+    /// Leader journal rotations to inject.
+    pub n_rotations: usize,
+    /// Follower cold restarts to inject.
+    pub n_restarts: usize,
+    /// RNG seed for the fault placement (independent of the workload
+    /// seed, so the same stream can carry different schedules).
+    pub seed: u64,
+}
+
+impl FollowerScenarioSpec {
+    /// A small default schedule: one fault of each kind.
+    pub fn new(tenants: MultiTenantSpec, seed: u64) -> Self {
+        FollowerScenarioSpec {
+            tenants,
+            n_disconnects: 1,
+            n_rotations: 1,
+            n_restarts: 1,
+            seed,
+        }
+    }
+}
+
+/// A generated scenario: the workload plus its fault schedule.
+#[derive(Debug, Clone)]
+pub struct FollowerScenario {
+    /// The interleaved multi-tenant workload.
+    pub stream: MultiTenantStream,
+    /// Faults sorted by position: `(i, fault)` fires after the `i`-th
+    /// message (0-based) has been ingested on the leader. Positions are
+    /// distinct, so at most one fault fires per message boundary.
+    pub faults: Vec<(usize, Fault)>,
+}
+
+impl FollowerScenario {
+    /// The faults scheduled at message boundary `i`, if any.
+    pub fn fault_after(&self, i: usize) -> Option<Fault> {
+        self.faults.iter().find(|(at, _)| *at == i).map(|(_, f)| *f)
+    }
+}
+
+/// Generate the workload and place the faults at distinct mid-stream
+/// message boundaries (never before the first message or after the
+/// last, so every fault interrupts live replication). See the module
+/// docs.
+pub fn follower_scenario(spec: &FollowerScenarioSpec) -> Result<FollowerScenario> {
+    let stream = multi_tenant_events(&spec.tenants)?;
+    let n_messages = stream.messages.len();
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x666f_6c6c_6f77_6572); // "follower"
+    let wanted: Vec<Fault> = std::iter::empty()
+        .chain(std::iter::repeat_n(Fault::Disconnect, spec.n_disconnects))
+        .chain(std::iter::repeat_n(Fault::RotateJournal, spec.n_rotations))
+        .chain(std::iter::repeat_n(Fault::ColdRestart, spec.n_restarts))
+        .collect();
+    // Sample distinct interior boundaries; with a short stream there may
+    // be fewer boundaries than requested faults, in which case the
+    // schedule is truncated (position exhaustion, not an error).
+    let interior: Vec<usize> = (0..n_messages.saturating_sub(1)).collect();
+    let mut positions = interior;
+    // Fisher–Yates prefix shuffle: the first `wanted.len()` entries
+    // become the fault positions.
+    let take = wanted.len().min(positions.len());
+    for i in 0..take {
+        let j = rng.gen_range(i..positions.len());
+        positions.swap(i, j);
+    }
+    let mut faults: Vec<(usize, Fault)> = positions.into_iter().take(take).zip(wanted).collect();
+    faults.sort_by_key(|(at, _)| *at);
+    Ok(FollowerScenario { stream, faults })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> FollowerScenarioSpec {
+        FollowerScenarioSpec {
+            tenants: MultiTenantSpec::new(4, 120, 7),
+            n_disconnects: 2,
+            n_rotations: 1,
+            n_restarts: 1,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn schedules_are_deterministic_and_distinct() {
+        let a = follower_scenario(&spec()).unwrap();
+        let b = follower_scenario(&spec()).unwrap();
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.faults.len(), 4);
+        let mut positions: Vec<usize> = a.faults.iter().map(|(at, _)| *at).collect();
+        let n = positions.len();
+        positions.dedup();
+        assert_eq!(positions.len(), n, "fault positions must be distinct");
+        assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        // Every fault is interior: replication is live when it fires.
+        assert!(*positions.last().unwrap() < a.stream.messages.len() - 1);
+        // A different fault seed moves the schedule without touching the
+        // workload.
+        let mut other = spec();
+        other.seed = 12;
+        let c = follower_scenario(&other).unwrap();
+        assert_eq!(a.stream.messages, c.stream.messages);
+        assert_ne!(a.faults, c.faults);
+    }
+
+    #[test]
+    fn fault_counts_follow_the_spec() {
+        let s = follower_scenario(&spec()).unwrap();
+        let count = |f: Fault| s.faults.iter().filter(|(_, g)| *g == f).count();
+        assert_eq!(count(Fault::Disconnect), 2);
+        assert_eq!(count(Fault::RotateJournal), 1);
+        assert_eq!(count(Fault::ColdRestart), 1);
+        assert_eq!(s.fault_after(s.faults[0].0), Some(s.faults[0].1));
+        assert_eq!(s.fault_after(usize::MAX), None);
+    }
+
+    #[test]
+    fn oversubscribed_schedules_truncate() {
+        let mut s = spec();
+        s.n_disconnects = 10_000;
+        let sc = follower_scenario(&s).unwrap();
+        assert!(sc.faults.len() < 10_000);
+        assert_eq!(sc.faults.len(), sc.stream.messages.len() - 1);
+    }
+}

@@ -24,12 +24,17 @@
 //!   loopback tests and the `net_throughput` bench);
 //! * [`wide_world`] — many sources partitioned into narrow domains with
 //!   one planted correlation clique per domain (drives the sparse
-//!   lift-graph / sketch-tier scaling tests and the `wide_world` bench).
+//!   lift-graph / sketch-tier scaling tests and the `wide_world` bench);
+//! * [`follower`] — a multi-tenant workload plus a deterministic
+//!   replication-fault schedule (disconnects, journal rotations, follower
+//!   cold restarts; drives the `corrfuse-replica` equivalence suite and
+//!   the `replica_read_scaling` bench).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod churn;
+pub mod follower;
 pub mod generator;
 pub mod motivating;
 pub mod multi_tenant;
@@ -39,6 +44,7 @@ pub mod stream_events;
 pub mod wide_world;
 
 pub use churn::{label_churn_stream, ChurnSpec};
+pub use follower::{follower_scenario, Fault, FollowerScenario, FollowerScenarioSpec};
 pub use generator::{generate, GroupKind, GroupSpec, Polarity, SourceSpec, SynthSpec};
 pub use multi_tenant::{multi_tenant_events, MultiTenantSpec, MultiTenantStream};
 pub use remote::{

@@ -21,6 +21,11 @@
 //!   frames carrying journal-codec event batches), a blocking TCP
 //!   server owning a `ShardRouter`, and a pipelined reconnecting
 //!   client. Spec in `docs/PROTOCOL.md`.
+//! * [`replica`] (`corrfuse-replica`) — read-replica followers: one
+//!   replication link per leader shard (`SUBSCRIBE`/`BATCH`/
+//!   `EPOCH_ACK`), incremental apply with epoch sequencing, and
+//!   bounded-staleness reads (`min_epoch` / `STALE`) served in process
+//!   or through the read-only follower server.
 //! * [`obs`] (`corrfuse-obs`) — zero-dependency observability: the
 //!   lock-free metric registry, log₂ latency histograms, span timers
 //!   and the bounded batch-trace ring. Catalog in
@@ -39,6 +44,7 @@ pub use corrfuse_core as core;
 pub use corrfuse_eval as eval;
 pub use corrfuse_net as net;
 pub use corrfuse_obs as obs;
+pub use corrfuse_replica as replica;
 pub use corrfuse_serve as serve;
 pub use corrfuse_stream as stream;
 pub use corrfuse_synth as synth;
