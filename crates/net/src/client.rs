@@ -322,7 +322,12 @@ impl Client {
                 self.acked += 1;
                 Ok(())
             }
-            Response::Error { code, message } if code == ErrorCode::Busy => {
+            Response::Error { code, message }
+                if code == ErrorCode::Busy || code == ErrorCode::Migrating =>
+            {
+                // Both clear on their own: BUSY as the queue drains,
+                // MIGRATING as the tenant's cut-over window closes (the
+                // retry then lands on whichever shard serves the tenant).
                 let mut p = self.in_flight.pop_front().expect("in-flight batch");
                 if p.busy_attempts >= self.config.busy_retries {
                     // Out of retries: the batch is definitively not

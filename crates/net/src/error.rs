@@ -39,6 +39,12 @@ pub enum ErrorCode {
     /// reached. **Retryable** — the replica is catching up; back off
     /// and resend, or lower `min_epoch`.
     Stale = 9,
+    /// The referenced tenant is mid-migration between shards and the
+    /// cut-over window could not absorb this request. **Retryable** —
+    /// the window closes within one flush of the target shard; back off
+    /// and resend (the retry lands on whichever shard serves the tenant
+    /// by then, transparently).
+    Migrating = 10,
 }
 
 impl ErrorCode {
@@ -55,6 +61,7 @@ impl ErrorCode {
             Forbidden,
             Internal,
             Stale,
+            Migrating,
         ]
         .into_iter()
         .find(|c| *c as u16 == code)
@@ -62,10 +69,13 @@ impl ErrorCode {
 
     /// Whether a client may retry the exact same request and expect it
     /// to eventually succeed. [`ErrorCode::Busy`] (queue pressure
-    /// drains) and [`ErrorCode::Stale`] (the replica catches up)
-    /// qualify.
+    /// drains), [`ErrorCode::Stale`] (the replica catches up) and
+    /// [`ErrorCode::Migrating`] (the cut-over window closes) qualify.
     pub fn is_retryable(self) -> bool {
-        matches!(self, ErrorCode::Busy | ErrorCode::Stale)
+        matches!(
+            self,
+            ErrorCode::Busy | ErrorCode::Stale | ErrorCode::Migrating
+        )
     }
 }
 
@@ -81,6 +91,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Forbidden => "FORBIDDEN",
             ErrorCode::Internal => "INTERNAL",
             ErrorCode::Stale => "STALE",
+            ErrorCode::Migrating => "MIGRATING",
         };
         write!(f, "{name}({})", *self as u16)
     }
@@ -97,6 +108,7 @@ pub fn code_of(e: &ServeError) -> ErrorCode {
         ServeError::UnknownTenant(_) => ErrorCode::UnknownTenant,
         ServeError::ShuttingDown => ErrorCode::ShuttingDown,
         ServeError::Stale { .. } => ErrorCode::Stale,
+        ServeError::TenantMigrating { .. } => ErrorCode::Migrating,
         _ => ErrorCode::Internal,
     }
 }

@@ -169,6 +169,15 @@ impl Server {
         &self.router
     }
 
+    /// A shared handle to the owned router, for in-process operations
+    /// that must outlive a borrow of the server — e.g. driving a live
+    /// tenant migration ([`ShardRouter::migrate_tenant`]) or a
+    /// rebalancer loop from another thread while [`crate::spawn`] owns
+    /// the server.
+    pub fn router_handle(&self) -> Arc<ShardRouter> {
+        Arc::clone(&self.router)
+    }
+
     /// A stop handle, safe to move to another thread.
     pub fn handle(&self) -> Result<ServerHandle> {
         Ok(ServerHandle {
@@ -361,7 +370,29 @@ fn metrics_response(registry: Option<&Arc<Registry>>, router: &ShardRouter) -> R
         counter("serve_score_cache_hits", agg.score_cache.hits),
         counter("serve_score_cache_misses", agg.score_cache.misses),
         counter("serve_journal_rotations", agg.rotations),
+        counter("serve_migrations_in", agg.migrations_in),
+        counter("serve_migrations_out", agg.migrations_out),
+        counter("serve_migrations_failed", agg.migrations_failed),
+        gauge("serve_scoring_threads", agg.scoring_threads as i64),
     ]);
+    // Per-shard migration traffic: the summed counters cannot say which
+    // shard sheds tenants and which absorbs them.
+    for m in &agg.migrations {
+        if m.migrations_in + m.migrations_out + m.migrations_failed > 0 {
+            samples.push(counter(
+                &format!("serve_migrations_in_shard_{}", m.shard),
+                m.migrations_in,
+            ));
+            samples.push(counter(
+                &format!("serve_migrations_out_shard_{}", m.shard),
+                m.migrations_out,
+            ));
+            samples.push(counter(
+                &format!("serve_migrations_failed_shard_{}", m.shard),
+                m.migrations_failed,
+            ));
+        }
+    }
     for q in &agg.queue {
         samples.push(gauge(
             &format!("serve_queue_depth_shard_{}", q.shard),

@@ -1281,13 +1281,18 @@ mod tests {
             ErrorCode::Forbidden,
             ErrorCode::Internal,
             ErrorCode::Stale,
+            ErrorCode::Migrating,
         ] {
             assert_eq!(ErrorCode::from_code(code as u16), Some(code));
             // Busy clears as queues drain; Stale clears as the replica
-            // catches up. Everything else is deterministic.
+            // catches up; Migrating clears as the cut-over window
+            // closes. Everything else is deterministic.
             assert_eq!(
                 code.is_retryable(),
-                matches!(code, ErrorCode::Busy | ErrorCode::Stale)
+                matches!(
+                    code,
+                    ErrorCode::Busy | ErrorCode::Stale | ErrorCode::Migrating
+                )
             );
         }
         assert_eq!(ErrorCode::from_code(0), None);
@@ -1317,6 +1322,12 @@ mod tests {
                 min_epoch: 5
             }),
             ErrorCode::Stale
+        );
+        assert_eq!(
+            crate::error::code_of(&ServeError::TenantMigrating {
+                tenant: TenantId(3)
+            }),
+            ErrorCode::Migrating
         );
         assert_eq!(
             crate::error::code_of(&ServeError::InvalidConfig("x")),

@@ -152,7 +152,7 @@ fn random_response(g: &mut Gen) -> Response {
             text: corrfuse_stream::codec::encode_batch(&random_events(g)),
         },
         _ => Response::Error {
-            code: ErrorCode::from_code(g.usize_in(1, 10) as u16).unwrap(),
+            code: ErrorCode::from_code(g.usize_in(1, 11) as u16).unwrap(),
             message: format!("error {}", g.u64_below(100)),
         },
     }

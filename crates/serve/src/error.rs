@@ -65,6 +65,28 @@ pub enum ServeError {
         /// The epoch the reader demanded.
         min_epoch: u64,
     },
+    /// The tenant is mid-migration and this call cannot be absorbed
+    /// right now: either a second migration was requested while one is
+    /// in flight, or the cut-over window's ingest buffer is full.
+    /// **Retryable** — the window closes within one flush of the target
+    /// shard; back off and resend (protocol error `MIGRATING` over the
+    /// wire).
+    TenantMigrating {
+        /// The tenant being migrated.
+        tenant: TenantId,
+    },
+    /// A live migration failed and was rolled back: the tenant is still
+    /// served, unchanged, by its source shard. The stage names where in
+    /// the state machine the failure surfaced (see
+    /// `crate::migration::MigrationStage`).
+    MigrationFailed {
+        /// The tenant whose migration rolled back.
+        tenant: TenantId,
+        /// The state-machine stage that failed.
+        stage: crate::migration::MigrationStage,
+        /// What went wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -95,6 +117,19 @@ impl fmt::Display for ServeError {
                 write!(
                     f,
                     "shard {shard} is stale: at epoch {epoch}, read demanded {min_epoch}"
+                )
+            }
+            ServeError::TenantMigrating { tenant } => {
+                write!(f, "{tenant} is migrating between shards; retry shortly")
+            }
+            ServeError::MigrationFailed {
+                tenant,
+                stage,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "migration of {tenant} failed during {stage} and was rolled back: {reason}"
                 )
             }
         }
@@ -147,6 +182,20 @@ mod tests {
                     min_epoch: 5,
                 },
                 "stale",
+            ),
+            (
+                ServeError::TenantMigrating {
+                    tenant: TenantId(6),
+                },
+                "migrating",
+            ),
+            (
+                ServeError::MigrationFailed {
+                    tenant: TenantId(6),
+                    stage: crate::migration::MigrationStage::CutOver,
+                    reason: "target poisoned".into(),
+                },
+                "rolled back",
             ),
         ];
         for (err, needle) in cases {

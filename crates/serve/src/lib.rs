@@ -48,6 +48,15 @@
 //!   when behind), and [`ShardRouter::snapshot_all`] takes a
 //!   flush-fenced cross-shard export stamped with per-shard epochs.
 //!   `corrfuse-replica` builds the follower process on top.
+//! * [`migration`] — live tenant migration between shards with no
+//!   ingest downtime: extract the tenant's self-contained slice via its
+//!   [`TenantMap`], replay it into the target through the normal ingest
+//!   path while the source keeps serving, buffer the cut-over window,
+//!   and atomically repoint the route behind an epoch fence so reads
+//!   never go backwards ([`ShardRouter::migrate_tenant`]). The
+//!   queue-depth-driven [`migration::RebalancePolicy`] builds thread
+//!   autosizing and migrate-when-hot on top
+//!   ([`ShardRouter::rebalance`]).
 //!
 //! The subsystem inherits the workspace trust anchor (stated once in
 //! `docs/ARCHITECTURE.md`), per shard: routed, micro-batched, compacted
@@ -104,6 +113,7 @@
 
 pub mod config;
 pub mod error;
+pub mod migration;
 pub mod queue;
 pub mod replica;
 pub mod router;
@@ -113,7 +123,11 @@ pub mod tenant;
 
 pub use config::{Backpressure, JournalConfig, ReplicationConfig, RouterConfig};
 pub use error::{Result, ServeError};
+pub use migration::{
+    load_routes, resolve_route, store_routes, MigrationReport, MigrationStage, PersistedRoute,
+    RebalanceAction, RebalancePolicy, RouteResolution,
+};
 pub use replica::{ReplicaBatch, Subscription, SubscriptionStart};
 pub use router::{ShardRouter, ShardSnapshot};
-pub use stats::{RouterAggregate, RouterStats, ShardQueueStat, ShardStats};
+pub use stats::{RouterAggregate, RouterStats, ShardMigrationStat, ShardQueueStat, ShardStats};
 pub use tenant::{derive_tenant_maps, extend_tenant_maps, TenantId, TenantMap};

@@ -121,6 +121,20 @@ pub struct ShardStats {
     /// Live replication subscriber queues on this shard's tap (0 when
     /// replication is disabled). Sums across shards.
     pub replica_subscribers: usize,
+    /// Live migrations committed **into** this shard: tenants it gained.
+    pub migrations_in: u64,
+    /// Live migrations committed **out of** this shard: tenants it
+    /// handed off (it may retain an inert namespaced residue of them;
+    /// see `crate::migration`).
+    pub migrations_out: u64,
+    /// Migrations that failed and rolled back with this shard as the
+    /// source — the tenant stayed here, unchanged.
+    pub migrations_failed: u64,
+    /// Scoring threads the shard session's engine is currently sized to
+    /// (resized live by `crate::migration::RebalancePolicy` autosizing;
+    /// bitwise-neutral). Sums across shards: the router's total scoring
+    /// parallelism.
+    pub scoring_threads: usize,
 }
 
 impl ShardStats {
@@ -154,6 +168,22 @@ pub struct ShardQueueStat {
     pub high_water: usize,
 }
 
+/// One shard's migration traffic, preserved through aggregation: the
+/// summed totals say how many migrations happened, but rebalancing
+/// diagnostics need to know *which* shards are shedding or absorbing
+/// tenants and where rollbacks cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMigrationStat {
+    /// Shard index.
+    pub shard: usize,
+    /// Migrations committed into this shard.
+    pub migrations_in: u64,
+    /// Migrations committed out of this shard.
+    pub migrations_out: u64,
+    /// Migrations rolled back with this shard as the source.
+    pub migrations_failed: u64,
+}
+
 /// Aggregated router counters plus the per-shard queue detail that a
 /// single summed/maxed row cannot carry.
 ///
@@ -161,7 +191,9 @@ pub struct ShardQueueStat {
 /// hot* the hottest queue got but not *which* shard it was, or whether
 /// the pressure was one skewed shard or uniform load —
 /// [`RouterAggregate::queue`] keeps that, as groundwork for
-/// queue-depth-driven rebalancing (ROADMAP item 4).
+/// queue-depth-driven rebalancing (ROADMAP item 4). Migration counters
+/// have the same shape ([`RouterAggregate::migrations`]): a summed
+/// `migrations_in` cannot say which shard is absorbing the fleet.
 ///
 /// Derefs to [`ShardStats`] (the totals row), so existing callers of
 /// [`RouterStats::aggregate`] keep reading summed counters field-for-
@@ -173,6 +205,8 @@ pub struct RouterAggregate {
     pub totals: ShardStats,
     /// Per-shard queue depth and high-water mark, in shard order.
     pub queue: Vec<ShardQueueStat>,
+    /// Per-shard migration traffic, in shard order.
+    pub migrations: Vec<ShardMigrationStat>,
 }
 
 impl std::ops::Deref for RouterAggregate {
@@ -213,11 +247,18 @@ impl RouterStats {
             ..ShardStats::default()
         };
         let mut queue = Vec::with_capacity(self.shards.len());
+        let mut migrations = Vec::with_capacity(self.shards.len());
         for s in &self.shards {
             queue.push(ShardQueueStat {
                 shard: s.shard,
                 depth: s.queue_depth,
                 high_water: s.max_queue_depth,
+            });
+            migrations.push(ShardMigrationStat {
+                shard: s.shard,
+                migrations_in: s.migrations_in,
+                migrations_out: s.migrations_out,
+                migrations_failed: s.migrations_failed,
             });
             agg.tenants += s.tenants;
             agg.enqueued_messages += s.enqueued_messages;
@@ -261,8 +302,16 @@ impl RouterStats {
             agg.epoch = agg.epoch.max(s.epoch);
             agg.replica_acked_epoch = agg.replica_acked_epoch.max(s.replica_acked_epoch);
             agg.replica_subscribers += s.replica_subscribers;
+            agg.migrations_in += s.migrations_in;
+            agg.migrations_out += s.migrations_out;
+            agg.migrations_failed += s.migrations_failed;
+            agg.scoring_threads += s.scoring_threads;
         }
-        RouterAggregate { totals: agg, queue }
+        RouterAggregate {
+            totals: agg,
+            queue,
+            migrations,
+        }
     }
 }
 
@@ -415,6 +464,54 @@ mod tests {
             ]
         );
         assert_eq!(agg.hottest_shard().map(|q| q.shard), Some(0));
+    }
+
+    #[test]
+    fn aggregate_keeps_per_shard_migration_detail() {
+        // Same bug class as the queue high-water fix: summed totals
+        // cannot say which shard sheds and which absorbs. Shard 0 sent
+        // two tenants away (one attempt rolled back), shard 1 received
+        // both; the flattened row would read 2/2/1 and lose direction.
+        let stats = RouterStats {
+            shards: vec![
+                ShardStats {
+                    shard: 0,
+                    migrations_out: 2,
+                    migrations_failed: 1,
+                    scoring_threads: 1,
+                    ..ShardStats::default()
+                },
+                ShardStats {
+                    shard: 1,
+                    migrations_in: 2,
+                    scoring_threads: 3,
+                    ..ShardStats::default()
+                },
+            ],
+        };
+        let agg = stats.aggregate();
+        assert_eq!(
+            (agg.migrations_in, agg.migrations_out, agg.migrations_failed),
+            (2, 2, 1)
+        );
+        assert_eq!(agg.scoring_threads, 4);
+        assert_eq!(
+            agg.migrations,
+            vec![
+                ShardMigrationStat {
+                    shard: 0,
+                    migrations_in: 0,
+                    migrations_out: 2,
+                    migrations_failed: 1,
+                },
+                ShardMigrationStat {
+                    shard: 1,
+                    migrations_in: 2,
+                    migrations_out: 0,
+                    migrations_failed: 0,
+                },
+            ]
+        );
     }
 
     #[test]

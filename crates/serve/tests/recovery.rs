@@ -13,7 +13,10 @@ use std::path::Path;
 
 use corrfuse_core::fuser::{Fuser, FuserConfig, Method};
 use corrfuse_core::testkit::run_cases;
-use corrfuse_serve::{JournalConfig, RouterConfig, ShardRouter, TenantId};
+use corrfuse_serve::{
+    derive_tenant_maps, load_routes, resolve_route, JournalConfig, MigrationStage, RouteResolution,
+    RouterConfig, ServeError, ShardRouter, TenantId,
+};
 use corrfuse_stream::{journal, Event, FsyncPolicy, StreamSession};
 use corrfuse_synth::{multi_tenant_events, MultiTenantSpec};
 
@@ -163,5 +166,199 @@ fn recovered_journals_accept_new_batches() {
     for (a, b) in restored.scores().iter().zip(session.scores()) {
         assert_eq!(a.to_bits(), b.to_bits());
     }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Crash recovery with an in-flight migration commit on disk: truncate
+/// the *target* shard's journal at an arbitrary byte and resolve the
+/// persisted route against the recovered epoch. The outcome must be
+/// all-or-nothing — either the fence is covered and the target serves a
+/// complete tenant view (cut over), or the route is discarded and the
+/// untouched source still serves the tenant in full (rolled back).
+/// There is no cut at which the tenant's state is split across shards.
+#[test]
+fn in_flight_migration_recovery_never_splits_the_route() {
+    let dir = std::env::temp_dir().join(format!("corrfuse-recovery-mig-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let config = FuserConfig::new(Method::PrecRec).with_alpha(0.5);
+    let s = multi_tenant_events(&MultiTenantSpec::new(3, 100, 29)).unwrap();
+    let seeds = s
+        .seeds
+        .iter()
+        .map(|(t, ds)| (TenantId(*t), ds.clone()))
+        .collect();
+    let router = ShardRouter::new(
+        config.clone(),
+        RouterConfig::new(2)
+            .with_batching(1, std::time::Duration::from_millis(1))
+            .with_journal(JournalConfig::new(&dir).with_fsync(FsyncPolicy::EveryBatch)),
+        seeds,
+    )
+    .unwrap();
+    let half = s.messages.len() / 2;
+    for (tenant, events) in &s.messages[..half] {
+        router.ingest(TenantId(*tenant), events.clone()).unwrap();
+    }
+    router.flush().unwrap();
+    let mover = TenantId(0);
+    let source = router.shard_of(mover);
+    let target = (source + 1) % 2;
+    let premigration_triples = router.scores(mover).unwrap().len();
+    let report = router.migrate_tenant(mover, target).unwrap();
+    assert_eq!(report.from, source);
+    assert_eq!(report.to, target);
+    for (tenant, events) in &s.messages[half..] {
+        router.ingest(TenantId(*tenant), events.clone()).unwrap();
+    }
+    router.shutdown().unwrap();
+
+    let routes = load_routes(&dir).unwrap();
+    let route = *routes
+        .iter()
+        .find(|r| r.tenant == mover)
+        .expect("committed migration persisted a route");
+    assert_eq!(route.shard, target);
+    assert_eq!(route.fence, report.fence);
+
+    let target_bytes = std::fs::read(dir.join(format!("shard-{target}.journal"))).unwrap();
+    let source_bytes = std::fs::read(dir.join(format!("shard-{source}.journal"))).unwrap();
+    let seed_end = {
+        let text = std::str::from_utf8(&target_bytes).unwrap();
+        text.find("#events\n").unwrap() + "#events\n".len()
+    };
+    // The source journal is intact in every scenario below; restore it
+    // once. The source keeps the tenant's full pre-migration state (maps
+    // are never removed at commit), so rollback always has a home.
+    let source_path = dir.join("crash-source.journal");
+    std::fs::write(&source_path, &source_bytes).unwrap();
+    let source_session = StreamSession::restore(config.clone(), &source_path).unwrap();
+    let source_maps = derive_tenant_maps(source_session.dataset());
+    assert_eq!(
+        source_maps.get(&mover).map(|m| m.n_triples()),
+        Some(premigration_triples),
+        "source keeps the tenant's complete pre-migration view"
+    );
+
+    let mut cut_over = 0usize;
+    let mut rolled_back = 0usize;
+    run_cases("migration_crash_recovery", 24, |g| {
+        let cut = g.usize_in(seed_end, target_bytes.len() + 1);
+        let path = dir.join("crash-target.journal");
+        std::fs::write(&path, &target_bytes[..cut]).unwrap();
+        let (session, _) = StreamSession::recover(config.clone(), &path, FsyncPolicy::Never)
+            .expect("recovery past the seed succeeds");
+        match resolve_route(&route, session.epoch()) {
+            RouteResolution::CutOver => {
+                cut_over += 1;
+                // The fence is covered: the slice and the cut-over delta
+                // are fully applied, so the target holds at least the
+                // tenant's complete pre-migration view.
+                let maps = derive_tenant_maps(session.dataset());
+                let n = maps.get(&mover).map(|m| m.n_triples()).unwrap_or(0);
+                assert!(
+                    n >= premigration_triples,
+                    "cut {cut}: target serves {n} of {premigration_triples} triples"
+                );
+                // And the recovered prefix still satisfies the trust
+                // anchor, translated slice batch included.
+                let fresh = Fuser::fit(
+                    &config,
+                    session.dataset(),
+                    session.dataset().gold().expect("seeds carry gold"),
+                )
+                .unwrap();
+                for (a, b) in session
+                    .scores()
+                    .iter()
+                    .zip(&fresh.score_all(session.dataset()).unwrap())
+                {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            RouteResolution::RollBack => {
+                rolled_back += 1;
+                // The fence is not covered: the route is discarded and
+                // the tenant falls back to the source, which (asserted
+                // above) serves its complete pre-migration view.
+                assert!(session.epoch() < route.fence);
+            }
+        }
+    });
+    // The arbitrary cuts must have landed on both sides of the fence,
+    // or the property was only half exercised.
+    assert!(cut_over > 0, "no cut ever reached the fence");
+    assert!(rolled_back > 0, "no cut ever fell short of the fence");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A migration that crash-aborts before commit leaves no trace a
+/// restart could misread: no route is persisted, the source still
+/// serves the tenant bitwise unchanged, and ingest keeps flowing.
+#[test]
+fn chaos_aborted_migration_persists_no_route() {
+    let dir = std::env::temp_dir().join(format!("corrfuse-recovery-abort-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let config = FuserConfig::new(Method::PrecRec).with_alpha(0.5);
+    let s = multi_tenant_events(&MultiTenantSpec::new(2, 80, 37)).unwrap();
+    let seeds = s
+        .seeds
+        .iter()
+        .map(|(t, ds)| (TenantId(*t), ds.clone()))
+        .collect();
+    let router = ShardRouter::new(
+        config.clone(),
+        RouterConfig::new(2)
+            .with_journal(JournalConfig::new(&dir).with_fsync(FsyncPolicy::EveryBatch)),
+        seeds,
+    )
+    .unwrap();
+    let half = s.messages.len() / 2;
+    for (tenant, events) in &s.messages[..half] {
+        router.ingest(TenantId(*tenant), events.clone()).unwrap();
+    }
+    router.flush().unwrap();
+    let mover = TenantId(0);
+    let source = router.shard_of(mover);
+    let target = (source + 1) % 2;
+    let before = router.scores(mover).unwrap();
+    for stage in [
+        MigrationStage::Planning,
+        MigrationStage::BulkReplay,
+        MigrationStage::CutOver,
+        MigrationStage::Commit,
+    ] {
+        let err = router
+            .migrate_tenant_chaos(mover, target, stage)
+            .unwrap_err();
+        assert!(
+            matches!(err, ServeError::MigrationFailed { tenant, stage: at, .. }
+                if tenant == mover && at == stage),
+            "stage {stage}: {err:?}"
+        );
+        // Rolled back: the tenant is served by the source, unchanged.
+        assert_eq!(router.shard_of(mover), source);
+        let after = router.scores(mover).unwrap();
+        assert_eq!(after.len(), before.len());
+        for (a, b) in after.iter().zip(&before) {
+            assert_eq!(a.to_bits(), b.to_bits(), "stage {stage} moved a score");
+        }
+        // And no route was persisted for a restart to trip over.
+        assert!(
+            load_routes(&dir).unwrap().is_empty(),
+            "stage {stage} leaked a persisted route"
+        );
+    }
+    // Ingest still flows, and a real migration still succeeds afterwards.
+    for (tenant, events) in &s.messages[half..] {
+        router.ingest(TenantId(*tenant), events.clone()).unwrap();
+    }
+    router.flush().unwrap();
+    router.migrate_tenant(mover, target).unwrap();
+    assert_eq!(router.shard_of(mover), target);
+    assert_eq!(load_routes(&dir).unwrap().len(), 1);
+    let stats = router.shutdown().unwrap();
+    assert_eq!(stats.aggregate().ingest_errors, 0);
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -381,6 +381,75 @@ fn post_mutation_errors_poison_only_their_shard() {
     assert_eq!(stats.shards[1].ingest_errors, 0);
 }
 
+/// Queue-depth-driven rebalancing is score-neutral: swapping a shard's
+/// scoring engine (thread autosizing) and migrating its hottest tenant
+/// both reproduce bitwise the solo-session scores, because parallel
+/// scoring partitions deterministically and migration is idempotent
+/// replay. Plain `Vec` reordering of work must never leak into results.
+#[test]
+fn rebalancing_is_score_neutral() {
+    use corrfuse_serve::{RebalanceAction, RebalancePolicy};
+    let s = stream(4, 83);
+    let config = FuserConfig::new(Method::PrecRec).with_alpha(0.5);
+    let router = ShardRouter::new(
+        config.clone(),
+        RouterConfig::new(2).with_batching(8, Duration::from_millis(1)),
+        seeds_of(&s),
+    )
+    .unwrap();
+    let half = s.messages.len() / 2;
+    for (tenant, events) in &s.messages[..half] {
+        router.ingest(TenantId(*tenant), events.clone()).unwrap();
+    }
+    // A hair-trigger policy: any observed queue depth counts as hot, so
+    // the pass autosizes threads (and may migrate) deterministically
+    // from whatever high-water marks the ingest above left behind.
+    let policy = RebalancePolicy::new()
+        .with_hot_high_water(1)
+        .with_max_shard_threads(3)
+        .with_migrate_min_imbalance(1);
+    let actions = router.rebalance(&policy).unwrap();
+    // Every emitted thread action is live on its shard engine.
+    let stats = router.stats();
+    for action in &actions {
+        if let RebalanceAction::SetShardThreads { shard, threads } = action {
+            assert_eq!(stats.shards[*shard].scoring_threads, *threads);
+        }
+    }
+    // A second pass is a fixpoint for threads: nothing new to resize
+    // (high-water marks only grow, and the sizes already match).
+    let again = router.rebalance(&policy).unwrap();
+    assert!(
+        !again
+            .iter()
+            .any(|a| matches!(a, RebalanceAction::SetShardThreads { .. })),
+        "second pass resized threads again: {again:?}"
+    );
+    for (tenant, events) in &s.messages[half..] {
+        router.ingest(TenantId(*tenant), events.clone()).unwrap();
+    }
+    router.flush().unwrap();
+    // Score-neutrality: every tenant still matches its solo twin.
+    for (tenant, seed) in &s.seeds {
+        let mut solo =
+            StreamSession::with_engine(config.clone(), seed.clone(), ScoringEngine::serial())
+                .unwrap();
+        for events in s.tenant_messages(*tenant) {
+            solo.ingest(events).unwrap();
+        }
+        let routed = router.scores(TenantId(*tenant)).unwrap();
+        for (i, (a, b)) in routed.iter().zip(solo.scores()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "tenant {tenant}, triple {i} after rebalance"
+            );
+        }
+    }
+    let stats = router.shutdown().unwrap();
+    assert_eq!(stats.aggregate().ingest_errors, 0);
+}
+
 /// Construction-time validation: unseeded shards, duplicate tenants and
 /// unknown-tenant queries all fail loudly.
 #[test]

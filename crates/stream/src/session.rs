@@ -368,6 +368,20 @@ impl StreamSession {
         })
     }
 
+    /// The scoring engine driving batch re-scores.
+    pub fn engine(&self) -> &ScoringEngine {
+        &self.engine
+    }
+
+    /// Swap the scoring engine. Safe at any batch boundary: the engine
+    /// spawns scoped threads per scoring call and holds no state between
+    /// batches, and parallel and serial scoring are bitwise identical,
+    /// so resizing mid-stream never changes a score — it only changes
+    /// throughput. This is what shard-thread autosizing builds on.
+    pub fn set_engine(&mut self, engine: ScoringEngine) {
+        self.engine = engine;
+    }
+
     /// The accumulated dataset.
     pub fn dataset(&self) -> &Dataset {
         self.inc.dataset()

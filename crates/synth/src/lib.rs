@@ -28,7 +28,11 @@
 //! * [`follower`] — a multi-tenant workload plus a deterministic
 //!   replication-fault schedule (disconnects, journal rotations, follower
 //!   cold restarts; drives the `corrfuse-replica` equivalence suite and
-//!   the `replica_read_scaling` bench).
+//!   the `replica_read_scaling` bench);
+//! * [`migration`] — a multi-tenant workload plus a deterministic
+//!   tenant-migration chaos schedule (live migrations, crash-aborted
+//!   migrations, journal rotations, duplicate ingest bursts; drives the
+//!   `corrfuse-serve` migration equivalence suite).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -36,6 +40,7 @@
 pub mod churn;
 pub mod follower;
 pub mod generator;
+pub mod migration;
 pub mod motivating;
 pub mod multi_tenant;
 pub mod remote;
@@ -46,6 +51,7 @@ pub mod wide_world;
 pub use churn::{label_churn_stream, ChurnSpec};
 pub use follower::{follower_scenario, Fault, FollowerScenario, FollowerScenarioSpec};
 pub use generator::{generate, GroupKind, GroupSpec, Polarity, SourceSpec, SynthSpec};
+pub use migration::{migration_scenario, MigrationFault, MigrationScenario, MigrationScenarioSpec};
 pub use multi_tenant::{multi_tenant_events, MultiTenantSpec, MultiTenantStream};
 pub use remote::{
     remote_producer_scripts, ProducerAction, ProducerScript, RemoteSpec, RemoteWorkload,

@@ -1,0 +1,195 @@
+//! Tenant-migration chaos scenarios for the sharded router
+//! (`corrfuse-serve::migration`).
+//!
+//! [`migration_scenario`] wraps a [`crate::multi_tenant`] workload with
+//! a deterministic fault schedule aimed at the live-migration state
+//! machine: at chosen points in the interleaved message sequence the
+//! harness migrates the hot tenant between shards, crash-aborts a
+//! migration at a chosen stage (exercising the rollback path), rotates
+//! the shard journals under the migration, or replays a burst of
+//! recent messages (exercising idempotent re-ingest across the route
+//! flip). The schedule is what makes the migration equivalence
+//! property adversarial — every fault lands mid-stream, while
+//! co-tenant ingest keeps both shards moving.
+
+use corrfuse_core::error::Result;
+use corrfuse_core::rng::StdRng;
+
+use crate::multi_tenant::{multi_tenant_events, MultiTenantSpec, MultiTenantStream};
+
+/// A migration fault injected after a given message index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationFault {
+    /// Migrate the hot tenant to the next shard, concurrently with the
+    /// ingest that follows (the harness joins it at the next fault or
+    /// at end of stream).
+    Migrate,
+    /// Start a migration that crash-aborts after the given stage
+    /// (0 = planning, 1 = bulk replay, 2 = cut-over) and must roll
+    /// back cleanly: the tenant stays fully served by its source.
+    CrashedMigrate(u8),
+    /// Rotate (compact in place) every shard journal, so recovery
+    /// evidence and route persistence interleave with migrations.
+    RotateJournals,
+    /// Re-send a burst of recently ingested messages verbatim; replay
+    /// is idempotent, so scores must not move no matter which side of
+    /// a route flip the duplicates land on.
+    IngestBurst,
+}
+
+/// Specification of a migration chaos scenario.
+#[derive(Debug, Clone)]
+pub struct MigrationScenarioSpec {
+    /// The underlying multi-tenant ingest workload.
+    pub tenants: MultiTenantSpec,
+    /// Successful hot-tenant migrations to inject.
+    pub n_migrations: usize,
+    /// Crash-aborted migrations (random stage) to inject.
+    pub n_crashes: usize,
+    /// Journal rotations to inject.
+    pub n_rotations: usize,
+    /// Duplicate ingest bursts to inject.
+    pub n_bursts: usize,
+    /// RNG seed for fault placement and crash stages (independent of
+    /// the workload seed, so the same stream can carry different
+    /// schedules).
+    pub seed: u64,
+}
+
+impl MigrationScenarioSpec {
+    /// A small default schedule: one fault of each kind.
+    pub fn new(tenants: MultiTenantSpec, seed: u64) -> Self {
+        MigrationScenarioSpec {
+            tenants,
+            n_migrations: 1,
+            n_crashes: 1,
+            n_rotations: 1,
+            n_bursts: 1,
+            seed,
+        }
+    }
+}
+
+/// A generated scenario: the workload plus its fault schedule.
+#[derive(Debug, Clone)]
+pub struct MigrationScenario {
+    /// The interleaved multi-tenant workload.
+    pub stream: MultiTenantStream,
+    /// Faults sorted by position: `(i, fault)` fires after the `i`-th
+    /// message (0-based) has been ingested. Positions are distinct, so
+    /// at most one fault fires per message boundary.
+    pub faults: Vec<(usize, MigrationFault)>,
+}
+
+impl MigrationScenario {
+    /// The fault scheduled at message boundary `i`, if any.
+    pub fn fault_after(&self, i: usize) -> Option<MigrationFault> {
+        self.faults.iter().find(|(at, _)| *at == i).map(|(_, f)| *f)
+    }
+}
+
+/// Generate the workload and place the faults at distinct mid-stream
+/// message boundaries (never before the first message or after the
+/// last, so every fault interrupts live ingest). See the module docs.
+pub fn migration_scenario(spec: &MigrationScenarioSpec) -> Result<MigrationScenario> {
+    let stream = multi_tenant_events(&spec.tenants)?;
+    let n_messages = stream.messages.len();
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x6d69_6772_6174_6521); // "migrate!"
+    let wanted: Vec<MigrationFault> = std::iter::empty()
+        .chain(std::iter::repeat_n(
+            MigrationFault::Migrate,
+            spec.n_migrations,
+        ))
+        .chain(
+            (0..spec.n_crashes).map(|_| MigrationFault::CrashedMigrate(rng.gen_range(0..3) as u8)),
+        )
+        .chain(std::iter::repeat_n(
+            MigrationFault::RotateJournals,
+            spec.n_rotations,
+        ))
+        .chain(std::iter::repeat_n(
+            MigrationFault::IngestBurst,
+            spec.n_bursts,
+        ))
+        .collect();
+    // Sample distinct interior boundaries; with a short stream there may
+    // be fewer boundaries than requested faults, in which case the
+    // schedule is truncated (position exhaustion, not an error).
+    let mut positions: Vec<usize> = (0..n_messages.saturating_sub(1)).collect();
+    // Fisher–Yates prefix shuffle: the first `wanted.len()` entries
+    // become the fault positions.
+    let take = wanted.len().min(positions.len());
+    for i in 0..take {
+        let j = rng.gen_range(i..positions.len());
+        positions.swap(i, j);
+    }
+    let mut faults: Vec<(usize, MigrationFault)> =
+        positions.into_iter().take(take).zip(wanted).collect();
+    faults.sort_by_key(|(at, _)| *at);
+    Ok(MigrationScenario { stream, faults })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> MigrationScenarioSpec {
+        MigrationScenarioSpec {
+            tenants: MultiTenantSpec::new(4, 120, 7),
+            n_migrations: 2,
+            n_crashes: 2,
+            n_rotations: 1,
+            n_bursts: 1,
+            seed: 23,
+        }
+    }
+
+    #[test]
+    fn schedules_are_deterministic_and_distinct() {
+        let a = migration_scenario(&spec()).unwrap();
+        let b = migration_scenario(&spec()).unwrap();
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.faults.len(), 6);
+        let mut positions: Vec<usize> = a.faults.iter().map(|(at, _)| *at).collect();
+        let n = positions.len();
+        positions.dedup();
+        assert_eq!(positions.len(), n, "fault positions must be distinct");
+        assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        // Every fault is interior: ingest is live when it fires.
+        assert!(*positions.last().unwrap() < a.stream.messages.len() - 1);
+        // A different fault seed moves the schedule without touching the
+        // workload.
+        let mut other = spec();
+        other.seed = 24;
+        let c = migration_scenario(&other).unwrap();
+        assert_eq!(a.stream.messages, c.stream.messages);
+        assert_ne!(a.faults, c.faults);
+    }
+
+    #[test]
+    fn fault_counts_and_stages_follow_the_spec() {
+        let s = migration_scenario(&spec()).unwrap();
+        let count = |p: fn(MigrationFault) -> bool| s.faults.iter().filter(|(_, f)| p(*f)).count();
+        assert_eq!(count(|f| f == MigrationFault::Migrate), 2);
+        assert_eq!(count(|f| matches!(f, MigrationFault::CrashedMigrate(_))), 2);
+        assert_eq!(count(|f| f == MigrationFault::RotateJournals), 1);
+        assert_eq!(count(|f| f == MigrationFault::IngestBurst), 1);
+        // Crash stages are always one of the three abortable stages.
+        for (_, f) in &s.faults {
+            if let MigrationFault::CrashedMigrate(stage) = f {
+                assert!(*stage < 3, "crash stage {stage} out of range");
+            }
+        }
+        assert_eq!(s.fault_after(s.faults[0].0), Some(s.faults[0].1));
+        assert_eq!(s.fault_after(usize::MAX), None);
+    }
+
+    #[test]
+    fn oversubscribed_schedules_truncate() {
+        let mut s = spec();
+        s.n_migrations = 10_000;
+        let sc = migration_scenario(&s).unwrap();
+        assert!(sc.faults.len() < 10_000);
+        assert_eq!(sc.faults.len(), sc.stream.messages.len() - 1);
+    }
+}
