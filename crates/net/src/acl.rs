@@ -1,0 +1,154 @@
+//! Per-tenant access control for the network front door.
+//!
+//! The HELLO frame carries an optional credential (`docs/PROTOCOL.md`
+//! §4.1). When a server is configured with an [`AclTable`], the session
+//! layer resolves that credential once at handshake time into an
+//! [`Access`] grant and consults it on every tenant-scoped request
+//! (`INGEST`, `SCORES`, `DECISIONS`): a denied tenant gets the typed
+//! `FORBIDDEN` error without the request ever reaching the router, so a
+//! mixed-tenant client hitting a denied tenant cannot poison its
+//! allowed-tenant pipeline — the connection keeps serving.
+//!
+//! The handshake itself always succeeds (modulo version negotiation):
+//! an unknown or missing credential still gets `HELLO_OK`, because the
+//! deny happens per request, with a message naming the tenant. That
+//! keeps probing cheap to reason about and matches the optional,
+//! backward-compatible wire encoding — a pre-ACL client is simply an
+//! unauthenticated one.
+//!
+//! Replication (`SUBSCRIBE`) streams every tenant of a shard, so it is
+//! only granted to credentials with unscoped access ([`Access::All`])
+//! — or to anyone when the server has no ACL at all.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use corrfuse_serve::TenantId;
+
+/// What one credential may touch.
+#[derive(Debug, Clone)]
+enum Grant {
+    /// Every tenant, present and future.
+    All,
+    /// Exactly these tenants.
+    Tenants(Arc<BTreeSet<u32>>),
+}
+
+/// The server's credential → tenant-grant table. Built once, shared
+/// read-only across connections.
+#[derive(Debug, Clone, Default)]
+pub struct AclTable {
+    entries: HashMap<String, Grant>,
+}
+
+impl AclTable {
+    /// An empty table: every credential (and no credential) resolves to
+    /// [`Access::Denied`] until grants are added. A server configured
+    /// with an empty table therefore refuses all tenant traffic — use
+    /// no table at all for an open server.
+    pub fn new() -> AclTable {
+        AclTable::default()
+    }
+
+    /// Grant `credential` every tenant (and replication).
+    pub fn allow_all(mut self, credential: impl Into<String>) -> AclTable {
+        self.entries.insert(credential.into(), Grant::All);
+        self
+    }
+
+    /// Grant `credential` exactly `tenants`. Replaces any previous
+    /// grant for the same credential.
+    pub fn allow(
+        mut self,
+        credential: impl Into<String>,
+        tenants: impl IntoIterator<Item = TenantId>,
+    ) -> AclTable {
+        let set: BTreeSet<u32> = tenants.into_iter().map(|t| t.0).collect();
+        self.entries
+            .insert(credential.into(), Grant::Tenants(Arc::new(set)));
+        self
+    }
+
+    /// Number of credentials in the table.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table holds no grants.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Resolve a handshake credential into the connection's grant.
+    pub fn resolve(&self, credential: Option<&str>) -> Access {
+        match credential.and_then(|c| self.entries.get(c)) {
+            Some(Grant::All) => Access::All,
+            Some(Grant::Tenants(set)) => Access::Tenants(Arc::clone(set)),
+            None => Access::Denied,
+        }
+    }
+}
+
+/// A connection's resolved grant, fixed at handshake time.
+#[derive(Debug, Clone)]
+pub enum Access {
+    /// The server has no ACL: everything is allowed.
+    Open,
+    /// ACL present, credential missing or unknown: every tenant-scoped
+    /// request is `FORBIDDEN`.
+    Denied,
+    /// The credential grants every tenant (and replication).
+    All,
+    /// The credential grants exactly this tenant set.
+    Tenants(Arc<BTreeSet<u32>>),
+}
+
+impl Access {
+    /// Whether tenant-scoped requests for `tenant` may proceed.
+    pub fn allows_tenant(&self, tenant: TenantId) -> bool {
+        match self {
+            Access::Open | Access::All => true,
+            Access::Denied => false,
+            Access::Tenants(set) => set.contains(&tenant.0),
+        }
+    }
+
+    /// Whether `SUBSCRIBE` (whole-shard replication) may proceed.
+    pub fn allows_replication(&self) -> bool {
+        matches!(self, Access::Open | Access::All)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_resolve_per_credential() {
+        let acl = AclTable::new()
+            .allow_all("root")
+            .allow("t0-writer", [TenantId(0)]);
+        assert_eq!(acl.len(), 2);
+
+        let root = acl.resolve(Some("root"));
+        assert!(root.allows_tenant(TenantId(99)));
+        assert!(root.allows_replication());
+
+        let scoped = acl.resolve(Some("t0-writer"));
+        assert!(scoped.allows_tenant(TenantId(0)));
+        assert!(!scoped.allows_tenant(TenantId(1)));
+        assert!(!scoped.allows_replication());
+
+        for denied in [acl.resolve(None), acl.resolve(Some("wrong"))] {
+            assert!(!denied.allows_tenant(TenantId(0)));
+            assert!(!denied.allows_replication());
+        }
+    }
+
+    #[test]
+    fn open_access_allows_everything() {
+        let open = Access::Open;
+        assert!(open.allows_tenant(TenantId(7)));
+        assert!(open.allows_replication());
+    }
+}

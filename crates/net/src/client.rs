@@ -58,6 +58,11 @@ pub struct ClientConfig {
     pub busy_retries: u32,
     /// Pause before resending a `BUSY` batch; doubles per retry.
     pub busy_backoff: Duration,
+    /// Credential presented in every HELLO (initial dial and every
+    /// reconnect). `None` (the default) connects unauthenticated —
+    /// fine against an open server, `FORBIDDEN` on tenant-scoped
+    /// requests against an ACL-configured one.
+    pub credential: Option<String>,
 }
 
 impl Default for ClientConfig {
@@ -68,6 +73,7 @@ impl Default for ClientConfig {
             max_in_flight: 64,
             busy_retries: 16,
             busy_backoff: Duration::from_millis(2),
+            credential: None,
         }
     }
 }
@@ -96,6 +102,13 @@ impl ClientConfig {
     pub fn with_busy_retries(mut self, retries: u32, backoff: Duration) -> ClientConfig {
         self.busy_retries = retries;
         self.busy_backoff = backoff;
+        self
+    }
+
+    /// Present `credential` in every HELLO (see
+    /// [`ClientConfig::credential`]).
+    pub fn with_credential(mut self, credential: impl Into<String>) -> ClientConfig {
+        self.credential = Some(credential.into());
         self
     }
 }
@@ -203,6 +216,7 @@ impl Client {
         Request::Hello {
             min_version: VERSION,
             max_version: VERSION,
+            credential: self.config.credential.clone(),
         }
         .to_frame()
         .write_to(&mut stream)?;

@@ -20,9 +20,23 @@
 //!   over frames. The `INGEST` payload is the journal event codec
 //!   ([`corrfuse_stream::codec`]) verbatim, so a captured wire stream
 //!   is replayable as a journal.
-//! * [`server`] — blocking thread-per-connection server owning the
-//!   router; backpressure surfaces as retryable `BUSY` protocol
-//!   errors, shard poisoning as fatal `SHARD_POISONED`.
+//! * [`session`] — the sans-I/O session layer: a
+//!   [`SessionStateMachine`] consuming arbitrary byte chunks and
+//!   emitting writes and decoded requests, with no sockets, threads or
+//!   clocks, so protocol behaviour is testable byte-at-a-time and
+//!   shared verbatim by both server back ends.
+//! * [`transport`] — the in-tree readiness transport: a `poll(2)`
+//!   [`Poller`] (registration, interest flags, wakeups) plus the
+//!   partial-write [`WriteBuf`], so one thread can hold tens of
+//!   thousands of idle connections as file descriptors.
+//! * [`acl`] — per-tenant access control resolved from the optional
+//!   HELLO credential; denials surface as typed `FORBIDDEN` errors.
+//! * [`server`] — the server owning the router, with two back ends
+//!   over the one session machine: blocking thread-per-connection
+//!   (default) and the readiness reactor
+//!   ([`ServerConfig::reactor`]). Backpressure surfaces as retryable
+//!   `BUSY` protocol errors, shard poisoning as fatal
+//!   `SHARD_POISONED`.
 //! * [`client`] — connect/retry, pipelined ingest with at-least-once
 //!   in-order resend across reconnects, read-your-writes
 //!   [`Client::flush`].
@@ -86,18 +100,24 @@
 #![warn(rust_2018_idioms)]
 #![deny(missing_docs)]
 
+pub mod acl;
 pub mod client;
 pub mod crc;
 pub mod error;
 pub mod frame;
 pub mod server;
+pub mod session;
 pub mod sync;
+pub mod transport;
 pub mod wire;
 
+pub use acl::{Access, AclTable};
 pub use client::{Client, ClientConfig};
 pub use error::{ErrorCode, NetError, Result};
 pub use frame::{Frame, FrameError, FrameType};
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use session::{Output, SessionConfig, SessionStateMachine};
+pub use transport::{raise_nofile_limit, Event, FlushProgress, Interest, Poller, Token, WriteBuf};
 pub use wire::{
     Request, Response, WireHistogram, WireMetric, WireMetricValue, WireShardStats, WireStats,
     WireSubscriptionStart,

@@ -1,56 +1,84 @@
-//! The blocking TCP [`Server`]: thread-per-connection, bounded by an
-//! accept semaphore, forwarding decoded batches into an owned
+//! The TCP [`Server`]: two interchangeable back ends over one session
+//! state machine, forwarding decoded batches into an owned
 //! [`ShardRouter`].
 //!
 //! ```text
-//!  remote producers ── TCP ──▶ accept loop ── permit ──▶ handler thread
-//!                                (bounded by                 │
-//!                                 max_connections)           ▼
-//!                                               HELLO negotiation, then
-//!                                               frame → Request → router
-//!                                                            │
-//!                                                            ▼
-//!                                               ShardRouter::ingest / scores /
-//!                                               decisions / flush / stats
+//!                        ┌── thread-per-connection (default) ──────────┐
+//!  remote producers ─TCP─┤    accept loop ─ permit ─▶ handler thread   │
+//!                        │                            blocking read ─▶ │
+//!                        └── reactor (ServerConfig::reactor(true)) ────┤
+//!                             one poll(2) thread, 10⁴ idle conns =     │
+//!                             fds not threads (crate::transport)       │
+//!                                                                      ▼
+//!                                        SessionStateMachine (crate::session)
+//!                                          HELLO/ACL/framing/ordering
+//!                                                      │ Request
+//!                                                      ▼
+//!                                        ShardRouter::ingest / scores /
+//!                                        decisions / flush / stats
 //! ```
 //!
+//! * Both back ends drive the same sans-I/O [`SessionStateMachine`], so
+//!   their wire behaviour is identical by construction — the
+//!   `tests/net_equivalence.rs` server-mode axis pins it bitwise.
 //! * The server **owns** the router (connections share it through an
 //!   `Arc`); [`Server::serve`] runs until [`ServerHandle::stop`] fires
-//!   or a remote `SHUTDOWN` is honoured, then joins every handler,
-//!   gracefully shuts the router down and returns the final
-//!   [`RouterStats`].
+//!   or a remote `SHUTDOWN` is honoured, then gracefully shuts the
+//!   router down and returns the final [`RouterStats`].
 //! * Backpressure propagates as protocol-level `BUSY` errors: when the
 //!   router's policy is `Reject`/`Timeout` a full shard queue turns
 //!   into a retryable [`ErrorCode::Busy`] response, while the `Block`
-//!   policy simply stalls the connection (natural TCP backpressure).
+//!   policy stalls the connection (natural TCP backpressure) — on the
+//!   reactor back end that stalls the whole reactor turn, so prefer
+//!   `Reject`/`Timeout` or generous queues there.
+//! * Slow *readers* never stall the reactor: responses queue in a
+//!   partial-write buffer ([`crate::transport::WriteBuf`]) and the
+//!   connection stops being read past a high-water mark until the peer
+//!   drains.
 //! * A poisoned shard answers with the **fatal**
 //!   [`ErrorCode::ShardPoisoned`] so clients stop retrying.
-//! * Each connection keeps its own counters, surfaced through the
-//!   `STATS` request alongside the per-shard router stats.
 
 use std::collections::HashMap;
-use std::io::Write as _;
+use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use corrfuse_obs::{Histogram, MetricSample, MetricValue, Registry, Span};
+use corrfuse_obs::{Counter, Gauge, Histogram, MetricSample, MetricValue, Registry, Span};
 use corrfuse_serve::queue::Pop;
 use corrfuse_serve::{RouterStats, ServeError, ShardRouter, Subscription, SubscriptionStart};
 
+use crate::acl::AclTable;
 use crate::error::{code_of, ErrorCode, NetError, Result};
-use crate::frame::{Frame, FrameType, VERSION};
+use crate::frame::{Frame, FrameError, FrameType};
+use crate::session::{MonotonicClock, Output, SessionConfig, SessionStateMachine};
 use crate::sync::Semaphore;
+use crate::transport::{FlushProgress, Interest, Poller, Token, WriteBuf};
 use crate::wire::{Request, Response, WireMetric, WireStats, WireSubscriptionStart};
+
+/// Read chunk size for both back ends: bounds per-wakeup work on the
+/// reactor (fairness) and the stack/heap churn on handler threads.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Reactor write-buffer high-water mark: past this many queued response
+/// bytes the connection stops being *read* until the peer drains, so a
+/// client that queries but never reads cannot balloon server memory.
+const WRITE_HIGH_WATER: usize = 1 << 20;
+
+/// The reactor's registration token for the listener (connections get
+/// `slot + 1`).
+const LISTENER: Token = Token(0);
 
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Maximum concurrently served connections (the accept-semaphore
-    /// permit count). Further connections queue in the OS accept
-    /// backlog until a handler finishes.
+    /// Maximum concurrently served connections. On the thread back end
+    /// this is the accept-semaphore permit count; on the reactor it is
+    /// the registered-connection cap (accepts pause at capacity).
+    /// Further connections queue in the OS accept backlog.
     pub max_connections: usize,
     /// Honour remote `SHUTDOWN` requests. Off by default: a production
     /// front door should only stop from its own process; the example
@@ -59,13 +87,24 @@ pub struct ServerConfig {
     /// Metrics registry for wire-level instrumentation. When set,
     /// connection handlers record per-frame-type decode/handle/encode
     /// latency histograms (`net_decode_ns_<type>` etc. — catalog in
-    /// `docs/OBSERVABILITY.md`), and the `METRICS` reply carries the
+    /// `docs/OBSERVABILITY.md`), the reactor exports its
+    /// `net_reactor_*` series, and the `METRICS` reply carries the
     /// registry's full snapshot. `None` (the default) keeps the request
     /// loop free of clock reads; `METRICS` still answers with the
     /// router-derived series. Share the same registry with
     /// [`corrfuse_serve::RouterConfig::with_metrics`] to get the shard
     /// pipeline's stage histograms in the same snapshot.
     pub metrics: Option<Arc<Registry>>,
+    /// Serve with the readiness reactor (one `poll(2)` thread holding
+    /// every connection as a file descriptor) instead of
+    /// thread-per-connection. Both back ends share the session state
+    /// machine, so wire behaviour is identical; the default stays
+    /// thread-per-connection.
+    pub reactor: bool,
+    /// Per-tenant ACL table enforced by the session layer on
+    /// tenant-scoped requests and `SUBSCRIBE` (see [`crate::acl`]).
+    /// `None` (the default) leaves the server open.
+    pub acl: Option<Arc<AclTable>>,
 }
 
 impl Default for ServerConfig {
@@ -74,12 +113,15 @@ impl Default for ServerConfig {
             max_connections: 64,
             accept_shutdown: false,
             metrics: None,
+            reactor: false,
+            acl: None,
         }
     }
 }
 
 impl ServerConfig {
-    /// The defaults: 64 connections, remote shutdown disabled.
+    /// The defaults: 64 connections, remote shutdown disabled,
+    /// thread-per-connection, no ACL.
     pub fn new() -> ServerConfig {
         ServerConfig::default()
     }
@@ -102,6 +144,37 @@ impl ServerConfig {
         self.metrics = Some(registry);
         self
     }
+
+    /// Select the readiness-reactor back end (see
+    /// [`ServerConfig::reactor`]).
+    pub fn reactor(mut self, on: bool) -> ServerConfig {
+        self.reactor = on;
+        self
+    }
+
+    /// Enforce `acl` on tenant-scoped requests (see [`crate::acl`]).
+    pub fn with_acl(mut self, acl: AclTable) -> ServerConfig {
+        self.acl = Some(Arc::new(acl));
+        self
+    }
+}
+
+/// The session-layer slice of a server configuration.
+fn session_config(config: &ServerConfig) -> SessionConfig {
+    let mut sc = SessionConfig::new().with_accept_shutdown(config.accept_shutdown);
+    if let Some(acl) = &config.acl {
+        sc = sc.with_acl(Arc::clone(acl));
+    }
+    sc
+}
+
+fn new_session(config: &ServerConfig) -> SessionStateMachine {
+    let sm = SessionStateMachine::new(session_config(config));
+    if config.metrics.is_some() {
+        sm.with_clock(MonotonicClock::new())
+    } else {
+        sm
+    }
 }
 
 /// A handle that can stop a running [`Server`] from another thread.
@@ -121,7 +194,9 @@ impl ServerHandle {
     pub fn stop(&self) {
         self.stop.store(true, Ordering::SeqCst);
         // Wake the blocking accept with a throwaway connection; the
-        // accept loop re-checks the flag before handling it.
+        // accept loop re-checks the flag before handling it. (The
+        // reactor needs no wake — it polls with a sliced timeout — but
+        // the connection is harmless there.)
         let _ = TcpStream::connect_timeout(&wake_addr(self.addr), Duration::from_millis(250));
     }
 
@@ -186,11 +261,21 @@ impl Server {
         })
     }
 
-    /// Serve until stopped. Blocking: accepts connections (bounded by
-    /// the semaphore), one handler thread each. On stop, joins every
-    /// handler, shuts the router down gracefully (drain queues, seal
-    /// journals) and returns the final stats.
+    /// Serve until stopped with the configured back end. Blocking. On
+    /// stop, winds down every connection, shuts the router down
+    /// gracefully (drain queues, seal journals) and returns the final
+    /// stats.
     pub fn serve(self) -> Result<RouterStats> {
+        if self.config.reactor {
+            self.serve_reactor()
+        } else {
+            self.serve_threads()
+        }
+    }
+
+    /// The thread-per-connection back end: accepts bounded by a
+    /// semaphore, one blocking handler thread per connection.
+    fn serve_threads(self) -> Result<RouterStats> {
         let sem = Arc::new(Semaphore::new(self.config.max_connections));
         // The bound address cannot change after bind; resolve it once.
         let addr = self.local_addr()?;
@@ -277,6 +362,345 @@ impl Server {
             )),
         }
     }
+
+    /// The reactor back end: one thread, every connection a registered
+    /// fd. Level-triggered `poll(2)` wakeups with one bounded read per
+    /// connection per turn keep service fair — a flooding or dribbling
+    /// connection costs one chunk a turn, never the whole turn.
+    fn serve_reactor(self) -> Result<RouterStats> {
+        let Server {
+            listener,
+            router,
+            config,
+            stop,
+        } = self;
+        listener.set_nonblocking(true)?;
+        let mut poller = Poller::new();
+        poller.register(listener.as_raw_fd(), LISTENER, Interest::READABLE)?;
+        let metrics = config.metrics.as_ref().map(ReactorMetrics::new);
+        let mut conns: Vec<Option<ReactorConn>> = Vec::new();
+        let mut free: Vec<usize> = Vec::new();
+        let mut events = Vec::new();
+        let mut chunk = vec![0u8; READ_CHUNK];
+        // Replication hand-offs: sockets move to dedicated blocking
+        // threads (replication links are few; request traffic stays on
+        // the reactor). The socket clone force-closes them at stop.
+        let mut repl: Vec<(JoinHandle<()>, TcpStream)> = Vec::new();
+        let mut live: usize = 0;
+        let mut accept_paused = false;
+
+        while !stop.load(Ordering::SeqCst) {
+            // The sliced timeout doubles as the stop check cadence.
+            poller.poll(&mut events, Some(Duration::from_millis(50)))?;
+            if let Some(m) = &metrics {
+                m.wakeups.inc();
+            }
+            for &ev in &events {
+                if ev.token == LISTENER {
+                    accept_paused = accept_ready(
+                        &listener,
+                        &mut poller,
+                        &mut conns,
+                        &mut free,
+                        &mut live,
+                        &config,
+                        &stop,
+                        metrics.as_ref(),
+                    );
+                    continue;
+                }
+                let slot = ev.token.0 - 1;
+                let Some(conn) = conns.get_mut(slot).and_then(Option::as_mut) else {
+                    continue;
+                };
+                let mut gone = ev.error;
+                let mut handoff = None;
+                if !gone && (ev.readable || ev.hangup) && conn.interest.is_readable() {
+                    // Fairness: one bounded read per wakeup. Leftover
+                    // kernel bytes keep the fd level-triggered ready,
+                    // so the next turn continues exactly here.
+                    match conn.stream.read(&mut chunk) {
+                        Ok(0) => gone = true,
+                        Ok(n) => {
+                            conn.sm.feed(&chunk[..n]);
+                            match drive_conn(conn, &router, &config, &stop) {
+                                Drive::Keep => {}
+                                Drive::Stop => {
+                                    stop.store(true, Ordering::SeqCst);
+                                }
+                                Drive::Replicate { shard, start, sub } => {
+                                    handoff = Some((shard, start, sub));
+                                }
+                            }
+                        }
+                        Err(e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(_) => gone = true,
+                    }
+                }
+                if let Some((shard, start, sub)) = handoff {
+                    poller.deregister(ev.token).ok();
+                    let conn = conns[slot].take().expect("handoff conn");
+                    free.push(slot);
+                    live -= 1;
+                    if let Some(m) = &metrics {
+                        m.registered.set(live as i64);
+                    }
+                    if let Some(pair) = hand_off_replication(conn, &router, shard, start, sub) {
+                        repl.push(pair);
+                    }
+                } else if gone || !flush_and_rearm(conn, &mut poller, ev.token, metrics.as_ref()) {
+                    poller.deregister(ev.token).ok();
+                    conns[slot] = None; // dropping the conn closes the fd
+                    free.push(slot);
+                    live -= 1;
+                    if let Some(m) = &metrics {
+                        m.registered.set(live as i64);
+                    }
+                }
+                if accept_paused && live < config.max_connections {
+                    poller.reregister(LISTENER, Interest::READABLE).ok();
+                    accept_paused = false;
+                }
+            }
+        }
+        drop(listener);
+        // Wind down: deliver what fits in a bounded blocking flush
+        // (ShutdownOk to the client that asked, tail responses), then
+        // close everything and take the router down gracefully.
+        for conn in conns.into_iter().flatten() {
+            let mut conn = conn;
+            conn.stream.set_nonblocking(false).ok();
+            conn.stream
+                .set_write_timeout(Some(Duration::from_millis(250)))
+                .ok();
+            let _ = conn.wbuf.flush_to(&mut conn.stream);
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        }
+        for (_, socket) in &repl {
+            let _ = socket.shutdown(std::net::Shutdown::Both);
+        }
+        for (h, _) in repl {
+            let _ = h.join();
+        }
+        match Arc::try_unwrap(router) {
+            Ok(router) => router.shutdown().map_err(serve_to_net),
+            Err(_) => Err(NetError::Protocol(
+                "router still shared after reactor shutdown".to_string(),
+            )),
+        }
+    }
+}
+
+/// One reactor-held connection: the non-blocking stream, its session
+/// machine, per-connection driver state and the partial-write buffer.
+struct ReactorConn {
+    stream: TcpStream,
+    sm: SessionStateMachine,
+    driver: ConnDriver,
+    wbuf: WriteBuf,
+    closing: bool,
+    interest: Interest,
+}
+
+/// The reactor's own metric series (`docs/OBSERVABILITY.md`).
+struct ReactorMetrics {
+    wakeups: Arc<Counter>,
+    registered: Arc<Gauge>,
+    partial_writes: Arc<Counter>,
+}
+
+impl ReactorMetrics {
+    fn new(registry: &Arc<Registry>) -> ReactorMetrics {
+        ReactorMetrics {
+            wakeups: registry.counter("net_reactor_wakeups"),
+            registered: registry.gauge("net_reactor_registered_conns"),
+            partial_writes: registry.counter("net_reactor_partial_writes"),
+        }
+    }
+}
+
+/// Drain the accept backlog into connection slots; returns whether
+/// accepting is paused at the connection cap.
+#[allow(clippy::too_many_arguments)]
+fn accept_ready(
+    listener: &TcpListener,
+    poller: &mut Poller,
+    conns: &mut Vec<Option<ReactorConn>>,
+    free: &mut Vec<usize>,
+    live: &mut usize,
+    config: &ServerConfig,
+    stop: &AtomicBool,
+    metrics: Option<&ReactorMetrics>,
+) -> bool {
+    loop {
+        if *live >= config.max_connections {
+            // At capacity: park the listener (the backlog holds the
+            // overflow) until a connection closes.
+            poller.reregister(LISTENER, Interest::NONE).ok();
+            return true;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stop.load(Ordering::SeqCst) {
+                    // The stop wake-up (or a client racing it); the
+                    // main loop exits on its next check.
+                    return false;
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                stream.set_nodelay(true).ok();
+                let slot = free.pop().unwrap_or_else(|| {
+                    conns.push(None);
+                    conns.len() - 1
+                });
+                if poller
+                    .register(stream.as_raw_fd(), Token(slot + 1), Interest::READABLE)
+                    .is_err()
+                {
+                    free.push(slot);
+                    continue; // dropping the stream refuses it
+                }
+                conns[slot] = Some(ReactorConn {
+                    stream,
+                    sm: new_session(config),
+                    driver: ConnDriver::new(config),
+                    wbuf: WriteBuf::new(),
+                    closing: false,
+                    interest: Interest::READABLE,
+                });
+                *live += 1;
+                if let Some(m) = metrics {
+                    m.registered.set(*live as i64);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return false,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            // Transient accept errors (ECONNABORTED, EMFILE): give up
+            // on this turn, the listener stays registered.
+            Err(_) => return false,
+        }
+    }
+}
+
+/// What [`drive_conn`] wants the reactor to do with the connection.
+enum Drive {
+    Keep,
+    /// A remote `SHUTDOWN` was honoured: stop the server once the
+    /// queued `SHUTDOWN_OK` is out.
+    Stop,
+    /// A `SUBSCRIBE` succeeded: hand the socket to a replication
+    /// thread.
+    Replicate {
+        shard: usize,
+        start: SubscriptionStart,
+        sub: Subscription,
+    },
+}
+
+/// Pump the session machine's outputs into the write buffer, answering
+/// application requests inline.
+fn drive_conn(
+    conn: &mut ReactorConn,
+    router: &ShardRouter,
+    config: &ServerConfig,
+    stop: &AtomicBool,
+) -> Drive {
+    let mut result = Drive::Keep;
+    while let Some(out) = conn.sm.pop_output() {
+        match out {
+            Output::Write(bytes) => conn.wbuf.push(&bytes),
+            Output::Close => conn.closing = true,
+            Output::App { request, decode_ns } => {
+                match conn
+                    .driver
+                    .handle(&mut conn.sm, router, config, stop, request, decode_ns)
+                {
+                    Handled::Done => {}
+                    Handled::StopServer => result = Drive::Stop,
+                    Handled::Replicate { shard, start, sub } => {
+                        return Drive::Replicate { shard, start, sub };
+                    }
+                }
+            }
+        }
+    }
+    result
+}
+
+/// Flush what the socket takes now and re-arm interest; returns `false`
+/// when the connection should close (write error, or it finished
+/// closing). Read interest is dropped past the write high-water mark —
+/// backpressure against peers that query without reading.
+fn flush_and_rearm(
+    conn: &mut ReactorConn,
+    poller: &mut Poller,
+    token: Token,
+    metrics: Option<&ReactorMetrics>,
+) -> bool {
+    match conn.wbuf.flush_to(&mut conn.stream) {
+        Ok(FlushProgress::Done) => {}
+        Ok(FlushProgress::Partial) => {
+            if let Some(m) = metrics {
+                m.partial_writes.inc();
+            }
+        }
+        Err(_) => return false,
+    }
+    if conn.closing && conn.wbuf.is_empty() {
+        return false;
+    }
+    let mut interest = Interest::NONE;
+    if !conn.closing && conn.wbuf.pending() < WRITE_HIGH_WATER {
+        interest = interest.with(Interest::READABLE);
+    }
+    if !conn.wbuf.is_empty() {
+        interest = interest.with(Interest::WRITABLE);
+    }
+    if interest != conn.interest {
+        if poller.reregister(token, interest).is_err() {
+            return false;
+        }
+        conn.interest = interest;
+    }
+    true
+}
+
+/// Move a subscribed connection off the reactor onto a dedicated
+/// blocking thread running [`replicate`]. Returns the join handle and a
+/// socket clone for stop-time force-close.
+fn hand_off_replication(
+    mut conn: ReactorConn,
+    router: &Arc<ShardRouter>,
+    shard: usize,
+    start: SubscriptionStart,
+    sub: Subscription,
+) -> Option<(JoinHandle<()>, TcpStream)> {
+    let leftover = conn.sm.detach();
+    let socket = conn.stream.try_clone().ok()?;
+    let router = Arc::clone(router);
+    let join = std::thread::Builder::new()
+        .name("corrfuse-net-repl".to_string())
+        .spawn(move || {
+            let mut stream = conn.stream;
+            if stream.set_nonblocking(false).is_err() {
+                return;
+            }
+            // Deliver any responses still queued from request mode
+            // before the SUBSCRIBE_OK.
+            while !conn.wbuf.is_empty() {
+                match conn.wbuf.flush_to(&mut stream) {
+                    Ok(FlushProgress::Done) => break,
+                    Ok(FlushProgress::Partial) => continue,
+                    Err(_) => return,
+                }
+            }
+            let _ = replicate(stream, leftover, &router, shard, start, sub);
+        })
+        .ok()?;
+    Some((join, socket))
 }
 
 fn serve_to_net(e: ServeError) -> NetError {
@@ -299,7 +723,6 @@ fn wake_addr(mut addr: SocketAddr) -> SocketAddr {
 /// Per-connection counters (surfaced through `STATS`).
 #[derive(Debug, Default)]
 struct ConnStats {
-    frames: u64,
     batches: u64,
     events: u64,
 }
@@ -319,6 +742,172 @@ impl ConnSpans {
             .entry((stage, kind))
             .or_insert_with(|| registry.histogram(&format!("net_{stage}_ns_{}", kind.label())))
             .record(ns);
+    }
+}
+
+/// What [`ConnDriver::handle`] tells the back end beyond "responded".
+enum Handled {
+    /// The response went through [`SessionStateMachine::respond`].
+    Done,
+    /// An honoured `SHUTDOWN`: its `SHUTDOWN_OK` is queued; stop the
+    /// server once it is flushed.
+    StopServer,
+    /// A successful `SUBSCRIBE`: no response queued — [`replicate`]
+    /// writes the `SUBSCRIBE_OK` and owns the connection from here.
+    Replicate {
+        shard: usize,
+        start: SubscriptionStart,
+        sub: Subscription,
+    },
+}
+
+/// The application request handler both back ends share: everything
+/// between a decoded [`Request`] and the [`Response`] handed back to
+/// the session machine. Keeping this in one place (like the machine
+/// itself) is what pins the two back ends to identical wire behaviour.
+struct ConnDriver {
+    stats: ConnStats,
+    seq: u64,
+    spans: Option<ConnSpans>,
+    timed: bool,
+}
+
+impl ConnDriver {
+    fn new(config: &ServerConfig) -> ConnDriver {
+        let spans = config.metrics.as_ref().map(|r| ConnSpans {
+            registry: Arc::clone(r),
+            cache: HashMap::new(),
+        });
+        ConnDriver {
+            stats: ConnStats::default(),
+            seq: 0,
+            timed: spans.is_some(),
+            spans,
+        }
+    }
+
+    fn handle(
+        &mut self,
+        sm: &mut SessionStateMachine,
+        router: &ShardRouter,
+        config: &ServerConfig,
+        stop: &AtomicBool,
+        request: Request,
+        decode_ns: u64,
+    ) -> Handled {
+        let req_kind = request.frame_type();
+        if let Some(sp) = self.spans.as_mut() {
+            sp.record("decode", req_kind, decode_ns);
+        }
+        let handle_span = Span::start(self.timed);
+        let mut outcome = Handled::Done;
+        let response = match request {
+            // The session machine answers HELLO, EPOCH_ACK, gated
+            // SHUTDOWN and ACL denials itself; mirror its messages
+            // here so a future machine change cannot panic the server.
+            Request::Hello { .. } => Response::Error {
+                code: ErrorCode::Malformed,
+                message: "HELLO is only valid as the first frame".to_string(),
+            },
+            Request::EpochAck { .. } => Response::Error {
+                code: ErrorCode::Malformed,
+                message: "EPOCH_ACK is only valid in replication mode".to_string(),
+            },
+            Request::Ingest { tenant, events } => {
+                if stop.load(Ordering::SeqCst) {
+                    Response::Error {
+                        code: ErrorCode::ShuttingDown,
+                        message: "server is stopping".to_string(),
+                    }
+                } else {
+                    let n = events.len() as u64;
+                    match router.ingest(tenant, events) {
+                        Ok(()) => {
+                            self.seq += 1;
+                            self.stats.batches += 1;
+                            self.stats.events += n;
+                            Response::IngestOk { seq: self.seq }
+                        }
+                        Err(e) => error_response(&e),
+                    }
+                }
+            }
+            Request::Scores { tenant, min_epoch } => {
+                let result = match min_epoch {
+                    Some(e) => router.scores_at(tenant, e),
+                    None => router.scores(tenant),
+                };
+                match result {
+                    Ok(scores) => Response::ScoresOk { scores },
+                    Err(e) => error_response(&e),
+                }
+            }
+            Request::Decisions { tenant, min_epoch } => {
+                let result = match min_epoch {
+                    Some(e) => router.decisions_at(tenant, e),
+                    None => router.decisions(tenant),
+                };
+                match result {
+                    Ok(decisions) => Response::DecisionsOk { decisions },
+                    Err(e) => error_response(&e),
+                }
+            }
+            Request::Flush => match router.flush() {
+                Ok(()) => Response::FlushOk,
+                Err(e) => error_response(&e),
+            },
+            // `min_epoch` is ignored on the leader: its stats are the
+            // authoritative present. Followers gate on their applied
+            // epoch before answering.
+            Request::Stats { min_epoch: _ } => {
+                let mut wire = WireStats::from_router(&router.stats());
+                wire.conn_frames = sm.frames();
+                wire.conn_batches = self.stats.batches;
+                wire.conn_events = self.stats.events;
+                Response::StatsOk { stats: wire }
+            }
+            Request::Ping => Response::Pong,
+            Request::Metrics => metrics_response(config.metrics.as_ref(), router),
+            // The machine only forwards SHUTDOWN when the config
+            // honours it.
+            Request::Shutdown => {
+                outcome = Handled::StopServer;
+                Response::ShutdownOk
+            }
+            Request::Subscribe { shard, from_epoch } => {
+                if stop.load(Ordering::SeqCst) {
+                    Response::Error {
+                        code: ErrorCode::ShuttingDown,
+                        message: "server is stopping".to_string(),
+                    }
+                } else {
+                    match router.subscribe(shard as usize, from_epoch) {
+                        // The connection leaves request/response for
+                        // good: `replicate` owns it until the follower
+                        // disconnects or the subscription closes.
+                        Ok((start, sub)) => {
+                            if let Some(sp) = self.spans.as_mut() {
+                                sp.record("handle", req_kind, handle_span.elapsed_ns());
+                            }
+                            return Handled::Replicate {
+                                shard: shard as usize,
+                                start,
+                                sub,
+                            };
+                        }
+                        Err(e) => error_response(&e),
+                    }
+                }
+            }
+        };
+        if let Some(sp) = self.spans.as_mut() {
+            sp.record("handle", req_kind, handle_span.elapsed_ns());
+        }
+        let (resp_kind, encode_ns) = sm.respond(response);
+        if let Some(sp) = self.spans.as_mut() {
+            sp.record("encode", resp_kind, encode_ns);
+        }
+        outcome
     }
 }
 
@@ -427,7 +1016,8 @@ fn metrics_response(registry: Option<&Arc<Registry>>, router: &ShardRouter) -> R
     }
 }
 
-/// Serve one connection: HELLO negotiation, then the request loop.
+/// Serve one connection on the thread back end: blocking chunk reads
+/// feeding the same session machine the reactor drives.
 fn handle_connection(
     mut stream: TcpStream,
     router: &ShardRouter,
@@ -436,174 +1026,75 @@ fn handle_connection(
     addr: SocketAddr,
 ) -> Result<()> {
     stream.set_nodelay(true).ok();
-    negotiate(&mut stream)?;
-    let mut stats = ConnStats::default();
-    let mut seq: u64 = 0;
-    let mut spans = config.metrics.as_ref().map(|r| ConnSpans {
-        registry: Arc::clone(r),
-        cache: HashMap::new(),
-    });
-    let timed = spans.is_some();
+    let mut sm = new_session(config);
+    let mut driver = ConnDriver::new(config);
+    let mut chunk = vec![0u8; READ_CHUNK];
     loop {
-        let frame = match Frame::read_from(&mut stream) {
-            Ok(Some(f)) => f,
-            Ok(None) => return Ok(()), // clean close
-            Err(NetError::Frame(e)) => {
-                // The stream may be mis-aligned after a framing error;
-                // answer and close rather than guess at a resync point.
-                let resp = Response::Error {
-                    code: ErrorCode::Malformed,
-                    message: e.to_string(),
-                };
-                resp.to_frame().write_to(&mut stream).ok();
-                stream.flush().ok();
-                return Err(NetError::Frame(e));
-            }
-            Err(e) => return Err(e),
-        };
-        stats.frames += 1;
-        let req_kind = frame.kind;
-        let decode_span = Span::start(timed);
-        let decoded = Request::from_frame(&frame);
-        if let Some(sp) = spans.as_mut() {
-            sp.record("decode", req_kind, decode_span.elapsed_ns());
-        }
-        let request = match decoded {
-            Ok(r) => r,
-            Err(e) => {
-                // Frame-aligned but undecodable payload: report and
-                // keep serving.
-                let resp = Response::Error {
-                    code: ErrorCode::Malformed,
-                    message: e.to_string(),
-                };
-                resp.to_frame().write_to(&mut stream)?;
-                continue;
-            }
-        };
-        let mut stop_after = false;
-        let handle_span = Span::start(timed);
-        let response = match request {
-            Request::Hello { .. } => Response::Error {
-                code: ErrorCode::Malformed,
-                message: "HELLO is only valid as the first frame".to_string(),
-            },
-            Request::Ingest { tenant, events } => {
-                if stop.load(Ordering::SeqCst) {
-                    Response::Error {
-                        code: ErrorCode::ShuttingDown,
-                        message: "server is stopping".to_string(),
-                    }
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => {
+                // EOF between frames is a clean close; inside a frame
+                // it is a truncation.
+                return if sm.buffered() == 0 {
+                    Ok(())
                 } else {
-                    let n = events.len() as u64;
-                    match router.ingest(tenant, events) {
-                        Ok(()) => {
-                            seq += 1;
-                            stats.batches += 1;
-                            stats.events += n;
-                            Response::IngestOk { seq }
+                    Err(FrameError::Truncated {
+                        needed: sm.buffered() + 1,
+                        got: sm.buffered(),
+                    }
+                    .into())
+                };
+            }
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        };
+        sm.feed(&chunk[..n]);
+        while let Some(out) = sm.pop_output() {
+            match out {
+                Output::Write(bytes) => stream.write_all(&bytes)?,
+                Output::Close => {
+                    write_pending(&mut sm, &mut stream)?;
+                    stream.flush()?;
+                    return Ok(());
+                }
+                Output::App { request, decode_ns } => {
+                    match driver.handle(&mut sm, router, config, stop, request, decode_ns) {
+                        Handled::Done => {}
+                        Handled::StopServer => {
+                            write_pending(&mut sm, &mut stream)?;
+                            stream.flush()?;
+                            stop.store(true, Ordering::SeqCst);
+                            // Wake the accept loop exactly like
+                            // `ServerHandle::stop`.
+                            let _ = TcpStream::connect_timeout(
+                                &wake_addr(addr),
+                                Duration::from_millis(250),
+                            );
+                            return Ok(());
                         }
-                        Err(e) => error_response(&e),
-                    }
-                }
-            }
-            Request::Scores { tenant, min_epoch } => {
-                let result = match min_epoch {
-                    Some(e) => router.scores_at(tenant, e),
-                    None => router.scores(tenant),
-                };
-                match result {
-                    Ok(scores) => Response::ScoresOk { scores },
-                    Err(e) => error_response(&e),
-                }
-            }
-            Request::Decisions { tenant, min_epoch } => {
-                let result = match min_epoch {
-                    Some(e) => router.decisions_at(tenant, e),
-                    None => router.decisions(tenant),
-                };
-                match result {
-                    Ok(decisions) => Response::DecisionsOk { decisions },
-                    Err(e) => error_response(&e),
-                }
-            }
-            Request::Flush => match router.flush() {
-                Ok(()) => Response::FlushOk,
-                Err(e) => error_response(&e),
-            },
-            // `min_epoch` is ignored on the leader: its stats are the
-            // authoritative present. Followers gate on their applied
-            // epoch before answering.
-            Request::Stats { min_epoch: _ } => {
-                let mut wire = WireStats::from_router(&router.stats());
-                wire.conn_frames = stats.frames;
-                wire.conn_batches = stats.batches;
-                wire.conn_events = stats.events;
-                Response::StatsOk { stats: wire }
-            }
-            Request::Ping => Response::Pong,
-            Request::Metrics => metrics_response(config.metrics.as_ref(), router),
-            Request::Shutdown => {
-                if config.accept_shutdown {
-                    stop_after = true;
-                    Response::ShutdownOk
-                } else {
-                    Response::Error {
-                        code: ErrorCode::Forbidden,
-                        message: "remote shutdown is disabled on this server".to_string(),
-                    }
-                }
-            }
-            Request::Subscribe { shard, from_epoch } => {
-                if stop.load(Ordering::SeqCst) {
-                    Response::Error {
-                        code: ErrorCode::ShuttingDown,
-                        message: "server is stopping".to_string(),
-                    }
-                } else {
-                    match router.subscribe(shard as usize, from_epoch) {
-                        // The connection leaves request/response for
-                        // good: `replicate` owns it until the follower
-                        // disconnects or the subscription closes.
-                        Ok((start, sub)) => {
-                            return replicate(stream, router, shard as usize, start, sub)
+                        Handled::Replicate { shard, start, sub } => {
+                            write_pending(&mut sm, &mut stream)?;
+                            stream.flush()?;
+                            let leftover = sm.detach();
+                            return replicate(stream, leftover, router, shard, start, sub);
                         }
-                        Err(e) => error_response(&e),
                     }
                 }
             }
-            Request::EpochAck { .. } => Response::Error {
-                code: ErrorCode::Malformed,
-                message: "EPOCH_ACK is only valid in replication mode".to_string(),
-            },
-        };
-        if let Some(sp) = spans.as_mut() {
-            sp.record("handle", req_kind, handle_span.elapsed_ns());
         }
-        let encode_span = Span::start(timed);
-        let mut frame = response.to_frame();
-        if !frame.fits() {
-            // Never put a frame on the wire the peer must reject (the
-            // decoder enforces MAX_PAYLOAD); report the overflow as a
-            // typed error instead.
-            frame = Response::Error {
-                code: ErrorCode::Internal,
-                message: frame.oversize_error().to_string(),
-            }
-            .to_frame();
-        }
-        if let Some(sp) = spans.as_mut() {
-            sp.record("encode", frame.kind, encode_span.elapsed_ns());
-        }
-        frame.write_to(&mut stream)?;
         stream.flush()?;
-        if stop_after {
-            stop.store(true, Ordering::SeqCst);
-            // Wake the accept loop exactly like `ServerHandle::stop`.
-            let _ = TcpStream::connect_timeout(&wake_addr(addr), Duration::from_millis(250));
-            return Ok(());
+    }
+}
+
+/// Drain the machine's already-queued writes to the stream (used before
+/// leaving the request loop, when the pop-loop will not run again).
+fn write_pending(sm: &mut SessionStateMachine, stream: &mut TcpStream) -> Result<()> {
+    while let Some(out) = sm.pop_output() {
+        if let Output::Write(bytes) = out {
+            stream.write_all(&bytes)?;
         }
     }
+    Ok(())
 }
 
 fn error_response(e: &ServeError) -> Response {
@@ -617,16 +1108,19 @@ fn error_response(e: &ServeError) -> Response {
 /// streams the subscription's `BATCH` frames over the write half while
 /// this thread reads `EPOCH_ACK`s off the read half (the one protocol
 /// state where the server sends unsolicited frames — `docs/PROTOCOL.md`
-/// §7). Any other client frame is a protocol violation that ends the
-/// connection; the follower resubscribes from its applied epoch.
+/// §7). `leftover` is whatever the session machine had buffered past
+/// the SUBSCRIBE (a pipelined ACK, typically) — it is replayed ahead of
+/// the socket. Any other client frame is a protocol violation that ends
+/// the connection; the follower resubscribes from its applied epoch.
 fn replicate(
     stream: TcpStream,
+    leftover: Vec<u8>,
     router: &ShardRouter,
     shard: usize,
     start: SubscriptionStart,
     sub: Subscription,
 ) -> Result<()> {
-    let mut reader = stream.try_clone()?;
+    let mut reader = std::io::Cursor::new(leftover).chain(stream.try_clone()?);
     let mut writer = stream;
     let start = match start {
         SubscriptionStart::Resume => WireSubscriptionStart::Resume,
@@ -708,47 +1202,6 @@ fn replicate(
     done.store(true, Ordering::SeqCst);
     let _ = pusher.join();
     result
-}
-
-/// The HELLO handshake, server side: the first frame must be a HELLO
-/// whose version range intersects ours.
-fn negotiate(stream: &mut TcpStream) -> Result<()> {
-    let frame = match Frame::read_from(stream)? {
-        Some(f) => f,
-        None => return Ok(()), // connected and left without a word
-    };
-    match Request::from_frame(&frame) {
-        Ok(Request::Hello {
-            min_version,
-            max_version,
-        }) => {
-            if min_version <= VERSION && VERSION <= max_version {
-                Response::HelloOk { version: VERSION }
-                    .to_frame()
-                    .write_to(stream)?;
-                Ok(())
-            } else {
-                let resp = Response::Error {
-                    code: ErrorCode::UnsupportedVersion,
-                    message: format!(
-                        "server speaks version {VERSION}, client offered {min_version}..={max_version}"
-                    ),
-                };
-                resp.to_frame().write_to(stream)?;
-                Err(NetError::Protocol("version negotiation failed".to_string()))
-            }
-        }
-        _ => {
-            let resp = Response::Error {
-                code: ErrorCode::Malformed,
-                message: "the first frame on a connection must be HELLO".to_string(),
-            };
-            resp.to_frame().write_to(stream).ok();
-            Err(NetError::Protocol(
-                "connection did not start with HELLO".to_string(),
-            ))
-        }
-    }
 }
 
 /// Run a [`Server`] on a background thread. Returns the stop handle and

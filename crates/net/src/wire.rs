@@ -22,12 +22,20 @@ use crate::frame::{Frame, FrameError, FrameType};
 pub enum Request {
     /// Version negotiation; MUST be the first request on a connection.
     /// Carries the inclusive range of protocol versions the client
-    /// speaks.
+    /// speaks, plus an optional credential for per-tenant ACLs.
     Hello {
         /// Lowest version the client accepts.
         min_version: u8,
         /// Highest version the client accepts.
         max_version: u8,
+        /// Optional bearer credential (`docs/PROTOCOL.md` §4.1): an
+        /// optional trailing field on the wire, absent in pre-ACL
+        /// encodings, so old clients decode as unauthenticated rather
+        /// than malformed. At most `u16::MAX` UTF-8 bytes. Against an
+        /// ACL-configured server a missing or unknown credential still
+        /// gets `HELLO_OK`; the typed `FORBIDDEN` denial happens per
+        /// tenant-scoped request ([`crate::acl`]).
+        credential: Option<String>,
     },
     /// One event batch for one tenant.
     Ingest {
@@ -440,13 +448,44 @@ impl Request {
         Frame::new(FrameType::Ingest, payload)
     }
 
+    /// The frame type this request encodes to — without encoding it
+    /// (the session layer labels per-type latency series on the ingest
+    /// hot path, where a throwaway `to_frame` would re-encode the whole
+    /// batch).
+    pub fn frame_type(&self) -> FrameType {
+        match self {
+            Request::Hello { .. } => FrameType::Hello,
+            Request::Ingest { .. } => FrameType::Ingest,
+            Request::Scores { .. } => FrameType::Scores,
+            Request::Decisions { .. } => FrameType::Decisions,
+            Request::Flush => FrameType::Flush,
+            Request::Stats { .. } => FrameType::Stats,
+            Request::Ping => FrameType::Ping,
+            Request::Shutdown => FrameType::Shutdown,
+            Request::Metrics => FrameType::Metrics,
+            Request::Subscribe { .. } => FrameType::Subscribe,
+            Request::EpochAck { .. } => FrameType::EpochAck,
+        }
+    }
+
     /// Encode the request as a frame.
     pub fn to_frame(&self) -> Frame {
         match self {
             Request::Hello {
                 min_version,
                 max_version,
-            } => Frame::new(FrameType::Hello, vec![*min_version, *max_version]),
+                credential,
+            } => {
+                let mut payload = vec![*min_version, *max_version];
+                if let Some(cred) = credential {
+                    let bytes = cred.as_bytes();
+                    let len =
+                        u16::try_from(bytes.len()).expect("credential longer than 65535 bytes");
+                    payload.extend_from_slice(&len.to_le_bytes());
+                    payload.extend_from_slice(bytes);
+                }
+                Frame::new(FrameType::Hello, payload)
+            }
             Request::Ingest { tenant, events } => Request::ingest_frame(*tenant, events),
             Request::Scores { tenant, min_epoch } => {
                 let mut payload = tenant.0.to_le_bytes().to_vec();
@@ -490,10 +529,17 @@ impl Request {
             FrameType::Hello => {
                 let min_version = r.u8("min_version")?;
                 let max_version = r.u8("max_version")?;
+                let credential = if r.at_end() {
+                    None
+                } else {
+                    let len = r.u16("credential length")? as usize;
+                    Some(utf8(r.take(len, "credential")?, "credential")?.to_string())
+                };
                 r.finish("HELLO")?;
                 Ok(Request::Hello {
                     min_version,
                     max_version,
+                    credential,
                 })
             }
             FrameType::Ingest => {
@@ -890,6 +936,17 @@ mod tests {
             Request::Hello {
                 min_version: 1,
                 max_version: 1,
+                credential: None,
+            },
+            Request::Hello {
+                min_version: 1,
+                max_version: 1,
+                credential: Some("tenant-0-writer".to_string()),
+            },
+            Request::Hello {
+                min_version: 1,
+                max_version: 3,
+                credential: Some(String::new()),
             },
             Request::Ingest {
                 tenant: TenantId(7),

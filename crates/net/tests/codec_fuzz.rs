@@ -7,7 +7,10 @@ use corrfuse_core::dataset::SourceId;
 use corrfuse_core::testkit::{run_cases, Gen};
 use corrfuse_core::TripleId;
 use corrfuse_net::wire::{WireHistogram, WireMetric, WireMetricValue, WireShardStats, WireStats};
-use corrfuse_net::{ErrorCode, Frame, FrameError, FrameType, Request, Response};
+use corrfuse_net::{
+    AclTable, ErrorCode, Frame, FrameError, FrameType, Output, Request, Response, SessionConfig,
+    SessionStateMachine,
+};
 use corrfuse_serve::TenantId;
 use corrfuse_stream::Event;
 
@@ -38,11 +41,22 @@ fn random_min_epoch(g: &mut Gen) -> Option<u64> {
     g.bool(0.5).then(|| g.u64_below(1 << 40))
 }
 
+fn random_credential(g: &mut Gen) -> Option<String> {
+    const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-_.";
+    g.bool(0.5).then(|| {
+        let len = g.usize_in(0, 24);
+        (0..len)
+            .map(|_| CHARS[g.usize_in(0, CHARS.len() - 1)] as char)
+            .collect()
+    })
+}
+
 fn random_request(g: &mut Gen) -> Request {
     match g.usize_in(0, 11) {
         0 => Request::Hello {
             min_version: g.u64_below(4) as u8,
             max_version: g.u64_below(4) as u8,
+            credential: random_credential(g),
         },
         1 => Request::Ingest {
             tenant: TenantId(g.u64_below(1000) as u32),
@@ -251,6 +265,141 @@ fn truncation_and_corruption_are_typed() {
                 );
             }
         }
+    });
+}
+
+/// A deterministic stand-in for the application layer, so the session
+/// machine can be driven without a router: the response depends only on
+/// the request, never on how the bytes were chunked.
+fn canned_response(req: &Request) -> Response {
+    match req {
+        Request::Ingest { events, .. } => Response::IngestOk {
+            seq: events.len() as u64,
+        },
+        Request::Scores { tenant, .. } => Response::ScoresOk {
+            scores: vec![f64::from(tenant.0)],
+        },
+        Request::Decisions { .. } => Response::DecisionsOk {
+            decisions: vec![true, false],
+        },
+        Request::Flush => Response::FlushOk,
+        Request::Stats { .. } => Response::StatsOk {
+            stats: WireStats {
+                conn_frames: 1,
+                conn_batches: 2,
+                conn_events: 3,
+                shards: vec![],
+            },
+        },
+        Request::Ping => Response::Pong,
+        Request::Metrics => Response::MetricsOk { metrics: vec![] },
+        Request::Shutdown => Response::ShutdownOk,
+        Request::Subscribe { shard, .. } => Response::Error {
+            code: ErrorCode::Internal,
+            message: format!("no shard {shard}"),
+        },
+        other => Response::Error {
+            code: ErrorCode::Malformed,
+            message: format!("{other:?}"),
+        },
+    }
+}
+
+/// Feed `bytes` into a fresh session machine in the given chunk sizes
+/// (cycled; empty = one whole-buffer feed), answering every emitted App
+/// with the canned response. Returns everything observable: the app
+/// request sequence, the concatenated wire bytes, the frame count and
+/// whether the session closed.
+fn drive_session(
+    config: SessionConfig,
+    bytes: &[u8],
+    splits: &[usize],
+) -> (Vec<Request>, Vec<u8>, u64, bool) {
+    let mut sm = SessionStateMachine::new(config);
+    let mut apps = Vec::new();
+    let mut wire = Vec::new();
+    let mut pos = 0;
+    let mut turn = 0;
+    while pos < bytes.len() {
+        let n = if splits.is_empty() {
+            bytes.len() - pos
+        } else {
+            splits[turn % splits.len()].clamp(1, bytes.len() - pos)
+        };
+        turn += 1;
+        sm.feed(&bytes[pos..pos + n]);
+        pos += n;
+        while let Some(out) = sm.pop_output() {
+            match out {
+                Output::Write(b) => wire.extend_from_slice(&b),
+                Output::Close => {}
+                Output::App { request, .. } => {
+                    let resp = canned_response(&request);
+                    apps.push(request);
+                    sm.respond(resp);
+                }
+            }
+        }
+    }
+    (apps, wire, sm.frames(), sm.is_closed())
+}
+
+/// The session machine is chunking-blind: a recorded byte stream fed
+/// one byte (or any random split) at a time produces exactly the app
+/// requests, wire bytes, frame count and close decision of a single
+/// whole-buffer feed. This is the sans-I/O property both server back
+/// ends lean on — the kernel may fragment however it likes.
+#[test]
+fn session_machine_is_chunking_blind() {
+    run_cases("net_session_chunking", 150, |g| {
+        // A recorded client stream: HELLO (occasionally bad), then a
+        // burst of random requests, occasionally trailed by garbage.
+        let mut bytes = Vec::new();
+        if g.bool(0.85) {
+            bytes.extend(
+                Request::Hello {
+                    min_version: 1,
+                    max_version: g.usize_in(1, 2) as u8,
+                    credential: random_credential(g),
+                }
+                .to_frame()
+                .encode(),
+            );
+        }
+        for _ in 0..g.usize_in(0, 6) {
+            bytes.extend(random_request(g).to_frame().encode());
+        }
+        if g.bool(0.2) {
+            let garbage_len = g.usize_in(1, 40);
+            bytes.extend(random_bytes(g, garbage_len));
+        }
+        if bytes.is_empty() {
+            return;
+        }
+
+        let mut config = SessionConfig::new().with_accept_shutdown(g.bool(0.5));
+        if g.bool(0.4) {
+            config = config.with_acl(std::sync::Arc::new(
+                AclTable::new()
+                    .allow_all("root")
+                    .allow("writer", [TenantId(0), TenantId(1)]),
+            ));
+        }
+
+        let whole = drive_session(config.clone(), &bytes, &[]);
+        let splits: Vec<usize> = if g.bool(0.3) {
+            vec![1] // strict byte-at-a-time
+        } else {
+            (0..g.usize_in(1, 8)).map(|_| g.usize_in(1, 9)).collect()
+        };
+        let chunked = drive_session(config, &bytes, &splits);
+        assert_eq!(
+            whole.0, chunked.0,
+            "app sequence differs (splits {splits:?})"
+        );
+        assert_eq!(whole.1, chunked.1, "wire bytes differ (splits {splits:?})");
+        assert_eq!(whole.2, chunked.2, "frame count differs");
+        assert_eq!(whole.3, chunked.3, "close decision differs");
     });
 }
 

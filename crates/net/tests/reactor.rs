@@ -1,0 +1,316 @@
+//! Integration tests for the readiness-reactor back end
+//! (`ServerConfig::reactor(true)`): request-surface parity with the
+//! thread back end, slow-loris robustness (a dribbling or stalled
+//! connection never starves the others and pins no memory beyond the
+//! bytes it actually sent), and per-tenant ACL enforcement on both back
+//! ends — including that a mixed-tenant client hitting a denied tenant
+//! cannot poison its allowed-tenant pipeline.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use corrfuse_core::dataset::{DatasetBuilder, SourceId};
+use corrfuse_core::fuser::{FuserConfig, Method};
+use corrfuse_core::TripleId;
+use corrfuse_net::server::spawn;
+use corrfuse_net::{
+    AclTable, Client, ClientConfig, ErrorCode, Frame, NetError, Request, Response, Server,
+    ServerConfig,
+};
+use corrfuse_serve::{RouterConfig, ShardRouter, TenantId};
+use corrfuse_stream::Event;
+
+fn seed() -> corrfuse_core::dataset::Dataset {
+    let mut b = DatasetBuilder::new();
+    let (s, t1) = b.observe_named("A", "x", "p", "1");
+    b.label(t1, true);
+    let t2 = b.triple("y", "p", "2");
+    b.observe(s, t2);
+    b.label(t2, false);
+    b.build().unwrap()
+}
+
+fn router(tenants: &[u32]) -> ShardRouter {
+    let seeds = tenants.iter().map(|&t| (TenantId(t), seed())).collect();
+    ShardRouter::new(
+        FuserConfig::new(Method::PrecRec),
+        RouterConfig::new(tenants.len()).with_threshold(0.5),
+        seeds,
+    )
+    .unwrap()
+}
+
+fn read_response(stream: &mut TcpStream) -> Response {
+    let frame = Frame::read_from(stream).unwrap().expect("peer closed");
+    Response::from_frame(&frame).unwrap()
+}
+
+fn raw_hello(stream: &mut TcpStream, credential: Option<&str>) -> Response {
+    Request::Hello {
+        min_version: 1,
+        max_version: 1,
+        credential: credential.map(str::to_string),
+    }
+    .to_frame()
+    .write_to(stream)
+    .unwrap();
+    stream.flush().unwrap();
+    read_response(stream)
+}
+
+/// The reactor back end serves the same request surface as the thread
+/// back end: ingest, read-your-writes flush, scores/decisions, stats,
+/// ping, typed errors, remote shutdown.
+#[test]
+fn reactor_serves_full_request_surface() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        router(&[0, 1]),
+        ServerConfig::new().reactor(true).with_accept_shutdown(true),
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let (_handle, join) = spawn(server).unwrap();
+
+    let mut client = Client::connect(&addr).unwrap();
+    client.ping().unwrap();
+    client
+        .ingest(
+            TenantId(0),
+            &[
+                Event::add_triple("z", "p", "3"),
+                Event::claim(SourceId(0), TripleId(2)),
+            ],
+        )
+        .unwrap();
+    client
+        .ingest(TenantId(1), &[Event::label(TripleId(1), true)])
+        .unwrap();
+    client.flush().unwrap();
+    assert_eq!(client.acked_batches(), 2);
+
+    let scores = client.scores(TenantId(0)).unwrap();
+    assert_eq!(scores.len(), 3);
+    let decisions = client.decisions(TenantId(0)).unwrap();
+    for (s, d) in scores.iter().zip(&decisions) {
+        assert_eq!(*d, *s > 0.5);
+    }
+    match client.scores(TenantId(9)).unwrap_err() {
+        NetError::Remote { code, .. } => assert_eq!(code, ErrorCode::UnknownTenant),
+        other => panic!("unexpected {other:?}"),
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.conn_batches, 2);
+    assert_eq!(stats.conn_events, 3);
+
+    // Remote shutdown stops the reactor and yields the final stats.
+    client.shutdown_server().unwrap();
+    let stats = join.join().unwrap().unwrap();
+    assert_eq!(stats.aggregate().ingest_errors, 0);
+    assert_eq!(stats.aggregate().ingested_events, 3);
+}
+
+/// Slow-loris robustness: connections that dribble one byte at a time —
+/// or declare a 64 MiB payload and stall mid-frame — keep their session
+/// buffers bounded by the bytes actually received, and never starve a
+/// well-behaved client sharing the one reactor thread.
+#[test]
+fn slow_loris_never_starves_the_reactor() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        router(&[0]),
+        ServerConfig::new().reactor(true),
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let (handle, join) = spawn(server).unwrap();
+
+    // Staller: completes the handshake, then sends only the header of
+    // an INGEST frame declaring the maximum payload — and goes silent.
+    let mut staller = TcpStream::connect(addr).unwrap();
+    assert!(matches!(
+        raw_hello(&mut staller, None),
+        Response::HelloOk { .. }
+    ));
+    let mut header = Vec::new();
+    header.extend_from_slice(b"CRFN");
+    header.push(1); // version
+    header.push(0x02); // INGEST
+    header.extend_from_slice(&corrfuse_net::frame::MAX_PAYLOAD.to_le_bytes());
+    header.extend_from_slice(&0u32.to_le_bytes());
+    staller.write_all(&header).unwrap();
+    staller.flush().unwrap();
+
+    // Dribblers: a full PING request delivered one byte per write.
+    let dribblers: Vec<_> = (0..4)
+        .map(|_| {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.set_nodelay(true).unwrap();
+            assert!(matches!(raw_hello(&mut s, None), Response::HelloOk { .. }));
+            s
+        })
+        .collect();
+    let ping = Request::Ping.to_frame().encode();
+    let driblet = std::thread::spawn(move || {
+        let mut dribblers = dribblers;
+        for i in 0..ping.len() {
+            for s in &mut dribblers {
+                s.write_all(&ping[i..i + 1]).unwrap();
+                s.flush().unwrap();
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        for s in &mut dribblers {
+            assert!(matches!(read_response(s), Response::Pong));
+        }
+    });
+
+    // Meanwhile a well-behaved client must make full round trips.
+    let mut client = Client::connect(addr.to_string()).unwrap();
+    for _ in 0..20 {
+        client
+            .ingest(TenantId(0), &[Event::label(TripleId(0), true)])
+            .unwrap();
+        client.flush().unwrap();
+        assert_eq!(client.scores(TenantId(0)).unwrap().len(), 2);
+    }
+    driblet.join().unwrap();
+
+    drop(staller);
+    handle.stop();
+    let stats = join.join().unwrap().unwrap();
+    assert_eq!(stats.aggregate().ingest_errors, 0);
+}
+
+/// ACL enforcement is identical on both back ends: missing or wrong
+/// credentials get `FORBIDDEN` on every tenant-scoped request (the
+/// connection keeps serving), the right credential round-trips, a
+/// scoped credential cannot `SUBSCRIBE`, and a mixed-tenant client
+/// hitting a denied tenant cannot poison its allowed-tenant pipeline —
+/// the allowed tenant's scores stay bitwise identical to a control
+/// server that only ever saw the allowed traffic.
+#[test]
+fn acl_is_enforced_on_both_backends() {
+    for reactor in [false, true] {
+        let acl = AclTable::new()
+            .allow("writer-0", [TenantId(0)])
+            .allow_all("root");
+        let server = Server::bind(
+            "127.0.0.1:0",
+            router(&[0, 1]),
+            ServerConfig::new().reactor(reactor).with_acl(acl),
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let (handle, join) = spawn(server).unwrap();
+
+        // Control: an open server that only ever receives the allowed
+        // traffic; the ACL'd server's allowed tenant must match it
+        // bitwise.
+        let control = Server::bind("127.0.0.1:0", router(&[0, 1]), ServerConfig::new()).unwrap();
+        let control_addr = control.local_addr().unwrap().to_string();
+        let (control_handle, control_join) = spawn(control).unwrap();
+
+        // Missing and wrong credentials: HELLO_OK, then FORBIDDEN on
+        // every tenant-scoped request; PING (unscoped) still works.
+        for config in [
+            ClientConfig::new(),
+            ClientConfig::new().with_credential("intruder"),
+        ] {
+            let mut denied = Client::connect_with(&addr, config).unwrap();
+            denied.ping().unwrap();
+            for tenant in [0u32, 1] {
+                match denied.scores(TenantId(tenant)).unwrap_err() {
+                    NetError::Remote { code, .. } => assert_eq!(code, ErrorCode::Forbidden),
+                    other => panic!("unexpected {other:?}"),
+                }
+                match denied.decisions(TenantId(tenant)).unwrap_err() {
+                    NetError::Remote { code, .. } => assert_eq!(code, ErrorCode::Forbidden),
+                    other => panic!("unexpected {other:?}"),
+                }
+                denied
+                    .ingest(TenantId(tenant), &[Event::label(TripleId(0), true)])
+                    .unwrap();
+                match denied.sync().unwrap_err() {
+                    NetError::Remote { code, .. } => assert_eq!(code, ErrorCode::Forbidden),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            // The connection is still alive after every denial.
+            denied.ping().unwrap();
+        }
+
+        // A scoped credential cannot subscribe (whole-shard access).
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        assert!(matches!(
+            raw_hello(&mut raw, Some("writer-0")),
+            Response::HelloOk { .. }
+        ));
+        Request::Subscribe {
+            shard: 0,
+            from_epoch: 0,
+        }
+        .to_frame()
+        .write_to(&mut raw)
+        .unwrap();
+        raw.flush().unwrap();
+        match read_response(&mut raw) {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::Forbidden),
+            other => panic!("unexpected {other:?}"),
+        }
+        drop(raw);
+
+        // Mixed-tenant client: allowed tenant round-trips, denied
+        // tenant is refused, and the denial does not perturb the
+        // allowed pipeline.
+        let mut writer =
+            Client::connect_with(&addr, ClientConfig::new().with_credential("writer-0")).unwrap();
+        let mut control_client = Client::connect(&control_addr).unwrap();
+        let batches: [&[Event]; 3] = [
+            &[
+                Event::add_triple("z", "p", "3"),
+                Event::claim(SourceId(0), TripleId(2)),
+            ],
+            &[Event::label(TripleId(2), true)],
+            &[Event::claim(SourceId(0), TripleId(1))],
+        ];
+        for (i, batch) in batches.iter().enumerate() {
+            writer.ingest(TenantId(0), batch).unwrap();
+            control_client.ingest(TenantId(0), batch).unwrap();
+            if i == 1 {
+                // Interleave a denied-tenant batch mid-pipeline.
+                writer
+                    .ingest(TenantId(1), &[Event::label(TripleId(0), false)])
+                    .unwrap();
+                match writer.sync().unwrap_err() {
+                    NetError::Remote { code, .. } => assert_eq!(code, ErrorCode::Forbidden),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+        writer.flush().unwrap();
+        control_client.flush().unwrap();
+        let scores = writer.scores(TenantId(0)).unwrap();
+        let control_scores = control_client.scores(TenantId(0)).unwrap();
+        assert_eq!(
+            scores, control_scores,
+            "denied-tenant traffic perturbed the allowed pipeline (reactor={reactor})"
+        );
+        // The denied tenant never received the batch.
+        match writer.scores(TenantId(1)).unwrap_err() {
+            NetError::Remote { code, .. } => assert_eq!(code, ErrorCode::Forbidden),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        handle.stop();
+        control_handle.stop();
+        let stats = join.join().unwrap().unwrap();
+        let control_stats = control_join.join().unwrap().unwrap();
+        assert_eq!(
+            stats.aggregate().ingested_events,
+            control_stats.aggregate().ingested_events,
+            "denied batches must never reach the router (reactor={reactor})"
+        );
+    }
+}

@@ -123,6 +123,7 @@ fn version_negotiation_and_handshake_violations() {
     Request::Hello {
         min_version: 2,
         max_version: 9,
+        credential: None,
     }
     .to_frame()
     .write_to(&mut raw)

@@ -413,6 +413,7 @@ fn dial(addr: &str) -> Result<TcpStream> {
     Request::Hello {
         min_version: VERSION,
         max_version: VERSION,
+        credential: None,
     }
     .to_frame()
     .write_to(&mut stream)?;

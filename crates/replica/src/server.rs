@@ -340,6 +340,7 @@ fn negotiate(stream: &mut TcpStream) -> Result<()> {
         Ok(Request::Hello {
             min_version,
             max_version,
+            ..
         }) => {
             if min_version <= VERSION && VERSION <= max_version {
                 Response::HelloOk { version: VERSION }

@@ -7,13 +7,25 @@
 //! `Fuser::fit + score_all` on the accumulated dataset, and the
 //! tenant-scoped scores read back *over the wire* are bitwise identical
 //! to that same fit.
+//!
+//! Every property runs against **both server back ends** — the random
+//! workload alternates between thread-per-connection and the readiness
+//! reactor (`ServerConfig::reactor(true)`), and the idle-scale test
+//! holds 10⁴ idle connections on the reactor while producers ingest —
+//! so the equivalence chain (reactor == threads == from-scratch fit)
+//! is pinned bitwise at the wire.
 
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
 use corrfuse::core::fuser::{Fuser, FuserConfig, Method};
 use corrfuse::core::testkit::{run_cases, Gen};
 use corrfuse::net::server::spawn;
-use corrfuse::net::{Client, ClientConfig, Server, ServerConfig};
+use corrfuse::net::{
+    raise_nofile_limit, Client, ClientConfig, Frame, Request, Response, Server, ServerConfig,
+};
 use corrfuse::serve::tenant::NAMESPACE_SEP;
 use corrfuse::serve::{Backpressure, JournalConfig, RouterConfig, ShardRouter, TenantId};
 use corrfuse::stream::StreamSession;
@@ -53,12 +65,18 @@ fn tcp_loopback_ingestion_equals_batch_fit() {
             },
         };
         let workload = remote_producer_scripts(&spec).expect("workload generates");
+        // Alternate the server back end so every property in this suite
+        // pins both; deterministic (not g-drawn) so neither back end
+        // can dodge coverage on a small case count.
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let reactor = CASE.fetch_add(1, Ordering::Relaxed) % 2 == 1;
         eprintln!(
-            "case: {} tenants, {} producers, {} events, reconnect_every {:?}",
+            "case: {} tenants, {} producers, {} events, reconnect_every {:?}, reactor {}",
             n_tenants,
             spec.n_producers,
             workload.n_events(),
-            spec.reconnect_every
+            spec.reconnect_every,
+            reactor,
         );
         let config = FuserConfig::new(random_method(g));
         let n_shards = g.usize_in(1, n_tenants);
@@ -97,8 +115,8 @@ fn tcp_loopback_ingestion_equals_batch_fit() {
             .collect();
         let router =
             ShardRouter::new(config.clone(), router_cfg, seeds).expect("router constructs");
-        let server =
-            Server::bind("127.0.0.1:0", router, ServerConfig::new()).expect("server binds");
+        let server = Server::bind("127.0.0.1:0", router, ServerConfig::new().reactor(reactor))
+            .expect("server binds");
         let addr = server.local_addr().expect("bound addr").to_string();
         let (handle, join) = spawn(server).expect("server spawns");
 
@@ -194,5 +212,205 @@ fn tcp_loopback_ingestion_equals_batch_fit() {
         }
         std::fs::remove_dir_all(&case_dir).ok();
     });
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The raw HELLO handshake for a bare idle connection.
+fn raw_handshake(stream: &mut TcpStream) {
+    Request::Hello {
+        min_version: 1,
+        max_version: 1,
+        credential: None,
+    }
+    .to_frame()
+    .write_to(stream)
+    .expect("hello");
+    stream.flush().expect("hello flush");
+    let frame = Frame::read_from(stream).expect("hello response").unwrap();
+    match Response::from_frame(&frame).expect("hello decodes") {
+        Response::HelloOk { .. } => {}
+        other => panic!("expected HELLO_OK, got {other:?}"),
+    }
+}
+
+/// Idle scale: one reactor thread holds 10⁴ idle connections (file
+/// descriptors, not threads) while 8 producers ingest; the scores read
+/// over the wire are bitwise identical to the thread-per-connection
+/// back end fed the same workload and to a from-scratch
+/// `Fuser::fit + score_all` on the accumulated (journal-replayed)
+/// dataset — and the idle connections are still being served
+/// afterwards. `CORRFUSE_QUICK` shrinks the fleet for smoke tiers.
+#[test]
+fn reactor_idle_scale_matches_thread_backend_and_batch_fit() {
+    let quick = std::env::var("CORRFUSE_QUICK").is_ok();
+    let target_idle: usize = if quick { 2_000 } else { 10_000 };
+    // Each loopback connection costs two fds (client + server end);
+    // keep headroom for journals, producers and the test harness.
+    let effective = raise_nofile_limit((target_idle * 2 + 512) as u64);
+    let n_idle = target_idle.min((effective.saturating_sub(512) / 2) as usize);
+    eprintln!("idle-scale: {n_idle} idle connections (nofile limit {effective})");
+
+    let spec = RemoteSpec {
+        tenants: MultiTenantSpec {
+            n_tenants: 4,
+            triples_largest: 100,
+            skew: 0.7,
+            n_sources: 4,
+            batches_largest: 4,
+            label_fraction: 0.3,
+            seed: 4242,
+        },
+        n_producers: 8,
+        reconnect_every: None,
+    };
+    let workload = remote_producer_scripts(&spec).expect("workload generates");
+    let config = FuserConfig::new(Method::PrecRec);
+    let n_shards = 2;
+    let dir = std::env::temp_dir().join(format!("corrfuse-idle-scale-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let run = |reactor: bool, n_idle: usize, journal_dir: Option<&std::path::Path>| {
+        let mut router_cfg = RouterConfig::new(n_shards)
+            .with_threshold(0.5)
+            .with_batching(64, Duration::from_millis(1));
+        if let Some(d) = journal_dir {
+            std::fs::create_dir_all(d).unwrap();
+            router_cfg = router_cfg.with_journal(JournalConfig::new(d));
+        }
+        let seeds = workload
+            .seeds
+            .iter()
+            .map(|(t, ds)| (TenantId(*t), ds.clone()))
+            .collect();
+        let router = ShardRouter::new(config.clone(), router_cfg, seeds).expect("router");
+        let server = Server::bind(
+            "127.0.0.1:0",
+            router,
+            ServerConfig::new()
+                .reactor(reactor)
+                .with_max_connections(n_idle + 64),
+        )
+        .expect("server binds");
+        let addr = server.local_addr().expect("addr");
+        let (handle, join) = spawn(server).expect("server spawns");
+
+        // The idle fleet: fully handshaken connections that then just
+        // sit there. Connected from a few threads so the single-core
+        // host overlaps client and reactor work.
+        let n_threads = 8;
+        let mut idle: Vec<TcpStream> = std::thread::scope(|scope| {
+            let joins: Vec<_> = (0..n_threads)
+                .map(|i| {
+                    let quota = n_idle / n_threads + usize::from(i < n_idle % n_threads);
+                    scope.spawn(move || {
+                        (0..quota)
+                            .map(|_| {
+                                let mut s = TcpStream::connect(addr).expect("idle connect");
+                                raw_handshake(&mut s);
+                                s
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            joins.into_iter().flat_map(|j| j.join().unwrap()).collect()
+        });
+        assert_eq!(idle.len(), n_idle);
+
+        // 8 active producers ingest through the same server while the
+        // idle fleet sits registered.
+        std::thread::scope(|scope| {
+            for script in &workload.scripts {
+                let addr = addr.to_string();
+                scope.spawn(move || {
+                    let mut client = Client::connect(&addr).expect("producer connects");
+                    for action in &script.actions {
+                        match action {
+                            ProducerAction::Send { tenant, events } => {
+                                client.ingest(TenantId(*tenant), events).expect("ingest");
+                            }
+                            ProducerAction::Reconnect => client.disconnect(),
+                        }
+                    }
+                    client.flush().expect("producer flush");
+                });
+            }
+        });
+
+        let mut reader = Client::connect(addr.to_string()).expect("reader connects");
+        reader.flush().expect("barrier");
+        let wire_scores: Vec<(u32, Vec<f64>)> = workload
+            .seeds
+            .iter()
+            .map(|(t, _)| (*t, reader.scores(TenantId(*t)).expect("scores")))
+            .collect();
+        drop(reader);
+
+        // The idle fleet is still served after all that traffic: a
+        // sample of connections must still round-trip a PING.
+        let ping = Request::Ping.to_frame().encode();
+        for s in idle.iter_mut().step_by((n_idle / 64).max(1)) {
+            s.write_all(&ping).expect("idle ping");
+            s.flush().expect("idle ping flush");
+            let frame = Frame::read_from(s).expect("idle pong").unwrap();
+            match Response::from_frame(&frame).expect("idle pong decodes") {
+                Response::Pong => {}
+                other => panic!("expected PONG on an idle connection, got {other:?}"),
+            }
+        }
+        drop(idle);
+
+        handle.stop();
+        let stats = join.join().expect("serve thread").expect("graceful stop");
+        assert_eq!(stats.aggregate().ingest_errors, 0);
+        wire_scores
+    };
+
+    let journal_dir = dir.join("reactor");
+    let reactor_scores = run(true, n_idle, Some(&journal_dir));
+    let thread_scores = run(false, 0, None);
+
+    // Axis 1: the two back ends are bitwise identical at the wire.
+    assert_eq!(reactor_scores.len(), thread_scores.len());
+    for ((t_a, a), (t_b, b)) in reactor_scores.iter().zip(&thread_scores) {
+        assert_eq!(t_a, t_b);
+        assert_eq!(a.len(), b.len(), "tenant {t_a} score count");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "tenant {t_a}, triple {i}: reactor {x} vs threads {y}"
+            );
+        }
+    }
+
+    // Axis 2: the reactor-served state equals a from-scratch
+    // `Fuser::fit + score_all` on the accumulated dataset.
+    for shard in 0..n_shards {
+        let journal = JournalConfig::new(&journal_dir).shard_path(shard);
+        let restored = StreamSession::restore(config.clone(), &journal).expect("journal restores");
+        let ds = restored.dataset();
+        let fresh = Fuser::fit(&config, ds, ds.gold().expect("shard gold")).expect("fresh fit");
+        let fresh_scores = fresh.score_all(ds).expect("fresh scoring");
+        for (tenant, over_wire) in &reactor_scores {
+            if *tenant as usize % n_shards != shard {
+                continue;
+            }
+            let prefix = format!("{tenant}{NAMESPACE_SEP}");
+            let expected: Vec<f64> = ds
+                .triples()
+                .filter(|t| ds.triple(*t).subject.starts_with(&prefix))
+                .map(|t| fresh_scores[t.index()])
+                .collect();
+            assert_eq!(over_wire.len(), expected.len(), "tenant {tenant} count");
+            for (i, (a, b)) in over_wire.iter().zip(&expected).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "tenant {tenant}, local triple {i}: wire {a} vs batch fit {b}"
+                );
+            }
+        }
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
